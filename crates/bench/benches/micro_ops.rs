@@ -1,0 +1,107 @@
+//! Microbenchmarks of the verifier's primitive costs:
+//!
+//! * `ops/*` — the cost of one promise create + set + get, and of one task
+//!   spawn with an ownership transfer, under the baseline and verified
+//!   configurations;
+//! * `chain/*` — the cost of building and resolving a chain of `n` tasks each
+//!   blocked on the next task's promise, under both configurations.  In the
+//!   verified configuration every blocking `get` entering the chain traverses
+//!   the alternating owner/waitingOn edges below it, so the verified-to-
+//!   baseline ratio grows with the chain length.  This is the mechanism
+//!   behind the Sieve outlier in Table 1 (§6.3): Sieve keeps thousands of
+//!   tasks blocked in one long chain.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use promise_core::{Promise, VerificationMode};
+use promise_runtime::{spawn, Runtime};
+
+fn promise_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops");
+    for mode in [VerificationMode::Unverified, VerificationMode::Full] {
+        let rt = Runtime::builder().verification(mode).build();
+        group.bench_function(BenchmarkId::new("create_set_get", mode.label()), |b| {
+            b.iter(|| {
+                rt.block_on(|| {
+                    let p = Promise::<u64>::new();
+                    p.set(1).unwrap();
+                    p.get().unwrap()
+                })
+                .unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("spawn_transfer_join", mode.label()), |b| {
+            b.iter(|| {
+                rt.block_on(|| {
+                    let p = Promise::<u64>::new();
+                    let h = spawn(&p, {
+                        let p = p.clone();
+                        move || p.set(7).unwrap()
+                    });
+                    let v = p.get().unwrap();
+                    h.join().unwrap();
+                    v
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Builds a chain of `n` tasks, each blocked on the next task's promise, then
+/// resolves it from the tail and waits for the head.  Every blocking `get`
+/// issued while the chain forms traverses the already-blocked suffix, so the
+/// verified configuration pays a per-get cost that grows with `n`.
+fn resolve_chain(rt: &Runtime, n: usize) -> u64 {
+    rt.block_on(|| {
+        let promises: Vec<Promise<u64>> = (0..n).map(|_| Promise::new()).collect();
+        let release = Promise::<u64>::new();
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let own = promises[i].clone();
+            let next = promises.get(i + 1).cloned();
+            let release = release.clone();
+            handles.push(spawn(&promises[i], move || {
+                let v = match next {
+                    Some(next) => next.get().unwrap(),
+                    None => release.get().unwrap(),
+                };
+                own.set(v + 1).unwrap();
+            }));
+        }
+        release.set(0).unwrap();
+        let head = promises[0].get().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        head
+    })
+    .unwrap()
+}
+
+fn detector_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[4usize, 32, 128, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        for mode in [VerificationMode::Unverified, VerificationMode::Full] {
+            let rt = Runtime::builder()
+                .verification(mode)
+                .worker_keep_alive(Duration::from_secs(5))
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), n),
+                &n,
+                |b, &n| b.iter(|| resolve_chain(&rt, n)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, promise_ops, detector_chain);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion timing of every Table 1 benchmark in both configurations
+//! (baseline vs. verified).  The overhead factor of Table 1's "Time Overhead"
+//! column is the ratio of the two measurements of each pair.
+//!
+//! Uses the `Smoke` workload scale so that `cargo bench` completes quickly;
+//! run the `table1` binary for the full-scale reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use promise_bench::runtime_for;
+use promise_core::VerificationMode;
+use promise_workloads::{all_workloads, Scale};
+
+fn table1_benchmarks(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    for workload in all_workloads() {
+        let mut group = c.benchmark_group(format!("table1/{}", workload.name));
+        group.sample_size(10);
+        for mode in [VerificationMode::Unverified, VerificationMode::Full] {
+            let rt = runtime_for(mode);
+            group.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
+                b.iter(|| {
+                    rt.block_on(|| workload.run(scale)).expect("workload failed").checksum
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, table1_benchmarks);
+criterion_main!(benches);

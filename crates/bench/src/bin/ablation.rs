@@ -1,0 +1,83 @@
+//! Ablation experiments for the design choices discussed in §6.2–§6.3:
+//!
+//! 1. **Ledger representation** — lazy list (the paper's evaluated choice)
+//!    vs. eager list vs. count-only, measured on an ownership-transfer-heavy
+//!    workload (SmithWaterman-shaped: every promise is allocated in the root
+//!    and moved at spawn time).
+//! 2. **Detection level** — unverified vs. ownership-only vs. full deadlock
+//!    detection, measured on the get-heavy Sieve pipeline (the paper's worst
+//!    case) and on the transfer-heavy SmithWaterman.
+//!
+//! ```text
+//! cargo run -p promise-bench --release --bin ablation -- [--scale smoke|default|paper] [--runs N]
+//! ```
+
+use promise_core::{LedgerMode, VerificationMode};
+use promise_runtime::Runtime;
+use promise_stats::{MeasurementProtocol, Summary, Table};
+use promise_workloads::{workload_by_name, Scale, Workload};
+
+use promise_bench::CliOptions;
+
+#[global_allocator]
+static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
+
+fn measure(rt: &Runtime, workload: &Workload, scale: Scale, protocol: &MeasurementProtocol) -> Summary {
+    let m = protocol.run_reported(|_| {
+        let (_, metrics) = rt.measure(|| workload.run(scale)).expect("workload failed");
+        metrics.wall.as_secs_f64()
+    });
+    m.summary()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match CliOptions::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let protocol = opts.protocol();
+    let scale = opts.scale;
+
+    println!("Ablation 1: owned-ledger representation (§6.2), SmithWaterman-shaped transfers");
+    let sw = workload_by_name("SmithWaterman").unwrap();
+    let mut t = Table::new(vec!["Ledger", "Mean time (s)", "Relative"]);
+    let mut baseline_mean = None;
+    for ledger in [LedgerMode::Lazy, LedgerMode::Eager, LedgerMode::CountOnly] {
+        let rt = Runtime::builder().verification(VerificationMode::Full).ledger(ledger).build();
+        let s = measure(&rt, &sw, scale, &protocol);
+        let base = *baseline_mean.get_or_insert(s.mean);
+        t.add_row(vec![
+            ledger.label().to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.2}x", s.mean / base),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Ablation 2: verification level, on Sieve (get-heavy) and SmithWaterman (transfer-heavy)");
+    let mut t = Table::new(vec!["Benchmark", "Mode", "Mean time (s)", "Overhead vs baseline"]);
+    for name in ["Sieve", "SmithWaterman"] {
+        let w = workload_by_name(name).unwrap();
+        let mut base = None;
+        for mode in [
+            VerificationMode::Unverified,
+            VerificationMode::OwnershipOnly,
+            VerificationMode::Full,
+        ] {
+            let rt = Runtime::builder().verification(mode).build();
+            let s = measure(&rt, &w, scale, &protocol);
+            let b = *base.get_or_insert(s.mean);
+            t.add_row(vec![
+                name.to_string(),
+                mode.label().to_string(),
+                format!("{:.3}", s.mean),
+                format!("{:.2}x", s.mean / b),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 1** of the paper: per-benchmark execution times (mean
+//! with a 95 % confidence interval) for the unverified baseline and the
+//! verified configuration, rendered as a text chart plus CSV series suitable
+//! for external plotting.
+//!
+//! ```text
+//! cargo run -p promise-bench --release --bin figure1 -- \
+//!     [--scale smoke|default|paper] [--runs N] [--warmups N] [--filter NAME]
+//! ```
+
+use promise_bench::{render_figure1, run_suite, CliOptions};
+
+#[global_allocator]
+static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match CliOptions::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: figure1 [--scale smoke|default|paper] [--runs N] [--warmups N] \
+                 [--filter NAME]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "Figure 1 reproduction — scale: {}, runs: {}, warmups: {}",
+        opts.scale.name(),
+        opts.runs,
+        opts.warmups
+    );
+    println!();
+
+    let workloads = opts.workloads();
+    // Figure 1 only needs execution times.
+    let results = run_suite(&workloads, opts.scale, &opts.protocol(), false);
+    println!("{}", render_figure1(&results));
+}

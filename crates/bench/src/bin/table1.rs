@@ -1,0 +1,42 @@
+//! Regenerates **Table 1** of the paper: per-benchmark baseline execution
+//! time and memory plus the overhead factors of enabling the ownership policy
+//! and deadlock detector, together with the task counts and get/set rates.
+//!
+//! ```text
+//! cargo run -p promise-bench --release --bin table1 -- \
+//!     [--scale smoke|default|paper] [--runs N] [--warmups N] \
+//!     [--filter NAME] [--no-memory] [--paper-protocol]
+//! ```
+
+use promise_bench::{render_table1, run_suite, CliOptions};
+
+#[global_allocator]
+static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match CliOptions::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: table1 [--scale smoke|default|paper] [--runs N] [--warmups N] \
+                 [--filter NAME] [--no-memory] [--paper-protocol]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "Table 1 reproduction — scale: {}, runs: {}, warmups: {}{}",
+        opts.scale.name(),
+        opts.runs,
+        opts.warmups,
+        if opts.skip_memory { ", memory measurement skipped" } else { "" }
+    );
+    println!();
+
+    let workloads = opts.workloads();
+    let results = run_suite(&workloads, opts.scale, &opts.protocol(), !opts.skip_memory);
+    println!("{}", render_table1(&results));
+}

@@ -1,0 +1,409 @@
+//! # promise-bench
+//!
+//! The measurement harness that regenerates the paper's evaluation artifacts:
+//!
+//! * `cargo run -p promise-bench --release --bin table1` — **Table 1**:
+//!   per-benchmark baseline execution time, verification time overhead,
+//!   baseline memory, memory overhead, task count, gets/ms, sets/ms, and the
+//!   geometric-mean overheads.
+//! * `cargo run -p promise-bench --release --bin figure1` — **Figure 1**:
+//!   per-benchmark mean execution time with a 95 % confidence interval for
+//!   the baseline and verified configurations (text chart + CSV).
+//! * `cargo run -p promise-bench --release --bin ablation` — the §6.2 / §6.3
+//!   design-choice ablations (ledger representation, detection level).
+//! * `cargo bench -p promise-bench` — Criterion microbenchmarks: per-workload
+//!   baseline-vs-verified timing and the detector's chain-length sweep that
+//!   explains the Sieve outlier.
+//!
+//! This library crate holds the shared harness logic so that the binaries and
+//! the Criterion benches stay thin.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use promise_core::VerificationMode;
+use promise_runtime::{Runtime, RunMetrics};
+use promise_stats::{geometric_mean, MeasurementProtocol, MemorySampler, Summary, Table};
+use promise_workloads::{all_workloads, Scale, Workload};
+
+/// One benchmark's measurements across the two configurations.
+#[derive(Clone, Debug)]
+pub struct BenchmarkResult {
+    /// Benchmark name (Table 1 row label).
+    pub name: String,
+    /// Baseline (unverified) execution-time statistics, seconds.
+    pub baseline_time: Summary,
+    /// Verified execution-time statistics, seconds.
+    pub verified_time: Summary,
+    /// Baseline average memory footprint, MB (0 when allocation tracking is
+    /// not installed).
+    pub baseline_mem_mb: f64,
+    /// Verified average memory footprint, MB.
+    pub verified_mem_mb: f64,
+    /// Total tasks per run (from the verified run; identical in both).
+    pub tasks: u64,
+    /// Average `get` operations per millisecond of baseline execution.
+    pub gets_per_ms: f64,
+    /// Average `set` operations per millisecond of baseline execution.
+    pub sets_per_ms: f64,
+}
+
+impl BenchmarkResult {
+    /// Verified / baseline execution-time ratio (Table 1 "Time Overhead").
+    pub fn time_overhead(&self) -> f64 {
+        if self.baseline_time.mean == 0.0 {
+            f64::NAN
+        } else {
+            self.verified_time.mean / self.baseline_time.mean
+        }
+    }
+
+    /// Verified / baseline memory ratio (Table 1 "Memory Overhead").
+    pub fn memory_overhead(&self) -> f64 {
+        if self.baseline_mem_mb == 0.0 {
+            f64::NAN
+        } else {
+            self.verified_mem_mb / self.baseline_mem_mb
+        }
+    }
+}
+
+/// Builds a runtime for one of the two evaluated configurations.
+pub fn runtime_for(mode: VerificationMode) -> Runtime {
+    Runtime::builder()
+        .verification(mode)
+        // Keep idle workers around between repeated runs, like the paper's
+        // persistent thread pool within one VM instance.
+        .worker_keep_alive(Duration::from_secs(2))
+        .build()
+}
+
+/// Runs `workload` once on `rt` and returns its metrics.  Panics if the
+/// workload raises an alarm (the evaluation programs are all bug-free).
+pub fn run_once(rt: &Runtime, workload: &Workload, scale: Scale) -> RunMetrics {
+    let (out, metrics) = rt.measure(|| workload.run(scale)).expect("workload violated the policy");
+    assert!(out.checksum != 0, "workload produced an empty checksum");
+    assert_eq!(
+        rt.context().alarm_count(),
+        0,
+        "evaluation workloads must not raise alarms ({})",
+        workload.name
+    );
+    metrics
+}
+
+/// Measures execution times of `workload` under `mode` according to the
+/// protocol.  Returns the per-run seconds and the metrics of the last run.
+pub fn measure_time(
+    workload: &Workload,
+    scale: Scale,
+    mode: VerificationMode,
+    protocol: &MeasurementProtocol,
+) -> (Summary, RunMetrics) {
+    let rt = runtime_for(mode);
+    let mut last_metrics: Option<RunMetrics> = None;
+    let measurements = protocol.run_reported(|_warmup| {
+        let metrics = run_once(&rt, workload, scale);
+        let secs = metrics.wall.as_secs_f64();
+        last_metrics = Some(metrics);
+        secs
+    });
+    (measurements.summary(), last_metrics.expect("at least one run"))
+}
+
+/// Measures the average live-heap footprint of one run of `workload` under
+/// `mode`, sampled every 10 ms (requires the binary to install
+/// [`promise_stats::CountingAllocator`]).
+pub fn measure_memory(workload: &Workload, scale: Scale, mode: VerificationMode) -> f64 {
+    let rt = runtime_for(mode);
+    // One warm-up to populate pools and lazily allocated structures.
+    let _ = run_once(&rt, workload, scale);
+    let sampler = MemorySampler::start(Duration::from_millis(10));
+    let _ = run_once(&rt, workload, scale);
+    let usage = sampler.stop();
+    usage.average_mb()
+}
+
+/// Runs the full Table 1 measurement for the given workloads.
+pub fn run_suite(
+    workloads: &[Workload],
+    scale: Scale,
+    protocol: &MeasurementProtocol,
+    measure_mem: bool,
+) -> Vec<BenchmarkResult> {
+    workloads
+        .iter()
+        .map(|w| {
+            eprintln!("[promise-bench] measuring {} ({} scale)…", w.name, scale.name());
+            let (baseline_time, baseline_metrics) =
+                measure_time(w, scale, VerificationMode::Unverified, protocol);
+            let (verified_time, verified_metrics) =
+                measure_time(w, scale, VerificationMode::Full, protocol);
+            let (baseline_mem_mb, verified_mem_mb) = if measure_mem {
+                (
+                    measure_memory(w, scale, VerificationMode::Unverified),
+                    measure_memory(w, scale, VerificationMode::Full),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            BenchmarkResult {
+                name: w.name.to_string(),
+                baseline_time,
+                verified_time,
+                baseline_mem_mb,
+                verified_mem_mb,
+                tasks: verified_metrics.tasks(),
+                gets_per_ms: baseline_metrics.gets_per_ms(),
+                sets_per_ms: baseline_metrics.sets_per_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 from a set of results.
+pub fn render_table1(results: &[BenchmarkResult]) -> String {
+    let mut table = Table::new(vec![
+        "Benchmark",
+        "Baseline (s)",
+        "Time Overhead",
+        "Baseline (MB)",
+        "Mem Overhead",
+        "Tasks",
+        "Gets/ms",
+        "Sets/ms",
+    ]);
+    for r in results {
+        table.add_row(vec![
+            r.name.clone(),
+            format!("{:.3}", r.baseline_time.mean),
+            format!("{:.2}x", r.time_overhead()),
+            if r.baseline_mem_mb > 0.0 { format!("{:.2}", r.baseline_mem_mb) } else { "n/a".into() },
+            if r.baseline_mem_mb > 0.0 { format!("{:.2}x", r.memory_overhead()) } else { "n/a".into() },
+            r.tasks.to_string(),
+            format!("{:.2}", r.gets_per_ms),
+            format!("{:.2}", r.sets_per_ms),
+        ]);
+    }
+    let time_geo = geometric_mean(&results.iter().map(|r| r.time_overhead()).collect::<Vec<_>>());
+    let mem_factors: Vec<f64> = results
+        .iter()
+        .map(|r| r.memory_overhead())
+        .filter(|v| v.is_finite())
+        .collect();
+    let mut out = table.render();
+    out.push_str(&format!("\nGeometric mean time overhead:   {time_geo:.2}x (paper: 1.12x)\n"));
+    if !mem_factors.is_empty() {
+        out.push_str(&format!(
+            "Geometric mean memory overhead: {:.2}x (paper: 1.06x)\n",
+            geometric_mean(&mem_factors)
+        ));
+    } else {
+        out.push_str(
+            "Geometric mean memory overhead: n/a (run the `table1` binary, which installs the \
+             counting allocator)\n",
+        );
+    }
+    out
+}
+
+/// Renders the Figure 1 data: per-benchmark mean execution time with a 95 %
+/// confidence interval for both configurations, as a text chart plus CSV.
+pub fn render_figure1(results: &[BenchmarkResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1: execution times (mean with 95% confidence interval)\n\n");
+    let max_time = results
+        .iter()
+        .map(|r| r.verified_time.mean.max(r.baseline_time.mean))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for r in results {
+        for (label, s) in [("baseline", &r.baseline_time), ("verified", &r.verified_time)] {
+            let ci = s.ci95();
+            let width = ((s.mean / max_time) * 50.0).round() as usize;
+            out.push_str(&format!(
+                "{:<15} {:<9} {:>8.3}s  [{:>8.3}, {:>8.3}]  |{}\n",
+                r.name,
+                label,
+                s.mean,
+                ci.low,
+                ci.high,
+                "#".repeat(width.max(1)),
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str("CSV:\nbenchmark,config,mean_s,ci_low_s,ci_high_s,runs\n");
+    for r in results {
+        for (label, s) in [("baseline", &r.baseline_time), ("verified", &r.verified_time)] {
+            let ci = s.ci95();
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{}\n",
+                r.name, label, s.mean, ci.low, ci.high, s.count
+            ));
+        }
+    }
+    out
+}
+
+/// Command-line options shared by the evaluation binaries.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Workload scale preset.
+    pub scale: Scale,
+    /// Measured runs per configuration.
+    pub runs: usize,
+    /// Discarded warm-up runs per configuration.
+    pub warmups: usize,
+    /// Only run benchmarks whose name contains this filter.
+    pub filter: Option<String>,
+    /// Skip the memory measurement passes.
+    pub skip_memory: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions { scale: Scale::Default, runs: 5, warmups: 2, filter: None, skip_memory: false }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from `args` (everything after the program name).
+    /// Recognised flags: `--scale <smoke|default|paper>`, `--runs N`,
+    /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`.
+    pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+        let mut opts = CliOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--scale needs a value")?;
+                    opts.scale = Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+                }
+                "--runs" => {
+                    i += 1;
+                    opts.runs = args
+                        .get(i)
+                        .ok_or("--runs needs a value")?
+                        .parse()
+                        .map_err(|_| "--runs needs an integer")?;
+                }
+                "--warmups" => {
+                    i += 1;
+                    opts.warmups = args
+                        .get(i)
+                        .ok_or("--warmups needs a value")?
+                        .parse()
+                        .map_err(|_| "--warmups needs an integer")?;
+                }
+                "--filter" => {
+                    i += 1;
+                    opts.filter = Some(args.get(i).ok_or("--filter needs a value")?.clone());
+                }
+                "--no-memory" => opts.skip_memory = true,
+                "--paper-protocol" => {
+                    opts.runs = 30;
+                    opts.warmups = 5;
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(opts)
+    }
+
+    /// The measurement protocol implied by these options.
+    pub fn protocol(&self) -> MeasurementProtocol {
+        MeasurementProtocol::default().with_warmups(self.warmups).with_runs(self.runs)
+    }
+
+    /// The workloads selected by the filter (all nine when unfiltered).
+    pub fn workloads(&self) -> Vec<Workload> {
+        all_workloads()
+            .into_iter()
+            .filter(|w| match &self.filter {
+                Some(f) => w.name.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+                None => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parsing_handles_all_flags() {
+        let args: Vec<String> = ["--scale", "smoke", "--runs", "2", "--warmups", "0", "--filter", "heat", "--no-memory"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = CliOptions::parse(&args).unwrap();
+        assert_eq!(opts.scale, Scale::Smoke);
+        assert_eq!(opts.runs, 2);
+        assert_eq!(opts.warmups, 0);
+        assert!(opts.skip_memory);
+        assert_eq!(opts.workloads().len(), 1);
+        assert_eq!(opts.workloads()[0].name, "Heat");
+
+        assert!(CliOptions::parse(&["--bogus".to_string()]).is_err());
+        assert!(CliOptions::parse(&["--scale".to_string(), "warp".to_string()]).is_err());
+
+        let paper = CliOptions::parse(&["--paper-protocol".to_string()]).unwrap();
+        assert_eq!(paper.runs, 30);
+        assert_eq!(paper.warmups, 5);
+    }
+
+    #[test]
+    fn overhead_ratios() {
+        let r = BenchmarkResult {
+            name: "X".into(),
+            baseline_time: Summary::of(&[1.0, 1.0]),
+            verified_time: Summary::of(&[1.2, 1.2]),
+            baseline_mem_mb: 100.0,
+            verified_mem_mb: 106.0,
+            tasks: 10,
+            gets_per_ms: 1.0,
+            sets_per_ms: 1.0,
+        };
+        assert!((r.time_overhead() - 1.2).abs() < 1e-9);
+        assert!((r.memory_overhead() - 1.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendering_contains_all_benchmarks_and_geomean() {
+        let results: Vec<BenchmarkResult> = ["A", "B"]
+            .iter()
+            .map(|n| BenchmarkResult {
+                name: n.to_string(),
+                baseline_time: Summary::of(&[1.0]),
+                verified_time: Summary::of(&[1.1]),
+                baseline_mem_mb: 10.0,
+                verified_mem_mb: 11.0,
+                tasks: 5,
+                gets_per_ms: 2.0,
+                sets_per_ms: 2.0,
+            })
+            .collect();
+        let t = render_table1(&results);
+        assert!(t.contains("A") && t.contains("B"));
+        assert!(t.contains("Geometric mean time overhead"));
+        let f = render_figure1(&results);
+        assert!(f.contains("baseline") && f.contains("verified"));
+        assert!(f.contains("CSV:"));
+    }
+
+    #[test]
+    fn end_to_end_smoke_measurement_of_one_workload() {
+        let w = promise_workloads::workload_by_name("Heat").unwrap();
+        let protocol = MeasurementProtocol { warmups: 0, runs: 1, budget: None };
+        let results = run_suite(&[w], Scale::Smoke, &protocol, false);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].baseline_time.mean > 0.0);
+        assert!(results[0].verified_time.mean > 0.0);
+        assert!(results[0].tasks > 0);
+    }
+}

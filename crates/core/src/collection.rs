@@ -1,0 +1,200 @@
+//! Grouping promises for ownership transfer (§6.1, `PromiseCollection`).
+//!
+//! The `async (p1, …, pn) { … }` annotation of the paper's language takes a
+//! *list* of promises.  For large synchronization patterns it is tedious — and
+//! abstraction-breaking — to enumerate every individual promise, so the
+//! paper's Java implementation lets composite objects implement a
+//! `PromiseCollection` interface: moving the composite moves all of its
+//! constituent promises (the `Channel` of Listing 4 is the flagship example).
+//!
+//! [`PromiseCollection`] is the Rust equivalent.  It is implemented by
+//! [`Promise<T>`](crate::Promise) itself, by references, slices, vectors,
+//! arrays, options and tuples of collections, and by user types such as
+//! `promise_sync::Channel`.  A spawn takes `impl PromiseCollection`, so all
+//! of the following are valid transfer lists:
+//!
+//! ```
+//! # use promise_core::{Context, Promise, PromiseCollection, collect_promises};
+//! # let ctx = Context::new_verified();
+//! # let _root = ctx.root_task(None);
+//! let p = Promise::<i32>::new();
+//! let q = Promise::<String>::new();
+//! let r = Promise::<i32>::new();
+//!
+//! assert_eq!(collect_promises(&()).len(), 0);            // nothing
+//! assert_eq!(collect_promises(&p).len(), 1);             // one promise
+//! assert_eq!(collect_promises(&(&p, &q)).len(), 2);      // heterogeneous tuple
+//! assert_eq!(collect_promises(&vec![p.clone(), r]).len(), 2); // homogeneous vec
+//! # p.set(1).unwrap(); q.set("x".into()).unwrap();
+//! # // the remaining owned promises are fulfilled by the root; `r` was cloned
+//! # // into the vec only for counting, the original handle still owns it.
+//! ```
+
+use std::sync::Arc;
+
+use crate::promise::{ErasedPromise, Promise};
+
+/// A set of promises that should move together when transferred to a new
+/// task.
+pub trait PromiseCollection {
+    /// Appends type-erased handles for every promise in this collection.
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>);
+
+    /// Convenience: the number of promises this collection contributes.
+    fn promise_count(&self) -> usize {
+        let mut v = Vec::new();
+        self.append_promises(&mut v);
+        v.len()
+    }
+}
+
+/// Collects the promises of a collection into a fresh vector (the form
+/// consumed by [`ownership::prepare_task`](crate::ownership::prepare_task)).
+pub fn collect_promises<C: PromiseCollection + ?Sized>(c: &C) -> Vec<Arc<dyn ErasedPromise>> {
+    let mut out = Vec::new();
+    c.append_promises(&mut out);
+    out
+}
+
+impl<T: Send + Sync + 'static> PromiseCollection for Promise<T> {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        out.push(self.as_erased());
+    }
+}
+
+impl PromiseCollection for Arc<dyn ErasedPromise> {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        out.push(Arc::clone(self));
+    }
+}
+
+impl PromiseCollection for () {
+    fn append_promises(&self, _out: &mut Vec<Arc<dyn ErasedPromise>>) {}
+}
+
+impl<C: PromiseCollection + ?Sized> PromiseCollection for &C {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        (**self).append_promises(out);
+    }
+}
+
+impl<C: PromiseCollection> PromiseCollection for Option<C> {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        if let Some(c) = self {
+            c.append_promises(out);
+        }
+    }
+}
+
+impl<C: PromiseCollection> PromiseCollection for [C] {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        for c in self {
+            c.append_promises(out);
+        }
+    }
+}
+
+impl<C: PromiseCollection, const N: usize> PromiseCollection for [C; N] {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        for c in self {
+            c.append_promises(out);
+        }
+    }
+}
+
+impl<C: PromiseCollection> PromiseCollection for Vec<C> {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        for c in self {
+            c.append_promises(out);
+        }
+    }
+}
+
+impl<C: PromiseCollection + ?Sized> PromiseCollection for Box<C> {
+    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+        (**self).append_promises(out);
+    }
+}
+
+macro_rules! impl_promise_collection_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: PromiseCollection),+> PromiseCollection for ($($name,)+) {
+            fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+                $(self.$idx.append_promises(out);)+
+            }
+        }
+    };
+}
+
+impl_promise_collection_for_tuple!(A: 0);
+impl_promise_collection_for_tuple!(A: 0, B: 1);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_promise_collection_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+
+    #[test]
+    fn single_promise_contributes_itself() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        let collected = collect_promises(&p);
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].id(), p.id());
+        assert_eq!(p.promise_count(), 1);
+        p.set(0).unwrap();
+    }
+
+    #[test]
+    fn unit_and_option_collections() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        assert!(collect_promises(&()).is_empty());
+        let p = Promise::<i32>::new();
+        assert_eq!(collect_promises(&Some(p.clone())).len(), 1);
+        let none: Option<Promise<i32>> = None;
+        assert!(collect_promises(&none).is_empty());
+        p.set(0).unwrap();
+    }
+
+    #[test]
+    fn vectors_slices_arrays_and_tuples() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let a = Promise::<i32>::new();
+        let b = Promise::<i32>::new();
+        let c = Promise::<String>::new();
+
+        let v = vec![a.clone(), b.clone()];
+        assert_eq!(collect_promises(&v).len(), 2);
+        assert_eq!(collect_promises(v.as_slice()).len(), 2);
+        assert_eq!(collect_promises(&[a.clone(), b.clone()]).len(), 2);
+        let t = (&a, &c, vec![b.clone()]);
+        let ids: Vec<_> = collect_promises(&t).iter().map(|e| e.id()).collect();
+        assert_eq!(ids, vec![a.id(), c.id(), b.id()]);
+
+        a.set(1).unwrap();
+        b.set(2).unwrap();
+        c.set("x".into()).unwrap();
+    }
+
+    #[test]
+    fn references_and_boxes_delegate() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        let boxed: Box<dyn PromiseCollection> = Box::new(p.clone());
+        assert_eq!(collect_promises(&boxed).len(), 1);
+        assert_eq!(collect_promises(&&p).len(), 1);
+        let erased = p.as_erased();
+        assert_eq!(collect_promises(&erased).len(), 1);
+        p.set(0).unwrap();
+    }
+}

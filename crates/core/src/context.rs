@@ -1,0 +1,260 @@
+//! The verification context shared by all tasks and promises of one runtime.
+//!
+//! A [`Context`] owns the two slot arenas that hold the concurrently read
+//! `owner` / `waitingOn` state, the policy configuration, the event counters
+//! and the alarm log.  A task runtime (the `promise-runtime` crate) creates
+//! one context, installs itself as the context's [`Executor`], and registers
+//! every worker thread's current task against it; promises created inside
+//! those tasks attach themselves to the same context.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::arena::SlotArena;
+use crate::counters::{CounterSnapshot, Counters};
+use crate::error::{DeadlockCycle, OmittedSetReport};
+use crate::ids::{PromiseId, TaskId};
+use crate::policy::PolicyConfig;
+use crate::slots::{PromiseSlot, TaskSlot};
+
+/// Something that can run a task body asynchronously (a thread pool).
+///
+/// `promise-core` is runtime-agnostic; the runtime crate implements this
+/// trait and registers itself via [`Context::set_executor`] so that
+/// higher-level constructs can spawn tasks without depending on a concrete
+/// pool type.
+pub trait Executor: Send + Sync {
+    /// Schedules `job` to run asynchronously.
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>);
+}
+
+/// An alarm raised by the verifier: one of the two bug classes of §1.2.
+#[derive(Clone, Debug)]
+pub enum Alarm {
+    /// A deadlock cycle was detected by Algorithm 2.
+    Deadlock(Arc<DeadlockCycle>),
+    /// An omitted set was detected by Algorithm 1 rule 3.
+    OmittedSet(Arc<OmittedSetReport>),
+}
+
+impl Alarm {
+    /// A short label for the alarm kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Alarm::Deadlock(_) => "deadlock",
+            Alarm::OmittedSet(_) => "omitted-set",
+        }
+    }
+}
+
+impl std::fmt::Display for Alarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Alarm::Deadlock(c) => write!(f, "{c}"),
+            Alarm::OmittedSet(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Shared state for one verified (or unverified) promise runtime.
+pub struct Context {
+    config: PolicyConfig,
+    pub(crate) tasks: SlotArena<TaskSlot>,
+    pub(crate) promises: SlotArena<PromiseSlot>,
+    counters: Counters,
+    alarms: Mutex<Vec<Alarm>>,
+    next_task_id: AtomicU64,
+    next_promise_id: AtomicU64,
+    executor: OnceLock<Arc<dyn Executor>>,
+}
+
+impl Context {
+    /// Creates a new context with the given policy configuration.
+    pub fn new(config: PolicyConfig) -> Arc<Context> {
+        Arc::new(Context {
+            config,
+            tasks: SlotArena::new(),
+            promises: SlotArena::new(),
+            counters: Counters::new(),
+            alarms: Mutex::new(Vec::new()),
+            next_task_id: AtomicU64::new(1),
+            next_promise_id: AtomicU64::new(1),
+            executor: OnceLock::new(),
+        })
+    }
+
+    /// Creates a context with the default (fully verified) configuration.
+    pub fn new_verified() -> Arc<Context> {
+        Context::new(PolicyConfig::verified())
+    }
+
+    /// Creates a context with the unverified baseline configuration.
+    pub fn new_unverified() -> Arc<Context> {
+        Context::new(PolicyConfig::unverified())
+    }
+
+    /// The policy configuration this context enforces.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// The event counters of this context.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Convenience: a snapshot of the event counters.
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Installs the executor used to run spawned tasks.  May only be called
+    /// once; later calls are ignored and return `false`.
+    pub fn set_executor(&self, executor: Arc<dyn Executor>) -> bool {
+        self.executor.set(executor).is_ok()
+    }
+
+    /// The installed executor, if any.
+    pub fn executor(&self) -> Option<Arc<dyn Executor>> {
+        self.executor.get().cloned()
+    }
+
+    /// Records an alarm in the context's alarm log.
+    pub fn record_alarm(&self, alarm: Alarm) {
+        match &alarm {
+            Alarm::Deadlock(_) => self.counters.record_deadlock(),
+            Alarm::OmittedSet(_) => self.counters.record_omitted_set(),
+        }
+        self.alarms.lock().push(alarm);
+    }
+
+    /// Returns a copy of every alarm recorded so far.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        self.alarms.lock().clone()
+    }
+
+    /// Number of alarms recorded so far.
+    pub fn alarm_count(&self) -> usize {
+        self.alarms.lock().len()
+    }
+
+    /// Clears the alarm log (used by measurement harnesses between runs).
+    pub fn clear_alarms(&self) {
+        self.alarms.lock().clear();
+    }
+
+    /// Number of currently live (registered, not yet terminated) tasks.
+    ///
+    /// Only meaningful when ownership tracking is enabled; the unverified
+    /// baseline does not register tasks in the arena.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.live()
+    }
+
+    /// Number of currently live (created, not yet dropped) promises.
+    pub fn live_promises(&self) -> usize {
+        self.promises.live()
+    }
+
+    /// High-water mark of simultaneously live tasks.
+    pub fn peak_live_tasks(&self) -> usize {
+        self.tasks.peak_live()
+    }
+
+    /// High-water mark of simultaneously live promises.
+    pub fn peak_live_promises(&self) -> usize {
+        self.promises.peak_live()
+    }
+
+    pub(crate) fn next_task_id(&self) -> TaskId {
+        TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn next_promise_id(&self) -> PromiseId {
+        PromiseId(self.next_promise_id.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("mode", &self.config.mode)
+            .field("live_tasks", &self.live_tasks())
+            .field("live_promises", &self.live_promises())
+            .field("alarms", &self.alarm_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CycleEntry;
+
+    #[test]
+    fn fresh_context_is_empty() {
+        let ctx = Context::new_verified();
+        assert_eq!(ctx.live_tasks(), 0);
+        assert_eq!(ctx.live_promises(), 0);
+        assert_eq!(ctx.alarm_count(), 0);
+        assert!(ctx.executor().is_none());
+        assert_eq!(ctx.counter_snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_unique() {
+        let ctx = Context::new_verified();
+        let a = ctx.next_task_id();
+        let b = ctx.next_task_id();
+        assert!(b > a);
+        let p = ctx.next_promise_id();
+        let q = ctx.next_promise_id();
+        assert!(q > p);
+    }
+
+    #[test]
+    fn alarms_are_recorded_and_counted() {
+        let ctx = Context::new_verified();
+        let cycle = Arc::new(DeadlockCycle {
+            entries: vec![CycleEntry {
+                task: TaskId(1),
+                task_name: None,
+                promise: PromiseId(1),
+                promise_name: None,
+            }],
+        });
+        ctx.record_alarm(Alarm::Deadlock(cycle));
+        let report = Arc::new(OmittedSetReport {
+            task: TaskId(2),
+            task_name: None,
+            promises: vec![],
+            count: 1,
+        });
+        ctx.record_alarm(Alarm::OmittedSet(report));
+        assert_eq!(ctx.alarm_count(), 2);
+        let alarms = ctx.alarms();
+        assert_eq!(alarms[0].kind(), "deadlock");
+        assert_eq!(alarms[1].kind(), "omitted-set");
+        let snap = ctx.counter_snapshot();
+        assert_eq!(snap.deadlocks_detected, 1);
+        assert_eq!(snap.omitted_sets_detected, 1);
+        ctx.clear_alarms();
+        assert_eq!(ctx.alarm_count(), 0);
+    }
+
+    #[test]
+    fn executor_can_only_be_installed_once() {
+        struct Inline;
+        impl Executor for Inline {
+            fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+                job();
+            }
+        }
+        let ctx = Context::new_verified();
+        assert!(ctx.set_executor(Arc::new(Inline)));
+        assert!(!ctx.set_executor(Arc::new(Inline)));
+        assert!(ctx.executor().is_some());
+    }
+}

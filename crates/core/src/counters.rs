@@ -1,0 +1,235 @@
+//! Lightweight global event counters.
+//!
+//! Table 1 of the paper reports, per benchmark, the total number of tasks and
+//! the average rates of `get` and `set` operations per millisecond.  These
+//! counters collect exactly those totals (plus a few more that the ablation
+//! benches use).  They are maintained in *both* the baseline and the verified
+//! configurations so that enabling them does not perturb the overhead
+//! comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Monotonic event counters for one [`crate::Context`].
+#[derive(Default)]
+pub struct Counters {
+    gets: CachePadded<AtomicU64>,
+    sets: CachePadded<AtomicU64>,
+    promises_created: CachePadded<AtomicU64>,
+    tasks_spawned: CachePadded<AtomicU64>,
+    transfers: CachePadded<AtomicU64>,
+    detector_runs: CachePadded<AtomicU64>,
+    detector_steps: CachePadded<AtomicU64>,
+    deadlocks_detected: CachePadded<AtomicU64>,
+    omitted_sets_detected: CachePadded<AtomicU64>,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Number of `get` operations started.
+    pub gets: u64,
+    /// Number of successful `set` operations.
+    pub sets: u64,
+    /// Number of promises created.
+    pub promises_created: u64,
+    /// Number of tasks spawned (including root tasks).
+    pub tasks_spawned: u64,
+    /// Number of promise-ownership transfers performed at spawns.
+    pub transfers: u64,
+    /// Number of times the deadlock detector ran (blocking gets in Full mode).
+    pub detector_runs: u64,
+    /// Total owner/waitingOn edges traversed by the detector.
+    pub detector_steps: u64,
+    /// Number of deadlock cycles detected.
+    pub deadlocks_detected: u64,
+    /// Number of omitted-set violations detected.
+    pub omitted_sets_detected: u64,
+}
+
+impl CounterSnapshot {
+    /// Element-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            gets: self.gets.saturating_sub(earlier.gets),
+            sets: self.sets.saturating_sub(earlier.sets),
+            promises_created: self.promises_created.saturating_sub(earlier.promises_created),
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            transfers: self.transfers.saturating_sub(earlier.transfers),
+            detector_runs: self.detector_runs.saturating_sub(earlier.detector_runs),
+            detector_steps: self.detector_steps.saturating_sub(earlier.detector_steps),
+            deadlocks_detected: self.deadlocks_detected.saturating_sub(earlier.deadlocks_detected),
+            omitted_sets_detected: self
+                .omitted_sets_detected
+                .saturating_sub(earlier.omitted_sets_detected),
+        }
+    }
+
+    /// `get` operations per millisecond over a wall-clock duration.
+    pub fn gets_per_ms(&self, wall: std::time::Duration) -> f64 {
+        rate_per_ms(self.gets, wall)
+    }
+
+    /// `set` operations per millisecond over a wall-clock duration.
+    pub fn sets_per_ms(&self, wall: std::time::Duration) -> f64 {
+        rate_per_ms(self.sets, wall)
+    }
+}
+
+fn rate_per_ms(count: u64, wall: std::time::Duration) -> f64 {
+    let ms = wall.as_secs_f64() * 1e3;
+    if ms <= 0.0 {
+        0.0
+    } else {
+        count as f64 / ms
+    }
+}
+
+impl Counters {
+    /// Creates a zeroed set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_set(&self) {
+        self.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_promise_created(&self) {
+        self.promises_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_task_spawned(&self) {
+        self.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_transfers(&self, n: u64) {
+        if n > 0 {
+            self.transfers.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_detector_run(&self, steps: u64) {
+        self.detector_runs.fetch_add(1, Ordering::Relaxed);
+        self.detector_steps.fetch_add(steps, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_deadlock(&self) {
+        self.deadlocks_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_omitted_set(&self) {
+        self.omitted_sets_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set as a whole is not a single atomic snapshot,
+    /// which is fine for reporting).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            promises_created: self.promises_created.load(Ordering::Relaxed),
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            detector_runs: self.detector_runs.load(Ordering::Relaxed),
+            detector_steps: self.detector_steps.load(Ordering::Relaxed),
+            deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
+            omitted_sets_detected: self.omitted_sets_detected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = Counters::new();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn increments_are_visible_in_snapshots() {
+        let c = Counters::new();
+        c.record_get();
+        c.record_get();
+        c.record_set();
+        c.record_promise_created();
+        c.record_task_spawned();
+        c.record_transfers(3);
+        c.record_transfers(0);
+        c.record_detector_run(5);
+        c.record_deadlock();
+        c.record_omitted_set();
+        let s = c.snapshot();
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.promises_created, 1);
+        assert_eq!(s.tasks_spawned, 1);
+        assert_eq!(s.transfers, 3);
+        assert_eq!(s.detector_runs, 1);
+        assert_eq!(s.detector_steps, 5);
+        assert_eq!(s.deadlocks_detected, 1);
+        assert_eq!(s.omitted_sets_detected, 1);
+    }
+
+    #[test]
+    fn since_subtracts_elementwise() {
+        let c = Counters::new();
+        c.record_get();
+        let a = c.snapshot();
+        c.record_get();
+        c.record_set();
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.gets, 1);
+        assert_eq!(d.sets, 1);
+        assert_eq!(d.promises_created, 0);
+    }
+
+    #[test]
+    fn rates_per_ms() {
+        let s = CounterSnapshot { gets: 5000, sets: 2500, ..Default::default() };
+        assert!((s.gets_per_ms(Duration::from_secs(1)) - 5.0).abs() < 1e-9);
+        assert!((s.sets_per_ms(Duration::from_secs(1)) - 2.5).abs() < 1e-9);
+        assert_eq!(s.gets_per_ms(Duration::from_secs(0)), 0.0);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = std::sync::Arc::new(Counters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.record_get();
+                        c.record_set();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.gets, 40_000);
+        assert_eq!(s.sets, 40_000);
+    }
+}

@@ -1,0 +1,437 @@
+//! The lock-free deadlock-cycle detector (Algorithm 2).
+//!
+//! Every blocking `get p0` by a task `t0` runs [`verify_and_mark`] before
+//! committing to the wait:
+//!
+//! 1. `t0` first *publishes* that it is waiting on `p0` by storing the
+//!    promise reference into its own `waitingOn` cell (Algorithm 2, line 3).
+//!    Publishing **before** verifying is what guarantees that the last task
+//!    to arrive in a forming cycle can see the whole cycle (§3.1).
+//! 2. It then walks the chain of alternating `owner` / `waitingOn` edges:
+//!    the owner of `p0` is `t1`; if `t1` is itself blocked on `p1`, the owner
+//!    of `p1` is `t2`; and so on.  Reaching a fulfilled promise (owner null)
+//!    or a task that is not blocked (waitingOn null) proves progress is still
+//!    possible and the verification succeeds.  Reaching `t0` again proves a
+//!    cycle and an alarm is raised *at the moment the cycle is created*.
+//! 3. After each `waitingOn` read the previous `owner` edge is re-read
+//!    (line 11): if the promise changed owner or was fulfilled concurrently,
+//!    the remainder of the traversed path is stale, progress is being made,
+//!    and the verification succeeds.  This re-validation is what makes the
+//!    detector *precise* (Theorem 5.1 — no false alarms).
+//!
+//! # Memory ordering (§5.1 mapped to Rust)
+//!
+//! The paper's three consistency requirements are obtained exactly as it
+//! prescribes for C++ (Rust shares the C++11 memory model):
+//!
+//! * **Requirement 1** — the line-3 `waitingOn` publication is a `SeqCst`
+//!   store (we additionally issue a `SeqCst` fence immediately after it,
+//!   mirroring the TSO recipe, so that the publication is totally ordered
+//!   with respect to the traversal loads that follow it);
+//! * **Requirement 2** — the traversal's `waitingOn` read (line 9) is an
+//!   `Acquire` load and every `owner` write (Algorithm 1 lines 3, 12, 24) is
+//!   a `Release` store, so an observed `waitingOn` value makes the owner
+//!   writes that preceded it visible to the subsequent re-read (line 11);
+//! * **Requirement 3** — the `waitingOn` clear when `get` returns (line 18)
+//!   is a `Release` store sequenced after the waiter has observed the
+//!   fulfilment, so no task can observe the clear without the fulfilment.
+//!
+//! The arena's generation validation adds one further case on top of the
+//! paper's algorithm: a traversal may encounter a task or promise cell that
+//! has since been recycled.  Such a reference fails validation and is treated
+//! exactly like the corresponding `null` (the task terminated / the promise
+//! was resolved), which is always a "progress is being made" outcome and can
+//! therefore never introduce a false alarm or mask a real cycle (tasks and
+//! promises participating in a deadlock are blocked and cannot be recycled).
+
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+use crate::context::Context;
+use crate::error::{CycleEntry, DeadlockCycle};
+use crate::ids::{PromiseId, TaskId};
+use crate::refs::PackedRef;
+
+/// The inputs of one detector run: the current task (`t0`) and the promise it
+/// is about to block on (`p0`).
+pub(crate) struct DetectionSubject {
+    pub t0_slot: PackedRef,
+    pub t0_id: TaskId,
+    pub t0_name: Option<Arc<str>>,
+    pub p0_slot: PackedRef,
+    pub p0_id: PromiseId,
+    pub p0_name: Option<Arc<str>>,
+}
+
+/// Reads `owner(p)` (Algorithm 2 lines 6, 11, 13).  A recycled or null slot
+/// reads as "no owner", i.e. the promise has been resolved.
+#[inline]
+fn load_owner(ctx: &Context, promise: PackedRef) -> PackedRef {
+    ctx.promises
+        .read(promise, |s| PackedRef::from_bits(s.owner.load(Ordering::Acquire)))
+        .unwrap_or(PackedRef::NULL)
+}
+
+/// Reads `waitingOn(t)` (Algorithm 2 line 9, acquire).  A recycled or null
+/// slot reads as "not waiting", i.e. the task is no longer blocked.
+#[inline]
+fn load_waiting_on(ctx: &Context, task: PackedRef) -> PackedRef {
+    ctx.tasks
+        .read(task, |s| PackedRef::from_bits(s.waiting_on.load(Ordering::Acquire)))
+        .unwrap_or(PackedRef::NULL)
+}
+
+/// Clears the `waitingOn` mark of a task (Algorithm 2 line 18).
+#[inline]
+pub(crate) fn clear_mark(ctx: &Context, task_slot: PackedRef) {
+    ctx.tasks
+        .read(task_slot, |s| s.waiting_on.store(0, Ordering::Release));
+}
+
+/// Algorithm 2: publish the waits-for edge of `t0 -> p0`, then verify that
+/// committing to the wait does not complete a deadlock cycle.
+///
+/// * On success the mark is **left in place** (the caller is about to block)
+///   and must be cleared with [`clear_mark`] once the wait ends.
+/// * On failure the mark has already been cleared, and the detected cycle is
+///   returned so the caller can raise the alarm.
+pub(crate) fn verify_and_mark(
+    ctx: &Context,
+    subject: DetectionSubject,
+) -> Result<(), Arc<DeadlockCycle>> {
+    // Line 3: mark that t0 is (about to be) waiting on p0.  SeqCst store plus
+    // a SeqCst fence give the publication the total order required by
+    // consistency requirement 1 (the fence mirrors the TSO recipe of §5.1 and
+    // orders the traversal loads below after the publication).
+    ctx.tasks.read(subject.t0_slot, |s| {
+        s.waiting_on.store(subject.p0_slot.to_bits(), Ordering::SeqCst)
+    });
+    fence(Ordering::SeqCst);
+
+    // A task that is merely *part* of a cycle completed by another task could
+    // traverse that foreign cycle forever (the paper tolerates this because
+    // the completing task still raises the alarm; see the discussion after
+    // Lemma 5.5).  Bounding the traversal by the number of live tasks makes
+    // such a walk commit to the blocking wait instead, which is always safe.
+    let cap = ctx
+        .config()
+        .max_traversal_factor
+        .saturating_mul(ctx.tasks.live())
+        .saturating_add(16);
+
+    let mut entries: Vec<CycleEntry> = vec![CycleEntry {
+        task: subject.t0_id,
+        task_name: subject.t0_name.clone(),
+        promise: subject.p0_id,
+        promise_name: subject.p0_name.clone(),
+    }];
+
+    let mut steps: u64 = 0;
+    let mut p_i = subject.p0_slot;
+    // Line 6.
+    let mut t_next = load_owner(ctx, p_i);
+    let deadlocked = loop {
+        // Loop condition (line 7) / alarm (line 15).
+        if t_next == subject.t0_slot {
+            break true;
+        }
+        // Line 8: p_i has been fulfilled — progress is being made.
+        if t_next.is_null() {
+            break false;
+        }
+        // Line 9: what is t_{i+1} waiting on? (acquire)
+        let p_next = load_waiting_on(ctx, t_next);
+        // Line 10: t_{i+1} is not blocked — progress is being made.
+        if p_next.is_null() {
+            break false;
+        }
+        // Line 11: re-validate that t_{i+1} still owned p_i while it was
+        // waiting on p_{i+1}; if ownership moved or the promise resolved,
+        // the rest of the path is stale and it is safe to commit.
+        if load_owner(ctx, p_i) != t_next {
+            break false;
+        }
+        steps += 1;
+        if steps as usize > cap {
+            break false;
+        }
+        entries.push(CycleEntry {
+            task: ctx
+                .tasks
+                .read(t_next, |s| s.task_id())
+                .unwrap_or(TaskId::NONE),
+            task_name: None,
+            promise: ctx
+                .promises
+                .read(p_next, |s| s.promise_id())
+                .unwrap_or(PromiseId::NONE),
+            promise_name: None,
+        });
+        // Lines 12–13: advance along the chain.
+        p_i = p_next;
+        t_next = load_owner(ctx, p_i);
+    };
+
+    ctx.counters().record_detector_run(steps);
+
+    if deadlocked {
+        // Line 15 failed: raise the alarm.  The task will not block, so clear
+        // the mark here (the `finally` of Algorithm 2).
+        clear_mark(ctx, subject.t0_slot);
+        Err(Arc::new(DeadlockCycle { entries }))
+    } else {
+        // Commit to the blocking wait; the caller clears the mark when the
+        // wait ends (normally or exceptionally).
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PromiseError;
+    use crate::policy::PolicyConfig;
+    use crate::promise::Promise;
+
+    /// Builds a raw task cell directly in the arena (bypassing the TLS
+    /// binding) so the detector can be exercised single-threadedly against a
+    /// hand-constructed waits-for graph.
+    fn raw_task(ctx: &Arc<Context>, id: u64) -> PackedRef {
+        let slot = ctx.tasks.alloc();
+        ctx.tasks
+            .read(slot, |s| s.task_id.store(id, Ordering::Relaxed))
+            .unwrap();
+        slot
+    }
+
+    fn raw_promise(ctx: &Arc<Context>, id: u64, owner: PackedRef) -> PackedRef {
+        let slot = ctx.promises.alloc();
+        ctx.promises
+            .read(slot, |s| {
+                s.promise_id.store(id, Ordering::Relaxed);
+                s.owner.store(owner.to_bits(), Ordering::Release);
+            })
+            .unwrap();
+        slot
+    }
+
+    fn mark_waiting(ctx: &Arc<Context>, task: PackedRef, promise: PackedRef) {
+        ctx.tasks
+            .read(task, |s| s.waiting_on.store(promise.to_bits(), Ordering::SeqCst))
+            .unwrap();
+    }
+
+    fn subject(t: PackedRef, tid: u64, p: PackedRef, pid: u64) -> DetectionSubject {
+        DetectionSubject {
+            t0_slot: t,
+            t0_id: TaskId(tid),
+            t0_name: None,
+            p0_slot: p,
+            p0_id: PromiseId(pid),
+            p0_name: None,
+        }
+    }
+
+    #[test]
+    fn no_cycle_when_owner_is_not_blocked() {
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let t1 = raw_task(&ctx, 2);
+        let p0 = raw_promise(&ctx, 10, t1);
+        // t1 is not waiting on anything.
+        let r = verify_and_mark(&ctx, subject(t0, 1, p0, 10));
+        assert!(r.is_ok());
+        // The mark was left in place for the blocking wait.
+        assert_eq!(
+            ctx.tasks.read(t0, |s| s.waiting_on()).unwrap(),
+            p0
+        );
+        clear_mark(&ctx, t0);
+        assert!(ctx.tasks.read(t0, |s| s.waiting_on()).unwrap().is_null());
+    }
+
+    #[test]
+    fn no_cycle_when_promise_already_fulfilled() {
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let p0 = raw_promise(&ctx, 10, PackedRef::NULL);
+        assert!(verify_and_mark(&ctx, subject(t0, 1, p0, 10)).is_ok());
+    }
+
+    #[test]
+    fn detects_self_cycle() {
+        // t0 awaits a promise it owns itself: a cycle of length 1.
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let p0 = raw_promise(&ctx, 10, t0);
+        let cycle = verify_and_mark(&ctx, subject(t0, 1, p0, 10)).unwrap_err();
+        assert_eq!(cycle.len(), 1);
+        assert_eq!(cycle.detecting_task(), TaskId(1));
+        assert_eq!(cycle.detecting_promise(), PromiseId(10));
+        // The mark is cleared on the alarm path.
+        assert!(ctx.tasks.read(t0, |s| s.waiting_on()).unwrap().is_null());
+    }
+
+    #[test]
+    fn detects_two_task_cycle_and_reports_both() {
+        // t1 waits p1 (owned by t0); t0 now waits p0 (owned by t1).
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let t1 = raw_task(&ctx, 2);
+        let p0 = raw_promise(&ctx, 10, t1);
+        let p1 = raw_promise(&ctx, 11, t0);
+        mark_waiting(&ctx, t1, p1);
+        let cycle = verify_and_mark(&ctx, subject(t0, 1, p0, 10)).unwrap_err();
+        assert_eq!(cycle.len(), 2);
+        let tasks: Vec<_> = cycle.tasks().collect();
+        assert_eq!(tasks, vec![TaskId(1), TaskId(2)]);
+        let promises: Vec<_> = cycle.promises().collect();
+        assert_eq!(promises, vec![PromiseId(10), PromiseId(11)]);
+        assert_eq!(ctx.counter_snapshot().detector_runs, 1);
+    }
+
+    #[test]
+    fn detects_three_task_cycle() {
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let t1 = raw_task(&ctx, 2);
+        let t2 = raw_task(&ctx, 3);
+        let p0 = raw_promise(&ctx, 10, t1);
+        let p1 = raw_promise(&ctx, 11, t2);
+        let p2 = raw_promise(&ctx, 12, t0);
+        mark_waiting(&ctx, t1, p1);
+        mark_waiting(&ctx, t2, p2);
+        let cycle = verify_and_mark(&ctx, subject(t0, 1, p0, 10)).unwrap_err();
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(cycle.tasks().collect::<Vec<_>>(), vec![TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn long_chain_without_cycle_commits_to_wait() {
+        // t0 -> p0 owned by t1 -> p1 owned by t2 -> ... -> t_n not blocked.
+        let ctx = Context::new_verified();
+        let n = 200;
+        let tasks: Vec<_> = (0..n).map(|i| raw_task(&ctx, i as u64 + 1)).collect();
+        let mut promises = Vec::new();
+        for i in 0..n - 1 {
+            // promise i is owned by task i+1
+            let p = raw_promise(&ctx, 100 + i as u64, tasks[i + 1]);
+            promises.push(p);
+        }
+        // every task i (1..n-1) waits on promise i
+        for i in 1..n - 1 {
+            mark_waiting(&ctx, tasks[i], promises[i]);
+        }
+        let r = verify_and_mark(&ctx, subject(tasks[0], 1, promises[0], 100));
+        assert!(r.is_ok());
+        let snap = ctx.counter_snapshot();
+        assert!(snap.detector_steps as usize >= n - 3, "the whole chain should be traversed");
+    }
+
+    #[test]
+    fn concurrent_owner_change_is_not_a_false_alarm() {
+        // t0 waits on p0 owned by t1, t1 waits on p1 owned by t0 — but p0's
+        // ownership is moved to an unrelated task between the detector's two
+        // owner reads.  Simulate the worst interleaving by changing ownership
+        // before the detector runs its re-validation: build the state, then
+        // run the detector from t1's perspective after p1 (owned by t0) has
+        // been fulfilled.  The re-validation path must not raise an alarm.
+        let ctx = Context::new_verified();
+        let t0 = raw_task(&ctx, 1);
+        let t1 = raw_task(&ctx, 2);
+        let p0 = raw_promise(&ctx, 10, t1);
+        // t0 appears to wait on p0…
+        mark_waiting(&ctx, t0, p0);
+        // …but p0 is then fulfilled concurrently (owner -> null).
+        ctx.promises
+            .read(p0, |s| s.owner.store(0, Ordering::Release))
+            .unwrap();
+        // Now t1 runs a get on a promise owned by t0.
+        let p1 = raw_promise(&ctx, 11, t0);
+        let r = verify_and_mark(&ctx, subject(t1, 2, p1, 11));
+        // t0 is "waiting" on a fulfilled promise: the chain ends there, no
+        // cycle, no alarm.
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn traversal_of_foreign_cycle_is_bounded() {
+        // A cycle exists between t1 and t2.  A third task t0 waits on a
+        // promise owned by t1; its traversal enters the foreign cycle and
+        // must terminate (bounded) without alarming.
+        let ctx = Context::new(PolicyConfig {
+            max_traversal_factor: 2,
+            ..PolicyConfig::verified()
+        });
+        let t0 = raw_task(&ctx, 1);
+        let t1 = raw_task(&ctx, 2);
+        let t2 = raw_task(&ctx, 3);
+        let p1 = raw_promise(&ctx, 11, t2); // t1 waits p1 owned by t2
+        let p2 = raw_promise(&ctx, 12, t1); // t2 waits p2 owned by t1
+        mark_waiting(&ctx, t1, p1);
+        mark_waiting(&ctx, t2, p2);
+        let p0 = raw_promise(&ctx, 10, t1); // t0 waits p0 owned by t1
+        let r = verify_and_mark(&ctx, subject(t0, 1, p0, 10));
+        assert!(r.is_ok(), "a cycle not involving t0 must not alarm t0");
+    }
+
+    #[test]
+    fn end_to_end_cycle_with_real_promises_and_threads() {
+        // Reproduces Listing 1 of the paper with real Promise objects and two
+        // OS threads: the root task owns p, the child owns q; the child gets
+        // p then sets q, the root gets q then sets p.  Exactly one of the two
+        // gets must raise a deadlock alarm.
+        use crate::ownership;
+        use std::sync::mpsc;
+
+        let ctx = Context::new_verified();
+        let root = ctx.root_task(Some("root"));
+        let p = Promise::<i32>::with_name("p");
+        let q = Promise::<i32>::with_name("q");
+
+        let prepared = ownership::prepare_task(Some("t2"), vec![q.as_erased()]).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let p2 = p.clone();
+        let q2 = q.clone();
+        let child = std::thread::spawn(move || {
+            let scope = prepared.activate();
+            let got = p2.get();
+            let outcome = match got {
+                Ok(_) => {
+                    q2.set(1).unwrap();
+                    Ok(())
+                }
+                Err(e) => {
+                    // Child detected the deadlock: it can still honour its own
+                    // obligation before terminating.
+                    q2.set(-1).unwrap();
+                    Err(e)
+                }
+            };
+            tx.send(()).unwrap();
+            let _ = scope.finish();
+            outcome
+        });
+
+        let root_outcome = q.get();
+        let root_detected = match &root_outcome {
+            Err(PromiseError::DeadlockDetected(_)) => true,
+            Ok(_) | Err(_) => false,
+        };
+        // Fulfil our own obligation so the child (if blocked) can proceed.
+        if !p.is_fulfilled() {
+            p.set(7).unwrap();
+        }
+        rx.recv().unwrap();
+        let child_outcome = child.join().unwrap();
+        let child_detected = matches!(child_outcome, Err(PromiseError::DeadlockDetected(_)));
+
+        assert!(
+            root_detected || child_detected,
+            "one of the two tasks must detect the deadlock cycle"
+        );
+        assert!(ctx.counter_snapshot().deadlocks_detected >= 1);
+        assert!(ctx.alarms().iter().any(|a| a.kind() == "deadlock"));
+        root.finish();
+    }
+}

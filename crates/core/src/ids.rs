@@ -1,0 +1,87 @@
+//! Stable identifiers for tasks and promises.
+//!
+//! Arena slot references ([`crate::refs::PackedRef`]) are recycled; the ids
+//! defined here are monotonically increasing and never reused, so they are
+//! what alarms, logs and reports use to name the tasks and promises involved
+//! in an omitted set or a deadlock cycle.
+
+use std::fmt;
+
+/// A unique identifier for a task, never reused within a [`crate::Context`].
+///
+/// Task id 0 is reserved for "no task".
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The reserved "no task" id.
+    pub const NONE: TaskId = TaskId(0);
+
+    /// Whether this id denotes a real task.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "task(<none>)")
+        } else {
+            write!(f, "task#{}", self.0)
+        }
+    }
+}
+
+/// A unique identifier for a promise, never reused within a [`crate::Context`].
+///
+/// Promise id 0 is reserved for "no promise".
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PromiseId(pub u64);
+
+impl PromiseId {
+    /// The reserved "no promise" id.
+    pub const NONE: PromiseId = PromiseId(0);
+
+    /// Whether this id denotes a real promise.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for PromiseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "promise(<none>)")
+        } else {
+            write!(f, "promise#{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(3).to_string(), "task#3");
+        assert_eq!(TaskId::NONE.to_string(), "task(<none>)");
+        assert_eq!(PromiseId(9).to_string(), "promise#9");
+        assert_eq!(PromiseId::NONE.to_string(), "promise(<none>)");
+    }
+
+    #[test]
+    fn none_sentinels() {
+        assert!(!TaskId::NONE.is_some());
+        assert!(TaskId(1).is_some());
+        assert!(!PromiseId::NONE.is_some());
+        assert!(PromiseId(1).is_some());
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(PromiseId(10) > PromiseId(9));
+    }
+}

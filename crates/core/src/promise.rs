@@ -1,0 +1,595 @@
+//! The promise primitive with the synchronous `get` / `set` API.
+//!
+//! A [`Promise<T>`] is a wrapper for a payload that is initially absent; each
+//! `get` blocks until the first (and only) `set` supplies the payload
+//! (§1.1).  Handles are cheaply cloneable and shareable across tasks; any
+//! number of tasks may `get`, and — under the ownership policy — exactly the
+//! owning task may `set`.
+//!
+//! Under a verifying [`Context`](crate::Context):
+//!
+//! * creation registers the promise with its creating task's ledger
+//!   (Algorithm 1, rule 1);
+//! * `set` checks ownership and clears it (rule 4), so a second `set` or a
+//!   `set` by a non-owner fails;
+//! * a blocking `get` runs the deadlock detector (Algorithm 2) before
+//!   committing to the wait and returns
+//!   [`PromiseError::DeadlockDetected`] instead of blocking forever if this
+//!   `get` would complete a cycle;
+//! * if the owning task terminates without fulfilling the promise, the
+//!   runtime completes it exceptionally and every `get` observes
+//!   [`PromiseError::OmittedSet`] (§6.2).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::context::{Alarm, Context};
+use crate::detector;
+use crate::error::PromiseError;
+use crate::ids::{PromiseId, TaskId};
+use crate::ownership;
+use crate::refs::PackedRef;
+use crate::task;
+
+/// Type-erased view of a promise, used by the ownership machinery (ledgers,
+/// transfers, exceptional completion) without knowledge of the payload type.
+///
+/// Users normally interact with [`Promise<T>`]; this trait surfaces in the
+/// [`PromiseCollection`](crate::PromiseCollection) API so that heterogeneous
+/// groups of promises can be transferred in one spawn.
+pub trait ErasedPromise: Send + Sync {
+    /// The promise's stable id.
+    fn id(&self) -> PromiseId;
+    /// The promise's name, if one was captured.
+    fn name(&self) -> Option<Arc<str>>;
+    /// The promise's slot in its context's promise arena
+    /// ([`PackedRef::NULL`] under the unverified baseline).
+    fn slot(&self) -> PackedRef;
+    /// The context the promise was created in.
+    fn context(&self) -> &Arc<Context>;
+    /// Whether the promise has been fulfilled (normally or exceptionally).
+    fn is_fulfilled(&self) -> bool;
+    /// Completes the promise exceptionally, bypassing ownership checks.
+    ///
+    /// Used by the runtime when the owning task dies (panic or omitted set)
+    /// so that waiters observe the failure instead of blocking forever.
+    /// Returns `true` if this call performed the completion.
+    fn complete_abandoned(&self, err: PromiseError) -> bool;
+}
+
+enum CellState<T> {
+    Empty,
+    Value(T),
+    Failed(PromiseError),
+}
+
+pub(crate) struct PromiseInner<T> {
+    ctx: Arc<Context>,
+    id: PromiseId,
+    name: Option<Arc<str>>,
+    slot: PackedRef,
+    fulfilled: AtomicBool,
+    cell: Mutex<CellState<T>>,
+    cond: Condvar,
+}
+
+impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
+    fn id(&self) -> PromiseId {
+        self.id
+    }
+    fn name(&self) -> Option<Arc<str>> {
+        self.name.clone()
+    }
+    fn slot(&self) -> PackedRef {
+        self.slot
+    }
+    fn context(&self) -> &Arc<Context> {
+        &self.ctx
+    }
+    fn is_fulfilled(&self) -> bool {
+        self.fulfilled.load(Ordering::Acquire)
+    }
+    fn complete_abandoned(&self, err: PromiseError) -> bool {
+        // Clear the owner edge so concurrent detector traversals treat the
+        // promise as resolved.
+        if !self.slot.is_null() {
+            self.ctx
+                .promises
+                .read(self.slot, |s| s.owner.store(0, Ordering::Release));
+        }
+        self.fill(CellState::Failed(err)).is_ok()
+    }
+}
+
+impl<T> PromiseInner<T> {
+    fn fill(&self, state: CellState<T>) -> Result<(), PromiseError> {
+        let mut cell = self.cell.lock();
+        match &*cell {
+            CellState::Empty => {
+                *cell = state;
+                self.fulfilled.store(true, Ordering::Release);
+                self.cond.notify_all();
+                Ok(())
+            }
+            _ => Err(PromiseError::AlreadyFulfilled { promise: self.id }),
+        }
+    }
+
+    /// Blocks until the promise is fulfilled (or the deadline passes).
+    fn block(&self, deadline: Option<Instant>) -> Result<(), PromiseError> {
+        let mut cell = self.cell.lock();
+        loop {
+            if !matches!(&*cell, CellState::Empty) {
+                return Ok(());
+            }
+            match deadline {
+                None => self.cond.wait(&mut cell),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d || self.cond.wait_until(&mut cell, d).timed_out() {
+                        if matches!(&*cell, CellState::Empty) {
+                            return Err(PromiseError::Timeout { promise: self.id });
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for PromiseInner<T> {
+    fn drop(&mut self) {
+        if !self.slot.is_null() {
+            self.ctx.promises.free(self.slot);
+        }
+    }
+}
+
+/// A shareable handle to a one-shot, ownership-verified promise.
+pub struct Promise<T> {
+    inner: Arc<PromiseInner<T>>,
+}
+
+impl<T> Clone for Promise<T> {
+    fn clone(&self) -> Self {
+        Promise { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> std::fmt::Debug for Promise<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Promise")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .field("fulfilled", &self.inner.fulfilled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> Promise<T> {
+    /// Creates a new promise owned by the current task (Algorithm 1 rule 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread has no active task.  Enter a runtime
+    /// (e.g. `Runtime::block_on`) or register a root task
+    /// ([`Context::root_task`]) first.
+    pub fn new() -> Self {
+        Self::try_new(None).expect(
+            "Promise::new requires a current task; run inside Runtime::block_on / a spawned task \
+             or register a root task with Context::root_task",
+        )
+    }
+
+    /// Creates a new named promise owned by the current task.  The name shows
+    /// up in omitted-set and deadlock reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread has no active task.
+    pub fn with_name(name: &str) -> Self {
+        Self::try_new(Some(name)).expect(
+            "Promise::with_name requires a current task; run inside Runtime::block_on / a spawned \
+             task or register a root task with Context::root_task",
+        )
+    }
+
+    /// Fallible form of [`Promise::new`] / [`Promise::with_name`].
+    pub fn try_new(name: Option<&str>) -> Result<Self, PromiseError> {
+        task::with_current_body(|body| {
+            let ctx = Arc::clone(&body.ctx);
+            ctx.counters().record_promise_created();
+            let id = ctx.next_promise_id();
+            let tracks = ctx.config().mode.tracks_ownership();
+            let slot = if tracks {
+                let s = ctx.promises.alloc();
+                ctx.promises
+                    .read(s, |cell| {
+                        cell.promise_id.store(id.0, Ordering::Relaxed);
+                        // Rule 1: the creating task is the initial owner.
+                        cell.owner.store(body.slot.to_bits(), Ordering::Release);
+                    })
+                    .expect("freshly allocated promise slot is live");
+                s
+            } else {
+                PackedRef::NULL
+            };
+            let name = if ctx.config().capture_names {
+                name.map(Arc::from)
+            } else {
+                None
+            };
+            let inner = Arc::new(PromiseInner {
+                ctx,
+                id,
+                name,
+                slot,
+                fulfilled: AtomicBool::new(false),
+                cell: Mutex::new(CellState::Empty),
+                cond: Condvar::new(),
+            });
+            if tracks {
+                body.ledger.append(inner.clone() as Arc<dyn ErasedPromise>);
+            }
+            Promise { inner }
+        })
+        .ok_or(PromiseError::NoCurrentTask { operation: "Promise::new" })
+    }
+
+    /// The promise's stable id.
+    pub fn id(&self) -> PromiseId {
+        self.inner.id
+    }
+
+    /// The promise's name, if one was captured.
+    pub fn name(&self) -> Option<Arc<str>> {
+        self.inner.name.clone()
+    }
+
+    /// Whether the promise has been fulfilled (normally or exceptionally).
+    pub fn is_fulfilled(&self) -> bool {
+        self.inner.is_fulfilled()
+    }
+
+    /// The id of the task currently responsible for fulfilling this promise,
+    /// or `None` if the promise has been fulfilled (or ownership tracking is
+    /// disabled).  Intended for diagnostics and tests.
+    pub fn owner_task(&self) -> Option<TaskId> {
+        if self.inner.slot.is_null() {
+            return None;
+        }
+        let ctx = &self.inner.ctx;
+        let owner = ctx.promises.read(self.inner.slot, |s| s.owner())?;
+        if owner.is_null() {
+            return None;
+        }
+        let id = ctx.tasks.read(owner, |t| t.task_id())?;
+        if id.is_some() {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Type-erased handle to this promise, usable in transfer lists and
+    /// ledgers.
+    pub fn as_erased(&self) -> Arc<dyn ErasedPromise> {
+        self.inner.clone()
+    }
+
+    /// The context this promise belongs to.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.inner.ctx
+    }
+
+    /// Fulfills the promise with `value` (Algorithm 1 rule 4).
+    ///
+    /// Under a verifying context the calling task must currently own the
+    /// promise; the call clears ownership so that a second `set` (by anyone)
+    /// fails.
+    pub fn set(&self, value: T) -> Result<(), PromiseError> {
+        let ctx = &self.inner.ctx;
+        if ctx.config().mode.tracks_ownership() {
+            ownership::on_set(&*self.inner)?;
+        }
+        self.inner.fill(CellState::Value(value))?;
+        ctx.counters().record_set();
+        Ok(())
+    }
+
+    /// Completes the promise exceptionally with a message.  Ownership rules
+    /// apply exactly as for [`set`](Promise::set); waiters observe
+    /// [`PromiseError::Poisoned`].
+    pub fn set_err(&self, message: impl Into<String>) -> Result<(), PromiseError> {
+        let ctx = &self.inner.ctx;
+        if ctx.config().mode.tracks_ownership() {
+            ownership::on_set(&*self.inner)?;
+        }
+        let err = PromiseError::Poisoned {
+            promise: self.inner.id,
+            message: Arc::from(message.into().as_str()),
+        };
+        self.inner.fill(CellState::Failed(err))?;
+        ctx.counters().record_set();
+        Ok(())
+    }
+
+    /// Blocks until the promise is fulfilled and returns a clone of the
+    /// payload.
+    ///
+    /// Under full verification this is the entry point of the deadlock
+    /// detector: if this `get` would complete a cycle of mutually blocked
+    /// tasks, the call returns [`PromiseError::DeadlockDetected`] immediately
+    /// instead of blocking.
+    pub fn get(&self) -> Result<T, PromiseError>
+    where
+        T: Clone,
+    {
+        self.inner.ctx.counters().record_get();
+        self.block_verified()?;
+        self.read_value()
+    }
+
+    /// Like [`get`](Promise::get) but gives up after `timeout`, returning
+    /// [`PromiseError::Timeout`].
+    ///
+    /// A timed wait is not an indefinite block, so it does not run the
+    /// deadlock detector and does not publish a waits-for edge: a cycle that
+    /// includes a timed wait resolves itself when the timeout fires, so
+    /// reporting it as a deadlock would be a false alarm in spirit.
+    pub fn get_timeout(&self, timeout: Duration) -> Result<T, PromiseError>
+    where
+        T: Clone,
+    {
+        self.inner.ctx.counters().record_get();
+        self.inner.block(Some(Instant::now() + timeout))?;
+        self.read_value()
+    }
+
+    /// Blocks until the promise is fulfilled, without cloning the payload.
+    /// Returns an error if the promise was completed exceptionally.
+    pub fn wait(&self) -> Result<(), PromiseError> {
+        self.inner.ctx.counters().record_get();
+        self.block_verified()?;
+        self.peek_error()
+    }
+
+    /// Non-blocking probe: `None` if the promise is not fulfilled yet.
+    pub fn try_get(&self) -> Option<Result<T, PromiseError>>
+    where
+        T: Clone,
+    {
+        if !self.inner.is_fulfilled() {
+            return None;
+        }
+        Some(self.read_value())
+    }
+
+    fn read_value(&self) -> Result<T, PromiseError>
+    where
+        T: Clone,
+    {
+        let cell = self.inner.cell.lock();
+        match &*cell {
+            CellState::Value(v) => Ok(v.clone()),
+            CellState::Failed(e) => Err(e.clone()),
+            CellState::Empty => unreachable!("read_value called before fulfilment"),
+        }
+    }
+
+    fn peek_error(&self) -> Result<(), PromiseError> {
+        let cell = self.inner.cell.lock();
+        match &*cell {
+            CellState::Value(_) => Ok(()),
+            CellState::Failed(e) => Err(e.clone()),
+            CellState::Empty => unreachable!("peek_error called before fulfilment"),
+        }
+    }
+
+    /// The blocking path shared by `get`, `get_timeout` and `wait`: run the
+    /// deadlock detector (when enabled), then park on the payload cell.
+    fn block_verified(&self) -> Result<(), PromiseError> {
+        // Fast path: already fulfilled, no detection and no blocking needed.
+        if self.inner.is_fulfilled() {
+            return Ok(());
+        }
+        let ctx = &self.inner.ctx;
+        let mark = if ctx.config().mode.detects_deadlocks() && !self.inner.slot.is_null() {
+            match task::current_task_detection_info(ctx) {
+                Some((t0_slot, t0_id, t0_name)) => {
+                    let subject = detector::DetectionSubject {
+                        t0_slot,
+                        t0_id,
+                        t0_name,
+                        p0_slot: self.inner.slot,
+                        p0_id: self.inner.id,
+                        p0_name: self.inner.name.clone(),
+                    };
+                    match detector::verify_and_mark(ctx, subject) {
+                        Ok(()) => Some(t0_slot),
+                        Err(cycle) => {
+                            ctx.record_alarm(Alarm::Deadlock(cycle.clone()));
+                            return Err(PromiseError::DeadlockDetected(cycle));
+                        }
+                    }
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+
+        // Requirement 3 (§5.1): the waitingOn clear below must not become
+        // visible before the promise's fulfilment.  The blocking wait
+        // synchronises with the fulfilling `set` through the payload mutex
+        // (acquire), the clear is sequenced after that and uses a release
+        // store inside `clear_mark`, so a third task that observes
+        // waitingOn == null also observes the fulfilment.
+        struct ClearMark<'a> {
+            ctx: &'a Context,
+            slot: PackedRef,
+        }
+        impl Drop for ClearMark<'_> {
+            fn drop(&mut self) {
+                detector::clear_mark(self.ctx, self.slot);
+            }
+        }
+        let _clear = mark.map(|slot| ClearMark { ctx, slot });
+
+        self.inner.block(None)
+    }
+}
+
+impl<T: Send + Sync + 'static> Default for Promise<T> {
+    fn default() -> Self {
+        Promise::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+
+    #[test]
+    fn set_then_get_returns_value() {
+        let ctx = Context::new_verified();
+        let root = ctx.root_task(Some("main"));
+        let p = Promise::<i32>::new();
+        assert!(!p.is_fulfilled());
+        assert_eq!(p.owner_task(), Some(root.id()));
+        p.set(5).unwrap();
+        assert!(p.is_fulfilled());
+        assert_eq!(p.get().unwrap(), 5);
+        assert_eq!(p.owner_task(), None, "fulfilment clears ownership");
+        root.finish();
+    }
+
+    #[test]
+    fn double_set_fails_under_policy() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        p.set(1).unwrap();
+        let err = p.set(2).unwrap_err();
+        assert!(matches!(err, PromiseError::AlreadyFulfilled { .. }));
+        assert_eq!(p.get().unwrap(), 1);
+    }
+
+    #[test]
+    fn double_set_fails_without_policy_too() {
+        let ctx = Context::new(PolicyConfig::unverified());
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        p.set(1).unwrap();
+        assert!(matches!(p.set(2), Err(PromiseError::AlreadyFulfilled { .. })));
+    }
+
+    #[test]
+    fn set_err_poisons_waiters() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        p.set_err("checksum mismatch").unwrap();
+        let err = p.get().unwrap_err();
+        assert!(matches!(err, PromiseError::Poisoned { .. }));
+        assert!(err.to_string().contains("checksum mismatch"));
+        assert!(p.wait().is_err());
+    }
+
+    #[test]
+    fn try_get_and_timeout() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<u8>::new();
+        assert!(p.try_get().is_none());
+        let err = p.get_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, PromiseError::Timeout { .. }));
+        p.set(3).unwrap();
+        assert_eq!(p.try_get().unwrap().unwrap(), 3);
+        assert_eq!(p.get_timeout(Duration::from_millis(10)).unwrap(), 3);
+    }
+
+    #[test]
+    fn promise_new_outside_task_fails() {
+        assert!(matches!(
+            Promise::<i32>::try_new(None),
+            Err(PromiseError::NoCurrentTask { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a current task")]
+    fn promise_new_outside_task_panics() {
+        let _ = Promise::<i32>::new();
+    }
+
+    #[test]
+    fn names_are_captured_when_enabled() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::with_name("result");
+        assert_eq!(p.name().as_deref(), Some("result"));
+
+        // finish the root before switching contexts on the same thread
+        drop(_root);
+        let ctx2 = Context::new(PolicyConfig::verified().with_capture_names(false));
+        let _root2 = ctx2.root_task(None);
+        let q = Promise::<i32>::with_name("ignored");
+        assert_eq!(q.name(), None);
+        q.set(0).unwrap();
+        // avoid omitted-set alarm for `p` (it belongs to the other, finished root)
+    }
+
+    #[test]
+    fn cross_thread_set_wakes_getter() {
+        let ctx = Context::new_verified();
+        let root = ctx.root_task(None);
+        let p = Promise::<String>::new();
+
+        // Move ownership to a child task properly via prepare_task.
+        let prepared =
+            ownership::prepare_task(Some("setter"), vec![p.as_erased()]).unwrap();
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            let scope = prepared.activate();
+            std::thread::sleep(Duration::from_millis(20));
+            p2.set("hello".to_string()).unwrap();
+            scope.finish()
+        });
+        assert_eq!(p.get().unwrap(), "hello");
+        assert!(t.join().unwrap().is_none());
+        root.finish();
+        assert_eq!(ctx.alarm_count(), 0);
+    }
+
+    #[test]
+    fn unverified_promises_have_no_slot_and_skip_ownership() {
+        let ctx = Context::new_unverified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        assert_eq!(ctx.live_promises(), 0);
+        assert_eq!(p.owner_task(), None);
+        // Any task (or no task at all) can set in baseline mode.
+        p.set(9).unwrap();
+        assert_eq!(p.get().unwrap(), 9);
+    }
+
+    #[test]
+    fn counters_track_gets_and_sets() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let p = Promise::<i32>::new();
+        p.set(1).unwrap();
+        let _ = p.get().unwrap();
+        let _ = p.get().unwrap();
+        let snap = ctx.counter_snapshot();
+        assert_eq!(snap.sets, 1);
+        assert_eq!(snap.gets, 2);
+        assert_eq!(snap.promises_created, 1);
+    }
+}

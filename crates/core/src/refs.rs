@@ -1,0 +1,137 @@
+//! Packed, generation-tagged references to arena slots.
+//!
+//! The deadlock detector (Algorithm 2) traverses two kinds of edges
+//! concurrently with the rest of the program:
+//!
+//! * `promise.owner`   — which task currently owns a promise, and
+//! * `task.waitingOn`  — which promise a task is currently blocked on.
+//!
+//! Both edges are stored as a single atomic 64-bit word holding a
+//! [`PackedRef`]: the index of a slot in a [`SlotArena`](crate::arena::SlotArena)
+//! together with the generation of that slot at the time the reference was
+//! created.  A reference whose generation no longer matches the slot's
+//! current generation is *stale* — the task or promise it referred to has
+//! since died — and every consumer treats a stale reference exactly like
+//! `null` (the task/promise is gone, so no deadlock edge can go through it).
+//!
+//! `PackedRef(0)` is the null reference, mirroring the `null` owner (a
+//! fulfilled promise) and `null` waitingOn (a task that is not blocked) in
+//! the paper's Algorithms 1 and 2.
+
+use std::fmt;
+
+/// A packed (slot index, generation) pair referring to an arena slot.
+///
+/// The all-zero value is the distinguished null reference.  Live slots always
+/// have an even, non-zero generation (see [`crate::arena`]), so a non-null
+/// packed value can never collide with null.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct PackedRef(u64);
+
+impl PackedRef {
+    /// The null reference ("no owner" / "not waiting").
+    pub const NULL: PackedRef = PackedRef(0);
+
+    /// Builds a reference to `index` at generation `generation`.
+    ///
+    /// `generation` must be non-zero (live slots always are).
+    #[inline]
+    pub fn new(index: u32, generation: u32) -> Self {
+        debug_assert!(generation != 0, "live slots have non-zero generations");
+        PackedRef(((index as u64 + 1) << 32) | generation as u64)
+    }
+
+    /// Reconstructs a reference from its raw bit pattern (e.g. a value read
+    /// from an `AtomicU64` owner/waitingOn field).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        PackedRef(bits)
+    }
+
+    /// The raw bit pattern, suitable for storing in an `AtomicU64`.
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The slot index this reference points to.
+    ///
+    /// Must not be called on the null reference.
+    #[inline]
+    pub fn index(self) -> u32 {
+        debug_assert!(!self.is_null());
+        ((self.0 >> 32) - 1) as u32
+    }
+
+    /// The slot generation captured when this reference was created.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+}
+
+impl Default for PackedRef {
+    fn default() -> Self {
+        PackedRef::NULL
+    }
+}
+
+impl fmt::Debug for PackedRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PackedRef(null)")
+        } else {
+            write!(f, "PackedRef({}@g{})", self.index(), self.generation())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(PackedRef::NULL.is_null());
+        assert_eq!(PackedRef::NULL.to_bits(), 0);
+        assert!(PackedRef::from_bits(0).is_null());
+        assert_eq!(PackedRef::default(), PackedRef::NULL);
+    }
+
+    #[test]
+    fn round_trip_index_and_generation() {
+        for &(idx, gen) in &[(0u32, 2u32), (1, 4), (17, 2), (u32::MAX - 1, 0xFFFF_FFFE)] {
+            let r = PackedRef::new(idx, gen);
+            assert!(!r.is_null());
+            assert_eq!(r.index(), idx);
+            assert_eq!(r.generation(), gen);
+            assert_eq!(PackedRef::from_bits(r.to_bits()), r);
+        }
+    }
+
+    #[test]
+    fn distinct_generations_are_distinct_refs() {
+        let a = PackedRef::new(5, 2);
+        let b = PackedRef::new(5, 4);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn index_zero_is_not_null() {
+        let r = PackedRef::new(0, 2);
+        assert!(!r.is_null());
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", PackedRef::NULL), "PackedRef(null)");
+        assert_eq!(format!("{:?}", PackedRef::new(3, 6)), "PackedRef(3@g6)");
+    }
+}

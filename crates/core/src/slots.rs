@@ -1,0 +1,136 @@
+//! The per-task and per-promise cells read by the deadlock detector.
+//!
+//! These are deliberately tiny (two 64-bit words each): only the state the
+//! detector must read *from other threads* lives here.  Everything else about
+//! a task (its owned-promise ledger, its name) is thread-confined in
+//! [`crate::task`], and everything else about a promise (its payload cell,
+//! waiter queue, name) lives in [`crate::promise`].  Keeping the concurrently
+//! shared state this small is what keeps the verification overhead low.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::arena::SlotValue;
+use crate::ids::{PromiseId, TaskId};
+use crate::refs::PackedRef;
+
+/// The shared cell of a task.
+///
+/// `waiting_on` is the `waitingOn` field of Algorithms 1–2: the promise this
+/// task is currently blocked on (as a packed promise-slot reference), or null
+/// when the task is not inside a blocking `get`.
+pub struct TaskSlot {
+    pub(crate) waiting_on: AtomicU64,
+    pub(crate) task_id: AtomicU64,
+}
+
+impl TaskSlot {
+    /// The stable id of the task occupying this slot (for reporting).
+    pub fn task_id(&self) -> TaskId {
+        TaskId(self.task_id.load(Ordering::Relaxed))
+    }
+
+    /// The promise this task is currently blocked on, if any.
+    pub fn waiting_on(&self) -> PackedRef {
+        PackedRef::from_bits(self.waiting_on.load(Ordering::Acquire))
+    }
+}
+
+impl SlotValue for TaskSlot {
+    fn new_empty() -> Self {
+        TaskSlot {
+            waiting_on: AtomicU64::new(0),
+            task_id: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        self.waiting_on.store(0, Ordering::Relaxed);
+        self.task_id.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shared cell of a promise.
+///
+/// `owner` is the `owner` field of Algorithm 1: the task currently
+/// responsible for fulfilling this promise (as a packed task-slot reference),
+/// or null once the promise has been fulfilled.
+pub struct PromiseSlot {
+    pub(crate) owner: AtomicU64,
+    pub(crate) promise_id: AtomicU64,
+}
+
+impl PromiseSlot {
+    /// The stable id of the promise occupying this slot (for reporting).
+    pub fn promise_id(&self) -> PromiseId {
+        PromiseId(self.promise_id.load(Ordering::Relaxed))
+    }
+
+    /// The task currently owning this promise, if any.
+    pub fn owner(&self) -> PackedRef {
+        PackedRef::from_bits(self.owner.load(Ordering::Acquire))
+    }
+}
+
+impl SlotValue for PromiseSlot {
+    fn new_empty() -> Self {
+        PromiseSlot {
+            owner: AtomicU64::new(0),
+            promise_id: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        self.owner.store(0, Ordering::Relaxed);
+        self.promise_id.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::SlotArena;
+
+    #[test]
+    fn task_slot_defaults_and_reset() {
+        let s = TaskSlot::new_empty();
+        assert_eq!(s.task_id(), TaskId::NONE);
+        assert!(s.waiting_on().is_null());
+        s.task_id.store(7, Ordering::Relaxed);
+        s.waiting_on.store(PackedRef::new(1, 2).to_bits(), Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.task_id(), TaskId::NONE);
+        assert!(s.waiting_on().is_null());
+    }
+
+    #[test]
+    fn promise_slot_defaults_and_reset() {
+        let s = PromiseSlot::new_empty();
+        assert_eq!(s.promise_id(), PromiseId::NONE);
+        assert!(s.owner().is_null());
+        s.promise_id.store(3, Ordering::Relaxed);
+        s.owner.store(PackedRef::new(5, 4).to_bits(), Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.promise_id(), PromiseId::NONE);
+        assert!(s.owner().is_null());
+    }
+
+    #[test]
+    fn slots_work_inside_an_arena() {
+        let tasks: SlotArena<TaskSlot> = SlotArena::new();
+        let promises: SlotArena<PromiseSlot> = SlotArena::new();
+        let t = tasks.alloc();
+        let p = promises.alloc();
+        tasks.read(t, |s| s.task_id.store(11, Ordering::Relaxed)).unwrap();
+        promises
+            .read(p, |s| {
+                s.promise_id.store(22, Ordering::Relaxed);
+                s.owner.store(t.to_bits(), Ordering::Release);
+            })
+            .unwrap();
+        assert_eq!(promises.read(p, |s| s.owner()), Some(t));
+        assert_eq!(promises.read(p, |s| s.promise_id()), Some(PromiseId(22)));
+        assert_eq!(tasks.read(t, |s| s.task_id()), Some(TaskId(11)));
+        promises.free(p);
+        tasks.free(t);
+    }
+}

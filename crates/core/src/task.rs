@@ -1,0 +1,478 @@
+//! Tasks, the current-task thread binding, and the owned-promise ledger.
+//!
+//! The ownership policy revolves around *which task is currently running* on
+//! a thread (`currentTask` in Algorithm 1) and, for each task, the set of
+//! promises it currently owns (`owner⁻¹`, the `owned` list).  This module
+//! provides:
+//!
+//! * [`TaskBody`] (crate-private): the thread-confined half of a task — its
+//!   context handle, stable id, optional name, arena slot and owned ledger;
+//! * the thread-local *current task* binding and accessors
+//!   ([`current_task_id`], [`has_current_task`]);
+//! * [`PreparedTask`]: a task that has been created (and has already received
+//!   its transferred promises, per Algorithm 1 rule 2) but has not started
+//!   running; it is `Send` and is what a runtime ships to a worker thread;
+//! * [`TaskScope`]: the RAII guard for a running task; finishing it performs
+//!   the rule-3 exit check (omitted-set detection);
+//! * [`Context::root_task`]: registering the calling thread as a root task,
+//!   the equivalent of the `Init` procedure of Algorithm 1.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::context::Context;
+use crate::error::OmittedSetReport;
+use crate::ids::{PromiseId, TaskId};
+use crate::ownership;
+use crate::policy::LedgerMode;
+use crate::promise::ErasedPromise;
+use crate::refs::PackedRef;
+
+/// The owned-promise ledger of one task (`owner⁻¹(t)` in the paper).
+///
+/// Three representations are supported, matching the trade-off discussion of
+/// §6.2; see [`LedgerMode`].
+pub(crate) enum Ledger {
+    /// No tracking at all (unverified baseline).
+    Disabled,
+    /// A list of owned promises.  In [`LedgerMode::Lazy`] the list is
+    /// append-only and filtered at exit; in [`LedgerMode::Eager`] entries are
+    /// removed as soon as the promise is set or transferred away.
+    List {
+        /// Owned entries (possibly stale in lazy mode).
+        entries: Vec<Arc<dyn ErasedPromise>>,
+        /// Whether entries are eagerly removed.
+        eager: bool,
+    },
+    /// Only a count of owned promises is maintained.
+    Count(usize),
+}
+
+impl Ledger {
+    pub(crate) fn new(mode: LedgerMode, enabled: bool) -> Ledger {
+        if !enabled {
+            return Ledger::Disabled;
+        }
+        match mode {
+            LedgerMode::Lazy => Ledger::List { entries: Vec::new(), eager: false },
+            LedgerMode::Eager => Ledger::List { entries: Vec::new(), eager: true },
+            LedgerMode::CountOnly => Ledger::Count(0),
+        }
+    }
+
+    /// Records that the task took ownership of `promise`.
+    pub(crate) fn append(&mut self, promise: Arc<dyn ErasedPromise>) {
+        match self {
+            Ledger::Disabled => {}
+            Ledger::List { entries, .. } => entries.push(promise),
+            Ledger::Count(n) => *n += 1,
+        }
+    }
+
+    /// Records that the task gave up ownership of the promise with id `id`
+    /// (it was fulfilled or transferred to a child).
+    pub(crate) fn release(&mut self, id: PromiseId) {
+        match self {
+            Ledger::Disabled => {}
+            Ledger::List { entries, eager } => {
+                if *eager {
+                    if let Some(pos) = entries.iter().position(|e| e.id() == id) {
+                        entries.swap_remove(pos);
+                    }
+                }
+                // Lazy mode: nothing to do, the exit check re-reads owners.
+            }
+            Ledger::Count(n) => *n = n.saturating_sub(1),
+        }
+    }
+
+    /// Number of entries currently recorded (an upper bound on the number of
+    /// owned promises in lazy mode).
+    #[allow(dead_code)]
+    pub(crate) fn recorded_len(&self) -> usize {
+        match self {
+            Ledger::Disabled => 0,
+            Ledger::List { entries, .. } => entries.len(),
+            Ledger::Count(n) => *n,
+        }
+    }
+}
+
+/// The thread-confined state of one task.
+pub(crate) struct TaskBody {
+    pub(crate) ctx: Arc<Context>,
+    pub(crate) id: TaskId,
+    pub(crate) name: Option<Arc<str>>,
+    /// The task's slot in the context's task arena ([`PackedRef::NULL`] when
+    /// ownership tracking is disabled).
+    pub(crate) slot: PackedRef,
+    pub(crate) ledger: Ledger,
+}
+
+impl TaskBody {
+    /// Allocates the arena slot (when tracking) and builds the body.
+    pub(crate) fn create(
+        ctx: &Arc<Context>,
+        name: Option<&str>,
+    ) -> TaskBody {
+        let id = ctx.next_task_id();
+        let tracks = ctx.config().mode.tracks_ownership();
+        let slot = if tracks {
+            let s = ctx.tasks.alloc();
+            ctx.tasks
+                .read(s, |cell| cell.task_id.store(id.0, Ordering::Relaxed))
+                .expect("freshly allocated task slot is live");
+            s
+        } else {
+            PackedRef::NULL
+        };
+        let name = if ctx.config().capture_names {
+            name.map(Arc::from)
+        } else {
+            None
+        };
+        TaskBody {
+            ctx: Arc::clone(ctx),
+            id,
+            name,
+            slot,
+            ledger: Ledger::new(ctx.config().ledger, tracks),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TaskBody>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with mutable access to the current task body, if any.
+pub(crate) fn with_current_body<R>(f: impl FnOnce(&mut TaskBody) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// The id of the task currently bound to this thread, if any.
+pub fn current_task_id() -> Option<TaskId> {
+    with_current_body(|b| b.id)
+}
+
+/// Whether this thread currently has an active task.
+pub fn has_current_task() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The context of the task currently bound to this thread, if any.
+pub fn current_context() -> Option<Arc<Context>> {
+    with_current_body(|b| Arc::clone(&b.ctx))
+}
+
+/// Returns `(slot, id, name)` of the current task *if* it belongs to `ctx`
+/// and is registered in the task arena.  Used by the deadlock detector.
+pub(crate) fn current_task_detection_info(
+    ctx: &Arc<Context>,
+) -> Option<(PackedRef, TaskId, Option<Arc<str>>)> {
+    with_current_body(|b| {
+        if Arc::ptr_eq(&b.ctx, ctx) && !b.slot.is_null() {
+            Some((b.slot, b.id, b.name.clone()))
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+fn install_current(body: TaskBody) {
+    CURRENT.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "a task is already active on this thread; nested task activation is not supported"
+        );
+        *slot = Some(body);
+    });
+}
+
+fn take_current() -> Option<TaskBody> {
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// A task that has been created — and has already received ownership of its
+/// transferred promises — but has not started executing yet.
+///
+/// Produced by [`ownership::prepare_task`]; a runtime moves it to a worker
+/// thread and calls [`PreparedTask::activate`] there.  Dropping a
+/// `PreparedTask` without activating it is equivalent to the task running an
+/// empty body: the rule-3 exit check still runs, so any transferred promises
+/// are reported as omitted sets rather than silently leaking obligations.
+pub struct PreparedTask {
+    pub(crate) body: Option<TaskBody>,
+}
+
+impl std::fmt::Debug for PreparedTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedTask")
+            .field("id", &self.id())
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+impl PreparedTask {
+    /// The stable id assigned to this task.
+    pub fn id(&self) -> TaskId {
+        self.body.as_ref().map(|b| b.id).unwrap_or(TaskId::NONE)
+    }
+
+    /// The task's name, if one was captured.
+    pub fn name(&self) -> Option<Arc<str>> {
+        self.body.as_ref().and_then(|b| b.name.clone())
+    }
+
+    /// Binds the task to the calling thread and returns the scope guard that
+    /// must be finished (or dropped) when the task's body completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread already has an active task.
+    pub fn activate(mut self) -> TaskScope {
+        let body = self.body.take().expect("PreparedTask::activate called twice");
+        let ctx = Arc::clone(&body.ctx);
+        let id = body.id;
+        let name = body.name.clone();
+        install_current(body);
+        TaskScope { ctx, id, name, finished: false }
+    }
+}
+
+impl Drop for PreparedTask {
+    fn drop(&mut self) {
+        if let Some(body) = self.body.take() {
+            // The task never ran: treat it as having terminated immediately.
+            let _ = ownership::finish_body(body, &[]);
+        }
+    }
+}
+
+/// RAII guard for a task that is currently running on this thread.
+///
+/// Finishing the scope performs the Algorithm 1 rule-3 exit check: if the
+/// task still owns unfulfilled promises, an omitted-set alarm is raised (and,
+/// by default, the abandoned promises are completed exceptionally so their
+/// waiters observe the failure).
+pub struct TaskScope {
+    ctx: Arc<Context>,
+    id: TaskId,
+    name: Option<Arc<str>>,
+    finished: bool,
+}
+
+impl TaskScope {
+    /// The id of the task this scope represents.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's name, if one was captured.
+    pub fn name(&self) -> Option<Arc<str>> {
+        self.name.clone()
+    }
+
+    /// The context this task belongs to.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.ctx
+    }
+
+    /// Ends the task, running the exit check.  Returns the omitted-set report
+    /// if the task abandoned any promises.
+    pub fn finish(mut self) -> Option<Arc<OmittedSetReport>> {
+        self.finish_impl(&[])
+    }
+
+    /// Ends the task, running the exit check but treating the listed promises
+    /// as "about to be fulfilled by the caller".
+    ///
+    /// This is used by runtimes whose task wrapper fulfills a completion
+    /// promise *after* the user body ends: that promise is legitimately still
+    /// owned at check time and must not be reported as an omitted set.
+    pub fn finish_excluding(mut self, exclude: &[PromiseId]) -> Option<Arc<OmittedSetReport>> {
+        self.finish_impl(exclude)
+    }
+
+    /// Ends the task in three steps:
+    ///
+    /// 1. run the rule-3 obligation scan (skipping `exclude`),
+    /// 2. call `epilogue` with the scan's result **while the task is still
+    ///    active**, so the epilogue may still `set` promises the task owns
+    ///    (typically the excluded join/result promise of a runtime wrapper),
+    /// 3. record the alarm, complete abandoned promises exceptionally, and
+    ///    retire the task.
+    ///
+    /// Returns the omitted-set report (if any) and the epilogue's value.
+    pub fn finish_with<R>(
+        mut self,
+        exclude: &[PromiseId],
+        epilogue: impl FnOnce(Option<&Arc<OmittedSetReport>>) -> R,
+    ) -> (Option<Arc<OmittedSetReport>>, R) {
+        assert!(!self.finished, "TaskScope already finished");
+        self.finished = true;
+        let obligations = with_current_body(|body| {
+            assert_eq!(body.id, self.id, "TaskScope does not match the thread's active task");
+            let obligations = ownership::compute_obligations(body, exclude);
+            obligations.record(&body.ctx);
+            obligations
+        })
+        .expect("TaskScope finished on a thread with no active task");
+        let out = epilogue(obligations.report.as_ref());
+        let body = take_current().expect("TaskScope finished on a thread with no active task");
+        let report = ownership::settle_obligations(body, obligations);
+        (report, out)
+    }
+
+    fn finish_impl(&mut self, exclude: &[PromiseId]) -> Option<Arc<OmittedSetReport>> {
+        if self.finished {
+            return None;
+        }
+        self.finished = true;
+        let body = take_current().expect("TaskScope finished on a thread with no active task");
+        assert_eq!(body.id, self.id, "TaskScope does not match the thread's active task");
+        ownership::finish_body(body, exclude)
+    }
+}
+
+impl Drop for TaskScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.finish_impl(&[]);
+        }
+    }
+}
+
+/// Alias emphasising the root-task use case of [`TaskScope`] (the guard
+/// returned by [`Context::root_task`]).
+pub type RootTask = TaskScope;
+
+impl Context {
+    /// Registers the calling thread as a *root task* of this context — the
+    /// equivalent of `Init` in Algorithm 1 — and returns the scope guard.
+    ///
+    /// All promise creation and task spawning must happen while some task is
+    /// active on the calling thread; runtimes call this (or spawn proper
+    /// tasks) before running user code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread already has an active task.
+    pub fn root_task(self: &Arc<Self>, name: Option<&str>) -> RootTask {
+        self.counters().record_task_spawned();
+        let body = TaskBody::create(self, name.or(Some("root")));
+        let id = body.id;
+        let name = body.name.clone();
+        let ctx = Arc::clone(self);
+        install_current(body);
+        TaskScope { ctx, id, name, finished: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+
+    #[test]
+    fn root_task_binds_and_unbinds_the_thread() {
+        let ctx = Context::new_verified();
+        assert!(!has_current_task());
+        let root = ctx.root_task(Some("main"));
+        assert!(has_current_task());
+        assert_eq!(current_task_id(), Some(root.id()));
+        assert_eq!(root.name().as_deref(), Some("main"));
+        assert_eq!(ctx.live_tasks(), 1);
+        let report = root.finish();
+        assert!(report.is_none());
+        assert!(!has_current_task());
+        assert_eq!(ctx.live_tasks(), 0);
+    }
+
+    #[test]
+    fn root_task_drop_also_unbinds() {
+        let ctx = Context::new_verified();
+        {
+            let _root = ctx.root_task(None);
+            assert!(has_current_task());
+        }
+        assert!(!has_current_task());
+        assert_eq!(ctx.live_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_root_tasks_panic() {
+        let ctx = Context::new_verified();
+        let _a = ctx.root_task(None);
+        let _b = ctx.root_task(None);
+    }
+
+    #[test]
+    fn unverified_context_does_not_register_task_slots() {
+        let ctx = Context::new(PolicyConfig::unverified());
+        let root = ctx.root_task(Some("main"));
+        assert_eq!(ctx.live_tasks(), 0, "baseline mode must not allocate task cells");
+        // Names are not captured in the baseline configuration either.
+        assert_eq!(root.name(), None);
+        root.finish();
+    }
+
+    #[test]
+    fn current_context_matches() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        let cur = current_context().unwrap();
+        assert!(Arc::ptr_eq(&cur, &ctx));
+        assert!(current_task_detection_info(&ctx).is_some());
+        let other = Context::new_verified();
+        assert!(current_task_detection_info(&other).is_none());
+    }
+
+    #[test]
+    fn ledger_modes_track_lengths() {
+        let mut lazy = Ledger::new(LedgerMode::Lazy, true);
+        let mut count = Ledger::new(LedgerMode::CountOnly, true);
+        let mut off = Ledger::new(LedgerMode::Lazy, false);
+        assert_eq!(lazy.recorded_len(), 0);
+        count.append_dummy();
+        count.release(PromiseId(1));
+        assert_eq!(count.recorded_len(), 0);
+        off.append_dummy();
+        assert_eq!(off.recorded_len(), 0);
+        lazy.release(PromiseId(42)); // no-op, nothing recorded
+        assert_eq!(lazy.recorded_len(), 0);
+    }
+
+    impl Ledger {
+        /// Test helper: bump a count-style ledger without a real promise.
+        fn append_dummy(&mut self) {
+            if let Ledger::Count(n) = self {
+                *n += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn task_ids_are_unique_across_threads() {
+        let ctx = Context::new_verified();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ctx = Arc::clone(&ctx);
+            handles.push(std::thread::spawn(move || {
+                let root = ctx.root_task(None);
+                let id = root.id();
+                root.finish();
+                id
+            }));
+        }
+        let mut ids: Vec<TaskId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+}

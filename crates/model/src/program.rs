@@ -1,0 +1,216 @@
+//! Abstract `L_p` programs (Definition 2.1).
+//!
+//! A program is a set of task bodies; each body is a list of synchronization
+//! instructions over named promises.  Task 0 is the root task.  `Async`
+//! instructions name the spawned task body and the promises whose ownership
+//! moves to it (Definition 2.2, rule 2).
+
+/// Index of a task body within a [`Program`].
+pub type TaskName = usize;
+/// Index of a promise within a [`Program`].
+pub type PromiseName = usize;
+
+/// One abstract synchronization instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `new p`: allocate promise `p`, owned by the executing task.
+    New(PromiseName),
+    /// `set p`: fulfil promise `p` (requires ownership under the policy).
+    Set(PromiseName),
+    /// `get p`: block until `p` is fulfilled.
+    Get(PromiseName),
+    /// `async (transfers) { task }`: spawn the given task body, moving the
+    /// listed promises to it.
+    Async {
+        /// The spawned task body.
+        task: TaskName,
+        /// Promises transferred to the new task.
+        transfers: Vec<PromiseName>,
+    },
+    /// Local work; no synchronization effect (used to vary interleavings).
+    Work,
+}
+
+/// An abstract task-parallel program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The body of every task; index 0 is the root.
+    pub tasks: Vec<Vec<Instr>>,
+    /// Total number of promise names used.
+    pub promises: usize,
+}
+
+impl Program {
+    /// Checks the static well-formedness conditions used by the simulator:
+    /// every referenced task/promise exists, every promise is `new`-ed at
+    /// most once, and every `Async` spawns a distinct non-root task at most
+    /// once (a tree of spawns).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut newed = vec![0usize; self.promises];
+        let mut spawned = vec![0usize; self.tasks.len()];
+        for (t, body) in self.tasks.iter().enumerate() {
+            for instr in body {
+                match instr {
+                    Instr::New(p) | Instr::Set(p) | Instr::Get(p) => {
+                        if *p >= self.promises {
+                            return Err(format!("task {t} references unknown promise {p}"));
+                        }
+                        if let Instr::New(p) = instr {
+                            newed[*p] += 1;
+                        }
+                    }
+                    Instr::Async { task, transfers } => {
+                        if *task >= self.tasks.len() || *task == 0 {
+                            return Err(format!("task {t} spawns invalid task {task}"));
+                        }
+                        spawned[*task] += 1;
+                        for p in transfers {
+                            if *p >= self.promises {
+                                return Err(format!("task {t} transfers unknown promise {p}"));
+                            }
+                        }
+                    }
+                    Instr::Work => {}
+                }
+            }
+        }
+        if let Some(p) = newed.iter().position(|&n| n > 1) {
+            return Err(format!("promise {p} is allocated more than once"));
+        }
+        if let Some(t) = spawned.iter().position(|&n| n > 1) {
+            return Err(format!("task {t} is spawned more than once"));
+        }
+        Ok(())
+    }
+}
+
+/// A small fluent builder for abstract programs.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Starts a program with `tasks` empty task bodies and `promises` promise
+    /// names.
+    pub fn new(tasks: usize, promises: usize) -> Self {
+        ProgramBuilder { program: Program { tasks: vec![Vec::new(); tasks], promises } }
+    }
+
+    /// Appends an instruction to a task body.
+    pub fn push(mut self, task: TaskName, instr: Instr) -> Self {
+        self.program.tasks[task].push(instr);
+        self
+    }
+
+    /// Finishes the program, validating it.
+    pub fn build(self) -> Program {
+        self.program.validate().expect("invalid program");
+        self.program
+    }
+}
+
+/// The two-task deadlock of the paper's Listing 1 (with the `async (q)`
+/// annotation of §2.1): the root creates `p`, `q`, spawns `t2` owning `q`;
+/// `t2` gets `p` then sets `q`; the root gets `q` then sets `p`.
+pub fn listing1() -> Program {
+    ProgramBuilder::new(2, 2)
+        .push(0, Instr::New(0)) // p
+        .push(0, Instr::New(1)) // q
+        .push(0, Instr::Async { task: 1, transfers: vec![1] })
+        .push(1, Instr::Get(0))
+        .push(1, Instr::Set(1))
+        .push(0, Instr::Get(1))
+        .push(0, Instr::Set(0))
+        .build()
+}
+
+/// The omitted set of the paper's Listing 2: `t3` takes `r` and `s`,
+/// delegates `s` to `t4`, which forgets to set it.
+pub fn listing2() -> Program {
+    ProgramBuilder::new(3, 2)
+        .push(0, Instr::New(0)) // r
+        .push(0, Instr::New(1)) // s
+        .push(0, Instr::Async { task: 1, transfers: vec![0, 1] }) // t3
+        .push(1, Instr::Async { task: 2, transfers: vec![1] }) // t4 (forgets s)
+        .push(2, Instr::Work)
+        .push(1, Instr::Set(0))
+        .push(0, Instr::Get(0))
+        .push(0, Instr::Get(1))
+        .build()
+}
+
+/// A correct producer/consumer program (no bug of either class).
+pub fn correct_pipeline() -> Program {
+    ProgramBuilder::new(3, 3)
+        .push(0, Instr::New(0))
+        .push(0, Instr::New(1))
+        .push(0, Instr::New(2))
+        .push(0, Instr::Async { task: 1, transfers: vec![0, 1] })
+        .push(1, Instr::Set(0))
+        .push(1, Instr::Work)
+        .push(1, Instr::Set(1))
+        .push(0, Instr::Async { task: 2, transfers: vec![2] })
+        .push(2, Instr::Get(0))
+        .push(2, Instr::Set(2))
+        .push(0, Instr::Get(1))
+        .push(0, Instr::Get(2))
+        .build()
+}
+
+/// A three-task deadlock ring: task i awaits the promise owned by task i+1.
+pub fn ring3() -> Program {
+    ProgramBuilder::new(3, 3)
+        .push(0, Instr::New(0))
+        .push(0, Instr::New(1))
+        .push(0, Instr::New(2))
+        .push(0, Instr::Async { task: 1, transfers: vec![1] })
+        .push(0, Instr::Async { task: 2, transfers: vec![2] })
+        // root owns p0 and waits on p1; t1 owns p1 and waits on p2; t2 owns
+        // p2 and waits on p0.
+        .push(1, Instr::Get(2))
+        .push(1, Instr::Set(1))
+        .push(2, Instr::Get(0))
+        .push(2, Instr::Set(2))
+        .push(0, Instr::Get(1))
+        .push(0, Instr::Set(0))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_validation() {
+        let p = listing1();
+        assert_eq!(p.tasks.len(), 2);
+        assert_eq!(p.promises, 2);
+        assert!(p.validate().is_ok());
+        assert!(listing2().validate().is_ok());
+        assert!(correct_pipeline().validate().is_ok());
+        assert!(ring3().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_programs() {
+        let bad = Program { tasks: vec![vec![Instr::Get(3)]], promises: 1 };
+        assert!(bad.validate().is_err());
+
+        let double_new =
+            Program { tasks: vec![vec![Instr::New(0), Instr::New(0)]], promises: 1 };
+        assert!(double_new.validate().is_err());
+
+        let double_spawn = Program {
+            tasks: vec![
+                vec![
+                    Instr::Async { task: 1, transfers: vec![] },
+                    Instr::Async { task: 1, transfers: vec![] },
+                ],
+                vec![],
+            ],
+            promises: 0,
+        };
+        assert!(double_spawn.validate().is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The step-wise simulator of the ownership policy and the detector.
+//!
+//! State per promise: allocated?, fulfilled?, `owner` (Definition 2.2).
+//! State per task: program counter, spawned?, terminated?, `waitingOn`
+//! (Algorithm 2), plus whether the publish step of an in-progress `get` has
+//! executed.
+//!
+//! A `get p` executes in two scheduler steps, mirroring Algorithm 2:
+//!
+//! 1. **publish** — `waitingOn := p` (line 3);
+//! 2. **verify** — traverse owner/waitingOn edges (lines 5–15): raise a
+//!    deadlock alarm if the chain returns to the task, otherwise block until
+//!    `p` is fulfilled (at which point `waitingOn` is cleared and the program
+//!    counter advances).
+//!
+//! Other tasks may be scheduled between the two steps, which is exactly the
+//! window in which the "mark before verify" discipline matters (§3.1).
+
+use crate::program::{Instr, Program, PromiseName, TaskName};
+
+/// The policy/algorithm events a simulation step can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepResult {
+    /// The instruction executed without raising anything.
+    Ok,
+    /// The task's `get` raised a deadlock alarm; the cycle's tasks are listed
+    /// starting with the detecting task.
+    DeadlockAlarm(Vec<TaskName>),
+    /// The task terminated still owning the listed promises (rule 3).
+    OmittedSetAlarm(Vec<PromiseName>),
+    /// A policy violation other than the two bug classes (set/transfer by a
+    /// non-owner, double set) — random programs may contain these.
+    PolicyViolation(String),
+}
+
+/// Terminal classification of one simulated execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Every task ran to completion with no alarm.
+    CleanTermination,
+    /// At least one deadlock alarm was raised.
+    Deadlock,
+    /// At least one omitted-set alarm was raised (and no deadlock).
+    OmittedSet,
+    /// A policy violation other than the two bug classes occurred.
+    PolicyViolation,
+    /// No task can make progress but no alarm was raised (only possible when
+    /// the detector is disabled — with the detector on, this would be a
+    /// missed deadlock).
+    Stuck,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PromiseState {
+    allocated: bool,
+    fulfilled: bool,
+    owner: Option<TaskName>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TaskState {
+    pc: usize,
+    spawned: bool,
+    terminated: bool,
+    waiting_on: Option<PromiseName>,
+    published: bool,
+    /// Promises this task currently owns (owner⁻¹, the ledger).
+    owned: Vec<PromiseName>,
+}
+
+/// The complete simulated machine state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimState {
+    program: Program,
+    promises: Vec<PromiseState>,
+    tasks: Vec<TaskState>,
+    detector_enabled: bool,
+    alarms: Vec<StepResult>,
+}
+
+impl SimState {
+    /// Initial state: only the root task (task 0) is runnable.
+    pub fn new(program: &Program, detector_enabled: bool) -> SimState {
+        let promises = (0..program.promises)
+            .map(|_| PromiseState { allocated: false, fulfilled: false, owner: None })
+            .collect();
+        let tasks = (0..program.tasks.len())
+            .map(|i| TaskState {
+                pc: 0,
+                spawned: i == 0,
+                terminated: false,
+                waiting_on: None,
+                published: false,
+                owned: Vec::new(),
+            })
+            .collect();
+        SimState {
+            program: program.clone(),
+            promises,
+            tasks,
+            detector_enabled,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// All alarms raised so far.
+    pub fn alarms(&self) -> &[StepResult] {
+        &self.alarms
+    }
+
+    /// The owner of a promise, as the policy currently records it.
+    pub fn owner_of(&self, p: PromiseName) -> Option<TaskName> {
+        self.promises[p].owner
+    }
+
+    /// The promise a task is currently (published as) waiting on.
+    pub fn waiting_on(&self, t: TaskName) -> Option<PromiseName> {
+        self.tasks[t].waiting_on
+    }
+
+    /// Whether every spawned task has terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.tasks.iter().all(|t| !t.spawned || t.terminated)
+    }
+
+    /// Tasks that can take a step right now.
+    pub fn enabled_tasks(&self) -> Vec<TaskName> {
+        (0..self.tasks.len()).filter(|&t| self.is_enabled(t)).collect()
+    }
+
+    fn is_enabled(&self, t: TaskName) -> bool {
+        let task = &self.tasks[t];
+        if !task.spawned || task.terminated {
+            return false;
+        }
+        match self.current_instr(t) {
+            None => true, // termination step (rule-3 exit check) still pending
+            Some(Instr::Get(p)) => {
+                if !task.published {
+                    true // the publish step can always run
+                } else {
+                    // The verify/block step runs when it can either alarm or
+                    // unblock; a blocked task with an unfulfilled promise and
+                    // no cycle through it is not enabled.
+                    self.promises[*p].fulfilled || self.would_detect_cycle(t, *p)
+                }
+            }
+            Some(_) => true,
+        }
+    }
+
+    fn current_instr(&self, t: TaskName) -> Option<&Instr> {
+        self.program.tasks[t].get(self.tasks[t].pc)
+    }
+
+    /// Algorithm 2's traversal on the simulated state (sequentially
+    /// consistent view): does the chain starting at `p0` lead back to `t0`?
+    /// Returns the cycle's tasks (starting at `t0`) if so.
+    fn detect_cycle(&self, t0: TaskName, p0: PromiseName) -> Option<Vec<TaskName>> {
+        let mut cycle = vec![t0];
+        let mut p = p0;
+        loop {
+            let owner = match self.promises[p].owner {
+                Some(o) => o,
+                None => return None, // fulfilled (or never allocated): progress
+            };
+            if owner == t0 {
+                return Some(cycle);
+            }
+            // The owner must itself have *published* a wait for the edge to
+            // count (line 9 reads waitingOn).
+            let next = match (self.tasks[owner].published, self.tasks[owner].waiting_on) {
+                (true, Some(next)) => next,
+                _ => return None,
+            };
+            if cycle.contains(&owner) {
+                // A cycle not involving t0: someone else will detect it.
+                return None;
+            }
+            cycle.push(owner);
+            p = next;
+        }
+    }
+
+    fn would_detect_cycle(&self, t0: TaskName, p0: PromiseName) -> bool {
+        self.detector_enabled && self.detect_cycle(t0, p0).is_some()
+    }
+
+    /// Executes one step of task `t`.  Panics if `t` is not enabled.
+    pub fn step(&mut self, t: TaskName) -> StepResult {
+        assert!(self.is_enabled(t), "task {t} is not enabled");
+        let instr = self.current_instr(t).cloned();
+        let result = match instr {
+            None => self.finish_task(t),
+            Some(Instr::Work) => {
+                self.tasks[t].pc += 1;
+                StepResult::Ok
+            }
+            Some(Instr::New(p)) => {
+                // Rule 1: the creating task becomes the owner.
+                self.promises[p] =
+                    PromiseState { allocated: true, fulfilled: false, owner: Some(t) };
+                self.tasks[t].owned.push(p);
+                self.tasks[t].pc += 1;
+                StepResult::Ok
+            }
+            Some(Instr::Set(p)) => {
+                self.tasks[t].pc += 1;
+                if self.promises[p].fulfilled {
+                    StepResult::PolicyViolation(format!("promise {p} set twice"))
+                } else if self.promises[p].owner != Some(t) {
+                    StepResult::PolicyViolation(format!("task {t} set promise {p} it does not own"))
+                } else {
+                    // Rule 4.
+                    self.promises[p].fulfilled = true;
+                    self.promises[p].owner = None;
+                    self.tasks[t].owned.retain(|&q| q != p);
+                    StepResult::Ok
+                }
+            }
+            Some(Instr::Async { task: child, transfers }) => {
+                self.tasks[t].pc += 1;
+                // Rule 2: the parent must own every transferred promise.
+                if let Some(&bad) =
+                    transfers.iter().find(|&&p| self.promises[p].owner != Some(t))
+                {
+                    StepResult::PolicyViolation(format!(
+                        "task {t} transferred promise {bad} it does not own"
+                    ))
+                } else {
+                    for &p in &transfers {
+                        self.promises[p].owner = Some(child);
+                        self.tasks[t].owned.retain(|&q| q != p);
+                        self.tasks[child].owned.push(p);
+                    }
+                    self.tasks[child].spawned = true;
+                    StepResult::Ok
+                }
+            }
+            Some(Instr::Get(p)) => {
+                if !self.tasks[t].published {
+                    // Step 1: publish waitingOn (Algorithm 2, line 3).
+                    self.tasks[t].waiting_on = Some(p);
+                    self.tasks[t].published = true;
+                    StepResult::Ok
+                } else if self.detector_enabled {
+                    // Step 2 with the detector: verify, then block/unblock.
+                    if let Some(cycle) = self.detect_cycle(t, p) {
+                        // Alarm; the task abandons the get (clears the mark)
+                        // and continues, mirroring an exception being raised.
+                        self.tasks[t].waiting_on = None;
+                        self.tasks[t].published = false;
+                        self.tasks[t].pc += 1;
+                        StepResult::DeadlockAlarm(cycle)
+                    } else {
+                        debug_assert!(self.promises[p].fulfilled, "verify step enabled without progress");
+                        self.tasks[t].waiting_on = None;
+                        self.tasks[t].published = false;
+                        self.tasks[t].pc += 1;
+                        StepResult::Ok
+                    }
+                } else {
+                    // Detector disabled: only a fulfilled promise unblocks.
+                    debug_assert!(self.promises[p].fulfilled);
+                    self.tasks[t].waiting_on = None;
+                    self.tasks[t].published = false;
+                    self.tasks[t].pc += 1;
+                    StepResult::Ok
+                }
+            }
+        };
+        if !matches!(result, StepResult::Ok) {
+            self.alarms.push(result.clone());
+        }
+        result
+    }
+
+    fn finish_task(&mut self, t: TaskName) -> StepResult {
+        self.tasks[t].terminated = true;
+        // Rule 3: the exit check.
+        let leftovers: Vec<PromiseName> = self.tasks[t]
+            .owned
+            .iter()
+            .copied()
+            .filter(|&p| self.promises[p].owner == Some(t) && !self.promises[p].fulfilled)
+            .collect();
+        if leftovers.is_empty() {
+            StepResult::Ok
+        } else {
+            // As in §6.2, the abandoned promises are completed exceptionally
+            // so that waiters do not hang.
+            for &p in &leftovers {
+                self.promises[p].fulfilled = true;
+                self.promises[p].owner = None;
+            }
+            StepResult::OmittedSetAlarm(leftovers)
+        }
+    }
+
+    /// Classifies the current (terminal or stuck) state.
+    pub fn outcome(&self) -> SimOutcome {
+        if self.alarms.iter().any(|a| matches!(a, StepResult::DeadlockAlarm(_))) {
+            SimOutcome::Deadlock
+        } else if self.alarms.iter().any(|a| matches!(a, StepResult::PolicyViolation(_))) {
+            SimOutcome::PolicyViolation
+        } else if self.alarms.iter().any(|a| matches!(a, StepResult::OmittedSetAlarm(_))) {
+            SimOutcome::OmittedSet
+        } else if self.all_terminated() {
+            SimOutcome::CleanTermination
+        } else if self.enabled_tasks().is_empty() {
+            SimOutcome::Stuck
+        } else {
+            // Not terminal yet; callers only ask for the outcome at the end.
+            SimOutcome::CleanTermination
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program;
+
+    /// Run with a fixed round-robin schedule until quiescence.
+    fn run_round_robin(p: &Program, detector: bool) -> (SimState, SimOutcome) {
+        let mut state = SimState::new(p, detector);
+        let mut steps = 0;
+        loop {
+            let enabled = state.enabled_tasks();
+            if enabled.is_empty() {
+                break;
+            }
+            let t = enabled[steps % enabled.len()];
+            state.step(t);
+            steps += 1;
+            assert!(steps < 10_000, "runaway simulation");
+        }
+        let outcome = state.outcome();
+        (state, outcome)
+    }
+
+    #[test]
+    fn correct_program_terminates_cleanly() {
+        let (_, outcome) = run_round_robin(&program::correct_pipeline(), true);
+        assert_eq!(outcome, SimOutcome::CleanTermination);
+    }
+
+    #[test]
+    fn listing1_deadlocks_with_detector_and_alarms() {
+        let (state, outcome) = run_round_robin(&program::listing1(), true);
+        assert_eq!(outcome, SimOutcome::Deadlock);
+        assert!(state
+            .alarms()
+            .iter()
+            .any(|a| matches!(a, StepResult::DeadlockAlarm(c) if c.len() == 2)));
+    }
+
+    #[test]
+    fn listing1_without_detector_gets_stuck_silently() {
+        let (_, outcome) = run_round_robin(&program::listing1(), false);
+        assert_eq!(outcome, SimOutcome::Stuck);
+    }
+
+    #[test]
+    fn listing2_reports_the_omitted_set_and_unblocks_the_root() {
+        let (state, outcome) = run_round_robin(&program::listing2(), true);
+        assert_eq!(outcome, SimOutcome::OmittedSet);
+        // The abandoned promise is promise 1 (`s`).
+        assert!(state
+            .alarms()
+            .iter()
+            .any(|a| matches!(a, StepResult::OmittedSetAlarm(ps) if ps == &vec![1])));
+        assert!(state.all_terminated(), "the root must not hang on the abandoned promise");
+    }
+
+    #[test]
+    fn ring3_deadlocks() {
+        let (_, outcome) = run_round_robin(&program::ring3(), true);
+        assert_eq!(outcome, SimOutcome::Deadlock);
+    }
+
+    #[test]
+    fn ownership_queries_reflect_transfers() {
+        let p = program::listing1();
+        let mut state = SimState::new(&p, true);
+        state.step(0); // new p
+        state.step(0); // new q
+        assert_eq!(state.owner_of(0), Some(0));
+        assert_eq!(state.owner_of(1), Some(0));
+        state.step(0); // async t2 (q)
+        assert_eq!(state.owner_of(1), Some(1));
+        // t2 publishes its wait on p.
+        state.step(1);
+        assert_eq!(state.waiting_on(1), Some(0));
+    }
+}

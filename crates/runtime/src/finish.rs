@@ -1,0 +1,94 @@
+//! A `finish`-style scope that awaits the termination of a dynamic set of
+//! tasks.
+//!
+//! The paper's QSort benchmark uses the Habanero `finish` construct,
+//! re-implemented on top of promises ("We implemented the finish construct,
+//! which awaits task termination using promises", §6.3).  [`finish`] provides
+//! the same structure here: every task spawned through the scope — including
+//! tasks spawned by other tasks that captured a clone of the scope — is
+//! joined before `finish` returns.  Joining uses each task's completion
+//! promise, so the waits are ordinary promise `get`s and fully participate in
+//! deadlock detection.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use promise_core::{PromiseCollection, PromiseError};
+
+use crate::handle::TaskHandle;
+use crate::spawn::try_spawn_named;
+
+/// A cloneable scope registering tasks to be awaited by [`finish`].
+#[derive(Clone)]
+pub struct FinishScope {
+    pending: Arc<Mutex<Vec<TaskHandle<()>>>>,
+}
+
+impl FinishScope {
+    fn new() -> Self {
+        FinishScope { pending: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Spawns a task within the scope; it will be awaited before the
+    /// enclosing [`finish`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on spawn failure (no current task, refused transfer).
+    pub fn spawn<C, F>(&self, transfers: C, f: F)
+    where
+        C: PromiseCollection,
+        F: FnOnce() + Send + 'static,
+    {
+        self.spawn_named("finish-task", transfers, f)
+    }
+
+    /// Like [`spawn`](Self::spawn) with an explicit task name.
+    pub fn spawn_named<C, F>(&self, name: &str, transfers: C, f: F)
+    where
+        C: PromiseCollection,
+        F: FnOnce() + Send + 'static,
+    {
+        let handle = try_spawn_named(Some(name), transfers, f).expect("finish scope spawn failed");
+        self.pending.lock().push(handle);
+    }
+
+    /// Number of tasks registered and not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    fn drain(&self) -> Result<(), PromiseError> {
+        let mut first_error: Option<PromiseError> = None;
+        loop {
+            let next = self.pending.lock().pop();
+            match next {
+                None => break,
+                Some(handle) => {
+                    if let Err(e) = handle.join() {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// Runs `body` with a [`FinishScope`] and then joins every task registered in
+/// it (including tasks registered while joining), returning the body's value.
+///
+/// If any awaited task failed (panic, omitted set, deadlock), the first such
+/// error is returned after all tasks have been joined.
+pub fn finish<R>(body: impl FnOnce(&FinishScope) -> R) -> Result<R, PromiseError> {
+    let scope = FinishScope::new();
+    let out = body(&scope);
+    scope.drain()?;
+    Ok(out)
+}

@@ -1,0 +1,99 @@
+//! Joinable task handles.
+//!
+//! A [`TaskHandle`] is the runtime's realisation of the paper's observation
+//! (§2.1) that a future is just the pattern
+//! `new p; async (p, …) { …; set p }`: every spawned task owns an internal
+//! *completion promise* which it fulfills as its very last action.  Joining
+//! the handle is a `get` on that promise, so joins participate in deadlock
+//! detection exactly like any other promise wait.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use promise_core::{Promise, PromiseError, TaskId};
+
+/// A handle to a spawned task, usable to await its termination and retrieve
+/// its result.
+pub struct TaskHandle<R> {
+    task_id: TaskId,
+    name: Option<Arc<str>>,
+    completion: Promise<()>,
+    result: Arc<Mutex<Option<R>>>,
+}
+
+impl<R> TaskHandle<R> {
+    pub(crate) fn new(
+        task_id: TaskId,
+        name: Option<Arc<str>>,
+        completion: Promise<()>,
+        result: Arc<Mutex<Option<R>>>,
+    ) -> Self {
+        TaskHandle { task_id, name, completion, result }
+    }
+
+    /// The id of the spawned task.
+    pub fn id(&self) -> TaskId {
+        self.task_id
+    }
+
+    /// The task's name, if one was captured.
+    pub fn name(&self) -> Option<Arc<str>> {
+        self.name.clone()
+    }
+
+    /// Whether the task has terminated (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.completion.is_fulfilled()
+    }
+
+    /// The completion promise backing this handle.  Exposed so that waiting
+    /// on "any of these tasks" patterns can be built; most code should just
+    /// call [`join`](Self::join).
+    pub fn completion(&self) -> &Promise<()> {
+        &self.completion
+    }
+
+    /// Blocks until the task terminates, without consuming the handle or
+    /// retrieving the result.
+    ///
+    /// Returns an error if the task panicked, violated the ownership policy
+    /// on exit (omitted set), or if waiting would deadlock.
+    pub fn wait(&self) -> Result<(), PromiseError> {
+        self.completion.wait()
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound on the blocking time.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<(), PromiseError> {
+        self.completion.get_timeout(timeout).map(|_| ())
+    }
+
+    /// Blocks until the task terminates and returns its result.
+    ///
+    /// Errors:
+    /// * [`PromiseError::TaskFailed`] if the task panicked;
+    /// * [`PromiseError::OmittedSet`] if the task terminated while still
+    ///   owning unfulfilled promises;
+    /// * [`PromiseError::DeadlockDetected`] if this join would complete a
+    ///   deadlock cycle.
+    pub fn join(self) -> Result<R, PromiseError> {
+        self.completion.get()?;
+        let value = self
+            .result
+            .lock()
+            .take()
+            .expect("task completed successfully but produced no result value");
+        Ok(value)
+    }
+}
+
+impl<R> std::fmt::Debug for TaskHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("task", &self.task_id)
+            .field("name", &self.name)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}

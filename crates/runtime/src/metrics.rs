@@ -1,0 +1,58 @@
+//! Per-run measurement data.
+//!
+//! Table 1 of the paper reports, for every benchmark, the baseline execution
+//! time, the number of tasks, and the rates of `get` and `set` operations per
+//! millisecond.  [`RunMetrics`] carries exactly that information for one
+//! measured [`Runtime::measure`](crate::Runtime::measure) call.
+
+use std::time::Duration;
+
+use promise_core::CounterSnapshot;
+
+use crate::pool::PoolStats;
+
+/// Measurements of one workload run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Event counts accumulated during the run (tasks, gets, sets, …).
+    pub counters: CounterSnapshot,
+    /// Thread-pool statistics at the end of the run.
+    pub pool: PoolStats,
+    /// High-water mark of simultaneously live tasks (0 in baseline mode).
+    pub peak_live_tasks: usize,
+    /// High-water mark of simultaneously live promises (0 in baseline mode).
+    pub peak_live_promises: usize,
+}
+
+impl RunMetrics {
+    /// Total tasks spawned during the run (including the root task).
+    pub fn tasks(&self) -> u64 {
+        self.counters.tasks_spawned
+    }
+
+    /// Average `get` operations per millisecond (Table 1 "Gets/ms").
+    pub fn gets_per_ms(&self) -> f64 {
+        self.counters.gets_per_ms(self.wall)
+    }
+
+    /// Average `set` operations per millisecond (Table 1 "Sets/ms").
+    pub fn sets_per_ms(&self) -> f64 {
+        self.counters.sets_per_ms(self.wall)
+    }
+}
+
+impl std::fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wall={:.3}s tasks={} gets/ms={:.2} sets/ms={:.2} peak_threads={}",
+            self.wall.as_secs_f64(),
+            self.tasks(),
+            self.gets_per_ms(),
+            self.sets_per_ms(),
+            self.pool.peak_workers,
+        )
+    }
+}

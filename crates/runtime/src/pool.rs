@@ -1,0 +1,345 @@
+//! A growing thread pool.
+//!
+//! The paper's evaluation notes (§6.3): *"A thread pool schedules
+//! asynchronous tasks by spawning a new thread for a new task when all
+//! existing threads are in use.  This execution strategy is necessary in
+//! general for promises because there is no a priori bound on the number of
+//! tasks that can block simultaneously."*
+//!
+//! [`GrowingPool`] implements exactly that strategy: submitted jobs are
+//! queued; if no worker is idle at submission time a new worker thread is
+//! started.  Idle workers park on a condition variable and retire after a
+//! configurable keep-alive period, so the pool shrinks again after bursts of
+//! blocking tasks.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use promise_core::Executor;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configuration of a [`GrowingPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Prefix of worker thread names (`<prefix>-<n>`).
+    pub thread_name_prefix: String,
+    /// How long an idle worker waits for new work before retiring.
+    pub keep_alive: Duration,
+    /// Stack size for worker threads (`None` = platform default).
+    pub stack_size: Option<usize>,
+    /// Number of workers started eagerly at pool creation.
+    pub initial_workers: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            thread_name_prefix: "promise-worker".to_string(),
+            keep_alive: Duration::from_millis(200),
+            stack_size: None,
+            initial_workers: 0,
+        }
+    }
+}
+
+/// Counters describing the pool's activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers currently alive.
+    pub current_workers: usize,
+    /// Workers currently idle (parked waiting for work).
+    pub idle_workers: usize,
+    /// Highest number of simultaneously alive workers.
+    pub peak_workers: usize,
+    /// Total worker threads ever started.
+    pub threads_started: usize,
+    /// Total jobs executed to completion.
+    pub jobs_executed: usize,
+    /// Jobs currently queued.
+    pub queued_jobs: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    idle_workers: usize,
+    current_workers: usize,
+    peak_workers: usize,
+    threads_started: usize,
+    jobs_executed: usize,
+    shutdown: bool,
+    joiners: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+    config: PoolConfig,
+}
+
+/// A thread pool that grows whenever a job arrives and no worker is idle.
+pub struct GrowingPool {
+    inner: Arc<PoolInner>,
+}
+
+impl GrowingPool {
+    /// Creates a pool with the given configuration.
+    pub fn new(config: PoolConfig) -> Arc<GrowingPool> {
+        let pool = Arc::new(GrowingPool {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    idle_workers: 0,
+                    current_workers: 0,
+                    peak_workers: 0,
+                    threads_started: 0,
+                    jobs_executed: 0,
+                    shutdown: false,
+                    joiners: Vec::new(),
+                }),
+                work_available: Condvar::new(),
+                config,
+            }),
+        });
+        let eager = pool.inner.config.initial_workers;
+        if eager > 0 {
+            let mut state = pool.inner.state.lock();
+            for _ in 0..eager {
+                Self::spawn_worker(&pool.inner, &mut state);
+            }
+        }
+        pool
+    }
+
+    /// Creates a pool with the default configuration.
+    pub fn with_defaults() -> Arc<GrowingPool> {
+        Self::new(PoolConfig::default())
+    }
+
+    /// Submits a job.  Returns `false` (dropping the job) if the pool has
+    /// been shut down.
+    pub fn submit(&self, job: Job) -> bool {
+        let mut state = self.inner.state.lock();
+        if state.shutdown {
+            return false;
+        }
+        state.queue.push_back(job);
+        if state.idle_workers == 0 {
+            // Every live worker is busy (possibly blocked on a promise):
+            // grow the pool so the new task can make progress.
+            Self::spawn_worker(&self.inner, &mut state);
+        } else {
+            self.inner.work_available.notify_one();
+        }
+        true
+    }
+
+    fn spawn_worker(inner: &Arc<PoolInner>, state: &mut PoolState) {
+        state.current_workers += 1;
+        state.threads_started += 1;
+        state.peak_workers = state.peak_workers.max(state.current_workers);
+        let worker_idx = state.threads_started;
+        let inner2 = Arc::clone(inner);
+        let mut builder = std::thread::Builder::new()
+            .name(format!("{}-{}", inner.config.thread_name_prefix, worker_idx));
+        if let Some(sz) = inner.config.stack_size {
+            builder = builder.stack_size(sz);
+        }
+        let handle = builder
+            .spawn(move || Self::worker_loop(inner2))
+            .expect("failed to spawn pool worker thread");
+        state.joiners.push(handle);
+    }
+
+    fn worker_loop(inner: Arc<PoolInner>) {
+        let keep_alive = inner.config.keep_alive;
+        let mut state = inner.state.lock();
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                drop(state);
+                // A panicking job must not take the worker down: panics are
+                // caught and surfaced through the task's promises by the
+                // spawn wrapper; at this level we only keep the pool alive.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                state = inner.state.lock();
+                state.jobs_executed += 1;
+                continue;
+            }
+            if state.shutdown {
+                break;
+            }
+            state.idle_workers += 1;
+            let timed_out = inner
+                .work_available
+                .wait_for(&mut state, keep_alive)
+                .timed_out();
+            state.idle_workers -= 1;
+            if timed_out && state.queue.is_empty() {
+                if state.shutdown {
+                    break;
+                }
+                // Retire this worker; the pool will grow again on demand.
+                break;
+            }
+        }
+        state.current_workers -= 1;
+    }
+
+    /// Current activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let state = self.inner.state.lock();
+        PoolStats {
+            current_workers: state.current_workers,
+            idle_workers: state.idle_workers,
+            peak_workers: state.peak_workers,
+            threads_started: state.threads_started,
+            jobs_executed: state.jobs_executed,
+            queued_jobs: state.queue.len(),
+        }
+    }
+
+    /// Stops accepting new jobs, wakes idle workers, and waits for all
+    /// workers (and all queued jobs) to finish.
+    pub fn shutdown(&self) {
+        let joiners = {
+            let mut state = self.inner.state.lock();
+            state.shutdown = true;
+            self.inner.work_available.notify_all();
+            std::mem::take(&mut state.joiners)
+        };
+        for j in joiners {
+            // A worker never panics (jobs are unwound-caught), but be robust.
+            let _ = j.join();
+        }
+    }
+}
+
+impl Executor for GrowingPool {
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+        let accepted = self.submit(job);
+        debug_assert!(accepted, "job submitted to a pool that is shut down");
+    }
+}
+
+impl Drop for GrowingPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = GrowingPool::with_defaults();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        let stats = pool.stats();
+        assert!(stats.threads_started >= 1);
+    }
+
+    #[test]
+    fn grows_when_all_workers_block() {
+        // Submit several jobs that all block on the same channel: each
+        // submission must find no idle worker and start a new thread, so all
+        // jobs run concurrently even though each one blocks.
+        let pool = GrowingPool::with_defaults();
+        let n = 8;
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let (started_tx, started_rx) = mpsc::channel();
+        for _ in 0..n {
+            let started_tx = started_tx.clone();
+            let release_rx = Arc::clone(&release_rx);
+            pool.submit(Box::new(move || {
+                started_tx.send(()).unwrap();
+                let guard = release_rx.lock();
+                let _ = guard.recv_timeout(Duration::from_secs(10));
+            }));
+        }
+        for _ in 0..n {
+            started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            pool.stats().peak_workers >= n,
+            "the pool must have grown to at least {} workers, saw {:?}",
+            n,
+            pool.stats()
+        );
+        for _ in 0..n {
+            release_tx.send(()).unwrap();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = GrowingPool::with_defaults();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(|| panic!("job panic")));
+        pool.submit(Box::new(move || tx.send(42).unwrap()));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn shutdown_runs_queued_jobs_and_rejects_new_ones() {
+        let pool = GrowingPool::with_defaults();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        assert!(!pool.submit(Box::new(|| {})), "pool must reject jobs after shutdown");
+        assert_eq!(pool.stats().current_workers, 0);
+    }
+
+    #[test]
+    fn idle_workers_retire_after_keep_alive() {
+        let pool = GrowingPool::new(PoolConfig {
+            keep_alive: Duration::from_millis(20),
+            ..PoolConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || tx.send(()).unwrap()));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Give the worker time to time out and retire.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(pool.stats().current_workers, 0);
+        // The pool still works afterwards.
+        let (tx2, rx2) = mpsc::channel();
+        pool.submit(Box::new(move || tx2.send(7).unwrap()));
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+    }
+
+    #[test]
+    fn initial_workers_are_started_eagerly() {
+        let pool = GrowingPool::new(PoolConfig { initial_workers: 3, ..PoolConfig::default() });
+        // Started eagerly even before any job is submitted.
+        assert_eq!(pool.stats().threads_started, 3);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,185 @@
+//! The runtime object: a verification [`Context`] plus a growing thread pool.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use promise_core::{
+    Context, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError, VerificationMode,
+};
+
+use crate::metrics::RunMetrics;
+use crate::pool::{GrowingPool, PoolConfig, PoolStats};
+
+/// Builder for [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeBuilder {
+    policy: PolicyConfig,
+    pool: PoolConfig,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder { policy: PolicyConfig::verified(), pool: PoolConfig::default() }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Starts from the default (fully verified) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the verification mode (baseline / ownership-only / full).
+    pub fn verification(mut self, mode: VerificationMode) -> Self {
+        self.policy.mode = mode;
+        // The unverified baseline of the evaluation also skips name capture.
+        if mode == VerificationMode::Unverified {
+            self.policy.capture_names = false;
+        }
+        self
+    }
+
+    /// Sets the owned-ledger representation (§6.2 trade-off).
+    pub fn ledger(mut self, ledger: LedgerMode) -> Self {
+        self.policy.ledger = ledger;
+        self
+    }
+
+    /// Sets the reaction to omitted sets.
+    pub fn omitted_set(mut self, action: OmittedSetAction) -> Self {
+        self.policy.omitted_set = action;
+        self
+    }
+
+    /// Enables or disables task/promise name capture.
+    pub fn capture_names(mut self, capture: bool) -> Self {
+        self.policy.capture_names = capture;
+        self
+    }
+
+    /// Replaces the whole policy configuration.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// How long idle pool workers linger before retiring.
+    pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
+        self.pool.keep_alive = keep_alive;
+        self
+    }
+
+    /// Number of worker threads started eagerly.
+    pub fn initial_workers(mut self, n: usize) -> Self {
+        self.pool.initial_workers = n;
+        self
+    }
+
+    /// Prefix for worker thread names.
+    pub fn thread_name_prefix(mut self, prefix: &str) -> Self {
+        self.pool.thread_name_prefix = prefix.to_string();
+        self
+    }
+
+    /// Builds the runtime: creates the context, creates the pool, and
+    /// installs the pool as the context's executor.
+    pub fn build(self) -> Runtime {
+        let ctx = Context::new(self.policy);
+        let pool = GrowingPool::new(self.pool);
+        let installed = ctx.set_executor(pool.clone());
+        debug_assert!(installed);
+        Runtime { ctx, pool }
+    }
+}
+
+/// A promise runtime: verification context + growing thread pool.
+///
+/// Dropping the runtime shuts the pool down (waiting for queued tasks).
+pub struct Runtime {
+    ctx: Arc<Context>,
+    pool: Arc<GrowingPool>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    /// A fully verified runtime with default settings.
+    pub fn new() -> Runtime {
+        Runtime::builder().build()
+    }
+
+    /// An unverified baseline runtime (the comparison point of the paper's
+    /// evaluation).
+    pub fn unverified() -> Runtime {
+        Runtime::builder().verification(VerificationMode::Unverified).build()
+    }
+
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// The verification context of this runtime.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.ctx
+    }
+
+    /// Thread-pool activity counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Runs `f` as the *root task* of this runtime on the calling thread
+    /// (the `Init` procedure of Algorithm 1), returning its result.
+    ///
+    /// Promise creation and task spawning are only legal while some task is
+    /// active, so workloads run inside `block_on` (or inside tasks spawned
+    /// from it).  If the root task itself terminates while still owning
+    /// unfulfilled promises, the omitted-set report is returned as an error
+    /// (the closure's return value is discarded in that case).
+    pub fn block_on<R>(&self, f: impl FnOnce() -> R) -> Result<R, PromiseError> {
+        let root = self.ctx.root_task(Some("root"));
+        let out = f();
+        match root.finish() {
+            None => Ok(out),
+            Some(report) => Err(PromiseError::OmittedSet(report)),
+        }
+    }
+
+    /// Like [`block_on`](Self::block_on), additionally measuring wall time
+    /// and the event counts of the run (tasks, gets, sets, …), which is what
+    /// the Table 1 harness consumes.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> Result<(R, RunMetrics), PromiseError> {
+        let before = self.ctx.counter_snapshot();
+        let start = Instant::now();
+        let out = self.block_on(f)?;
+        let wall = start.elapsed();
+        let after = self.ctx.counter_snapshot();
+        let metrics = RunMetrics {
+            wall,
+            counters: after.since(&before),
+            pool: self.pool.stats(),
+            peak_live_tasks: self.ctx.peak_live_tasks(),
+            peak_live_promises: self.ctx.peak_live_promises(),
+        };
+        Ok((out, metrics))
+    }
+
+    /// Shuts down the pool, waiting for queued tasks to finish.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("mode", &self.ctx.config().mode)
+            .field("pool", &self.pool.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,173 @@
+//! Spawning tasks with promise-ownership transfer.
+//!
+//! [`spawn`] is the runtime counterpart of the paper's annotated
+//! `async (p1, …, pn) { … }` construct: the promises listed in the transfer
+//! collection move from the calling (parent) task to the new child *before*
+//! the child becomes runnable (Algorithm 1, rule 2), and when the child's
+//! body ends the rule-3 exit check runs, detecting omitted sets.
+//!
+//! On top of the paper's construct, every spawned task carries an implicit
+//! *completion promise* used by [`TaskHandle::join`]:
+//!
+//! * if the body returns normally and the task fulfilled all of its owned
+//!   promises, the completion promise is `set` and `join` yields the body's
+//!   return value;
+//! * if the task terminated while still owning unfulfilled promises, the
+//!   completion promise carries the omitted-set report, so the parent's
+//!   `join` observes the violation (in addition to the context-level alarm
+//!   and the exceptional completion of the abandoned promises themselves);
+//! * if the body panicked, the completion promise carries
+//!   [`PromiseError::TaskFailed`], and any promises the task still owned are
+//!   reported and completed exceptionally, mirroring the AWS SDK bug fix the
+//!   paper discusses (§1.4, §6.2).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use promise_core::ownership;
+use promise_core::task::{self, PreparedTask};
+use promise_core::{collect_promises, Promise, PromiseCollection, PromiseError};
+
+use crate::handle::TaskHandle;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+/// Spawns `f` as a new task, transferring ownership of every promise in
+/// `transfers` to it.  Panics on policy violations (use [`try_spawn`] for the
+/// fallible form).
+///
+/// # Panics
+///
+/// Panics if the calling thread has no active task, if the parent does not
+/// own one of the transferred promises, or if no executor is installed.
+pub fn spawn<C, F, R>(transfers: C, f: F) -> TaskHandle<R>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    try_spawn(transfers, f).expect("spawn failed")
+}
+
+/// Like [`spawn`] but gives the task a name that appears in alarms.
+pub fn spawn_named<C, F, R>(name: &str, transfers: C, f: F) -> TaskHandle<R>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    try_spawn_named(Some(name), transfers, f).expect("spawn failed")
+}
+
+/// Fallible form of [`spawn`].
+pub fn try_spawn<C, F, R>(transfers: C, f: F) -> Result<TaskHandle<R>, PromiseError>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    try_spawn_named(None, transfers, f)
+}
+
+/// Fallible form of [`spawn_named`].
+pub fn try_spawn_named<C, F, R>(
+    name: Option<&str>,
+    transfers: C,
+    f: F,
+) -> Result<TaskHandle<R>, PromiseError>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let ctx = task::current_context()
+        .ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
+
+    // The implicit join promise of §2.1: created by the parent, transferred
+    // to (and eventually fulfilled by) the child.
+    let completion = if ctx.config().capture_names {
+        let label = format!("{}::completion", name.unwrap_or("task"));
+        Promise::<()>::try_new(Some(&label))?
+    } else {
+        Promise::<()>::try_new(None)?
+    };
+
+    let mut list = collect_promises(&transfers);
+    list.push(completion.as_erased());
+    let prepared = ownership::prepare_task(name, list)?;
+    let task_id = prepared.id();
+    let task_name = prepared.name();
+
+    let executor = ctx.executor().expect(
+        "no executor installed in this Context; spawn tasks from within a Runtime (block_on)",
+    );
+
+    let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+    let result_in_task = Arc::clone(&result);
+    let completion_in_task = completion.clone();
+    executor.execute(Box::new(move || {
+        run_task(prepared, f, completion_in_task, result_in_task);
+    }));
+
+    Ok(TaskHandle::new(task_id, task_name, completion, result))
+}
+
+/// The wrapper that executes a prepared task on a worker thread: activate,
+/// run the body, perform the exit check, and settle the completion promise.
+fn run_task<F, R>(
+    prepared: PreparedTask,
+    f: F,
+    completion: Promise<()>,
+    result: Arc<Mutex<Option<R>>>,
+) where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let scope = prepared.activate();
+    let task_id = scope.id();
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    let panic_msg = match outcome {
+        Ok(value) => {
+            *result.lock() = Some(value);
+            None
+        }
+        Err(payload) => Some(panic_message(payload)),
+    };
+
+    let completion_id = completion.id();
+    // Exit check (Algorithm 1 rule 3), with the completion promise excluded:
+    // it is fulfilled in the epilogue below, while the task is still active.
+    let (_report, ()) = scope.finish_with(&[completion_id], |report| {
+        match (&panic_msg, report) {
+            (None, None) => {
+                // Clean termination: all obligations met.
+                let _ = completion.set(());
+            }
+            (None, Some(report)) => {
+                // The body returned but abandoned owned promises: surface the
+                // omitted set to the joiner as well.
+                completion
+                    .as_erased()
+                    .complete_abandoned(PromiseError::OmittedSet(Arc::clone(report)));
+            }
+            (Some(msg), _) => {
+                // The body panicked: the joiner observes the failure; any
+                // abandoned promises are settled (and blamed) separately.
+                completion.as_erased().complete_abandoned(PromiseError::TaskFailed {
+                    task: task_id,
+                    message: Arc::from(msg.as_str()),
+                });
+            }
+        }
+    });
+}

@@ -1,0 +1,240 @@
+//! Heap-usage accounting.
+//!
+//! The paper measures "average memory usage by sampling every 10 ms" (§6.3).
+//! Instead of sampling an external process metric (which would include JIT
+//! and GC noise on the JVM, and allocator slack here), this module counts
+//! live heap bytes exactly:
+//!
+//! * [`CountingAllocator`] wraps the system allocator and maintains a global
+//!   count of currently allocated bytes (and a peak).  A benchmark binary
+//!   installs it with `#[global_allocator]`.
+//! * [`MemorySampler`] is a background thread that samples the live-byte
+//!   count at a fixed interval and reports the average and peak over the
+//!   sampled window — the direct analogue of the paper's 10 ms sampler.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Globally shared allocation counters (maintained by [`CountingAllocator`]).
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` wrapper around the system allocator that tracks
+/// live bytes, peak bytes, and allocation counts.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; the only extra work is atomic
+// counter maintenance, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            TOTAL_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            TOTAL_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE_BYTES.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+                TOTAL_ALLOCATED.fetch_add(grow as u64, Ordering::Relaxed);
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+            TOTAL_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        new_ptr
+    }
+}
+
+/// Point-in-time view of the allocation counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: usize,
+    /// Highest live-byte count observed since process start.
+    pub peak_bytes: usize,
+    /// Total bytes ever allocated.
+    pub total_allocated: u64,
+    /// Total number of allocation (and reallocation) calls.
+    pub total_allocations: u64,
+}
+
+impl AllocStats {
+    /// Reads the current counters.  All values are zero unless the binary
+    /// installed [`CountingAllocator`] as its global allocator.
+    pub fn snapshot() -> AllocStats {
+        AllocStats {
+            live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+            peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+            total_allocated: TOTAL_ALLOCATED.load(Ordering::Relaxed),
+            total_allocations: TOTAL_ALLOCATIONS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether allocation tracking is active (heuristically: anything has
+    /// been counted).
+    pub fn tracking_active() -> bool {
+        TOTAL_ALLOCATIONS.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// Result of one sampling window.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct MemoryUsage {
+    /// Average live bytes over the window.
+    pub average_bytes: f64,
+    /// Maximum live bytes observed during the window.
+    pub peak_bytes: usize,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl MemoryUsage {
+    /// Average usage in megabytes (the unit Table 1 reports).
+    pub fn average_mb(&self) -> f64 {
+        self.average_bytes / (1024.0 * 1024.0)
+    }
+
+    /// Peak usage in megabytes.
+    pub fn peak_mb(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// A background thread sampling [`AllocStats::snapshot`] at a fixed interval
+/// (default 10 ms, as in the paper) and aggregating average / peak live
+/// bytes.
+pub struct MemorySampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<MemoryUsage>>,
+}
+
+impl MemorySampler {
+    /// Starts sampling every `interval` until [`stop`](Self::stop) is called.
+    pub fn start(interval: Duration) -> MemorySampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("memory-sampler".to_string())
+            .spawn(move || {
+                let mut sum: f64 = 0.0;
+                let mut peak: usize = 0;
+                let mut samples: usize = 0;
+                while !stop2.load(Ordering::Relaxed) {
+                    let live = LIVE_BYTES.load(Ordering::Relaxed);
+                    sum += live as f64;
+                    peak = peak.max(live);
+                    samples += 1;
+                    std::thread::sleep(interval);
+                }
+                MemoryUsage {
+                    average_bytes: if samples == 0 { 0.0 } else { sum / samples as f64 },
+                    peak_bytes: peak,
+                    samples,
+                }
+            })
+            .expect("failed to start memory sampler thread");
+        MemorySampler { stop, handle: Some(handle) }
+    }
+
+    /// Starts sampling with the paper's 10 ms interval.
+    pub fn start_default() -> MemorySampler {
+        Self::start(Duration::from_millis(10))
+    }
+
+    /// Stops sampling and returns the aggregated usage.
+    pub fn stop(mut self) -> MemoryUsage {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("sampler already stopped")
+            .join()
+            .expect("memory sampler thread panicked")
+    }
+}
+
+impl Drop for MemorySampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_cheap_and_monotone_in_totals() {
+        let a = AllocStats::snapshot();
+        let _v: Vec<u8> = Vec::with_capacity(1024);
+        let b = AllocStats::snapshot();
+        // Without the global allocator installed in the test harness the
+        // counters may simply stay zero; either way they never go backwards.
+        assert!(b.total_allocated >= a.total_allocated);
+        assert!(b.total_allocations >= a.total_allocations);
+    }
+
+    #[test]
+    fn sampler_collects_samples_and_stops() {
+        let sampler = MemorySampler::start(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let usage = sampler.stop();
+        assert!(usage.samples >= 2, "expected several samples, got {}", usage.samples);
+        assert!(usage.average_bytes >= 0.0);
+        assert!(usage.peak_mb() >= usage.average_mb() || usage.peak_bytes == 0);
+    }
+
+    #[test]
+    fn memory_usage_unit_conversions() {
+        let u = MemoryUsage { average_bytes: 2.0 * 1024.0 * 1024.0, peak_bytes: 4 * 1024 * 1024, samples: 10 };
+        assert!((u.average_mb() - 2.0).abs() < 1e-9);
+        assert!((u.peak_mb() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_allocator_roundtrip_via_raw_api() {
+        // Exercise the allocator directly (without installing it globally).
+        let alloc = CountingAllocator;
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let before = AllocStats::snapshot();
+        unsafe {
+            let p = alloc.alloc(layout);
+            assert!(!p.is_null());
+            let mid = AllocStats::snapshot();
+            assert!(mid.live_bytes >= before.live_bytes + 256);
+            let p2 = alloc.realloc(p, layout, 512);
+            assert!(!p2.is_null());
+            let grown = AllocStats::snapshot();
+            assert!(grown.live_bytes >= before.live_bytes + 512);
+            alloc.dealloc(p2, Layout::from_size_align(512, 8).unwrap());
+        }
+        let after = AllocStats::snapshot();
+        assert!(after.peak_bytes >= 512);
+        assert!(after.total_allocations >= before.total_allocations + 2);
+    }
+}

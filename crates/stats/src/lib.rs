@@ -1,0 +1,33 @@
+//! # promise-stats
+//!
+//! The measurement substrate used to regenerate the paper's evaluation
+//! artifacts (Table 1 and Figure 1):
+//!
+//! * [`summary`] — descriptive statistics: mean, standard deviation, 95 %
+//!   confidence intervals (Student-t), and the geometric mean used for the
+//!   overall overhead factors;
+//! * [`timer`] — the repeated-measurement harness: a configurable number of
+//!   discarded warm-up runs followed by measured runs, mirroring the paper's
+//!   "thirty runs within the same VM instance, after five discarded warm-up
+//!   runs" protocol (§6.3);
+//! * [`alloc`] — a counting global allocator plus a background sampler that
+//!   records average and peak live heap bytes (the paper samples memory usage
+//!   every 10 ms);
+//! * [`table`] — a plain-text table renderer for the Table 1 / Figure 1
+//!   binaries.
+//!
+//! This crate is deliberately free of third-party dependencies so that the
+//! measurement infrastructure itself adds no allocation or synchronization
+//! noise beyond what it is measuring.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod summary;
+pub mod table;
+pub mod timer;
+
+pub use alloc::{AllocStats, CountingAllocator, MemorySampler};
+pub use summary::{geometric_mean, ConfidenceInterval, Summary};
+pub use table::Table;
+pub use timer::{MeasurementProtocol, Measurements};

@@ -1,0 +1,172 @@
+//! Descriptive statistics: mean, standard deviation, confidence intervals and
+//! geometric means.
+
+/// A two-sided confidence interval around a mean.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.high - self.low) / 2.0
+    }
+
+    /// Whether `value` lies within the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low && value <= self.high
+    }
+}
+
+/// Two-sided 97.5 % quantiles of the Student-t distribution (i.e. the factor
+/// for a 95 % confidence interval) for 1–30 degrees of freedom; larger sample
+/// sizes fall back to the normal-approximation value 1.96.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_factor_95(dof: usize) -> f64 {
+    if dof == 0 {
+        f64::NAN
+    } else if dof <= T_975.len() {
+        T_975[dof - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Summary statistics of a sample of (non-negative) measurements.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for `values`.  Returns the default (all
+    /// zero) summary for an empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary { count, mean, stddev: var.sqrt(), min, max }
+    }
+
+    /// The 95 % confidence interval of the mean (Student-t, as in the
+    /// "statistically rigorous Java performance evaluation" methodology the
+    /// paper follows for Figure 1).
+    pub fn ci95(&self) -> ConfidenceInterval {
+        if self.count < 2 {
+            return ConfidenceInterval { low: self.mean, high: self.mean, level: 0.95 };
+        }
+        let sem = self.stddev / (self.count as f64).sqrt();
+        let h = t_factor_95(self.count - 1) * sem;
+        ConfidenceInterval { low: self.mean - h, high: self.mean + h, level: 0.95 }
+    }
+
+    /// Relative standard deviation (coefficient of variation).
+    pub fn rsd(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Geometric mean of a set of (positive) factors — the aggregation Table 1
+/// uses for the overall time and memory overheads.
+///
+/// Non-positive inputs are ignored; an empty (or all-ignored) input yields
+/// `NaN`.
+pub fn geometric_mean(factors: &[f64]) -> f64 {
+    let logs: Vec<f64> = factors.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // sample stddev of this classic example is ~2.138
+        assert!((s.stddev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.rsd() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        let ci = s.ci95();
+        assert_eq!(ci.low, 3.5);
+        assert_eq!(ci.high, 3.5);
+    }
+
+    #[test]
+    fn ci95_contains_the_mean_and_shrinks_with_more_data() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let many: Vec<f64> = (0..100).map(|i| 3.0 + ((i % 5) as f64 - 2.0) * 0.5).collect();
+        let big = Summary::of(&many);
+        assert!(small.ci95().contains(small.mean));
+        assert!(big.ci95().contains(big.mean));
+        assert!(big.ci95().half_width() < small.ci95().half_width());
+    }
+
+    #[test]
+    fn t_factors_match_known_values() {
+        assert!((t_factor_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_factor_95(29) - 2.045).abs() < 1e-9);
+        assert!((t_factor_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_factor_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_of_factors() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // The paper's headline: nine per-benchmark factors aggregate to ~1.12.
+        let paper_time_overheads = [1.01, 1.00, 0.98, 0.98, 2.07, 1.10, 1.04, 1.19, 0.99];
+        let g = geometric_mean(&paper_time_overheads);
+        assert!((g - 1.12).abs() < 0.01, "geomean of the paper's Table 1 column is ~1.12, got {g}");
+        assert!(geometric_mean(&[]).is_nan());
+        assert!(geometric_mean(&[0.0, -1.0]).is_nan());
+    }
+}

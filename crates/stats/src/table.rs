@@ -1,0 +1,124 @@
+//! A minimal plain-text table renderer for the evaluation binaries.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.  Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line under the
+    /// header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    && cell.chars().all(|c| c.is_ascii_digit() || ".x×%+-eE".contains(c));
+                if numeric {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as comma-separated values (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Benchmark", "Baseline (s)", "Overhead"]);
+        t.add_row(vec!["Conway", "4.43", "1.01x"]);
+        t.add_row(vec!["SmithWaterman", "4.26", "1.10x"]);
+        let s = t.render();
+        assert!(s.contains("Benchmark"));
+        assert!(s.contains("SmithWaterman"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1"]);
+        t.add_row(vec!["1", "2", "3"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+        for row in &t.rows {
+            assert_eq!(row.len(), 2);
+        }
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.add_row(vec!["1", "2"]);
+        assert_eq!(t.render_csv(), "x,y\n1,2\n");
+    }
+}

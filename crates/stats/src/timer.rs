@@ -1,0 +1,179 @@
+//! The repeated-measurement harness.
+//!
+//! The paper's protocol (§6.3): "Each measurement is averaged over thirty
+//! runs within the same VM instance, after five discarded warm-up runs" —
+//! the standard methodology for mitigating run-to-run variability.
+//! [`MeasurementProtocol`] encodes the warm-up count, measured-run count and
+//! (optionally) a wall-clock budget so that scaled-down benchmark
+//! configurations finish in reasonable time; [`Measurements`] collects the
+//! per-run values and produces a [`Summary`].
+
+use std::time::{Duration, Instant};
+
+use crate::summary::Summary;
+
+/// How many warm-up and measured runs to perform.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MeasurementProtocol {
+    /// Runs executed and discarded before measuring.
+    pub warmups: usize,
+    /// Runs whose measurements are kept.
+    pub runs: usize,
+    /// Optional soft wall-clock budget: once exceeded, no further measured
+    /// runs are started (at least one is always performed).
+    pub budget: Option<Duration>,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        // The paper's protocol.
+        MeasurementProtocol { warmups: 5, runs: 30, budget: None }
+    }
+}
+
+impl MeasurementProtocol {
+    /// The paper's protocol: 5 warm-ups, 30 measured runs.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A quick protocol for smoke tests and CI.
+    pub fn quick() -> Self {
+        MeasurementProtocol { warmups: 1, runs: 3, budget: Some(Duration::from_secs(30)) }
+    }
+
+    /// Sets the number of warm-up runs.
+    pub fn with_warmups(mut self, warmups: usize) -> Self {
+        self.warmups = warmups;
+        self
+    }
+
+    /// Sets the number of measured runs.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Sets the soft wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Runs `f` according to the protocol, measuring its wall time with
+    /// `Instant` around each call, and returns the collected measurements.
+    pub fn run<T>(&self, mut f: impl FnMut() -> T) -> Measurements {
+        for _ in 0..self.warmups {
+            let _ = f();
+        }
+        let started = Instant::now();
+        let mut seconds = Vec::with_capacity(self.runs);
+        for i in 0..self.runs.max(1) {
+            let t0 = Instant::now();
+            let _ = f();
+            seconds.push(t0.elapsed().as_secs_f64());
+            if let Some(budget) = self.budget {
+                if started.elapsed() > budget && i + 1 >= 1 {
+                    break;
+                }
+            }
+        }
+        Measurements { seconds }
+    }
+
+    /// Like [`run`](Self::run) but the closure reports its own measurement
+    /// (e.g. an externally measured duration or a memory figure).
+    pub fn run_reported(&self, mut f: impl FnMut(bool) -> f64) -> Measurements {
+        for _ in 0..self.warmups {
+            let _ = f(true);
+        }
+        let started = Instant::now();
+        let mut seconds = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs.max(1) {
+            seconds.push(f(false));
+            if let Some(budget) = self.budget {
+                if started.elapsed() > budget {
+                    break;
+                }
+            }
+        }
+        Measurements { seconds }
+    }
+}
+
+/// A collection of per-run measurements (in seconds, or whatever unit the
+/// caller reported).
+#[derive(Clone, Debug, Default)]
+pub struct Measurements {
+    /// The raw per-run values, in measurement order.
+    pub seconds: Vec<f64>,
+}
+
+impl Measurements {
+    /// Summary statistics over the measured runs.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.seconds)
+    }
+
+    /// Number of measured runs.
+    pub fn len(&self) -> usize {
+        self.seconds.len()
+    }
+
+    /// Whether no run was measured.
+    pub fn is_empty(&self) -> bool {
+        self.seconds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn protocol_runs_warmups_plus_measured_runs() {
+        let calls = AtomicUsize::new(0);
+        let protocol = MeasurementProtocol { warmups: 2, runs: 5, budget: None };
+        let m = protocol.run(|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 7);
+        assert_eq!(m.len(), 5);
+        assert!(m.summary().mean >= 0.0);
+    }
+
+    #[test]
+    fn budget_stops_early_but_measures_at_least_once() {
+        let protocol = MeasurementProtocol {
+            warmups: 0,
+            runs: 100,
+            budget: Some(Duration::from_millis(30)),
+        };
+        let m = protocol.run(|| std::thread::sleep(Duration::from_millis(10)));
+        assert!(!m.is_empty());
+        assert!(m.len() < 100, "budget must have cut the run count, got {}", m.len());
+    }
+
+    #[test]
+    fn reported_measurements_pass_through() {
+        let protocol = MeasurementProtocol { warmups: 1, runs: 4, budget: None };
+        let mut i = 0.0;
+        let m = protocol.run_reported(|warmup| {
+            if warmup {
+                return -1.0; // discarded
+            }
+            i += 1.0;
+            i
+        });
+        assert_eq!(m.seconds, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((m.summary().mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(MeasurementProtocol::paper().warmups, 5);
+        assert_eq!(MeasurementProtocol::paper().runs, 30);
+        assert!(MeasurementProtocol::quick().runs <= 5);
+    }
+}

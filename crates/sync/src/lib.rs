@@ -1,0 +1,33 @@
+//! # promise-sync
+//!
+//! Higher-level synchronization objects built entirely on ownership-verified
+//! promises, mirroring the constructs the paper's evaluation replaces MPI and
+//! OpenMP primitives with (§6.1, §6.3):
+//!
+//! * [`Channel`] — the multi-shot channel of Listing 4: a linked list of
+//!   one-shot promises, where the object implements
+//!   [`PromiseCollection`](promise_core::PromiseCollection) so that moving
+//!   the channel to a new task moves the *current* producer promise (and with
+//!   it the responsibility for the sending end).  Used by the Conway, Heat
+//!   and Sieve benchmarks in place of MPI point-to-point communication.
+//! * [`AllToAllBarrier`] — a barrier realised as an `N × rounds` matrix of
+//!   promises where every participant sets its own arrival promise and gets
+//!   everyone else's.  Used by StreamCluster in place of OpenMP barriers.
+//! * [`Combiner`] — the all-to-one + broadcast pattern StreamCluster2 uses to
+//!   reduce synchronization: workers publish per-round contributions to a
+//!   coordinator, which combines them and broadcasts a single result.
+//!
+//! All of these are ordinary library code on top of `promise-core`: they
+//! contain no additional blocking primitives of their own, and every blocking
+//! operation is a promise `get`, so the deadlock detector covers them
+//! automatically.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod channel;
+pub mod combiner;
+
+pub use barrier::{AllToAllBarrier, BarrierParticipant};
+pub use channel::Channel;
+pub use combiner::{Combiner, CombinerCoordinator, CombinerWorker};

@@ -1,0 +1,270 @@
+//! Shared machinery for the two StreamCluster benchmarks.
+//!
+//! Both benchmarks compute the same streaming k-means clustering over the
+//! same synthetic point stream (standing in for the PARSEC input); they
+//! differ only in the synchronization used between the eight worker tasks —
+//! promise all-to-all barriers in [`streamcluster`](crate::streamcluster),
+//! an all-to-one combiner in [`streamcluster2`](crate::streamcluster2).
+//! Keeping the numerical kernel identical lets tests assert that both produce
+//! bit-identical costs.
+
+use crate::data::{hash_f64s, random_points};
+use crate::Scale;
+
+/// Parameters shared by StreamCluster and StreamCluster2.
+#[derive(Copy, Clone, Debug)]
+pub struct ClusterParams {
+    /// Total number of points in the stream.
+    pub points: usize,
+    /// Points per streamed chunk.
+    pub chunk: usize,
+    /// Dimensionality of each point.
+    pub dims: usize,
+    /// Number of cluster centers.
+    pub centers: usize,
+    /// Lloyd iterations per chunk.
+    pub iterations: usize,
+    /// Number of worker tasks (the paper uses 8).
+    pub workers: usize,
+    /// RNG seed for the points.
+    pub seed: u64,
+}
+
+impl ClusterParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => ClusterParams {
+                points: 512,
+                chunk: 256,
+                dims: 8,
+                centers: 4,
+                iterations: 3,
+                workers: 4,
+                seed: 55,
+            },
+            Scale::Default => ClusterParams {
+                points: 20_480,
+                chunk: 4_096,
+                dims: 32,
+                centers: 8,
+                iterations: 5,
+                workers: 8,
+                seed: 55,
+            },
+            // Paper: 102 400 points in 128 dimensions, 8 workers.
+            Scale::Paper => ClusterParams {
+                points: 102_400,
+                chunk: 10_240,
+                dims: 128,
+                centers: 10,
+                iterations: 5,
+                workers: 8,
+                seed: 55,
+            },
+        }
+    }
+
+    /// Number of streamed chunks.
+    pub fn chunks(&self) -> usize {
+        self.points.div_ceil(self.chunk)
+    }
+
+    /// Number of synchronization rounds each benchmark needs
+    /// (two per Lloyd iteration of every chunk).
+    pub fn sync_rounds(&self) -> usize {
+        self.chunks() * self.iterations * 2
+    }
+
+    /// The synthetic point stream.
+    pub fn generate_points(&self) -> Vec<Vec<f32>> {
+        random_points(self.points, self.dims, self.seed)
+    }
+
+    /// Initial centers: the first `centers` points of a chunk.
+    pub fn initial_centers(&self, chunk: &[Vec<f32>]) -> Vec<Vec<f64>> {
+        (0..self.centers)
+            .map(|i| chunk[i % chunk.len()].iter().map(|&x| x as f64).collect())
+            .collect()
+    }
+}
+
+/// Per-worker partial clustering state for one iteration: the sum of the
+/// points assigned to each center, the assignment counts, and the summed
+/// squared distance (cost).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialSums {
+    /// Per-center coordinate sums.
+    pub sums: Vec<Vec<f64>>,
+    /// Per-center assignment counts.
+    pub counts: Vec<u64>,
+    /// Total squared-distance cost of this worker's points.
+    pub cost: f64,
+}
+
+impl PartialSums {
+    /// A zeroed partial for `centers` centers in `dims` dimensions.
+    pub fn zero(centers: usize, dims: usize) -> PartialSums {
+        PartialSums { sums: vec![vec![0.0; dims]; centers], counts: vec![0; centers], cost: 0.0 }
+    }
+
+    /// Accumulates another partial into this one (used by the combiner /
+    /// the all-to-all reduction).
+    pub fn merge(&mut self, other: &PartialSums) {
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            for (a, b) in s.iter_mut().zip(o) {
+                *a += *b;
+            }
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += *o;
+        }
+        self.cost += other.cost;
+    }
+}
+
+fn distance2(p: &[f32], c: &[f64]) -> f64 {
+    p.iter().zip(c).map(|(&x, &y)| (x as f64 - y) * (x as f64 - y)).sum()
+}
+
+/// Assigns each point of `slice` to its nearest center and returns the
+/// resulting partial sums.
+pub fn assign_points(slice: &[Vec<f32>], centers: &[Vec<f64>]) -> PartialSums {
+    let dims = centers.first().map(|c| c.len()).unwrap_or(0);
+    let mut partial = PartialSums::zero(centers.len(), dims);
+    for p in slice {
+        let (best, dist) = centers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, distance2(p, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        for (s, &x) in partial.sums[best].iter_mut().zip(p) {
+            *s += x as f64;
+        }
+        partial.counts[best] += 1;
+        partial.cost += dist;
+    }
+    partial
+}
+
+/// Computes the new centers from merged partial sums, keeping the old center
+/// when a cluster received no points.
+pub fn update_centers(merged: &PartialSums, old: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    merged
+        .sums
+        .iter()
+        .zip(&merged.counts)
+        .zip(old)
+        .map(|((sum, &count), old_c)| {
+            if count == 0 {
+                old_c.clone()
+            } else {
+                sum.iter().map(|s| s / count as f64).collect()
+            }
+        })
+        .collect()
+}
+
+/// The fully sequential clustering of the whole stream; both parallel
+/// variants must reproduce its final cost exactly (worker partials are merged
+/// in worker order, so the floating-point reduction order is identical).
+pub fn run_sequential(params: &ClusterParams) -> u64 {
+    let points = params.generate_points();
+    let mut total_cost = 0.0f64;
+    for chunk in points.chunks(params.chunk) {
+        let mut centers = params.initial_centers(chunk);
+        let mut last_cost = 0.0;
+        for _ in 0..params.iterations {
+            // Emulate the per-worker split + ordered merge of the parallel
+            // versions so the FP reduction order matches bit-for-bit.
+            let ranges = worker_ranges(chunk.len(), params.workers);
+            let mut merged = PartialSums::zero(params.centers, params.dims);
+            for (lo, hi) in ranges {
+                let partial = assign_points(&chunk[lo..hi], &centers);
+                merged.merge(&partial);
+            }
+            centers = update_centers(&merged, &centers);
+            last_cost = merged.cost;
+        }
+        total_cost += last_cost;
+    }
+    hash_f64s([total_cost])
+}
+
+/// Splits `len` points into `workers` contiguous ranges (some possibly
+/// empty), mirroring how the parallel versions slice each chunk.
+pub fn worker_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let per = len.div_ceil(workers.max(1));
+    (0..workers.max(1))
+        .map(|w| {
+            let lo = (w * per).min(len);
+            let hi = ((w + 1) * per).min(len);
+            (lo, hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_ranges_cover_everything_without_overlap() {
+        for (len, workers) in [(100, 8), (7, 3), (5, 8), (0, 4), (16, 1)] {
+            let ranges = worker_ranges(len, workers);
+            assert_eq!(ranges.len(), workers.max(1));
+            let mut covered = 0;
+            let mut prev_hi = 0;
+            for (lo, hi) in ranges {
+                assert!(lo <= hi);
+                assert_eq!(lo, prev_hi.max(lo.min(prev_hi)).max(lo)); // monotone
+                covered += hi - lo;
+                prev_hi = hi;
+            }
+            assert_eq!(covered, len, "len={len} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn assign_points_prefers_the_nearest_center() {
+        let points = vec![vec![0.0f32, 0.0], vec![1.0, 1.0], vec![0.9, 1.1]];
+        let centers = vec![vec![0.0f64, 0.0], vec![1.0, 1.0]];
+        let partial = assign_points(&points, &centers);
+        assert_eq!(partial.counts, vec![1, 2]);
+        assert!(partial.cost < 0.1);
+    }
+
+    #[test]
+    fn update_centers_handles_empty_clusters() {
+        let mut merged = PartialSums::zero(2, 2);
+        merged.sums[0] = vec![2.0, 4.0];
+        merged.counts[0] = 2;
+        let old = vec![vec![9.0, 9.0], vec![5.0, 5.0]];
+        let updated = update_centers(&merged, &old);
+        assert_eq!(updated[0], vec![1.0, 2.0]);
+        assert_eq!(updated[1], vec![5.0, 5.0], "empty cluster keeps its old center");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PartialSums::zero(1, 2);
+        let mut b = PartialSums::zero(1, 2);
+        a.sums[0] = vec![1.0, 2.0];
+        a.counts[0] = 1;
+        a.cost = 0.5;
+        b.sums[0] = vec![3.0, 4.0];
+        b.counts[0] = 2;
+        b.cost = 1.5;
+        a.merge(&b);
+        assert_eq!(a.sums[0], vec![4.0, 6.0]);
+        assert_eq!(a.counts[0], 3);
+        assert!((a.cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_oracle_is_deterministic() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        assert_eq!(run_sequential(&params), run_sequential(&params));
+    }
+}

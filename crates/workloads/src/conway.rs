@@ -1,0 +1,226 @@
+//! Conway's Game of Life, parallelised by dividing the grid into horizontal
+//! bands, one worker task per band (paper benchmark 1).
+//!
+//! Neighbouring workers exchange their boundary rows once per generation over
+//! [`Channel`]s — the role MPI send/recv plays in the original code the paper
+//! adapted.  Each worker owns the sending ends of its two outgoing channels
+//! (transferred at spawn), sends its border rows, receives its neighbours'
+//! ghost rows, and steps its band.
+
+use promise_runtime::spawn_named;
+use promise_sync::Channel;
+
+use crate::data::{conway_grid, fnv1a};
+use crate::{Scale, WorkloadOutput};
+
+/// Parameters of the Conway benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct ConwayParams {
+    /// Grid width in cells.
+    pub width: usize,
+    /// Grid height in cells.
+    pub height: usize,
+    /// Number of worker tasks (bands).
+    pub workers: usize,
+    /// Number of generations to simulate.
+    pub generations: usize,
+    /// Initial live-cell density.
+    pub density: f64,
+    /// RNG seed for the initial grid.
+    pub seed: u64,
+}
+
+impl ConwayParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => ConwayParams {
+                width: 48,
+                height: 48,
+                workers: 4,
+                generations: 6,
+                density: 0.35,
+                seed: 11,
+            },
+            Scale::Default => ConwayParams {
+                width: 256,
+                height: 256,
+                workers: 8,
+                generations: 60,
+                density: 0.35,
+                seed: 11,
+            },
+            // The paper adapts a 100-worker MPI code (101 tasks including the
+            // root).
+            Scale::Paper => ConwayParams {
+                width: 1024,
+                height: 1000,
+                workers: 100,
+                generations: 200,
+                density: 0.35,
+                seed: 11,
+            },
+        }
+    }
+}
+
+fn step_rows(band: &[Vec<bool>], above: &[bool], below: &[bool]) -> Vec<Vec<bool>> {
+    let height = band.len();
+    let width = band[0].len();
+    let mut next = vec![vec![false; width]; height];
+    let row_at = |r: isize| -> &[bool] {
+        if r < 0 {
+            above
+        } else if r as usize >= height {
+            below
+        } else {
+            &band[r as usize]
+        }
+    };
+    for r in 0..height {
+        for c in 0..width {
+            let mut live = 0;
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let rr = r as isize + dr;
+                    let cc = c as isize + dc;
+                    if cc < 0 || cc as usize >= width {
+                        continue;
+                    }
+                    if row_at(rr)[cc as usize] {
+                        live += 1;
+                    }
+                }
+            }
+            next[r][c] = matches!((band[r][c], live), (true, 2) | (true, 3) | (false, 3));
+        }
+    }
+    next
+}
+
+/// Sequential oracle used by tests: steps the whole grid `generations` times
+/// and returns the same checksum as [`run`].
+pub fn run_sequential(params: &ConwayParams) -> u64 {
+    let mut grid = conway_grid(params.width, params.height, params.density, params.seed);
+    let empty = vec![false; params.width];
+    for _ in 0..params.generations {
+        grid = step_rows(&grid, &empty, &empty);
+    }
+    checksum(&grid)
+}
+
+fn checksum(grid: &[Vec<bool>]) -> u64 {
+    fnv1a(grid.iter().flatten().map(|&b| b as u8))
+}
+
+/// Runs the parallel benchmark.  Must be called from inside a task.
+pub fn run(params: &ConwayParams) -> u64 {
+    let grid = conway_grid(params.width, params.height, params.density, params.seed);
+    let requested = params.workers.min(params.height).max(1);
+    let rows_per = params.height.div_ceil(requested);
+    // Avoid empty trailing bands when the height does not divide evenly.
+    let workers = params.height.div_ceil(rows_per);
+    let width = params.width;
+
+    // Channels: down[k] carries worker k's bottom row to worker k+1;
+    // up[k] carries worker k's top row to worker k-1.  All channels are
+    // created by the root and the sending ends are transferred to the worker
+    // that writes to them.
+    let down: Vec<Channel<Vec<bool>>> =
+        (0..workers).map(|k| Channel::with_name(&format!("down[{k}]"))).collect();
+    let up: Vec<Channel<Vec<bool>>> =
+        (0..workers).map(|k| Channel::with_name(&format!("up[{k}]"))).collect();
+
+    let mut handles = Vec::new();
+    for k in 0..workers {
+        let lo = k * rows_per;
+        let hi = ((k + 1) * rows_per).min(params.height);
+        let band: Vec<Vec<bool>> = grid[lo..hi].to_vec();
+        let my_down = down[k].clone();
+        let my_up = up[k].clone();
+        let above_down = if k > 0 { Some(down[k - 1].clone()) } else { None };
+        let below_up = if k + 1 < workers { Some(up[k + 1].clone()) } else { None };
+        let generations = params.generations;
+        // The worker owns the sending ends of its own two channels.
+        let transfers = (my_down.clone(), my_up.clone());
+        handles.push(spawn_named(&format!("conway-band-{k}"), transfers, move || {
+            let mut band = band;
+            let empty = vec![false; width];
+            for _ in 0..generations {
+                // Send borders to neighbours (if any).
+                if above_down.is_some() {
+                    my_up.send(band.first().cloned().unwrap_or_else(|| empty.clone())).unwrap();
+                }
+                if below_up.is_some() {
+                    my_down.send(band.last().cloned().unwrap_or_else(|| empty.clone())).unwrap();
+                }
+                // Receive ghost rows from neighbours.
+                let above = match &above_down {
+                    Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
+                    None => empty.clone(),
+                };
+                let below = match &below_up {
+                    Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
+                    None => empty.clone(),
+                };
+                band = step_rows(&band, &above, &below);
+            }
+            my_down.stop().unwrap();
+            my_up.stop().unwrap();
+            band
+        }));
+    }
+
+    let mut final_grid: Vec<Vec<bool>> = Vec::with_capacity(params.height);
+    for h in handles {
+        final_grid.extend(h.join().expect("conway worker failed"));
+    }
+    checksum(&final_grid)
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&ConwayParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn parallel_matches_sequential_oracle() {
+        let params = ConwayParams::for_scale(Scale::Smoke);
+        let expected = run_sequential(&params);
+        let rt = Runtime::new();
+        let got = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn baseline_and_verified_agree() {
+        let params = ConwayParams::for_scale(Scale::Smoke);
+        let verified = Runtime::new().block_on(|| run(&params)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| run(&params)).unwrap();
+        assert_eq!(verified, baseline);
+    }
+
+    #[test]
+    fn worker_count_larger_than_rows_is_clamped() {
+        let params = ConwayParams {
+            width: 16,
+            height: 4,
+            workers: 16,
+            generations: 3,
+            density: 0.4,
+            seed: 3,
+        };
+        let expected = run_sequential(&params);
+        let got = Runtime::new().block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+    }
+}

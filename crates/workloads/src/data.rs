@@ -1,0 +1,118 @@
+//! Deterministic synthetic input generators.
+//!
+//! The paper's benchmarks consume inputs we do not have locally (PARSEC's
+//! streamcluster points, HClib's DNA sequences, BOTS-style matrices).  The
+//! verifier's overhead depends on the task/promise interaction pattern, not
+//! on the payload values, so seeded synthetic inputs of the documented shapes
+//! preserve the behaviour being measured (see DESIGN.md, substitutions).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded RNG with a stable stream across platforms.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `n` uniformly random `u32`s.
+pub fn random_u32s(n: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+/// A random DNA sequence (`A`, `C`, `G`, `T`) of length `n`.
+pub fn dna_sequence(n: usize, seed: u64) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    let mut r = rng(seed);
+    (0..n).map(|_| BASES[r.gen_range(0..4)]).collect()
+}
+
+/// `n` points in `dims` dimensions with coordinates in `[0, 1)`.
+pub fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut r = rng(seed);
+    (0..n).map(|_| (0..dims).map(|_| r.gen::<f32>()).collect()).collect()
+}
+
+/// A dense `n × n` matrix with `nnz` random non-zero entries (duplicates
+/// overwrite), as used by the Strassen benchmark's "sparse" inputs.
+pub fn sparse_matrix(n: usize, nnz: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut m = vec![0.0f64; n * n];
+    for _ in 0..nnz {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        m[i * n + j] = r.gen_range(-4.0..4.0);
+    }
+    m
+}
+
+/// A random Conway grid of the given density (fraction of live cells).
+pub fn conway_grid(width: usize, height: usize, density: f64, seed: u64) -> Vec<Vec<bool>> {
+    let mut r = rng(seed);
+    (0..height)
+        .map(|_| (0..width).map(|_| r.gen::<f64>() < density).collect())
+        .collect()
+}
+
+/// FNV-1a hash, used by the workloads to build order-independent-enough
+/// checksums of their outputs.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Convenience: hash a slice of `u64` values.
+pub fn hash_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+    fnv1a(values.into_iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// Convenience: hash a slice of `f64` values via their bit patterns.
+pub fn hash_f64s(values: impl IntoIterator<Item = f64>) -> u64 {
+    hash_u64s(values.into_iter().map(|v| v.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(random_u32s(100, 7), random_u32s(100, 7));
+        assert_ne!(random_u32s(100, 7), random_u32s(100, 8));
+        assert_eq!(dna_sequence(64, 1), dna_sequence(64, 1));
+        assert_eq!(random_points(10, 4, 3), random_points(10, 4, 3));
+        assert_eq!(sparse_matrix(16, 40, 5), sparse_matrix(16, 40, 5));
+        assert_eq!(conway_grid(8, 8, 0.3, 9), conway_grid(8, 8, 0.3, 9));
+    }
+
+    #[test]
+    fn dna_uses_only_the_four_bases() {
+        assert!(dna_sequence(1000, 2).iter().all(|b| b"ACGT".contains(b)));
+    }
+
+    #[test]
+    fn sparse_matrix_has_bounded_nonzeros() {
+        let m = sparse_matrix(32, 100, 11);
+        let nnz = m.iter().filter(|v| **v != 0.0).count();
+        assert!(nnz > 0 && nnz <= 100);
+        assert_eq!(m.len(), 32 * 32);
+    }
+
+    #[test]
+    fn fnv_hashes_differ_for_different_inputs() {
+        assert_ne!(hash_u64s([1, 2, 3]), hash_u64s([1, 2, 4]));
+        assert_eq!(hash_f64s([1.5, 2.5]), hash_f64s([1.5, 2.5]));
+        assert_ne!(fnv1a(*b"abc"), fnv1a(*b"abd"));
+    }
+
+    #[test]
+    fn conway_grid_density_is_roughly_respected() {
+        let g = conway_grid(100, 100, 0.3, 42);
+        let live: usize = g.iter().flatten().filter(|c| **c).count();
+        assert!(live > 2000 && live < 4000, "live cells = {live}");
+    }
+}

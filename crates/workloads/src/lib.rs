@@ -1,0 +1,201 @@
+//! # promise-workloads
+//!
+//! The nine task-parallel programs of the paper's evaluation (§6.3, Table 1),
+//! implemented from scratch on the promise runtime:
+//!
+//! | Module | Paper benchmark | Synchronization pattern |
+//! |---|---|---|
+//! | [`conway`] | Conway (2-D cellular automaton) | neighbour halo exchange over [`Channel`](promise_sync::Channel)s |
+//! | [`heat`] | Heat (1-D diffusion) | neighbour exchange over channels |
+//! | [`qsort`] | QSort (parallel quicksort) | fork/join via task handles (promise-backed `finish`) |
+//! | [`randomized`] | Randomized (task tree with random awaits) | root-allocated promises moved down a task tree |
+//! | [`sieve`] | Sieve (prime pipeline) | long chains of channel stages |
+//! | [`smithwaterman`] | SmithWaterman (DNA alignment) | wavefront of tile promises allocated in the root |
+//! | [`strassen`] | Strassen (matrix multiply) | divide-and-conquer tasks joined through promises |
+//! | [`streamcluster`] | StreamCluster (streaming k-means) | all-to-all promise barriers |
+//! | [`streamcluster2`] | StreamCluster2 | all-to-one combiner + broadcast |
+//!
+//! Every workload is a pure library function that must be called from inside
+//! a task (`Runtime::block_on` or a spawned task); it returns a checksum so
+//! that tests can compare the parallel result against a sequential oracle and
+//! so that benchmark runs can assert that the work was actually performed.
+//!
+//! Workload sizes are controlled by [`Scale`]: `Smoke` for tests, `Default`
+//! for container-sized benchmark runs, and `Paper` for the sizes reported in
+//! the paper (which assume a 16-core machine and longer runtimes).
+
+#![warn(missing_docs)]
+
+pub mod cluster_common;
+pub mod conway;
+pub mod data;
+pub mod heat;
+pub mod qsort;
+pub mod randomized;
+pub mod sieve;
+pub mod smithwaterman;
+pub mod strassen;
+pub mod streamcluster;
+pub mod streamcluster2;
+
+/// Workload size presets.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Scale {
+    /// Tiny sizes for unit/integration tests.
+    Smoke,
+    /// Container-sized benchmark runs (sub-second to a few seconds each).
+    #[default]
+    Default,
+    /// The sizes reported in the paper (§6.3); expect long runtimes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name (`smoke`, `default`, `paper`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The preset's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The result of one workload execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadOutput {
+    /// A deterministic checksum of the computed result (used to verify that
+    /// baseline and verified runs compute the same thing).
+    pub checksum: u64,
+}
+
+/// A named, runnable benchmark from Table 1.
+#[derive(Copy, Clone)]
+pub struct Workload {
+    /// The benchmark's name as it appears in Table 1.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    runner: fn(Scale) -> WorkloadOutput,
+}
+
+impl Workload {
+    /// Runs the workload at the given scale.  Must be called from inside a
+    /// task (e.g. `Runtime::block_on`).
+    pub fn run(&self, scale: Scale) -> WorkloadOutput {
+        (self.runner)(scale)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+/// The nine benchmarks, in Table 1 order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Conway",
+            description: "2-D cellular automaton; workers exchange chunk borders over channels",
+            runner: conway::run_scaled,
+        },
+        Workload {
+            name: "Heat",
+            description: "1-D heat diffusion; neighbouring chunk tasks exchange borders over channels",
+            runner: heat::run_scaled,
+        },
+        Workload {
+            name: "QSort",
+            description: "parallel divide-and-conquer quicksort joined with promises",
+            runner: qsort::run_scaled,
+        },
+        Workload {
+            name: "Randomized",
+            description: "task tree with root-allocated promises and random awaits",
+            runner: randomized::run_scaled,
+        },
+        Workload {
+            name: "Sieve",
+            description: "prime-sieve pipeline of filter tasks connected by channels",
+            runner: sieve::run_scaled,
+        },
+        Workload {
+            name: "SmithWaterman",
+            description: "DNA sequence alignment over a wavefront of tile promises",
+            runner: smithwaterman::run_scaled,
+        },
+        Workload {
+            name: "Strassen",
+            description: "recursive matrix multiplication with asynchronous product tasks",
+            runner: strassen::run_scaled,
+        },
+        Workload {
+            name: "StreamCluster",
+            description: "streaming k-means with all-to-all promise barriers",
+            runner: streamcluster::run_scaled,
+        },
+        Workload {
+            name: "StreamCluster2",
+            description: "streaming k-means with all-to-one combining instead of all-to-all",
+            runner: streamcluster2::run_scaled,
+        },
+    ]
+}
+
+/// Looks a workload up by (case-insensitive) name.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_round_trips() {
+        for s in [Scale::Smoke, Scale::Default, Scale::Paper] {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn registry_has_the_nine_table1_benchmarks_in_order() {
+        let names: Vec<_> = all_workloads().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Conway",
+                "Heat",
+                "QSort",
+                "Randomized",
+                "Sieve",
+                "SmithWaterman",
+                "Strassen",
+                "StreamCluster",
+                "StreamCluster2"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(workload_by_name("conway").is_some());
+        assert!(workload_by_name("SMITHWATERMAN").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Parallel quicksort (paper benchmark 3).
+//!
+//! The standard parallelisation: the partition step is sequential, the two
+//! sub-ranges are sorted by asynchronous tasks, and the parent awaits both —
+//! the "finish" structure the paper implements with promises.  Each task's
+//! termination is awaited through its completion promise (the
+//! `new p; async (p) { …; set p }` pattern of §2.1), so the join tree is a
+//! tree of promise `get`s.
+
+use promise_runtime::spawn_named;
+
+use crate::data::{hash_u64s, random_u32s};
+use crate::{Scale, WorkloadOutput};
+
+/// Parameters of the QSort benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct QSortParams {
+    /// Number of integers to sort.
+    pub elements: usize,
+    /// Sub-ranges at or below this size are sorted sequentially.
+    pub cutoff: usize,
+    /// RNG seed for the input.
+    pub seed: u64,
+}
+
+impl QSortParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => QSortParams { elements: 4_000, cutoff: 256, seed: 20 },
+            Scale::Default => QSortParams { elements: 300_000, cutoff: 512, seed: 20 },
+            // Paper: 1 M integers, spawning very fine-grained tasks
+            // (~786 k tasks).
+            Scale::Paper => QSortParams { elements: 1_000_000, cutoff: 8, seed: 20 },
+        }
+    }
+}
+
+/// The (sequential) partition phase: split around the median-of-three pivot
+/// into strictly-less, equal, and strictly-greater parts.
+fn partition(v: Vec<u32>) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let a = v[0];
+    let b = v[v.len() / 2];
+    let c = v[v.len() - 1];
+    let pivot = a.max(b.min(c)).min(b.max(c)); // median of three
+    let mut less = Vec::with_capacity(v.len() / 2);
+    let mut equal = Vec::new();
+    let mut greater = Vec::with_capacity(v.len() / 2);
+    for x in v {
+        match x.cmp(&pivot) {
+            std::cmp::Ordering::Less => less.push(x),
+            std::cmp::Ordering::Equal => equal.push(x),
+            std::cmp::Ordering::Greater => greater.push(x),
+        }
+    }
+    (less, equal, greater)
+}
+
+fn parallel_qsort(mut v: Vec<u32>, cutoff: usize, depth: usize) -> Vec<u32> {
+    if v.len() <= cutoff.max(2) {
+        v.sort_unstable();
+        return v;
+    }
+    let (less, mut equal, greater) = partition(v);
+    // The lower part is sorted by a child task; the parent recurses into the
+    // upper part and then joins the child (a promise get).
+    let child = spawn_named(&format!("qsort-d{depth}"), (), move || {
+        parallel_qsort(less, cutoff, depth + 1)
+    });
+    let mut sorted_greater = parallel_qsort(greater, cutoff, depth + 1);
+    let mut out = child.join().expect("qsort child failed");
+    out.append(&mut equal);
+    out.append(&mut sorted_greater);
+    out
+}
+
+fn checksum(v: &[u32]) -> u64 {
+    hash_u64s(v.iter().map(|&x| x as u64))
+}
+
+/// Sequential oracle.
+pub fn run_sequential(params: &QSortParams) -> u64 {
+    let mut v = random_u32s(params.elements, params.seed);
+    v.sort_unstable();
+    checksum(&v)
+}
+
+/// Runs the parallel benchmark.  Must be called from inside a task.
+pub fn run(params: &QSortParams) -> u64 {
+    let v = random_u32s(params.elements, params.seed);
+    let sorted = parallel_qsort(v, params.cutoff, 0);
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    checksum(&sorted)
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&QSortParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn parallel_matches_sequential_oracle() {
+        let params = QSortParams::for_scale(Scale::Smoke);
+        let expected = run_sequential(&params);
+        let rt = Runtime::new();
+        let got = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn already_sorted_and_tiny_inputs() {
+        let rt = Runtime::new();
+        rt.block_on(|| {
+            for n in [0usize, 1, 2, 3, 17] {
+                let input: Vec<u32> = (0..n as u32).collect();
+                let out = parallel_qsort(input.clone(), 4, 0);
+                assert_eq!(out, input);
+            }
+            // Reverse-sorted with duplicates.
+            let mut input: Vec<u32> = (0..500u32).rev().map(|x| x % 37).collect();
+            let out = parallel_qsort(input.clone(), 16, 0);
+            input.sort_unstable();
+            assert_eq!(out, input);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fine_grained_cutoff_spawns_many_tasks() {
+        let params = QSortParams { elements: 3_000, cutoff: 8, seed: 1 };
+        let rt = Runtime::new();
+        let expected = run_sequential(&params);
+        let (got, metrics) = rt.measure(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert!(
+            metrics.tasks() > 100,
+            "a small cutoff must spawn many tasks, got {}",
+            metrics.tasks()
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The Randomized benchmark (paper benchmark 4): a tree of tasks with
+//! root-allocated promises, random awaits and full fan-in joins.
+//!
+//! The paper distributes 5 000 promises over 2 535 tasks spawned in a tree of
+//! branching factor 3; each task awaits a random promise with probability
+//! 0.8 before performing some work, fulfilling its own promises and awaiting
+//! its children.  All promises are allocated by the root and move down the
+//! tree at spawn time (the same "allocate in the root, move later" ownership
+//! pattern the paper highlights for this benchmark and SmithWaterman).
+//!
+//! The paper chose a random seed that does not construct a deadlock; this
+//! implementation guarantees deadlock freedom structurally by only awaiting
+//! promises assigned to tasks with a strictly larger (breadth-first) index —
+//! wait chains then strictly increase in task index and can never cycle,
+//! whatever the seed.
+
+use std::sync::Arc;
+
+use promise_core::Promise;
+use promise_runtime::spawn_named;
+use rand::Rng;
+
+use crate::data::{hash_u64s, rng};
+use crate::{Scale, WorkloadOutput};
+
+/// Parameters of the Randomized benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct RandomizedParams {
+    /// Total number of tasks in the tree.
+    pub tasks: usize,
+    /// Total number of promises distributed over the tasks.
+    pub promises: usize,
+    /// Branching factor of the task tree.
+    pub branching: usize,
+    /// Probability that a task awaits a random promise before working.
+    pub await_probability: f64,
+    /// Iterations of busy work per task.
+    pub work: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomizedParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => RandomizedParams {
+                tasks: 40,
+                promises: 80,
+                branching: 3,
+                await_probability: 0.8,
+                work: 200,
+                seed: 33,
+            },
+            Scale::Default => RandomizedParams {
+                tasks: 800,
+                promises: 1600,
+                branching: 3,
+                await_probability: 0.8,
+                work: 2_000,
+                seed: 33,
+            },
+            // Paper: 5 000 promises over 2 535 tasks, branching factor 3.
+            Scale::Paper => RandomizedParams {
+                tasks: 2_535,
+                promises: 5_000,
+                branching: 3,
+                await_probability: 0.8,
+                work: 20_000,
+                seed: 33,
+            },
+        }
+    }
+}
+
+/// Static description of the task tree, computed up front so that promise
+/// ownership can be threaded down the spawns.
+struct TreePlan {
+    /// Children of each task (indices), breadth-first numbering.
+    children: Vec<Vec<usize>>,
+    /// Promise indices assigned to (i.e. eventually fulfilled by) each task.
+    assigned: Vec<Vec<usize>>,
+    /// For each task, the promise it awaits (if any).
+    awaits: Vec<Option<usize>>,
+    /// Owning task of each promise (used by the structural tests to verify
+    /// the acyclicity argument).
+    #[cfg_attr(not(test), allow(dead_code))]
+    promise_owner: Vec<usize>,
+}
+
+fn plan(params: &RandomizedParams) -> TreePlan {
+    let n = params.tasks.max(1);
+    let mut children = vec![Vec::new(); n];
+    for i in 1..n {
+        let parent = (i - 1) / params.branching.max(1);
+        children[parent].push(i);
+    }
+    let mut assigned = vec![Vec::new(); n];
+    let mut promise_owner = vec![0usize; params.promises];
+    let mut r = rng(params.seed);
+    for p in 0..params.promises {
+        let owner = r.gen_range(0..n);
+        assigned[owner].push(p);
+        promise_owner[p] = owner;
+    }
+    // Each task may await one random promise owned by a strictly later task.
+    let mut awaits = vec![None; n];
+    for (i, slot) in awaits.iter_mut().enumerate() {
+        if r.gen::<f64>() < params.await_probability {
+            // Candidate promises owned by tasks with a larger index.
+            let candidates: Vec<usize> =
+                (0..params.promises).filter(|&p| promise_owner[p] > i).collect();
+            if !candidates.is_empty() {
+                *slot = Some(candidates[r.gen_range(0..candidates.len())]);
+            }
+        }
+    }
+    TreePlan { children, assigned, awaits, promise_owner }
+}
+
+/// The per-task body: spawn children (moving their subtrees' promises), maybe
+/// await a random promise, do some work, fulfil own promises, join children.
+fn run_task(
+    index: usize,
+    plan: Arc<TreePlan>,
+    promises: Arc<Vec<Promise<u64>>>,
+    work: usize,
+) -> u64 {
+    // Spawn children first, transferring every promise assigned to their
+    // subtree.
+    let mut handles = Vec::new();
+    for &child in &plan.children[index] {
+        let subtree: Vec<Promise<u64>> = subtree_promises(&plan, child)
+            .into_iter()
+            .map(|p| promises[p].clone())
+            .collect();
+        let plan2 = Arc::clone(&plan);
+        let promises2 = Arc::clone(&promises);
+        handles.push(spawn_named(&format!("rand-{child}"), subtree, move || {
+            run_task(child, plan2, promises2, work)
+        }));
+    }
+
+    // Random await (the cross-tree dependence the benchmark is about).
+    let mut acc: u64 = 0;
+    if let Some(p) = plan.awaits[index] {
+        acc = acc.wrapping_add(promises[p].get().expect("awaited promise failed"));
+    }
+
+    // Busy work.
+    let mut x: u64 = index as u64 + 1;
+    for _ in 0..work {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc = acc.wrapping_add(x & 0xffff);
+
+    // Fulfil own promises.
+    for &p in &plan.assigned[index] {
+        promises[p].set(p as u64 + 1).expect("owner must be able to set its promise");
+    }
+
+    // Join children.
+    for h in handles {
+        acc = acc.wrapping_add(h.join().expect("child task failed"));
+    }
+    acc
+}
+
+/// All promises assigned to tasks in the subtree rooted at `root`.
+fn subtree_promises(plan: &TreePlan, root: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(t) = stack.pop() {
+        out.extend(plan.assigned[t].iter().copied());
+        stack.extend(plan.children[t].iter().copied());
+    }
+    out
+}
+
+/// Runs the benchmark.  Must be called from inside a task.
+pub fn run(params: &RandomizedParams) -> u64 {
+    let plan = Arc::new(plan(params));
+    // The root allocates every promise.
+    let promises: Arc<Vec<Promise<u64>>> = Arc::new(
+        (0..params.promises).map(|p| Promise::with_name(&format!("rand-p{p}"))).collect(),
+    );
+    let result = run_task(0, Arc::clone(&plan), Arc::clone(&promises), params.work);
+    hash_u64s([result, params.tasks as u64, params.promises as u64])
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&RandomizedParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn runs_without_alarms_and_is_deterministic() {
+        let params = RandomizedParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        let a = rt.block_on(|| run(&params)).unwrap();
+        let b = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(a, b, "same seed must give the same checksum");
+        assert_eq!(rt.context().alarm_count(), 0, "the chosen structure is deadlock-free");
+    }
+
+    #[test]
+    fn plan_awaits_only_later_tasks() {
+        let params = RandomizedParams::for_scale(Scale::Smoke);
+        let p = plan(&params);
+        for (i, awaited) in p.awaits.iter().enumerate() {
+            if let Some(promise) = awaited {
+                assert!(p.promise_owner[*promise] > i, "task {i} awaits a non-later promise");
+            }
+        }
+    }
+
+    #[test]
+    fn every_promise_gets_fulfilled() {
+        let params = RandomizedParams { tasks: 25, promises: 60, ..RandomizedParams::for_scale(Scale::Smoke) };
+        let rt = Runtime::new();
+        let (_, metrics) = rt.measure(|| run(&params)).unwrap();
+        // 60 workload promises are all set, plus one completion promise per
+        // spawned task (tasks - 1 children).
+        assert_eq!(metrics.counters.sets, 60 + (params.tasks as u64 - 1));
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn task_count_matches_parameter() {
+        let params = RandomizedParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        let (_, metrics) = rt.measure(|| run(&params)).unwrap();
+        // `tasks - 1` spawned children plus the root task itself.
+        assert_eq!(metrics.tasks(), params.tasks as u64);
+    }
+
+    #[test]
+    fn baseline_and_verified_agree() {
+        let params = RandomizedParams::for_scale(Scale::Smoke);
+        let verified = Runtime::new().block_on(|| run(&params)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| run(&params)).unwrap();
+        assert_eq!(verified, baseline);
+    }
+}

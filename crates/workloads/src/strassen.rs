@@ -1,0 +1,311 @@
+//! The Strassen benchmark (paper benchmark 7): recursive matrix
+//! multiplication with asynchronous sub-product and addition tasks.
+//!
+//! The divide-and-conquer recursion splits each matrix into quadrants and
+//! issues the seven Strassen sub-products as asynchronous tasks, each
+//! communicating its result through a promise created by the parent and
+//! transferred to the child (the future pattern of §2.1).  The quadrant
+//! pre-additions are likewise issued as small addition tasks, mirroring the
+//! paper's "asynchronous addition and multiplication tasks, up to depth 5".
+//! Inputs are sparse 128×128 matrices with ~8 000 non-zero values.
+
+use std::sync::Arc;
+
+use promise_core::Promise;
+use promise_runtime::spawn_named;
+
+use crate::data::{hash_u64s, sparse_matrix};
+use crate::{Scale, WorkloadOutput};
+
+/// A dense square matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix of edge length `n`.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Wraps row-major data of edge length `n`.
+    pub fn from_data(n: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), n * n);
+        Matrix { n, data }
+    }
+
+    /// Edge length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.n + c]
+    }
+
+    fn add(&self, other: &Matrix) -> Matrix {
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { n: self.n, data }
+    }
+
+    fn sub(&self, other: &Matrix) -> Matrix {
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { n: self.n, data }
+    }
+
+    /// Naive O(n³) multiplication (the recursion base case and the oracle).
+    pub fn multiply_naive(&self, other: &Matrix) -> Matrix {
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for r in 0..n {
+            for k in 0..n {
+                let a = self.at(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    *out.at_mut(r, c) += a * other.at(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits into four quadrants (n must be even).
+    fn split(&self) -> [Matrix; 4] {
+        let h = self.n / 2;
+        let mut qs = [Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h)];
+        for r in 0..h {
+            for c in 0..h {
+                *qs[0].at_mut(r, c) = self.at(r, c);
+                *qs[1].at_mut(r, c) = self.at(r, c + h);
+                *qs[2].at_mut(r, c) = self.at(r + h, c);
+                *qs[3].at_mut(r, c) = self.at(r + h, c + h);
+            }
+        }
+        qs
+    }
+
+    /// Reassembles four quadrants.
+    fn join(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
+        let h = c11.n;
+        let mut out = Matrix::zeros(h * 2);
+        for r in 0..h {
+            for c in 0..h {
+                *out.at_mut(r, c) = c11.at(r, c);
+                *out.at_mut(r, c + h) = c12.at(r, c);
+                *out.at_mut(r + h, c) = c21.at(r, c);
+                *out.at_mut(r + h, c + h) = c22.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// A checksum over the matrix contents.
+    pub fn checksum(&self) -> u64 {
+        hash_u64s(self.data.iter().map(|v| v.to_bits()))
+    }
+}
+
+/// Parameters of the Strassen benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct StrassenParams {
+    /// Matrix edge length (power of two).
+    pub n: usize,
+    /// Approximate number of non-zero entries per input matrix.
+    pub nonzeros: usize,
+    /// Maximum recursion depth at which tasks are spawned.
+    pub task_depth: usize,
+    /// RNG seed for the inputs.
+    pub seed: u64,
+}
+
+impl StrassenParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => StrassenParams { n: 64, nonzeros: 2_000, task_depth: 2, seed: 44 },
+            Scale::Default => StrassenParams { n: 128, nonzeros: 8_000, task_depth: 3, seed: 44 },
+            // Paper: sparse 128×128 matrices, ~8 000 values, recursion
+            // depth 5 (≈ 59 000 tasks).
+            Scale::Paper => StrassenParams { n: 128, nonzeros: 8_000, task_depth: 5, seed: 44 },
+        }
+    }
+}
+
+/// Spawns an addition/subtraction task whose result arrives through a
+/// promise created by the parent and transferred to the child.
+fn async_combine(
+    name: &str,
+    a: Matrix,
+    b: Matrix,
+    subtract: bool,
+) -> Promise<Matrix> {
+    let p = Promise::<Matrix>::with_name(name);
+    let p2 = p.clone();
+    spawn_named(name, &p, move || {
+        let result = if subtract { a.sub(&b) } else { a.add(&b) };
+        p2.set(result).expect("combine promise double set");
+    });
+    p
+}
+
+/// Strassen recursion: spawns the seven sub-products as tasks down to
+/// `depth == 0`, below which it falls back to naive multiplication.
+fn strassen(a: Arc<Matrix>, b: Arc<Matrix>, depth: usize) -> Matrix {
+    let n = a.n();
+    if depth == 0 || n <= 16 || n % 2 != 0 {
+        return a.multiply_naive(&b);
+    }
+    let [a11, a12, a21, a22] = a.split();
+    let [b11, b12, b21, b22] = b.split();
+
+    // The ten quadrant pre-additions, issued as asynchronous addition tasks.
+    let s1 = async_combine("strassen-s1", b12.clone(), b22.clone(), true);
+    let s2 = async_combine("strassen-s2", a11.clone(), a12.clone(), false);
+    let s3 = async_combine("strassen-s3", a21.clone(), a22.clone(), false);
+    let s4 = async_combine("strassen-s4", b21.clone(), b11.clone(), true);
+    let s5 = async_combine("strassen-s5", a11.clone(), a22.clone(), false);
+    let s6 = async_combine("strassen-s6", b11.clone(), b22.clone(), false);
+    let s7 = async_combine("strassen-s7", a12.clone(), a22.clone(), true);
+    let s8 = async_combine("strassen-s8", b21.clone(), b22.clone(), false);
+    let s9 = async_combine("strassen-s9", a11.clone(), a21.clone(), true);
+    let s10 = async_combine("strassen-s10", b11.clone(), b12.clone(), false);
+
+    // The seven sub-products, each an asynchronous task delivering its result
+    // through a transferred promise.
+    let spawn_product = |label: &str, x: Matrix, y: Matrix| -> Promise<Matrix> {
+        let p = Promise::<Matrix>::with_name(label);
+        let p2 = p.clone();
+        spawn_named(label, &p, move || {
+            let result = strassen(Arc::new(x), Arc::new(y), depth - 1);
+            p2.set(result).expect("product promise double set");
+        });
+        p
+    };
+
+    let p1 = spawn_product("strassen-p1", a11.clone(), s1.get().expect("s1 failed"));
+    let p2 = spawn_product("strassen-p2", s2.get().expect("s2 failed"), b22.clone());
+    let p3 = spawn_product("strassen-p3", s3.get().expect("s3 failed"), b11.clone());
+    let p4 = spawn_product("strassen-p4", a22.clone(), s4.get().expect("s4 failed"));
+    let p5 = spawn_product("strassen-p5", s5.get().expect("s5 failed"), s6.get().expect("s6 failed"));
+    let p6 = spawn_product("strassen-p6", s7.get().expect("s7 failed"), s8.get().expect("s8 failed"));
+    let p7 = spawn_product("strassen-p7", s9.get().expect("s9 failed"), s10.get().expect("s10 failed"));
+
+    let m1 = p1.get().expect("p1 failed");
+    let m2 = p2.get().expect("p2 failed");
+    let m3 = p3.get().expect("p3 failed");
+    let m4 = p4.get().expect("p4 failed");
+    let m5 = p5.get().expect("p5 failed");
+    let m6 = p6.get().expect("p6 failed");
+    let m7 = p7.get().expect("p7 failed");
+
+    let c11 = m5.add(&m4).sub(&m2).add(&m6);
+    let c12 = m1.add(&m2);
+    let c21 = m3.add(&m4);
+    let c22 = m5.add(&m1).sub(&m3).sub(&m7);
+    Matrix::join(&c11, &c12, &c21, &c22)
+}
+
+/// Sequential oracle: naive multiplication of the same inputs.
+pub fn run_sequential(params: &StrassenParams) -> u64 {
+    let a = Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed));
+    let b = Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed + 1));
+    a.multiply_naive(&b).checksum()
+}
+
+/// Runs the parallel benchmark.  Must be called from inside a task.
+pub fn run(params: &StrassenParams) -> u64 {
+    let a = Arc::new(Matrix::from_data(
+        params.n,
+        sparse_matrix(params.n, params.nonzeros, params.seed),
+    ));
+    let b = Arc::new(Matrix::from_data(
+        params.n,
+        sparse_matrix(params.n, params.nonzeros, params.seed + 1),
+    ));
+    strassen(a, b, params.task_depth).checksum()
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&StrassenParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn strassen_matches_naive_multiplication_exactly_on_integer_data() {
+        // Use small integer-valued matrices so Strassen's different
+        // association order yields bitwise-identical results.
+        let rt = Runtime::new();
+        rt.block_on(|| {
+            let n = 32;
+            let a = Matrix::from_data(
+                n,
+                (0..n * n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect(),
+            );
+            let b = Matrix::from_data(
+                n,
+                (0..n * n).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect(),
+            );
+            let expected = a.multiply_naive(&b);
+            let got = strassen(Arc::new(a), Arc::new(b), 2);
+            assert_eq!(got, expected);
+        })
+        .unwrap();
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn sparse_benchmark_matches_naive_within_tolerance() {
+        let params = StrassenParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        let (a, b) = (
+            Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed)),
+            Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed + 1)),
+        );
+        let expected = a.multiply_naive(&b);
+        let got = rt
+            .block_on(|| strassen(Arc::new(a.clone()), Arc::new(b.clone()), params.task_depth))
+            .unwrap();
+        let max_err = expected
+            .data
+            .iter()
+            .zip(&got.data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "max error {max_err}");
+    }
+
+    #[test]
+    fn matrix_helpers_round_trip() {
+        let m = Matrix::from_data(4, (0..16).map(|x| x as f64).collect());
+        let [q11, q12, q21, q22] = m.split();
+        let back = Matrix::join(&q11, &q12, &q21, &q22);
+        assert_eq!(m, back);
+        let z = Matrix::zeros(4);
+        assert_eq!(m.add(&z), m);
+        assert_eq!(m.sub(&m).checksum(), z.checksum());
+    }
+
+    #[test]
+    fn deep_recursion_spawns_many_tasks() {
+        let params = StrassenParams { n: 64, nonzeros: 1000, task_depth: 2, seed: 9 };
+        let rt = Runtime::new();
+        let (_, metrics) = rt.measure(|| run(&params)).unwrap();
+        // Level 1: 10 additions + 7 products; level 2 (inside each product):
+        // another 17 each => at least 7*17 + 17 tasks.
+        assert!(metrics.tasks() > 100, "got {}", metrics.tasks());
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+}

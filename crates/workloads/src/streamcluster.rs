@@ -1,0 +1,138 @@
+//! The StreamCluster benchmark (paper benchmark 8): streaming k-means with
+//! promise-based all-to-all barriers.
+//!
+//! The point stream is processed in chunks; for each chunk the eight worker
+//! tasks run a few Lloyd iterations over their slice of the chunk.  The
+//! OpenMP barriers of the PARSEC original are replaced — as in the paper — by
+//! an [`AllToAllBarrier`]: after publishing its partial sums every worker
+//! waits for every other worker's arrival, reads *all* partials, and
+//! recomputes the centers locally.  Two barrier episodes per iteration keep
+//! the shared partial-sum slots from being overwritten while they are still
+//! being read.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use promise_runtime::spawn_named;
+use promise_sync::AllToAllBarrier;
+
+use crate::cluster_common::{
+    assign_points, update_centers, worker_ranges, ClusterParams, PartialSums,
+};
+use crate::data::hash_f64s;
+use crate::{Scale, WorkloadOutput};
+
+pub use crate::cluster_common::run_sequential;
+
+/// Runs the parallel benchmark.  Must be called from inside a task.
+pub fn run(params: &ClusterParams) -> u64 {
+    let points = Arc::new(params.generate_points());
+    let workers = params.workers.max(1);
+    let barrier = AllToAllBarrier::new(workers, params.sync_rounds());
+    let slots: Arc<Vec<Mutex<Option<PartialSums>>>> =
+        Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+
+    let mut handles = Vec::new();
+    for part in barrier.all_participants() {
+        let w = part.index();
+        let points = Arc::clone(&points);
+        let slots = Arc::clone(&slots);
+        let p = *params;
+        handles.push(spawn_named(&format!("streamcluster-w{w}"), part.clone(), move || {
+            let mut round = 0usize;
+            let mut total_cost = 0.0f64;
+            for chunk in points.chunks(p.chunk) {
+                // Every worker derives the same initial centers deterministically.
+                let mut centers = p.initial_centers(chunk);
+                let ranges = worker_ranges(chunk.len(), p.workers);
+                let (lo, hi) = ranges[w];
+                let mut last_cost = 0.0;
+                for _ in 0..p.iterations {
+                    // Local assignment over this worker's slice.
+                    let partial = assign_points(&chunk[lo..hi], &centers);
+                    *slots[w].lock() = Some(partial);
+                    // Barrier 1: all partials are published.
+                    part.arrive_and_wait(round).expect("barrier failed");
+                    round += 1;
+                    // All-to-all: read every worker's partial, in worker order.
+                    let mut merged = PartialSums::zero(p.centers, p.dims);
+                    for slot in slots.iter() {
+                        let guard = slot.lock();
+                        merged.merge(guard.as_ref().expect("missing partial"));
+                    }
+                    centers = update_centers(&merged, &centers);
+                    last_cost = merged.cost;
+                    // Barrier 2: everyone has read the partials; the slots may
+                    // be overwritten in the next iteration.
+                    part.arrive_and_wait(round).expect("barrier failed");
+                    round += 1;
+                }
+                total_cost += last_cost;
+            }
+            total_cost
+        }));
+    }
+
+    // All workers compute the same total; take worker 0's.
+    let mut costs = handles.into_iter().map(|h| h.join().expect("worker failed"));
+    let cost = costs.next().expect("at least one worker");
+    for other in costs {
+        debug_assert_eq!(other.to_bits(), cost.to_bits(), "workers disagree on the cost");
+    }
+    hash_f64s([cost])
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&ClusterParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn parallel_matches_sequential_oracle() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let expected = run_sequential(&params);
+        let rt = Runtime::new();
+        let got = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn single_worker_degenerate_case() {
+        let params = ClusterParams { workers: 1, ..ClusterParams::for_scale(Scale::Smoke) };
+        let expected = run_sequential(&params);
+        let got = Runtime::new().block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn uses_all_to_all_synchronization_volume() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        let (_, metrics) = rt.measure(|| run(&params)).unwrap();
+        // Each of the `rounds` barrier episodes makes every worker get every
+        // other worker's arrival promise: rounds * w * (w-1) gets, plus the
+        // data-bearing operations.
+        let w = params.workers as u64;
+        let rounds = params.sync_rounds() as u64;
+        assert!(
+            metrics.counters.gets >= rounds * w * (w - 1),
+            "expected at least {} barrier gets, saw {}",
+            rounds * w * (w - 1),
+            metrics.counters.gets
+        );
+    }
+
+    #[test]
+    fn baseline_and_verified_agree() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let verified = Runtime::new().block_on(|| run(&params)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| run(&params)).unwrap();
+        assert_eq!(verified, baseline);
+    }
+}

@@ -1,0 +1,144 @@
+//! The StreamCluster2 benchmark (paper benchmark 9): the same streaming
+//! k-means computation as [`streamcluster`](crate::streamcluster), but with
+//! the all-to-all exchanges replaced by an all-to-one [`Combiner`] where that
+//! is correct — the synchronization-reduction described in §6.3.
+//!
+//! Every Lloyd iteration now costs one combiner round (each worker sets one
+//! contribution promise and gets one broadcast promise; the coordinator gets
+//! `n` contributions and sets one result) instead of an `n × n` barrier
+//! exchange, which is why this benchmark's get/set rates — and its
+//! verification overhead — are far lower than StreamCluster's.
+
+use std::sync::Arc;
+
+use promise_runtime::spawn_named;
+use promise_sync::Combiner;
+
+use crate::cluster_common::{
+    assign_points, update_centers, worker_ranges, ClusterParams, PartialSums,
+};
+use crate::data::hash_f64s;
+use crate::{Scale, WorkloadOutput};
+
+pub use crate::cluster_common::run_sequential;
+
+/// Runs the parallel benchmark.  Must be called from inside a task.
+pub fn run(params: &ClusterParams) -> u64 {
+    let points = Arc::new(params.generate_points());
+    let workers = params.workers.max(1);
+    let rounds = params.chunks() * params.iterations;
+    let combiner: Combiner<PartialSums> = Combiner::new(workers, rounds);
+
+    // Dedicated coordinator task: collects the per-worker partials, merges
+    // them in worker order, broadcasts the merged sums, and accumulates the
+    // per-chunk costs.
+    let coordinator = combiner.coordinator();
+    let chunks_count = params.chunks();
+    let iterations = params.iterations;
+    let coordinator_handle = spawn_named("streamcluster2-coordinator", coordinator.clone(), {
+        let p = *params;
+        move || {
+            let mut round = 0usize;
+            let mut total_cost = 0.0f64;
+            for _ in 0..chunks_count {
+                let mut last_cost = 0.0;
+                for _ in 0..iterations {
+                    let merged = coordinator
+                        .combine_round(round, |partials| {
+                            let mut merged = PartialSums::zero(p.centers, p.dims);
+                            for partial in &partials {
+                                merged.merge(partial);
+                            }
+                            merged
+                        })
+                        .expect("combine failed");
+                    last_cost = merged.cost;
+                    round += 1;
+                }
+                total_cost += last_cost;
+            }
+            total_cost
+        }
+    });
+
+    let mut worker_handles = Vec::new();
+    for w in 0..workers {
+        let role = combiner.worker(w);
+        let points = Arc::clone(&points);
+        let p = *params;
+        worker_handles.push(spawn_named(&format!("streamcluster2-w{w}"), role.clone(), move || {
+            let mut round = 0usize;
+            for chunk in points.chunks(p.chunk) {
+                let mut centers = p.initial_centers(chunk);
+                let ranges = worker_ranges(chunk.len(), p.workers);
+                let (lo, hi) = ranges[w];
+                for _ in 0..p.iterations {
+                    let partial = assign_points(&chunk[lo..hi], &centers);
+                    let merged =
+                        role.contribute_and_wait(round, partial).expect("combiner round failed");
+                    centers = update_centers(&merged, &centers);
+                    round += 1;
+                }
+            }
+        }));
+    }
+
+    for h in worker_handles {
+        h.join().expect("worker failed");
+    }
+    let cost = coordinator_handle.join().expect("coordinator failed");
+    hash_f64s([cost])
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput { checksum: run(&ClusterParams::for_scale(scale)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn parallel_matches_sequential_oracle() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let expected = run_sequential(&params);
+        let rt = Runtime::new();
+        let got = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn agrees_with_streamcluster_bit_for_bit() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        let all_to_all = rt.block_on(|| crate::streamcluster::run(&params)).unwrap();
+        let all_to_one = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(all_to_all, all_to_one);
+    }
+
+    #[test]
+    fn uses_fewer_promise_operations_than_streamcluster() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let rt1 = Runtime::new();
+        let (_, m1) = rt1.measure(|| crate::streamcluster::run(&params)).unwrap();
+        let rt2 = Runtime::new();
+        let (_, m2) = rt2.measure(|| run(&params)).unwrap();
+        assert!(
+            m2.counters.gets * 2 < m1.counters.gets,
+            "all-to-one should need far fewer gets ({} vs {})",
+            m2.counters.gets,
+            m1.counters.gets
+        );
+    }
+
+    #[test]
+    fn baseline_and_verified_agree() {
+        let params = ClusterParams::for_scale(Scale::Smoke);
+        let verified = Runtime::new().block_on(|| run(&params)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| run(&params)).unwrap();
+        assert_eq!(verified, baseline);
+    }
+}

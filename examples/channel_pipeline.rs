@@ -1,0 +1,60 @@
+//! The promise-backed channel of Listing 4, used to build a small
+//! producer/filter/consumer pipeline, with the channel's sending end moved
+//! between tasks as a `PromiseCollection`.
+//!
+//! ```text
+//! cargo run --example channel_pipeline
+//! ```
+
+use promises::prelude::*;
+
+fn main() {
+    let rt = Runtime::new();
+
+    let primes = rt
+        .block_on(|| {
+            // Stage 1 → 2: raw numbers; stage 2 → 3: numbers that survived the
+            // trial division filter.
+            let raw = Channel::<u64>::with_name("raw");
+            let filtered = Channel::<u64>::with_name("filtered");
+
+            // The generator owns the sending end of `raw` (moved at spawn).
+            let generator = spawn_named("generator", &raw, {
+                let raw = raw.clone();
+                move || {
+                    for n in 2..200u64 {
+                        raw.send(n).unwrap();
+                    }
+                    raw.stop().unwrap();
+                }
+            });
+
+            // The filter receives from `raw` (no ownership needed to receive)
+            // and owns the sending end of `filtered`.
+            let filter = spawn_named("filter", &filtered, {
+                let raw = raw.clone();
+                let filtered = filtered.clone();
+                move || {
+                    while let Some(n) = raw.recv().unwrap() {
+                        let is_prime = (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
+                        if is_prime {
+                            filtered.send(n).unwrap();
+                        }
+                    }
+                    filtered.stop().unwrap();
+                }
+            });
+
+            // The root is the consumer.
+            let primes = filtered.recv_all().unwrap();
+            generator.join().unwrap();
+            filter.join().unwrap();
+            primes
+        })
+        .unwrap();
+
+    println!("primes below 200: {primes:?}");
+    println!("count: {}", primes.len());
+    assert_eq!(primes.len(), 46);
+    println!("alarms recorded: {}", rt.context().alarm_count());
+}

@@ -1,0 +1,65 @@
+//! Listing 1 of the paper: a two-task deadlock cycle, detected at the moment
+//! it forms instead of hanging forever.
+//!
+//! ```text
+//! cargo run --example deadlock_detection
+//! ```
+//!
+//! The root task owns `p` and awaits `q`; task `t2` owns `q` and awaits `p`;
+//! a long-running task `t1` owns nothing.  Without ownership information this
+//! cannot even be *called* a deadlock (maybe `t1` would set one of them?);
+//! with the ownership annotations the cycle is precise and the second task to
+//! block raises an alarm naming every task and promise involved.
+
+use std::time::Duration;
+
+use promises::core::report::render_alarms;
+use promises::prelude::*;
+
+fn main() {
+    let rt = Runtime::new();
+
+    rt.block_on(|| {
+        let p = Promise::<i32>::with_name("p");
+        let q = Promise::<i32>::with_name("q");
+
+        // t1: a long-running task that owns neither promise (so it cannot be
+        // the one to resolve the cycle — and the detector knows that).
+        let t1 = spawn_named("t1 (web server)", (), || {
+            std::thread::sleep(Duration::from_millis(200));
+        });
+
+        // t2 takes ownership of q, then waits for p before setting q.
+        let t2 = spawn_named("t2", &q, {
+            let p = p.clone();
+            let q = q.clone();
+            move || match p.get() {
+                Ok(v) => {
+                    q.set(v + 1).unwrap();
+                    println!("[t2] got p, set q (no deadlock this time)");
+                }
+                Err(e) => {
+                    println!("[t2] deadlock detected while waiting for p:\n      {e}");
+                    // t2 still honours its own obligation so nothing else hangs.
+                    q.set(-1).unwrap();
+                }
+            }
+        });
+
+        // The root waits for q before setting p — completing the cycle.
+        match q.get() {
+            Ok(v) => println!("[root] got q = {v} (the cycle was detected in t2)"),
+            Err(e) => println!("[root] deadlock detected while waiting for q:\n       {e}"),
+        }
+        // Whoever detected it, the root still owns p and must fulfil it.
+        if !p.is_fulfilled() {
+            p.set(0).unwrap();
+        }
+
+        t2.join().unwrap();
+        t1.join().unwrap();
+    })
+    .unwrap();
+
+    println!("\nVerifier alarm log:\n{}", render_alarms(rt.context()));
+}

@@ -1,0 +1,95 @@
+//! The *omitted set* bug class: Listing 2 of the paper plus the AWS SDK
+//! checksum-validation bug of §1.4, both caught at the moment the responsible
+//! task terminates — with blame attached.
+//!
+//! ```text
+//! cargo run --example omitted_set
+//! ```
+
+use promises::core::report::render_alarms;
+use promises::prelude::*;
+
+/// Listing 2: `t3` is responsible for `r` and `s`; it delegates `s` to `t4`,
+/// which forgets to set it.  The alarm blames `t4` and names `s`.
+fn listing2(rt: &Runtime) {
+    println!("--- Listing 2: delegated responsibility, forgotten set ---");
+    rt.block_on(|| {
+        let r = Promise::<i32>::with_name("r");
+        let s = Promise::<i32>::with_name("s");
+
+        let t3 = spawn_named("t3", (&r, &s), {
+            let r = r.clone();
+            let s = s.clone();
+            move || {
+                let t4 = spawn_named("t4", &s, || {
+                    // ... was supposed to set s, but forgot.
+                });
+                r.set(1).unwrap();
+                t4.join()
+            }
+        });
+
+        println!("r.get() = {:?}", r.get());
+        // Without the policy this would hang forever; with it, the runtime
+        // completed `s` exceptionally when t4 terminated, naming the culprit.
+        match s.get() {
+            Ok(v) => println!("s.get() = {v}"),
+            Err(e) => println!("s.get() failed: {e}"),
+        }
+        let t4_result = t3.join().unwrap();
+        println!("t4's join result as seen by t3: {t4_result:?}");
+    })
+    .unwrap();
+}
+
+/// The AWS SDK bug (§1.4): the error path of a checksum-validating download
+/// returns without completing the result future, so consumers hang.  Here the
+/// validator is a task owning the result promise; when it dies on the error
+/// path the verifier completes the promise exceptionally and blames the task.
+fn aws_checksum_bug(rt: &Runtime) {
+    println!("\n--- AWS SDK scenario: onError forgets to complete the future ---");
+    rt.block_on(|| {
+        let download_done = Promise::<Vec<u8>>::with_name("FileAsyncResponseTransformer.future");
+
+        let validator = spawn_named("checksum-validator", &download_done, {
+            let download_done = download_done.clone();
+            move || {
+                let payload = vec![1u8, 2, 3, 4];
+                let stream_checksum = 0x1234u32;
+                let computed_checksum = 0x9999u32; // corrupted download
+                if stream_checksum != computed_checksum {
+                    // BUG (before the fix): onError() takes no action and the
+                    // method returns without completing the future.
+                    return;
+                }
+                download_done.complete(payload);
+            }
+        });
+
+        // The consumer does not hang: it observes the omitted set as soon as
+        // the validator terminates.
+        match download_done.get() {
+            Ok(bytes) => println!("consumer: downloaded {} bytes", bytes.len()),
+            Err(e) => println!("consumer: download future abandoned: {e}"),
+        }
+        let _ = validator.join();
+    })
+    .unwrap();
+}
+
+/// Small extension trait so the AWS example reads like the original Java.
+trait CompleteExt<T> {
+    fn complete(&self, value: T);
+}
+impl<T: Send + Sync + 'static> CompleteExt<T> for Promise<T> {
+    fn complete(&self, value: T) {
+        self.set(value).expect("complete() called by the owner exactly once");
+    }
+}
+
+fn main() {
+    let rt = Runtime::new();
+    listing2(&rt);
+    aws_checksum_bug(&rt);
+    println!("\nVerifier alarm log:\n{}", render_alarms(rt.context()));
+}

@@ -1,0 +1,47 @@
+//! Quickstart: promises with an ownership policy.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Creates a verified runtime, spawns a task that takes ownership of a
+//! promise, fulfils it, and joins — then shows what the verifier records.
+
+use promises::prelude::*;
+
+fn main() {
+    // A fully verified runtime: ownership policy (Algorithm 1) plus the
+    // lock-free deadlock detector (Algorithm 2).
+    let rt = Runtime::builder().verification(VerificationMode::Full).build();
+
+    let answer = rt
+        .block_on(|| {
+            // The promise is created by — and therefore owned by — the root task.
+            let p = Promise::<u64>::with_name("the-answer");
+            println!("created {:?}, owned by the root task", p.id());
+
+            // Ownership moves to the child at spawn time; from now on only the
+            // child may fulfil it, and it *must* do so before terminating.
+            let child = spawn_named("compute", &p, {
+                let p = p.clone();
+                move || {
+                    let value = (1..=42u64).map(|_| 1).sum();
+                    p.set(value).expect("the owner may set its promise");
+                }
+            });
+
+            // Any task may await the promise.
+            let value = p.get().expect("the child fulfils the promise");
+            child.join().expect("the child terminated cleanly");
+            value
+        })
+        .expect("the root task fulfilled all of its obligations");
+
+    println!("the answer is {answer}");
+    println!("alarms recorded: {}", rt.context().alarm_count());
+    let snapshot = rt.context().counter_snapshot();
+    println!(
+        "tasks spawned: {}, promises created: {}, gets: {}, sets: {}",
+        snapshot.tasks_spawned, snapshot.promises_created, snapshot.gets, snapshot.sets
+    );
+}

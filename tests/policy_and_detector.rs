@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the facade API, the ownership policy, the
+//! deadlock detector, and property-based tests over randomly generated task
+//! graphs.
+
+use std::sync::Arc;
+
+use promises::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn facade_quickstart_pattern_works() {
+    let rt = Runtime::builder().verification(VerificationMode::Full).build();
+    let out = rt
+        .block_on(|| {
+            let p = Promise::<i32>::with_name("x");
+            let h = spawn(&p, {
+                let p = p.clone();
+                move || p.set(20).unwrap()
+            });
+            let v = p.get().unwrap();
+            h.join().unwrap();
+            v + 22
+        })
+        .unwrap();
+    assert_eq!(out, 42);
+}
+
+#[test]
+fn listing1_is_detected_and_listing2_is_blamed_via_the_facade() {
+    // Listing 1 (deadlock).
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let p = Promise::<i32>::with_name("p");
+        let q = Promise::<i32>::with_name("q");
+        let t2 = spawn_named("t2", &q, {
+            let (p, q) = (p.clone(), q.clone());
+            move || {
+                let r = p.get();
+                q.set(0).unwrap();
+                r.is_err()
+            }
+        });
+        let root_detected = q.get().is_err();
+        if !p.is_fulfilled() {
+            p.set(0).unwrap();
+        }
+        let child_detected = t2.join().unwrap();
+        assert!(root_detected || child_detected);
+    })
+    .unwrap();
+    assert!(rt.context().alarms().iter().any(|a| a.kind() == "deadlock"));
+
+    // Listing 2 (omitted set).
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let r = Promise::<i32>::with_name("r");
+        let s = Promise::<i32>::with_name("s");
+        let t3 = spawn_named("t3", (&r, &s), {
+            let (r, s) = (r.clone(), s.clone());
+            move || {
+                let t4 = spawn_named("t4", &s, || { /* forgot to set s */ });
+                r.set(1).unwrap();
+                t4.join().is_err()
+            }
+        });
+        assert_eq!(r.get().unwrap(), 1);
+        assert!(s.get().is_err(), "the abandoned promise must fail, not hang");
+        assert!(t3.join().unwrap(), "t3 observed t4's violation");
+    })
+    .unwrap();
+    let alarms = rt.context().alarms();
+    assert!(alarms.iter().any(|a| a.kind() == "omitted-set"));
+}
+
+#[test]
+fn ownership_transfer_chains_through_many_generations() {
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let p = Promise::<u32>::with_name("heirloom");
+
+        fn pass_down(p: Promise<u32>, generation: u32) -> TaskHandle<()> {
+            spawn_named(&format!("gen-{generation}"), p.clone(), move || {
+                if generation == 0 {
+                    p.set(99).unwrap();
+                } else {
+                    let child = pass_down(p, generation - 1);
+                    child.join().unwrap();
+                }
+            })
+        }
+
+        let h = pass_down(p.clone(), 16);
+        assert_eq!(p.get().unwrap(), 99);
+        h.join().unwrap();
+    })
+    .unwrap();
+    assert_eq!(rt.context().alarm_count(), 0);
+}
+
+#[test]
+fn barrier_and_combiner_compose_with_channels() {
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let n = 4;
+        let rounds = 3;
+        let barrier = AllToAllBarrier::new(n, rounds);
+        let results = Channel::<usize>::with_name("results");
+        let collector = spawn_named("collector", &results, {
+            let results = results.clone();
+            move || {
+                // The collector owns the channel's sending end but hands out
+                // values produced by the barrier participants through a
+                // combiner-style reduction of its own.
+                for r in 0..rounds {
+                    results.send(r).unwrap();
+                }
+                results.stop().unwrap();
+            }
+        });
+        let mut handles = Vec::new();
+        for part in barrier.all_participants() {
+            handles.push(spawn_named(&format!("w{}", part.index()), part.clone(), move || {
+                for r in 0..rounds {
+                    part.arrive_and_wait(r).unwrap();
+                }
+            }));
+        }
+        assert_eq!(results.recv_all().unwrap(), vec![0, 1, 2]);
+        for h in handles {
+            h.join().unwrap();
+        }
+        collector.join().unwrap();
+    })
+    .unwrap();
+    assert_eq!(rt.context().alarm_count(), 0);
+}
+
+/// A random fork/join task tree with promise hand-offs: such programs are
+/// deadlock-free by construction (children only fulfil promises handed to
+/// them; parents only await their own children's promises), so the detector
+/// must never raise an alarm and every value must arrive.
+fn run_random_tree(rt: &Runtime, depth: u8, fanout: u8, seed: u64) -> u64 {
+    fn node(depth: u8, fanout: u8, seed: u64) -> u64 {
+        let mut sum = seed % 1000;
+        if depth == 0 {
+            return sum;
+        }
+        let mut waits = Vec::new();
+        for k in 0..fanout {
+            let p = Promise::<u64>::new();
+            let child_seed = seed.wrapping_mul(31).wrapping_add(k as u64);
+            let handle = spawn(&p, {
+                let p = p.clone();
+                move || {
+                    let v = node(depth - 1, fanout, child_seed);
+                    p.set(v).unwrap();
+                }
+            });
+            waits.push((p, handle));
+        }
+        for (p, handle) in waits {
+            sum = sum.wrapping_add(p.get().unwrap());
+            handle.join().unwrap();
+        }
+        sum
+    }
+    rt.block_on(|| node(depth, fanout, seed)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_fork_join_trees_never_alarm(depth in 1u8..4, fanout in 1u8..4, seed in 0u64..10_000) {
+        let rt = Runtime::new();
+        let verified = run_random_tree(&rt, depth, fanout, seed);
+        prop_assert_eq!(rt.context().alarm_count(), 0);
+        // Determinism and baseline agreement.
+        let baseline_rt = Runtime::unverified();
+        let baseline = run_random_tree(&baseline_rt, depth, fanout, seed);
+        prop_assert_eq!(verified, baseline);
+    }
+
+    #[test]
+    fn injected_cycles_are_always_detected(extra_tasks in 0usize..4, seed in 0u64..1_000) {
+        // Build a 2-cycle plus some unrelated tasks; exactly the Listing 1
+        // situation embedded in a larger program.
+        let rt = Runtime::new();
+        rt.block_on(|| {
+            let p = Promise::<u64>::new();
+            let q = Promise::<u64>::new();
+            let mut noise = Vec::new();
+            for i in 0..extra_tasks {
+                noise.push(spawn((), move || seed.wrapping_add(i as u64)));
+            }
+            let t2 = spawn(&q, {
+                let (p, q) = (p.clone(), q.clone());
+                move || {
+                    let r = p.get();
+                    q.set(1).unwrap();
+                    r.is_err()
+                }
+            });
+            let root_detected = q.get().is_err();
+            if !p.is_fulfilled() {
+                p.set(2).unwrap();
+            }
+            let child_detected = t2.join().unwrap();
+            for h in noise {
+                h.join().unwrap();
+            }
+            assert!(root_detected || child_detected, "the cycle must be detected by someone");
+        })
+        .unwrap();
+        prop_assert!(rt.context().counter_snapshot().deadlocks_detected >= 1);
+    }
+}
+
+#[test]
+fn arc_payloads_are_shared_not_copied() {
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let big = Arc::new(vec![7u8; 1 << 20]);
+        let p = Promise::<Arc<Vec<u8>>>::new();
+        let h = spawn(&p, {
+            let p = p.clone();
+            let big = Arc::clone(&big);
+            move || p.set(big).unwrap()
+        });
+        let got = p.get().unwrap();
+        assert!(Arc::ptr_eq(&got, &big));
+        h.join().unwrap();
+    })
+    .unwrap();
+}

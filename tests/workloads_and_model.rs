@@ -1,0 +1,180 @@
+//! Integration tests spanning the workload suite, the measurement substrate
+//! and the abstract model: the nine Table 1 benchmarks run end-to-end in both
+//! configurations, produce identical results, and never alarm; the model's
+//! conformance exploration agrees with the real runtime on the paper's
+//! example programs.
+
+use promise_model::{explore_exhaustive, program};
+use promise_stats::{geometric_mean, Summary};
+use promise_workloads::{all_workloads, workload_by_name, Scale};
+use promises::prelude::*;
+
+#[test]
+fn all_nine_benchmarks_run_verified_without_alarms_at_smoke_scale() {
+    for workload in all_workloads() {
+        let rt = Runtime::new();
+        let out = rt.block_on(|| workload.run(Scale::Smoke)).unwrap();
+        assert!(out.checksum != 0, "{} produced an empty checksum", workload.name);
+        assert_eq!(
+            rt.context().alarm_count(),
+            0,
+            "{} raised an alarm under verification",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn verified_and_baseline_runs_compute_identical_results() {
+    for workload in all_workloads() {
+        let verified = Runtime::new().block_on(|| workload.run(Scale::Smoke)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| workload.run(Scale::Smoke)).unwrap();
+        assert_eq!(
+            verified.checksum, baseline.checksum,
+            "{} differs between configurations",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn get_and_set_rates_reflect_each_benchmarks_synchronization_pattern() {
+    // Sieve is by far the most get-intensive benchmark per unit of work; the
+    // StreamCluster pair must show the all-to-all vs all-to-one gap.
+    let rate = |name: &str| {
+        let rt = Runtime::new();
+        let w = workload_by_name(name).unwrap();
+        let (_, m) = rt.measure(|| w.run(Scale::Smoke)).unwrap();
+        (m.counters.gets, m.counters.sets, m.tasks())
+    };
+    let (sc_gets, _, _) = rate("StreamCluster");
+    let (sc2_gets, _, _) = rate("StreamCluster2");
+    assert!(sc_gets > sc2_gets, "all-to-all must need more gets than all-to-one");
+
+    let (sieve_gets, sieve_sets, sieve_tasks) = rate("Sieve");
+    assert!(sieve_gets > 400, "sieve is get-heavy, saw {sieve_gets}");
+    assert!(sieve_sets > 400);
+    assert!(sieve_tasks > 90);
+}
+
+#[test]
+fn measurement_protocol_produces_usable_summaries() {
+    let rt = Runtime::new();
+    let w = workload_by_name("Heat").unwrap();
+    let mut seconds = Vec::new();
+    for _ in 0..3 {
+        let (_, m) = rt.measure(|| w.run(Scale::Smoke)).unwrap();
+        seconds.push(m.wall.as_secs_f64());
+    }
+    let summary = Summary::of(&seconds);
+    assert_eq!(summary.count, 3);
+    assert!(summary.mean > 0.0);
+    let ci = summary.ci95();
+    assert!(ci.low <= summary.mean && summary.mean <= ci.high);
+    // And the Table 1 aggregation function behaves.
+    assert!((geometric_mean(&[1.0, 1.0, 8.0]) - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn model_and_runtime_agree_on_the_papers_example_programs() {
+    // Model side: exhaustive exploration of the abstract programs.
+    let listing1 = explore_exhaustive(&program::listing1());
+    assert!(listing1.holds());
+    assert!(listing1.deadlock_alarms > 0);
+
+    let listing2 = explore_exhaustive(&program::listing2());
+    assert!(listing2.holds());
+    assert_eq!(listing2.deadlock_alarms, 0);
+    assert!(listing2.omitted_set_alarms > 0);
+
+    let correct = explore_exhaustive(&program::correct_pipeline());
+    assert!(correct.holds());
+    assert_eq!(correct.deadlock_alarms + correct.omitted_set_alarms, 0);
+
+    // Runtime side: the same three programs on real threads.
+    // Listing 1: a deadlock alarm is raised.
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let p = Promise::<i32>::new();
+        let q = Promise::<i32>::new();
+        let t2 = spawn(&q, {
+            let (p, q) = (p.clone(), q.clone());
+            move || {
+                let _ = p.get();
+                q.set(1).unwrap();
+            }
+        });
+        let _ = q.get();
+        if !p.is_fulfilled() {
+            p.set(1).unwrap();
+        }
+        t2.join().unwrap();
+    })
+    .unwrap();
+    assert!(rt.context().counter_snapshot().deadlocks_detected >= 1);
+
+    // Listing 2: an omitted-set alarm blaming the forgetful task.
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let r = Promise::<i32>::new();
+        let s = Promise::<i32>::new();
+        let t3 = spawn((&r, &s), {
+            let (r, s) = (r.clone(), s.clone());
+            move || {
+                let t4 = spawn(&s, || {});
+                r.set(1).unwrap();
+                let _ = t4.join();
+            }
+        });
+        assert_eq!(r.get().unwrap(), 1);
+        assert!(s.get().is_err());
+        t3.join().unwrap();
+    })
+    .unwrap();
+    assert_eq!(rt.context().counter_snapshot().omitted_sets_detected, 1);
+
+    // The correct pipeline: no alarms.
+    let rt = Runtime::new();
+    rt.block_on(|| {
+        let a = Promise::<i32>::new();
+        let b = Promise::<i32>::new();
+        let c = Promise::<i32>::new();
+        let producer = spawn((&a, &b), {
+            let (a, b) = (a.clone(), b.clone());
+            move || {
+                a.set(1).unwrap();
+                b.set(2).unwrap();
+            }
+        });
+        let consumer = spawn(&c, {
+            let (a, c) = (a.clone(), c.clone());
+            move || {
+                let v = a.get().unwrap();
+                c.set(v + 10).unwrap();
+            }
+        });
+        assert_eq!(b.get().unwrap(), 2);
+        assert_eq!(c.get().unwrap(), 11);
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    })
+    .unwrap();
+    assert_eq!(rt.context().alarm_count(), 0);
+}
+
+#[test]
+fn runtime_survives_a_benchmark_sequence_like_the_harness_runs() {
+    // The Table 1 harness reuses one runtime per configuration for warm-ups
+    // plus measured runs; make sure back-to-back workload executions leave no
+    // residue (tasks, promises, alarms).
+    let rt = Runtime::new();
+    let w = workload_by_name("Conway").unwrap();
+    let mut checksums = Vec::new();
+    for _ in 0..3 {
+        checksums.push(rt.block_on(|| w.run(Scale::Smoke)).unwrap().checksum);
+    }
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(rt.context().live_tasks(), 0);
+    assert_eq!(rt.context().live_promises(), 0);
+    assert_eq!(rt.context().alarm_count(), 0);
+}
