@@ -16,7 +16,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use promise_core::{Promise, VerificationMode};
-use promise_runtime::{spawn, Runtime};
+use promise_runtime::{spawn, Runtime, SchedulerKind};
 
 fn promise_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("ops");
@@ -93,15 +93,127 @@ fn detector_chain(c: &mut Criterion) {
                 .verification(mode)
                 .worker_keep_alive(Duration::from_secs(5))
                 .build();
-            group.bench_with_input(
-                BenchmarkId::new(mode.label(), n),
-                &n,
-                |b, &n| b.iter(|| resolve_chain(&rt, n)),
-            );
+            group.bench_with_input(BenchmarkId::new(mode.label(), n), &n, |b, &n| {
+                b.iter(|| resolve_chain(&rt, n))
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, promise_ops, detector_chain);
+/// Flat spawn/join fan-out: the root spawns `width` tasks that each fulfil
+/// one promise, then joins all of them.  Pure external-submission (injector)
+/// throughput.
+fn fanout_flat(rt: &Runtime, width: usize) -> u64 {
+    rt.block_on(|| {
+        let mut handles = Vec::with_capacity(width);
+        for i in 0..width as u64 {
+            let p = Promise::<u64>::new();
+            let h = spawn(&p, {
+                let p = p.clone();
+                move || p.set(i).unwrap()
+            });
+            handles.push((p, h));
+        }
+        let mut sum = 0u64;
+        for (p, h) in handles {
+            sum += p.get().unwrap();
+            h.join().unwrap();
+        }
+        sum
+    })
+    .unwrap()
+}
+
+/// Nested fan-out: every root-spawned task spawns one nested task and blocks
+/// on its promise — the worker-local submission path plus the grow-on-block
+/// hand-off, the shape that stressed the old pool's single queue hardest.
+fn fanout_nested(rt: &Runtime, width: usize) -> u64 {
+    rt.block_on(|| {
+        let mut handles = Vec::with_capacity(width);
+        for i in 0..width as u64 {
+            let p = Promise::<u64>::new();
+            let h = spawn(&p, {
+                let p = p.clone();
+                move || {
+                    let q = Promise::<u64>::new();
+                    let inner = spawn(&q, {
+                        let q = q.clone();
+                        move || q.set(i).unwrap()
+                    });
+                    let v = q.get().unwrap();
+                    inner.join().unwrap();
+                    p.set(v).unwrap();
+                }
+            });
+            handles.push((p, h));
+        }
+        let mut sum = 0u64;
+        for (p, h) in handles {
+            sum += p.get().unwrap();
+            h.join().unwrap();
+        }
+        sum
+    })
+    .unwrap()
+}
+
+/// Binary fork/join tree with a little leaf compute: each task spawns its
+/// left half and recurses into the right half inline, then joins — the
+/// divide-and-conquer shape of QSort/Strassen.
+fn forkjoin_tree(rt: &Runtime, depth: u32) -> u64 {
+    fn node(depth: u32) -> u64 {
+        if depth == 0 {
+            let mut x = 1u64;
+            for i in 0..300 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            return (x & 7) + 1;
+        }
+        let left = Promise::<u64>::new();
+        let h = spawn(&left, {
+            let left = left.clone();
+            move || left.set(node(depth - 1)).unwrap()
+        });
+        let r = node(depth - 1);
+        let l = left.get().unwrap();
+        h.join().unwrap();
+        l + r
+    }
+    rt.block_on(|| node(depth)).unwrap()
+}
+
+/// Old vs. new scheduler on three spawn/join-heavy shapes, with ≥ 4 workers
+/// kept warm: the acceptance bar is that the sharded work-stealing scheduler
+/// at least matches the single-mutex `GrowingPool` on every shape.
+fn scheduler_compare(c: &mut Criterion) {
+    type Shape = (&'static str, u64, fn(&Runtime) -> u64);
+    let mut group = c.benchmark_group("scheduler");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let shapes: [Shape; 3] = [
+        ("fanout_flat/64", 64, |rt| fanout_flat(rt, 64)),
+        ("fanout_nested/64", 128, |rt| fanout_nested(rt, 64)),
+        ("forkjoin_tree/8", 255, |rt| forkjoin_tree(rt, 8)),
+    ];
+    for (shape, tasks, run) in shapes {
+        group.throughput(Throughput::Elements(tasks));
+        for kind in [SchedulerKind::GrowingPool, SchedulerKind::WorkStealing] {
+            let rt = Runtime::builder()
+                .verification(VerificationMode::Unverified)
+                .scheduler(kind)
+                .initial_workers(4)
+                .worker_keep_alive(Duration::from_secs(10))
+                .build();
+            // Warm the pool up so thread creation is off the measured path.
+            let _ = run(&rt);
+            group.bench_function(BenchmarkId::new(shape, kind.label()), |b| {
+                b.iter(|| run(&rt))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, promise_ops, detector_chain, scheduler_compare);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn table1_benchmarks(c: &mut Criterion) {
             let rt = runtime_for(mode);
             group.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
                 b.iter(|| {
-                    rt.block_on(|| workload.run(scale)).expect("workload failed").checksum
+                    rt.block_on(|| workload.run(scale))
+                        .expect("workload failed")
+                        .checksum
                 });
             });
         }

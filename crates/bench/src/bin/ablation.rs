@@ -22,7 +22,12 @@ use promise_bench::CliOptions;
 #[global_allocator]
 static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
 
-fn measure(rt: &Runtime, workload: &Workload, scale: Scale, protocol: &MeasurementProtocol) -> Summary {
+fn measure(
+    rt: &Runtime,
+    workload: &Workload,
+    scale: Scale,
+    protocol: &MeasurementProtocol,
+) -> Summary {
     let m = protocol.run_reported(|_| {
         let (_, metrics) = rt.measure(|| workload.run(scale)).expect("workload failed");
         metrics.wall.as_secs_f64()
@@ -47,7 +52,10 @@ fn main() {
     let mut t = Table::new(vec!["Ledger", "Mean time (s)", "Relative"]);
     let mut baseline_mean = None;
     for ledger in [LedgerMode::Lazy, LedgerMode::Eager, LedgerMode::CountOnly] {
-        let rt = Runtime::builder().verification(VerificationMode::Full).ledger(ledger).build();
+        let rt = Runtime::builder()
+            .verification(VerificationMode::Full)
+            .ledger(ledger)
+            .build();
         let s = measure(&rt, &sw, scale, &protocol);
         let base = *baseline_mean.get_or_insert(s.mean);
         t.add_row(vec![
@@ -58,8 +66,15 @@ fn main() {
     }
     println!("{}", t.render());
 
-    println!("Ablation 2: verification level, on Sieve (get-heavy) and SmithWaterman (transfer-heavy)");
-    let mut t = Table::new(vec!["Benchmark", "Mode", "Mean time (s)", "Overhead vs baseline"]);
+    println!(
+        "Ablation 2: verification level, on Sieve (get-heavy) and SmithWaterman (transfer-heavy)"
+    );
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Mode",
+        "Mean time (s)",
+        "Overhead vs baseline",
+    ]);
     for name in ["Sieve", "SmithWaterman"] {
         let w = workload_by_name(name).unwrap();
         let mut base = None;

@@ -5,10 +5,16 @@
 //! ```text
 //! cargo run -p promise-bench --release --bin table1 -- \
 //!     [--scale smoke|default|paper] [--runs N] [--warmups N] \
-//!     [--filter NAME] [--no-memory] [--paper-protocol]
+//!     [--filter NAME] [--no-memory] [--paper-protocol] \
+//!     [--json PATH | --no-json]
 //! ```
+//!
+//! Besides the human-readable table, the run writes machine-readable results
+//! (wall-time summaries plus per-workload counter deltas) to
+//! `BENCH_table1.json` by default, giving later revisions a perf trajectory
+//! to regress against.
 
-use promise_bench::{render_table1, run_suite, CliOptions};
+use promise_bench::{render_table1, render_table1_json, run_suite, CliOptions};
 
 #[global_allocator]
 static ALLOC: promise_stats::CountingAllocator = promise_stats::CountingAllocator;
@@ -21,7 +27,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: table1 [--scale smoke|default|paper] [--runs N] [--warmups N] \
-                 [--filter NAME] [--no-memory] [--paper-protocol]"
+                 [--filter NAME] [--no-memory] [--paper-protocol] [--json PATH | --no-json]"
             );
             std::process::exit(2);
         }
@@ -32,11 +38,26 @@ fn main() {
         opts.scale.name(),
         opts.runs,
         opts.warmups,
-        if opts.skip_memory { ", memory measurement skipped" } else { "" }
+        if opts.skip_memory {
+            ", memory measurement skipped"
+        } else {
+            ""
+        }
     );
     println!();
 
     let workloads = opts.workloads();
     let results = run_suite(&workloads, opts.scale, &opts.protocol(), !opts.skip_memory);
     println!("{}", render_table1(&results));
+
+    if let Some(path) = &opts.json_path {
+        let json = render_table1_json(&results, opts.scale, opts.runs);
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("[promise-bench] wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -22,8 +22,8 @@
 
 use std::time::Duration;
 
-use promise_core::VerificationMode;
-use promise_runtime::{Runtime, RunMetrics};
+use promise_core::{CounterSnapshot, VerificationMode};
+use promise_runtime::{RunMetrics, Runtime};
 use promise_stats::{geometric_mean, MeasurementProtocol, MemorySampler, Summary, Table};
 use promise_workloads::{all_workloads, Scale, Workload};
 
@@ -47,6 +47,11 @@ pub struct BenchmarkResult {
     pub gets_per_ms: f64,
     /// Average `set` operations per millisecond of baseline execution.
     pub sets_per_ms: f64,
+    /// Counter deltas of the last baseline run.
+    pub baseline_counters: CounterSnapshot,
+    /// Counter deltas of the last verified run (detector runs/steps live
+    /// here; they are zero in the baseline).
+    pub verified_counters: CounterSnapshot,
 }
 
 impl BenchmarkResult {
@@ -82,7 +87,9 @@ pub fn runtime_for(mode: VerificationMode) -> Runtime {
 /// Runs `workload` once on `rt` and returns its metrics.  Panics if the
 /// workload raises an alarm (the evaluation programs are all bug-free).
 pub fn run_once(rt: &Runtime, workload: &Workload, scale: Scale) -> RunMetrics {
-    let (out, metrics) = rt.measure(|| workload.run(scale)).expect("workload violated the policy");
+    let (out, metrics) = rt
+        .measure(|| workload.run(scale))
+        .expect("workload violated the policy");
     assert!(out.checksum != 0, "workload produced an empty checksum");
     assert_eq!(
         rt.context().alarm_count(),
@@ -109,7 +116,10 @@ pub fn measure_time(
         last_metrics = Some(metrics);
         secs
     });
-    (measurements.summary(), last_metrics.expect("at least one run"))
+    (
+        measurements.summary(),
+        last_metrics.expect("at least one run"),
+    )
 }
 
 /// Measures the average live-heap footprint of one run of `workload` under
@@ -135,7 +145,11 @@ pub fn run_suite(
     workloads
         .iter()
         .map(|w| {
-            eprintln!("[promise-bench] measuring {} ({} scale)…", w.name, scale.name());
+            eprintln!(
+                "[promise-bench] measuring {} ({} scale)…",
+                w.name,
+                scale.name()
+            );
             let (baseline_time, baseline_metrics) =
                 measure_time(w, scale, VerificationMode::Unverified, protocol);
             let (verified_time, verified_metrics) =
@@ -157,6 +171,8 @@ pub fn run_suite(
                 tasks: verified_metrics.tasks(),
                 gets_per_ms: baseline_metrics.gets_per_ms(),
                 sets_per_ms: baseline_metrics.sets_per_ms(),
+                baseline_counters: baseline_metrics.counters,
+                verified_counters: verified_metrics.counters,
             }
         })
         .collect()
@@ -179,21 +195,36 @@ pub fn render_table1(results: &[BenchmarkResult]) -> String {
             r.name.clone(),
             format!("{:.3}", r.baseline_time.mean),
             format!("{:.2}x", r.time_overhead()),
-            if r.baseline_mem_mb > 0.0 { format!("{:.2}", r.baseline_mem_mb) } else { "n/a".into() },
-            if r.baseline_mem_mb > 0.0 { format!("{:.2}x", r.memory_overhead()) } else { "n/a".into() },
+            if r.baseline_mem_mb > 0.0 {
+                format!("{:.2}", r.baseline_mem_mb)
+            } else {
+                "n/a".into()
+            },
+            if r.baseline_mem_mb > 0.0 {
+                format!("{:.2}x", r.memory_overhead())
+            } else {
+                "n/a".into()
+            },
             r.tasks.to_string(),
             format!("{:.2}", r.gets_per_ms),
             format!("{:.2}", r.sets_per_ms),
         ]);
     }
-    let time_geo = geometric_mean(&results.iter().map(|r| r.time_overhead()).collect::<Vec<_>>());
+    let time_geo = geometric_mean(
+        &results
+            .iter()
+            .map(|r| r.time_overhead())
+            .collect::<Vec<_>>(),
+    );
     let mem_factors: Vec<f64> = results
         .iter()
         .map(|r| r.memory_overhead())
         .filter(|v| v.is_finite())
         .collect();
     let mut out = table.render();
-    out.push_str(&format!("\nGeometric mean time overhead:   {time_geo:.2}x (paper: 1.12x)\n"));
+    out.push_str(&format!(
+        "\nGeometric mean time overhead:   {time_geo:.2}x (paper: 1.12x)\n"
+    ));
     if !mem_factors.is_empty() {
         out.push_str(&format!(
             "Geometric mean memory overhead: {:.2}x (paper: 1.06x)\n",
@@ -208,6 +239,143 @@ pub fn render_table1(results: &[BenchmarkResult]) -> String {
     out
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_counters(c: &CounterSnapshot) -> String {
+    format!(
+        "{{\"gets\": {}, \"sets\": {}, \"promises_created\": {}, \"tasks_spawned\": {}, \
+         \"transfers\": {}, \"detector_runs\": {}, \"detector_steps\": {}, \
+         \"deadlocks_detected\": {}, \"omitted_sets_detected\": {}}}",
+        c.gets,
+        c.sets,
+        c.promises_created,
+        c.tasks_spawned,
+        c.transfers,
+        c.detector_runs,
+        c.detector_steps,
+        c.deadlocks_detected,
+        c.omitted_sets_detected,
+    )
+}
+
+fn json_summary(s: &Summary) -> String {
+    let ci = s.ci95();
+    format!(
+        "{{\"mean_s\": {}, \"ci95_low_s\": {}, \"ci95_high_s\": {}, \"runs\": {}}}",
+        json_f64(s.mean),
+        json_f64(ci.low),
+        json_f64(ci.high),
+        s.count
+    )
+}
+
+/// Renders the Table 1 results as machine-readable JSON (wall-time summaries
+/// plus per-workload counter deltas), so later revisions have a perf
+/// trajectory to regress against.  Hand-rolled: the build environment has no
+/// registry access for a serde dependency.
+pub fn render_table1_json(results: &[BenchmarkResult], scale: Scale, runs: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"promise-bench/table1/v1\",\n  \"scale\": \"{}\",\n  \"runs\": {},\n",
+        scale.name(),
+        runs
+    ));
+    let time_geo = geometric_mean(
+        &results
+            .iter()
+            .map(|r| r.time_overhead())
+            .collect::<Vec<_>>(),
+    );
+    out.push_str(&format!(
+        "  \"geomean_time_overhead\": {},\n",
+        json_f64(time_geo)
+    ));
+    let mem_factors: Vec<f64> = results
+        .iter()
+        .map(|r| r.memory_overhead())
+        .filter(|v| v.is_finite())
+        .collect();
+    if mem_factors.is_empty() {
+        out.push_str("  \"geomean_memory_overhead\": null,\n");
+    } else {
+        out.push_str(&format!(
+            "  \"geomean_memory_overhead\": {},\n",
+            json_f64(geometric_mean(&mem_factors))
+        ));
+    }
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+        out.push_str(&format!(
+            "      \"baseline_time\": {},\n",
+            json_summary(&r.baseline_time)
+        ));
+        out.push_str(&format!(
+            "      \"verified_time\": {},\n",
+            json_summary(&r.verified_time)
+        ));
+        out.push_str(&format!(
+            "      \"time_overhead\": {},\n",
+            json_f64(r.time_overhead())
+        ));
+        out.push_str(&format!(
+            "      \"baseline_mem_mb\": {},\n",
+            json_f64(r.baseline_mem_mb)
+        ));
+        out.push_str(&format!(
+            "      \"verified_mem_mb\": {},\n",
+            json_f64(r.verified_mem_mb)
+        ));
+        out.push_str(&format!("      \"tasks\": {},\n", r.tasks));
+        out.push_str(&format!(
+            "      \"gets_per_ms\": {},\n",
+            json_f64(r.gets_per_ms)
+        ));
+        out.push_str(&format!(
+            "      \"sets_per_ms\": {},\n",
+            json_f64(r.sets_per_ms)
+        ));
+        out.push_str(&format!(
+            "      \"baseline_counters\": {},\n",
+            json_counters(&r.baseline_counters)
+        ));
+        out.push_str(&format!(
+            "      \"verified_counters\": {}\n",
+            json_counters(&r.verified_counters)
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders the Figure 1 data: per-benchmark mean execution time with a 95 %
 /// confidence interval for both configurations, as a text chart plus CSV.
 pub fn render_figure1(results: &[BenchmarkResult]) -> String {
@@ -219,7 +387,10 @@ pub fn render_figure1(results: &[BenchmarkResult]) -> String {
         .fold(0.0f64, f64::max)
         .max(1e-9);
     for r in results {
-        for (label, s) in [("baseline", &r.baseline_time), ("verified", &r.verified_time)] {
+        for (label, s) in [
+            ("baseline", &r.baseline_time),
+            ("verified", &r.verified_time),
+        ] {
             let ci = s.ci95();
             let width = ((s.mean / max_time) * 50.0).round() as usize;
             out.push_str(&format!(
@@ -236,7 +407,10 @@ pub fn render_figure1(results: &[BenchmarkResult]) -> String {
     }
     out.push_str("CSV:\nbenchmark,config,mean_s,ci_low_s,ci_high_s,runs\n");
     for r in results {
-        for (label, s) in [("baseline", &r.baseline_time), ("verified", &r.verified_time)] {
+        for (label, s) in [
+            ("baseline", &r.baseline_time),
+            ("verified", &r.verified_time),
+        ] {
             let ci = s.ci95();
             out.push_str(&format!(
                 "{},{},{:.6},{:.6},{:.6},{}\n",
@@ -260,11 +434,21 @@ pub struct CliOptions {
     pub filter: Option<String>,
     /// Skip the memory measurement passes.
     pub skip_memory: bool,
+    /// Where the Table 1 binary writes its machine-readable results
+    /// (`None` disables the JSON artifact).
+    pub json_path: Option<String>,
 }
 
 impl Default for CliOptions {
     fn default() -> Self {
-        CliOptions { scale: Scale::Default, runs: 5, warmups: 2, filter: None, skip_memory: false }
+        CliOptions {
+            scale: Scale::Default,
+            runs: 5,
+            warmups: 2,
+            filter: None,
+            skip_memory: false,
+            json_path: Some("BENCH_table1.json".to_string()),
+        }
     }
 }
 
@@ -303,6 +487,11 @@ impl CliOptions {
                     opts.filter = Some(args.get(i).ok_or("--filter needs a value")?.clone());
                 }
                 "--no-memory" => opts.skip_memory = true,
+                "--json" => {
+                    i += 1;
+                    opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
+                }
+                "--no-json" => opts.json_path = None,
                 "--paper-protocol" => {
                     opts.runs = 30;
                     opts.warmups = 5;
@@ -316,7 +505,9 @@ impl CliOptions {
 
     /// The measurement protocol implied by these options.
     pub fn protocol(&self) -> MeasurementProtocol {
-        MeasurementProtocol::default().with_warmups(self.warmups).with_runs(self.runs)
+        MeasurementProtocol::default()
+            .with_warmups(self.warmups)
+            .with_runs(self.runs)
     }
 
     /// The workloads selected by the filter (all nine when unfiltered).
@@ -324,7 +515,10 @@ impl CliOptions {
         all_workloads()
             .into_iter()
             .filter(|w| match &self.filter {
-                Some(f) => w.name.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+                Some(f) => w
+                    .name
+                    .to_ascii_lowercase()
+                    .contains(&f.to_ascii_lowercase()),
                 None => true,
             })
             .collect()
@@ -337,10 +531,20 @@ mod tests {
 
     #[test]
     fn cli_parsing_handles_all_flags() {
-        let args: Vec<String> = ["--scale", "smoke", "--runs", "2", "--warmups", "0", "--filter", "heat", "--no-memory"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--scale",
+            "smoke",
+            "--runs",
+            "2",
+            "--warmups",
+            "0",
+            "--filter",
+            "heat",
+            "--no-memory",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let opts = CliOptions::parse(&args).unwrap();
         assert_eq!(opts.scale, Scale::Smoke);
         assert_eq!(opts.runs, 2);
@@ -368,6 +572,8 @@ mod tests {
             tasks: 10,
             gets_per_ms: 1.0,
             sets_per_ms: 1.0,
+            baseline_counters: CounterSnapshot::default(),
+            verified_counters: CounterSnapshot::default(),
         };
         assert!((r.time_overhead() - 1.2).abs() < 1e-9);
         assert!((r.memory_overhead() - 1.06).abs() < 1e-9);
@@ -386,6 +592,8 @@ mod tests {
                 tasks: 5,
                 gets_per_ms: 2.0,
                 sets_per_ms: 2.0,
+                baseline_counters: CounterSnapshot::default(),
+                verified_counters: CounterSnapshot::default(),
             })
             .collect();
         let t = render_table1(&results);
@@ -394,12 +602,25 @@ mod tests {
         let f = render_figure1(&results);
         assert!(f.contains("baseline") && f.contains("verified"));
         assert!(f.contains("CSV:"));
+
+        let j = render_table1_json(&results, Scale::Smoke, 3);
+        assert!(j.contains("\"schema\": \"promise-bench/table1/v1\""));
+        assert!(j.contains("\"name\": \"A\"") && j.contains("\"name\": \"B\""));
+        assert!(j.contains("\"geomean_time_overhead\""));
+        assert!(j.contains("\"tasks_spawned\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]
     fn end_to_end_smoke_measurement_of_one_workload() {
         let w = promise_workloads::workload_by_name("Heat").unwrap();
-        let protocol = MeasurementProtocol { warmups: 0, runs: 1, budget: None };
+        let protocol = MeasurementProtocol {
+            warmups: 0,
+            runs: 1,
+            budget: None,
+        };
         let results = run_suite(&[w], Scale::Smoke, &protocol, false);
         assert_eq!(results.len(), 1);
         assert!(results[0].baseline_time.mean > 0.0);

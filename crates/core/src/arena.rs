@@ -239,10 +239,11 @@ impl<T: SlotValue> SlotArena<T> {
         // generation zero.  Both non-live states fail reference validation,
         // so resetting the value below cannot be confused with live data.
         let old_gen = slot.generation.load(Ordering::Relaxed);
-        let new_gen = if old_gen % 2 == 0 {
+        let new_gen = if old_gen.is_multiple_of(2) {
             // Never-allocated slot (generation 0, or an even value left over
             // from a wrap-around): mark it as in-transition first.
-            slot.generation.store(old_gen.wrapping_add(1), Ordering::Relaxed);
+            slot.generation
+                .store(old_gen.wrapping_add(1), Ordering::Relaxed);
             old_gen.wrapping_add(2)
         } else {
             // Recycled from the free list: the odd "freed" generation already
@@ -349,7 +350,9 @@ mod tests {
 
     impl SlotValue for TestCell {
         fn new_empty() -> Self {
-            TestCell { value: AtomicU64::new(0) }
+            TestCell {
+                value: AtomicU64::new(0),
+            }
         }
         fn reset(&self) {
             self.value.store(0, Ordering::Relaxed);
@@ -376,7 +379,9 @@ mod tests {
     fn recycled_slot_gets_new_generation() {
         let arena: SlotArena<TestCell> = SlotArena::new();
         let a = arena.alloc();
-        arena.read(a, |c| c.value.store(7, Ordering::Relaxed)).unwrap();
+        arena
+            .read(a, |c| c.value.store(7, Ordering::Relaxed))
+            .unwrap();
         arena.free(a);
         let b = arena.alloc();
         // The same physical slot is reused…
@@ -427,7 +432,10 @@ mod tests {
                 .unwrap();
         }
         for (i, r) in refs.iter().enumerate() {
-            assert_eq!(arena.read(*r, |c| c.value.load(Ordering::Relaxed)), Some(i as u64));
+            assert_eq!(
+                arena.read(*r, |c| c.value.load(Ordering::Relaxed)),
+                Some(i as u64)
+            );
         }
         for r in refs {
             arena.free(r);
@@ -462,12 +470,18 @@ mod tests {
                     for i in 0..per_thread {
                         let r = arena.alloc();
                         arena
-                            .read(r, |c| c.value.store((t * per_thread + i) as u64, Ordering::Relaxed))
+                            .read(r, |c| {
+                                c.value
+                                    .store((t * per_thread + i) as u64, Ordering::Relaxed)
+                            })
                             .expect("freshly allocated slot is live");
                         held.push((r, (t * per_thread + i) as u64));
                         if i % 3 == 0 {
                             let (old, v) = held.remove(0);
-                            assert_eq!(arena.read(old, |c| c.value.load(Ordering::Relaxed)), Some(v));
+                            assert_eq!(
+                                arena.read(old, |c| c.value.load(Ordering::Relaxed)),
+                                Some(v)
+                            );
                             arena.free(old);
                         }
                     }
@@ -490,7 +504,9 @@ mod tests {
         // slot has been recycled, never the new occupant's data.
         let arena: Arc<SlotArena<TestCell>> = Arc::new(SlotArena::new());
         let r = arena.alloc();
-        arena.read(r, |c| c.value.store(1, Ordering::Relaxed)).unwrap();
+        arena
+            .read(r, |c| c.value.store(1, Ordering::Relaxed))
+            .unwrap();
 
         let reader = {
             let arena = Arc::clone(&arena);
@@ -512,7 +528,9 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(1));
         arena.free(r);
         let fresh = arena.alloc();
-        arena.read(fresh, |c| c.value.store(999, Ordering::Relaxed)).unwrap();
+        arena
+            .read(fresh, |c| c.value.store(999, Ordering::Relaxed))
+            .unwrap();
         reader.join().unwrap();
     }
 }

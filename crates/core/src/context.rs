@@ -19,15 +19,53 @@ use crate::ids::{PromiseId, TaskId};
 use crate::policy::PolicyConfig;
 use crate::slots::{PromiseSlot, TaskSlot};
 
+/// A job an [`Executor`] refused to schedule (it has shut down), handed back
+/// to the submitter so that nothing is lost silently: the caller can run it
+/// inline, settle its promises exceptionally, or drop it (dropping a spawned
+/// task's job triggers the rule-3 exit machinery via `PreparedTask`'s drop).
+pub struct RejectedJob(pub Box<dyn FnOnce() + Send + 'static>);
+
+impl std::fmt::Debug for RejectedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RejectedJob(..)")
+    }
+}
+
 /// Something that can run a task body asynchronously (a thread pool).
 ///
 /// `promise-core` is runtime-agnostic; the runtime crate implements this
 /// trait and registers itself via [`Context::set_executor`] so that
 /// higher-level constructs can spawn tasks without depending on a concrete
 /// pool type.
+///
+/// Besides scheduling, the trait is the *blocking seam* of the paper's §6.3
+/// execution strategy: a thread pool for promises must grow whenever a task
+/// is submitted and no non-blocked worker can pick it up, so the pool needs
+/// to know when one of its workers blocks on a promise.  [`Promise::get`]
+/// (and every other blocking wait) brackets the wait with
+/// [`on_task_blocked`](Executor::on_task_blocked) /
+/// [`on_task_unblocked`](Executor::on_task_unblocked) through the installed
+/// executor; implementations use this to keep a blocked-worker count and to
+/// spawn replacement workers so queued tasks never starve behind a blocked
+/// one.
+///
+/// [`Promise::get`]: crate::Promise::get
 pub trait Executor: Send + Sync {
     /// Schedules `job` to run asynchronously.
-    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>);
+    ///
+    /// Returns the job back as a [`RejectedJob`] if the executor can no
+    /// longer run it (it has shut down).  Implementations must never drop a
+    /// submitted job silently.
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob>;
+
+    /// Called by a blocking promise wait just before the calling thread
+    /// parks.  The default implementation does nothing.
+    fn on_task_blocked(&self) {}
+
+    /// Called when a blocking promise wait resumes (fulfilment, timeout, or
+    /// unwinding).  Calls are balanced with
+    /// [`on_task_blocked`](Executor::on_task_blocked).
+    fn on_task_unblocked(&self) {}
 }
 
 /// An alarm raised by the verifier: one of the two bug classes of §1.2.
@@ -248,8 +286,12 @@ mod tests {
     fn executor_can_only_be_installed_once() {
         struct Inline;
         impl Executor for Inline {
-            fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+            fn execute(
+                &self,
+                job: Box<dyn FnOnce() + Send + 'static>,
+            ) -> Result<(), crate::context::RejectedJob> {
                 job();
+                Ok(())
             }
         }
         let ctx = Context::new_verified();

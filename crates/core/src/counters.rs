@@ -54,12 +54,16 @@ impl CounterSnapshot {
         CounterSnapshot {
             gets: self.gets.saturating_sub(earlier.gets),
             sets: self.sets.saturating_sub(earlier.sets),
-            promises_created: self.promises_created.saturating_sub(earlier.promises_created),
+            promises_created: self
+                .promises_created
+                .saturating_sub(earlier.promises_created),
             tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
             transfers: self.transfers.saturating_sub(earlier.transfers),
             detector_runs: self.detector_runs.saturating_sub(earlier.detector_runs),
             detector_steps: self.detector_steps.saturating_sub(earlier.detector_steps),
-            deadlocks_detected: self.deadlocks_detected.saturating_sub(earlier.deadlocks_detected),
+            deadlocks_detected: self
+                .deadlocks_detected
+                .saturating_sub(earlier.deadlocks_detected),
             omitted_sets_detected: self
                 .omitted_sets_detected
                 .saturating_sub(earlier.omitted_sets_detected),
@@ -205,7 +209,11 @@ mod tests {
 
     #[test]
     fn rates_per_ms() {
-        let s = CounterSnapshot { gets: 5000, sets: 2500, ..Default::default() };
+        let s = CounterSnapshot {
+            gets: 5000,
+            sets: 2500,
+            ..Default::default()
+        };
         assert!((s.gets_per_ms(Duration::from_secs(1)) - 5.0).abs() < 1e-9);
         assert!((s.sets_per_ms(Duration::from_secs(1)) - 2.5).abs() < 1e-9);
         assert_eq!(s.gets_per_ms(Duration::from_secs(0)), 0.0);

@@ -68,7 +68,9 @@ pub(crate) struct DetectionSubject {
 #[inline]
 fn load_owner(ctx: &Context, promise: PackedRef) -> PackedRef {
     ctx.promises
-        .read(promise, |s| PackedRef::from_bits(s.owner.load(Ordering::Acquire)))
+        .read(promise, |s| {
+            PackedRef::from_bits(s.owner.load(Ordering::Acquire))
+        })
         .unwrap_or(PackedRef::NULL)
 }
 
@@ -77,7 +79,9 @@ fn load_owner(ctx: &Context, promise: PackedRef) -> PackedRef {
 #[inline]
 fn load_waiting_on(ctx: &Context, task: PackedRef) -> PackedRef {
     ctx.tasks
-        .read(task, |s| PackedRef::from_bits(s.waiting_on.load(Ordering::Acquire)))
+        .read(task, |s| {
+            PackedRef::from_bits(s.waiting_on.load(Ordering::Acquire))
+        })
         .unwrap_or(PackedRef::NULL)
 }
 
@@ -104,7 +108,8 @@ pub(crate) fn verify_and_mark(
     // consistency requirement 1 (the fence mirrors the TSO recipe of §5.1 and
     // orders the traversal loads below after the publication).
     ctx.tasks.read(subject.t0_slot, |s| {
-        s.waiting_on.store(subject.p0_slot.to_bits(), Ordering::SeqCst)
+        s.waiting_on
+            .store(subject.p0_slot.to_bits(), Ordering::SeqCst)
     });
     fence(Ordering::SeqCst);
 
@@ -217,7 +222,9 @@ mod tests {
 
     fn mark_waiting(ctx: &Arc<Context>, task: PackedRef, promise: PackedRef) {
         ctx.tasks
-            .read(task, |s| s.waiting_on.store(promise.to_bits(), Ordering::SeqCst))
+            .read(task, |s| {
+                s.waiting_on.store(promise.to_bits(), Ordering::SeqCst)
+            })
             .unwrap();
     }
 
@@ -242,10 +249,7 @@ mod tests {
         let r = verify_and_mark(&ctx, subject(t0, 1, p0, 10));
         assert!(r.is_ok());
         // The mark was left in place for the blocking wait.
-        assert_eq!(
-            ctx.tasks.read(t0, |s| s.waiting_on()).unwrap(),
-            p0
-        );
+        assert_eq!(ctx.tasks.read(t0, |s| s.waiting_on()).unwrap(), p0);
         clear_mark(&ctx, t0);
         assert!(ctx.tasks.read(t0, |s| s.waiting_on()).unwrap().is_null());
     }
@@ -303,7 +307,10 @@ mod tests {
         mark_waiting(&ctx, t2, p2);
         let cycle = verify_and_mark(&ctx, subject(t0, 1, p0, 10)).unwrap_err();
         assert_eq!(cycle.len(), 3);
-        assert_eq!(cycle.tasks().collect::<Vec<_>>(), vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(
+            cycle.tasks().collect::<Vec<_>>(),
+            vec![TaskId(1), TaskId(2), TaskId(3)]
+        );
     }
 
     #[test]
@@ -325,7 +332,10 @@ mod tests {
         let r = verify_and_mark(&ctx, subject(tasks[0], 1, promises[0], 100));
         assert!(r.is_ok());
         let snap = ctx.counter_snapshot();
-        assert!(snap.detector_steps as usize >= n - 3, "the whole chain should be traversed");
+        assert!(
+            snap.detector_steps as usize >= n - 3,
+            "the whole chain should be traversed"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl DeadlockCycle {
 
     /// The promise whose `get` raised the alarm.
     pub fn detecting_promise(&self) -> PromiseId {
-        self.entries.first().map(|e| e.promise).unwrap_or(PromiseId::NONE)
+        self.entries
+            .first()
+            .map(|e| e.promise)
+            .unwrap_or(PromiseId::NONE)
     }
 
     /// Ids of every task participating in the cycle.
@@ -90,7 +93,11 @@ impl fmt::Display for DeadlockCycle {
                 (None, None) => write!(f, "{} awaits {}", e.task, e.promise)?,
             }
         }
-        write!(f, " -> back to {}", self.entries.first().map(|e| e.task).unwrap_or(TaskId::NONE))
+        write!(
+            f,
+            " -> back to {}",
+            self.entries.first().map(|e| e.task).unwrap_or(TaskId::NONE)
+        )
     }
 }
 
@@ -203,13 +210,24 @@ pub enum PromiseError {
         /// The promise that was being awaited.
         promise: PromiseId,
     },
+    /// A spawn was refused because the runtime's executor has shut down.
+    ///
+    /// The task never ran; every promise transferred to it (including its
+    /// completion promise) is completed exceptionally so no waiter can hang.
+    RuntimeShutdown {
+        /// The task that could not be scheduled.
+        task: TaskId,
+    },
 }
 
 impl PromiseError {
     /// Whether this error is one of the two bug-class alarms from the paper
     /// (deadlock cycle or omitted set), as opposed to ordinary API misuse.
     pub fn is_alarm(&self) -> bool {
-        matches!(self, PromiseError::DeadlockDetected(_) | PromiseError::OmittedSet(_))
+        matches!(
+            self,
+            PromiseError::DeadlockDetected(_) | PromiseError::OmittedSet(_)
+        )
     }
 
     /// A short machine-readable label for the error kind.
@@ -224,6 +242,7 @@ impl PromiseError {
             PromiseError::TaskFailed { .. } => "task-failed",
             PromiseError::Poisoned { .. } => "poisoned",
             PromiseError::Timeout { .. } => "timeout",
+            PromiseError::RuntimeShutdown { .. } => "runtime-shutdown",
         }
     }
 }
@@ -240,7 +259,10 @@ impl fmt::Display for PromiseError {
                 write!(f, "{promise} has already been fulfilled")
             }
             PromiseError::TransferNotOwned { promise, task } => {
-                write!(f, "{task} attempted to transfer {promise} which it does not own")
+                write!(
+                    f,
+                    "{task} attempted to transfer {promise} which it does not own"
+                )
             }
             PromiseError::NoCurrentTask { operation } => {
                 write!(f, "`{operation}` requires a current task on this thread")
@@ -253,6 +275,9 @@ impl fmt::Display for PromiseError {
             }
             PromiseError::Timeout { promise } => {
                 write!(f, "timed out waiting for {promise}")
+            }
+            PromiseError::RuntimeShutdown { task } => {
+                write!(f, "{task} was rejected: the runtime has shut down")
             }
         }
     }
@@ -275,18 +300,25 @@ mod tests {
 
     #[test]
     fn cycle_accessors() {
-        let c = DeadlockCycle { entries: vec![entry(1, 10), entry(2, 20)] };
+        let c = DeadlockCycle {
+            entries: vec![entry(1, 10), entry(2, 20)],
+        };
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
         assert_eq!(c.detecting_task(), TaskId(1));
         assert_eq!(c.detecting_promise(), PromiseId(10));
         assert_eq!(c.tasks().collect::<Vec<_>>(), vec![TaskId(1), TaskId(2)]);
-        assert_eq!(c.promises().collect::<Vec<_>>(), vec![PromiseId(10), PromiseId(20)]);
+        assert_eq!(
+            c.promises().collect::<Vec<_>>(),
+            vec![PromiseId(10), PromiseId(20)]
+        );
     }
 
     #[test]
     fn cycle_display_mentions_every_participant() {
-        let c = DeadlockCycle { entries: vec![entry(1, 10), entry(2, 20)] };
+        let c = DeadlockCycle {
+            entries: vec![entry(1, 10), entry(2, 20)],
+        };
         let s = c.to_string();
         assert!(s.contains("task#1"));
         assert!(s.contains("task#2"));
@@ -315,7 +347,9 @@ mod tests {
 
     #[test]
     fn error_kinds_and_alarm_classification() {
-        let cycle = Arc::new(DeadlockCycle { entries: vec![entry(1, 1)] });
+        let cycle = Arc::new(DeadlockCycle {
+            entries: vec![entry(1, 1)],
+        });
         let report = Arc::new(OmittedSetReport {
             task: TaskId(1),
             task_name: None,
@@ -324,27 +358,44 @@ mod tests {
         });
         assert!(PromiseError::DeadlockDetected(cycle).is_alarm());
         assert!(PromiseError::OmittedSet(report).is_alarm());
-        let not_owner = PromiseError::NotOwner { promise: PromiseId(1), task: TaskId(2) };
+        let not_owner = PromiseError::NotOwner {
+            promise: PromiseId(1),
+            task: TaskId(2),
+        };
         assert!(!not_owner.is_alarm());
         assert_eq!(not_owner.kind(), "not-owner");
         assert_eq!(
-            PromiseError::AlreadyFulfilled { promise: PromiseId(1) }.kind(),
+            PromiseError::AlreadyFulfilled {
+                promise: PromiseId(1)
+            }
+            .kind(),
             "already-fulfilled"
         );
         assert_eq!(
-            PromiseError::Timeout { promise: PromiseId(1) }.kind(),
+            PromiseError::Timeout {
+                promise: PromiseId(1)
+            }
+            .kind(),
             "timeout"
         );
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = PromiseError::NotOwner { promise: PromiseId(3), task: TaskId(7) };
+        let e = PromiseError::NotOwner {
+            promise: PromiseId(3),
+            task: TaskId(7),
+        };
         assert!(e.to_string().contains("task#7"));
         assert!(e.to_string().contains("promise#3"));
-        let e = PromiseError::NoCurrentTask { operation: "Promise::new" };
+        let e = PromiseError::NoCurrentTask {
+            operation: "Promise::new",
+        };
         assert!(e.to_string().contains("Promise::new"));
-        let e = PromiseError::Poisoned { promise: PromiseId(5), message: Arc::from("boom") };
+        let e = PromiseError::Poisoned {
+            promise: PromiseId(5),
+            message: Arc::from("boom"),
+        };
         assert!(e.to_string().contains("boom"));
     }
 }

@@ -60,7 +60,7 @@ pub mod slots;
 pub mod task;
 
 pub use collection::{collect_promises, PromiseCollection};
-pub use context::{Alarm, Context, Executor};
+pub use context::{Alarm, Context, Executor, RejectedJob};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
 pub use ids::{PromiseId, TaskId};

@@ -67,14 +67,20 @@ pub fn prepare_task(
         // spawn leaves the state untouched.
         for p in &unique {
             if !Arc::ptr_eq(p.context(), &ctx) {
-                return Err(PromiseError::TransferNotOwned { promise: p.id(), task: parent.id });
+                return Err(PromiseError::TransferNotOwned {
+                    promise: p.id(),
+                    task: parent.id,
+                });
             }
             let owner = ctx
                 .promises
                 .read(p.slot(), |s| s.owner())
                 .unwrap_or(PackedRef::NULL);
             if owner != parent.slot {
-                return Err(PromiseError::TransferNotOwned { promise: p.id(), task: parent.id });
+                return Err(PromiseError::TransferNotOwned {
+                    promise: p.id(),
+                    task: parent.id,
+                });
             }
         }
 
@@ -87,8 +93,9 @@ pub fn prepare_task(
         // re-assign their owner to the child, then seed the child's ledger.
         for p in &unique {
             parent.ledger.release(p.id());
-            ctx.promises
-                .read(p.slot(), |s| s.owner.store(body.slot.to_bits(), Ordering::Release));
+            ctx.promises.read(p.slot(), |s| {
+                s.owner.store(body.slot.to_bits(), Ordering::Release)
+            });
             body.ledger.append(Arc::clone(p));
         }
 
@@ -103,17 +110,25 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
     task::with_current_body(|t| {
         let ctx = &t.ctx;
         if !Arc::ptr_eq(promise.context(), ctx) {
-            return Err(PromiseError::NotOwner { promise: promise.id(), task: t.id });
+            return Err(PromiseError::NotOwner {
+                promise: promise.id(),
+                task: t.id,
+            });
         }
         if promise.is_fulfilled() {
-            return Err(PromiseError::AlreadyFulfilled { promise: promise.id() });
+            return Err(PromiseError::AlreadyFulfilled {
+                promise: promise.id(),
+            });
         }
         let owner = ctx
             .promises
             .read(promise.slot(), |s| s.owner())
             .unwrap_or(PackedRef::NULL);
         if owner != t.slot {
-            return Err(PromiseError::NotOwner { promise: promise.id(), task: t.id });
+            return Err(PromiseError::NotOwner {
+                promise: promise.id(),
+                task: t.id,
+            });
         }
         // Line 24: owner := null (the promise is about to be fulfilled).
         ctx.promises
@@ -123,7 +138,10 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
         Ok(())
     })
     .unwrap_or_else(|| {
-        Err(PromiseError::NotOwner { promise: promise.id(), task: TaskId::NONE })
+        Err(PromiseError::NotOwner {
+            promise: promise.id(),
+            task: TaskId::NONE,
+        })
     })
 }
 
@@ -171,7 +189,10 @@ pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obl
                     .read(e.slot(), |s| s.owner())
                     .unwrap_or(PackedRef::NULL);
                 if owner == body.slot {
-                    abandoned.push(AbandonedPromise { promise: e.id(), promise_name: e.name() });
+                    abandoned.push(AbandonedPromise {
+                        promise: e.id(),
+                        promise_name: e.name(),
+                    });
                     abandoned_handles.push(Arc::clone(e));
                 }
             }
@@ -189,7 +210,10 @@ pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obl
     } else {
         None
     };
-    Obligations { report, handles: abandoned_handles }
+    Obligations {
+        report,
+        handles: abandoned_handles,
+    }
 }
 
 impl Obligations {
@@ -248,10 +272,7 @@ pub(crate) fn settle_obligations(
 /// Rule 3: the exit check.  Called exactly once per task when it terminates
 /// (normally, by panic, or because its [`PreparedTask`] was dropped without
 /// ever running).
-pub(crate) fn finish_body(
-    body: TaskBody,
-    exclude: &[PromiseId],
-) -> Option<Arc<OmittedSetReport>> {
+pub(crate) fn finish_body(body: TaskBody, exclude: &[PromiseId]) -> Option<Arc<OmittedSetReport>> {
     let obligations = compute_obligations(&body, exclude);
     obligations.record(&body.ctx);
     settle_obligations(body, obligations)
@@ -273,7 +294,11 @@ mod tests {
 
         let prepared = prepare_task(Some("child"), vec![p.as_erased()]).unwrap();
         let child_id = prepared.id();
-        assert_eq!(p.owner_task(), Some(child_id), "ownership moves at spawn time");
+        assert_eq!(
+            p.owner_task(),
+            Some(child_id),
+            "ownership moves at spawn time"
+        );
 
         let p2 = p.clone();
         let handle = std::thread::spawn(move || {
@@ -431,9 +456,8 @@ mod tests {
 
     #[test]
     fn report_only_action_leaves_promises_unfulfilled() {
-        let ctx = Context::new(
-            PolicyConfig::verified().with_omitted_set(OmittedSetAction::ReportOnly),
-        );
+        let ctx =
+            Context::new(PolicyConfig::verified().with_omitted_set(OmittedSetAction::ReportOnly));
         let _root = ctx.root_task(None);
         let p = Promise::<i32>::new();
         let prepared = prepare_task(Some("lazy"), vec![p.as_erased()]).unwrap();
@@ -444,7 +468,10 @@ mod tests {
         .join()
         .unwrap();
         assert!(report.is_some());
-        assert!(!p.is_fulfilled(), "ReportOnly must not complete the promise");
+        assert!(
+            !p.is_fulfilled(),
+            "ReportOnly must not complete the promise"
+        );
         assert_eq!(ctx.alarm_count(), 1);
     }
 
@@ -463,7 +490,10 @@ mod tests {
         .unwrap()
         .expect("two abandoned promises");
         assert_eq!(report.count, 2);
-        assert!(report.promises.is_empty(), "count-only mode cannot name the promises");
+        assert!(
+            report.promises.is_empty(),
+            "count-only mode cannot name the promises"
+        );
     }
 
     #[test]
@@ -472,8 +502,7 @@ mod tests {
         let _root = ctx.root_task(None);
         let ok = Promise::<i32>::new();
         let bad = Promise::<i32>::new();
-        let prepared =
-            prepare_task(Some("child"), vec![ok.as_erased(), bad.as_erased()]).unwrap();
+        let prepared = prepare_task(Some("child"), vec![ok.as_erased(), bad.as_erased()]).unwrap();
         let (ok2, report) = std::thread::spawn(move || {
             let scope = prepared.activate();
             ok.set(1).unwrap();

@@ -203,10 +203,16 @@ mod tests {
 
     #[test]
     fn presets() {
-        assert_eq!(PolicyConfig::unverified().mode, VerificationMode::Unverified);
+        assert_eq!(
+            PolicyConfig::unverified().mode,
+            VerificationMode::Unverified
+        );
         assert!(!PolicyConfig::unverified().capture_names);
         assert_eq!(PolicyConfig::verified().mode, VerificationMode::Full);
-        assert_eq!(PolicyConfig::ownership_only().mode, VerificationMode::OwnershipOnly);
+        assert_eq!(
+            PolicyConfig::ownership_only().mode,
+            VerificationMode::OwnershipOnly
+        );
     }
 
     #[test]

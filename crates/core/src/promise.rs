@@ -100,16 +100,23 @@ impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
                 .promises
                 .read(self.slot, |s| s.owner.store(0, Ordering::Release));
         }
-        self.fill(CellState::Failed(err)).is_ok()
+        self.fill(CellState::Failed(err), false).is_ok()
     }
 }
 
 impl<T> PromiseInner<T> {
-    fn fill(&self, state: CellState<T>) -> Result<(), PromiseError> {
+    /// Fills the cell.  `count_set` records the event counter *inside* the
+    /// critical section, before any waiter can observe the fulfilment —
+    /// recording after the notify would let a measurement snapshot taken by
+    /// a woken waiter miss the set it was woken by.
+    fn fill(&self, state: CellState<T>, count_set: bool) -> Result<(), PromiseError> {
         let mut cell = self.cell.lock();
         match &*cell {
             CellState::Empty => {
                 *cell = state;
+                if count_set {
+                    self.ctx.counters().record_set();
+                }
                 self.fulfilled.store(true, Ordering::Release);
                 self.cond.notify_all();
                 Ok(())
@@ -156,7 +163,9 @@ pub struct Promise<T> {
 
 impl<T> Clone for Promise<T> {
     fn clone(&self) -> Self {
-        Promise { inner: Arc::clone(&self.inner) }
+        Promise {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -237,7 +246,9 @@ impl<T: Send + Sync + 'static> Promise<T> {
             }
             Promise { inner }
         })
-        .ok_or(PromiseError::NoCurrentTask { operation: "Promise::new" })
+        .ok_or(PromiseError::NoCurrentTask {
+            operation: "Promise::new",
+        })
     }
 
     /// The promise's stable id.
@@ -296,8 +307,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
         if ctx.config().mode.tracks_ownership() {
             ownership::on_set(&*self.inner)?;
         }
-        self.inner.fill(CellState::Value(value))?;
-        ctx.counters().record_set();
+        self.inner.fill(CellState::Value(value), true)?;
         Ok(())
     }
 
@@ -313,9 +323,38 @@ impl<T: Send + Sync + 'static> Promise<T> {
             promise: self.inner.id,
             message: Arc::from(message.into().as_str()),
         };
-        self.inner.fill(CellState::Failed(err))?;
-        ctx.counters().record_set();
+        self.inner.fill(CellState::Failed(err), true)?;
         Ok(())
+    }
+
+    /// Completes the promise *successfully*, bypassing ownership checks and
+    /// clearing the owner edge — the success-path sibling of
+    /// [`ErasedPromise::complete_abandoned`].
+    ///
+    /// **This is a runtime-integration escape hatch, not part of the user
+    /// API** (hidden from docs for that reason): calling it from task code
+    /// defeats the ownership verification this library exists to provide —
+    /// a non-owner can fulfil a promise without a [`NotOwner`] error or an
+    /// alarm.  Its one intended caller is a runtime's task wrapper settling
+    /// the implicit *completion promise*, whose natural fulfilment point is
+    /// *after* the owning task has retired (exit check run, arena slot
+    /// freed), when a policy-checked [`set`](Promise::set) is no longer
+    /// possible.  User code must always use [`set`](Promise::set).
+    ///
+    /// Returns `false` if the promise was already fulfilled.
+    ///
+    /// [`NotOwner`]: crate::PromiseError::NotOwner
+    #[doc(hidden)]
+    pub fn fulfill_detached(&self, value: T) -> bool {
+        if !self.inner.slot.is_null() {
+            self.inner
+                .ctx
+                .promises
+                .read(self.inner.slot, |s| s.owner.store(0, Ordering::Release));
+        }
+        // Counted like a normal set (inside fill) so baseline/verified
+        // event counts stay comparable.
+        self.inner.fill(CellState::Value(value), true).is_ok()
     }
 
     /// Blocks until the promise is fulfilled and returns a clone of the
@@ -346,7 +385,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
         T: Clone,
     {
         self.inner.ctx.counters().record_get();
-        self.inner.block(Some(Instant::now() + timeout))?;
+        self.block_with_executor_hooks(Some(Instant::now() + timeout))?;
         self.read_value()
     }
 
@@ -440,7 +479,29 @@ impl<T: Send + Sync + 'static> Promise<T> {
         }
         let _clear = mark.map(|slot| ClearMark { ctx, slot });
 
-        self.inner.block(None)
+        self.block_with_executor_hooks(None)
+    }
+
+    /// Parks on the payload cell, bracketing the wait with the installed
+    /// executor's blocked/unblocked hooks (the §6.3 seam: a growing pool must
+    /// learn that one of its workers is about to block on a promise so queued
+    /// tasks never starve behind it).
+    fn block_with_executor_hooks(&self, deadline: Option<Instant>) -> Result<(), PromiseError> {
+        if self.inner.is_fulfilled() {
+            return Ok(());
+        }
+        let executor = self.inner.ctx.executor();
+        struct Unblock<'a>(&'a dyn crate::Executor);
+        impl Drop for Unblock<'_> {
+            fn drop(&mut self) {
+                self.0.on_task_unblocked();
+            }
+        }
+        let _guard = executor.as_deref().map(|ex| {
+            ex.on_task_blocked();
+            Unblock(ex)
+        });
+        self.inner.block(deadline)
     }
 }
 
@@ -486,7 +547,10 @@ mod tests {
         let _root = ctx.root_task(None);
         let p = Promise::<i32>::new();
         p.set(1).unwrap();
-        assert!(matches!(p.set(2), Err(PromiseError::AlreadyFulfilled { .. })));
+        assert!(matches!(
+            p.set(2),
+            Err(PromiseError::AlreadyFulfilled { .. })
+        ));
     }
 
     #[test]
@@ -552,8 +616,7 @@ mod tests {
         let p = Promise::<String>::new();
 
         // Move ownership to a child task properly via prepare_task.
-        let prepared =
-            ownership::prepare_task(Some("setter"), vec![p.as_erased()]).unwrap();
+        let prepared = ownership::prepare_task(Some("setter"), vec![p.as_erased()]).unwrap();
         let p2 = p.clone();
         let t = std::thread::spawn(move || {
             let scope = prepared.activate();

@@ -96,7 +96,8 @@ mod tests {
         assert_eq!(s.task_id(), TaskId::NONE);
         assert!(s.waiting_on().is_null());
         s.task_id.store(7, Ordering::Relaxed);
-        s.waiting_on.store(PackedRef::new(1, 2).to_bits(), Ordering::Relaxed);
+        s.waiting_on
+            .store(PackedRef::new(1, 2).to_bits(), Ordering::Relaxed);
         s.reset();
         assert_eq!(s.task_id(), TaskId::NONE);
         assert!(s.waiting_on().is_null());
@@ -108,7 +109,8 @@ mod tests {
         assert_eq!(s.promise_id(), PromiseId::NONE);
         assert!(s.owner().is_null());
         s.promise_id.store(3, Ordering::Relaxed);
-        s.owner.store(PackedRef::new(5, 4).to_bits(), Ordering::Relaxed);
+        s.owner
+            .store(PackedRef::new(5, 4).to_bits(), Ordering::Relaxed);
         s.reset();
         assert_eq!(s.promise_id(), PromiseId::NONE);
         assert!(s.owner().is_null());
@@ -120,7 +122,9 @@ mod tests {
         let promises: SlotArena<PromiseSlot> = SlotArena::new();
         let t = tasks.alloc();
         let p = promises.alloc();
-        tasks.read(t, |s| s.task_id.store(11, Ordering::Relaxed)).unwrap();
+        tasks
+            .read(t, |s| s.task_id.store(11, Ordering::Relaxed))
+            .unwrap();
         promises
             .read(p, |s| {
                 s.promise_id.store(22, Ordering::Relaxed);

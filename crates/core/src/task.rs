@@ -55,8 +55,14 @@ impl Ledger {
             return Ledger::Disabled;
         }
         match mode {
-            LedgerMode::Lazy => Ledger::List { entries: Vec::new(), eager: false },
-            LedgerMode::Eager => Ledger::List { entries: Vec::new(), eager: true },
+            LedgerMode::Lazy => Ledger::List {
+                entries: Vec::new(),
+                eager: false,
+            },
+            LedgerMode::Eager => Ledger::List {
+                entries: Vec::new(),
+                eager: true,
+            },
             LedgerMode::CountOnly => Ledger::Count(0),
         }
     }
@@ -112,10 +118,7 @@ pub(crate) struct TaskBody {
 
 impl TaskBody {
     /// Allocates the arena slot (when tracking) and builds the body.
-    pub(crate) fn create(
-        ctx: &Arc<Context>,
-        name: Option<&str>,
-    ) -> TaskBody {
+    pub(crate) fn create(ctx: &Arc<Context>, name: Option<&str>) -> TaskBody {
         let id = ctx.next_task_id();
         let tracks = ctx.config().mode.tracks_ownership();
         let slot = if tracks {
@@ -235,12 +238,20 @@ impl PreparedTask {
     ///
     /// Panics if the calling thread already has an active task.
     pub fn activate(mut self) -> TaskScope {
-        let body = self.body.take().expect("PreparedTask::activate called twice");
+        let body = self
+            .body
+            .take()
+            .expect("PreparedTask::activate called twice");
         let ctx = Arc::clone(&body.ctx);
         let id = body.id;
         let name = body.name.clone();
         install_current(body);
-        TaskScope { ctx, id, name, finished: false }
+        TaskScope {
+            ctx,
+            id,
+            name,
+            finished: false,
+        }
     }
 }
 
@@ -302,12 +313,22 @@ impl TaskScope {
     ///
     /// 1. run the rule-3 obligation scan (skipping `exclude`),
     /// 2. call `epilogue` with the scan's result **while the task is still
-    ///    active**, so the epilogue may still `set` promises the task owns
-    ///    (typically the excluded join/result promise of a runtime wrapper),
+    ///    active**, so the epilogue may still `set` promises the task owns,
     /// 3. record the alarm, complete abandoned promises exceptionally, and
     ///    retire the task.
     ///
     /// Returns the omitted-set report (if any) and the epilogue's value.
+    ///
+    /// **Not the right tool for a runtime wrapper's join/completion
+    /// promise.**  A promise `set` inside the epilogue becomes observable
+    /// *before* step 3 retires the task, so a joiner woken by it can see a
+    /// half-terminated task (still counted live, arena slot not yet freed).
+    /// For that use case run [`finish_excluding`](Self::finish_excluding)
+    /// first and settle the excluded promise afterwards with
+    /// `Promise::fulfill_detached`, as `promise-runtime`'s task wrapper
+    /// does.  `finish_with` remains for epilogues whose effects need not be
+    /// ordered after retirement (logging, metrics, settling promises no one
+    /// joins on).
     pub fn finish_with<R>(
         mut self,
         exclude: &[PromiseId],
@@ -316,7 +337,10 @@ impl TaskScope {
         assert!(!self.finished, "TaskScope already finished");
         self.finished = true;
         let obligations = with_current_body(|body| {
-            assert_eq!(body.id, self.id, "TaskScope does not match the thread's active task");
+            assert_eq!(
+                body.id, self.id,
+                "TaskScope does not match the thread's active task"
+            );
             let obligations = ownership::compute_obligations(body, exclude);
             obligations.record(&body.ctx);
             obligations
@@ -334,7 +358,10 @@ impl TaskScope {
         }
         self.finished = true;
         let body = take_current().expect("TaskScope finished on a thread with no active task");
-        assert_eq!(body.id, self.id, "TaskScope does not match the thread's active task");
+        assert_eq!(
+            body.id, self.id,
+            "TaskScope does not match the thread's active task"
+        );
         ownership::finish_body(body, exclude)
     }
 }
@@ -369,7 +396,12 @@ impl Context {
         let name = body.name.clone();
         let ctx = Arc::clone(self);
         install_current(body);
-        TaskScope { ctx, id, name, finished: false }
+        TaskScope {
+            ctx,
+            id,
+            name,
+            finished: false,
+        }
     }
 }
 
@@ -416,7 +448,11 @@ mod tests {
     fn unverified_context_does_not_register_task_slots() {
         let ctx = Context::new(PolicyConfig::unverified());
         let root = ctx.root_task(Some("main"));
-        assert_eq!(ctx.live_tasks(), 0, "baseline mode must not allocate task cells");
+        assert_eq!(
+            ctx.live_tasks(),
+            0,
+            "baseline mode must not allocate task cells"
+        );
         // Names are not captured in the baseline configuration either.
         assert_eq!(root.name(), None);
         root.finish();

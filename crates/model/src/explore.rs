@@ -51,13 +51,13 @@ impl Conformance {
 
 /// Runs one schedule to quiescence, choosing among enabled tasks with
 /// `choose`, and checks conformance at every step and at the end.
-fn run_schedule(
-    program: &Program,
-    mut choose: impl FnMut(&[usize]) -> usize,
-) -> Conformance {
+fn run_schedule(program: &Program, mut choose: impl FnMut(&[usize]) -> usize) -> Conformance {
     let tasks = program.tasks.len();
     let mut state = SimState::new(program, true);
-    let mut report = Conformance { schedules: 1, ..Default::default() };
+    let mut report = Conformance {
+        schedules: 1,
+        ..Default::default()
+    };
     let mut guard = 0usize;
     loop {
         let enabled = state.enabled_tasks();
@@ -89,9 +89,7 @@ fn run_schedule(
     }
     // Theorem 5.6: with the detector enabled no terminal state may contain an
     // undetected cycle of blocked tasks.
-    if find_cycle(&state, tasks).is_some()
-        && !matches!(state.outcome(), SimOutcome::Deadlock)
-    {
+    if find_cycle(&state, tasks).is_some() && !matches!(state.outcome(), SimOutcome::Deadlock) {
         report.missed_deadlocks += 1;
     }
     report

@@ -19,11 +19,7 @@ pub fn find_cycle(state: &SimState, tasks: usize) -> Option<Vec<TaskName>> {
     for start in 0..tasks {
         let mut path = vec![start];
         let mut current = start;
-        loop {
-            let awaited = match state.waiting_on(current) {
-                Some(p) => p,
-                None => break,
-            };
+        while let Some(awaited) = state.waiting_on(current) {
             let owner = match state.owner_of(awaited) {
                 Some(o) => o,
                 None => break,
@@ -60,7 +56,10 @@ mod tests {
         assert!(find_cycle(&state, 2).is_none());
         // t2 publishes its wait on p; root publishes its wait on q.
         state.step(1);
-        assert!(find_cycle(&state, 2).is_none(), "one blocked task is not a cycle");
+        assert!(
+            find_cycle(&state, 2).is_none(),
+            "one blocked task is not a cycle"
+        );
         state.step(0);
         let cycle = find_cycle(&state, 2).expect("both waits published: cycle exists");
         assert_eq!(cycle.len(), 2);

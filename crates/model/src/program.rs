@@ -94,7 +94,12 @@ impl ProgramBuilder {
     /// Starts a program with `tasks` empty task bodies and `promises` promise
     /// names.
     pub fn new(tasks: usize, promises: usize) -> Self {
-        ProgramBuilder { program: Program { tasks: vec![Vec::new(); tasks], promises } }
+        ProgramBuilder {
+            program: Program {
+                tasks: vec![Vec::new(); tasks],
+                promises,
+            },
+        }
     }
 
     /// Appends an instruction to a task body.
@@ -117,7 +122,13 @@ pub fn listing1() -> Program {
     ProgramBuilder::new(2, 2)
         .push(0, Instr::New(0)) // p
         .push(0, Instr::New(1)) // q
-        .push(0, Instr::Async { task: 1, transfers: vec![1] })
+        .push(
+            0,
+            Instr::Async {
+                task: 1,
+                transfers: vec![1],
+            },
+        )
         .push(1, Instr::Get(0))
         .push(1, Instr::Set(1))
         .push(0, Instr::Get(1))
@@ -131,8 +142,20 @@ pub fn listing2() -> Program {
     ProgramBuilder::new(3, 2)
         .push(0, Instr::New(0)) // r
         .push(0, Instr::New(1)) // s
-        .push(0, Instr::Async { task: 1, transfers: vec![0, 1] }) // t3
-        .push(1, Instr::Async { task: 2, transfers: vec![1] }) // t4 (forgets s)
+        .push(
+            0,
+            Instr::Async {
+                task: 1,
+                transfers: vec![0, 1],
+            },
+        ) // t3
+        .push(
+            1,
+            Instr::Async {
+                task: 2,
+                transfers: vec![1],
+            },
+        ) // t4 (forgets s)
         .push(2, Instr::Work)
         .push(1, Instr::Set(0))
         .push(0, Instr::Get(0))
@@ -146,11 +169,23 @@ pub fn correct_pipeline() -> Program {
         .push(0, Instr::New(0))
         .push(0, Instr::New(1))
         .push(0, Instr::New(2))
-        .push(0, Instr::Async { task: 1, transfers: vec![0, 1] })
+        .push(
+            0,
+            Instr::Async {
+                task: 1,
+                transfers: vec![0, 1],
+            },
+        )
         .push(1, Instr::Set(0))
         .push(1, Instr::Work)
         .push(1, Instr::Set(1))
-        .push(0, Instr::Async { task: 2, transfers: vec![2] })
+        .push(
+            0,
+            Instr::Async {
+                task: 2,
+                transfers: vec![2],
+            },
+        )
         .push(2, Instr::Get(0))
         .push(2, Instr::Set(2))
         .push(0, Instr::Get(1))
@@ -164,8 +199,20 @@ pub fn ring3() -> Program {
         .push(0, Instr::New(0))
         .push(0, Instr::New(1))
         .push(0, Instr::New(2))
-        .push(0, Instr::Async { task: 1, transfers: vec![1] })
-        .push(0, Instr::Async { task: 2, transfers: vec![2] })
+        .push(
+            0,
+            Instr::Async {
+                task: 1,
+                transfers: vec![1],
+            },
+        )
+        .push(
+            0,
+            Instr::Async {
+                task: 2,
+                transfers: vec![2],
+            },
+        )
         // root owns p0 and waits on p1; t1 owns p1 and waits on p2; t2 owns
         // p2 and waits on p0.
         .push(1, Instr::Get(2))
@@ -194,18 +241,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_programs() {
-        let bad = Program { tasks: vec![vec![Instr::Get(3)]], promises: 1 };
+        let bad = Program {
+            tasks: vec![vec![Instr::Get(3)]],
+            promises: 1,
+        };
         assert!(bad.validate().is_err());
 
-        let double_new =
-            Program { tasks: vec![vec![Instr::New(0), Instr::New(0)]], promises: 1 };
+        let double_new = Program {
+            tasks: vec![vec![Instr::New(0), Instr::New(0)]],
+            promises: 1,
+        };
         assert!(double_new.validate().is_err());
 
         let double_spawn = Program {
             tasks: vec![
                 vec![
-                    Instr::Async { task: 1, transfers: vec![] },
-                    Instr::Async { task: 1, transfers: vec![] },
+                    Instr::Async {
+                        task: 1,
+                        transfers: vec![],
+                    },
+                    Instr::Async {
+                        task: 1,
+                        transfers: vec![],
+                    },
                 ],
                 vec![],
             ],

@@ -82,7 +82,11 @@ impl SimState {
     /// Initial state: only the root task (task 0) is runnable.
     pub fn new(program: &Program, detector_enabled: bool) -> SimState {
         let promises = (0..program.promises)
-            .map(|_| PromiseState { allocated: false, fulfilled: false, owner: None })
+            .map(|_| PromiseState {
+                allocated: false,
+                fulfilled: false,
+                owner: None,
+            })
             .collect();
         let tasks = (0..program.tasks.len())
             .map(|i| TaskState {
@@ -125,7 +129,9 @@ impl SimState {
 
     /// Tasks that can take a step right now.
     pub fn enabled_tasks(&self) -> Vec<TaskName> {
-        (0..self.tasks.len()).filter(|&t| self.is_enabled(t)).collect()
+        (0..self.tasks.len())
+            .filter(|&t| self.is_enabled(t))
+            .collect()
     }
 
     fn is_enabled(&self, t: TaskName) -> bool {
@@ -160,10 +166,7 @@ impl SimState {
         let mut cycle = vec![t0];
         let mut p = p0;
         loop {
-            let owner = match self.promises[p].owner {
-                Some(o) => o,
-                None => return None, // fulfilled (or never allocated): progress
-            };
+            let owner = self.promises[p].owner?;
             if owner == t0 {
                 return Some(cycle);
             }
@@ -198,8 +201,11 @@ impl SimState {
             }
             Some(Instr::New(p)) => {
                 // Rule 1: the creating task becomes the owner.
-                self.promises[p] =
-                    PromiseState { allocated: true, fulfilled: false, owner: Some(t) };
+                self.promises[p] = PromiseState {
+                    allocated: true,
+                    fulfilled: false,
+                    owner: Some(t),
+                };
                 self.tasks[t].owned.push(p);
                 self.tasks[t].pc += 1;
                 StepResult::Ok
@@ -218,11 +224,15 @@ impl SimState {
                     StepResult::Ok
                 }
             }
-            Some(Instr::Async { task: child, transfers }) => {
+            Some(Instr::Async {
+                task: child,
+                transfers,
+            }) => {
                 self.tasks[t].pc += 1;
                 // Rule 2: the parent must own every transferred promise.
-                if let Some(&bad) =
-                    transfers.iter().find(|&&p| self.promises[p].owner != Some(t))
+                if let Some(&bad) = transfers
+                    .iter()
+                    .find(|&&p| self.promises[p].owner != Some(t))
                 {
                     StepResult::PolicyViolation(format!(
                         "task {t} transferred promise {bad} it does not own"
@@ -253,7 +263,10 @@ impl SimState {
                         self.tasks[t].pc += 1;
                         StepResult::DeadlockAlarm(cycle)
                     } else {
-                        debug_assert!(self.promises[p].fulfilled, "verify step enabled without progress");
+                        debug_assert!(
+                            self.promises[p].fulfilled,
+                            "verify step enabled without progress"
+                        );
                         self.tasks[t].waiting_on = None;
                         self.tasks[t].published = false;
                         self.tasks[t].pc += 1;
@@ -299,11 +312,23 @@ impl SimState {
 
     /// Classifies the current (terminal or stuck) state.
     pub fn outcome(&self) -> SimOutcome {
-        if self.alarms.iter().any(|a| matches!(a, StepResult::DeadlockAlarm(_))) {
+        if self
+            .alarms
+            .iter()
+            .any(|a| matches!(a, StepResult::DeadlockAlarm(_)))
+        {
             SimOutcome::Deadlock
-        } else if self.alarms.iter().any(|a| matches!(a, StepResult::PolicyViolation(_))) {
+        } else if self
+            .alarms
+            .iter()
+            .any(|a| matches!(a, StepResult::PolicyViolation(_)))
+        {
             SimOutcome::PolicyViolation
-        } else if self.alarms.iter().any(|a| matches!(a, StepResult::OmittedSetAlarm(_))) {
+        } else if self
+            .alarms
+            .iter()
+            .any(|a| matches!(a, StepResult::OmittedSetAlarm(_)))
+        {
             SimOutcome::OmittedSet
         } else if self.all_terminated() {
             SimOutcome::CleanTermination
@@ -370,7 +395,10 @@ mod tests {
             .alarms()
             .iter()
             .any(|a| matches!(a, StepResult::OmittedSetAlarm(ps) if ps == &vec![1])));
-        assert!(state.all_terminated(), "the root must not hang on the abandoned promise");
+        assert!(
+            state.all_terminated(),
+            "the root must not hang on the abandoned promise"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub struct FinishScope {
 
 impl FinishScope {
     fn new() -> Self {
-        FinishScope { pending: Arc::new(Mutex::new(Vec::new())) }
+        FinishScope {
+            pending: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Spawns a task within the scope; it will be awaited before the

@@ -30,7 +30,12 @@ impl<R> TaskHandle<R> {
         completion: Promise<()>,
         result: Arc<Mutex<Option<R>>>,
     ) -> Self {
-        TaskHandle { task_id, name, completion, result }
+        TaskHandle {
+            task_id,
+            name,
+            completion,
+            result,
+        }
     }
 
     /// The id of the spawned task.

@@ -3,11 +3,14 @@
 //! A task-parallel runtime for ownership-verified promises, reproducing the
 //! execution environment of the paper's evaluation (§6.3):
 //!
-//! * a **growing thread pool** ([`pool`]): a new OS thread is spawned
-//!   whenever a task is submitted and every existing worker is busy.  This is
-//!   the execution strategy the paper requires, because with promises there
-//!   is no a-priori bound on the number of tasks that may block
-//!   simultaneously;
+//! * a **growing scheduler**: a new OS thread is spawned whenever a task is
+//!   submitted and every existing worker is busy, and whenever a worker
+//!   blocks on a promise while work is queued.  This is the execution
+//!   strategy the paper requires, because with promises there is no a-priori
+//!   bound on the number of tasks that may block simultaneously.  Two
+//!   implementations exist: the sharded work-stealing
+//!   [`scheduler`] (default) and the original single-queue [`pool`]
+//!   (selectable via [`RuntimeBuilder::scheduler`] for comparison);
 //! * **spawning with ownership transfer** ([`spawn`], [`spawn_named`]): the
 //!   `async (p1, …, pn) { … }` construct of the paper — the listed promises
 //!   move from the parent to the child before the child becomes runnable,
@@ -49,11 +52,13 @@ pub mod handle;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
+pub mod scheduler;
 pub mod spawn;
 
 pub use finish::{finish, FinishScope};
 pub use handle::TaskHandle;
 pub use metrics::RunMetrics;
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
-pub use runtime::{Runtime, RuntimeBuilder};
+pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind};
+pub use scheduler::{SchedulerConfig, WorkStealingScheduler};
 pub use spawn::{spawn, spawn_named, try_spawn, try_spawn_named};

@@ -14,12 +14,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use promise_core::Executor;
+use promise_core::{Executor, RejectedJob};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -54,12 +55,18 @@ pub struct PoolStats {
     pub current_workers: usize,
     /// Workers currently idle (parked waiting for work).
     pub idle_workers: usize,
+    /// Workers currently blocked inside a promise wait (reported through the
+    /// [`Executor`] blocking seam; see `Executor::on_task_blocked`).
+    pub blocked_workers: usize,
     /// Highest number of simultaneously alive workers.
     pub peak_workers: usize,
     /// Total worker threads ever started.
     pub threads_started: usize,
     /// Total jobs executed to completion.
     pub jobs_executed: usize,
+    /// Jobs executed after being stolen from another worker's local queue
+    /// (always 0 for the single-queue [`GrowingPool`]).
+    pub jobs_stolen: usize,
     /// Jobs currently queued.
     pub queued_jobs: usize,
 }
@@ -79,6 +86,10 @@ struct PoolInner {
     state: Mutex<PoolState>,
     work_available: Condvar,
     config: PoolConfig,
+    /// Threads currently blocked inside a promise wait (maintained through
+    /// the [`Executor`] blocking hooks; includes non-worker threads such as
+    /// a blocked root task, which is fine for its diagnostic purpose).
+    blocked: AtomicUsize,
 }
 
 /// A thread pool that grows whenever a job arrives and no worker is idle.
@@ -103,6 +114,7 @@ impl GrowingPool {
                 }),
                 work_available: Condvar::new(),
                 config,
+                blocked: AtomicUsize::new(0),
             }),
         });
         let eager = pool.inner.config.initial_workers;
@@ -121,11 +133,17 @@ impl GrowingPool {
     }
 
     /// Submits a job.  Returns `false` (dropping the job) if the pool has
-    /// been shut down.
+    /// been shut down; use [`try_submit`](Self::try_submit) to get the job
+    /// back instead.
     pub fn submit(&self, job: Job) -> bool {
+        self.try_submit(job).is_ok()
+    }
+
+    /// Submits a job, handing it back if the pool has been shut down.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
         let mut state = self.inner.state.lock();
         if state.shutdown {
-            return false;
+            return Err(job);
         }
         state.queue.push_back(job);
         if state.idle_workers == 0 {
@@ -135,7 +153,7 @@ impl GrowingPool {
         } else {
             self.inner.work_available.notify_one();
         }
-        true
+        Ok(())
     }
 
     fn spawn_worker(inner: &Arc<PoolInner>, state: &mut PoolState) {
@@ -144,8 +162,10 @@ impl GrowingPool {
         state.peak_workers = state.peak_workers.max(state.current_workers);
         let worker_idx = state.threads_started;
         let inner2 = Arc::clone(inner);
-        let mut builder = std::thread::Builder::new()
-            .name(format!("{}-{}", inner.config.thread_name_prefix, worker_idx));
+        let mut builder = std::thread::Builder::new().name(format!(
+            "{}-{}",
+            inner.config.thread_name_prefix, worker_idx
+        ));
         if let Some(sz) = inner.config.stack_size {
             builder = builder.stack_size(sz);
         }
@@ -195,9 +215,11 @@ impl GrowingPool {
         PoolStats {
             current_workers: state.current_workers,
             idle_workers: state.idle_workers,
+            blocked_workers: self.inner.blocked.load(Ordering::Relaxed),
             peak_workers: state.peak_workers,
             threads_started: state.threads_started,
             jobs_executed: state.jobs_executed,
+            jobs_stolen: 0,
             queued_jobs: state.queue.len(),
         }
     }
@@ -211,17 +233,38 @@ impl GrowingPool {
             self.inner.work_available.notify_all();
             std::mem::take(&mut state.joiners)
         };
+        // If the final pool handle is dropped on a worker thread (a job held
+        // the last `Arc`), that thread must not join itself.
+        let self_id = std::thread::current().id();
         for j in joiners {
             // A worker never panics (jobs are unwound-caught), but be robust.
-            let _ = j.join();
+            if j.thread().id() != self_id {
+                let _ = j.join();
+            }
         }
     }
 }
 
 impl Executor for GrowingPool {
-    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) {
-        let accepted = self.submit(job);
-        debug_assert!(accepted, "job submitted to a pool that is shut down");
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob> {
+        // No silent drop: a submission after shutdown hands the job back so
+        // the spawn layer can settle the task's promises exceptionally.
+        self.try_submit(job).map_err(RejectedJob)
+    }
+
+    fn on_task_blocked(&self) {
+        self.inner.blocked.fetch_add(1, Ordering::SeqCst);
+        // Grow-on-block: this thread stops draining the queue while work is
+        // pending.  Without this, two submissions that both observed the
+        // same idle worker could strand one task behind a block forever.
+        let mut state = self.inner.state.lock();
+        if !state.queue.is_empty() && state.idle_workers == 0 && !state.shutdown {
+            Self::spawn_worker(&self.inner, &mut state);
+        }
+    }
+
+    fn on_task_unblocked(&self) {
+        self.inner.blocked.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -313,7 +356,10 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 16);
-        assert!(!pool.submit(Box::new(|| {})), "pool must reject jobs after shutdown");
+        assert!(
+            !pool.submit(Box::new(|| {})),
+            "pool must reject jobs after shutdown"
+        );
         assert_eq!(pool.stats().current_workers, 0);
     }
 
@@ -337,7 +383,10 @@ mod tests {
 
     #[test]
     fn initial_workers_are_started_eagerly() {
-        let pool = GrowingPool::new(PoolConfig { initial_workers: 3, ..PoolConfig::default() });
+        let pool = GrowingPool::new(PoolConfig {
+            initial_workers: 3,
+            ..PoolConfig::default()
+        });
         // Started eagerly even before any job is submitted.
         assert_eq!(pool.stats().threads_started, 3);
         pool.shutdown();

@@ -1,25 +1,90 @@
-//! The runtime object: a verification [`Context`] plus a growing thread pool.
+//! The runtime object: a verification [`Context`] plus a growing scheduler.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promise_core::{
-    Context, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError, VerificationMode,
+    Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError, VerificationMode,
 };
 
 use crate::metrics::RunMetrics;
 use crate::pool::{GrowingPool, PoolConfig, PoolStats};
+use crate::scheduler::{SchedulerConfig, WorkStealingScheduler};
+
+/// Which task-scheduler implementation a [`Runtime`] uses.
+///
+/// Both honour the paper's §6.3 growth strategy (a new worker whenever a
+/// task is submitted and no worker is idle, plus a replacement worker when a
+/// worker blocks on pending work); they differ in queue structure and hence
+/// in contention behaviour.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The sharded work-stealing scheduler: per-worker Chase–Lev deques plus
+    /// a sharded injector.  The default.
+    #[default]
+    WorkStealing,
+    /// The original single-queue pool: one mutex-protected `VecDeque` that
+    /// every submission and every worker serialises on.  Kept as the
+    /// baseline for scheduler benchmarks (`micro_ops` bench, `scheduler/*`).
+    GrowingPool,
+}
+
+impl SchedulerKind {
+    /// A short stable label (used by benchmarks).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::WorkStealing => "work-stealing",
+            SchedulerKind::GrowingPool => "growing-pool",
+        }
+    }
+}
+
+/// The concrete scheduler behind a [`Runtime`].
+enum Pool {
+    Growing(Arc<GrowingPool>),
+    Stealing(Arc<WorkStealingScheduler>),
+}
+
+impl Pool {
+    fn as_executor(&self) -> Arc<dyn Executor> {
+        match self {
+            Pool::Growing(p) => Arc::clone(p) as Arc<dyn Executor>,
+            Pool::Stealing(s) => Arc::clone(s) as Arc<dyn Executor>,
+        }
+    }
+
+    fn stats(&self) -> PoolStats {
+        match self {
+            Pool::Growing(p) => p.stats(),
+            Pool::Stealing(s) => s.stats(),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Pool::Growing(p) => p.shutdown(),
+            Pool::Stealing(s) => s.shutdown(),
+        }
+    }
+}
 
 /// Builder for [`Runtime`].
 #[derive(Clone, Debug)]
 pub struct RuntimeBuilder {
     policy: PolicyConfig,
     pool: PoolConfig,
+    kind: SchedulerKind,
+    injector_shards: usize,
 }
 
 impl Default for RuntimeBuilder {
     fn default() -> Self {
-        RuntimeBuilder { policy: PolicyConfig::verified(), pool: PoolConfig::default() }
+        RuntimeBuilder {
+            policy: PolicyConfig::verified(),
+            pool: PoolConfig::default(),
+            kind: SchedulerKind::default(),
+            injector_shards: SchedulerConfig::default().injector_shards,
+        }
     }
 }
 
@@ -63,6 +128,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the scheduler implementation (default:
+    /// [`SchedulerKind::WorkStealing`]).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Number of injector shards of the work-stealing scheduler (ignored by
+    /// [`SchedulerKind::GrowingPool`]).
+    pub fn injector_shards(mut self, shards: usize) -> Self {
+        self.injector_shards = shards.max(1);
+        self
+    }
+
     /// How long idle pool workers linger before retiring.
     pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
         self.pool.keep_alive = keep_alive;
@@ -81,23 +160,32 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Builds the runtime: creates the context, creates the pool, and
-    /// installs the pool as the context's executor.
+    /// Builds the runtime: creates the context, creates the scheduler, and
+    /// installs the scheduler as the context's executor.
     pub fn build(self) -> Runtime {
         let ctx = Context::new(self.policy);
-        let pool = GrowingPool::new(self.pool);
-        let installed = ctx.set_executor(pool.clone());
+        let pool = match self.kind {
+            SchedulerKind::GrowingPool => Pool::Growing(GrowingPool::new(self.pool)),
+            SchedulerKind::WorkStealing => {
+                Pool::Stealing(WorkStealingScheduler::new(SchedulerConfig {
+                    base: self.pool,
+                    injector_shards: self.injector_shards,
+                    ..SchedulerConfig::default()
+                }))
+            }
+        };
+        let installed = ctx.set_executor(pool.as_executor());
         debug_assert!(installed);
         Runtime { ctx, pool }
     }
 }
 
-/// A promise runtime: verification context + growing thread pool.
+/// A promise runtime: verification context + growing scheduler.
 ///
-/// Dropping the runtime shuts the pool down (waiting for queued tasks).
+/// Dropping the runtime shuts the scheduler down (waiting for queued tasks).
 pub struct Runtime {
     ctx: Arc<Context>,
-    pool: Arc<GrowingPool>,
+    pool: Pool,
 }
 
 impl Default for Runtime {
@@ -115,7 +203,9 @@ impl Runtime {
     /// An unverified baseline runtime (the comparison point of the paper's
     /// evaluation).
     pub fn unverified() -> Runtime {
-        Runtime::builder().verification(VerificationMode::Unverified).build()
+        Runtime::builder()
+            .verification(VerificationMode::Unverified)
+            .build()
     }
 
     /// Starts building a runtime.
@@ -128,7 +218,7 @@ impl Runtime {
         &self.ctx
     }
 
-    /// Thread-pool activity counters.
+    /// Scheduler activity counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
@@ -169,7 +259,7 @@ impl Runtime {
         Ok((out, metrics))
     }
 
-    /// Shuts down the pool, waiting for queued tasks to finish.
+    /// Shuts down the scheduler, waiting for queued tasks to finish.
     pub fn shutdown(self) {
         self.pool.shutdown();
     }

@@ -1,0 +1,850 @@
+//! The sharded, work-stealing growing scheduler.
+//!
+//! This module replaces the single-mutex [`GrowingPool`] queue with a design
+//! whose hot paths are contention-free while preserving the paper's §6.3
+//! execution strategy (*"spawn a new thread for a new task when all existing
+//! threads are in use"* — required because promises put no a-priori bound on
+//! how many tasks block simultaneously):
+//!
+//! * **per-worker Chase–Lev deques** ([`deque`]): a task spawned from a
+//!   worker is pushed onto that worker's own deque with two atomic stores —
+//!   no lock, no cache-line ping-pong with other submitters;
+//! * **a sharded global injector** ([`injector`]): tasks submitted from
+//!   non-worker threads (the root task) spread round-robin over independent
+//!   locked shards;
+//! * **work stealing**: a worker whose deque runs dry drains the injector,
+//!   then steals the oldest task from a sibling — so tasks parked in the
+//!   deque of a *blocked* worker are picked up by everyone else.
+//!
+//! ## The grow-on-block invariant
+//!
+//! The paper's pool must guarantee: a submitted task never waits behind
+//! workers that are all busy or blocked.  Two triggers preserve this:
+//!
+//! 1. **at submission** (same rule as [`GrowingPool`]): if no worker is idle
+//!    when a task is enqueued, a new worker is spawned;
+//! 2. **at blocking** (new, via the [`Executor`] blocking seam): when a
+//!    worker blocks inside a promise `get` while queued work exists and no
+//!    worker is idle, a replacement worker is spawned.  This also closes a
+//!    starvation race the old pool had: two submissions could both observe
+//!    the same idle worker, which then took one task and blocked on it,
+//!    stranding the second task in the queue forever.
+//!
+//! Blocked workers are counted through [`Executor::on_task_blocked`] /
+//! [`on_task_unblocked`](Executor::on_task_unblocked), which `Promise::get`
+//! invokes around every park; the count is surfaced in [`PoolStats`].
+//!
+//! [`GrowingPool`]: crate::pool::GrowingPool
+
+mod deque;
+mod injector;
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use promise_core::{Executor, RejectedJob};
+
+use crate::pool::{PoolConfig, PoolStats};
+pub(crate) use deque::Job;
+use deque::{Steal, Stealer, WorkerDeque};
+
+/// Configuration of a [`WorkStealingScheduler`].
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// The pool knobs shared with [`GrowingPool`](crate::pool::GrowingPool):
+    /// thread naming, keep-alive, stack size, eager workers.
+    pub base: PoolConfig,
+    /// Number of injector shards external submissions spread over.
+    pub injector_shards: usize,
+    /// Initial capacity of each worker's local deque.
+    pub local_queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            base: PoolConfig::default(),
+            injector_shards: 8,
+            local_queue_capacity: 256,
+        }
+    }
+}
+
+/// A worker's local deque plus the owner-side bookkeeping that keeps the
+/// scheduler's non-empty-deque counter accurate.
+///
+/// The counter lets every searcher skip the O(workers) steal scan when no
+/// local deque holds work — the common case, since blocked workers hand
+/// their queues off and parked workers park empty.  The protocol is sound
+/// because only the owner pushes: `marked` is set (and the counter raised)
+/// *before* a push makes a job visible, and cleared only when the owner
+/// observes its deque empty — once empty it stays empty until the owner's
+/// next push.
+struct LocalQueue {
+    deque: WorkerDeque,
+    /// Whether this deque is currently counted in `nonempty_deques`.
+    marked: Cell<bool>,
+}
+
+impl LocalQueue {
+    fn push(&self, state: &SchedState, job: Job) {
+        if !self.marked.get() {
+            self.marked.set(true);
+            state.nonempty_deques.fetch_add(1, Ordering::SeqCst);
+        }
+        self.deque.push(job);
+    }
+
+    fn pop(&self, state: &SchedState) -> Option<Job> {
+        let job = self.deque.pop();
+        if self.marked.get() && (job.is_none() || self.deque.is_empty()) {
+            self.marked.set(false);
+            state.nonempty_deques.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+}
+
+/// A worker thread's identity, stored thread-locally so that `submit` can
+/// recognise scheduler workers and push to their local deque.
+#[derive(Copy, Clone)]
+struct WorkerRef {
+    /// Identity of the owning scheduler (`Arc::as_ptr` of its state).
+    sched: *const (),
+    /// The worker's own queue, alive for the duration of the worker loop.
+    local: *const LocalQueue,
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<Option<WorkerRef>> = const { Cell::new(None) };
+}
+
+struct ParkState {
+    /// Workers currently parked on the condvar.
+    idle: usize,
+    /// Wake-ups handed out but not yet consumed by a parked worker.
+    wakeups: usize,
+    /// Mirror of the shutdown flag readable under the park lock.
+    shutdown: bool,
+}
+
+/// How a just-enqueued job gets a searcher assigned.  Both variants obey
+/// the §6.3 submission rule (no idle worker → spawn a fresh thread); they
+/// differ only in how eagerly an *idle* sibling is signalled.
+#[derive(Copy, Clone, PartialEq)]
+enum WakePolicy {
+    /// External submissions and blocked-worker handoffs: always hand out a
+    /// wake-up token (capped at one per parked worker).
+    GrowIfNoIdle,
+    /// Worker-local pushes: skip the park lock when every parked sibling
+    /// already owes a search — the pushing worker itself also serves as the
+    /// job's searcher (LIFO pop, or hand-off when it blocks), so a missing
+    /// signal costs overlap, never progress.
+    NudgeIdle,
+}
+
+struct SchedState {
+    config: SchedulerConfig,
+    injector: injector::Injector,
+    /// Registered stealers, indexed by worker slot; `None` = retired slot.
+    workers: RwLock<Vec<Option<Stealer>>>,
+    park: Mutex<ParkState>,
+    park_cv: Condvar,
+    /// Fast mirrors of the park-lock bookkeeping for lock-free probes.
+    idle: AtomicUsize,
+    pending_wakeups: AtomicUsize,
+    blocked: AtomicUsize,
+    /// Local deques currently holding work (see [`LocalQueue`]).
+    nonempty_deques: AtomicUsize,
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    started: AtomicUsize,
+    executed: AtomicUsize,
+    stolen: AtomicUsize,
+    shutdown: AtomicBool,
+    joiners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A growing thread pool with per-worker work-stealing deques and a sharded
+/// global injector.  See the [module docs](self) for the design.
+pub struct WorkStealingScheduler {
+    state: Arc<SchedState>,
+}
+
+impl WorkStealingScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Arc<WorkStealingScheduler> {
+        let state = Arc::new(SchedState {
+            injector: injector::Injector::new(config.injector_shards),
+            workers: RwLock::new(Vec::new()),
+            park: Mutex::new(ParkState {
+                idle: 0,
+                wakeups: 0,
+                shutdown: false,
+            }),
+            park_cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            pending_wakeups: AtomicUsize::new(0),
+            blocked: AtomicUsize::new(0),
+            nonempty_deques: AtomicUsize::new(0),
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            started: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            stolen: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            joiners: Mutex::new(Vec::new()),
+            config,
+        });
+        for _ in 0..state.config.base.initial_workers {
+            state.spawn_worker();
+        }
+        Arc::new(WorkStealingScheduler { state })
+    }
+
+    /// Creates a scheduler with the default configuration.
+    pub fn with_defaults() -> Arc<WorkStealingScheduler> {
+        Self::new(SchedulerConfig::default())
+    }
+
+    /// Submits a job.  Returns the job back if the scheduler has shut down.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let state = &self.state;
+        if state.shutdown.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        let me = Arc::as_ptr(state) as *const ();
+        let job = match CURRENT_WORKER.with(Cell::get) {
+            Some(w) if w.sched == me => {
+                // Local fast path: two atomic stores on our own deque.
+                // Safety: the queue outlives the worker loop, and the TLS
+                // entry is cleared before the loop returns.
+                unsafe { (*w.local).push(state, job) };
+                None
+            }
+            _ => Some(job),
+        };
+        match job {
+            Some(job) => {
+                // The lock-free `shutdown` check above may have passed just
+                // before `shutdown()` stored the flag, which could otherwise
+                // strand the job in a scheduler whose workers are gone (and
+                // whose join loop no new worker may enter — see
+                // `spawn_worker`).  `push_unless` re-checks the flag under
+                // the shard lock — the same lock the final drain takes — so
+                // either the shutdown sequence sees this job (a live worker
+                // drains it, or the final sweep settles it), or the push is
+                // refused and the caller gets the job back as a normal
+                // rejection.
+                state.injector.push_unless(job, &state.shutdown)?;
+                state.ensure_progress(WakePolicy::GrowIfNoIdle);
+            }
+            None => state.ensure_progress(WakePolicy::NudgeIdle),
+        }
+        Ok(())
+    }
+
+    /// Current activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let state = &self.state;
+        let local_queued: usize = state
+            .workers
+            .read()
+            .iter()
+            .flatten()
+            .map(Stealer::len)
+            .sum();
+        PoolStats {
+            current_workers: state.current.load(Ordering::Relaxed),
+            idle_workers: state.idle.load(Ordering::Relaxed),
+            blocked_workers: state.blocked.load(Ordering::Relaxed),
+            peak_workers: state.peak.load(Ordering::Relaxed),
+            threads_started: state.started.load(Ordering::Relaxed),
+            jobs_executed: state.executed.load(Ordering::Relaxed),
+            jobs_stolen: state.stolen.load(Ordering::Relaxed),
+            queued_jobs: state.injector.len() + local_queued,
+        }
+    }
+
+    /// Stops accepting new jobs, wakes every worker, and waits until all
+    /// queued jobs have run and all workers have exited.
+    pub fn shutdown(&self) {
+        let state = &self.state;
+        state.shutdown.store(true, Ordering::Release);
+        {
+            let mut st = state.park.lock();
+            st.shutdown = true;
+            state.park_cv.notify_all();
+        }
+        // Workers spawned during the drain (grow-on-block) register their
+        // join handles concurrently; keep joining until none are left.  If
+        // the final scheduler handle is dropped *on* a worker thread (a job
+        // held the last `Arc`), that thread must not join itself.
+        let self_id = std::thread::current().id();
+        loop {
+            let batch = std::mem::take(&mut *state.joiners.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for j in batch {
+                if j.thread().id() != self_id {
+                    let _ = j.join();
+                }
+            }
+        }
+        // A submission that raced the shutdown flag may have left jobs in
+        // the injector after the last worker exited.  Sweep every shard
+        // under its lock (the flag is long set, so `push_unless` refuses
+        // anything later) and drop what is found: dropping a spawned
+        // task's job runs the `PreparedTask` exit machinery, completing
+        // its promises exceptionally — waiters observe an error instead of
+        // hanging, and nothing is lost silently.
+        for job in state.injector.drain_locked() {
+            drop(job);
+        }
+    }
+}
+
+impl Drop for WorkStealingScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Executor for WorkStealingScheduler {
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob> {
+        self.submit(job).map_err(RejectedJob)
+    }
+
+    fn on_task_blocked(&self) {
+        self.state.note_blocked();
+    }
+
+    fn on_task_unblocked(&self) {
+        self.state.note_unblocked();
+    }
+}
+
+impl std::fmt::Debug for WorkStealingScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingScheduler")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SchedState {
+    /// Assigns a searcher to a just-enqueued job according to `policy`.
+    fn ensure_progress(self: &Arc<Self>, policy: WakePolicy) {
+        let idle = self.idle.load(Ordering::SeqCst);
+        if idle == 0 {
+            // §6.3: no idle worker — the task must get a fresh thread.
+            // This applies to worker-local pushes too: the pushing worker
+            // may block by means outside the promise hook (std channels,
+            // locks, I/O), and then nobody would ever drain its deque.
+            self.spawn_worker();
+            return;
+        }
+        if policy == WakePolicy::NudgeIdle && self.pending_wakeups.load(Ordering::SeqCst) >= idle {
+            // Every parked sibling already owes a search that starts after
+            // this enqueue; another signal cannot add parallelism — skip
+            // the park lock entirely on the hot local-spawn path.
+            return;
+        }
+        self.wake_one();
+    }
+
+    fn wake_one(self: &Arc<Self>) {
+        let mut st = self.park.lock();
+        if st.idle == 0 {
+            // Raced: the idle worker we saw woke up (and may block on what
+            // it picked).  Fall back to the §6.3 submission rule.
+            drop(st);
+            self.spawn_worker();
+            return;
+        }
+        if st.wakeups < st.idle {
+            st.wakeups += 1;
+            self.pending_wakeups.store(st.wakeups, Ordering::SeqCst);
+            self.park_cv.notify_one();
+        }
+        // else: every idle worker already owes a full search that starts
+        // after this enqueue (wake-ups are consumed under this lock), so the
+        // job is guaranteed to be seen without another signal.
+    }
+
+    fn spawn_worker(self: &Arc<Self>) {
+        // No growth once shutdown has begun: a worker spawned after the
+        // join loop finishes would never be joined and could run user code
+        // after `shutdown()` returns.  Live workers finish the drain on
+        // their own (they only exit once every queue is empty), and the
+        // final sweep settles anything left.  This mirrors the legacy
+        // GrowingPool, which also refuses to grow after shutdown.
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (deque, stealer) = WorkerDeque::new(self.config.local_queue_capacity);
+        let idx = {
+            let mut workers = self.workers.write();
+            match workers.iter().position(Option::is_none) {
+                Some(i) => {
+                    workers[i] = Some(stealer);
+                    i
+                }
+                None => {
+                    workers.push(Some(stealer));
+                    workers.len() - 1
+                }
+            }
+        };
+        let cur = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(cur, Ordering::SeqCst);
+        let n = self.started.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut builder = std::thread::Builder::new()
+            .name(format!("{}-{}", self.config.base.thread_name_prefix, n));
+        if let Some(sz) = self.config.base.stack_size {
+            builder = builder.stack_size(sz);
+        }
+        let state = Arc::clone(self);
+        let handle = builder
+            .spawn(move || worker_entry(state, idx, deque))
+            .expect("failed to spawn scheduler worker thread");
+        self.joiners.lock().push(handle);
+    }
+
+    /// One full search pass: own deque, then the injector, then siblings.
+    fn find_work(&self, idx: usize, local: &LocalQueue) -> Option<Job> {
+        if let Some(job) = local.pop(self) {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.pop(idx) {
+            return Some(job);
+        }
+        self.try_steal(idx)
+    }
+
+    fn try_steal(&self, idx: usize) -> Option<Job> {
+        if self.nonempty_deques.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let workers = self.workers.read();
+        let n = workers.len();
+        for sweep in 0..2 {
+            let mut saw_retry = false;
+            for k in 0..n {
+                let i = (idx + 1 + k) % n;
+                if i == idx {
+                    continue;
+                }
+                let Some(stealer) = &workers[i] else { continue };
+                // Retry while we lose CAS races; they resolve in a few spins.
+                let mut spins = 0;
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(job) => {
+                            self.stolen.fetch_add(1, Ordering::Relaxed);
+                            return Some(job);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {
+                            spins += 1;
+                            if spins > 16 {
+                                saw_retry = true;
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+            if !saw_retry || sweep == 1 {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Whether any sibling deque (not `idx`) holds stealable work.
+    fn any_stealable(&self, idx: usize) -> bool {
+        self.nonempty_deques.load(Ordering::SeqCst) > 0
+            && self
+                .workers
+                .read()
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != idx && s.as_ref().is_some_and(|s| !s.is_empty()))
+    }
+
+    /// Whether any queue in the scheduler holds work (including the deque of
+    /// the — possibly blocked — calling worker).
+    fn has_pending_work(&self) -> bool {
+        !self.injector.is_empty()
+            || (self.nonempty_deques.load(Ordering::SeqCst) > 0
+                && self.workers.read().iter().flatten().any(|s| !s.is_empty()))
+    }
+
+    fn note_blocked(self: &Arc<Self>) {
+        let me = Arc::as_ptr(self) as *const ();
+        let worker = CURRENT_WORKER.with(Cell::get).filter(|w| w.sched == me);
+        let Some(worker) = worker else { return };
+        self.blocked.fetch_add(1, Ordering::SeqCst);
+        // Hand the local queue off: this thread stops draining its deque for
+        // an unbounded time, so move its jobs to the injector, where any
+        // searcher finds them in O(shards) instead of scanning every worker
+        // slot.  Safe: `on_task_blocked` runs on the owning worker thread,
+        // so the owner-only `pop` is legal, and the deque outlives the loop.
+        let local = unsafe { &*worker.local };
+        let mut moved = 0usize;
+        while let Some(job) = local.pop(self) {
+            self.injector.push(job);
+            moved += 1;
+        }
+        if moved > 0 {
+            // Trigger 2 of the grow-on-block invariant for the handed-off
+            // jobs, batched under one park-lock acquisition.
+            self.signal_many(moved);
+        } else if self.has_pending_work() {
+            // Also cover jobs queued elsewhere (other deques, injector) that
+            // this worker would otherwise have been the one to pick up.
+            if self.idle.load(Ordering::SeqCst) == 0 {
+                self.spawn_worker();
+            } else {
+                self.wake_one();
+            }
+        }
+    }
+
+    /// Assigns searchers to `jobs` just-enqueued injector jobs: parked
+    /// siblings are woken (one wake-up token each, no duplicates), and if
+    /// nobody is parked a worker is spawned per job (§6.3 — each may block).
+    /// Jobs beyond the granted signals are covered by the already-owed
+    /// searches, whose full scans start after this enqueue.
+    fn signal_many(self: &Arc<Self>, jobs: usize) {
+        let mut st = self.park.lock();
+        if st.idle == 0 {
+            drop(st);
+            for _ in 0..jobs {
+                self.spawn_worker();
+            }
+            return;
+        }
+        let grant = jobs.min(st.idle.saturating_sub(st.wakeups));
+        if grant > 0 {
+            st.wakeups += grant;
+            self.pending_wakeups.store(st.wakeups, Ordering::SeqCst);
+            for _ in 0..grant {
+                self.park_cv.notify_one();
+            }
+        }
+    }
+
+    fn note_unblocked(self: &Arc<Self>) {
+        let me = Arc::as_ptr(self) as *const ();
+        if CURRENT_WORKER.with(Cell::get).is_none_or(|w| w.sched != me) {
+            return;
+        }
+        self.blocked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn run_job(&self, job: Job) {
+        // A panicking job must not take the worker down; panics are surfaced
+        // through the task's promises by the spawn wrapper.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn worker_loop(self: &Arc<Self>, idx: usize, local: &LocalQueue) {
+        let keep_alive = self.config.base.keep_alive;
+        loop {
+            if let Some(job) = self.find_work(idx, local) {
+                self.run_job(job);
+                continue;
+            }
+            // Nothing found: decide between parking, retiring, and exiting.
+            let mut st = self.park.lock();
+            // Recheck under the park lock: a submitter that saw idle == 0
+            // before we registered has spawned a worker, but one that saw a
+            // stale idle count may only have queued — never sleep on work.
+            if !self.injector.is_empty() || self.any_stealable(idx) {
+                continue;
+            }
+            if st.shutdown {
+                break;
+            }
+            st.idle += 1;
+            self.idle.fetch_add(1, Ordering::SeqCst);
+            let mut timed_out = false;
+            loop {
+                if st.wakeups > 0 {
+                    st.wakeups -= 1;
+                    self.pending_wakeups.store(st.wakeups, Ordering::SeqCst);
+                    break;
+                }
+                if st.shutdown {
+                    break;
+                }
+                if self.park_cv.wait_for(&mut st, keep_alive).timed_out() {
+                    timed_out = true;
+                    break;
+                }
+            }
+            st.idle -= 1;
+            self.idle.fetch_sub(1, Ordering::SeqCst);
+            let shutting_down = st.shutdown;
+            drop(st);
+            if timed_out && !shutting_down {
+                // Final sweep, then retire to let the pool shrink again.
+                if !self.injector.is_empty() || self.any_stealable(idx) {
+                    continue;
+                }
+                break;
+            }
+            // Woken (or shutting down): search again; on shutdown the loop
+            // exits at the park step once every queue is drained.
+        }
+        // Retire: our own deque is empty (pop failed just before exiting).
+        self.workers.write()[idx] = None;
+        self.current.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
+    struct ResetTls;
+    impl Drop for ResetTls {
+        fn drop(&mut self) {
+            CURRENT_WORKER.with(|c| c.set(None));
+        }
+    }
+    let local = LocalQueue {
+        deque,
+        marked: Cell::new(false),
+    };
+    CURRENT_WORKER.with(|c| {
+        c.set(Some(WorkerRef {
+            sched: Arc::as_ptr(&state) as *const (),
+            local: &local as *const LocalQueue,
+        }))
+    });
+    let _reset = ResetTls;
+    state.worker_loop(idx, &local);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn small_config() -> SchedulerConfig {
+        SchedulerConfig {
+            base: PoolConfig {
+                keep_alive: Duration::from_millis(50),
+                ..PoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..128 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            sched
+                .submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                }))
+                .ok()
+                .unwrap();
+        }
+        for _ in 0..128 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
+        assert!(sched.stats().threads_started >= 1);
+    }
+
+    #[test]
+    fn local_submissions_land_on_the_worker_deque() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (tx, rx) = mpsc::channel();
+        let sched2 = Arc::clone(&sched);
+        sched
+            .submit(Box::new(move || {
+                // Runs on a worker: nested submissions take the local path
+                // and must still execute.
+                for i in 0..32 {
+                    let tx = tx.clone();
+                    sched2
+                        .submit(Box::new(move || tx.send(i).unwrap()))
+                        .ok()
+                        .unwrap();
+                }
+            }))
+            .ok()
+            .unwrap();
+        let mut got: Vec<i32> = (0..32)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grows_when_all_workers_block() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let n = 8;
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let (started_tx, started_rx) = mpsc::channel();
+        for _ in 0..n {
+            let started_tx = started_tx.clone();
+            let release_rx = Arc::clone(&release_rx);
+            sched
+                .submit(Box::new(move || {
+                    started_tx.send(()).unwrap();
+                    let guard = release_rx.lock();
+                    let _ = guard.recv_timeout(Duration::from_secs(10));
+                }))
+                .ok()
+                .unwrap();
+        }
+        for _ in 0..n {
+            started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            sched.stats().peak_workers >= n,
+            "the scheduler must have grown to at least {} workers, saw {:?}",
+            n,
+            sched.stats()
+        );
+        for _ in 0..n {
+            release_tx.send(()).unwrap();
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_scheduler() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (tx, rx) = mpsc::channel();
+        sched.submit(Box::new(|| panic!("job panic"))).ok().unwrap();
+        sched
+            .submit(Box::new(move || tx.send(42).unwrap()))
+            .ok()
+            .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn shutdown_runs_queued_jobs_and_rejects_new_ones() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            sched
+                .submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }))
+                .ok()
+                .unwrap();
+        }
+        sched.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert!(
+            sched.submit(Box::new(|| {})).is_err(),
+            "the scheduler must reject jobs after shutdown"
+        );
+        assert_eq!(sched.stats().current_workers, 0);
+    }
+
+    #[test]
+    fn idle_workers_retire_after_keep_alive() {
+        let sched = WorkStealingScheduler::new(SchedulerConfig {
+            base: PoolConfig {
+                keep_alive: Duration::from_millis(20),
+                ..PoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(Box::new(move || tx.send(()).unwrap()))
+            .ok()
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(sched.stats().current_workers, 0);
+        // The scheduler still works afterwards.
+        let (tx2, rx2) = mpsc::channel();
+        sched
+            .submit(Box::new(move || tx2.send(7).unwrap()))
+            .ok()
+            .unwrap();
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+    }
+
+    #[test]
+    fn initial_workers_are_started_eagerly() {
+        let sched = WorkStealingScheduler::new(SchedulerConfig {
+            base: PoolConfig {
+                initial_workers: 3,
+                ..PoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        assert_eq!(sched.stats().threads_started, 3);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn heavy_fanout_executes_every_job_once() {
+        let sched = WorkStealingScheduler::new(SchedulerConfig {
+            base: PoolConfig {
+                initial_workers: 4,
+                keep_alive: Duration::from_millis(200),
+                ..PoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        let total = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let fanout = 64;
+        for _ in 0..fanout {
+            let sched2 = Arc::clone(&sched);
+            let total = Arc::clone(&total);
+            let tx = tx.clone();
+            sched
+                .submit(Box::new(move || {
+                    for _ in 0..16 {
+                        let total = Arc::clone(&total);
+                        let tx = tx.clone();
+                        sched2
+                            .submit(Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                                tx.send(()).unwrap();
+                            }))
+                            .ok()
+                            .unwrap();
+                    }
+                }))
+                .ok()
+                .unwrap();
+        }
+        for _ in 0..fanout * 16 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), fanout * 16);
+        let stats = sched.stats();
+        assert_eq!(stats.queued_jobs, 0);
+    }
+}

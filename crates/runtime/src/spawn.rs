@@ -90,8 +90,7 @@ where
     F: FnOnce() -> R + Send + 'static,
     R: Send + 'static,
 {
-    let ctx = task::current_context()
-        .ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
+    let ctx = task::current_context().ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
 
     // The implicit join promise of §2.1: created by the parent, transferred
     // to (and eventually fulfilled by) the child.
@@ -115,9 +114,17 @@ where
     let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
     let result_in_task = Arc::clone(&result);
     let completion_in_task = completion.clone();
-    executor.execute(Box::new(move || {
+    if let Err(rejected) = executor.execute(Box::new(move || {
         run_task(prepared, f, completion_in_task, result_in_task);
-    }));
+    })) {
+        // The executor has shut down and handed the job back.  Dropping it
+        // drops the `PreparedTask` inside, which runs the rule-3 exit
+        // machinery as if the task terminated immediately: the transferred
+        // promises and the completion promise are completed exceptionally,
+        // so no waiter (and no later `join`) can hang on the never-run task.
+        drop(rejected.0);
+        return Err(PromiseError::RuntimeShutdown { task: task_id });
+    }
 
     Ok(TaskHandle::new(task_id, task_name, completion, result))
 }
@@ -146,28 +153,32 @@ fn run_task<F, R>(
 
     let completion_id = completion.id();
     // Exit check (Algorithm 1 rule 3), with the completion promise excluded:
-    // it is fulfilled in the epilogue below, while the task is still active.
-    let (_report, ()) = scope.finish_with(&[completion_id], |report| {
-        match (&panic_msg, report) {
-            (None, None) => {
-                // Clean termination: all obligations met.
-                let _ = completion.set(());
-            }
-            (None, Some(report)) => {
-                // The body returned but abandoned owned promises: surface the
-                // omitted set to the joiner as well.
-                completion
-                    .as_erased()
-                    .complete_abandoned(PromiseError::OmittedSet(Arc::clone(report)));
-            }
-            (Some(msg), _) => {
-                // The body panicked: the joiner observes the failure; any
-                // abandoned promises are settled (and blamed) separately.
-                completion.as_erased().complete_abandoned(PromiseError::TaskFailed {
+    // it is legitimately still owned here and is settled below, *after* the
+    // task has fully retired, so that a `join` returning implies the task is
+    // gone (exit check run, arena slot freed) — settling it earlier lets a
+    // joiner observe a half-terminated task.
+    let report = scope.finish_excluding(&[completion_id]);
+    match (panic_msg, report) {
+        (None, None) => {
+            // Clean termination: all obligations met.
+            completion.fulfill_detached(());
+        }
+        (None, Some(report)) => {
+            // The body returned but abandoned owned promises: surface the
+            // omitted set to the joiner as well.
+            completion
+                .as_erased()
+                .complete_abandoned(PromiseError::OmittedSet(report));
+        }
+        (Some(msg), _) => {
+            // The body panicked: the joiner observes the failure; any
+            // abandoned promises are settled (and blamed) separately.
+            completion
+                .as_erased()
+                .complete_abandoned(PromiseError::TaskFailed {
                     task: task_id,
                     message: Arc::from(msg.as_str()),
                 });
-            }
         }
-    });
+    }
 }

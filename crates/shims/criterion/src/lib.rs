@@ -1,0 +1,388 @@
+//! Offline-compatible mini benchmark harness exposing the subset of the
+//! `criterion` API this project uses: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed in
+//! batches until the group's measurement time is spent (default 1 s), with at
+//! least `sample_size` batches.  The report prints the mean, min and max time
+//! per iteration (and element throughput when configured).  `--filter`-style
+//! positional arguments and a `--quick` flag are honoured; other criterion
+//! CLI flags are accepted and ignored so that `cargo bench -- <args>` keeps
+//! working.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A two-part benchmark identifier rendered as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    sample_target: usize,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibration: find an iteration count that takes ≳ budget/samples.
+        let mut iters = 1u64;
+        let per_sample = self.budget.as_secs_f64() / self.sample_target as f64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_secs_f64() >= per_sample.min(0.05) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.sample_target || Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+            if self.samples.len() >= self.sample_target && Instant::now() >= deadline {
+                break;
+            }
+            if self.samples.len() >= 4 * self.sample_target {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the time budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the minimum number of timing samples collected.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `f` as one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Runs `f` with an input value as one benchmark of the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let full = format!("{}/{}", self.name, id.label);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut samples = Vec::new();
+        let budget = if self.criterion.quick {
+            self.measurement_time / 10
+        } else {
+            self.measurement_time
+        };
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+            sample_target: self.sample_size,
+            budget,
+        };
+        f(&mut b);
+        self.criterion.report(&full, &samples, self.throughput);
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    quick: bool,
+    default_measurement_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            quick: false,
+            default_measurement_time: Duration::from_secs(1),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`cargo bench -- <args>`).
+    /// Positional arguments are substring filters; `--quick` shrinks the time
+    /// budget; other criterion flags are accepted and ignored.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => c.quick = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--sample-size" | "--warm-up-time" => {
+                    // Flags with a value we either consume or ignore.
+                    match a.as_str() {
+                        "--measurement-time" => {
+                            if let Some(v) = args.next() {
+                                if let Ok(secs) = v.parse::<f64>() {
+                                    c.default_measurement_time = Duration::from_secs_f64(secs);
+                                }
+                            }
+                        }
+                        "--sample-size" => {
+                            if let Some(v) = args.next() {
+                                if let Ok(n) = v.parse::<usize>() {
+                                    c.default_sample_size = n.max(1);
+                                }
+                            }
+                        }
+                        _ => {
+                            let _ = args.next();
+                        }
+                    }
+                }
+                s if s.starts_with("--") => {}
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Criterion API compatibility: returns `self` unchanged.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.default_measurement_time;
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Criterion {
+        let name = name.to_string();
+        self.benchmark_group(name.clone()).run(
+            BenchmarkId {
+                label: String::new(),
+            },
+            f,
+        );
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn report(&mut self, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+        if samples.is_empty() {
+            println!("{name:<48} no samples collected");
+            return;
+        }
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = secs.iter().cloned().fold(0.0f64, f64::max);
+        let thru = match throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name:<48} time: [{} {} {}]{thru}",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+
+    /// Prints the closing line of a run.
+    pub fn final_summary(&mut self) {
+        println!("benchmark run complete");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a function that runs a sequence of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_benchmark_runs_and_reports() {
+        let mut c = Criterion {
+            default_measurement_time: Duration::from_millis(20),
+            default_sample_size: 3,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("t");
+        group.measurement_time(Duration::from_millis(10));
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_benchmarks() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("x", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline-compatible subset of `crossbeam-utils`: just [`CachePadded`].
+//!
+//! See the workspace manifest for why local shim crates exist.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, so that adjacent
+/// values never share one (preventing false sharing between counters that
+/// different threads update concurrently).
+///
+/// 128 bytes covers the common cases: x86-64 prefetches cache-line pairs and
+/// recent AArch64 cores use 128-byte lines.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_aligns_to_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        let p = CachePadded::new(3u32);
+        assert_eq!(*p, 3);
+        assert_eq!(p.into_inner(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline-compatible subset of the `rand` API.
+//!
+//! Provides the traits this project uses — [`RngCore`], [`Rng`] (with `gen`
+//! and `gen_range`), [`SeedableRng`], and [`seq::SliceRandom::choose`] — so
+//! that the workloads and the model explorer build without registry access.
+//! The distributions are the standard ones: integers draw full-width words,
+//! floats draw uniformly from `[0, 1)` using the high mantissa bits.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled from the "standard" distribution of an RNG.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u8
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits uniformly in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits uniformly in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait UniformSample: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift reduction of a 64-bit draw onto the span;
+                // bias is ≤ span/2^64, irrelevant for synthetic data.
+                let draw = rng.next_u64() as u128;
+                let off = (draw * span) >> 64;
+                (low as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        low + (high - low) * f64::sample(rng)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        low + (high - low) * f32::sample(rng)
+    }
+}
+
+/// The user-facing random-value interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open range `range`.
+    fn gen_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a small seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random helpers on slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+/// Re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    struct Lcg(u64);
+    impl super::RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Lcg(42);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(0..7);
+            assert!(v < 7);
+            let f: f64 = r.gen_range(-4.0..4.0);
+            assert!((-4.0..4.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_the_slice() {
+        let mut r = Lcg(7);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*items.as_slice().choose(&mut r).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut v: Vec<u32> = (0..16).collect();
+        v.as_mut_slice().shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -150,13 +150,20 @@ impl MemorySampler {
                     std::thread::sleep(interval);
                 }
                 MemoryUsage {
-                    average_bytes: if samples == 0 { 0.0 } else { sum / samples as f64 },
+                    average_bytes: if samples == 0 {
+                        0.0
+                    } else {
+                        sum / samples as f64
+                    },
                     peak_bytes: peak,
                     samples,
                 }
             })
             .expect("failed to start memory sampler thread");
-        MemorySampler { stop, handle: Some(handle) }
+        MemorySampler {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Starts sampling with the paper's 10 ms interval.
@@ -204,14 +211,22 @@ mod tests {
         let sampler = MemorySampler::start(Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(20));
         let usage = sampler.stop();
-        assert!(usage.samples >= 2, "expected several samples, got {}", usage.samples);
+        assert!(
+            usage.samples >= 2,
+            "expected several samples, got {}",
+            usage.samples
+        );
         assert!(usage.average_bytes >= 0.0);
         assert!(usage.peak_mb() >= usage.average_mb() || usage.peak_bytes == 0);
     }
 
     #[test]
     fn memory_usage_unit_conversions() {
-        let u = MemoryUsage { average_bytes: 2.0 * 1024.0 * 1024.0, peak_bytes: 4 * 1024 * 1024, samples: 10 };
+        let u = MemoryUsage {
+            average_bytes: 2.0 * 1024.0 * 1024.0,
+            peak_bytes: 4 * 1024 * 1024,
+            samples: 10,
+        };
         assert!((u.average_mb() - 2.0).abs() < 1e-9);
         assert!((u.peak_mb() - 4.0).abs() < 1e-9);
     }

@@ -74,7 +74,13 @@ impl Summary {
         };
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Summary { count, mean, stddev: var.sqrt(), min, max }
+        Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// The 95 % confidence interval of the mean (Student-t, as in the
@@ -82,11 +88,19 @@ impl Summary {
     /// paper follows for Figure 1).
     pub fn ci95(&self) -> ConfidenceInterval {
         if self.count < 2 {
-            return ConfidenceInterval { low: self.mean, high: self.mean, level: 0.95 };
+            return ConfidenceInterval {
+                low: self.mean,
+                high: self.mean,
+                level: 0.95,
+            };
         }
         let sem = self.stddev / (self.count as f64).sqrt();
         let h = t_factor_95(self.count - 1) * sem;
-        ConfidenceInterval { low: self.mean - h, high: self.mean + h, level: 0.95 }
+        ConfidenceInterval {
+            low: self.mean - h,
+            high: self.mean + h,
+            level: 0.95,
+        }
     }
 
     /// Relative standard deviation (coefficient of variation).
@@ -105,7 +119,11 @@ impl Summary {
 /// Non-positive inputs are ignored; an empty (or all-ignored) input yields
 /// `NaN`.
 pub fn geometric_mean(factors: &[f64]) -> f64 {
-    let logs: Vec<f64> = factors.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = factors
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         return f64::NAN;
     }
@@ -143,7 +161,9 @@ mod tests {
     #[test]
     fn ci95_contains_the_mean_and_shrinks_with_more_data() {
         let small = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
-        let many: Vec<f64> = (0..100).map(|i| 3.0 + ((i % 5) as f64 - 2.0) * 0.5).collect();
+        let many: Vec<f64> = (0..100)
+            .map(|i| 3.0 + ((i % 5) as f64 - 2.0) * 0.5)
+            .collect();
         let big = Summary::of(&many);
         assert!(small.ci95().contains(small.mean));
         assert!(big.ci95().contains(big.mean));
@@ -165,7 +185,10 @@ mod tests {
         // The paper's headline: nine per-benchmark factors aggregate to ~1.12.
         let paper_time_overheads = [1.01, 1.00, 0.98, 0.98, 2.07, 1.10, 1.04, 1.19, 0.99];
         let g = geometric_mean(&paper_time_overheads);
-        assert!((g - 1.12).abs() < 0.01, "geomean of the paper's Table 1 column is ~1.12, got {g}");
+        assert!(
+            (g - 1.12).abs() < 0.01,
+            "geomean of the paper's Table 1 column is ~1.12, got {g}"
+        );
         assert!(geometric_mean(&[]).is_nan());
         assert!(geometric_mean(&[0.0, -1.0]).is_nan());
     }

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.  Rows shorter than the header are padded with blanks;
@@ -49,8 +52,14 @@ impl Table {
                     line.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                let numeric = cell.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
-                    && cell.chars().all(|c| c.is_ascii_digit() || ".x×%+-eE".contains(c));
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                    && cell
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || ".x×%+-eE".contains(c));
                 if numeric {
                     line.push_str(&format!("{:>width$}", cell, width = widths[i]));
                 } else {

@@ -27,7 +27,11 @@ pub struct MeasurementProtocol {
 impl Default for MeasurementProtocol {
     fn default() -> Self {
         // The paper's protocol.
-        MeasurementProtocol { warmups: 5, runs: 30, budget: None }
+        MeasurementProtocol {
+            warmups: 5,
+            runs: 30,
+            budget: None,
+        }
     }
 }
 
@@ -39,7 +43,11 @@ impl MeasurementProtocol {
 
     /// A quick protocol for smoke tests and CI.
     pub fn quick() -> Self {
-        MeasurementProtocol { warmups: 1, runs: 3, budget: Some(Duration::from_secs(30)) }
+        MeasurementProtocol {
+            warmups: 1,
+            runs: 3,
+            budget: Some(Duration::from_secs(30)),
+        }
     }
 
     /// Sets the number of warm-up runs.
@@ -134,7 +142,11 @@ mod tests {
     #[test]
     fn protocol_runs_warmups_plus_measured_runs() {
         let calls = AtomicUsize::new(0);
-        let protocol = MeasurementProtocol { warmups: 2, runs: 5, budget: None };
+        let protocol = MeasurementProtocol {
+            warmups: 2,
+            runs: 5,
+            budget: None,
+        };
         let m = protocol.run(|| {
             calls.fetch_add(1, Ordering::Relaxed);
         });
@@ -152,12 +164,20 @@ mod tests {
         };
         let m = protocol.run(|| std::thread::sleep(Duration::from_millis(10)));
         assert!(!m.is_empty());
-        assert!(m.len() < 100, "budget must have cut the run count, got {}", m.len());
+        assert!(
+            m.len() < 100,
+            "budget must have cut the run count, got {}",
+            m.len()
+        );
     }
 
     #[test]
     fn reported_measurements_pass_through() {
-        let protocol = MeasurementProtocol { warmups: 1, runs: 4, budget: None };
+        let protocol = MeasurementProtocol {
+            warmups: 1,
+            runs: 4,
+            budget: None,
+        };
         let mut i = 0.0;
         let m = protocol.run_reported(|warmup| {
             if warmup {

@@ -33,7 +33,9 @@ pub struct AllToAllBarrier {
 
 impl Clone for AllToAllBarrier {
     fn clone(&self) -> Self {
-        AllToAllBarrier { state: Arc::clone(&self.state) }
+        AllToAllBarrier {
+            state: Arc::clone(&self.state),
+        }
     }
 }
 
@@ -55,7 +57,12 @@ impl AllToAllBarrier {
                     .collect()
             })
             .collect();
-        AllToAllBarrier { state: Arc::new(BarrierState { arrivals, participants }) }
+        AllToAllBarrier {
+            state: Arc::new(BarrierState {
+                arrivals,
+                participants,
+            }),
+        }
     }
 
     /// Number of participants.
@@ -71,14 +78,22 @@ impl AllToAllBarrier {
     /// The transferable handle for participant `index`: moving it to a task
     /// moves ownership of that participant's arrival promise in every round.
     pub fn participant(&self, index: usize) -> BarrierParticipant {
-        assert!(index < self.state.participants, "participant index out of range");
-        BarrierParticipant { barrier: self.clone(), index }
+        assert!(
+            index < self.state.participants,
+            "participant index out of range"
+        );
+        BarrierParticipant {
+            barrier: self.clone(),
+            index,
+        }
     }
 
     /// All per-participant handles, in index order (convenient when spawning
     /// the full worker set).
     pub fn all_participants(&self) -> Vec<BarrierParticipant> {
-        (0..self.state.participants).map(|i| self.participant(i)).collect()
+        (0..self.state.participants)
+            .map(|i| self.participant(i))
+            .collect()
     }
 }
 
@@ -95,7 +110,10 @@ pub struct BarrierParticipant {
 
 impl Clone for BarrierParticipant {
     fn clone(&self) -> Self {
-        BarrierParticipant { barrier: self.barrier.clone(), index: self.index }
+        BarrierParticipant {
+            barrier: self.barrier.clone(),
+            index: self.index,
+        }
     }
 }
 
@@ -211,11 +229,8 @@ mod tests {
             // exceptionally, so workers 0 and 1 return an alarm error instead
             // of blocking forever.
             assert!(results[2].is_err());
-            for r in &results[0..2] {
-                match r {
-                    Ok(inner) => assert!(inner.is_err()),
-                    Err(_) => {}
-                }
+            for inner in results[0..2].iter().flatten() {
+                assert!(inner.is_err());
             }
         })
         .unwrap();

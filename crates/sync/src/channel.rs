@@ -66,7 +66,9 @@ pub struct Channel<T: Clone + Send + Sync + 'static> {
 
 impl<T: Clone + Send + Sync + 'static> Clone for Channel<T> {
     fn clone(&self) -> Self {
-        Channel { state: Arc::clone(&self.state) }
+        Channel {
+            state: Arc::clone(&self.state),
+        }
     }
 }
 
@@ -345,7 +347,9 @@ mod tests {
 
     #[test]
     fn channels_work_in_baseline_mode_too() {
-        let rt = Runtime::builder().verification(VerificationMode::Unverified).build();
+        let rt = Runtime::builder()
+            .verification(VerificationMode::Unverified)
+            .build();
         rt.block_on(|| {
             let ch = Channel::<i32>::new();
             let h = spawn(&ch, {

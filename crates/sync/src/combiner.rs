@@ -36,7 +36,9 @@ pub struct Combiner<V: Clone + Send + Sync + 'static> {
 
 impl<V: Clone + Send + Sync + 'static> Clone for Combiner<V> {
     fn clone(&self) -> Self {
-        Combiner { state: Arc::clone(&self.state) }
+        Combiner {
+            state: Arc::clone(&self.state),
+        }
     }
 }
 
@@ -56,7 +58,13 @@ impl<V: Clone + Send + Sync + 'static> Combiner<V> {
         let results = (0..rounds)
             .map(|r| Promise::with_name(&format!("combined[r{r}]")))
             .collect();
-        Combiner { state: Arc::new(CombinerState { contributions, results, workers }) }
+        Combiner {
+            state: Arc::new(CombinerState {
+                contributions,
+                results,
+                workers,
+            }),
+        }
     }
 
     /// Number of contributing workers.
@@ -73,13 +81,18 @@ impl<V: Clone + Send + Sync + 'static> Combiner<V> {
     /// contribution promise in every round).
     pub fn worker(&self, index: usize) -> CombinerWorker<V> {
         assert!(index < self.state.workers, "worker index out of range");
-        CombinerWorker { combiner: self.clone(), index }
+        CombinerWorker {
+            combiner: self.clone(),
+            index,
+        }
     }
 
     /// The transferable coordinator role (owns every per-round result
     /// promise).
     pub fn coordinator(&self) -> CombinerCoordinator<V> {
-        CombinerCoordinator { combiner: self.clone() }
+        CombinerCoordinator {
+            combiner: self.clone(),
+        }
     }
 }
 
@@ -91,7 +104,10 @@ pub struct CombinerWorker<V: Clone + Send + Sync + 'static> {
 
 impl<V: Clone + Send + Sync + 'static> Clone for CombinerWorker<V> {
     fn clone(&self) -> Self {
-        CombinerWorker { combiner: self.combiner.clone(), index: self.index }
+        CombinerWorker {
+            combiner: self.combiner.clone(),
+            index: self.index,
+        }
     }
 }
 
@@ -133,7 +149,9 @@ pub struct CombinerCoordinator<V: Clone + Send + Sync + 'static> {
 
 impl<V: Clone + Send + Sync + 'static> Clone for CombinerCoordinator<V> {
     fn clone(&self) -> Self {
-        CombinerCoordinator { combiner: self.combiner.clone() }
+        CombinerCoordinator {
+            combiner: self.combiner.clone(),
+        }
     }
 }
 
@@ -243,7 +261,10 @@ mod tests {
             assert!(coord_handle.join().is_err());
             for h in worker_handles {
                 let inner = h.join().unwrap();
-                assert!(inner.is_err(), "workers must observe the coordinator's failure");
+                assert!(
+                    inner.is_err(),
+                    "workers must observe the coordinator's failure"
+                );
             }
         })
         .unwrap();

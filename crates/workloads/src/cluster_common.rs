@@ -105,7 +105,11 @@ pub struct PartialSums {
 impl PartialSums {
     /// A zeroed partial for `centers` centers in `dims` dimensions.
     pub fn zero(centers: usize, dims: usize) -> PartialSums {
-        PartialSums { sums: vec![vec![0.0; dims]; centers], counts: vec![0; centers], cost: 0.0 }
+        PartialSums {
+            sums: vec![vec![0.0; dims]; centers],
+            counts: vec![0; centers],
+            cost: 0.0,
+        }
     }
 
     /// Accumulates another partial into this one (used by the combiner /
@@ -124,7 +128,10 @@ impl PartialSums {
 }
 
 fn distance2(p: &[f32], c: &[f64]) -> f64 {
-    p.iter().zip(c).map(|(&x, &y)| (x as f64 - y) * (x as f64 - y)).sum()
+    p.iter()
+        .zip(c)
+        .map(|(&x, &y)| (x as f64 - y) * (x as f64 - y))
+        .sum()
 }
 
 /// Assigns each point of `slice` to its nearest center and returns the
@@ -243,7 +250,11 @@ mod tests {
         let old = vec![vec![9.0, 9.0], vec![5.0, 5.0]];
         let updated = update_centers(&merged, &old);
         assert_eq!(updated[0], vec![1.0, 2.0]);
-        assert_eq!(updated[1], vec![5.0, 5.0], "empty cluster keeps its old center");
+        assert_eq!(
+            updated[1],
+            vec![5.0, 5.0],
+            "empty cluster keeps its old center"
+        );
     }
 
     #[test]

@@ -129,10 +129,12 @@ pub fn run(params: &ConwayParams) -> u64 {
     // up[k] carries worker k's top row to worker k-1.  All channels are
     // created by the root and the sending ends are transferred to the worker
     // that writes to them.
-    let down: Vec<Channel<Vec<bool>>> =
-        (0..workers).map(|k| Channel::with_name(&format!("down[{k}]"))).collect();
-    let up: Vec<Channel<Vec<bool>>> =
-        (0..workers).map(|k| Channel::with_name(&format!("up[{k}]"))).collect();
+    let down: Vec<Channel<Vec<bool>>> = (0..workers)
+        .map(|k| Channel::with_name(&format!("down[{k}]")))
+        .collect();
+    let up: Vec<Channel<Vec<bool>>> = (0..workers)
+        .map(|k| Channel::with_name(&format!("up[{k}]")))
+        .collect();
 
     let mut handles = Vec::new();
     for k in 0..workers {
@@ -141,37 +143,53 @@ pub fn run(params: &ConwayParams) -> u64 {
         let band: Vec<Vec<bool>> = grid[lo..hi].to_vec();
         let my_down = down[k].clone();
         let my_up = up[k].clone();
-        let above_down = if k > 0 { Some(down[k - 1].clone()) } else { None };
-        let below_up = if k + 1 < workers { Some(up[k + 1].clone()) } else { None };
+        let above_down = if k > 0 {
+            Some(down[k - 1].clone())
+        } else {
+            None
+        };
+        let below_up = if k + 1 < workers {
+            Some(up[k + 1].clone())
+        } else {
+            None
+        };
         let generations = params.generations;
         // The worker owns the sending ends of its own two channels.
         let transfers = (my_down.clone(), my_up.clone());
-        handles.push(spawn_named(&format!("conway-band-{k}"), transfers, move || {
-            let mut band = band;
-            let empty = vec![false; width];
-            for _ in 0..generations {
-                // Send borders to neighbours (if any).
-                if above_down.is_some() {
-                    my_up.send(band.first().cloned().unwrap_or_else(|| empty.clone())).unwrap();
+        handles.push(spawn_named(
+            &format!("conway-band-{k}"),
+            transfers,
+            move || {
+                let mut band = band;
+                let empty = vec![false; width];
+                for _ in 0..generations {
+                    // Send borders to neighbours (if any).
+                    if above_down.is_some() {
+                        my_up
+                            .send(band.first().cloned().unwrap_or_else(|| empty.clone()))
+                            .unwrap();
+                    }
+                    if below_up.is_some() {
+                        my_down
+                            .send(band.last().cloned().unwrap_or_else(|| empty.clone()))
+                            .unwrap();
+                    }
+                    // Receive ghost rows from neighbours.
+                    let above = match &above_down {
+                        Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
+                        None => empty.clone(),
+                    };
+                    let below = match &below_up {
+                        Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
+                        None => empty.clone(),
+                    };
+                    band = step_rows(&band, &above, &below);
                 }
-                if below_up.is_some() {
-                    my_down.send(band.last().cloned().unwrap_or_else(|| empty.clone())).unwrap();
-                }
-                // Receive ghost rows from neighbours.
-                let above = match &above_down {
-                    Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
-                    None => empty.clone(),
-                };
-                let below = match &below_up {
-                    Some(ch) => ch.recv().unwrap().unwrap_or_else(|| empty.clone()),
-                    None => empty.clone(),
-                };
-                band = step_rows(&band, &above, &below);
-            }
-            my_down.stop().unwrap();
-            my_up.stop().unwrap();
-            band
-        }));
+                my_down.stop().unwrap();
+                my_up.stop().unwrap();
+                band
+            },
+        ));
     }
 
     let mut final_grid: Vec<Vec<bool>> = Vec::with_capacity(params.height);
@@ -183,7 +201,9 @@ pub fn run(params: &ConwayParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&ConwayParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&ConwayParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,9 @@ pub fn dna_sequence(n: usize, seed: u64) -> Vec<u8> {
 /// `n` points in `dims` dimensions with coordinates in `[0, 1)`.
 pub fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut r = rng(seed);
-    (0..n).map(|_| (0..dims).map(|_| r.gen::<f32>()).collect()).collect()
+    (0..n)
+        .map(|_| (0..dims).map(|_| r.gen::<f32>()).collect())
+        .collect()
 }
 
 /// A dense `n × n` matrix with `nnz` random non-zero entries (duplicates

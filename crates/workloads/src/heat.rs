@@ -28,14 +28,25 @@ impl HeatParams {
     /// Preset sizes for a scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Smoke => HeatParams { tasks: 4, cells_per_task: 64, iterations: 20, alpha: 0.25 },
-            Scale::Default => {
-                HeatParams { tasks: 16, cells_per_task: 2_000, iterations: 400, alpha: 0.25 }
-            }
+            Scale::Smoke => HeatParams {
+                tasks: 4,
+                cells_per_task: 64,
+                iterations: 20,
+                alpha: 0.25,
+            },
+            Scale::Default => HeatParams {
+                tasks: 16,
+                cells_per_task: 2_000,
+                iterations: 400,
+                alpha: 0.25,
+            },
             // Paper: 50 tasks × 40 000 cells × 5 000 iterations.
-            Scale::Paper => {
-                HeatParams { tasks: 50, cells_per_task: 40_000, iterations: 5_000, alpha: 0.25 }
-            }
+            Scale::Paper => HeatParams {
+                tasks: 50,
+                cells_per_task: 40_000,
+                iterations: 5_000,
+                alpha: 0.25,
+            },
         }
     }
 
@@ -87,19 +98,30 @@ pub fn run(params: &HeatParams) -> u64 {
 
     // right[k]: worker k sends its rightmost cell to worker k+1.
     // left[k]:  worker k sends its leftmost cell to worker k-1.
-    let right: Vec<Channel<f64>> =
-        (0..tasks).map(|k| Channel::with_name(&format!("heat-right[{k}]"))).collect();
-    let left: Vec<Channel<f64>> =
-        (0..tasks).map(|k| Channel::with_name(&format!("heat-left[{k}]"))).collect();
+    let right: Vec<Channel<f64>> = (0..tasks)
+        .map(|k| Channel::with_name(&format!("heat-right[{k}]")))
+        .collect();
+    let left: Vec<Channel<f64>> = (0..tasks)
+        .map(|k| Channel::with_name(&format!("heat-left[{k}]")))
+        .collect();
 
     let mut handles = Vec::new();
     for k in 0..tasks {
         let my_right = right[k].clone();
         let my_left = left[k].clone();
-        let from_left = if k > 0 { Some(right[k - 1].clone()) } else { None };
-        let from_right = if k + 1 < tasks { Some(left[k + 1].clone()) } else { None };
-        let chunk: Vec<f64> =
-            (k * cells..(k + 1) * cells).map(|i| initial_temperature(i, total)).collect();
+        let from_left = if k > 0 {
+            Some(right[k - 1].clone())
+        } else {
+            None
+        };
+        let from_right = if k + 1 < tasks {
+            Some(left[k + 1].clone())
+        } else {
+            None
+        };
+        let chunk: Vec<f64> = (k * cells..(k + 1) * cells)
+            .map(|i| initial_temperature(i, total))
+            .collect();
         let iterations = params.iterations;
         handles.push(spawn_named(
             &format!("heat-chunk-{k}"),
@@ -139,7 +161,9 @@ pub fn run(params: &HeatParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&HeatParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&HeatParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +183,12 @@ mod tests {
 
     #[test]
     fn single_task_degenerate_case() {
-        let params = HeatParams { tasks: 1, cells_per_task: 128, iterations: 10, alpha: 0.2 };
+        let params = HeatParams {
+            tasks: 1,
+            cells_per_task: 128,
+            iterations: 10,
+            alpha: 0.2,
+        };
         let expected = run_sequential(&params);
         let got = Runtime::new().block_on(|| run(&params)).unwrap();
         assert_eq!(got, expected);

@@ -99,7 +99,9 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -113,7 +115,8 @@ pub fn all_workloads() -> Vec<Workload> {
         },
         Workload {
             name: "Heat",
-            description: "1-D heat diffusion; neighbouring chunk tasks exchange borders over channels",
+            description:
+                "1-D heat diffusion; neighbouring chunk tasks exchange borders over channels",
             runner: heat::run_scaled,
         },
         Workload {

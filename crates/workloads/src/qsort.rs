@@ -27,11 +27,23 @@ impl QSortParams {
     /// Preset sizes for a scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Smoke => QSortParams { elements: 4_000, cutoff: 256, seed: 20 },
-            Scale::Default => QSortParams { elements: 300_000, cutoff: 512, seed: 20 },
+            Scale::Smoke => QSortParams {
+                elements: 4_000,
+                cutoff: 256,
+                seed: 20,
+            },
+            Scale::Default => QSortParams {
+                elements: 300_000,
+                cutoff: 512,
+                seed: 20,
+            },
             // Paper: 1 M integers, spawning very fine-grained tasks
             // (~786 k tasks).
-            Scale::Paper => QSortParams { elements: 1_000_000, cutoff: 8, seed: 20 },
+            Scale::Paper => QSortParams {
+                elements: 1_000_000,
+                cutoff: 8,
+                seed: 20,
+            },
         }
     }
 }
@@ -95,7 +107,9 @@ pub fn run(params: &QSortParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&QSortParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&QSortParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +147,11 @@ mod tests {
 
     #[test]
     fn fine_grained_cutoff_spawns_many_tasks() {
-        let params = QSortParams { elements: 3_000, cutoff: 8, seed: 1 };
+        let params = QSortParams {
+            elements: 3_000,
+            cutoff: 8,
+            seed: 1,
+        };
         let rt = Runtime::new();
         let expected = run_sequential(&params);
         let (got, metrics) = rt.measure(|| run(&params)).unwrap();

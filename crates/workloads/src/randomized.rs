@@ -98,24 +98,30 @@ fn plan(params: &RandomizedParams) -> TreePlan {
     let mut assigned = vec![Vec::new(); n];
     let mut promise_owner = vec![0usize; params.promises];
     let mut r = rng(params.seed);
-    for p in 0..params.promises {
+    for (p, slot) in promise_owner.iter_mut().enumerate() {
         let owner = r.gen_range(0..n);
         assigned[owner].push(p);
-        promise_owner[p] = owner;
+        *slot = owner;
     }
     // Each task may await one random promise owned by a strictly later task.
     let mut awaits = vec![None; n];
     for (i, slot) in awaits.iter_mut().enumerate() {
         if r.gen::<f64>() < params.await_probability {
             // Candidate promises owned by tasks with a larger index.
-            let candidates: Vec<usize> =
-                (0..params.promises).filter(|&p| promise_owner[p] > i).collect();
+            let candidates: Vec<usize> = (0..params.promises)
+                .filter(|&p| promise_owner[p] > i)
+                .collect();
             if !candidates.is_empty() {
                 *slot = Some(candidates[r.gen_range(0..candidates.len())]);
             }
         }
     }
-    TreePlan { children, assigned, awaits, promise_owner }
+    TreePlan {
+        children,
+        assigned,
+        awaits,
+        promise_owner,
+    }
 }
 
 /// The per-task body: spawn children (moving their subtrees' promises), maybe
@@ -150,13 +156,17 @@ fn run_task(
     // Busy work.
     let mut x: u64 = index as u64 + 1;
     for _ in 0..work {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     acc = acc.wrapping_add(x & 0xffff);
 
     // Fulfil own promises.
     for &p in &plan.assigned[index] {
-        promises[p].set(p as u64 + 1).expect("owner must be able to set its promise");
+        promises[p]
+            .set(p as u64 + 1)
+            .expect("owner must be able to set its promise");
     }
 
     // Join children.
@@ -182,7 +192,9 @@ pub fn run(params: &RandomizedParams) -> u64 {
     let plan = Arc::new(plan(params));
     // The root allocates every promise.
     let promises: Arc<Vec<Promise<u64>>> = Arc::new(
-        (0..params.promises).map(|p| Promise::with_name(&format!("rand-p{p}"))).collect(),
+        (0..params.promises)
+            .map(|p| Promise::with_name(&format!("rand-p{p}")))
+            .collect(),
     );
     let result = run_task(0, Arc::clone(&plan), Arc::clone(&promises), params.work);
     hash_u64s([result, params.tasks as u64, params.promises as u64])
@@ -190,7 +202,9 @@ pub fn run(params: &RandomizedParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&RandomizedParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&RandomizedParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +219,11 @@ mod tests {
         let a = rt.block_on(|| run(&params)).unwrap();
         let b = rt.block_on(|| run(&params)).unwrap();
         assert_eq!(a, b, "same seed must give the same checksum");
-        assert_eq!(rt.context().alarm_count(), 0, "the chosen structure is deadlock-free");
+        assert_eq!(
+            rt.context().alarm_count(),
+            0,
+            "the chosen structure is deadlock-free"
+        );
     }
 
     #[test]
@@ -214,14 +232,21 @@ mod tests {
         let p = plan(&params);
         for (i, awaited) in p.awaits.iter().enumerate() {
             if let Some(promise) = awaited {
-                assert!(p.promise_owner[*promise] > i, "task {i} awaits a non-later promise");
+                assert!(
+                    p.promise_owner[*promise] > i,
+                    "task {i} awaits a non-later promise"
+                );
             }
         }
     }
 
     #[test]
     fn every_promise_gets_fulfilled() {
-        let params = RandomizedParams { tasks: 25, promises: 60, ..RandomizedParams::for_scale(Scale::Smoke) };
+        let params = RandomizedParams {
+            tasks: 25,
+            promises: 60,
+            ..RandomizedParams::for_scale(Scale::Smoke)
+        };
         let rt = Runtime::new();
         let (_, metrics) = rt.measure(|| run(&params)).unwrap();
         // 60 workload promises are all set, plus one completion promise per

@@ -59,7 +59,12 @@ pub fn run_sequential(params: &SieveParams) -> u64 {
         i += 1;
     }
     let count = is_prime.iter().filter(|p| **p).count() as u64;
-    let sum: u64 = is_prime.iter().enumerate().filter(|(_, p)| **p).map(|(i, _)| i as u64).sum();
+    let sum: u64 = is_prime
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| **p)
+        .map(|(i, _)| i as u64)
+        .sum();
     hash_u64s([count, sum])
 }
 
@@ -127,12 +132,17 @@ pub fn run(params: &SieveParams) -> u64 {
     })
     .expect("sieve pipeline failed");
 
-    hash_u64s([prime_count.load(Ordering::Relaxed) as u64, prime_sum.load(Ordering::Relaxed)])
+    hash_u64s([
+        prime_count.load(Ordering::Relaxed) as u64,
+        prime_sum.load(Ordering::Relaxed),
+    ])
 }
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&SieveParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&SieveParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]

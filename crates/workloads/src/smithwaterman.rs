@@ -49,11 +49,23 @@ impl SmithWatermanParams {
             seed: 77,
         };
         match scale {
-            Scale::Smoke => SmithWatermanParams { rows: 120, cols: 150, ..common },
-            Scale::Default => SmithWatermanParams { rows: 1_500, cols: 1_500, ..common },
+            Scale::Smoke => SmithWatermanParams {
+                rows: 120,
+                cols: 150,
+                ..common
+            },
+            Scale::Default => SmithWatermanParams {
+                rows: 1_500,
+                cols: 1_500,
+                ..common
+            },
             // Paper: sequences of 18 000–20 000 bases, 25×25 tiles
             // (≈ 570 000 tasks).
-            Scale::Paper => SmithWatermanParams { rows: 18_000, cols: 20_000, ..common },
+            Scale::Paper => SmithWatermanParams {
+                rows: 18_000,
+                cols: 20_000,
+                ..common
+            },
         }
     }
 }
@@ -91,7 +103,11 @@ fn compute_tile(
     let mut best = 0;
     for r in 0..rows {
         for c in 0..cols {
-            let sub = if a[row0 + r] == b[col0 + c] { params.match_score } else { params.mismatch };
+            let sub = if a[row0 + r] == b[col0 + c] {
+                params.match_score
+            } else {
+                params.mismatch
+            };
             let diag = if r == 0 && c == 0 {
                 corner
             } else if r == 0 {
@@ -125,7 +141,11 @@ pub fn run_sequential(params: &SmithWatermanParams) -> u64 {
     for r in 1..=params.rows {
         let mut cur = vec![0i32; params.cols + 1];
         for c in 1..=params.cols {
-            let sub = if a[r - 1] == b[c - 1] { params.match_score } else { params.mismatch };
+            let sub = if a[r - 1] == b[c - 1] {
+                params.match_score
+            } else {
+                params.mismatch
+            };
             let v = 0
                 .max(prev[c - 1] + sub)
                 .max(prev[c] + params.gap)
@@ -147,16 +167,32 @@ pub fn run(params: &SmithWatermanParams) -> u64 {
 
     // All tile promises are allocated by the root and moved to the tile tasks.
     let edges: Vec<Vec<Promise<TileEdge>>> = (0..tiles_r)
-        .map(|i| (0..tiles_c).map(|j| Promise::with_name(&format!("tile[{i},{j}]"))).collect())
+        .map(|i| {
+            (0..tiles_c)
+                .map(|j| Promise::with_name(&format!("tile[{i},{j}]")))
+                .collect()
+        })
         .collect();
 
     let mut handles = Vec::new();
     for ti in 0..tiles_r {
         for tj in 0..tiles_c {
             let my_edge = edges[ti][tj].clone();
-            let top = if ti > 0 { Some(edges[ti - 1][tj].clone()) } else { None };
-            let left = if tj > 0 { Some(edges[ti][tj - 1].clone()) } else { None };
-            let diag = if ti > 0 && tj > 0 { Some(edges[ti - 1][tj - 1].clone()) } else { None };
+            let top = if ti > 0 {
+                Some(edges[ti - 1][tj].clone())
+            } else {
+                None
+            };
+            let left = if tj > 0 {
+                Some(edges[ti][tj - 1].clone())
+            } else {
+                None
+            };
+            let diag = if ti > 0 && tj > 0 {
+                Some(edges[ti - 1][tj - 1].clone())
+            } else {
+                None
+            };
             let a = Arc::clone(&a);
             let b = Arc::clone(&b);
             let p = *params;
@@ -164,25 +200,30 @@ pub fn run(params: &SmithWatermanParams) -> u64 {
             let col0 = tj * p.tile;
             let rows = (p.rows - row0).min(p.tile);
             let cols = (p.cols - col0).min(p.tile);
-            handles.push(spawn_named(&format!("sw-tile-{ti}-{tj}"), my_edge.clone(), move || {
-                let top_row = match &top {
-                    Some(t) => t.get().expect("top tile failed").last_row,
-                    None => vec![0; cols],
-                };
-                let left_col = match &left {
-                    Some(l) => l.get().expect("left tile failed").last_col,
-                    None => vec![0; rows],
-                };
-                let corner = match &diag {
-                    Some(d) => d.get().expect("diagonal tile failed").corner,
-                    None => 0,
-                };
-                let edge =
-                    compute_tile(&a, &b, row0, col0, rows, cols, &top_row, &left_col, corner, &p);
-                let best = edge.best;
-                my_edge.set(edge).expect("tile promise double set");
-                best
-            }));
+            handles.push(spawn_named(
+                &format!("sw-tile-{ti}-{tj}"),
+                my_edge.clone(),
+                move || {
+                    let top_row = match &top {
+                        Some(t) => t.get().expect("top tile failed").last_row,
+                        None => vec![0; cols],
+                    };
+                    let left_col = match &left {
+                        Some(l) => l.get().expect("left tile failed").last_col,
+                        None => vec![0; rows],
+                    };
+                    let corner = match &diag {
+                        Some(d) => d.get().expect("diagonal tile failed").corner,
+                        None => 0,
+                    };
+                    let edge = compute_tile(
+                        &a, &b, row0, col0, rows, cols, &top_row, &left_col, corner, &p,
+                    );
+                    let best = edge.best;
+                    my_edge.set(edge).expect("tile promise double set");
+                    best
+                },
+            ));
         }
     }
 
@@ -195,7 +236,9 @@ pub fn run(params: &SmithWatermanParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&SmithWatermanParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&SmithWatermanParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +286,11 @@ mod tests {
             for r in 1..=64usize {
                 let mut cur = vec![0i32; 65];
                 for c in 1..=64usize {
-                    let sub = if a[r - 1] == b[c - 1] { params.match_score } else { params.mismatch };
+                    let sub = if a[r - 1] == b[c - 1] {
+                        params.match_score
+                    } else {
+                        params.mismatch
+                    };
                     let v = 0
                         .max(prev[c - 1] + sub)
                         .max(prev[c] + params.gap)

@@ -27,7 +27,10 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix of edge length `n`.
     pub fn zeros(n: usize) -> Matrix {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Wraps row-major data of edge length `n`.
@@ -50,12 +53,22 @@ impl Matrix {
     }
 
     fn add(&self, other: &Matrix) -> Matrix {
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix { n: self.n, data }
     }
 
     fn sub(&self, other: &Matrix) -> Matrix {
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix { n: self.n, data }
     }
 
@@ -80,7 +93,12 @@ impl Matrix {
     /// Splits into four quadrants (n must be even).
     fn split(&self) -> [Matrix; 4] {
         let h = self.n / 2;
-        let mut qs = [Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h)];
+        let mut qs = [
+            Matrix::zeros(h),
+            Matrix::zeros(h),
+            Matrix::zeros(h),
+            Matrix::zeros(h),
+        ];
         for r in 0..h {
             for c in 0..h {
                 *qs[0].at_mut(r, c) = self.at(r, c);
@@ -130,23 +148,33 @@ impl StrassenParams {
     /// Preset sizes for a scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Smoke => StrassenParams { n: 64, nonzeros: 2_000, task_depth: 2, seed: 44 },
-            Scale::Default => StrassenParams { n: 128, nonzeros: 8_000, task_depth: 3, seed: 44 },
+            Scale::Smoke => StrassenParams {
+                n: 64,
+                nonzeros: 2_000,
+                task_depth: 2,
+                seed: 44,
+            },
+            Scale::Default => StrassenParams {
+                n: 128,
+                nonzeros: 8_000,
+                task_depth: 3,
+                seed: 44,
+            },
             // Paper: sparse 128×128 matrices, ~8 000 values, recursion
             // depth 5 (≈ 59 000 tasks).
-            Scale::Paper => StrassenParams { n: 128, nonzeros: 8_000, task_depth: 5, seed: 44 },
+            Scale::Paper => StrassenParams {
+                n: 128,
+                nonzeros: 8_000,
+                task_depth: 5,
+                seed: 44,
+            },
         }
     }
 }
 
 /// Spawns an addition/subtraction task whose result arrives through a
 /// promise created by the parent and transferred to the child.
-fn async_combine(
-    name: &str,
-    a: Matrix,
-    b: Matrix,
-    subtract: bool,
-) -> Promise<Matrix> {
+fn async_combine(name: &str, a: Matrix, b: Matrix, subtract: bool) -> Promise<Matrix> {
     let p = Promise::<Matrix>::with_name(name);
     let p2 = p.clone();
     spawn_named(name, &p, move || {
@@ -160,7 +188,7 @@ fn async_combine(
 /// `depth == 0`, below which it falls back to naive multiplication.
 fn strassen(a: Arc<Matrix>, b: Arc<Matrix>, depth: usize) -> Matrix {
     let n = a.n();
-    if depth == 0 || n <= 16 || n % 2 != 0 {
+    if depth == 0 || n <= 16 || !n.is_multiple_of(2) {
         return a.multiply_naive(&b);
     }
     let [a11, a12, a21, a22] = a.split();
@@ -194,9 +222,21 @@ fn strassen(a: Arc<Matrix>, b: Arc<Matrix>, depth: usize) -> Matrix {
     let p2 = spawn_product("strassen-p2", s2.get().expect("s2 failed"), b22.clone());
     let p3 = spawn_product("strassen-p3", s3.get().expect("s3 failed"), b11.clone());
     let p4 = spawn_product("strassen-p4", a22.clone(), s4.get().expect("s4 failed"));
-    let p5 = spawn_product("strassen-p5", s5.get().expect("s5 failed"), s6.get().expect("s6 failed"));
-    let p6 = spawn_product("strassen-p6", s7.get().expect("s7 failed"), s8.get().expect("s8 failed"));
-    let p7 = spawn_product("strassen-p7", s9.get().expect("s9 failed"), s10.get().expect("s10 failed"));
+    let p5 = spawn_product(
+        "strassen-p5",
+        s5.get().expect("s5 failed"),
+        s6.get().expect("s6 failed"),
+    );
+    let p6 = spawn_product(
+        "strassen-p6",
+        s7.get().expect("s7 failed"),
+        s8.get().expect("s8 failed"),
+    );
+    let p7 = spawn_product(
+        "strassen-p7",
+        s9.get().expect("s9 failed"),
+        s10.get().expect("s10 failed"),
+    );
 
     let m1 = p1.get().expect("p1 failed");
     let m2 = p2.get().expect("p2 failed");
@@ -215,8 +255,14 @@ fn strassen(a: Arc<Matrix>, b: Arc<Matrix>, depth: usize) -> Matrix {
 
 /// Sequential oracle: naive multiplication of the same inputs.
 pub fn run_sequential(params: &StrassenParams) -> u64 {
-    let a = Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed));
-    let b = Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed + 1));
+    let a = Matrix::from_data(
+        params.n,
+        sparse_matrix(params.n, params.nonzeros, params.seed),
+    );
+    let b = Matrix::from_data(
+        params.n,
+        sparse_matrix(params.n, params.nonzeros, params.seed + 1),
+    );
     a.multiply_naive(&b).checksum()
 }
 
@@ -235,7 +281,9 @@ pub fn run(params: &StrassenParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&StrassenParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&StrassenParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -252,11 +300,15 @@ mod tests {
             let n = 32;
             let a = Matrix::from_data(
                 n,
-                (0..n * n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect(),
+                (0..n * n)
+                    .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+                    .collect(),
             );
             let b = Matrix::from_data(
                 n,
-                (0..n * n).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect(),
+                (0..n * n)
+                    .map(|i| ((i * 13 + 1) % 7) as f64 - 3.0)
+                    .collect(),
             );
             let expected = a.multiply_naive(&b);
             let got = strassen(Arc::new(a), Arc::new(b), 2);
@@ -271,8 +323,14 @@ mod tests {
         let params = StrassenParams::for_scale(Scale::Smoke);
         let rt = Runtime::new();
         let (a, b) = (
-            Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed)),
-            Matrix::from_data(params.n, sparse_matrix(params.n, params.nonzeros, params.seed + 1)),
+            Matrix::from_data(
+                params.n,
+                sparse_matrix(params.n, params.nonzeros, params.seed),
+            ),
+            Matrix::from_data(
+                params.n,
+                sparse_matrix(params.n, params.nonzeros, params.seed + 1),
+            ),
         );
         let expected = a.multiply_naive(&b);
         let got = rt
@@ -300,7 +358,12 @@ mod tests {
 
     #[test]
     fn deep_recursion_spawns_many_tasks() {
-        let params = StrassenParams { n: 64, nonzeros: 1000, task_depth: 2, seed: 9 };
+        let params = StrassenParams {
+            n: 64,
+            nonzeros: 1000,
+            task_depth: 2,
+            seed: 9,
+        };
         let rt = Runtime::new();
         let (_, metrics) = rt.measure(|| run(&params)).unwrap();
         // Level 1: 10 additions + 7 products; level 2 (inside each product):

@@ -38,53 +38,65 @@ pub fn run(params: &ClusterParams) -> u64 {
         let points = Arc::clone(&points);
         let slots = Arc::clone(&slots);
         let p = *params;
-        handles.push(spawn_named(&format!("streamcluster-w{w}"), part.clone(), move || {
-            let mut round = 0usize;
-            let mut total_cost = 0.0f64;
-            for chunk in points.chunks(p.chunk) {
-                // Every worker derives the same initial centers deterministically.
-                let mut centers = p.initial_centers(chunk);
-                let ranges = worker_ranges(chunk.len(), p.workers);
-                let (lo, hi) = ranges[w];
-                let mut last_cost = 0.0;
-                for _ in 0..p.iterations {
-                    // Local assignment over this worker's slice.
-                    let partial = assign_points(&chunk[lo..hi], &centers);
-                    *slots[w].lock() = Some(partial);
-                    // Barrier 1: all partials are published.
-                    part.arrive_and_wait(round).expect("barrier failed");
-                    round += 1;
-                    // All-to-all: read every worker's partial, in worker order.
-                    let mut merged = PartialSums::zero(p.centers, p.dims);
-                    for slot in slots.iter() {
-                        let guard = slot.lock();
-                        merged.merge(guard.as_ref().expect("missing partial"));
+        handles.push(spawn_named(
+            &format!("streamcluster-w{w}"),
+            part.clone(),
+            move || {
+                let mut round = 0usize;
+                let mut total_cost = 0.0f64;
+                for chunk in points.chunks(p.chunk) {
+                    // Every worker derives the same initial centers deterministically.
+                    let mut centers = p.initial_centers(chunk);
+                    let ranges = worker_ranges(chunk.len(), p.workers);
+                    let (lo, hi) = ranges[w];
+                    let mut last_cost = 0.0;
+                    for _ in 0..p.iterations {
+                        // Local assignment over this worker's slice.
+                        let partial = assign_points(&chunk[lo..hi], &centers);
+                        *slots[w].lock() = Some(partial);
+                        // Barrier 1: all partials are published.
+                        part.arrive_and_wait(round).expect("barrier failed");
+                        round += 1;
+                        // All-to-all: read every worker's partial, in worker order.
+                        let mut merged = PartialSums::zero(p.centers, p.dims);
+                        for slot in slots.iter() {
+                            let guard = slot.lock();
+                            merged.merge(guard.as_ref().expect("missing partial"));
+                        }
+                        centers = update_centers(&merged, &centers);
+                        last_cost = merged.cost;
+                        // Barrier 2: everyone has read the partials; the slots may
+                        // be overwritten in the next iteration.
+                        part.arrive_and_wait(round).expect("barrier failed");
+                        round += 1;
                     }
-                    centers = update_centers(&merged, &centers);
-                    last_cost = merged.cost;
-                    // Barrier 2: everyone has read the partials; the slots may
-                    // be overwritten in the next iteration.
-                    part.arrive_and_wait(round).expect("barrier failed");
-                    round += 1;
+                    total_cost += last_cost;
                 }
-                total_cost += last_cost;
-            }
-            total_cost
-        }));
+                total_cost
+            },
+        ));
     }
 
     // All workers compute the same total; take worker 0's.
-    let mut costs = handles.into_iter().map(|h| h.join().expect("worker failed"));
+    let mut costs = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker failed"));
     let cost = costs.next().expect("at least one worker");
     for other in costs {
-        debug_assert_eq!(other.to_bits(), cost.to_bits(), "workers disagree on the cost");
+        debug_assert_eq!(
+            other.to_bits(),
+            cost.to_bits(),
+            "workers disagree on the cost"
+        );
     }
     hash_f64s([cost])
 }
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&ClusterParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&ClusterParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +116,10 @@ mod tests {
 
     #[test]
     fn single_worker_degenerate_case() {
-        let params = ClusterParams { workers: 1, ..ClusterParams::for_scale(Scale::Smoke) };
+        let params = ClusterParams {
+            workers: 1,
+            ..ClusterParams::for_scale(Scale::Smoke)
+        };
         let expected = run_sequential(&params);
         let got = Runtime::new().block_on(|| run(&params)).unwrap();
         assert_eq!(got, expected);

@@ -66,21 +66,26 @@ pub fn run(params: &ClusterParams) -> u64 {
         let role = combiner.worker(w);
         let points = Arc::clone(&points);
         let p = *params;
-        worker_handles.push(spawn_named(&format!("streamcluster2-w{w}"), role.clone(), move || {
-            let mut round = 0usize;
-            for chunk in points.chunks(p.chunk) {
-                let mut centers = p.initial_centers(chunk);
-                let ranges = worker_ranges(chunk.len(), p.workers);
-                let (lo, hi) = ranges[w];
-                for _ in 0..p.iterations {
-                    let partial = assign_points(&chunk[lo..hi], &centers);
-                    let merged =
-                        role.contribute_and_wait(round, partial).expect("combiner round failed");
-                    centers = update_centers(&merged, &centers);
-                    round += 1;
+        worker_handles.push(spawn_named(
+            &format!("streamcluster2-w{w}"),
+            role.clone(),
+            move || {
+                let mut round = 0usize;
+                for chunk in points.chunks(p.chunk) {
+                    let mut centers = p.initial_centers(chunk);
+                    let ranges = worker_ranges(chunk.len(), p.workers);
+                    let (lo, hi) = ranges[w];
+                    for _ in 0..p.iterations {
+                        let partial = assign_points(&chunk[lo..hi], &centers);
+                        let merged = role
+                            .contribute_and_wait(round, partial)
+                            .expect("combiner round failed");
+                        centers = update_centers(&merged, &centers);
+                        round += 1;
+                    }
                 }
-            }
-        }));
+            },
+        ));
     }
 
     for h in worker_handles {
@@ -92,7 +97,9 @@ pub fn run(params: &ClusterParams) -> u64 {
 
 /// Registry entry point.
 pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
-    WorkloadOutput { checksum: run(&ClusterParams::for_scale(scale)) }
+    WorkloadOutput {
+        checksum: run(&ClusterParams::for_scale(scale)),
+    }
 }
 
 #[cfg(test)]

@@ -83,7 +83,8 @@ trait CompleteExt<T> {
 }
 impl<T: Send + Sync + 'static> CompleteExt<T> for Promise<T> {
     fn complete(&self, value: T) {
-        self.set(value).expect("complete() called by the owner exactly once");
+        self.set(value)
+            .expect("complete() called by the owner exactly once");
     }
 }
 

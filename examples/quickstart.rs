@@ -12,7 +12,9 @@ use promises::prelude::*;
 fn main() {
     // A fully verified runtime: ownership policy (Algorithm 1) plus the
     // lock-free deadlock detector (Algorithm 2).
-    let rt = Runtime::builder().verification(VerificationMode::Full).build();
+    let rt = Runtime::builder()
+        .verification(VerificationMode::Full)
+        .build();
 
     let answer = rt
         .block_on(|| {

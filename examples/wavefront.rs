@@ -23,7 +23,11 @@ fn main() {
         .block_on(|| {
             // The coordinator allocates one promise per tile…
             let tiles: Vec<Vec<Promise<u64>>> = (0..N)
-                .map(|i| (0..N).map(|j| Promise::with_name(&format!("tile[{i},{j}]"))).collect())
+                .map(|i| {
+                    (0..N)
+                        .map(|j| Promise::with_name(&format!("tile[{i},{j}]")))
+                        .collect()
+                })
                 .collect();
 
             // …and moves each one into the task that must fulfil it.
@@ -31,16 +35,28 @@ fn main() {
             for i in 0..N {
                 for j in 0..N {
                     let mine = tiles[i][j].clone();
-                    let up = if i > 0 { Some(tiles[i - 1][j].clone()) } else { None };
-                    let left = if j > 0 { Some(tiles[i][j - 1].clone()) } else { None };
-                    handles.push(spawn_named(&format!("tile-{i}-{j}"), &tiles[i][j], move || {
-                        let from_up = up.map(|p| p.get().unwrap()).unwrap_or(0);
-                        let from_left = left.map(|p| p.get().unwrap()).unwrap_or(0);
-                        // Some "work" for this tile.
-                        let value = from_up + from_left + (i as u64 + 1) * (j as u64 + 1);
-                        mine.set(value).unwrap();
-                        value
-                    }));
+                    let up = if i > 0 {
+                        Some(tiles[i - 1][j].clone())
+                    } else {
+                        None
+                    };
+                    let left = if j > 0 {
+                        Some(tiles[i][j - 1].clone())
+                    } else {
+                        None
+                    };
+                    handles.push(spawn_named(
+                        &format!("tile-{i}-{j}"),
+                        &tiles[i][j],
+                        move || {
+                            let from_up = up.map(|p| p.get().unwrap()).unwrap_or(0);
+                            let from_left = left.map(|p| p.get().unwrap()).unwrap_or(0);
+                            // Some "work" for this tile.
+                            let value = from_up + from_left + (i as u64 + 1) * (j as u64 + 1);
+                            mine.set(value).unwrap();
+                            value
+                        },
+                    ));
                 }
             }
 

@@ -49,6 +49,8 @@ pub mod prelude {
         DeadlockCycle, LedgerMode, OmittedSetAction, PolicyConfig, Promise, PromiseCollection,
         PromiseError, TaskId, VerificationMode,
     };
-    pub use promise_runtime::{spawn, spawn_named, FinishScope, Runtime, RuntimeBuilder, TaskHandle};
+    pub use promise_runtime::{
+        spawn, spawn_named, FinishScope, Runtime, RuntimeBuilder, TaskHandle,
+    };
     pub use promise_sync::{AllToAllBarrier, Channel, Combiner};
 }

@@ -1,15 +1,17 @@
 //! Cross-crate integration tests: the facade API, the ownership policy, the
-//! deadlock detector, and property-based tests over randomly generated task
-//! graphs.
+//! deadlock detector, and seeded randomized tests over generated task graphs
+//! (plain deterministic loops; the environment has no registry access for a
+//! property-testing dependency).
 
 use std::sync::Arc;
 
 use promises::prelude::*;
-use proptest::prelude::*;
 
 #[test]
 fn facade_quickstart_pattern_works() {
-    let rt = Runtime::builder().verification(VerificationMode::Full).build();
+    let rt = Runtime::builder()
+        .verification(VerificationMode::Full)
+        .build();
     let out = rt
         .block_on(|| {
             let p = Promise::<i32>::with_name("x");
@@ -64,7 +66,10 @@ fn listing1_is_detected_and_listing2_is_blamed_via_the_facade() {
             }
         });
         assert_eq!(r.get().unwrap(), 1);
-        assert!(s.get().is_err(), "the abandoned promise must fail, not hang");
+        assert!(
+            s.get().is_err(),
+            "the abandoned promise must fail, not hang"
+        );
         assert!(t3.join().unwrap(), "t3 observed t4's violation");
     })
     .unwrap();
@@ -119,11 +124,15 @@ fn barrier_and_combiner_compose_with_channels() {
         });
         let mut handles = Vec::new();
         for part in barrier.all_participants() {
-            handles.push(spawn_named(&format!("w{}", part.index()), part.clone(), move || {
-                for r in 0..rounds {
-                    part.arrive_and_wait(r).unwrap();
-                }
-            }));
+            handles.push(spawn_named(
+                &format!("w{}", part.index()),
+                part.clone(),
+                move || {
+                    for r in 0..rounds {
+                        part.arrive_and_wait(r).unwrap();
+                    }
+                },
+            ));
         }
         assert_eq!(results.recv_all().unwrap(), vec![0, 1, 2]);
         for h in handles {
@@ -167,24 +176,41 @@ fn run_random_tree(rt: &Runtime, depth: u8, fanout: u8, seed: u64) -> u64 {
     rt.block_on(|| node(depth, fanout, seed)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn random_fork_join_trees_never_alarm(depth in 1u8..4, fanout in 1u8..4, seed in 0u64..10_000) {
-        let rt = Runtime::new();
-        let verified = run_random_tree(&rt, depth, fanout, seed);
-        prop_assert_eq!(rt.context().alarm_count(), 0);
-        // Determinism and baseline agreement.
-        let baseline_rt = Runtime::unverified();
-        let baseline = run_random_tree(&baseline_rt, depth, fanout, seed);
-        prop_assert_eq!(verified, baseline);
+#[test]
+fn random_fork_join_trees_never_alarm() {
+    // 18 (depth, fanout, seed) combinations — depth 1..4 × fanout 1..4 ×
+    // 2 seeds — a fixed, reproducible case list replacing the former
+    // 16-case property-based sweep.
+    let mut seed = 7u64;
+    for depth in 1u8..4 {
+        for fanout in 1u8..4 {
+            for _ in 0..2 {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let case_seed = seed % 10_000;
+                let rt = Runtime::new();
+                let verified = run_random_tree(&rt, depth, fanout, case_seed);
+                assert_eq!(
+                    rt.context().alarm_count(),
+                    0,
+                    "alarm for depth={depth} fanout={fanout} seed={case_seed}"
+                );
+                // Determinism and baseline agreement.
+                let baseline_rt = Runtime::unverified();
+                let baseline = run_random_tree(&baseline_rt, depth, fanout, case_seed);
+                assert_eq!(verified, baseline);
+            }
+        }
     }
+}
 
-    #[test]
-    fn injected_cycles_are_always_detected(extra_tasks in 0usize..4, seed in 0u64..1_000) {
-        // Build a 2-cycle plus some unrelated tasks; exactly the Listing 1
-        // situation embedded in a larger program.
+#[test]
+fn injected_cycles_are_always_detected() {
+    // A 2-cycle plus some unrelated tasks; exactly the Listing 1 situation
+    // embedded in a larger program, for several program sizes.
+    for extra_tasks in 0usize..4 {
+        let seed = 31 * extra_tasks as u64;
         let rt = Runtime::new();
         rt.block_on(|| {
             let p = Promise::<u64>::new();
@@ -209,10 +235,13 @@ proptest! {
             for h in noise {
                 h.join().unwrap();
             }
-            assert!(root_detected || child_detected, "the cycle must be detected by someone");
+            assert!(
+                root_detected || child_detected,
+                "the cycle must be detected by someone"
+            );
         })
         .unwrap();
-        prop_assert!(rt.context().counter_snapshot().deadlocks_detected >= 1);
+        assert!(rt.context().counter_snapshot().deadlocks_detected >= 1);
     }
 }
 
