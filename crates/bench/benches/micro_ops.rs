@@ -11,12 +11,115 @@
 //!   behind the Sieve outlier in Table 1 (§6.3): Sieve keeps thousands of
 //!   tasks blocked in one long chain.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use promise_core::{Promise, VerificationMode};
+use promise_core::{MutexCell, OneShotCell, Promise, VerificationMode};
 use promise_runtime::{spawn, Runtime, SchedulerKind};
+
+/// The two one-shot cell implementations under one bench-able surface: the
+/// retired mutex + condvar cell and the lock-free `AtomicU32` state machine
+/// that replaced it inside `Promise<T>`.
+trait BenchCell: Default + Send + Sync + 'static {
+    const LABEL: &'static str;
+    fn fill(&self, v: u64);
+    fn read(&self) -> u64;
+    fn wait_filled(&self);
+}
+
+impl BenchCell for OneShotCell<u64> {
+    const LABEL: &'static str = "lockfree-cell";
+    fn fill(&self, v: u64) {
+        self.try_fill(v, false).unwrap();
+    }
+    fn read(&self) -> u64 {
+        *self.get_ref().unwrap()
+    }
+    fn wait_filled(&self) {
+        if !self.is_filled() {
+            self.wait(None);
+        }
+    }
+}
+
+impl BenchCell for MutexCell<u64> {
+    const LABEL: &'static str = "mutex-cell";
+    fn fill(&self, v: u64) {
+        self.try_fill(v, false).unwrap();
+    }
+    fn read(&self) -> u64 {
+        self.read_with(|v| *v).unwrap()
+    }
+    fn wait_filled(&self) {
+        if !self.is_filled() {
+            self.wait(None);
+        }
+    }
+}
+
+/// Old cell vs new cell on the three shapes the tentpole targets:
+///
+/// * `set_get_uncontended` — create + fill + read, nobody waiting: the
+///   common fulfil-before-anyone-asks case (fast `set` must skip all wake
+///   machinery);
+/// * `get_on_fulfilled` — repeated reads of one already-filled cell: the
+///   fulfilled fast path (`Promise::get` after the value landed);
+/// * `wake_8_waiters` — fill with 8 parked readers: the slow path, where
+///   both cells pay for parking (thread spawn/join dominates either way;
+///   this guards against the lock-free wake regressing, not for a win).
+fn cell_compare(c: &mut Criterion) {
+    fn bench_one<C: BenchCell>(group: &mut criterion::BenchmarkGroup<'_>) {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("set_get_uncontended", C::LABEL), |b| {
+            b.iter(|| {
+                let cell = C::default();
+                cell.fill(black_box(41));
+                cell.read()
+            });
+        });
+        // One lock-free fulfilled read is sub-nanosecond — below the
+        // harness's per-iteration resolution — so each iteration reads a
+        // batch of 64 filled cells (throughput-annotated): the reported
+        // per-element ratio is what matters.
+        let filled: Vec<C> = (0..64)
+            .map(|i| {
+                let cell = C::default();
+                cell.fill(i);
+                cell
+            })
+            .collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("get_on_fulfilled", C::LABEL), |b| {
+            // black_box the slice so the acquire loads cannot be hoisted out
+            // of the timing loop.
+            b.iter(|| black_box(&filled).iter().map(C::read).sum::<u64>());
+        });
+        group.throughput(Throughput::Elements(8));
+        group.bench_function(BenchmarkId::new("wake_8_waiters", C::LABEL), |b| {
+            b.iter(|| {
+                let cell = Arc::new(C::default());
+                let waiters: Vec<_> = (0..8)
+                    .map(|_| {
+                        let cell = Arc::clone(&cell);
+                        std::thread::spawn(move || {
+                            cell.wait_filled();
+                            cell.read()
+                        })
+                    })
+                    .collect();
+                cell.fill(9);
+                waiters.into_iter().map(|w| w.join().unwrap()).sum::<u64>()
+            });
+        });
+    }
+    let mut group = c.benchmark_group("cell");
+    group.measurement_time(Duration::from_secs(2));
+    bench_one::<MutexCell<u64>>(&mut group);
+    bench_one::<OneShotCell<u64>>(&mut group);
+    group.finish();
+}
 
 fn promise_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("ops");
@@ -215,5 +318,11 @@ fn scheduler_compare(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, promise_ops, detector_chain, scheduler_compare);
+criterion_group!(
+    benches,
+    cell_compare,
+    promise_ops,
+    detector_chain,
+    scheduler_compare
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!    case) and on the transfer-heavy SmithWaterman.
 //!
 //! ```text
-//! cargo run -p promise-bench --release --bin ablation -- [--scale smoke|default|paper] [--runs N]
+//! cargo run -p promise-bench --release --bin ablation -- [--scale smoke|default|stress|paper] [--runs N]
 //! ```
 
 use promise_core::{LedgerMode, VerificationMode};

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run -p promise-bench --release --bin figure1 -- \
-//!     [--scale smoke|default|paper] [--runs N] [--warmups N] [--filter NAME]
+//!     [--scale smoke|default|stress|paper] [--runs N] [--warmups N] [--filter NAME]
 //! ```
 
 use promise_bench::{render_figure1, run_suite, CliOptions};
@@ -20,7 +20,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: figure1 [--scale smoke|default|paper] [--runs N] [--warmups N] \
+                "usage: figure1 [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
                  [--filter NAME]"
             );
             std::process::exit(2);

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run -p promise-bench --release --bin table1 -- \
-//!     [--scale smoke|default|paper] [--runs N] [--warmups N] \
+//!     [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
 //!     [--filter NAME] [--no-memory] [--paper-protocol] \
 //!     [--json PATH | --no-json]
 //! ```
@@ -26,7 +26,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: table1 [--scale smoke|default|paper] [--runs N] [--warmups N] \
+                "usage: table1 [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
                  [--filter NAME] [--no-memory] [--paper-protocol] [--json PATH | --no-json]"
             );
             std::process::exit(2);

@@ -454,7 +454,7 @@ impl Default for CliOptions {
 
 impl CliOptions {
     /// Parses options from `args` (everything after the program name).
-    /// Recognised flags: `--scale <smoke|default|paper>`, `--runs N`,
+    /// Recognised flags: `--scale <smoke|default|stress|paper>`, `--runs N`,
     /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();

@@ -1,0 +1,527 @@
+//! One-shot payload cells: the storage half of a promise.
+//!
+//! A promise is two things glued together: a *policy identity* (id, owner
+//! edge, arena slot) and a *one-shot cell* that carries the payload from the
+//! single `set` to every `get`.  This module provides the cell, in two
+//! implementations sharing one API:
+//!
+//! * [`OneShotCell`] — the production implementation: a lock-free state
+//!   machine over an `AtomicU32` plus an uninitialised payload slot.
+//!   Filling is one CAS + payload write + release `swap`; reading a filled
+//!   cell is a single acquire load + payload read.  Neither path touches a
+//!   lock, and the waker is only invoked when a waiter announced itself.
+//! * [`MutexCell`] — the retired mutex + condvar implementation, kept (and
+//!   kept correct) as the before/after baseline for the `cell/*`
+//!   microbenchmarks and the differential stress tests.
+//!
+//! # The state machine
+//!
+//! The low two bits of the state word hold the phase, one extra bit flags
+//! parked (or about-to-park) waiters:
+//!
+//! ```text
+//!            CAS                 swap(Release)
+//!   EMPTY ───────► FILLING ───────────────────► SET | FAILED
+//!     │               │                              ▲
+//!     └── fetch_or(HAS_WAITERS) by a blocking get ───┘  (bit preserved by
+//!                                                        the CAS, consumed
+//!                                                        by the swap)
+//! ```
+//!
+//! * `EMPTY → FILLING` is a compare-exchange that preserves `HAS_WAITERS`;
+//!   winning it grants exclusive write access to the payload slot (losing it
+//!   reports "already fulfilled" without touching the payload).
+//! * The filler writes the payload, runs the caller's pre-publish hook (the
+//!   counter-recording seam — see below), then publishes with
+//!   `swap(SET|FAILED, AcqRel)`.  The swap's return value tells the filler
+//!   whether any waiter set `HAS_WAITERS`; only then does it take the
+//!   [`WaitQueue`] lock to wake.  The uncontended fill never touches the
+//!   queue.
+//! * A blocking reader announces itself with `fetch_or(HAS_WAITERS, AcqRel)`
+//!   — if the returned phase is already `SET`/`FAILED` it returns on the
+//!   spot — and then parks on the [`WaitQueue`], whose internal lock makes
+//!   the announce/park vs. publish/wake race lossless (see
+//!   [`waitq`](crate::waitq)).
+//!
+//! # Memory ordering
+//!
+//! The payload write is sequenced before the `Release` swap that publishes
+//! `SET`/`FAILED`; every reader performs an `Acquire` load of the state word
+//! (directly, via the `HAS_WAITERS` RMW, or inside the wait predicate)
+//! before touching the payload, so the payload read is data-race-free.  The
+//! pre-publish hook inherits the same guarantee: anything it does (such as
+//! bumping an event counter) happens-before any observation of the filled
+//! state — the invariant the measurement harness relies on ("a set is
+//! counted before any waiter can observe the fulfilment").
+//!
+//! Once filled, the payload is never written again (the CAS can only be won
+//! once) and only dropped through `&mut self`/`Drop`, so handing out `&V`
+//! borrows tied to `&self` is sound.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::waitq::WaitQueue;
+
+/// Phase: nothing written yet.
+const EMPTY: u32 = 0;
+/// Phase: a filler won the CAS and is writing the payload.
+const FILLING: u32 = 1;
+/// Phase: payload published, success.
+const SET: u32 = 2;
+/// Phase: payload published, failure.
+const FAILED: u32 = 3;
+/// Mask selecting the phase bits.
+const PHASE_MASK: u32 = 0b011;
+/// Flag: at least one waiter has announced itself since the last publish.
+const HAS_WAITERS: u32 = 0b100;
+
+/// A lock-free one-shot cell: filled at most once, readable forever after.
+///
+/// See the [module docs](self) for the state machine and ordering argument.
+pub struct OneShotCell<V> {
+    state: AtomicU32,
+    waiters: WaitQueue,
+    payload: UnsafeCell<MaybeUninit<V>>,
+}
+
+// SAFETY: the cell owns its payload; moving the cell to another thread moves
+// the (at most one) `V` inside, so `V: Send` suffices for `Send`.
+unsafe impl<V: Send> Send for OneShotCell<V> {}
+// SAFETY: concurrent `&OneShotCell` access hands out `&V` to many threads
+// (requiring `V: Sync`) and moves a `V` in from the filling thread
+// (requiring `V: Send`).  The payload slot itself is protected by the state
+// machine: writes happen only between a won EMPTY→FILLING CAS and the
+// release publish, and reads only after an acquire load observes the
+// publish.
+unsafe impl<V: Send + Sync> Sync for OneShotCell<V> {}
+
+impl<V> Default for OneShotCell<V> {
+    fn default() -> Self {
+        OneShotCell::new()
+    }
+}
+
+impl<V> OneShotCell<V> {
+    /// Creates an empty cell.
+    pub const fn new() -> OneShotCell<V> {
+        OneShotCell {
+            state: AtomicU32::new(EMPTY),
+            waiters: WaitQueue::new(),
+            payload: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Whether the cell has been filled (successfully or exceptionally).
+    ///
+    /// A `true` result acquire-synchronises with the fill, so the payload
+    /// (and everything the filler did before publishing) is visible.
+    #[inline]
+    pub fn is_filled(&self) -> bool {
+        self.state.load(Ordering::Acquire) & PHASE_MASK >= SET
+    }
+
+    /// Whether the cell was filled exceptionally (`failed = true`).
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.state.load(Ordering::Acquire) & PHASE_MASK == FAILED
+    }
+
+    /// Fills the cell, running `before_publish` after the payload is written
+    /// but *before* the release store that makes the fill observable.
+    ///
+    /// Exactly one fill ever succeeds; a lost race returns the value back so
+    /// nothing is leaked.  `failed` selects the terminal phase reported by
+    /// [`is_failed`](Self::is_failed).
+    pub fn try_fill_with(
+        &self,
+        value: V,
+        failed: bool,
+        before_publish: impl FnOnce(),
+    ) -> Result<(), V> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            if cur & PHASE_MASK != EMPTY {
+                // Losing filler.  The retired mutex cell serialized fillers,
+                // so `Err` always implied the winning value was already
+                // observable; preserve that linearizability here by waiting
+                // out the winner's (payload-write-sized) FILLING window
+                // before reporting "already fulfilled".
+                let mut spins = 0u32;
+                while self.state.load(Ordering::Acquire) & PHASE_MASK < SET {
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                return Err(value);
+            }
+            // Exclusivity comes from the RMW itself (at most one thread wins
+            // the EMPTY→FILLING transition); publication ordering comes from
+            // the release swap below, so Relaxed is enough here.
+            match self.state.compare_exchange_weak(
+                cur,
+                (cur & HAS_WAITERS) | FILLING,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        // SAFETY: we won the one-time EMPTY→FILLING transition, so no other
+        // thread writes the payload, and no thread reads it until the
+        // publishing swap (readers load-acquire the state first).
+        unsafe { (*self.payload.get()).write(value) };
+        // Publish via a drop guard so that a panicking hook cannot strand
+        // the cell in FILLING (which would park waiters forever, spin
+        // losing fillers forever, and leak the written payload): the swap
+        // and wake run even during unwinding, then the panic propagates.
+        struct Publish<'a, V> {
+            cell: &'a OneShotCell<V>,
+            target: u32,
+        }
+        impl<V> Drop for Publish<'_, V> {
+            fn drop(&mut self) {
+                // Release publishes the payload write and the hook's
+                // effects; the returned old value carries the waiter bit
+                // accumulated since the claim.
+                let old = self.cell.state.swap(self.target, Ordering::AcqRel);
+                if old & HAS_WAITERS != 0 {
+                    self.cell.waiters.wake_all();
+                }
+            }
+        }
+        let publish = Publish {
+            cell: self,
+            target: if failed { FAILED } else { SET },
+        };
+        before_publish();
+        drop(publish);
+        Ok(())
+    }
+
+    /// Fills the cell with no pre-publish hook.
+    pub fn try_fill(&self, value: V, failed: bool) -> Result<(), V> {
+        self.try_fill_with(value, failed, || {})
+    }
+
+    /// Blocks until the cell is filled or `deadline` passes.  Returns `true`
+    /// if the cell is filled, `false` on timeout.
+    ///
+    /// Callers should try [`is_filled`](Self::is_filled) first; this is the
+    /// slow path that announces a waiter and parks.
+    ///
+    /// A timed-out waiter leaves `HAS_WAITERS` set (only the publishing
+    /// swap consumes the bit), so a later fill pays one uncontended
+    /// queue-lock + notify for waiters that already left.  Cost only, never
+    /// correctness — accepted for a one-shot cell, where each instance
+    /// fills at most once.
+    pub fn wait(&self, deadline: Option<Instant>) -> bool {
+        // Announce the waiter.  The RMW doubles as the fulfilled re-check:
+        // if the phase is already terminal we return without ever touching
+        // the wait queue (Acquire pairs with the filler's release swap).
+        let old = self.state.fetch_or(HAS_WAITERS, Ordering::AcqRel);
+        if old & PHASE_MASK >= SET {
+            return true;
+        }
+        self.waiters.wait_until(deadline, || self.is_filled())
+    }
+
+    /// The filled payload, or `None` if the cell is still empty/filling.
+    ///
+    /// The borrow is tied to `&self`: a filled payload is immutable for the
+    /// rest of the cell's life (see the module docs), so this is safe to
+    /// hold while other threads read concurrently.
+    #[inline]
+    pub fn get_ref(&self) -> Option<&V> {
+        if !self.is_filled() {
+            return None;
+        }
+        // SAFETY: the acquire load above observed SET/FAILED, which is
+        // published only after the payload write; the payload is never
+        // written again and only dropped with exclusive access.
+        Some(unsafe { (*self.payload.get()).assume_init_ref() })
+    }
+}
+
+impl<V> Drop for OneShotCell<V> {
+    fn drop(&mut self) {
+        // `&mut self` means no concurrent fill is in flight, so the phase is
+        // EMPTY, SET or FAILED — never FILLING.
+        if *self.state.get_mut() & PHASE_MASK >= SET {
+            // SAFETY: the payload was initialised by the (unique) successful
+            // fill and has not been dropped before; this is the only drop.
+            unsafe { self.payload.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for OneShotCell<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneShotCell")
+            .field("filled", &self.is_filled())
+            .field("failed", &self.is_failed())
+            .finish()
+    }
+}
+
+/// The retired mutex + condvar one-shot cell, preserved as the benchmark and
+/// differential-testing baseline for [`OneShotCell`].
+///
+/// This is exactly the pre-lock-free design: every fill takes the mutex and
+/// notifies the condvar unconditionally; every read of a filled cell takes
+/// the mutex again.  Do not use it in new code — it exists so the `cell/*`
+/// microbenchmarks can report an honest old-vs-new delta on the same box.
+pub struct MutexCell<V> {
+    fulfilled: AtomicBool,
+    cell: Mutex<Option<(V, bool)>>,
+    cond: Condvar,
+}
+
+impl<V> Default for MutexCell<V> {
+    fn default() -> Self {
+        MutexCell::new()
+    }
+}
+
+impl<V> MutexCell<V> {
+    /// Creates an empty cell.
+    pub const fn new() -> MutexCell<V> {
+        MutexCell {
+            fulfilled: AtomicBool::new(false),
+            cell: Mutex::new(None),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Whether the cell has been filled.
+    #[inline]
+    pub fn is_filled(&self) -> bool {
+        self.fulfilled.load(Ordering::Acquire)
+    }
+
+    /// Whether the cell was filled exceptionally.
+    pub fn is_failed(&self) -> bool {
+        matches!(&*self.cell.lock(), Some((_, true)))
+    }
+
+    /// Fills the cell under the mutex; `before_publish` runs inside the
+    /// critical section, before waiters are notified.
+    pub fn try_fill_with(
+        &self,
+        value: V,
+        failed: bool,
+        before_publish: impl FnOnce(),
+    ) -> Result<(), V> {
+        let mut cell = self.cell.lock();
+        if cell.is_some() {
+            return Err(value);
+        }
+        *cell = Some((value, failed));
+        before_publish();
+        self.fulfilled.store(true, Ordering::Release);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Fills the cell with no pre-publish hook.
+    pub fn try_fill(&self, value: V, failed: bool) -> Result<(), V> {
+        self.try_fill_with(value, failed, || {})
+    }
+
+    /// Blocks until the cell is filled or `deadline` passes.
+    pub fn wait(&self, deadline: Option<Instant>) -> bool {
+        let mut cell = self.cell.lock();
+        loop {
+            if cell.is_some() {
+                return true;
+            }
+            match deadline {
+                None => self.cond.wait(&mut cell),
+                Some(d) => {
+                    if Instant::now() >= d || self.cond.wait_until(&mut cell, d).timed_out() {
+                        return cell.is_some();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` on the filled payload under the mutex.
+    pub fn read_with<R>(&self, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.cell.lock().as_ref().map(|(v, _)| f(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fill_then_read() {
+        let cell = OneShotCell::<u64>::new();
+        assert!(!cell.is_filled());
+        assert!(cell.get_ref().is_none());
+        cell.try_fill(7, false).unwrap();
+        assert!(cell.is_filled());
+        assert!(!cell.is_failed());
+        assert_eq!(*cell.get_ref().unwrap(), 7);
+    }
+
+    #[test]
+    fn second_fill_loses_and_returns_the_value() {
+        let cell = OneShotCell::<String>::new();
+        cell.try_fill("first".into(), false).unwrap();
+        let back = cell.try_fill("second".into(), true).unwrap_err();
+        assert_eq!(back, "second");
+        assert_eq!(cell.get_ref().unwrap(), "first");
+        assert!(!cell.is_failed());
+    }
+
+    #[test]
+    fn failed_phase_is_reported() {
+        let cell = OneShotCell::<&'static str>::new();
+        cell.try_fill("boom", true).unwrap();
+        assert!(cell.is_filled());
+        assert!(cell.is_failed());
+    }
+
+    #[test]
+    fn wait_times_out_on_empty_cell() {
+        let cell = OneShotCell::<u8>::new();
+        assert!(!cell.wait(Some(Instant::now() + Duration::from_millis(15))));
+    }
+
+    #[test]
+    fn hook_runs_exactly_once_and_only_for_the_winner() {
+        let cell = OneShotCell::<u8>::new();
+        let calls = AtomicUsize::new(0);
+        cell.try_fill_with(1, false, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        let _ = cell.try_fill_with(2, false, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_hook_still_publishes() {
+        let cell = OneShotCell::<u32>::new();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cell.try_fill_with(5, false, || panic!("hook"));
+        }));
+        assert!(unwound.is_err());
+        assert!(cell.is_filled(), "the fill must publish despite the panic");
+        assert_eq!(*cell.get_ref().unwrap(), 5);
+        assert!(cell.try_fill(6, false).is_err());
+    }
+
+    #[test]
+    fn losing_fill_returns_only_after_the_winner_published() {
+        // The winner stalls inside its pre-publish hook; the loser must not
+        // report "already fulfilled" until the value is observable.
+        let cell = Arc::new(OneShotCell::<u32>::new());
+        let winner = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                cell.try_fill_with(1, false, || {
+                    std::thread::sleep(Duration::from_millis(20));
+                })
+                .unwrap();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        let back = cell.try_fill(2, false).unwrap_err();
+        assert_eq!(back, 2);
+        assert!(
+            cell.is_filled(),
+            "Err from a losing fill must imply the winning fill is observable"
+        );
+        assert_eq!(*cell.get_ref().unwrap(), 1);
+        winner.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_fill_wakes_waiters() {
+        let cell = Arc::new(OneShotCell::<u32>::new());
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            joins.push(std::thread::spawn(move || {
+                assert!(cell.wait(None));
+                *cell.get_ref().unwrap()
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        cell.try_fill(99, false).unwrap();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 99);
+        }
+    }
+
+    #[derive(Debug)]
+    struct CountsDrops(Arc<AtomicUsize>);
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn payload_drop_runs_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = OneShotCell::<CountsDrops>::new();
+        cell.try_fill(CountsDrops(Arc::clone(&drops)), false)
+            .unwrap();
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        drop(cell);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_cell_drop_does_not_touch_the_payload() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = OneShotCell::<CountsDrops>::new();
+        drop(cell);
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn losing_fill_drops_its_value_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = OneShotCell::<CountsDrops>::new();
+        cell.try_fill(CountsDrops(Arc::clone(&drops)), false)
+            .unwrap();
+        let loser = cell.try_fill(CountsDrops(Arc::clone(&drops)), false);
+        assert!(loser.is_err());
+        drop(loser);
+        assert_eq!(drops.load(Ordering::Relaxed), 1, "only the loser dropped");
+        drop(cell);
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn mutex_cell_mirrors_the_api() {
+        let cell = MutexCell::<u64>::new();
+        assert!(!cell.is_filled());
+        assert!(!cell.wait(Some(Instant::now() + Duration::from_millis(10))));
+        cell.try_fill(5, false).unwrap();
+        assert!(cell.is_filled());
+        assert!(!cell.is_failed());
+        assert!(cell.wait(None));
+        assert_eq!(cell.read_with(|v| *v), Some(5));
+        assert!(cell.try_fill(6, true).is_err());
+    }
+}

@@ -1,4 +1,4 @@
-//! Lightweight global event counters.
+//! Lightweight sharded event counters.
 //!
 //! Table 1 of the paper reports, per benchmark, the total number of tasks and
 //! the average rates of `get` and `set` operations per millisecond.  These
@@ -6,23 +6,110 @@
 //! benches use).  They are maintained in *both* the baseline and the verified
 //! configurations so that enabling them does not perturb the overhead
 //! comparison.
+//!
+//! # Sharding
+//!
+//! Every `get`/`set` bumps a counter, so a single set of process-shared
+//! atomics turns the counters themselves into a contention point: all
+//! workers RMW the same cache line on every promise operation.  The counters
+//! are therefore **sharded**: a [`Counters`] instance owns an array of
+//! [`CachePadded`] cells, and each *worker thread* registers a slot index
+//! (via [`register_worker`], called by the runtime's schedulers when a
+//! worker thread starts) that picks its private shard.  Threads that never
+//! registered — the root task's thread, tests driving promises from plain
+//! `std::thread`s — fall back to a shared *overflow* cell, which is exactly
+//! the old behaviour.
+//!
+//! Increments stay `Relaxed` fetch-adds; [`Counters::snapshot`] sums across
+//! all shards plus the overflow cell, preserving the [`CounterSnapshot`]
+//! semantics the bench harness and `table1 --json` depend on.  The
+//! "set counted before waiters observe fulfilment" invariant also survives
+//! sharding: the increment is sequenced before the release store that
+//! publishes the fulfilment, so the acquire-observing waiter's later
+//! relaxed read of that shard is coherence-ordered after the increment.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
-/// Monotonic event counters for one [`crate::Context`].
+/// Number of per-worker shards (power of two; slot indices wrap onto it).
+///
+/// More live workers than shards merely means some workers share a padded
+/// cell — sharding is a performance hint, never a correctness requirement.
+const COUNTER_SHARDS: usize = 16;
+
+/// Next process-wide worker slot index handed out by [`register_worker`].
+static NEXT_WORKER_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's counter slot; `usize::MAX` = unregistered (overflow).
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// RAII registration of the calling thread as a counter-sharded worker.
+///
+/// Returned by [`register_worker`]; dropping it restores the thread's
+/// previous slot (so nested registrations compose).  `!Send`: the drop
+/// writes the *registering* thread's thread-local slot, so the guard must
+/// not migrate to another thread.
+#[derive(Debug)]
+#[must_use = "dropping the WorkerSlot immediately undoes the registration"]
+pub struct WorkerSlot {
+    prev: usize,
+    /// Pins the guard to its thread (`*mut ()` is `!Send + !Sync`).
+    _thread_bound: std::marker::PhantomData<*mut ()>,
+}
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        WORKER_SLOT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Registers the calling thread as a worker for counter sharding, assigning
+/// it a private shard of every [`Counters`] instance it touches.
+///
+/// Runtimes call this once per worker thread (the slot index is process-wide
+/// and round-robins over the shard array, so worker churn keeps the spread
+/// uniform).  Threads that never register fall back to the shared overflow
+/// cell — correct, just contended.
+pub fn register_worker() -> WorkerSlot {
+    let slot = NEXT_WORKER_SLOT.fetch_add(1, Ordering::Relaxed);
+    WORKER_SLOT.with(|c| {
+        let prev = c.get();
+        c.set(slot);
+        WorkerSlot {
+            prev,
+            _thread_bound: std::marker::PhantomData,
+        }
+    })
+}
+
+/// One shard's worth of counter cells (fits one padded cache-line pair).
 #[derive(Default)]
+struct CounterCells {
+    gets: AtomicU64,
+    sets: AtomicU64,
+    promises_created: AtomicU64,
+    tasks_spawned: AtomicU64,
+    transfers: AtomicU64,
+    detector_runs: AtomicU64,
+    detector_steps: AtomicU64,
+    deadlocks_detected: AtomicU64,
+    omitted_sets_detected: AtomicU64,
+}
+
+/// Monotonic event counters for one [`crate::Context`], sharded per worker.
 pub struct Counters {
-    gets: CachePadded<AtomicU64>,
-    sets: CachePadded<AtomicU64>,
-    promises_created: CachePadded<AtomicU64>,
-    tasks_spawned: CachePadded<AtomicU64>,
-    transfers: CachePadded<AtomicU64>,
-    detector_runs: CachePadded<AtomicU64>,
-    detector_steps: CachePadded<AtomicU64>,
-    deadlocks_detected: CachePadded<AtomicU64>,
-    omitted_sets_detected: CachePadded<AtomicU64>,
+    shards: Box<[CachePadded<CounterCells>]>,
+    overflow: CachePadded<CounterCells>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::new()
+    }
 }
 
 /// A point-in-time copy of every counter.
@@ -93,67 +180,94 @@ fn rate_per_ms(count: u64, wall: std::time::Duration) -> f64 {
 impl Counters {
     /// Creates a zeroed set of counters.
     pub fn new() -> Self {
-        Self::default()
+        Counters {
+            shards: (0..COUNTER_SHARDS)
+                .map(|_| CachePadded::new(CounterCells::default()))
+                .collect(),
+            overflow: CachePadded::new(CounterCells::default()),
+        }
+    }
+
+    /// The calling thread's shard: its registered slot's cell, or the shared
+    /// overflow cell for unregistered threads.
+    #[inline]
+    fn cells(&self) -> &CounterCells {
+        let slot = WORKER_SLOT.with(Cell::get);
+        if slot == usize::MAX {
+            &self.overflow
+        } else {
+            // COUNTER_SHARDS is a power of two, so the mask is a cheap mod.
+            &self.shards[slot & (COUNTER_SHARDS - 1)]
+        }
     }
 
     #[inline]
     pub(crate) fn record_get(&self) {
-        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.cells().gets.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_set(&self) {
-        self.sets.fetch_add(1, Ordering::Relaxed);
+        self.cells().sets.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_promise_created(&self) {
-        self.promises_created.fetch_add(1, Ordering::Relaxed);
+        self.cells()
+            .promises_created
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_task_spawned(&self) {
-        self.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        self.cells().tasks_spawned.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_transfers(&self, n: u64) {
         if n > 0 {
-            self.transfers.fetch_add(n, Ordering::Relaxed);
+            self.cells().transfers.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     #[inline]
     pub(crate) fn record_detector_run(&self, steps: u64) {
-        self.detector_runs.fetch_add(1, Ordering::Relaxed);
-        self.detector_steps.fetch_add(steps, Ordering::Relaxed);
+        let cells = self.cells();
+        cells.detector_runs.fetch_add(1, Ordering::Relaxed);
+        cells.detector_steps.fetch_add(steps, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_deadlock(&self) {
-        self.deadlocks_detected.fetch_add(1, Ordering::Relaxed);
+        self.cells()
+            .deadlocks_detected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_omitted_set(&self) {
-        self.omitted_sets_detected.fetch_add(1, Ordering::Relaxed);
+        self.cells()
+            .omitted_sets_detected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes a consistent-enough snapshot of all counters (each counter is
-    /// read atomically; the set as a whole is not a single atomic snapshot,
-    /// which is fine for reporting).
+    /// Takes a consistent-enough snapshot of all counters: each cell is read
+    /// atomically and the shards are summed; the set as a whole is not a
+    /// single atomic snapshot, which is fine for reporting.
     pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            gets: self.gets.load(Ordering::Relaxed),
-            sets: self.sets.load(Ordering::Relaxed),
-            promises_created: self.promises_created.load(Ordering::Relaxed),
-            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
-            transfers: self.transfers.load(Ordering::Relaxed),
-            detector_runs: self.detector_runs.load(Ordering::Relaxed),
-            detector_steps: self.detector_steps.load(Ordering::Relaxed),
-            deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
-            omitted_sets_detected: self.omitted_sets_detected.load(Ordering::Relaxed),
+        let mut snap = CounterSnapshot::default();
+        for cells in self.shards.iter().map(|s| &**s).chain([&*self.overflow]) {
+            snap.gets += cells.gets.load(Ordering::Relaxed);
+            snap.sets += cells.sets.load(Ordering::Relaxed);
+            snap.promises_created += cells.promises_created.load(Ordering::Relaxed);
+            snap.tasks_spawned += cells.tasks_spawned.load(Ordering::Relaxed);
+            snap.transfers += cells.transfers.load(Ordering::Relaxed);
+            snap.detector_runs += cells.detector_runs.load(Ordering::Relaxed);
+            snap.detector_steps += cells.detector_steps.load(Ordering::Relaxed);
+            snap.deadlocks_detected += cells.deadlocks_detected.load(Ordering::Relaxed);
+            snap.omitted_sets_detected += cells.omitted_sets_detected.load(Ordering::Relaxed);
         }
+        snap
     }
 }
 
@@ -220,12 +334,13 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_increments_do_not_lose_updates() {
+    fn registered_workers_land_in_shards_and_snapshots_sum_them() {
         let c = std::sync::Arc::new(Counters::new());
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let c = std::sync::Arc::clone(&c);
                 std::thread::spawn(move || {
+                    let _slot = register_worker();
                     for _ in 0..10_000 {
                         c.record_get();
                         c.record_set();
@@ -236,8 +351,25 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+        // The unregistered main thread writes the overflow cell.
+        c.record_get();
         let s = c.snapshot();
-        assert_eq!(s.gets, 40_000);
+        assert_eq!(s.gets, 40_001);
         assert_eq!(s.sets, 40_000);
+    }
+
+    #[test]
+    fn worker_registration_is_scoped_and_nestable() {
+        let c = Counters::new();
+        let outer = register_worker();
+        c.record_get();
+        {
+            let _inner = register_worker();
+            c.record_get();
+        }
+        c.record_get();
+        drop(outer);
+        c.record_get(); // back on the overflow cell
+        assert_eq!(c.snapshot().gets, 4);
     }
 }

@@ -45,6 +45,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
+pub mod cell;
 pub mod collection;
 pub mod context;
 pub mod counters;
@@ -58,7 +59,9 @@ pub mod refs;
 pub mod report;
 pub mod slots;
 pub mod task;
+pub mod waitq;
 
+pub use cell::{MutexCell, OneShotCell};
 pub use collection::{collect_promises, PromiseCollection};
 pub use context::{Alarm, Context, Executor, RejectedJob};
 pub use counters::{CounterSnapshot, Counters};
@@ -67,3 +70,4 @@ pub use ids::{PromiseId, TaskId};
 pub use policy::{LedgerMode, OmittedSetAction, PolicyConfig, VerificationMode};
 pub use promise::{ErasedPromise, Promise};
 pub use task::{current_task_id, has_current_task, PreparedTask, RootTask, TaskScope};
+pub use waitq::WaitQueue;

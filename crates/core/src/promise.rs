@@ -19,13 +19,54 @@
 //! * if the owning task terminates without fulfilling the promise, the
 //!   runtime completes it exceptionally and every `get` observes
 //!   [`PromiseError::OmittedSet`] (§6.2).
+//!
+//! # The lock-free payload cell
+//!
+//! The payload lives in a lock-free [`OneShotCell`](crate::cell::OneShotCell)
+//! driven by an `AtomicU32` state machine
+//! (`EMPTY → FILLING → SET | FAILED`, plus a `HAS_WAITERS` bit):
+//!
+//! * **`set` / `set_err`** is one compare-exchange (claiming the cell) + the
+//!   payload write + one release `swap` publishing the terminal phase.  The
+//!   wait queue is touched only when the swap's return value shows a parked
+//!   waiter — fulfilling a promise nobody is (yet) blocked on performs no
+//!   lock operation and no notification at all.
+//! * **`get` / `try_get` / `wait` on a fulfilled promise** is a single
+//!   acquire load of the state word followed by a plain payload read — no
+//!   lock traffic, no stores, no cache-line ping-pong between concurrent
+//!   readers.
+//! * **Blocking waiters** announce themselves by OR-ing `HAS_WAITERS` into
+//!   the state word and park on a futex-style
+//!   [`WaitQueue`](crate::waitq::WaitQueue); the queue's internal lock makes
+//!   the announce/park vs. publish/wake race lossless.
+//!
+//! ## Memory-ordering argument (the §5.1 requirements, restated)
+//!
+//! The paper's §5.1 requires that everything sequenced before a fulfilling
+//! `set` is visible to any task that observes the fulfilment.  With the
+//! mutex cell this came from the lock; with the lock-free cell it comes from
+//! the state word: the payload write, the ownership clear (rule 4, done
+//! before `fill` is entered) and the set-counter increment are all sequenced
+//! before the **release** `swap` that publishes `SET`/`FAILED`, and every
+//! observation of the fulfilment — the fulfilled fast path, the waiter-bit
+//! RMW, the wait predicate, [`ErasedPromise::is_fulfilled`] — is an
+//! **acquire** load of the same word.  Two invariants the rest of the system
+//! leans on follow directly:
+//!
+//! * *counting before publishing*: `record_set` runs in the cell's
+//!   pre-publish hook, so a measurement snapshot taken by a woken waiter can
+//!   never miss the set that woke it;
+//! * *waitingOn-clear ordering* (§5.1 requirement 3): a blocked `get` clears
+//!   its detector mark only after its acquire observation of the fulfilment,
+//!   so a third task that sees `waitingOn == null` (the clear uses a release
+//!   store) also sees the promise as fulfilled — the detector never chases a
+//!   stale edge past a resolved promise.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-
+use crate::cell::OneShotCell;
 use crate::context::{Alarm, Context};
 use crate::detector;
 use crate::error::PromiseError;
@@ -60,20 +101,12 @@ pub trait ErasedPromise: Send + Sync {
     fn complete_abandoned(&self, err: PromiseError) -> bool;
 }
 
-enum CellState<T> {
-    Empty,
-    Value(T),
-    Failed(PromiseError),
-}
-
 pub(crate) struct PromiseInner<T> {
     ctx: Arc<Context>,
     id: PromiseId,
     name: Option<Arc<str>>,
     slot: PackedRef,
-    fulfilled: AtomicBool,
-    cell: Mutex<CellState<T>>,
-    cond: Condvar,
+    cell: OneShotCell<Result<T, PromiseError>>,
 }
 
 impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
@@ -90,7 +123,7 @@ impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
         &self.ctx
     }
     fn is_fulfilled(&self) -> bool {
-        self.fulfilled.load(Ordering::Acquire)
+        self.cell.is_filled()
     }
     fn complete_abandoned(&self, err: PromiseError) -> bool {
         // Clear the owner edge so concurrent detector traversals treat the
@@ -100,50 +133,34 @@ impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
                 .promises
                 .read(self.slot, |s| s.owner.store(0, Ordering::Release));
         }
-        self.fill(CellState::Failed(err), false).is_ok()
+        self.fill(Err(err), false).is_ok()
     }
 }
 
 impl<T> PromiseInner<T> {
-    /// Fills the cell.  `count_set` records the event counter *inside* the
-    /// critical section, before any waiter can observe the fulfilment —
-    /// recording after the notify would let a measurement snapshot taken by
-    /// a woken waiter miss the set it was woken by.
-    fn fill(&self, state: CellState<T>, count_set: bool) -> Result<(), PromiseError> {
-        let mut cell = self.cell.lock();
-        match &*cell {
-            CellState::Empty => {
-                *cell = state;
+    /// Fills the cell.  `count_set` records the event counter in the cell's
+    /// pre-publish hook — after the fill is committed but *before* the
+    /// release store that makes it observable — so a measurement snapshot
+    /// taken by a woken waiter can never miss the set it was woken by (the
+    /// same invariant the old mutex cell kept by counting inside its
+    /// critical section).
+    fn fill(&self, value: Result<T, PromiseError>, count_set: bool) -> Result<(), PromiseError> {
+        let failed = value.is_err();
+        self.cell
+            .try_fill_with(value, failed, || {
                 if count_set {
                     self.ctx.counters().record_set();
                 }
-                self.fulfilled.store(true, Ordering::Release);
-                self.cond.notify_all();
-                Ok(())
-            }
-            _ => Err(PromiseError::AlreadyFulfilled { promise: self.id }),
-        }
+            })
+            .map_err(|_| PromiseError::AlreadyFulfilled { promise: self.id })
     }
 
     /// Blocks until the promise is fulfilled (or the deadline passes).
     fn block(&self, deadline: Option<Instant>) -> Result<(), PromiseError> {
-        let mut cell = self.cell.lock();
-        loop {
-            if !matches!(&*cell, CellState::Empty) {
-                return Ok(());
-            }
-            match deadline {
-                None => self.cond.wait(&mut cell),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d || self.cond.wait_until(&mut cell, d).timed_out() {
-                        if matches!(&*cell, CellState::Empty) {
-                            return Err(PromiseError::Timeout { promise: self.id });
-                        }
-                        return Ok(());
-                    }
-                }
-            }
+        if self.cell.wait(deadline) {
+            Ok(())
+        } else {
+            Err(PromiseError::Timeout { promise: self.id })
         }
     }
 }
@@ -174,7 +191,7 @@ impl<T> std::fmt::Debug for Promise<T> {
         f.debug_struct("Promise")
             .field("id", &self.inner.id)
             .field("name", &self.inner.name)
-            .field("fulfilled", &self.inner.fulfilled.load(Ordering::Relaxed))
+            .field("fulfilled", &self.inner.cell.is_filled())
             .finish()
     }
 }
@@ -237,9 +254,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
                 id,
                 name,
                 slot,
-                fulfilled: AtomicBool::new(false),
-                cell: Mutex::new(CellState::Empty),
-                cond: Condvar::new(),
+                cell: OneShotCell::new(),
             });
             if tracks {
                 body.ledger.append(inner.clone() as Arc<dyn ErasedPromise>);
@@ -307,7 +322,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
         if ctx.config().mode.tracks_ownership() {
             ownership::on_set(&*self.inner)?;
         }
-        self.inner.fill(CellState::Value(value), true)?;
+        self.inner.fill(Ok(value), true)?;
         Ok(())
     }
 
@@ -323,7 +338,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
             promise: self.inner.id,
             message: Arc::from(message.into().as_str()),
         };
-        self.inner.fill(CellState::Failed(err), true)?;
+        self.inner.fill(Err(err), true)?;
         Ok(())
     }
 
@@ -352,9 +367,9 @@ impl<T: Send + Sync + 'static> Promise<T> {
                 .promises
                 .read(self.inner.slot, |s| s.owner.store(0, Ordering::Release));
         }
-        // Counted like a normal set (inside fill) so baseline/verified
-        // event counts stay comparable.
-        self.inner.fill(CellState::Value(value), true).is_ok()
+        // Counted like a normal set (in the pre-publish hook) so
+        // baseline/verified event counts stay comparable.
+        self.inner.fill(Ok(value), true).is_ok()
     }
 
     /// Blocks until the promise is fulfilled and returns a clone of the
@@ -412,20 +427,24 @@ impl<T: Send + Sync + 'static> Promise<T> {
     where
         T: Clone,
     {
-        let cell = self.inner.cell.lock();
-        match &*cell {
-            CellState::Value(v) => Ok(v.clone()),
-            CellState::Failed(e) => Err(e.clone()),
-            CellState::Empty => unreachable!("read_value called before fulfilment"),
-        }
+        // One acquire load (inside `get_ref`) + a payload clone: the
+        // fulfilled read path takes no lock and performs no stores.
+        self.inner
+            .cell
+            .get_ref()
+            .expect("read_value called before fulfilment")
+            .clone()
     }
 
     fn peek_error(&self) -> Result<(), PromiseError> {
-        let cell = self.inner.cell.lock();
-        match &*cell {
-            CellState::Value(_) => Ok(()),
-            CellState::Failed(e) => Err(e.clone()),
-            CellState::Empty => unreachable!("peek_error called before fulfilment"),
+        match self
+            .inner
+            .cell
+            .get_ref()
+            .expect("peek_error called before fulfilment")
+        {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e.clone()),
         }
     }
 
@@ -464,10 +483,11 @@ impl<T: Send + Sync + 'static> Promise<T> {
 
         // Requirement 3 (§5.1): the waitingOn clear below must not become
         // visible before the promise's fulfilment.  The blocking wait
-        // synchronises with the fulfilling `set` through the payload mutex
-        // (acquire), the clear is sequenced after that and uses a release
-        // store inside `clear_mark`, so a third task that observes
-        // waitingOn == null also observes the fulfilment.
+        // synchronises with the fulfilling `set` through the cell's state
+        // word (the filler's release swap, the waiter's acquire load in the
+        // wait predicate); the clear is sequenced after that observation and
+        // uses a release store inside `clear_mark`, so a third task that
+        // observes waitingOn == null also observes the fulfilment.
         struct ClearMark<'a> {
             ctx: &'a Context,
             slot: PackedRef,

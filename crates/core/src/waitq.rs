@@ -1,0 +1,152 @@
+//! A small futex-style wait queue for lock-free primitives.
+//!
+//! [`WaitQueue`] is the parking half of a fast/slow-path split: a data
+//! structure keeps its *state* in an atomic word that the hot paths touch
+//! with plain loads and RMWs, and only threads that actually have to block
+//! fall back to the queue.  The protocol mirrors a futex (and the parking
+//! pattern already proven in the runtime's work-stealing scheduler):
+//!
+//! * a **waiter** first publishes its presence in the owner's atomic state
+//!   (e.g. by OR-ing a `HAS_WAITERS` bit), then calls
+//!   [`wait_until`](WaitQueue::wait_until) with a predicate re-checking that
+//!   state;
+//! * a **waker** first publishes the state change that makes the predicate
+//!   true (with `Release` ordering), then calls
+//!   [`wake_all`](WaitQueue::wake_all) — and only needs to do so when the
+//!   waiter-present bit was observed.
+//!
+//! No wake-up is ever lost: `wait_until` evaluates the predicate *under the
+//! queue's internal lock* before parking, and `wake_all` acquires that same
+//! lock before notifying.  So either the waiter's predicate check happens
+//! after the waker's state change (and returns without parking), or the
+//! waiter is already parked when the notification is issued.
+//!
+//! The queue itself is deliberately tiny — one mutex and one condvar, used
+//! only on the slow path — because the whole point of the split is that the
+//! fast paths never touch it.
+
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A parking slot for threads waiting on an external atomic condition.
+///
+/// See the [module docs](self) for the protocol.
+pub struct WaitQueue {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        WaitQueue::new()
+    }
+}
+
+impl WaitQueue {
+    /// Creates an empty wait queue.
+    pub const fn new() -> WaitQueue {
+        WaitQueue {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks the calling thread until `cond()` returns `true` or `deadline`
+    /// passes.  Returns the final value of `cond()` — `true` means the
+    /// condition was met, `false` means the wait timed out first.
+    ///
+    /// `cond` is evaluated under the queue's internal lock, so a waker that
+    /// makes the condition true *before* calling [`wake_all`](Self::wake_all)
+    /// can never be missed.  The predicate should be a cheap atomic load
+    /// (typically `Acquire`, pairing with the waker's `Release` store).
+    pub fn wait_until(&self, deadline: Option<Instant>, mut cond: impl FnMut() -> bool) -> bool {
+        let mut guard = self.lock.lock();
+        loop {
+            if cond() {
+                return true;
+            }
+            match deadline {
+                None => self.cv.wait(&mut guard),
+                Some(d) => {
+                    if Instant::now() >= d || self.cv.wait_until(&mut guard, d).timed_out() {
+                        // One final check: the condition may have become true
+                        // exactly at the deadline.
+                        return cond();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes every thread currently parked in [`wait_until`](Self::wait_until).
+    ///
+    /// Acquires the internal lock first, which closes the race against a
+    /// waiter that evaluated its predicate (false) but has not parked yet:
+    /// that waiter holds the lock across check-and-park, so this call either
+    /// happens before its check (the re-check sees the new state) or after it
+    /// parked (the notification reaches it).
+    pub fn wake_all(&self) {
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WaitQueue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn condition_already_true_returns_immediately() {
+        let q = WaitQueue::new();
+        assert!(q.wait_until(None, || true));
+    }
+
+    #[test]
+    fn timeout_returns_false_when_condition_stays_false() {
+        let q = WaitQueue::new();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(!q.wait_until(Some(deadline), || false));
+    }
+
+    #[test]
+    fn wake_all_releases_a_parked_waiter() {
+        let q = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (q2, flag2) = (Arc::clone(&q), Arc::clone(&flag));
+        let t = std::thread::spawn(move || q2.wait_until(None, || flag2.load(Ordering::Acquire)));
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::Release);
+        q.wake_all();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn publish_then_wake_is_never_lost() {
+        // Hammer the race window: waiters that check just before the waker
+        // publishes must still be woken, because both sides go through the
+        // queue's internal lock.
+        for round in 0..200 {
+            let q = Arc::new(WaitQueue::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            let (q2, flag2) = (Arc::clone(&q), Arc::clone(&flag));
+            let waiter =
+                std::thread::spawn(move || q2.wait_until(None, || flag2.load(Ordering::Acquire)));
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            flag.store(true, Ordering::Release);
+            q.wake_all();
+            assert!(waiter.join().unwrap());
+        }
+    }
+}

@@ -176,6 +176,9 @@ impl GrowingPool {
     }
 
     fn worker_loop(inner: Arc<PoolInner>) {
+        // Claim a counter shard so this worker's promise-event counters land
+        // in a private cache-padded cell (see `promise_core::counters`).
+        let _counter_slot = promise_core::counters::register_worker();
         let keep_alive = inner.config.keep_alive;
         let mut state = inner.state.lock();
         loop {

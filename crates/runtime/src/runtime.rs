@@ -75,6 +75,7 @@ pub struct RuntimeBuilder {
     pool: PoolConfig,
     kind: SchedulerKind,
     injector_shards: usize,
+    blocked_aware_growth: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -84,6 +85,7 @@ impl Default for RuntimeBuilder {
             pool: PoolConfig::default(),
             kind: SchedulerKind::default(),
             injector_shards: SchedulerConfig::default().injector_shards,
+            blocked_aware_growth: false,
         }
     }
 }
@@ -142,6 +144,22 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Opt-in blocked-aware growth heuristic for the work-stealing scheduler
+    /// (ignored by [`SchedulerKind::GrowingPool`]): grow a new worker only
+    /// when every live worker is blocked inside a promise wait
+    /// (`workers - blocked == 0`), instead of whenever a task is submitted
+    /// and no worker is idle (the paper's literal §6.3 rule).
+    ///
+    /// This keeps deep fork/join trees from over-spawning threads — merely
+    /// *busy* workers come back for the queue on their own — at the cost of
+    /// relying on the promise blocking hooks: a task that blocks by other
+    /// means (std channels, locks, I/O) is invisible to the heuristic.
+    /// Default: off.
+    pub fn blocked_aware_growth(mut self, enabled: bool) -> Self {
+        self.blocked_aware_growth = enabled;
+        self
+    }
+
     /// How long idle pool workers linger before retiring.
     pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
         self.pool.keep_alive = keep_alive;
@@ -170,6 +188,7 @@ impl RuntimeBuilder {
                 Pool::Stealing(WorkStealingScheduler::new(SchedulerConfig {
                     base: self.pool,
                     injector_shards: self.injector_shards,
+                    blocked_aware_growth: self.blocked_aware_growth,
                     ..SchedulerConfig::default()
                 }))
             }

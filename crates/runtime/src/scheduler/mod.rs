@@ -62,6 +62,20 @@ pub struct SchedulerConfig {
     pub injector_shards: usize,
     /// Initial capacity of each worker's local deque.
     pub local_queue_capacity: usize,
+    /// Opt-in growth heuristic: grow only when **every** live worker is
+    /// blocked (`workers - blocked == 0`) instead of whenever no worker is
+    /// idle (the paper's literal §6.3 rule, the default).
+    ///
+    /// The literal rule over-spawns on deep fork/join trees: each spawn
+    /// finds all workers *busy* (not blocked) and starts a thread that the
+    /// busy workers would have made redundant moments later.  The heuristic
+    /// trusts runnable workers to come back for the queue and relies on the
+    /// promise blocking hooks for recovery: the moment the last runnable
+    /// worker blocks, its own `on_task_blocked` re-evaluates the condition
+    /// and grows.  **Caveat:** a worker that blocks outside the promise
+    /// hooks (std channels, locks, I/O) is invisible to the heuristic, which
+    /// is why it is opt-in.
+    pub blocked_aware_growth: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +84,7 @@ impl Default for SchedulerConfig {
             base: PoolConfig::default(),
             injector_shards: 8,
             local_queue_capacity: 256,
+            blocked_aware_growth: false,
         }
     }
 }
@@ -346,7 +361,7 @@ impl SchedState {
             // This applies to worker-local pushes too: the pushing worker
             // may block by means outside the promise hook (std channels,
             // locks, I/O), and then nobody would ever drain its deque.
-            self.spawn_worker();
+            self.grow(1);
             return;
         }
         if policy == WakePolicy::NudgeIdle && self.pending_wakeups.load(Ordering::SeqCst) >= idle {
@@ -362,9 +377,9 @@ impl SchedState {
         let mut st = self.park.lock();
         if st.idle == 0 {
             // Raced: the idle worker we saw woke up (and may block on what
-            // it picked).  Fall back to the §6.3 submission rule.
+            // it picked).  Fall back to the growth rule.
             drop(st);
-            self.spawn_worker();
+            self.grow(1);
             return;
         }
         if st.wakeups < st.idle {
@@ -375,6 +390,36 @@ impl SchedState {
         // else: every idle worker already owes a full search that starts
         // after this enqueue (wake-ups are consumed under this lock), so the
         // job is guaranteed to be seen without another signal.
+    }
+
+    /// Grows the pool for `jobs` just-enqueued jobs that found no idle
+    /// worker, honouring the configured growth policy.
+    ///
+    /// *Literal §6.3* (default): one fresh thread per job — each job may
+    /// block, so each needs its own potential worker.
+    ///
+    /// *Blocked-aware* (opt-in): grow only when every live worker is blocked
+    /// inside a promise wait; one thread then suffices to restore progress
+    /// (it re-triggers growth the moment it blocks too).  The decision is
+    /// race-free against a runnable worker blocking concurrently: `blocked`
+    /// is bumped with a SeqCst RMW *before* `on_task_blocked` re-checks the
+    /// queues, and the queue non-empty markers are published (SeqCst RMW /
+    /// shard lock) *before* this check loads `blocked` — so either this
+    /// caller observes the worker as blocked and spawns, or that worker
+    /// observes the queued job and grows on its own.
+    fn grow(self: &Arc<Self>, jobs: usize) {
+        if self.config.blocked_aware_growth {
+            let current = self.current.load(Ordering::SeqCst);
+            let blocked = self.blocked.load(Ordering::SeqCst);
+            if current > blocked {
+                return;
+            }
+            self.spawn_worker();
+        } else {
+            for _ in 0..jobs {
+                self.spawn_worker();
+            }
+        }
     }
 
     fn spawn_worker(self: &Arc<Self>) {
@@ -511,7 +556,7 @@ impl SchedState {
             // Also cover jobs queued elsewhere (other deques, injector) that
             // this worker would otherwise have been the one to pick up.
             if self.idle.load(Ordering::SeqCst) == 0 {
-                self.spawn_worker();
+                self.grow(1);
             } else {
                 self.wake_one();
             }
@@ -527,9 +572,7 @@ impl SchedState {
         let mut st = self.park.lock();
         if st.idle == 0 {
             drop(st);
-            for _ in 0..jobs {
-                self.spawn_worker();
-            }
+            self.grow(jobs);
             return;
         }
         let grant = jobs.min(st.idle.saturating_sub(st.wakeups));
@@ -577,6 +620,21 @@ impl SchedState {
             }
             st.idle += 1;
             self.idle.fetch_add(1, Ordering::SeqCst);
+            // Blocked-aware mode needs a second queue re-check *after* the
+            // idle increment: a submitter that loaded `idle == 0` just
+            // before it skips both the wake and (when a runnable worker
+            // exists — us, mid-park) the spawn.  The SeqCst orderings give
+            // the Dekker guarantee: either the submitter's `idle` load sees
+            // our increment (and hands out a wake token under this lock),
+            // or this check sees its enqueued job.  The literal rule needs
+            // no re-check — it spawns unconditionally on idle == 0.
+            if self.config.blocked_aware_growth
+                && (!self.injector.is_empty() || self.any_stealable(idx))
+            {
+                st.idle -= 1;
+                self.idle.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
             let mut timed_out = false;
             loop {
                 if st.wakeups > 0 {
@@ -609,6 +667,23 @@ impl SchedState {
         // Retire: our own deque is empty (pop failed just before exiting).
         self.workers.write()[idx] = None;
         self.current.fetch_sub(1, Ordering::SeqCst);
+        // Close the blocked-aware retire race: a submission that raced this
+        // retirement may have loaded `current` *before* the decrement above,
+        // counted this worker as runnable, and skipped its spawn — and once
+        // this thread is gone nothing would re-evaluate, stranding the job
+        // forever.  Re-checking after the SeqCst decrement restores the
+        // Dekker pairing: either the submitter's `current` load saw the
+        // decrement (and spawned), or this check sees its enqueued job and
+        // grows on its behalf.  (`grow` itself refuses while another
+        // runnable worker exists, which is then that worker's job to cover,
+        // and `spawn_worker` refuses after shutdown, whose final sweep
+        // settles leftovers.)
+        if self.config.blocked_aware_growth
+            && self.has_pending_work()
+            && self.idle.load(Ordering::SeqCst) == 0
+        {
+            self.grow(1);
+        }
     }
 }
 
@@ -619,6 +694,10 @@ fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
             CURRENT_WORKER.with(|c| c.set(None));
         }
     }
+    // Claim a counter shard for this worker so its event counters (promise
+    // gets/sets, spawns, …) land in a private cache-padded cell instead of
+    // the shared overflow cell.
+    let _counter_slot = promise_core::counters::register_worker();
     let local = LocalQueue {
         deque,
         marked: Cell::new(false),

@@ -1,0 +1,243 @@
+//! Tests for the opt-in blocked-aware growth heuristic
+//! (`RuntimeBuilder::blocked_aware_growth`): grow a worker only when every
+//! live worker is blocked inside a promise wait, instead of the paper's
+//! literal §6.3 rule (grow whenever a submission finds no idle worker).
+//!
+//! Two properties matter:
+//!
+//! * **no over-spawn**: on a deep fork/join tree — where workers are mostly
+//!   *busy*, and the only blocking is parents joining their children — the
+//!   pool must stay near the blocking depth instead of approaching the task
+//!   count;
+//! * **liveness**: when every worker really does block, the pool must still
+//!   grow (the §6.3 guarantee), because the promise hooks re-evaluate the
+//!   condition at each block.
+
+use std::time::{Duration, Instant};
+
+use promise_core::{Promise, VerificationMode};
+use promise_runtime::{spawn, Runtime, RuntimeBuilder};
+
+fn blocked_aware_runtime() -> Runtime {
+    RuntimeBuilder::new()
+        .verification(VerificationMode::Unverified)
+        .blocked_aware_growth(true)
+        .worker_keep_alive(Duration::from_secs(5))
+        .build()
+}
+
+/// Binary fork/join: each node spawns its left half, recurses into the right
+/// half inline, then joins.  Tasks spawned: `2^depth - 1`.
+fn forkjoin(depth: u32) -> u64 {
+    fn node(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let left = Promise::<u64>::new();
+        let h = spawn(&left, {
+            let left = left.clone();
+            move || left.set(node(depth - 1)).unwrap()
+        });
+        let r = node(depth - 1);
+        let l = left.get().unwrap();
+        h.join().unwrap();
+        l + r
+    }
+    node(depth)
+}
+
+#[test]
+fn deep_forkjoin_does_not_overspawn() {
+    let depth = 6u32; // 63 spawned tasks
+    let rt = blocked_aware_runtime();
+    let sum = rt.block_on(|| forkjoin(depth)).unwrap();
+    assert_eq!(sum, 1u64 << depth);
+
+    let stats = rt.pool_stats();
+    let tasks = (1usize << depth) - 1;
+    // The blocked-aware pool grows only while *every* worker is blocked, so
+    // it tracks the concurrently-blocked join frontier instead of the spawn
+    // rate.  On this box the literal §6.3 rule reaches ~60–120 threads for
+    // these 63 tasks (it spawns once per submission that finds the workers
+    // merely busy); the heuristic stays well under half the task count.
+    let bound = tasks / 2 + 4;
+    assert!(
+        stats.peak_workers <= bound,
+        "blocked-aware growth must not track the spawn rate: peak {} > bound {} ({} tasks), {:?}",
+        stats.peak_workers,
+        bound,
+        tasks,
+        stats
+    );
+}
+
+#[test]
+fn blocked_aware_never_spawns_more_than_literal_rule() {
+    let depth = 6u32;
+    let run = |blocked_aware: bool| {
+        let rt = RuntimeBuilder::new()
+            .verification(VerificationMode::Unverified)
+            .blocked_aware_growth(blocked_aware)
+            .worker_keep_alive(Duration::from_secs(5))
+            .build();
+        let sum = rt.block_on(|| forkjoin(depth)).unwrap();
+        assert_eq!(sum, 1u64 << depth);
+        rt.pool_stats().threads_started
+    };
+    // Medians over a few runs: thread counts jitter with scheduling.
+    let median = |f: &dyn Fn() -> usize| {
+        let mut xs: Vec<usize> = (0..3).map(|_| f()).collect();
+        xs.sort();
+        xs[1]
+    };
+    let aware = median(&|| run(true));
+    let literal = median(&|| run(false));
+    assert!(
+        aware <= literal,
+        "the heuristic must not start more threads than the literal rule \
+         (aware {aware} vs literal {literal})"
+    );
+}
+
+/// Liveness: when all workers genuinely block on promises, the heuristic
+/// must still grow the pool — each `on_task_blocked` re-evaluates
+/// `workers - blocked == 0` and spawns the replacement.
+#[test]
+fn grows_when_every_worker_is_blocked() {
+    let n = 8usize;
+    let rt = blocked_aware_runtime();
+    rt.block_on(|| {
+        let gate = Promise::<u64>::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let gate = gate.clone();
+            // Unverified mode: any task may get (and the root may set) the
+            // shared gate without ownership transfers.
+            handles.push(spawn((), move || gate.get().unwrap()));
+        }
+        // Wait until every task is parked inside `get` (the promise hooks
+        // surface this as the blocked-worker count) before releasing them.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.pool_stats().blocked_workers < n && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            rt.pool_stats().blocked_workers,
+            n,
+            "all {} tasks must be parked before the gate opens, saw {:?}",
+            n,
+            rt.pool_stats()
+        );
+        gate.set(7).unwrap();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7);
+        }
+    })
+    .unwrap();
+    assert!(
+        rt.pool_stats().peak_workers >= n,
+        "all {} blocked tasks must have had their own worker, saw {:?}",
+        n,
+        rt.pool_stats()
+    );
+}
+
+/// Sanity: the knob leaves results and alarm behaviour untouched under full
+/// verification (ownership transfers, exit checks, completion promises).
+#[test]
+fn verified_forkjoin_still_correct_under_heuristic() {
+    let rt = RuntimeBuilder::new()
+        .blocked_aware_growth(true)
+        .worker_keep_alive(Duration::from_secs(5))
+        .build();
+    let sum = rt
+        .block_on(|| {
+            let mut handles = Vec::new();
+            for i in 0..32u64 {
+                let p = Promise::<u64>::new();
+                let h = spawn(&p, {
+                    let p = p.clone();
+                    move || p.set(i).unwrap()
+                });
+                handles.push((p, h));
+            }
+            let mut acc = 0;
+            for (p, h) in handles {
+                acc += p.get().unwrap();
+                h.join().unwrap();
+            }
+            acc
+        })
+        .unwrap();
+    assert_eq!(sum, (0..32).sum::<u64>());
+    assert_eq!(rt.context().alarm_count(), 0);
+}
+
+/// Regression: a submission racing the last worker's retirement must never
+/// be stranded.  With a tiny keep-alive the pool's only worker retires
+/// between every burst; a buggy blocked-aware `grow` that counts the
+/// retiring worker as runnable would skip the spawn and leave the job (and
+/// this `get`) hanging forever — the retire path re-checks for pending work
+/// after decrementing the worker count to close that window.
+#[test]
+fn submissions_racing_worker_retirement_are_never_stranded() {
+    let rt = RuntimeBuilder::new()
+        .verification(VerificationMode::Unverified)
+        .blocked_aware_growth(true)
+        .worker_keep_alive(Duration::from_millis(2))
+        .build();
+    rt.block_on(|| {
+        for i in 0..200u64 {
+            let p = Promise::<u64>::new();
+            let h = spawn((), {
+                let p = p.clone();
+                move || p.set(i).unwrap()
+            });
+            let got = p
+                .get_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("submission {i} stranded: {e}"));
+            assert_eq!(got, i);
+            h.join().unwrap();
+            if i % 3 == 0 {
+                // Let the worker hit its keep-alive and enter the retire
+                // path so later submissions race it.
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        }
+    })
+    .unwrap();
+}
+
+/// The heuristic must also not wedge a chain where each task blocks on the
+/// next task's promise (the worst case for conservative growth).
+#[test]
+fn blocked_chain_completes_under_heuristic() {
+    let n = 24usize;
+    let rt = blocked_aware_runtime();
+    let head = rt
+        .block_on(|| {
+            let promises: Vec<Promise<u64>> = (0..n).map(|_| Promise::new()).collect();
+            let release = Promise::<u64>::new();
+            let mut handles = Vec::new();
+            for i in 0..n {
+                let own = promises[i].clone();
+                let next = promises.get(i + 1).cloned();
+                let release = release.clone();
+                handles.push(spawn((), move || {
+                    let v = match next {
+                        Some(next) => next.get().unwrap(),
+                        None => release.get().unwrap(),
+                    };
+                    own.set(v + 1).unwrap();
+                }));
+            }
+            release.set(0).unwrap();
+            let head = promises[0].get().unwrap();
+            for h in handles {
+                h.join().unwrap();
+            }
+            head
+        })
+        .unwrap();
+    assert_eq!(head, n as u64);
+}

@@ -12,6 +12,12 @@
 //!   value;
 //! * `stop()` fulfils the producer cell with an end-of-stream marker.
 //!
+//! Performance: a `recv` from a non-empty channel reads an already-set cell
+//! promise, which the lock-free payload cell serves with one acquire load.
+//! The channel's own `producer`/`consumer` mutexes stay: they guard *which
+//! promise is current* (advancing the chain head/tail), not the payload, and
+//! deliberately serialise competing receivers on one end.
+//!
 //! Ownership: the sender always owns exactly one unfulfilled promise — the
 //! current producer cell.  The channel implements
 //! [`PromiseCollection`], contributing exactly that promise, so `spawn(&ch,

@@ -16,6 +16,11 @@
 //! operations per round instead of `O(n²)`, which is exactly why the paper's
 //! StreamCluster2 has a much lower get/set rate (and lower verification
 //! overhead) than StreamCluster.
+//!
+//! Performance: the broadcast leg — `n − 1` workers reading one result
+//! promise — rides the lock-free fulfilled fast path: after the result is
+//! set, every read is one acquire load with no stores, so concurrent readers
+//! no longer serialise on a payload mutex.
 
 use std::sync::Arc;
 

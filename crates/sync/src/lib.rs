@@ -21,6 +21,31 @@
 //! contain no additional blocking primitives of their own, and every blocking
 //! operation is a promise `get`, so the deadlock detector covers them
 //! automatically.
+//!
+//! # Fast-path audit (lock-free promise cell)
+//!
+//! Since the promise payload moved onto the lock-free one-shot cell
+//! (`promise_core::cell`), a `get` on an already-fulfilled promise is a
+//! single acquire load plus a payload read — no mutex, no condvar, no
+//! stores.  That is precisely the hot read of every construct in this crate,
+//! so all three inherit the win with no code changes:
+//!
+//! * [`AllToAllBarrier`]: of the `O(n²)` arrival `get`s per episode, almost
+//!   all hit promises that were set moments earlier by other participants —
+//!   each is now lock-free; only the handful of genuinely-early arrivals
+//!   park.
+//! * [`Combiner`]: the one-to-all broadcast is `n − 1` reads of one result
+//!   promise; after the first waiter is woken the rest read lock-free, and
+//!   concurrent readers no longer serialise on the payload mutex.
+//! * [`Channel`]: `recv` on a non-empty channel reads an already-set cell
+//!   promise lock-free.  (The per-handle `producer`/`consumer` mutexes remain
+//!   — they guard *which promise is current*, a different concern from the
+//!   payload, and are held only for pointer swaps plus, on `recv`, the
+//!   blocking `get` that orders competing receivers.)
+//!
+//! The parking slow path used by the cell, [`WaitQueue`], is re-exported
+//! here: it is the building block to reach for when adding a new
+//! synchronization object with a lock-free fast path.
 
 #![warn(missing_docs)]
 
@@ -31,3 +56,4 @@ pub mod combiner;
 pub use barrier::{AllToAllBarrier, BarrierParticipant};
 pub use channel::Channel;
 pub use combiner::{Combiner, CombinerCoordinator, CombinerWorker};
+pub use promise_core::waitq::WaitQueue;

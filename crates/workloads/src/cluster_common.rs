@@ -52,6 +52,18 @@ impl ClusterParams {
                 workers: 8,
                 seed: 55,
             },
+            // ~10× the Default worker-round task count (40 workers × 10
+            // chunks vs 8 × 5) over the same points: barrier/combiner
+            // promise traffic dominates.
+            Scale::Stress => ClusterParams {
+                points: 20_480,
+                chunk: 2_048,
+                dims: 32,
+                centers: 8,
+                iterations: 5,
+                workers: 40,
+                seed: 55,
+            },
             // Paper: 102 400 points in 128 dimensions, 8 workers.
             Scale::Paper => ClusterParams {
                 points: 102_400,

@@ -50,6 +50,16 @@ impl ConwayParams {
                 density: 0.35,
                 seed: 11,
             },
+            // ~10× the Default task count on the same grid: each band gets
+            // thin, so halo-exchange promise traffic dominates the compute.
+            Scale::Stress => ConwayParams {
+                width: 256,
+                height: 256,
+                workers: 80,
+                generations: 60,
+                density: 0.35,
+                seed: 11,
+            },
             // The paper adapts a 100-worker MPI code (101 tasks including the
             // root).
             Scale::Paper => ConwayParams {

@@ -40,6 +40,14 @@ impl HeatParams {
                 iterations: 400,
                 alpha: 0.25,
             },
+            // ~10× the Default task count over the same total cells: border
+            // exchanges per iteration grow 10×, per-task compute shrinks 10×.
+            Scale::Stress => HeatParams {
+                tasks: 160,
+                cells_per_task: 200,
+                iterations: 400,
+                alpha: 0.25,
+            },
             // Paper: 50 tasks × 40 000 cells × 5 000 iterations.
             Scale::Paper => HeatParams {
                 tasks: 50,

@@ -21,8 +21,10 @@
 //! so that benchmark runs can assert that the work was actually performed.
 //!
 //! Workload sizes are controlled by [`Scale`]: `Smoke` for tests, `Default`
-//! for container-sized benchmark runs, and `Paper` for the sizes reported in
-//! the paper (which assume a 16-core machine and longer runtimes).
+//! for container-sized benchmark runs, `Stress` for ~10× the `Default` task
+//! counts (exercising the runtime's scheduler and lock-free promise cell at
+//! high task counts), and `Paper` for the sizes reported in the paper (which
+//! assume a 16-core machine and longer runtimes).
 
 #![warn(missing_docs)]
 
@@ -46,16 +48,21 @@ pub enum Scale {
     /// Container-sized benchmark runs (sub-second to a few seconds each).
     #[default]
     Default,
+    /// ~10× the `Default` task counts at comparable per-task work: a
+    /// scheduler/promise stress preset that makes the get/set hot path and
+    /// thread growth the dominant costs.
+    Stress,
     /// The sizes reported in the paper (§6.3); expect long runtimes.
     Paper,
 }
 
 impl Scale {
-    /// Parses a scale name (`smoke`, `default`, `paper`).
+    /// Parses a scale name (`smoke`, `default`, `stress`, `paper`).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "smoke" => Some(Scale::Smoke),
             "default" => Some(Scale::Default),
+            "stress" => Some(Scale::Stress),
             "paper" => Some(Scale::Paper),
             _ => None,
         }
@@ -66,6 +73,7 @@ impl Scale {
         match self {
             Scale::Smoke => "smoke",
             Scale::Default => "default",
+            Scale::Stress => "stress",
             Scale::Paper => "paper",
         }
     }
@@ -170,7 +178,7 @@ mod tests {
 
     #[test]
     fn scale_parsing_round_trips() {
-        for s in [Scale::Smoke, Scale::Default, Scale::Paper] {
+        for s in [Scale::Smoke, Scale::Default, Scale::Stress, Scale::Paper] {
             assert_eq!(Scale::parse(s.name()), Some(s));
         }
         assert_eq!(Scale::parse("bogus"), None);

@@ -37,6 +37,13 @@ impl QSortParams {
                 cutoff: 512,
                 seed: 20,
             },
+            // ~10× the Default task count: a finer cutoff multiplies the
+            // spawn/join promise pairs faster than the sort work grows.
+            Scale::Stress => QSortParams {
+                elements: 600_000,
+                cutoff: 64,
+                seed: 20,
+            },
             // Paper: 1 M integers, spawning very fine-grained tasks
             // (~786 k tasks).
             Scale::Paper => QSortParams {

@@ -60,6 +60,16 @@ impl RandomizedParams {
                 work: 2_000,
                 seed: 33,
             },
+            // ~10× the Default task/promise counts at reduced per-task work:
+            // the task tree itself becomes the load.
+            Scale::Stress => RandomizedParams {
+                tasks: 8_000,
+                promises: 16_000,
+                branching: 3,
+                await_probability: 0.8,
+                work: 500,
+                seed: 33,
+            },
             // Paper: 5 000 promises over 2 535 tasks, branching factor 3.
             Scale::Paper => RandomizedParams {
                 tasks: 2_535,

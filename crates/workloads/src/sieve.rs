@@ -32,6 +32,9 @@ impl SieveParams {
         match scale {
             Scale::Smoke => SieveParams { limit: 500 },
             Scale::Default => SieveParams { limit: 10_000 },
+            // ~10× the Default task count (π(120 000) = 11 301 filter tasks,
+            // vs 1 229): one long chain of simultaneously blocked stages.
+            Scale::Stress => SieveParams { limit: 120_000 },
             // Paper: primes below 100 000 (9 592 primes → ~9 594 tasks).
             Scale::Paper => SieveParams { limit: 100_000 },
         }

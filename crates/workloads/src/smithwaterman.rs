@@ -59,6 +59,13 @@ impl SmithWatermanParams {
                 cols: 1_500,
                 ..common
             },
+            // ~10× the Default tile-task count (192 × 188 ≈ 36 k tiles vs
+            // 60 × 60 = 3 600) on the same tile size.
+            Scale::Stress => SmithWatermanParams {
+                rows: 4_800,
+                cols: 4_700,
+                ..common
+            },
             // Paper: sequences of 18 000–20 000 bases, 25×25 tiles
             // (≈ 570 000 tasks).
             Scale::Paper => SmithWatermanParams {

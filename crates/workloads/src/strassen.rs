@@ -160,6 +160,14 @@ impl StrassenParams {
                 task_depth: 3,
                 seed: 44,
             },
+            // ~7–10× the Default task count: one more task-spawning
+            // recursion level multiplies the tree by 7.
+            Scale::Stress => StrassenParams {
+                n: 128,
+                nonzeros: 8_000,
+                task_depth: 4,
+                seed: 44,
+            },
             // Paper: sparse 128×128 matrices, ~8 000 values, recursion
             // depth 5 (≈ 59 000 tasks).
             Scale::Paper => StrassenParams {
