@@ -1,0 +1,171 @@
+//! Microbenchmarks of the verification data plane's shared state: arena
+//! allocation, detector traversal, and alarm recording.  Each benchmark
+//! pairs the current implementation with the retained pre-optimisation
+//! path, so the speedups this PR claims stay re-measurable:
+//!
+//! * `arena/alloc-free` — one slot alloc + free from a registered worker.
+//!   `magazine` is the per-worker magazine fast path (no atomic RMW, no
+//!   shared cache line); `global` is the retained single Treiber free list
+//!   plus global live/peak counters ([`SlotArena::new_global_only`], the
+//!   pre-PR behaviour).  On the 1-CPU reference container:
+//!   magazine ≈ 12.8 ns/op vs global ≈ 68.4 ns/op (≈ 5.3×).
+//! * `arena/alloc-free-contended` — four threads hammering alloc/free on
+//!   one shared arena (2 000 pairs each per episode; the reported time is
+//!   one whole episode including thread spawn/join).  Magazines
+//!   ≈ 170 µs/episode vs global ≈ 629 µs/episode (≈ 3.7× even without real
+//!   parallelism; on a multi-core box the global Treiber CAS loop also
+//!   pays retries and line bouncing).
+//! * `detector/chain-walk` — one full Algorithm 2 verification over a
+//!   128-task non-cyclic waits-for chain (throughput = edges/step walked).
+//!   `fast` is the pointer-direct traversal (chunk-cached resolver,
+//!   single-validation line-6/9/13 reads, line-11 re-read on the cached
+//!   slot address, lazy report collection); `legacy` is the retained pre-PR
+//!   loop (seqlock double-validated closure reads through the chunk table +
+//!   eager report collection).  fast ≈ 9.0 ns/step vs legacy ≈ 21.3 ns/step
+//!   (≈ 2.4×).
+//! * `alarm/record` — one alarm append.  `sink` is the lock-free segment
+//!   list ([`AlarmSink`]), `mutex` the retained `Mutex<Vec>` log
+//!   ([`MutexSink`]).  sink ≈ 24 ns vs mutex ≈ 33 ns uncontended; the
+//!   bigger win is that recorders and snapshot readers never block each
+//!   other.
+//!
+//! (Numbers are medians of `cargo bench -p promise-bench --bench data_plane`
+//! on the 1-CPU container this repo is developed in; re-run to refresh.)
+//!
+//! [`SlotArena::new_global_only`]: promise_core::arena::SlotArena::new_global_only
+//! [`AlarmSink`]: promise_core::AlarmSink
+//! [`MutexSink`]: promise_core::MutexSink
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use promise_core::arena::SlotArena;
+use promise_core::bench_support;
+use promise_core::counters::register_worker;
+use promise_core::slots::TaskSlot;
+use promise_core::{AlarmSink, Context, MutexSink};
+
+/// Chain length for the detector walk (long enough that per-walk setup
+/// noise vanishes behind the per-step cost).
+const CHAIN: usize = 128;
+
+fn bench_arena_alloc_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena/alloc-free");
+    group.throughput(Throughput::Elements(1));
+
+    let sharded: SlotArena<TaskSlot> = SlotArena::new();
+    let _worker = register_worker();
+    group.bench_function("magazine", |b| {
+        b.iter(|| {
+            let r = sharded.alloc();
+            sharded.free(black_box(r));
+        })
+    });
+
+    let global: SlotArena<TaskSlot> = SlotArena::new_global_only();
+    group.bench_function("global", |b| {
+        b.iter(|| {
+            let r = global.alloc();
+            global.free(black_box(r));
+        })
+    });
+    group.finish();
+}
+
+fn contended_episode(arena: &Arc<SlotArena<TaskSlot>>, threads: usize, pairs: usize) {
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let arena = Arc::clone(arena);
+            std::thread::spawn(move || {
+                let _worker = register_worker();
+                for _ in 0..pairs {
+                    let r = arena.alloc();
+                    arena.free(black_box(r));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_arena_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena/alloc-free-contended");
+    let threads = 4;
+    let pairs = 2_000;
+    group.throughput(Throughput::Elements((threads * pairs) as u64));
+
+    let sharded: Arc<SlotArena<TaskSlot>> = Arc::new(SlotArena::new());
+    group.bench_function("magazine", |b| {
+        b.iter(|| contended_episode(&sharded, threads, pairs))
+    });
+
+    let global: Arc<SlotArena<TaskSlot>> = Arc::new(SlotArena::new_global_only());
+    group.bench_function("global", |b| {
+        b.iter(|| contended_episode(&global, threads, pairs))
+    });
+    group.finish();
+}
+
+fn bench_detector_chain_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector/chain-walk");
+    group.throughput(Throughput::Elements(CHAIN as u64));
+
+    let ctx = Context::new_verified();
+    let (t0, p0) = bench_support::build_chain(&ctx, CHAIN);
+
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            let deadlocked = bench_support::chain_walk(&ctx, t0, p0);
+            assert!(!deadlocked);
+        })
+    });
+
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            let deadlocked = bench_support::chain_walk_legacy(&ctx, t0, p0);
+            assert!(!deadlocked);
+        })
+    });
+    group.finish();
+}
+
+fn bench_alarm_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alarm/record");
+    group.throughput(Throughput::Elements(1));
+
+    // Re-created periodically: the sink is append-only, so an unbounded
+    // benchmark loop would otherwise grow it without limit.
+    let mut sink: AlarmSink<u64> = AlarmSink::new();
+    group.bench_function("sink", |b| {
+        b.iter(|| {
+            sink.push(black_box(7));
+            if sink.len() >= 100_000 {
+                sink = AlarmSink::new();
+            }
+        })
+    });
+
+    let mutex: MutexSink<u64> = MutexSink::new();
+    group.bench_function("mutex", |b| {
+        b.iter(|| {
+            mutex.push(black_box(7));
+            if mutex.len() >= 100_000 {
+                mutex.clear();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_arena_alloc_free(c);
+    bench_arena_contended(c);
+    bench_detector_chain_walk(c);
+    bench_alarm_record(c);
+}
+
+criterion_group!(data_plane, benches);
+criterion_main!(data_plane);

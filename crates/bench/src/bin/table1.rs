@@ -6,13 +6,15 @@
 //! cargo run -p promise-bench --release --bin table1 -- \
 //!     [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
 //!     [--filter NAME] [--no-memory] [--paper-protocol] \
-//!     [--json PATH | --no-json]
+//!     [--json PATH | --no-json] [--compare OLD.json NEW.json]
 //! ```
 //!
 //! Besides the human-readable table, the run writes machine-readable results
 //! (wall-time summaries plus per-workload counter deltas) to
 //! `BENCH_table1.json` by default, giving later revisions a perf trajectory
-//! to regress against.
+//! to regress against.  `--compare OLD.json NEW.json` runs no measurements:
+//! it prints the per-workload median delta table between two such artifacts
+//! (the ROADMAP perf-trajectory protocol, mechanised).
 
 use promise_bench::{render_table1, render_table1_json, run_suite, CliOptions};
 
@@ -27,11 +29,29 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: table1 [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
-                 [--filter NAME] [--no-memory] [--paper-protocol] [--json PATH | --no-json]"
+                 [--filter NAME] [--no-memory] [--paper-protocol] [--json PATH | --no-json] \
+                 [--compare OLD.json NEW.json]"
             );
             std::process::exit(2);
         }
     };
+
+    if let Some((old_path, new_path)) = &opts.compare {
+        let load = |path: &str| -> promise_bench::compare::Table1Artifact {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: could not read {path}: {e}");
+                std::process::exit(1);
+            });
+            promise_bench::compare::parse_table1_artifact(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let old = load(old_path);
+        let new = load(new_path);
+        print!("{}", promise_bench::compare::render_compare(&old, &new));
+        return;
+    }
 
     println!(
         "Table 1 reproduction — scale: {}, runs: {}, warmups: {}{}",

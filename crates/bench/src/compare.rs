@@ -1,0 +1,544 @@
+//! Comparing two `promise-bench/table1/v1` artifacts.
+//!
+//! The ROADMAP perf-trajectory protocol asks every perf PR to commit a fresh
+//! `BENCH_table1.json` and compare medians against the previous artifact.
+//! `table1 --compare OLD.json NEW.json` does that mechanically: it parses
+//! both artifacts (with a tiny hand-rolled JSON reader — the offline build
+//! has no serde) and prints a per-workload median delta table plus the
+//! geomean movement, so perf PRs stop eyeballing raw JSON.
+//!
+//! Artifacts written before the `median_s` field existed fall back to
+//! `mean_s` (flagged in the table), so PR 2-era artifacts stay comparable.
+
+use std::collections::BTreeMap;
+
+use promise_stats::Table;
+
+/// A minimal JSON value (just enough for our own artifacts).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64, which is exact for our magnitudes).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted keys; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in our artifacts;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (artifact strings are workload
+                    // names; multi-byte sequences are passed through).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// One workload row of a parsed artifact.
+#[derive(Clone, Debug)]
+pub struct ArtifactWorkload {
+    /// Workload name (Table 1 row label).
+    pub name: String,
+    /// Baseline wall-time central value, seconds.
+    pub baseline_s: f64,
+    /// Verified wall-time central value, seconds.
+    pub verified_s: f64,
+    /// Verified / baseline time overhead as recorded in the artifact.
+    pub time_overhead: f64,
+    /// Whether the central values are medians (`median_s` present) or the
+    /// pre-median fallback (`mean_s`).
+    pub is_median: bool,
+}
+
+/// A parsed `promise-bench/table1/v1` artifact.
+#[derive(Clone, Debug)]
+pub struct Table1Artifact {
+    /// Workload scale the artifact was measured at.
+    pub scale: String,
+    /// Measured runs per configuration.
+    pub runs: f64,
+    /// Geometric-mean time overhead across workloads.
+    pub geomean_time_overhead: Option<f64>,
+    /// Per-workload rows, in artifact order.
+    pub workloads: Vec<ArtifactWorkload>,
+}
+
+fn central_value(summary: &Json) -> Option<(f64, bool)> {
+    if let Some(v) = summary.get("median_s").and_then(Json::as_f64) {
+        return Some((v, true));
+    }
+    summary
+        .get("mean_s")
+        .and_then(Json::as_f64)
+        .map(|v| (v, false))
+}
+
+/// Parses a `promise-bench/table1/v1` JSON artifact.
+pub fn parse_table1_artifact(text: &str) -> Result<Table1Artifact, String> {
+    let root = parse_json(text)?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema` field")?;
+    if schema != "promise-bench/table1/v1" {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected promise-bench/table1/v1)"
+        ));
+    }
+    let scale = root
+        .get("scale")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let runs = root.get("runs").and_then(Json::as_f64).unwrap_or(0.0);
+    let geomean_time_overhead = root.get("geomean_time_overhead").and_then(Json::as_f64);
+    let workloads_json = match root.get("workloads") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("missing `workloads` array".to_string()),
+    };
+    let mut workloads = Vec::with_capacity(workloads_json.len());
+    for w in workloads_json {
+        let name = w
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload without `name`")?
+            .to_string();
+        let (baseline_s, base_median) = w
+            .get("baseline_time")
+            .and_then(central_value)
+            .ok_or_else(|| format!("workload {name}: missing baseline_time"))?;
+        let (verified_s, ver_median) = w
+            .get("verified_time")
+            .and_then(central_value)
+            .ok_or_else(|| format!("workload {name}: missing verified_time"))?;
+        let time_overhead = w
+            .get("time_overhead")
+            .and_then(Json::as_f64)
+            .unwrap_or(verified_s / baseline_s.max(f64::MIN_POSITIVE));
+        workloads.push(ArtifactWorkload {
+            name,
+            baseline_s,
+            verified_s,
+            time_overhead,
+            is_median: base_median && ver_median,
+        });
+    }
+    Ok(Table1Artifact {
+        scale,
+        runs,
+        geomean_time_overhead,
+        workloads,
+    })
+}
+
+fn delta_pct(old: f64, new: f64) -> String {
+    if old <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+/// Renders the per-workload median delta table between two artifacts.
+///
+/// Negative deltas mean the new artifact is faster.  Workloads present in
+/// only one artifact are listed with `—` placeholders.
+pub fn render_compare(old: &Table1Artifact, new: &Table1Artifact) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 comparison — old: scale {}, runs {} | new: scale {}, runs {}\n",
+        old.scale, old.runs, new.scale, new.runs
+    ));
+    if old.scale != new.scale {
+        out.push_str("warning: artifacts were measured at different scales; deltas are not apples to apples\n");
+    }
+    if old.workloads.iter().any(|w| !w.is_median) || new.workloads.iter().any(|w| !w.is_median) {
+        out.push_str(
+            "note: artifact(s) without median_s — falling back to means for the flagged rows\n",
+        );
+    }
+    out.push('\n');
+
+    let mut table = Table::new(vec![
+        "Benchmark",
+        "Base old (s)",
+        "Base new (s)",
+        "Δ base",
+        "Verif old (s)",
+        "Verif new (s)",
+        "Δ verif",
+        "Ovhd old",
+        "Ovhd new",
+    ]);
+    let fmt_central = |v: f64, is_median: bool| {
+        if is_median {
+            format!("{v:.3}")
+        } else {
+            format!("{v:.3} (mean)")
+        }
+    };
+    let mut names: Vec<&str> = old.workloads.iter().map(|w| w.name.as_str()).collect();
+    for w in &new.workloads {
+        if !names.contains(&w.name.as_str()) {
+            names.push(&w.name);
+        }
+    }
+    for name in names {
+        let o = old.workloads.iter().find(|w| w.name == name);
+        let n = new.workloads.iter().find(|w| w.name == name);
+        let row = match (o, n) {
+            (Some(o), Some(n)) => vec![
+                name.to_string(),
+                fmt_central(o.baseline_s, o.is_median),
+                fmt_central(n.baseline_s, n.is_median),
+                delta_pct(o.baseline_s, n.baseline_s),
+                fmt_central(o.verified_s, o.is_median),
+                fmt_central(n.verified_s, n.is_median),
+                delta_pct(o.verified_s, n.verified_s),
+                format!("{:.2}x", o.time_overhead),
+                format!("{:.2}x", n.time_overhead),
+            ],
+            (Some(o), None) => vec![
+                format!("{name} (removed)"),
+                fmt_central(o.baseline_s, o.is_median),
+                "—".into(),
+                "—".into(),
+                fmt_central(o.verified_s, o.is_median),
+                "—".into(),
+                "—".into(),
+                format!("{:.2}x", o.time_overhead),
+                "—".into(),
+            ],
+            (None, Some(n)) => vec![
+                format!("{name} (new)"),
+                "—".into(),
+                fmt_central(n.baseline_s, n.is_median),
+                "—".into(),
+                "—".into(),
+                fmt_central(n.verified_s, n.is_median),
+                "—".into(),
+                "—".into(),
+                format!("{:.2}x", n.time_overhead),
+            ],
+            (None, None) => continue,
+        };
+        table.add_row(row);
+    }
+    out.push_str(&table.render());
+    match (old.geomean_time_overhead, new.geomean_time_overhead) {
+        (Some(o), Some(n)) => {
+            out.push_str(&format!(
+                "\nGeomean time overhead: {o:.3}x -> {n:.3}x ({})\n",
+                delta_pct(o, n)
+            ));
+        }
+        _ => out.push_str("\nGeomean time overhead: n/a in one of the artifacts\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT_NEW: &str = r#"{
+      "schema": "promise-bench/table1/v1",
+      "scale": "default",
+      "runs": 3,
+      "geomean_time_overhead": 1.05,
+      "workloads": [
+        {
+          "name": "Sieve",
+          "baseline_time": {"mean_s": 0.51, "median_s": 0.5, "runs": 3},
+          "verified_time": {"mean_s": 0.62, "median_s": 0.6, "runs": 3},
+          "time_overhead": 1.2
+        }
+      ]
+    }"#;
+
+    const ARTIFACT_OLD: &str = r#"{
+      "schema": "promise-bench/table1/v1",
+      "scale": "default",
+      "runs": 3,
+      "geomean_time_overhead": 1.10,
+      "workloads": [
+        {
+          "name": "Sieve",
+          "baseline_time": {"mean_s": 1.0, "runs": 3},
+          "verified_time": {"mean_s": 1.3, "runs": 3},
+          "time_overhead": 1.3
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn parses_json_scalars_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n", true, null], "b": {}}"#).unwrap();
+        let a = v.get("a").unwrap();
+        match a {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1], Json::Num(-25.0));
+                assert_eq!(items[2], Json::Str("x\n".into()));
+                assert_eq!(items[3], Json::Bool(true));
+                assert_eq!(items[4], Json::Null);
+            }
+            _ => panic!("expected array"),
+        }
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1 2").is_err());
+    }
+
+    #[test]
+    fn parses_artifacts_with_and_without_medians() {
+        let new = parse_table1_artifact(ARTIFACT_NEW).unwrap();
+        assert_eq!(new.workloads.len(), 1);
+        assert!(new.workloads[0].is_median);
+        assert_eq!(new.workloads[0].baseline_s, 0.5);
+
+        let old = parse_table1_artifact(ARTIFACT_OLD).unwrap();
+        assert!(!old.workloads[0].is_median, "mean fallback");
+        assert_eq!(old.workloads[0].baseline_s, 1.0);
+
+        assert!(parse_table1_artifact(r#"{"schema": "other/v9"}"#).is_err());
+    }
+
+    #[test]
+    fn compare_renders_deltas_and_geomean() {
+        let old = parse_table1_artifact(ARTIFACT_OLD).unwrap();
+        let new = parse_table1_artifact(ARTIFACT_NEW).unwrap();
+        let out = render_compare(&old, &new);
+        assert!(out.contains("Sieve"));
+        assert!(out.contains("-50.0%"), "baseline halved: {out}");
+        assert!(out.contains("1.10") || out.contains("1.100"));
+        assert!(out.contains("Geomean time overhead"));
+        assert!(out.contains("falling back to means"));
+    }
+
+    #[test]
+    fn compare_handles_disjoint_workload_sets() {
+        let mut old = parse_table1_artifact(ARTIFACT_OLD).unwrap();
+        old.workloads[0].name = "Gone".into();
+        let new = parse_table1_artifact(ARTIFACT_NEW).unwrap();
+        let out = render_compare(&old, &new);
+        assert!(out.contains("Gone (removed)"));
+        assert!(out.contains("Sieve (new)"));
+    }
+}

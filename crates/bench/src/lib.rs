@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::time::Duration;
 
 use promise_core::{CounterSnapshot, VerificationMode};
@@ -282,8 +284,10 @@ fn json_counters(c: &CounterSnapshot) -> String {
 fn json_summary(s: &Summary) -> String {
     let ci = s.ci95();
     format!(
-        "{{\"mean_s\": {}, \"ci95_low_s\": {}, \"ci95_high_s\": {}, \"runs\": {}}}",
+        "{{\"mean_s\": {}, \"median_s\": {}, \"ci95_low_s\": {}, \"ci95_high_s\": {}, \
+         \"runs\": {}}}",
         json_f64(s.mean),
+        json_f64(s.median),
         json_f64(ci.low),
         json_f64(ci.high),
         s.count
@@ -437,6 +441,10 @@ pub struct CliOptions {
     /// Where the Table 1 binary writes its machine-readable results
     /// (`None` disables the JSON artifact).
     pub json_path: Option<String>,
+    /// Compare-only mode: `(old, new)` artifact paths.  When set, the
+    /// `table1` binary runs no measurements and prints the per-workload
+    /// median delta table between the two artifacts instead.
+    pub compare: Option<(String, String)>,
 }
 
 impl Default for CliOptions {
@@ -448,6 +456,7 @@ impl Default for CliOptions {
             filter: None,
             skip_memory: false,
             json_path: Some("BENCH_table1.json".to_string()),
+            compare: None,
         }
     }
 }
@@ -455,7 +464,8 @@ impl Default for CliOptions {
 impl CliOptions {
     /// Parses options from `args` (everything after the program name).
     /// Recognised flags: `--scale <smoke|default|stress|paper>`, `--runs N`,
-    /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`.
+    /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`,
+    /// `--json PATH`, `--no-json`, `--compare OLD.json NEW.json`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut i = 0;
@@ -492,6 +502,18 @@ impl CliOptions {
                     opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
                 }
                 "--no-json" => opts.json_path = None,
+                "--compare" => {
+                    let old = args
+                        .get(i + 1)
+                        .ok_or("--compare needs two artifact paths (old new)")?
+                        .clone();
+                    let new = args
+                        .get(i + 2)
+                        .ok_or("--compare needs two artifact paths (old new)")?
+                        .clone();
+                    i += 2;
+                    opts.compare = Some((old, new));
+                }
                 "--paper-protocol" => {
                     opts.runs = 30;
                     opts.warmups = 5;
@@ -559,6 +581,13 @@ mod tests {
         let paper = CliOptions::parse(&["--paper-protocol".to_string()]).unwrap();
         assert_eq!(paper.runs, 30);
         assert_eq!(paper.warmups, 5);
+
+        let cmp =
+            CliOptions::parse(&["--compare", "old.json", "new.json"].map(String::from)).unwrap();
+        assert_eq!(cmp.compare, Some(("old.json".into(), "new.json".into())));
+        assert!(
+            CliOptions::parse(&["--compare".to_string(), "only-one.json".to_string()]).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! A lock-free, append-only alarm sink.
+//!
+//! Every deadlock / omitted-set alarm a [`Context`](crate::Context) records
+//! used to go through a `Mutex<Vec<Alarm>>`.  Alarms are rare in correct
+//! programs, but the *bug-hunting* configurations that keep running after an
+//! alarm (`OmittedSetAction::CompleteAndReport`, the default) can record
+//! them from many workers at once, and observability calls
+//! (`Context::alarms`, `alarm_count`) used to block recorders — a lock
+//! inside what is otherwise a lock-free verification data plane.
+//!
+//! [`AlarmSink`] replaces the mutex with an append-only **segment list**:
+//!
+//! * Records reserve a slot with one `fetch_add` on the tail segment and
+//!   publish the written value with one release store of a ready flag (plus
+//!   a release `fetch_add` of the committed counter).  A full segment is
+//!   extended by CAS-installing a new segment — pushes never block and never
+//!   wait for readers.
+//! * Readers ([`AlarmSink::snapshot`], [`AlarmSink::for_each`]) walk the
+//!   segments without synchronising with writers at all: they observe every
+//!   entry whose ready flag they can see (acquire), so any record that
+//!   *happened before* the snapshot — in particular one made by this thread,
+//!   or by a thread that has since been joined — is guaranteed to appear.
+//!   Entries still mid-publication are simply skipped.
+//! * [`AlarmSink::clear`] is logical: it advances a cursor past everything
+//!   committed so far (segments are never unlinked while the sink is alive).
+//!   Like the old `clear_alarms`, it is meant for measurement harnesses
+//!   *between* runs; concurrent pushes racing a clear may land on either
+//!   side of the cursor.
+//!
+//! The retained [`MutexSink`] is the old mutex-protected log, kept as the
+//! comparison baseline for the `alarm/*` microbenches.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Entries per segment.  Alarms are rare; one segment almost always
+/// suffices, and growth is geometric in chain length anyway.
+const SEG_CAP: usize = 32;
+
+struct Segment<T> {
+    /// Slots reserved in this segment (may overshoot [`SEG_CAP`]; the excess
+    /// moved on to the next segment).
+    reserved: AtomicUsize,
+    /// Per-slot publication flags: set (release) after the value is written.
+    ready: [AtomicBool; SEG_CAP],
+    values: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn new() -> Box<Segment<T>> {
+        Box::new(Segment {
+            reserved: AtomicUsize::new(0),
+            ready: [const { AtomicBool::new(false) }; SEG_CAP],
+            values: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+}
+
+/// A lock-free, append-only log of `T`s (see the module docs).
+pub struct AlarmSink<T> {
+    head: AtomicPtr<Segment<T>>,
+    tail: AtomicPtr<Segment<T>>,
+    /// Entries fully published (ready flag set).
+    committed: AtomicUsize,
+    /// Entries logically discarded by [`clear`](Self::clear).
+    cleared: AtomicUsize,
+}
+
+impl<T> Default for AlarmSink<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> AlarmSink<T> {
+    /// Creates an empty sink (one segment is allocated eagerly).
+    pub fn new() -> Self {
+        let first = Box::into_raw(Segment::new());
+        AlarmSink {
+            head: AtomicPtr::new(first),
+            tail: AtomicPtr::new(first),
+            committed: AtomicUsize::new(0),
+            cleared: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends `value`.  Lock-free: one `fetch_add` to reserve, one release
+    /// store to publish (plus, rarely, a CAS to extend the segment list).
+    pub fn push(&self, value: T) {
+        let mut seg_ptr = self.tail.load(Ordering::Acquire);
+        loop {
+            // Safety: segments are never freed while the sink is alive.
+            let seg = unsafe { &*seg_ptr };
+            let idx = seg.reserved.fetch_add(1, Ordering::Relaxed);
+            if idx < SEG_CAP {
+                // Safety: the reservation makes this slot exclusively ours,
+                // and it is only read after `ready` is set below.
+                unsafe { (*seg.values[idx].get()).write(value) };
+                seg.ready[idx].store(true, Ordering::Release);
+                // Release pairs with the acquire load in `len`/readers, so a
+                // count observed implies the flags behind it are visible.
+                self.committed.fetch_add(1, Ordering::Release);
+                return;
+            }
+            // Segment full: install (or follow) the next one, advance the
+            // tail cache, and retry there.
+            let mut next = seg.next.load(Ordering::Acquire);
+            if next.is_null() {
+                let fresh = Box::into_raw(Segment::new());
+                match seg.next.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => next = fresh,
+                    Err(actual) => {
+                        // Safety: `fresh` never escaped.
+                        drop(unsafe { Box::from_raw(fresh) });
+                        next = actual;
+                    }
+                }
+            }
+            let _ = self
+                .tail
+                .compare_exchange(seg_ptr, next, Ordering::AcqRel, Ordering::Acquire);
+            seg_ptr = next;
+        }
+    }
+
+    /// Number of fully published entries not yet cleared.
+    pub fn len(&self) -> usize {
+        self.committed
+            .load(Ordering::Acquire)
+            .saturating_sub(self.cleared.load(Ordering::Acquire))
+    }
+
+    /// Whether no (un-cleared) entry has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every published, un-cleared entry in segment order.
+    ///
+    /// Entries whose publication races this walk may or may not be visited;
+    /// entries published *before* the walk started (in happens-before order)
+    /// always are.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        let skip = self.cleared.load(Ordering::Acquire);
+        let mut seen = 0usize;
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        while !seg_ptr.is_null() {
+            // Safety: segments are never freed while the sink is alive.
+            let seg = unsafe { &*seg_ptr };
+            let reserved = seg.reserved.load(Ordering::Acquire).min(SEG_CAP);
+            for idx in 0..reserved {
+                if !seg.ready[idx].load(Ordering::Acquire) {
+                    continue;
+                }
+                if seen >= skip {
+                    // Safety: ready (acquire) orders this read after the
+                    // writer's initialisation, and published slots are never
+                    // written again.
+                    f(unsafe { (*seg.values[idx].get()).assume_init_ref() });
+                }
+                seen += 1;
+            }
+            seg_ptr = seg.next.load(Ordering::Acquire);
+        }
+    }
+
+    /// Clones every published, un-cleared entry into a `Vec`.
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|v| out.push(v.clone()));
+        out
+    }
+
+    /// Logically discards everything published so far (the entries stay
+    /// allocated; see the module docs).  Intended for quiescent points
+    /// between measurement runs.
+    pub fn clear(&self) {
+        self.cleared
+            .store(self.committed.load(Ordering::Acquire), Ordering::Release);
+    }
+}
+
+impl<T> Drop for AlarmSink<T> {
+    fn drop(&mut self) {
+        let mut seg_ptr = *self.head.get_mut();
+        while !seg_ptr.is_null() {
+            // Safety: created by `Box::into_raw`, dropped exactly once here;
+            // `&mut self` means no concurrent access.
+            let mut seg = unsafe { Box::from_raw(seg_ptr) };
+            let reserved = (*seg.reserved.get_mut()).min(SEG_CAP);
+            for idx in 0..reserved {
+                if *seg.ready[idx].get_mut() {
+                    // Safety: ready implies initialised; dropped once.
+                    unsafe { (*seg.values[idx].get()).assume_init_drop() };
+                }
+            }
+            seg_ptr = *seg.next.get_mut();
+        }
+    }
+}
+
+// Safety: values are published through the ready-flag protocol (release
+// store, acquire load) and never mutated afterwards; all other state is
+// atomic.  Shared readers hand out `&T`, hence the `Sync` bound on `T`.
+unsafe impl<T: Send> Send for AlarmSink<T> {}
+unsafe impl<T: Send + Sync> Sync for AlarmSink<T> {}
+
+/// The retained mutex-protected log the sink replaced, kept as the
+/// comparison baseline for the `alarm/*` microbenches.
+#[derive(Default)]
+pub struct MutexSink<T> {
+    entries: Mutex<Vec<T>>,
+}
+
+impl<T> MutexSink<T> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        MutexSink {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends `value` under the lock.
+    pub fn push(&self, value: T) {
+        self.entries.lock().push(value);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the entries.
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.entries.lock().clone()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_snapshot_roundtrip() {
+        let sink: AlarmSink<u64> = AlarmSink::new();
+        assert!(sink.is_empty());
+        for i in 0..100 {
+            sink.push(i);
+        }
+        assert_eq!(sink.len(), 100);
+        let snap = sink.snapshot();
+        assert_eq!(snap, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spans_many_segments_in_order() {
+        let sink: AlarmSink<usize> = AlarmSink::new();
+        let n = SEG_CAP * 5 + 7;
+        for i in 0..n {
+            sink.push(i);
+        }
+        assert_eq!(sink.len(), n);
+        assert_eq!(sink.snapshot(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_is_logical_and_new_pushes_survive() {
+        let sink: AlarmSink<u32> = AlarmSink::new();
+        sink.push(1);
+        sink.push(2);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert!(sink.snapshot().is_empty());
+        sink.push(3);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.snapshot(), vec![3]);
+    }
+
+    #[test]
+    fn drops_entries_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink: AlarmSink<Probe> = AlarmSink::new();
+        for _ in 0..(SEG_CAP + 3) {
+            sink.push(Probe(Arc::clone(&counter)));
+        }
+        drop(sink);
+        assert_eq!(counter.load(Ordering::Relaxed), SEG_CAP + 3);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let sink: Arc<AlarmSink<u64>> = Arc::new(AlarmSink::new());
+        let threads = 8;
+        let per_thread = 1000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        sink.push(t as u64 * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), threads as usize * per_thread as usize);
+        let mut snap = sink.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap, (0..threads as u64 * per_thread).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iteration_never_blocks_concurrent_pushes() {
+        // Readers walk while writers push; every reader sees at least the
+        // entries committed before it started and never a torn value.
+        let sink: Arc<AlarmSink<(u64, u64)>> = Arc::new(AlarmSink::new());
+        let writer = {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    sink.push((i, !i));
+                }
+            })
+        };
+        let reader = {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                let mut max_seen = 0usize;
+                for _ in 0..200 {
+                    let before = sink.len();
+                    let mut count = 0usize;
+                    sink.for_each(|(a, b)| {
+                        assert_eq!(*b, !*a, "published entries are never torn");
+                        count += 1;
+                    });
+                    assert!(count >= before, "snapshot missed a committed entry");
+                    max_seen = max_seen.max(count);
+                }
+                max_seen
+            })
+        };
+        writer.join().unwrap();
+        let max_seen = reader.join().unwrap();
+        assert!(max_seen <= 5_000);
+        assert_eq!(sink.len(), 5_000);
+    }
+}

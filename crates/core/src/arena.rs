@@ -1,4 +1,4 @@
-//! A lock-free, generation-tagged slot arena.
+//! A lock-free, generation-tagged slot arena with per-worker magazines.
 //!
 //! The ownership policy and the deadlock detector need two pieces of shared
 //! state per object:
@@ -25,22 +25,86 @@
 //!   the generation, so a [`PackedRef`] captured when the slot was allocated
 //!   can be validated later: if the generation changed, the object died and
 //!   the reference is treated like null.
-//! * Reads go through [`SlotArena::read`], which validates the generation
-//!   *before and after* the closure runs (a seqlock-style protocol), so a
-//!   value observed from a recycled slot is never mistaken for a value of the
-//!   original object.
-//! * Allocation pops from a Treiber free-list (lock-free except for the cold
-//!   path that maps a brand-new chunk); deallocation pushes onto it.
+//!
+//! # Allocation: the magazine protocol
+//!
+//! Every task spawn and promise creation allocates a slot and every
+//! termination frees one, so on spawn-heavy workloads (QSort allocates
+//! ~786 k task/promise pairs) the free list itself becomes the hottest
+//! shared state.  A single global Treiber stack plus global `live` /
+//! `peak_live` counters would put two contended cache lines on every
+//! allocation.  Allocation is therefore **sharded**:
+//!
+//! * The arena owns [`ARENA_SHARDS`] cache-padded *magazines*, each a small
+//!   array of free slot indices plus a claim word.
+//! * A worker thread registered through
+//!   [`counters::register_worker`](crate::counters::register_worker) claims
+//!   the magazine picked by its worker slot id (`slot % ARENA_SHARDS`) by
+//!   CAS-ing its `(slot, epoch)` token into the claim word.  From then on
+//!   the magazine is **exclusively owned** by that registration: alloc pops
+//!   and free pushes are plain (non-atomic) array operations on a private
+//!   cache line — the fast path performs *no* atomic RMW and touches no
+//!   shared line.
+//! * The global Treiber free list survives as the slow path: an empty
+//!   magazine refills by popping a batch from it (or by claiming a batch of
+//!   fresh indices with one `fetch_add`), and a full magazine flushes half
+//!   its contents back as one pre-linked chain with a single CAS.
+//! * Exclusivity is arbitrated through the worker-registration *epochs* of
+//!   [`crate::counters`]: a claim whose `(slot, epoch)` token no longer
+//!   matches the slot's current epoch belongs to an exited worker, and the
+//!   next thread mapping to that magazine adopts it (claim-steal CAS), so
+//!   cached slots are never stranded behind a dead thread.  Runtimes
+//!   additionally call [`SlotArena::release_worker_shard`] (via
+//!   `Context::flush_worker_caches`) when a worker retires, which flushes
+//!   the magazine to the global list eagerly.
+//! * Threads that never registered — the root task's thread, tests driving
+//!   promises from plain `std::thread`s — and threads whose magazine is
+//!   claimed by another *live* worker fall back to the retained global path
+//!   ([`SlotArena::new_global_only`] forces it for all threads, which is the
+//!   pre-magazine behaviour and the benchmark baseline).
+//!
+//! `live` / `peak_live` accounting is sharded the same way: each magazine
+//! keeps a per-shard live delta written only by its owner (no RMW), an
+//! overflow cell covers the global path, and [`SlotArena::live`] sums the
+//! shards.  `peak_live` is maintained by sampling: it is advanced on every
+//! global-path allocation (exact, as before, for unregistered threads) and
+//! at magazine refill/flush boundaries and [`SlotArena::peak_live`] reads
+//! (so on the magazine fast path it is a high-water mark of *observed* live
+//! counts and may under-report a peak that exists entirely inside one
+//! magazine's batch window of [`MAG_REFILL`] allocations).
+//!
+//! # Reads: single validation vs. the seqlock double check
 //!
 //! The slot payload type must consist of atomics (or otherwise interiorly
 //! mutable, `Sync` state) so that resetting a recycled slot cannot race with
-//! a stale reader: stale readers may observe torn *logical* state, but the
-//! generation re-validation makes them discard it.
+//! a stale reader: stale readers may observe torn *logical* state, but
+//! generation validation makes them discard it.  Two read protocols exist:
+//!
+//! * [`SlotArena::read`] (and [`SlotHandle::read_validated`]) validate the
+//!   generation **before and after** the closure runs — the seqlock-style
+//!   protocol.  A value observed from a slot recycled mid-read is never
+//!   attributed to the original object.
+//! * [`SlotHandle::read_field`] validates **once, before** the load.  The
+//!   value returned may therefore belong to a *newer* occupancy of the slot
+//!   (if the slot is freed and re-allocated between the generation check
+//!   and the field load).  This is the detector's fast path; see
+//!   [`crate::detector`] for the argument why Algorithm 2 tolerates such a
+//!   cross-occupancy read on its `owner` (lines 6/13) and `waitingOn`
+//!   (line 9) loads and why only the line-11 `owner` re-read must keep the
+//!   double check for Theorem 5.1 (no false alarms) to hold.
+//!
+//! [`SlotArena::resolve`] turns a [`PackedRef`] into a [`SlotHandle`]
+//! carrying the slot's raw address, so repeated reads of the same slot (the
+//! detector's line-11 re-read of an already-resolved promise) skip the
+//! chunk-table indirection and bounds check entirely.
 
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
+use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
+use crate::counters::{self, WorkerToken};
 use crate::refs::PackedRef;
 
 /// Number of slots per chunk.  A power of two so index arithmetic is cheap.
@@ -48,6 +112,18 @@ pub const CHUNK_SIZE: usize = 1024;
 
 /// Maximum number of chunks an arena can grow to (16 M slots).
 pub const MAX_CHUNKS: usize = 16 * 1024;
+
+/// Number of per-worker allocation magazines (see the module docs).
+pub const ARENA_SHARDS: usize = 16;
+
+/// Capacity of one magazine, in cached free-slot indices.
+pub const MAG_CAP: usize = 64;
+
+/// Batch size for magazine refills (from the global free list or from a
+/// fresh-index range claim) and flushes (back to the global list).  Half the
+/// capacity, so a worker alternating allocs and frees near a boundary does
+/// not thrash refill/flush.
+pub const MAG_REFILL: usize = MAG_CAP / 2;
 
 /// Values stored in arena slots.
 ///
@@ -87,6 +163,33 @@ impl<T: SlotValue> Chunk<T> {
     }
 }
 
+/// One per-worker allocation magazine (see the module docs).
+///
+/// `owner` holds the packed [`WorkerToken`] of the claiming registration
+/// (0 = unclaimed).  `len` and `slots` are only ever accessed by the thread
+/// whose *current* token matches `owner` — worker tokens are unique per
+/// registration and epochs retire them on release, so that thread is unique
+/// — which makes the `UnsafeCell` accesses data-race free.  `live` is the
+/// shard's contribution to the arena-wide live count: written (plain
+/// load/store, no RMW) only by the owner, read by anyone summing.
+struct Magazine {
+    owner: AtomicU64,
+    live: AtomicI64,
+    len: UnsafeCell<usize>,
+    slots: UnsafeCell<[u32; MAG_CAP]>,
+}
+
+impl Magazine {
+    fn new() -> Self {
+        Magazine {
+            owner: AtomicU64::new(0),
+            live: AtomicI64::new(0),
+            len: UnsafeCell::new(0),
+            slots: UnsafeCell::new([0; MAG_CAP]),
+        }
+    }
+}
+
 /// A growable, lock-free arena of generation-tagged slots.
 pub struct SlotArena<T> {
     chunks: Box<[AtomicPtr<Chunk<T>>]>,
@@ -99,9 +202,14 @@ pub struct SlotArena<T> {
     free_head: AtomicU64,
     /// Guards mapping of new chunks (cold path only).
     grow_lock: Mutex<()>,
-    /// Number of live (allocated, not yet freed) slots.
-    live: AtomicUsize,
-    /// High-water mark of live slots.
+    /// Per-worker allocation magazines (unused when `use_magazines` is off).
+    shards: Box<[CachePadded<Magazine>]>,
+    /// Whether worker threads may use the magazines (off for the retained
+    /// pre-magazine benchmark baseline, [`SlotArena::new_global_only`]).
+    use_magazines: bool,
+    /// Live-count contribution of the global (non-magazine) path.
+    live_overflow: CachePadded<AtomicI64>,
+    /// Sampled high-water mark of live slots (see the module docs).
     peak_live: AtomicUsize,
 }
 
@@ -112,9 +220,7 @@ impl<T: SlotValue> Default for SlotArena<T> {
 }
 
 impl<T: SlotValue> SlotArena<T> {
-    /// Creates an empty arena.  No chunk is mapped until the first
-    /// allocation.
-    pub fn new() -> Self {
+    fn with_magazines(use_magazines: bool) -> Self {
         let chunks = (0..MAX_CHUNKS)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect::<Vec<_>>()
@@ -125,23 +231,57 @@ impl<T: SlotValue> SlotArena<T> {
             next_fresh: AtomicU32::new(0),
             free_head: AtomicU64::new(0),
             grow_lock: Mutex::new(()),
-            live: AtomicUsize::new(0),
+            shards: (0..ARENA_SHARDS)
+                .map(|_| CachePadded::new(Magazine::new()))
+                .collect(),
+            use_magazines,
+            live_overflow: CachePadded::new(AtomicI64::new(0)),
             peak_live: AtomicUsize::new(0),
         }
     }
 
+    /// Creates an empty arena.  No chunk is mapped until the first
+    /// allocation.
+    pub fn new() -> Self {
+        Self::with_magazines(true)
+    }
+
+    /// Creates an arena whose allocations always take the global free-list
+    /// path, even from registered worker threads.
+    ///
+    /// This is the pre-magazine behaviour, retained as the comparison
+    /// baseline for the `arena/*` microbenchmarks.
+    pub fn new_global_only() -> Self {
+        Self::with_magazines(false)
+    }
+
     /// Number of currently live slots.
+    ///
+    /// Sums the per-shard live deltas; concurrent allocations make the
+    /// result advisory (exact once the mutating threads are quiescent or
+    /// joined).
     pub fn live(&self) -> usize {
-        self.live.load(Ordering::Relaxed)
+        let mut total = self.live_overflow.load(Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            total += shard.live.load(Ordering::Relaxed);
+        }
+        total.max(0) as usize
     }
 
     /// Highest number of simultaneously live slots observed so far.
+    ///
+    /// Exact for arenas driven only through the global path (unregistered
+    /// threads, [`new_global_only`](Self::new_global_only)); with magazines
+    /// in play it is a sampled high-water mark (see the module docs).
     pub fn peak_live(&self) -> usize {
-        self.peak_live.load(Ordering::Relaxed)
+        let live = self.live();
+        self.peak_live.fetch_max(live, Ordering::Relaxed).max(live)
     }
 
     /// Total number of slots ever handed out from the fresh region (i.e. the
-    /// arena's footprint in slots, ignoring recycling).
+    /// arena's footprint in slots, ignoring recycling).  Magazine refills
+    /// claim fresh indices in batches of [`MAG_REFILL`], so up to one batch
+    /// per claimed magazine may be counted before being handed out.
     pub fn high_water_slots(&self) -> usize {
         self.next_fresh.load(Ordering::Relaxed) as usize
     }
@@ -205,13 +345,20 @@ impl<T: SlotValue> SlotArena<T> {
     }
 
     fn push_free(&self, index: u32) {
-        let slot = self.slot(index).expect("freed slot must be mapped");
+        self.push_free_chain(index, index);
+    }
+
+    /// Pushes a pre-linked chain `head_idx → … → tail_idx` (linked through
+    /// `next_free`, which this call re-points for the tail) onto the global
+    /// free list with a single CAS.
+    fn push_free_chain(&self, head_idx: u32, tail_idx: u32) {
+        let tail = self.slot(tail_idx).expect("freed slot must be mapped");
         loop {
             let head = self.free_head.load(Ordering::Acquire);
             let head_idx_plus_one = (head >> 32) as u32;
-            slot.next_free.store(head_idx_plus_one, Ordering::Relaxed);
+            tail.next_free.store(head_idx_plus_one, Ordering::Relaxed);
             let tag = (head as u32).wrapping_add(1);
-            let new_head = (((index + 1) as u64) << 32) | tag as u64;
+            let new_head = (((head_idx + 1) as u64) << 32) | tag as u64;
             if self
                 .free_head
                 .compare_exchange_weak(head, new_head, Ordering::AcqRel, Ordering::Acquire)
@@ -222,17 +369,9 @@ impl<T: SlotValue> SlotArena<T> {
         }
     }
 
-    /// Allocates a slot, resets its value, and returns a generation-tagged
-    /// reference to it.
-    pub fn alloc(&self) -> PackedRef {
-        let index = match self.pop_free() {
-            Some(idx) => idx,
-            None => {
-                let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
-                self.ensure_chunk(idx as usize / CHUNK_SIZE);
-                idx
-            }
-        };
+    /// Runs the generation protocol on a just-acquired free slot and returns
+    /// the live reference to the new occupancy.
+    fn publish_slot(&self, index: u32) -> PackedRef {
         let slot = self.slot(index).expect("allocated slot must be mapped");
         // Generation protocol: live occupancies have an even, non-zero
         // generation; a freed (or never-used) slot has an odd generation or
@@ -256,20 +395,12 @@ impl<T: SlotValue> SlotArena<T> {
         // concern, but avoid the null-looking value regardless).
         let new_gen = if new_gen == 0 { 2 } else { new_gen };
         slot.generation.store(new_gen, Ordering::Release);
-
-        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_live.fetch_max(live, Ordering::Relaxed);
         PackedRef::new(index, new_gen)
     }
 
-    /// Releases a slot previously returned by [`alloc`](Self::alloc).
-    ///
-    /// After this call, any [`PackedRef`] captured for the old occupancy
-    /// fails validation and is treated as null by readers.
-    pub fn free(&self, r: PackedRef) {
-        if r.is_null() {
-            return;
-        }
+    /// Validates and kills the occupancy referred to by `r` (generation →
+    /// odd).  The slot index is not yet back on any free list.
+    fn retire_slot(&self, r: PackedRef) {
         let slot = self.slot(r.index()).expect("freed ref must be mapped");
         let current = slot.generation.load(Ordering::Relaxed);
         assert_eq!(
@@ -280,8 +411,250 @@ impl<T: SlotValue> SlotArena<T> {
         );
         slot.generation
             .store(r.generation().wrapping_add(1), Ordering::Release);
-        self.live.fetch_sub(1, Ordering::Relaxed);
-        self.push_free(r.index());
+    }
+
+    /// The magazine this thread's worker registration owns (claiming or
+    /// adopting it if necessary), or `None` when the thread is unregistered
+    /// or its magazine is held by another live worker.
+    #[inline]
+    fn claimed_shard(&self) -> Option<&Magazine> {
+        let token = counters::current_worker_token()?;
+        let magazine: &Magazine = &self.shards[token.slot as usize % ARENA_SHARDS];
+        let mine = token.pack_nonzero();
+        let current = magazine.owner.load(Ordering::Acquire);
+        if current == mine {
+            return Some(magazine);
+        }
+        self.try_claim(magazine, current, mine)
+    }
+
+    #[cold]
+    fn try_claim<'a>(
+        &'a self,
+        magazine: &'a Magazine,
+        mut current: u64,
+        mine: u64,
+    ) -> Option<&'a Magazine> {
+        loop {
+            if current == mine {
+                return Some(magazine);
+            }
+            if current != 0 {
+                let holder = WorkerToken::unpack_nonzero(current);
+                if holder.is_current() {
+                    // Live collision (two live workers map onto the same
+                    // magazine): the loser takes the global path.  Sharding
+                    // is a performance hint, never a correctness requirement.
+                    return None;
+                }
+                // Dead claim: `is_current` read the holder's release epoch
+                // bump with Acquire, so adopting its magazine contents below
+                // is ordered after every write the dead owner made.
+            }
+            match magazine.owner.compare_exchange(
+                current,
+                mine,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(magazine),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Refills an exclusively-owned, empty magazine: a batch from the global
+    /// free list if it has entries, otherwise a freshly claimed index range.
+    ///
+    /// # Safety
+    /// The calling thread must hold the magazine claim (see
+    /// [`claimed_shard`](Self::claimed_shard)).
+    unsafe fn refill(&self, magazine: &Magazine) {
+        let len = magazine.len.get();
+        let slots = magazine.slots.get();
+        let mut n = 0;
+        while n < MAG_REFILL {
+            match self.pop_free() {
+                // Safety: exclusive magazine access per the contract.
+                Some(idx) => unsafe {
+                    (*slots)[n] = idx;
+                    n += 1;
+                },
+                None => break,
+            }
+        }
+        if n == 0 {
+            // Claim a fresh index range with one fetch_add; store it in
+            // reverse so pops hand out ascending indices.
+            let base = self
+                .next_fresh
+                .fetch_add(MAG_REFILL as u32, Ordering::Relaxed);
+            let first_chunk = base as usize / CHUNK_SIZE;
+            let last_chunk = (base as usize + MAG_REFILL - 1) / CHUNK_SIZE;
+            for chunk_idx in first_chunk..=last_chunk {
+                self.ensure_chunk(chunk_idx);
+            }
+            for k in 0..MAG_REFILL {
+                // Safety: exclusive magazine access per the contract.
+                unsafe {
+                    (*slots)[k] = base + (MAG_REFILL - 1 - k) as u32;
+                }
+            }
+            n = MAG_REFILL;
+        }
+        // Safety: exclusive magazine access per the contract.
+        unsafe {
+            *len = n;
+        }
+        self.note_peak();
+    }
+
+    /// Flushes `count` entries from the bottom (oldest) end of an
+    /// exclusively-owned magazine to the global free list as one chain.
+    ///
+    /// # Safety
+    /// The calling thread must hold the magazine claim.
+    unsafe fn flush(&self, magazine: &Magazine, count: usize) {
+        let len = magazine.len.get();
+        let slots = magazine.slots.get();
+        // Safety: exclusive magazine access per the contract.
+        unsafe {
+            let l = *len;
+            debug_assert!(count > 0 && count <= l);
+            for i in 0..count - 1 {
+                let next = (*slots)[i + 1];
+                self.slot((*slots)[i])
+                    .expect("magazine entry must be mapped")
+                    .next_free
+                    .store(next + 1, Ordering::Relaxed);
+            }
+            self.push_free_chain((*slots)[0], (*slots)[count - 1]);
+            (*slots).copy_within(count..l, 0);
+            *len = l - count;
+        }
+        self.note_peak();
+    }
+
+    /// Samples the current live count into the peak high-water mark (called
+    /// on slow paths only; see the module docs for the peak semantics).
+    fn note_peak(&self) {
+        self.peak_live.fetch_max(self.live(), Ordering::Relaxed);
+    }
+
+    fn alloc_local(&self, magazine: &Magazine) -> PackedRef {
+        // Safety: `claimed_shard` only returns a magazine whose claim word
+        // holds the calling thread's current registration token, and tokens
+        // are unique per registration, so this thread has exclusive access
+        // to `len`/`slots` until it releases or its registration ends.
+        let index = unsafe {
+            let len = magazine.len.get();
+            if *len == 0 {
+                self.refill(magazine);
+            }
+            let l = *len;
+            let idx = (*magazine.slots.get())[l - 1];
+            *len = l - 1;
+            idx
+        };
+        let r = self.publish_slot(index);
+        magazine
+            .live
+            .store(magazine.live.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        r
+    }
+
+    fn free_local(&self, magazine: &Magazine, index: u32) {
+        // Safety: as in `alloc_local`.
+        unsafe {
+            let len = magazine.len.get();
+            if *len == MAG_CAP {
+                self.flush(magazine, MAG_REFILL);
+            }
+            let l = *len;
+            (*magazine.slots.get())[l] = index;
+            *len = l + 1;
+        }
+        magazine
+            .live
+            .store(magazine.live.load(Ordering::Relaxed) - 1, Ordering::Relaxed);
+    }
+
+    fn alloc_global(&self) -> PackedRef {
+        let index = match self.pop_free() {
+            Some(idx) => idx,
+            None => {
+                let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+                self.ensure_chunk(idx as usize / CHUNK_SIZE);
+                idx
+            }
+        };
+        let r = self.publish_slot(index);
+        self.live_overflow.fetch_add(1, Ordering::Relaxed);
+        self.note_peak();
+        r
+    }
+
+    fn free_global(&self, index: u32) {
+        self.live_overflow.fetch_sub(1, Ordering::Relaxed);
+        self.push_free(index);
+    }
+
+    /// Allocates a slot, resets its value, and returns a generation-tagged
+    /// reference to it.
+    pub fn alloc(&self) -> PackedRef {
+        if self.use_magazines {
+            if let Some(magazine) = self.claimed_shard() {
+                return self.alloc_local(magazine);
+            }
+        }
+        self.alloc_global()
+    }
+
+    /// Releases a slot previously returned by [`alloc`](Self::alloc).
+    ///
+    /// After this call, any [`PackedRef`] captured for the old occupancy
+    /// fails validation and is treated as null by readers.
+    pub fn free(&self, r: PackedRef) {
+        if r.is_null() {
+            return;
+        }
+        self.retire_slot(r);
+        if self.use_magazines {
+            if let Some(magazine) = self.claimed_shard() {
+                self.free_local(magazine, r.index());
+                return;
+            }
+        }
+        self.free_global(r.index());
+    }
+
+    /// Flushes and releases the calling worker's magazine claim, returning
+    /// every cached free slot to the global list.
+    ///
+    /// Runtimes call this (through `Context::flush_worker_caches`) when a
+    /// worker thread retires, so that slots cached by a retiring worker are
+    /// immediately reusable by everyone instead of waiting to be adopted by
+    /// the next worker that maps onto the same magazine.  No-op when the
+    /// calling thread holds no claim on its magazine.
+    pub fn release_worker_shard(&self) {
+        let Some(token) = counters::current_worker_token() else {
+            return;
+        };
+        let magazine: &Magazine = &self.shards[token.slot as usize % ARENA_SHARDS];
+        if magazine.owner.load(Ordering::Acquire) != token.pack_nonzero() {
+            return;
+        }
+        // Safety: the claim word holds this thread's current token, so the
+        // accesses below are exclusive (as in `alloc_local`).
+        unsafe {
+            let l = *magazine.len.get();
+            if l > 0 {
+                self.flush(magazine, l);
+            }
+        }
+        // Release: publish the flushed (empty) magazine state to the next
+        // claimant.
+        magazine.owner.store(0, Ordering::Release);
     }
 
     /// Whether `r` still refers to a live occupancy of its slot.
@@ -295,28 +668,159 @@ impl<T: SlotValue> SlotArena<T> {
         }
     }
 
-    /// Runs `f` against the slot value if — and only if — the reference is
-    /// still valid both before and after `f` runs.
-    ///
-    /// This is the seqlock-style read used by the deadlock detector: if the
-    /// slot was recycled concurrently, whatever `f` observed is discarded and
-    /// the read behaves as if the object no longer exists (`None`), which in
-    /// Algorithm 2 is exactly the "promise already fulfilled" / "task not
-    /// waiting" case that makes the detector commit to the blocking wait.
+    /// Resolves `r` to a [`SlotHandle`] carrying the slot's raw address, so
+    /// repeated reads skip the chunk-table indirection.  Returns `None` for
+    /// null or out-of-range references; liveness is *not* checked here — the
+    /// handle's read methods validate the generation per read.
     #[inline]
-    pub fn read<R>(&self, r: PackedRef, f: impl FnOnce(&T) -> R) -> Option<R> {
+    pub fn resolve(&self, r: PackedRef) -> Option<SlotHandle<'_, T>> {
         if r.is_null() {
             return None;
         }
         let slot = self.slot(r.index())?;
-        if slot.generation.load(Ordering::Acquire) != r.generation() {
+        Some(SlotHandle {
+            slot,
+            generation: r.generation(),
+        })
+    }
+
+    /// A resolver that caches the last chunk-table lookup, for pointer-chasing
+    /// consumers (the detector traversal) whose successive references almost
+    /// always land in the same chunk: the per-resolve chunk-pointer load —
+    /// a *dependent* load right on the traversal's critical path — is then
+    /// replaced by an index comparison against a register.
+    #[inline]
+    pub fn cached_resolver(&self) -> CachedResolver<'_, T> {
+        CachedResolver {
+            arena: self,
+            chunk_idx: usize::MAX,
+            chunk: std::ptr::null(),
+        }
+    }
+
+    /// Runs `f` against the slot value if — and only if — the reference is
+    /// still valid both before and after `f` runs.
+    ///
+    /// This is the seqlock-style read: if the slot was recycled
+    /// concurrently, whatever `f` observed is discarded and the read behaves
+    /// as if the object no longer exists (`None`).
+    #[inline]
+    pub fn read<R>(&self, r: PackedRef, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.resolve(r)?.read_validated(f)
+    }
+}
+
+/// A resolved reference to an arena slot: the slot's raw address plus the
+/// generation the originating [`PackedRef`] was captured at.
+///
+/// Obtained from [`SlotArena::resolve`]; the borrow of the arena keeps the
+/// backing chunk alive (chunks are never freed before the arena).  The
+/// handle itself proves nothing about liveness — each read validates the
+/// generation.
+pub struct SlotHandle<'a, T> {
+    slot: &'a Slot<T>,
+    generation: u32,
+}
+
+// Manual impls: the handle is a (reference, u32) pair and is Copy regardless
+// of `T` (a derive would needlessly demand `T: Copy`).
+impl<T> Copy for SlotHandle<'_, T> {}
+impl<T> Clone for SlotHandle<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> SlotHandle<'_, T> {
+    /// Single-validation read: checks the generation once (Acquire), then
+    /// runs `f`.
+    ///
+    /// If the slot is freed and re-allocated between the check and the loads
+    /// inside `f`, the observed value belongs to the *new* occupancy.  Only
+    /// use this where the consumer tolerates cross-occupancy values — see
+    /// the arena module docs and [`crate::detector`] for the detector's
+    /// argument; everything else wants
+    /// [`read_validated`](Self::read_validated).
+    #[inline]
+    pub fn read_field<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        if self.slot.generation.load(Ordering::Acquire) != self.generation {
             return None;
         }
-        let out = f(&slot.value);
-        if slot.generation.load(Ordering::Acquire) != r.generation() {
+        Some(f(&self.slot.value))
+    }
+
+    /// Seqlock-style read: validates the generation before **and after**
+    /// `f`, so a value observed from a slot recycled mid-read is discarded.
+    #[inline]
+    pub fn read_validated<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        if self.slot.generation.load(Ordering::Acquire) != self.generation {
+            return None;
+        }
+        let out = f(&self.slot.value);
+        if self.slot.generation.load(Ordering::Acquire) != self.generation {
             return None;
         }
         Some(out)
+    }
+
+    /// Seqlock read with the *pre*-check elided: runs `f`, then validates the
+    /// generation once.
+    ///
+    /// Sound only when a previous read on this same handle already observed
+    /// a matching generation: slot generations are strictly monotonic
+    /// (wrap-around aside), so *matching before* + *matching after* brackets
+    /// `f` exactly like [`read_validated`](Self::read_validated) — the slot
+    /// cannot have been recycled and re-reached the same generation in
+    /// between.  The loads inside `f` must be `Acquire` (as the detector's
+    /// are) so the trailing acquire generation load cannot be reordered
+    /// ahead of them.
+    #[inline]
+    pub fn reread_validated<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let out = f(&self.slot.value);
+        if self.slot.generation.load(Ordering::Acquire) != self.generation {
+            return None;
+        }
+        Some(out)
+    }
+}
+
+/// A [`SlotArena::resolve`] variant that caches the last chunk-table lookup
+/// (see [`SlotArena::cached_resolver`]).
+pub struct CachedResolver<'a, T> {
+    arena: &'a SlotArena<T>,
+    chunk_idx: usize,
+    chunk: *const Chunk<T>,
+}
+
+impl<'a, T> CachedResolver<'a, T> {
+    /// Resolves `r` like [`SlotArena::resolve`], hitting the chunk table
+    /// only when `r` lands in a different chunk than the previous call.
+    #[inline]
+    pub fn resolve(&mut self, r: PackedRef) -> Option<SlotHandle<'a, T>> {
+        if r.is_null() {
+            return None;
+        }
+        let index = r.index() as usize;
+        let chunk_idx = index / CHUNK_SIZE;
+        if chunk_idx != self.chunk_idx {
+            if chunk_idx >= MAX_CHUNKS {
+                return None;
+            }
+            let ptr = self.arena.chunks[chunk_idx].load(Ordering::Acquire);
+            if ptr.is_null() {
+                return None;
+            }
+            self.chunk_idx = chunk_idx;
+            self.chunk = ptr;
+        }
+        // Safety: the cached pointer was read from the chunk table (set once,
+        // never freed before the arena), and the `'a` borrow of the arena
+        // keeps the chunk alive.
+        let chunk = unsafe { &*self.chunk };
+        Some(SlotHandle {
+            slot: &chunk.slots[index % CHUNK_SIZE],
+            generation: r.generation(),
+        })
     }
 }
 
@@ -333,8 +837,12 @@ impl<T> Drop for SlotArena<T> {
     }
 }
 
-// Safety: all shared state inside the arena is atomics or mutex-protected and
-// the payload type is required to be Send + Sync.
+// Safety: all shared state inside the arena is atomics or mutex-protected,
+// except the magazine `len`/`slots` cells, which are only accessed by the
+// unique thread whose current worker token matches the magazine's claim word
+// (handoff between claimants is ordered by the Release/Acquire claim CAS and
+// the worker-epoch protocol of `crate::counters`).  The payload type is
+// required to be Send + Sync.
 unsafe impl<T: SlotValue> Send for SlotArena<T> {}
 unsafe impl<T: SlotValue> Sync for SlotArena<T> {}
 
@@ -399,6 +907,7 @@ mod tests {
         let arena: SlotArena<TestCell> = SlotArena::new();
         assert_eq!(arena.read(PackedRef::NULL, |_| ()), None);
         assert!(!arena.is_live(PackedRef::NULL));
+        assert!(arena.resolve(PackedRef::NULL).is_none());
         // Freeing null is a no-op.
         arena.free(PackedRef::NULL);
     }
@@ -409,6 +918,7 @@ mod tests {
         let bogus = PackedRef::new(123_456, 2);
         assert_eq!(arena.read(bogus, |_| ()), None);
         assert!(!arena.is_live(bogus));
+        assert!(arena.resolve(bogus).is_none());
     }
 
     #[test]
@@ -455,6 +965,88 @@ mod tests {
         arena.free(b);
         arena.free(c);
         assert_eq!(arena.peak_live(), 2);
+    }
+
+    #[test]
+    fn handle_reads_validate_generations() {
+        let arena: SlotArena<TestCell> = SlotArena::new();
+        let r = arena.alloc();
+        let h = arena.resolve(r).expect("live ref resolves");
+        h.read_field(|c| c.value.store(5, Ordering::Relaxed))
+            .expect("live handle reads");
+        assert_eq!(
+            h.read_validated(|c| c.value.load(Ordering::Relaxed)),
+            Some(5)
+        );
+        arena.free(r);
+        // Both protocols reject the dead generation up front.
+        assert_eq!(h.read_field(|c| c.value.load(Ordering::Relaxed)), None);
+        assert_eq!(h.read_validated(|c| c.value.load(Ordering::Relaxed)), None);
+        // A stale handle also rejects the slot's next occupancy.
+        let fresh = arena.alloc();
+        assert_eq!(fresh.index(), r.index());
+        assert_eq!(h.read_field(|c| c.value.load(Ordering::Relaxed)), None);
+        arena.free(fresh);
+    }
+
+    #[test]
+    fn magazine_path_allocates_and_recycles() {
+        let arena: SlotArena<TestCell> = SlotArena::new();
+        let _worker = crate::counters::register_worker();
+        let refs: Vec<_> = (0..(MAG_CAP * 3)).map(|_| arena.alloc()).collect();
+        assert_eq!(arena.live(), MAG_CAP * 3);
+        for r in &refs {
+            assert!(arena.is_live(*r));
+        }
+        for r in refs {
+            arena.free(r);
+        }
+        assert_eq!(arena.live(), 0);
+        // Recycling goes through the magazine: footprint stops growing.
+        let footprint = arena.high_water_slots();
+        for _ in 0..4 {
+            let r = arena.alloc();
+            arena.free(r);
+        }
+        assert_eq!(arena.high_water_slots(), footprint);
+    }
+
+    #[test]
+    fn release_worker_shard_returns_cached_slots_to_global() {
+        let arena: Arc<SlotArena<TestCell>> = Arc::new(SlotArena::new());
+        let arena2 = Arc::clone(&arena);
+        std::thread::spawn(move || {
+            let _worker = crate::counters::register_worker();
+            let refs: Vec<_> = (0..8).map(|_| arena2.alloc()).collect();
+            for r in refs {
+                arena2.free(r);
+            }
+            arena2.release_worker_shard();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(arena.live(), 0);
+        // The flushed slots are on the global list: an unregistered thread
+        // reuses them without growing the fresh region.
+        let footprint = arena.high_water_slots();
+        let r = arena.alloc();
+        assert_eq!(arena.high_water_slots(), footprint);
+        arena.free(r);
+    }
+
+    #[test]
+    fn global_only_arena_ignores_worker_registration() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let _worker = crate::counters::register_worker();
+        let r = arena.alloc();
+        assert_eq!(arena.live(), 1);
+        assert_eq!(arena.peak_live(), 1);
+        arena.free(r);
+        assert_eq!(arena.live(), 0);
+        // Exact (pre-magazine) footprint: one slot handed out, recycled.
+        let r2 = arena.alloc();
+        assert_eq!(arena.high_water_slots(), 1);
+        arena.free(r2);
     }
 
     #[test]

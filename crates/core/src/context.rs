@@ -10,8 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
-
+use crate::alarms::AlarmSink;
 use crate::arena::SlotArena;
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::{DeadlockCycle, OmittedSetReport};
@@ -102,7 +101,7 @@ pub struct Context {
     pub(crate) tasks: SlotArena<TaskSlot>,
     pub(crate) promises: SlotArena<PromiseSlot>,
     counters: Counters,
-    alarms: Mutex<Vec<Alarm>>,
+    alarms: AlarmSink<Alarm>,
     next_task_id: AtomicU64,
     next_promise_id: AtomicU64,
     executor: OnceLock<Arc<dyn Executor>>,
@@ -116,7 +115,7 @@ impl Context {
             tasks: SlotArena::new(),
             promises: SlotArena::new(),
             counters: Counters::new(),
-            alarms: Mutex::new(Vec::new()),
+            alarms: AlarmSink::new(),
             next_task_id: AtomicU64::new(1),
             next_promise_id: AtomicU64::new(1),
             executor: OnceLock::new(),
@@ -160,27 +159,48 @@ impl Context {
     }
 
     /// Records an alarm in the context's alarm log.
+    ///
+    /// Lock-free: the event counter is bumped *before* the alarm is
+    /// published into the sink (so a counter observed through a snapshot is
+    /// never behind the log), and the push itself is one reserve `fetch_add`
+    /// plus a release store — recorders never block each other or readers.
     pub fn record_alarm(&self, alarm: Alarm) {
         match &alarm {
             Alarm::Deadlock(_) => self.counters.record_deadlock(),
             Alarm::OmittedSet(_) => self.counters.record_omitted_set(),
         }
-        self.alarms.lock().push(alarm);
+        self.alarms.push(alarm);
     }
 
     /// Returns a copy of every alarm recorded so far.
+    ///
+    /// Never blocks recorders.  Every alarm recorded *before* this call (in
+    /// happens-before order — same thread, or a joined/synchronised-with
+    /// thread) is included; alarms racing the snapshot may or may not be.
     pub fn alarms(&self) -> Vec<Alarm> {
-        self.alarms.lock().clone()
+        self.alarms.snapshot()
     }
 
     /// Number of alarms recorded so far.
     pub fn alarm_count(&self) -> usize {
-        self.alarms.lock().len()
+        self.alarms.len()
     }
 
-    /// Clears the alarm log (used by measurement harnesses between runs).
+    /// Clears the alarm log (used by measurement harnesses between runs; see
+    /// [`AlarmSink::clear`] for the concurrency caveat).
     pub fn clear_alarms(&self) {
-        self.alarms.lock().clear();
+        self.alarms.clear();
+    }
+
+    /// Flushes the calling worker thread's per-worker arena caches (slot
+    /// magazines) back to the global free lists and releases their claims.
+    ///
+    /// Runtimes call this when a worker thread retires so the slots it
+    /// cached become immediately reusable; see
+    /// [`SlotArena::release_worker_shard`].
+    pub fn flush_worker_caches(&self) {
+        self.tasks.release_worker_shard();
+        self.promises.release_worker_shard();
     }
 
     /// Number of currently live (registered, not yet terminated) tasks.

@@ -20,6 +20,12 @@
 //! `std::thread`s — fall back to a shared *overflow* cell, which is exactly
 //! the old behaviour.
 //!
+//! Worker registration is also the seam the arena's per-worker slot
+//! magazines hang off (see [`crate::arena`]): a registration is a
+//! `(slot id, epoch)` pair, slot ids are recycled when workers exit, and the
+//! per-slot epoch lets another thread distinguish a *live* registration from
+//! a dead one whose caches may be adopted.
+//!
 //! Increments stay `Relaxed` fetch-adds; [`Counters::snapshot`] sums across
 //! all shards plus the overflow cell, preserving the [`CounterSnapshot`]
 //! semantics the bench harness and `table1 --json` depend on.  The
@@ -29,7 +35,7 @@
 //! relaxed read of that shard is coherence-ordered after the increment.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -39,48 +45,209 @@ use crossbeam_utils::CachePadded;
 /// cell — sharding is a performance hint, never a correctness requirement.
 const COUNTER_SHARDS: usize = 16;
 
-/// Next process-wide worker slot index handed out by [`register_worker`].
-static NEXT_WORKER_SLOT: AtomicUsize = AtomicUsize::new(0);
+/// Number of worker-slot ids whose registration *epochs* are tracked.
+///
+/// Slot ids below this bound carry an epoch that other subsystems (the
+/// arena's per-worker slot magazines, see [`crate::arena`]) use to tell a
+/// live registration from a dead one, so that caches claimed by an exited
+/// worker can be adopted instead of leaking.  More than this many
+/// *concurrently* registered workers is far outside any realistic pool size;
+/// the excess ids simply carry no epoch (their holders fall back to the
+/// shared paths everywhere, which is always correct).
+pub(crate) const MAX_TRACKED_SLOTS: usize = 256;
+
+/// Per-slot registration epochs.  Odd = the slot id is currently registered
+/// by some live thread; even = released.  Each register/release bumps the
+/// epoch, so a `(slot, epoch)` pair uniquely identifies one registration
+/// period of one thread and can never be impersonated after that thread
+/// unregisters (ids are only reused after the release bump).
+static SLOT_EPOCHS: [AtomicU32; MAX_TRACKED_SLOTS] =
+    [const { AtomicU32::new(0) }; MAX_TRACKED_SLOTS];
+
+/// Recycled worker-slot ids plus the next never-used id.  Registration is
+/// rare (worker thread start), so a mutex is fine here.
+static SLOT_IDS: parking_lot::Mutex<SlotIdPool> = parking_lot::Mutex::new(SlotIdPool {
+    free: Vec::new(),
+    next: 0,
+});
+
+struct SlotIdPool {
+    free: Vec<usize>,
+    next: usize,
+}
+
+/// Unregistered sentinel for the packed thread-local token.
+const NO_TOKEN: u64 = u64::MAX;
 
 thread_local! {
-    /// This thread's counter slot; `usize::MAX` = unregistered (overflow).
-    static WORKER_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// This thread's packed worker token: `(slot << 32) | epoch`, or
+    /// [`NO_TOKEN`] when unregistered.  For untracked slot ids
+    /// (≥ [`MAX_TRACKED_SLOTS`]) the epoch half is zero.
+    static WORKER_TOKEN: Cell<u64> = const { Cell::new(NO_TOKEN) };
+}
+
+/// A worker registration token: the slot id plus the registration epoch
+/// under which it was claimed.  Used by per-worker caches (the arena's slot
+/// magazines) to distinguish a live claim from one left behind by an exited
+/// worker.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct WorkerToken {
+    pub(crate) slot: u32,
+    pub(crate) epoch: u32,
+}
+
+impl WorkerToken {
+    /// Packs the token into a non-zero u64 (`(slot+1) << 32 | epoch`) for
+    /// storage in an `AtomicU64` claim word where 0 means "unclaimed".
+    #[inline]
+    pub(crate) fn pack_nonzero(self) -> u64 {
+        ((self.slot as u64 + 1) << 32) | self.epoch as u64
+    }
+
+    /// Inverse of [`pack_nonzero`](Self::pack_nonzero); `bits` must be
+    /// non-zero.
+    #[inline]
+    pub(crate) fn unpack_nonzero(bits: u64) -> WorkerToken {
+        WorkerToken {
+            slot: ((bits >> 32) - 1) as u32,
+            epoch: (bits & 0xFFFF_FFFF) as u32,
+        }
+    }
+
+    /// Whether the registration this token was minted under is still the
+    /// slot's current one (i.e. the registering thread has not released it).
+    ///
+    /// Acquire: a `false` answer is used to *adopt* state left behind by the
+    /// dead registration, so the caller must also observe every write that
+    /// preceded the release bump.
+    #[inline]
+    pub(crate) fn is_current(self) -> bool {
+        match SLOT_EPOCHS.get(self.slot as usize) {
+            Some(e) => e.load(Ordering::Acquire) == self.epoch,
+            None => false,
+        }
+    }
+}
+
+/// The calling thread's worker token, if it is registered with a tracked
+/// slot id.  Untracked registrations (beyond [`MAX_TRACKED_SLOTS`]) report
+/// `None` so per-worker caches fall back to their shared paths.
+#[inline]
+pub(crate) fn current_worker_token() -> Option<WorkerToken> {
+    let packed = WORKER_TOKEN.with(Cell::get);
+    if packed == NO_TOKEN {
+        return None;
+    }
+    let slot = (packed >> 32) as usize;
+    if slot >= MAX_TRACKED_SLOTS {
+        return None;
+    }
+    Some(WorkerToken {
+        slot: slot as u32,
+        epoch: (packed & 0xFFFF_FFFF) as u32,
+    })
 }
 
 /// RAII registration of the calling thread as a counter-sharded worker.
 ///
 /// Returned by [`register_worker`]; dropping it restores the thread's
-/// previous slot (so nested registrations compose).  `!Send`: the drop
-/// writes the *registering* thread's thread-local slot, so the guard must
-/// not migrate to another thread.
+/// previous slot (so nested registrations compose) and releases the slot id
+/// for reuse by later workers.  `!Send`: the drop writes the *registering*
+/// thread's thread-local slot, so the guard must not migrate to another
+/// thread.
 #[derive(Debug)]
 #[must_use = "dropping the WorkerSlot immediately undoes the registration"]
 pub struct WorkerSlot {
-    prev: usize,
+    prev: u64,
+    own: u64,
+    slot: usize,
     /// Pins the guard to its thread (`*mut ()` is `!Send + !Sync`).
     _thread_bound: std::marker::PhantomData<*mut ()>,
 }
 
-impl Drop for WorkerSlot {
-    fn drop(&mut self) {
-        WORKER_SLOT.with(|c| c.set(self.prev));
+/// `packed` if it still names a *current* registration, else [`NO_TOKEN`].
+///
+/// Guards against non-LIFO guard drops: a restored saved token must never
+/// resurrect a registration that was released in the meantime — a thread
+/// carrying a dead token could satisfy a magazine claim-word match while a
+/// new holder of the recycled slot id adopts the same magazine (see
+/// [`crate::arena`]), i.e. two threads with exclusive access.
+fn validate_token(packed: u64) -> u64 {
+    if packed == NO_TOKEN {
+        return NO_TOKEN;
+    }
+    let slot = (packed >> 32) as usize;
+    match SLOT_EPOCHS.get(slot) {
+        // Untracked ids carry no epoch and can never claim magazines;
+        // restoring them is harmless (counter sharding tolerates sharing).
+        None => packed,
+        Some(e) => {
+            if e.load(Ordering::Acquire) == (packed & 0xFFFF_FFFF) as u32 {
+                packed
+            } else {
+                NO_TOKEN
+            }
+        }
     }
 }
 
-/// Registers the calling thread as a worker for counter sharding, assigning
-/// it a private shard of every [`Counters`] instance it touches.
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        WORKER_TOKEN.with(|c| {
+            // Only touch the TLS token if this guard is the thread's active
+            // registration; a non-LIFO drop must not clobber the inner
+            // (still live) one.  The restored `prev` is re-validated: it may
+            // itself have been released by a non-LIFO drop.
+            if c.get() == self.own {
+                c.set(validate_token(self.prev));
+            }
+        });
+        // Release order matters: the epoch bump publishes (with Release
+        // ordering) every per-worker-cache write this thread made, *then*
+        // the id goes back to the pool.  A later claimant that observes the
+        // bumped epoch (Acquire) therefore sees those writes and can adopt
+        // the dead registration's caches.
+        if let Some(e) = SLOT_EPOCHS.get(self.slot) {
+            e.fetch_add(1, Ordering::Release);
+        }
+        SLOT_IDS.lock().free.push(self.slot);
+    }
+}
+
+/// Registers the calling thread as a worker, assigning it a private shard of
+/// every [`Counters`] instance it touches and making it eligible for the
+/// per-worker slot magazines of [`crate::arena::SlotArena`].
 ///
-/// Runtimes call this once per worker thread (the slot index is process-wide
-/// and round-robins over the shard array, so worker churn keeps the spread
-/// uniform).  Threads that never register fall back to the shared overflow
-/// cell — correct, just contended.
+/// Runtimes call this once per worker thread.  Slot ids are recycled when
+/// workers exit, so a stable worker set occupies a stable, dense range of
+/// shards.  Threads that never register fall back to
+/// the shared overflow cell / global free list — correct, just contended.
 pub fn register_worker() -> WorkerSlot {
-    let slot = NEXT_WORKER_SLOT.fetch_add(1, Ordering::Relaxed);
-    WORKER_SLOT.with(|c| {
+    let slot = {
+        let mut pool = SLOT_IDS.lock();
+        match pool.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = pool.next;
+                pool.next += 1;
+                id
+            }
+        }
+    };
+    let epoch = match SLOT_EPOCHS.get(slot) {
+        // Even (released) → odd (registered).  AcqRel so the new
+        // registration is ordered with the previous holder's release.
+        Some(e) => e.fetch_add(1, Ordering::AcqRel).wrapping_add(1),
+        None => 0,
+    };
+    let packed = ((slot as u64) << 32) | epoch as u64;
+    WORKER_TOKEN.with(|c| {
         let prev = c.get();
-        c.set(slot);
+        c.set(packed);
         WorkerSlot {
             prev,
+            own: packed,
+            slot,
             _thread_bound: std::marker::PhantomData,
         }
     })
@@ -192,12 +359,12 @@ impl Counters {
     /// overflow cell for unregistered threads.
     #[inline]
     fn cells(&self) -> &CounterCells {
-        let slot = WORKER_SLOT.with(Cell::get);
-        if slot == usize::MAX {
+        let token = WORKER_TOKEN.with(Cell::get);
+        if token == NO_TOKEN {
             &self.overflow
         } else {
             // COUNTER_SHARDS is a power of two, so the mask is a cheap mod.
-            &self.shards[slot & (COUNTER_SHARDS - 1)]
+            &self.shards[(token >> 32) as usize & (COUNTER_SHARDS - 1)]
         }
     }
 
@@ -356,6 +523,31 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.gets, 40_001);
         assert_eq!(s.sets, 40_000);
+    }
+
+    #[test]
+    fn non_lifo_guard_drops_never_leave_a_dead_token() {
+        // drop(a) while b is live releases a's registration; drop(b) must
+        // not restore a's now-dead token (a thread carrying a dead token
+        // could alias a recycled magazine claim in the arena).
+        let a = register_worker();
+        let a_token = current_worker_token().expect("a is tracked");
+        let b = register_worker();
+        drop(a);
+        // b is still the active registration.
+        let cur = current_worker_token().expect("b still registered");
+        assert!(cur.is_current());
+        drop(b);
+        // Not a's dead token: either unregistered, or (if this test thread
+        // had an outer registration) a still-current one.
+        match current_worker_token() {
+            None => {}
+            Some(t) => {
+                assert!(t.is_current(), "restored token must be live");
+                assert_ne!(t, a_token, "a's released token must not return");
+            }
+        }
+        assert!(!a_token.is_current(), "a's registration was released");
     }
 
     #[test]

@@ -43,6 +43,60 @@
 //! was resolved), which is always a "progress is being made" outcome and can
 //! therefore never introduce a false alarm or mask a real cycle (tasks and
 //! promises participating in a deadlock are blocked and cannot be recycled).
+//!
+//! # The pointer-direct fast path (which reads keep the seqlock double check)
+//!
+//! The traversal is the detector's entire cost, and the arena offers two
+//! read protocols (see [`crate::arena`]): the seqlock-style double-validated
+//! read, and [`SlotHandle::read_field`], which validates the slot generation
+//! only *before* the load and may therefore return a value belonging to a
+//! **newer occupancy** if the slot is freed and re-allocated between the
+//! check and the load.  The hot loop uses the single-validation read for the
+//! `owner` loads of lines 6/13 and the `waitingOn` load of line 9, and keeps
+//! the full double check **only for the line-11 `owner` re-read**.  Why this
+//! preserves Theorem 5.1 (no false alarms):
+//!
+//! * **The alarm test (`owner(p_i) == t0`) is immune to cross-occupancy
+//!   values.**  `t0`'s packed reference (slot *and* generation) is only ever
+//!   written into an `owner` field by `t0`'s own thread: promises are
+//!   created owned by the creating task (Algorithm 1 line 3) and spawn-time
+//!   transfer re-assigns ownership to the freshly created child (line 12),
+//!   which cannot be `t0` because `t0`'s slot occupancy is live.  While `t0`
+//!   executes the detector, its thread writes no owner fields, so *no* read
+//!   — stale, fresh, or cross-occupancy — can fabricate `t0` out of thin
+//!   air: observing `owner == t0` means some promise genuinely carried that
+//!   edge, and with the line-11 confirmations behind it the cycle is real.
+//! * **A cross-occupancy `waitingOn` value (line 9) cannot survive
+//!   line 11.**  Reading a recycled task slot's fresh `waitingOn` means the
+//!   old occupant `t_{i+1}` terminated, and the policy settles or clears
+//!   every `owner` edge pointing at a task *before* freeing its slot
+//!   (fulfilment clears it via rule 4; an omitted set settles the promise in
+//!   `settle_obligations` before `tasks.free`).  The recycle itself orders
+//!   those clears before the new occupant's `waitingOn` publication (free →
+//!   free-list CAS → re-alloc → publication), so a traversal that read the
+//!   new occupant's value observes, at its line-11 acquire re-read, that
+//!   `owner(p_i)` is no longer `t_{i+1}` — and commits to the wait.  (A
+//!   recycled task slot read *before* the new occupant publishes yields the
+//!   reset value null — line 10 commits.  The old occupant's value is
+//!   always null: tasks cannot terminate while blocked.)
+//! * **Line 11 itself must keep the double check.**  Its job is to confirm
+//!   that `t_{i+1}` owned `p_i` *after* `waitingOn(t_{i+1})` was observed;
+//!   a single-validation read of a recycled `p_i` could return the new
+//!   occupant's owner, which can legitimately equal `t_{i+1}` (the same
+//!   task may have created a new promise into the recycled slot), spuriously
+//!   confirming a stale edge.  The double check rejects exactly this:
+//!   either the generation is unchanged (the value is genuinely `p_i`'s) or
+//!   the read returns `None` and the traversal commits to the wait.
+//!
+//! The loop also resolves each promise reference once ([`SlotArena::resolve`])
+//! and reuses the raw slot address for the line-11 re-read, and it no longer
+//! builds the report path during traversal: cycle entries are collected by a
+//! second, fully validated walk only after a cycle has been detected (the
+//! tasks of a real cycle are permanently blocked, so the re-walk observes the
+//! same cycle).
+//!
+//! [`SlotHandle::read_field`]: crate::arena::SlotHandle::read_field
+//! [`SlotArena::resolve`]: crate::arena::SlotArena::resolve
 
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -63,10 +117,10 @@ pub(crate) struct DetectionSubject {
     pub p0_name: Option<Arc<str>>,
 }
 
-/// Reads `owner(p)` (Algorithm 2 lines 6, 11, 13).  A recycled or null slot
-/// reads as "no owner", i.e. the promise has been resolved.
+/// Fully validated (seqlock) read of `owner(p)`, used by the post-detection
+/// report walk.
 #[inline]
-fn load_owner(ctx: &Context, promise: PackedRef) -> PackedRef {
+fn load_owner_validated(ctx: &Context, promise: PackedRef) -> PackedRef {
     ctx.promises
         .read(promise, |s| {
             PackedRef::from_bits(s.owner.load(Ordering::Acquire))
@@ -74,10 +128,10 @@ fn load_owner(ctx: &Context, promise: PackedRef) -> PackedRef {
         .unwrap_or(PackedRef::NULL)
 }
 
-/// Reads `waitingOn(t)` (Algorithm 2 line 9, acquire).  A recycled or null
-/// slot reads as "not waiting", i.e. the task is no longer blocked.
+/// Fully validated (seqlock) read of `waitingOn(t)`, used by the
+/// post-detection report walk.
 #[inline]
-fn load_waiting_on(ctx: &Context, task: PackedRef) -> PackedRef {
+fn load_waiting_on_validated(ctx: &Context, task: PackedRef) -> PackedRef {
     ctx.tasks
         .read(task, |s| {
             PackedRef::from_bits(s.waiting_on.load(Ordering::Acquire))
@@ -124,17 +178,24 @@ pub(crate) fn verify_and_mark(
         .saturating_mul(ctx.tasks.live())
         .saturating_add(16);
 
-    let mut entries: Vec<CycleEntry> = vec![CycleEntry {
-        task: subject.t0_id,
-        task_name: subject.t0_name.clone(),
-        promise: subject.p0_id,
-        promise_name: subject.p0_name.clone(),
-    }];
+    // The hot loop carries no report state: it only walks refs (the cycle
+    // entries are collected by `collect_cycle` after detection).  Chunk-table
+    // lookups are cached across steps (`cached_resolver`), each promise is
+    // resolved once, and the line-11 re-read reuses the resolved slot
+    // address — every load the loop issues is on the pointer-chasing
+    // critical path or a generation validation.
+    let mut task_resolver = ctx.tasks.cached_resolver();
+    let mut promise_resolver = ctx.promises.cached_resolver();
+    let owner_field =
+        |s: &crate::slots::PromiseSlot| PackedRef::from_bits(s.owner.load(Ordering::Acquire));
 
     let mut steps: u64 = 0;
-    let mut p_i = subject.p0_slot;
-    // Line 6.
-    let mut t_next = load_owner(ctx, p_i);
+    let mut p_i_handle = promise_resolver.resolve(subject.p0_slot);
+    // Line 6 (single validation; see the module docs).
+    let mut t_next = match p_i_handle {
+        Some(h) => h.read_field(owner_field).unwrap_or(PackedRef::NULL),
+        None => PackedRef::NULL,
+    };
     let deadlocked = loop {
         // Loop condition (line 7) / alarm (line 15).
         if t_next == subject.t0_slot {
@@ -144,21 +205,76 @@ pub(crate) fn verify_and_mark(
         if t_next.is_null() {
             break false;
         }
-        // Line 9: what is t_{i+1} waiting on? (acquire)
-        let p_next = load_waiting_on(ctx, t_next);
+        // Line 9: what is t_{i+1} waiting on? (acquire, single validation)
+        let p_next = task_resolver
+            .resolve(t_next)
+            .and_then(|h| {
+                h.read_field(|s| PackedRef::from_bits(s.waiting_on.load(Ordering::Acquire)))
+            })
+            .unwrap_or(PackedRef::NULL);
         // Line 10: t_{i+1} is not blocked — progress is being made.
         if p_next.is_null() {
             break false;
         }
         // Line 11: re-validate that t_{i+1} still owned p_i while it was
         // waiting on p_{i+1}; if ownership moved or the promise resolved,
-        // the rest of the path is stale and it is safe to commit.
-        if load_owner(ctx, p_i) != t_next {
+        // the rest of the path is stale and it is safe to commit.  This is
+        // the one read that keeps seqlock validation (module docs); the
+        // pre-check is subsumed by the successful line-6/13 read on the same
+        // handle (`reread_validated` — generations are monotonic).
+        let still_owner = match p_i_handle {
+            Some(h) => h.reread_validated(owner_field).unwrap_or(PackedRef::NULL),
+            None => PackedRef::NULL,
+        };
+        if still_owner != t_next {
             break false;
         }
         steps += 1;
         if steps as usize > cap {
             break false;
+        }
+        // Lines 12–13: advance along the chain.
+        p_i_handle = promise_resolver.resolve(p_next);
+        t_next = match p_i_handle {
+            Some(h) => h.read_field(owner_field).unwrap_or(PackedRef::NULL),
+            None => PackedRef::NULL,
+        };
+    };
+
+    ctx.counters().record_detector_run(steps);
+
+    if deadlocked {
+        // Line 15 failed: raise the alarm.  Collect the report path with a
+        // second, fully validated walk — the tasks of a real cycle are all
+        // blocked and cannot move, so the walk reproduces the cycle.  The
+        // task will not block, so clear the mark afterwards (the `finally`
+        // of Algorithm 2).
+        let entries = collect_cycle(ctx, &subject, cap);
+        clear_mark(ctx, subject.t0_slot);
+        Err(Arc::new(DeadlockCycle { entries }))
+    } else {
+        // Commit to the blocking wait; the caller clears the mark when the
+        // wait ends (normally or exceptionally).
+        Ok(())
+    }
+}
+
+/// Walks the (stable) detected cycle once more with fully validated reads,
+/// producing the report entries `t0/p0, t1/p1, …` that
+/// [`DeadlockCycle`] renders.  Bounded by `cap` defensively.
+fn collect_cycle(ctx: &Context, subject: &DetectionSubject, cap: usize) -> Vec<CycleEntry> {
+    let mut entries: Vec<CycleEntry> = vec![CycleEntry {
+        task: subject.t0_id,
+        task_name: subject.t0_name.clone(),
+        promise: subject.p0_id,
+        promise_name: subject.p0_name.clone(),
+    }];
+    let mut p_i = subject.p0_slot;
+    let mut t_next = load_owner_validated(ctx, p_i);
+    while t_next != subject.t0_slot && !t_next.is_null() && entries.len() <= cap {
+        let p_next = load_waiting_on_validated(ctx, t_next);
+        if p_next.is_null() {
+            break;
         }
         entries.push(CycleEntry {
             task: ctx
@@ -172,23 +288,10 @@ pub(crate) fn verify_and_mark(
                 .unwrap_or(PromiseId::NONE),
             promise_name: None,
         });
-        // Lines 12–13: advance along the chain.
         p_i = p_next;
-        t_next = load_owner(ctx, p_i);
-    };
-
-    ctx.counters().record_detector_run(steps);
-
-    if deadlocked {
-        // Line 15 failed: raise the alarm.  The task will not block, so clear
-        // the mark here (the `finally` of Algorithm 2).
-        clear_mark(ctx, subject.t0_slot);
-        Err(Arc::new(DeadlockCycle { entries }))
-    } else {
-        // Commit to the blocking wait; the caller clears the mark when the
-        // wait ends (normally or exceptionally).
-        Ok(())
+        t_next = load_owner_validated(ctx, p_i);
     }
+    entries
 }
 
 #[cfg(test)]

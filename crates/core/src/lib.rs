@@ -44,7 +44,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod alarms;
 pub mod arena;
+#[doc(hidden)]
+pub mod bench_support;
 pub mod cell;
 pub mod collection;
 pub mod context;
@@ -61,6 +64,7 @@ pub mod slots;
 pub mod task;
 pub mod waitq;
 
+pub use alarms::{AlarmSink, MutexSink};
 pub use cell::{MutexCell, OneShotCell};
 pub use collection::{collect_promises, PromiseCollection};
 pub use context::{Alarm, Context, Executor, RejectedJob};

@@ -24,8 +24,16 @@ use promise_core::{Executor, RejectedJob};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A callback every worker thread runs as it retires (still on the worker
+/// thread, while its worker registration is active).
+///
+/// The runtime uses this to flush the worker's per-worker arena caches back
+/// to the context's global free lists (see
+/// `promise_core::Context::flush_worker_caches`).
+pub type WorkerExitHook = Arc<dyn Fn() + Send + Sync>;
+
 /// Configuration of a [`GrowingPool`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PoolConfig {
     /// Prefix of worker thread names (`<prefix>-<n>`).
     pub thread_name_prefix: String,
@@ -35,6 +43,23 @@ pub struct PoolConfig {
     pub stack_size: Option<usize>,
     /// Number of workers started eagerly at pool creation.
     pub initial_workers: usize,
+    /// Run by each worker thread as it retires (`None` = nothing).
+    pub worker_exit_hook: Option<WorkerExitHook>,
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolConfig")
+            .field("thread_name_prefix", &self.thread_name_prefix)
+            .field("keep_alive", &self.keep_alive)
+            .field("stack_size", &self.stack_size)
+            .field("initial_workers", &self.initial_workers)
+            .field(
+                "worker_exit_hook",
+                &self.worker_exit_hook.as_ref().map(|_| "Fn"),
+            )
+            .finish()
+    }
 }
 
 impl Default for PoolConfig {
@@ -44,6 +69,7 @@ impl Default for PoolConfig {
             keep_alive: Duration::from_millis(200),
             stack_size: None,
             initial_workers: 0,
+            worker_exit_hook: None,
         }
     }
 }
@@ -210,6 +236,12 @@ impl GrowingPool {
             }
         }
         state.current_workers -= 1;
+        drop(state);
+        // Retirement hook (outside the pool lock, before the counter-slot
+        // registration guard drops): flush per-worker caches etc.
+        if let Some(hook) = &inner.config.worker_exit_hook {
+            hook();
+        }
     }
 
     /// Current activity counters.
@@ -302,6 +334,30 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 64);
         let stats = pool.stats();
         assert!(stats.threads_started >= 1);
+    }
+
+    #[test]
+    fn worker_exit_hook_runs_when_workers_retire() {
+        let exits = Arc::new(AtomicUsize::new(0));
+        let exits2 = Arc::clone(&exits);
+        let pool = GrowingPool::new(PoolConfig {
+            keep_alive: Duration::from_millis(10),
+            worker_exit_hook: Some(Arc::new(move || {
+                exits2.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..PoolConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || tx.send(()).unwrap()));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.shutdown();
+        let started = pool.stats().threads_started;
+        assert!(started >= 1);
+        assert_eq!(
+            exits.load(Ordering::Relaxed),
+            started,
+            "every started worker runs the exit hook exactly once"
+        );
     }
 
     #[test]

@@ -182,11 +182,22 @@ impl RuntimeBuilder {
     /// installs the scheduler as the context's executor.
     pub fn build(self) -> Runtime {
         let ctx = Context::new(self.policy);
+        // Retiring workers flush their per-worker arena caches (slot
+        // magazines) back to this context's global free lists.  Weak: the
+        // context holds the scheduler as its executor, so a strong reference
+        // here would leak both in a cycle.
+        let mut pool_config = self.pool;
+        let weak_ctx = Arc::downgrade(&ctx);
+        pool_config.worker_exit_hook = Some(Arc::new(move || {
+            if let Some(ctx) = weak_ctx.upgrade() {
+                ctx.flush_worker_caches();
+            }
+        }));
         let pool = match self.kind {
-            SchedulerKind::GrowingPool => Pool::Growing(GrowingPool::new(self.pool)),
+            SchedulerKind::GrowingPool => Pool::Growing(GrowingPool::new(pool_config)),
             SchedulerKind::WorkStealing => {
                 Pool::Stealing(WorkStealingScheduler::new(SchedulerConfig {
-                    base: self.pool,
+                    base: pool_config,
                     injector_shards: self.injector_shards,
                     blocked_aware_growth: self.blocked_aware_growth,
                     ..SchedulerConfig::default()

@@ -710,6 +710,11 @@ fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
     });
     let _reset = ResetTls;
     state.worker_loop(idx, &local);
+    // Retirement hook (while the counter-slot registration is still active,
+    // so per-worker caches can be identified and flushed).
+    if let Some(hook) = &state.config.base.worker_exit_hook {
+        hook();
+    }
 }
 
 #[cfg(test)]
@@ -750,6 +755,31 @@ mod tests {
         }
         assert_eq!(counter.load(Ordering::Relaxed), 128);
         assert!(sched.stats().threads_started >= 1);
+    }
+
+    #[test]
+    fn worker_exit_hook_runs_when_workers_retire() {
+        let exits = Arc::new(AtomicUsize::new(0));
+        let exits2 = Arc::clone(&exits);
+        let mut config = small_config();
+        config.base.worker_exit_hook = Some(Arc::new(move || {
+            exits2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let sched = WorkStealingScheduler::new(config);
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(Box::new(move || tx.send(()).unwrap()))
+            .ok()
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        sched.shutdown();
+        let started = sched.stats().threads_started;
+        assert!(started >= 1);
+        assert_eq!(
+            exits.load(Ordering::Relaxed),
+            started,
+            "every started worker runs the exit hook exactly once"
+        );
     }
 
     #[test]

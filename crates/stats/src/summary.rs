@@ -50,6 +50,10 @@ pub struct Summary {
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Median (midpoint average for even sample sizes).  The perf-trajectory
+    /// protocol compares medians of repeat runs, which are robust against
+    /// the occasional slow outlier run.
+    pub median: f64,
     /// Sample standard deviation (n − 1 denominator).
     pub stddev: f64,
     /// Smallest observation.
@@ -74,9 +78,17 @@ impl Summary {
         };
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
         Summary {
             count,
             mean,
+            median,
             stddev: var.sqrt(),
             min,
             max,
@@ -133,6 +145,14 @@ pub fn geometric_mean(factors: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_samples() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).median, 2.0);
+        assert_eq!(Summary::of(&[4.0, 1.0, 2.0, 3.0]).median, 2.5);
+        assert_eq!(Summary::of(&[7.0]).median, 7.0);
+        assert_eq!(Summary::of(&[]).median, 0.0);
+    }
 
     #[test]
     fn summary_of_known_sample() {
