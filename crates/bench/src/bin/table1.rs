@@ -6,6 +6,7 @@
 //! cargo run -p promise-bench --release --bin table1 -- \
 //!     [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
 //!     [--filter NAME] [--no-memory] [--paper-protocol] \
+//!     [--blocked-aware-growth] \
 //!     [--json PATH | --no-json] [--compare OLD.json NEW.json]
 //! ```
 //!
@@ -29,12 +30,17 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: table1 [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
-                 [--filter NAME] [--no-memory] [--paper-protocol] [--json PATH | --no-json] \
-                 [--compare OLD.json NEW.json]"
+                 [--filter NAME] [--no-memory] [--paper-protocol] [--blocked-aware-growth] \
+                 [--json PATH | --no-json] [--compare OLD.json NEW.json]"
             );
             std::process::exit(2);
         }
     };
+
+    if opts.blocked_aware_growth {
+        promise_bench::BLOCKED_AWARE_GROWTH.store(true, std::sync::atomic::Ordering::Relaxed);
+        println!("(runtimes built with blocked_aware_growth(true))");
+    }
 
     if let Some((old_path, new_path)) = &opts.compare {
         let load = |path: &str| -> promise_bench::compare::Table1Artifact {

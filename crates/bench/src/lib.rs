@@ -22,6 +22,7 @@
 
 pub mod compare;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use promise_core::{CounterSnapshot, VerificationMode};
@@ -76,10 +77,18 @@ impl BenchmarkResult {
     }
 }
 
+/// Process-wide switch: when set (the `--blocked-aware-growth` CLI flag),
+/// [`runtime_for`] builds runtimes with the opt-in
+/// `RuntimeBuilder::blocked_aware_growth(true)` heuristic — the soak
+/// variant that exercises the grow-only-when-all-blocked policy under the
+/// full workload suite.
+pub static BLOCKED_AWARE_GROWTH: AtomicBool = AtomicBool::new(false);
+
 /// Builds a runtime for one of the two evaluated configurations.
 pub fn runtime_for(mode: VerificationMode) -> Runtime {
     Runtime::builder()
         .verification(mode)
+        .blocked_aware_growth(BLOCKED_AWARE_GROWTH.load(Ordering::Relaxed))
         // Keep idle workers around between repeated runs, like the paper's
         // persistent thread pool within one VM instance.
         .worker_keep_alive(Duration::from_secs(2))
@@ -445,6 +454,9 @@ pub struct CliOptions {
     /// `table1` binary runs no measurements and prints the per-workload
     /// median delta table between the two artifacts instead.
     pub compare: Option<(String, String)>,
+    /// Build the measured runtimes with the opt-in blocked-aware growth
+    /// heuristic (see [`BLOCKED_AWARE_GROWTH`]).
+    pub blocked_aware_growth: bool,
 }
 
 impl Default for CliOptions {
@@ -457,6 +469,7 @@ impl Default for CliOptions {
             skip_memory: false,
             json_path: Some("BENCH_table1.json".to_string()),
             compare: None,
+            blocked_aware_growth: false,
         }
     }
 }
@@ -465,7 +478,8 @@ impl CliOptions {
     /// Parses options from `args` (everything after the program name).
     /// Recognised flags: `--scale <smoke|default|stress|paper>`, `--runs N`,
     /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`,
-    /// `--json PATH`, `--no-json`, `--compare OLD.json NEW.json`.
+    /// `--json PATH`, `--no-json`, `--compare OLD.json NEW.json`,
+    /// `--blocked-aware-growth`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut i = 0;
@@ -497,6 +511,7 @@ impl CliOptions {
                     opts.filter = Some(args.get(i).ok_or("--filter needs a value")?.clone());
                 }
                 "--no-memory" => opts.skip_memory = true,
+                "--blocked-aware-growth" => opts.blocked_aware_growth = true,
                 "--json" => {
                     i += 1;
                     opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());

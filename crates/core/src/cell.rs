@@ -60,7 +60,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
@@ -268,6 +268,125 @@ impl<V: std::fmt::Debug> std::fmt::Debug for OneShotCell<V> {
         f.debug_struct("OneShotCell")
             .field("filled", &self.is_filled())
             .field("failed", &self.is_failed())
+            .finish()
+    }
+}
+
+/// Slot state: nothing written yet.
+const SLOT_EMPTY: u8 = 0;
+/// Slot state: a writer claimed the slot and is writing the payload.
+const SLOT_WRITING: u8 = 1;
+/// Slot state: payload present.
+const SLOT_READY: u8 = 2;
+/// Slot state: payload moved out by [`ResultSlot::take`].
+const SLOT_TAKEN: u8 = 3;
+
+/// A write-once, take-once typed payload slot: the storage half of a *fused*
+/// task-completion cell.
+///
+/// The runtime's spawn path used to ship a task's return value through a
+/// dedicated `Arc<Mutex<Option<R>>>` side channel next to the completion
+/// promise.  `ResultSlot` replaces that: it lives *inside* the completion
+/// promise's allocation (the `extra` payload of
+/// [`Promise`](crate::Promise)'s fused form), the task wrapper `put`s the
+/// body's result exactly once before it settles the completion promise, and
+/// `join` `take`s it after observing the fulfilment — one allocation and two
+/// atomic operations instead of an extra `Arc` plus two mutex round trips.
+///
+/// The slot carries its own tiny state machine
+/// (`EMPTY → WRITING → READY → TAKEN`) so it is safe independently of the
+/// surrounding promise: `put` publishes with a release store, `take` claims
+/// with an acquire CAS, and both reject misuse (double put, double take)
+/// instead of racing.  Unlike [`OneShotCell`] it has no waiters — ordering
+/// and wakeups come from the completion promise it is fused with.
+pub struct ResultSlot<V> {
+    state: AtomicU8,
+    slot: UnsafeCell<MaybeUninit<V>>,
+}
+
+// SAFETY: the slot owns at most one `V`; moving the slot moves it.
+unsafe impl<V: Send> Send for ResultSlot<V> {}
+// SAFETY: a `&ResultSlot` is only ever used to move a `V` in (`put`, one
+// winning writer gated by the CAS) or out (`take`, one winning reader gated
+// by the CAS) — values cross threads but are never aliased, so `V: Send`
+// suffices, exactly as for `Mutex<Option<V>>`.
+unsafe impl<V: Send> Sync for ResultSlot<V> {}
+
+impl<V> Default for ResultSlot<V> {
+    fn default() -> Self {
+        ResultSlot::new()
+    }
+}
+
+impl<V> ResultSlot<V> {
+    /// Creates an empty slot.
+    pub const fn new() -> ResultSlot<V> {
+        ResultSlot {
+            state: AtomicU8::new(SLOT_EMPTY),
+            slot: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Whether a payload is currently stored (written and not yet taken).
+    pub fn is_ready(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SLOT_READY
+    }
+
+    /// Stores the payload.  Exactly one `put` ever succeeds; a second one
+    /// gets its value back.
+    pub fn put(&self, value: V) -> Result<(), V> {
+        if self
+            .state
+            .compare_exchange(
+                SLOT_EMPTY,
+                SLOT_WRITING,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return Err(value);
+        }
+        // SAFETY: winning the one-time EMPTY→WRITING transition grants
+        // exclusive write access; no reader touches the payload until the
+        // release store below.
+        unsafe { (*self.slot.get()).write(value) };
+        self.state.store(SLOT_READY, Ordering::Release);
+        Ok(())
+    }
+
+    /// Moves the payload out.  Exactly one `take` ever succeeds; `None`
+    /// means the slot is empty, mid-write, or already taken.
+    pub fn take(&self) -> Option<V> {
+        if self
+            .state
+            .compare_exchange(SLOT_READY, SLOT_TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: the acquire CAS observed READY (published after the
+        // payload write) and transitioned it away, so this thread has the
+        // unique right to move the value out.
+        Some(unsafe { (*self.slot.get()).assume_init_read() })
+    }
+}
+
+impl<V> Drop for ResultSlot<V> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent put/take.  Only READY holds a live
+        // payload (TAKEN was moved out, WRITING is unreachable here).
+        if *self.state.get_mut() == SLOT_READY {
+            // SAFETY: READY implies the payload was written and never taken.
+            unsafe { self.slot.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for ResultSlot<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultSlot")
+            .field("ready", &self.is_ready())
             .finish()
     }
 }
@@ -510,6 +629,47 @@ mod tests {
         assert_eq!(drops.load(Ordering::Relaxed), 1, "only the loser dropped");
         drop(cell);
         assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn result_slot_put_take_round_trip() {
+        let slot = ResultSlot::<String>::new();
+        assert!(!slot.is_ready());
+        assert!(slot.take().is_none());
+        slot.put("value".to_string()).unwrap();
+        assert!(slot.is_ready());
+        assert_eq!(slot.put("second".to_string()).unwrap_err(), "second");
+        assert_eq!(slot.take().as_deref(), Some("value"));
+        assert!(!slot.is_ready());
+        assert!(slot.take().is_none(), "a slot can only be taken once");
+        assert!(slot.put("late".to_string()).is_err());
+    }
+
+    #[test]
+    fn result_slot_drops_an_untaken_payload_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slot = ResultSlot::<CountsDrops>::new();
+        slot.put(CountsDrops(Arc::clone(&drops))).unwrap();
+        drop(slot);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+
+        let drops2 = Arc::new(AtomicUsize::new(0));
+        let slot = ResultSlot::<CountsDrops>::new();
+        slot.put(CountsDrops(Arc::clone(&drops2))).unwrap();
+        drop(slot.take());
+        assert_eq!(drops2.load(Ordering::Relaxed), 1);
+        // Taken: the slot's own drop must not double-free.
+    }
+
+    #[test]
+    fn result_slot_cross_thread_handoff() {
+        let slot = Arc::new(ResultSlot::<Vec<u64>>::new());
+        let writer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.put(vec![1, 2, 3]).unwrap())
+        };
+        writer.join().unwrap();
+        assert_eq!(slot.take(), Some(vec![1, 2, 3]));
     }
 
     #[test]

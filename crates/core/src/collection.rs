@@ -33,53 +33,61 @@
 use std::sync::Arc;
 
 use crate::promise::{ErasedPromise, Promise};
+use crate::smallvec::SmallVec;
+
+/// The list type transfer collections append into: inline up to four
+/// promises (the overwhelmingly common case — a spawn moves zero to three
+/// promises plus the implicit completion promise), heap-spilled beyond.
+/// Building one performs no allocation on the spawn fast path.
+pub type TransferList = SmallVec<Arc<dyn ErasedPromise>, 4>;
 
 /// A set of promises that should move together when transferred to a new
 /// task.
 pub trait PromiseCollection {
     /// Appends type-erased handles for every promise in this collection.
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>);
+    fn append_promises(&self, out: &mut TransferList);
 
     /// Convenience: the number of promises this collection contributes.
     fn promise_count(&self) -> usize {
-        let mut v = Vec::new();
+        let mut v = TransferList::new();
         self.append_promises(&mut v);
         v.len()
     }
 }
 
-/// Collects the promises of a collection into a fresh vector (the form
-/// consumed by [`ownership::prepare_task`](crate::ownership::prepare_task)).
-pub fn collect_promises<C: PromiseCollection + ?Sized>(c: &C) -> Vec<Arc<dyn ErasedPromise>> {
-    let mut out = Vec::new();
+/// Collects the promises of a collection into a fresh [`TransferList`] (the
+/// form consumed by
+/// [`ownership::prepare_task`](crate::ownership::prepare_task)).
+pub fn collect_promises<C: PromiseCollection + ?Sized>(c: &C) -> TransferList {
+    let mut out = TransferList::new();
     c.append_promises(&mut out);
     out
 }
 
-impl<T: Send + Sync + 'static> PromiseCollection for Promise<T> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+impl<T: Send + Sync + 'static, X: Send + Sync + 'static> PromiseCollection for Promise<T, X> {
+    fn append_promises(&self, out: &mut TransferList) {
         out.push(self.as_erased());
     }
 }
 
 impl PromiseCollection for Arc<dyn ErasedPromise> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         out.push(Arc::clone(self));
     }
 }
 
 impl PromiseCollection for () {
-    fn append_promises(&self, _out: &mut Vec<Arc<dyn ErasedPromise>>) {}
+    fn append_promises(&self, _out: &mut TransferList) {}
 }
 
 impl<C: PromiseCollection + ?Sized> PromiseCollection for &C {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         (**self).append_promises(out);
     }
 }
 
 impl<C: PromiseCollection> PromiseCollection for Option<C> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         if let Some(c) = self {
             c.append_promises(out);
         }
@@ -87,7 +95,7 @@ impl<C: PromiseCollection> PromiseCollection for Option<C> {
 }
 
 impl<C: PromiseCollection> PromiseCollection for [C] {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for c in self {
             c.append_promises(out);
         }
@@ -95,7 +103,7 @@ impl<C: PromiseCollection> PromiseCollection for [C] {
 }
 
 impl<C: PromiseCollection, const N: usize> PromiseCollection for [C; N] {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for c in self {
             c.append_promises(out);
         }
@@ -103,7 +111,7 @@ impl<C: PromiseCollection, const N: usize> PromiseCollection for [C; N] {
 }
 
 impl<C: PromiseCollection> PromiseCollection for Vec<C> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for c in self {
             c.append_promises(out);
         }
@@ -111,7 +119,7 @@ impl<C: PromiseCollection> PromiseCollection for Vec<C> {
 }
 
 impl<C: PromiseCollection + ?Sized> PromiseCollection for Box<C> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         (**self).append_promises(out);
     }
 }
@@ -119,7 +127,7 @@ impl<C: PromiseCollection + ?Sized> PromiseCollection for Box<C> {
 macro_rules! impl_promise_collection_for_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: PromiseCollection),+> PromiseCollection for ($($name,)+) {
-            fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+            fn append_promises(&self, out: &mut TransferList) {
                 $(self.$idx.append_promises(out);)+
             }
         }
@@ -147,7 +155,7 @@ mod tests {
         let p = Promise::<i32>::new();
         let collected = collect_promises(&p);
         assert_eq!(collected.len(), 1);
-        assert_eq!(collected[0].id(), p.id());
+        assert_eq!(collected.get(0).unwrap().id(), p.id());
         assert_eq!(p.promise_count(), 1);
         p.set(0).unwrap();
     }

@@ -15,6 +15,7 @@ use crate::arena::SlotArena;
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::{DeadlockCycle, OmittedSetReport};
 use crate::ids::{PromiseId, TaskId};
+use crate::job::{self, Job};
 use crate::policy::PolicyConfig;
 use crate::slots::{PromiseSlot, TaskSlot};
 
@@ -22,11 +23,24 @@ use crate::slots::{PromiseSlot, TaskSlot};
 /// to the submitter so that nothing is lost silently: the caller can run it
 /// inline, settle its promises exceptionally, or drop it (dropping a spawned
 /// task's job triggers the rule-3 exit machinery via `PreparedTask`'s drop).
-pub struct RejectedJob(pub Box<dyn FnOnce() + Send + 'static>);
+pub struct RejectedJob(pub Job);
 
 impl std::fmt::Debug for RejectedJob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("RejectedJob(..)")
+    }
+}
+
+/// The un-scheduled tail of a refused [`Executor::execute_batch`] call: every
+/// job that was *not* accepted before the executor shut down, in submission
+/// order.  Jobs accepted before the refusal point are already queued and will
+/// run; the same never-drop-silently rule as [`RejectedJob`] applies to the
+/// returned tail.
+pub struct RejectedBatch(pub Vec<Job>);
+
+impl std::fmt::Debug for RejectedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RejectedBatch({} jobs)", self.0.len())
     }
 }
 
@@ -55,7 +69,31 @@ pub trait Executor: Send + Sync {
     /// Returns the job back as a [`RejectedJob`] if the executor can no
     /// longer run it (it has shut down).  Implementations must never drop a
     /// submitted job silently.
-    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob>;
+    fn execute(&self, job: Job) -> Result<(), RejectedJob>;
+
+    /// Schedules a batch of jobs, amortising queue and wake-up costs over
+    /// the whole group (the seam behind the runtime's `spawn_batch`).
+    ///
+    /// Jobs must become runnable in submission order-compatible fashion (an
+    /// implementation may interleave them with other submissions, but must
+    /// not reorder within the batch in a way that starves an earlier job
+    /// behind a later one indefinitely).  On shutdown the unaccepted tail is
+    /// handed back as a [`RejectedBatch`].
+    ///
+    /// The default implementation simply loops over
+    /// [`execute`](Executor::execute); schedulers override it with a real
+    /// batched enqueue.
+    fn execute_batch(&self, jobs: Vec<Job>) -> Result<(), RejectedBatch> {
+        let mut iter = jobs.into_iter();
+        for job in iter.by_ref() {
+            if let Err(RejectedJob(job)) = self.execute(job) {
+                let mut rest = vec![job];
+                rest.extend(iter);
+                return Err(RejectedBatch(rest));
+            }
+        }
+        Ok(())
+    }
 
     /// Called by a blocking promise wait just before the calling thread
     /// parks.  The default implementation does nothing.
@@ -192,15 +230,18 @@ impl Context {
         self.alarms.clear();
     }
 
-    /// Flushes the calling worker thread's per-worker arena caches (slot
-    /// magazines) back to the global free lists and releases their claims.
+    /// Flushes the calling worker thread's per-worker caches — arena slot
+    /// magazines and job-block magazines — back to their global free lists
+    /// and releases the claims.
     ///
-    /// Runtimes call this when a worker thread retires so the slots it
-    /// cached become immediately reusable; see
-    /// [`SlotArena::release_worker_shard`].
+    /// Runtimes call this when a worker thread retires so the slots and
+    /// blocks it cached become immediately reusable; see
+    /// [`SlotArena::release_worker_shard`] and
+    /// [`job::flush_worker_blocks`](crate::job::flush_worker_blocks).
     pub fn flush_worker_caches(&self) {
         self.tasks.release_worker_shard();
         self.promises.release_worker_shard();
+        job::flush_worker_blocks();
     }
 
     /// Number of currently live (registered, not yet terminated) tasks.
@@ -306,11 +347,8 @@ mod tests {
     fn executor_can_only_be_installed_once() {
         struct Inline;
         impl Executor for Inline {
-            fn execute(
-                &self,
-                job: Box<dyn FnOnce() + Send + 'static>,
-            ) -> Result<(), crate::context::RejectedJob> {
-                job();
+            fn execute(&self, job: Job) -> Result<(), crate::context::RejectedJob> {
+                job.run();
                 Ok(())
             }
         }

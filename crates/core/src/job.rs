@@ -1,0 +1,614 @@
+//! The unit of work shipped to an [`Executor`](crate::Executor), backed by a
+//! recycled block pool.
+//!
+//! Before this module existed a spawned task travelled as a
+//! `Box<dyn FnOnce()>`: one allocator round trip per spawn for the closure
+//! (plus a second one inside the scheduler's Chase–Lev deque, whose slots
+//! are thin words and had to box the fat pointer again).  On fork-heavy
+//! workloads (Sieve's task chain, QSort's ~1k-task tree at default scale and
+//! ~786k at paper scale) the allocator becomes a per-spawn tax and a shared
+//! contention point.
+//!
+//! [`Job`] replaces the boxed closure with a **thin pointer** to a
+//! header-prefixed record:
+//!
+//! ```text
+//!   Job ── *mut JobHeader ──► ┌────────────────────────────┐
+//!                             │ invoke / abandon fn ptrs   │  (the "vtable")
+//!                             │ pooled flag                │
+//!                             ├────────────────────────────┤
+//!                             │ closure payload (inline)   │
+//!                             └────────────────────────────┘
+//! ```
+//!
+//! * The record is thin, so the deque stores it directly in an `AtomicPtr`
+//!   slot — the second allocation is gone structurally.
+//! * Records whose payload fits [`JOB_BLOCK_SIZE`] come from a **recycled
+//!   block pool** with per-worker magazines (modeled on the slot magazines
+//!   of [`crate::arena`]): a registered worker allocates and frees blocks
+//!   with plain array operations on a private cache line, refilling from /
+//!   flushing to a shared backstop list in batches.  Steady-state
+//!   spawn → run → retire touches no global allocator at all.
+//! * Oversized payloads fall back to a plain heap allocation (the `pooled`
+//!   flag routes the release); correctness never depends on fitting.
+//!
+//! # Magazine exclusivity and worker exit
+//!
+//! Magazines are claimed through the worker-registration `(slot, epoch)`
+//! tokens of [`crate::counters`], exactly like the arena's: the claim CAS
+//! makes the magazine private to one live registration, a dead claim (the
+//! worker exited without flushing) is adopted by the next thread that maps
+//! onto the same magazine, and runtimes flush eagerly on worker retirement
+//! via [`flush_worker_blocks`] (called from
+//! [`Context::flush_worker_caches`](crate::Context::flush_worker_caches),
+//! which both schedulers run in their worker-exit hook).  Threads that never
+//! registered (a root task's thread) take the shared backstop list — one
+//! uncontended lock instead of a malloc, and the blocks they free are
+//! reusable by everyone.
+//!
+//! The pool is process-global (blocks are untyped storage, so records from
+//! different runtimes can share it); a block's *contents* never outlive the
+//! one job written into it, so recycling cannot resurrect any task state —
+//! the record is consumed (payload moved out or dropped in place) before the
+//! block re-enters the pool.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use crate::counters::{self, WorkerToken};
+
+/// Size in bytes of one pooled job block (header + inline payload).  Typical
+/// spawn records — prepared task, fused completion handle, a small closure —
+/// are 100–200 bytes; larger closures fall back to the heap.
+pub const JOB_BLOCK_SIZE: usize = 256;
+
+/// Alignment of pooled job blocks (covers every payload the runtime builds;
+/// over-aligned payloads fall back to the heap).
+pub const JOB_BLOCK_ALIGN: usize = 16;
+
+/// Number of per-worker block magazines.
+const JOB_SHARDS: usize = 16;
+
+/// Capacity of one magazine, in cached blocks.
+const JOB_MAG_CAP: usize = 64;
+
+/// Batch size for magazine refills and flushes (half the capacity, so a
+/// worker alternating spawn and retire near a boundary does not thrash).
+const JOB_MAG_REFILL: usize = JOB_MAG_CAP / 2;
+
+fn block_layout() -> Layout {
+    // Infallible: both constants are valid at compile time.
+    Layout::from_size_align(JOB_BLOCK_SIZE, JOB_BLOCK_ALIGN).expect("valid block layout")
+}
+
+/// One per-worker block magazine.  `owner` holds the packed worker token of
+/// the claiming registration (0 = unclaimed); `len`/`blocks` are only
+/// touched by the unique thread whose current token matches `owner` (`len`
+/// is an atomic solely so stats readers can load it without a data race —
+/// the owner uses plain relaxed stores).  `live` is this shard's
+/// contribution to the outstanding-block count, written only by the owner.
+struct Magazine {
+    owner: AtomicU64,
+    len: AtomicUsize,
+    live: AtomicI64,
+    blocks: UnsafeCell<[usize; JOB_MAG_CAP]>,
+}
+
+// SAFETY: `blocks` is only accessed by the magazine's unique claimant (see
+// the claim protocol in the module docs); everything else is atomic.
+unsafe impl Sync for Magazine {}
+
+/// Padding wrapper so neighbouring magazines never share a cache line.
+#[repr(align(128))]
+struct PaddedMagazine(Magazine);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_MAGAZINE: PaddedMagazine = PaddedMagazine(Magazine {
+    owner: AtomicU64::new(0),
+    len: AtomicUsize::new(0),
+    live: AtomicI64::new(0),
+    blocks: UnsafeCell::new([0; JOB_MAG_CAP]),
+});
+
+static MAGAZINES: [PaddedMagazine; JOB_SHARDS] = [EMPTY_MAGAZINE; JOB_SHARDS];
+
+/// Backstop free list (block addresses) shared by unregistered threads and
+/// magazine refill/flush batches.
+static GLOBAL_FREE: parking_lot::Mutex<Vec<usize>> = parking_lot::Mutex::new(Vec::new());
+
+/// Outstanding-block contribution of the global (non-magazine) path.
+static GLOBAL_LIVE: AtomicI64 = AtomicI64::new(0);
+
+fn fresh_block() -> usize {
+    // SAFETY: the layout has non-zero size.
+    let ptr = unsafe { alloc(block_layout()) };
+    if ptr.is_null() {
+        handle_alloc_error(block_layout());
+    }
+    ptr as usize
+}
+
+/// The magazine this thread's worker registration owns (claiming or adopting
+/// it if necessary), or `None` when the thread is unregistered or its
+/// magazine is held by another live worker.
+#[inline]
+fn claimed_magazine() -> Option<&'static Magazine> {
+    let token = counters::current_worker_token()?;
+    let magazine = &MAGAZINES[token.slot as usize % JOB_SHARDS].0;
+    let mine = token.pack_nonzero();
+    let current = magazine.owner.load(Ordering::Acquire);
+    if current == mine {
+        return Some(magazine);
+    }
+    try_claim(magazine, current, mine)
+}
+
+#[cold]
+fn try_claim(
+    magazine: &'static Magazine,
+    mut current: u64,
+    mine: u64,
+) -> Option<&'static Magazine> {
+    loop {
+        if current == mine {
+            return Some(magazine);
+        }
+        if current != 0 {
+            let holder = WorkerToken::unpack_nonzero(current);
+            if holder.is_current() {
+                // Live collision: the loser takes the shared backstop list.
+                return None;
+            }
+            // Dead claim: `is_current` read the holder's release epoch bump
+            // with Acquire, so adopting its cached blocks below is ordered
+            // after every write the dead owner made.
+        }
+        match magazine
+            .owner
+            .compare_exchange(current, mine, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return Some(magazine),
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn magazine_alloc(magazine: &Magazine) -> usize {
+    // SAFETY: `claimed_magazine` only returns a magazine whose claim word
+    // holds the calling thread's current registration token; tokens are
+    // unique per registration, so access to `blocks` is exclusive.
+    let block = unsafe {
+        let blocks = magazine.blocks.get();
+        let mut len = magazine.len.load(Ordering::Relaxed);
+        if len == 0 {
+            // Refill: a batch from the backstop list, topped up fresh.
+            let mut global = GLOBAL_FREE.lock();
+            while len < JOB_MAG_REFILL {
+                match global.pop() {
+                    Some(b) => {
+                        (*blocks)[len] = b;
+                        len += 1;
+                    }
+                    None => break,
+                }
+            }
+            drop(global);
+            while len < JOB_MAG_REFILL {
+                (*blocks)[len] = fresh_block();
+                len += 1;
+            }
+        }
+        len -= 1;
+        let block = (*blocks)[len];
+        magazine.len.store(len, Ordering::Relaxed);
+        block
+    };
+    magazine
+        .live
+        .store(magazine.live.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    block
+}
+
+fn magazine_free(magazine: &Magazine, block: usize) {
+    // SAFETY: as in `magazine_alloc`.
+    unsafe {
+        let blocks = magazine.blocks.get();
+        let mut len = magazine.len.load(Ordering::Relaxed);
+        if len == JOB_MAG_CAP {
+            // Flush the oldest half to the backstop list in one batch.
+            let cached: &[usize] = &(&*blocks)[..JOB_MAG_REFILL];
+            let mut global = GLOBAL_FREE.lock();
+            global.extend_from_slice(cached);
+            drop(global);
+            (*blocks).copy_within(JOB_MAG_REFILL.., 0);
+            len -= JOB_MAG_REFILL;
+        }
+        (*blocks)[len] = block;
+        magazine.len.store(len + 1, Ordering::Relaxed);
+    }
+    magazine
+        .live
+        .store(magazine.live.load(Ordering::Relaxed) - 1, Ordering::Relaxed);
+}
+
+fn pool_alloc() -> *mut u8 {
+    let block = match claimed_magazine() {
+        Some(magazine) => magazine_alloc(magazine),
+        None => {
+            GLOBAL_LIVE.fetch_add(1, Ordering::Relaxed);
+            match GLOBAL_FREE.lock().pop() {
+                Some(b) => b,
+                None => fresh_block(),
+            }
+        }
+    };
+    block as *mut u8
+}
+
+fn pool_free(ptr: *mut u8) {
+    match claimed_magazine() {
+        Some(magazine) => magazine_free(magazine, ptr as usize),
+        None => {
+            GLOBAL_LIVE.fetch_sub(1, Ordering::Relaxed);
+            GLOBAL_FREE.lock().push(ptr as usize);
+        }
+    }
+}
+
+/// Flushes the calling worker's block magazine to the backstop list and
+/// releases its claim.
+///
+/// Runtimes call this (through
+/// [`Context::flush_worker_caches`](crate::Context::flush_worker_caches),
+/// wired into both schedulers' worker-exit hooks) when a worker thread
+/// retires, so blocks cached by a retiring worker are immediately reusable
+/// instead of waiting to be adopted by the next thread that maps onto the
+/// same magazine.  No-op when the calling thread holds no claim.
+pub fn flush_worker_blocks() {
+    let Some(token) = counters::current_worker_token() else {
+        return;
+    };
+    let magazine = &MAGAZINES[token.slot as usize % JOB_SHARDS].0;
+    if magazine.owner.load(Ordering::Acquire) != token.pack_nonzero() {
+        return;
+    }
+    // SAFETY: the claim word holds this thread's current token, so access to
+    // `blocks` is exclusive (as in `magazine_alloc`).
+    unsafe {
+        let blocks = magazine.blocks.get();
+        let len = magazine.len.load(Ordering::Relaxed);
+        if len > 0 {
+            let cached: &[usize] = &(&*blocks)[..len];
+            GLOBAL_FREE.lock().extend_from_slice(cached);
+            magazine.len.store(0, Ordering::Relaxed);
+        }
+    }
+    // Release publishes the flushed (empty) magazine state — and this
+    // thread's `live` delta — to the next claimant.
+    magazine.owner.store(0, Ordering::Release);
+}
+
+/// Point-in-time accounting of the job block pool (for tests and
+/// diagnostics; concurrent activity makes the numbers advisory).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobPoolStats {
+    /// Pooled blocks currently inside live [`Job`]s (allocated, not yet
+    /// released).  Exact once all job-running threads are quiescent.
+    pub outstanding: i64,
+    /// Blocks cached in per-worker magazines.
+    pub cached: usize,
+    /// Blocks on the shared backstop free list.
+    pub free: usize,
+}
+
+/// Reads the pool accounting.  See [`JobPoolStats`].
+pub fn job_pool_stats() -> JobPoolStats {
+    let mut outstanding = GLOBAL_LIVE.load(Ordering::Relaxed);
+    let mut cached = 0;
+    for shard in MAGAZINES.iter() {
+        outstanding += shard.0.live.load(Ordering::Relaxed);
+        cached += shard.0.len.load(Ordering::Relaxed);
+    }
+    JobPoolStats {
+        outstanding,
+        cached,
+        free: GLOBAL_FREE.lock().len(),
+    }
+}
+
+/// The header at offset 0 of every job record.
+struct JobHeader {
+    /// Consumes the record: moves the payload out, releases the storage,
+    /// runs the payload.
+    invoke: unsafe fn(*mut JobHeader),
+    /// Consumes the record without running it: drops the payload in place
+    /// and releases the storage (the shutdown/rejection path — for a spawned
+    /// task this runs the `PreparedTask` exit machinery via the closure's
+    /// captured state).
+    abandon: unsafe fn(*mut JobHeader),
+    /// Whether the storage came from the block pool (vs a plain heap
+    /// allocation sized for an oversized payload).
+    pooled: bool,
+}
+
+/// A concrete record: header followed by the closure, `repr(C)` so the
+/// header is at offset 0 and a `*mut JobHeader` can be cast back.
+#[repr(C)]
+struct Packed<F> {
+    header: JobHeader,
+    payload: ManuallyDrop<F>,
+}
+
+unsafe fn release_record<F>(ptr: *mut JobHeader, pooled: bool) {
+    if pooled {
+        pool_free(ptr.cast());
+    } else {
+        // SAFETY (caller): `ptr` was allocated with this exact layout.
+        unsafe { dealloc(ptr.cast(), Layout::new::<Packed<F>>()) };
+    }
+}
+
+unsafe fn invoke_record<F: FnOnce()>(ptr: *mut JobHeader) {
+    let packed = ptr.cast::<Packed<F>>();
+    // SAFETY (caller): `ptr` is a live record of type `Packed<F>`, consumed
+    // exactly once.  The payload is moved out *before* the storage is
+    // released, and the storage is released *before* the closure runs, so a
+    // nested spawn inside the closure can immediately reuse the block.
+    unsafe {
+        let pooled = (*packed).header.pooled;
+        let f = ManuallyDrop::take(&mut (*packed).payload);
+        release_record::<F>(ptr, pooled);
+        f();
+    }
+}
+
+unsafe fn abandon_record<F>(ptr: *mut JobHeader) {
+    let packed = ptr.cast::<Packed<F>>();
+    // SAFETY (caller): as in `invoke_record`; the payload is dropped in
+    // place instead of run.
+    unsafe {
+        let pooled = (*packed).header.pooled;
+        ManuallyDrop::drop(&mut (*packed).payload);
+        release_record::<F>(ptr, pooled);
+    }
+}
+
+/// An owned, type-erased unit of work: the spawn path's replacement for
+/// `Box<dyn FnOnce() + Send>`.  See the [module docs](self).
+///
+/// Dropping a `Job` without running it drops the closure (and everything it
+/// captured) in place — for a spawned task that triggers the rule-3 exit
+/// machinery exactly like dropping the old boxed closure did.
+pub struct Job {
+    ptr: NonNull<JobHeader>,
+}
+
+// SAFETY: the record owns its payload, which is required to be `Send`; the
+// header fields are plain function pointers and a bool.
+unsafe impl Send for Job {}
+
+impl Job {
+    fn build<F: FnOnce() + Send + 'static>(f: F, force_heap: bool) -> Job {
+        let layout = Layout::new::<Packed<F>>();
+        let pooled =
+            !force_heap && layout.size() <= JOB_BLOCK_SIZE && layout.align() <= JOB_BLOCK_ALIGN;
+        let raw = if pooled {
+            pool_alloc()
+        } else {
+            // SAFETY: `Packed<F>` is never zero-sized (it contains the
+            // header's function pointers).
+            let ptr = unsafe { alloc(layout) };
+            if ptr.is_null() {
+                handle_alloc_error(layout);
+            }
+            ptr
+        };
+        let record = raw.cast::<Packed<F>>();
+        // SAFETY: `raw` is valid for writes of `Packed<F>` (pool blocks are
+        // JOB_BLOCK_SIZE/JOB_BLOCK_ALIGN and the pooled branch checked fit).
+        unsafe {
+            record.write(Packed {
+                header: JobHeader {
+                    invoke: invoke_record::<F>,
+                    abandon: abandon_record::<F>,
+                    pooled,
+                },
+                payload: ManuallyDrop::new(f),
+            });
+        }
+        Job {
+            ptr: NonNull::new(record.cast()).expect("allocation is non-null"),
+        }
+    }
+
+    /// Wraps a closure, using a recycled block when the record fits
+    /// [`JOB_BLOCK_SIZE`].
+    pub fn new<F: FnOnce() + Send + 'static>(f: F) -> Job {
+        Self::build(f, false)
+    }
+
+    /// Like [`new`](Self::new) but always heap-allocates the record,
+    /// bypassing the block pool.  Retained so benchmarks can compare the
+    /// recycled path against the old always-allocate behaviour on the same
+    /// build.
+    #[doc(hidden)]
+    pub fn new_unpooled<F: FnOnce() + Send + 'static>(f: F) -> Job {
+        Self::build(f, true)
+    }
+
+    /// Runs the job, consuming it.
+    pub fn run(self) {
+        let ptr = self.ptr.as_ptr();
+        std::mem::forget(self);
+        // SAFETY: `ptr` is the live record this Job owned; forgetting `self`
+        // above makes this the single consumption.
+        unsafe { ((*ptr).invoke)(ptr) };
+    }
+
+    /// Disassembles the job into its raw record pointer (for queue slots
+    /// that store thin words).  The caller becomes responsible for
+    /// re-assembling it with [`from_raw`](Self::from_raw) exactly once.
+    #[doc(hidden)]
+    pub fn into_raw(self) -> *mut () {
+        let ptr = self.ptr.as_ptr().cast();
+        std::mem::forget(self);
+        ptr
+    }
+
+    /// Re-assembles a job from [`into_raw`](Self::into_raw).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `into_raw` and must not be reused afterwards.
+    #[doc(hidden)]
+    pub unsafe fn from_raw(ptr: *mut ()) -> Job {
+        Job {
+            ptr: NonNull::new(ptr.cast()).expect("job pointer is non-null"),
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        let ptr = self.ptr.as_ptr();
+        // SAFETY: the record is live (run/into_raw forget `self` first);
+        // this is the single consumption.
+        unsafe { ((*ptr).abandon)(ptr) };
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Job(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Serialises the tests that assert on the (process-global) pool
+    /// accounting, and shields them from stray jobs of other tests by
+    /// polling for the expected settled value.
+    static POOL_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    fn assert_outstanding_settles_to(expected: i64) {
+        for _ in 0..2000 {
+            if job_pool_stats().outstanding == expected {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(job_pool_stats().outstanding, expected);
+    }
+
+    #[test]
+    fn run_executes_the_closure_once() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let job = Job::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        job.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dropping_an_unrun_job_drops_the_payload() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let canary = Canary(Arc::clone(&drops));
+        let job = Job::new(move || drop(canary));
+        drop(job);
+        assert_eq!(drops.load(Ordering::Relaxed), 1, "payload dropped, not run");
+    }
+
+    #[test]
+    fn oversized_payloads_fall_back_to_the_heap() {
+        let big = [7u8; 4 * JOB_BLOCK_SIZE];
+        let out = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&out);
+        let job = Job::new(move || {
+            o.store(big.iter().map(|&b| b as usize).sum(), Ordering::Relaxed);
+        });
+        job.run();
+        assert_eq!(out.load(Ordering::Relaxed), 7 * 4 * JOB_BLOCK_SIZE);
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_the_job() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let raw = Job::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        })
+        .into_raw();
+        let job = unsafe { Job::from_raw(raw) };
+        job.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn registered_worker_recycles_blocks_through_its_magazine() {
+        let _guard = POOL_LOCK.lock();
+        let before = job_pool_stats().outstanding;
+        std::thread::spawn(move || {
+            let _worker = counters::register_worker();
+            for i in 0..200 {
+                let job = Job::new(move || {
+                    std::hint::black_box(i);
+                });
+                job.run();
+            }
+            let cached = job_pool_stats().cached;
+            assert!(cached > 0, "the magazine caches recycled blocks");
+            flush_worker_blocks();
+        })
+        .join()
+        .unwrap();
+        assert_outstanding_settles_to(before);
+    }
+
+    #[test]
+    fn cross_thread_run_returns_blocks_to_the_receivers_side() {
+        // Jobs created on one registered worker and run on another must not
+        // corrupt either magazine; accounting stays balanced.
+        let _guard = POOL_LOCK.lock();
+        let before = job_pool_stats().outstanding;
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let consumer = std::thread::spawn(move || {
+            let _worker = counters::register_worker();
+            let mut sum = 0usize;
+            while let Ok(job) = rx.recv() {
+                job.run();
+                sum += 1;
+            }
+            flush_worker_blocks();
+            sum
+        });
+        std::thread::spawn(move || {
+            let _worker = counters::register_worker();
+            for i in 0..500 {
+                tx.send(Job::new(move || {
+                    std::hint::black_box(i);
+                }))
+                .unwrap();
+            }
+            flush_worker_blocks();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(consumer.join().unwrap(), 500);
+        assert_outstanding_settles_to(before);
+    }
+}

@@ -55,23 +55,27 @@ pub mod counters;
 pub mod detector;
 pub mod error;
 pub mod ids;
+pub mod job;
 pub mod ownership;
 pub mod policy;
 pub mod promise;
 pub mod refs;
 pub mod report;
 pub mod slots;
+pub mod smallvec;
 pub mod task;
 pub mod waitq;
 
 pub use alarms::{AlarmSink, MutexSink};
-pub use cell::{MutexCell, OneShotCell};
-pub use collection::{collect_promises, PromiseCollection};
-pub use context::{Alarm, Context, Executor, RejectedJob};
+pub use cell::{MutexCell, OneShotCell, ResultSlot};
+pub use collection::{collect_promises, PromiseCollection, TransferList};
+pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
 pub use ids::{PromiseId, TaskId};
+pub use job::Job;
 pub use policy::{LedgerMode, OmittedSetAction, PolicyConfig, VerificationMode};
 pub use promise::{ErasedPromise, Promise};
+pub use smallvec::SmallVec;
 pub use task::{current_task_id, has_current_task, PreparedTask, RootTask, TaskScope};
 pub use waitq::WaitQueue;

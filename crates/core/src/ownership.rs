@@ -22,6 +22,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use crate::collection::TransferList;
 use crate::context::Alarm;
 use crate::error::{AbandonedPromise, OmittedSetReport, PromiseError};
 use crate::ids::{PromiseId, TaskId};
@@ -42,8 +43,9 @@ use crate::task::{self, Ledger, PreparedTask, TaskBody};
 /// collapsed to one.
 pub fn prepare_task(
     name: Option<&str>,
-    transfers: Vec<Arc<dyn ErasedPromise>>,
+    transfers: impl Into<TransferList>,
 ) -> Result<PreparedTask, PromiseError> {
+    let transfers = transfers.into();
     task::with_current_body(|parent| {
         let ctx = Arc::clone(&parent.ctx);
         ctx.counters().record_task_spawned();
@@ -55,7 +57,7 @@ pub fn prepare_task(
         }
 
         // Collapse duplicate handles to the same promise.
-        let mut unique: Vec<Arc<dyn ErasedPromise>> = Vec::with_capacity(transfers.len());
+        let mut unique = TransferList::new();
         for p in transfers {
             if !unique.iter().any(|q| q.id() == p.id()) {
                 unique.push(p);

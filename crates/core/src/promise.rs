@@ -101,15 +101,18 @@ pub trait ErasedPromise: Send + Sync {
     fn complete_abandoned(&self, err: PromiseError) -> bool;
 }
 
-pub(crate) struct PromiseInner<T> {
+pub(crate) struct PromiseInner<T, X = ()> {
     ctx: Arc<Context>,
     id: PromiseId,
     name: Option<Arc<str>>,
     slot: PackedRef,
     cell: OneShotCell<Result<T, PromiseError>>,
+    /// Extension payload fused into the same allocation (see
+    /// [`Promise::try_new_with`]); `()` for ordinary promises.
+    extra: X,
 }
 
-impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
+impl<T: Send + Sync + 'static, X: Send + Sync + 'static> ErasedPromise for PromiseInner<T, X> {
     fn id(&self) -> PromiseId {
         self.id
     }
@@ -137,7 +140,7 @@ impl<T: Send + Sync + 'static> ErasedPromise for PromiseInner<T> {
     }
 }
 
-impl<T> PromiseInner<T> {
+impl<T, X> PromiseInner<T, X> {
     /// Fills the cell.  `count_set` records the event counter in the cell's
     /// pre-publish hook — after the fill is committed but *before* the
     /// release store that makes it observable — so a measurement snapshot
@@ -165,7 +168,7 @@ impl<T> PromiseInner<T> {
     }
 }
 
-impl<T> Drop for PromiseInner<T> {
+impl<T, X> Drop for PromiseInner<T, X> {
     fn drop(&mut self) {
         if !self.slot.is_null() {
             self.ctx.promises.free(self.slot);
@@ -174,11 +177,17 @@ impl<T> Drop for PromiseInner<T> {
 }
 
 /// A shareable handle to a one-shot, ownership-verified promise.
-pub struct Promise<T> {
-    inner: Arc<PromiseInner<T>>,
+///
+/// The second type parameter `X` (default `()`) is an *extension payload*
+/// fused into the promise's single allocation — the seam behind the
+/// runtime's fused task-completion cell, where `X` is a
+/// [`ResultSlot`](crate::cell::ResultSlot) carrying the task body's typed
+/// return value.  Ordinary promises are `Promise<T>` and never see it.
+pub struct Promise<T, X = ()> {
+    inner: Arc<PromiseInner<T, X>>,
 }
 
-impl<T> Clone for Promise<T> {
+impl<T, X> Clone for Promise<T, X> {
     fn clone(&self) -> Self {
         Promise {
             inner: Arc::clone(&self.inner),
@@ -186,7 +195,7 @@ impl<T> Clone for Promise<T> {
     }
 }
 
-impl<T> std::fmt::Debug for Promise<T> {
+impl<T, X> std::fmt::Debug for Promise<T, X> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Promise")
             .field("id", &self.inner.id)
@@ -226,6 +235,23 @@ impl<T: Send + Sync + 'static> Promise<T> {
 
     /// Fallible form of [`Promise::new`] / [`Promise::with_name`].
     pub fn try_new(name: Option<&str>) -> Result<Self, PromiseError> {
+        Self::try_new_with(name, ())
+    }
+}
+
+impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
+    /// Creates a promise with an extension payload fused into its single
+    /// allocation (Algorithm 1 rule 1 applies exactly as for
+    /// [`try_new`](Promise::try_new)).
+    ///
+    /// **Runtime-integration seam, not part of the user API**: its one
+    /// intended caller is the runtime's spawn path, which fuses the typed
+    /// task-result slot into the implicit completion promise so a spawn
+    /// performs one allocation instead of two.  The payload is reachable
+    /// through [`extra`](Promise::extra) and participates in nothing else —
+    /// no policy rule, no detector edge.
+    #[doc(hidden)]
+    pub fn try_new_with(name: Option<&str>, extra: X) -> Result<Promise<T, X>, PromiseError> {
         task::with_current_body(|body| {
             let ctx = Arc::clone(&body.ctx);
             ctx.counters().record_promise_created();
@@ -255,6 +281,7 @@ impl<T: Send + Sync + 'static> Promise<T> {
                 name,
                 slot,
                 cell: OneShotCell::new(),
+                extra,
             });
             if tracks {
                 body.ledger.append(inner.clone() as Arc<dyn ErasedPromise>);
@@ -264,6 +291,13 @@ impl<T: Send + Sync + 'static> Promise<T> {
         .ok_or(PromiseError::NoCurrentTask {
             operation: "Promise::new",
         })
+    }
+
+    /// The extension payload fused into this promise's allocation (`()` for
+    /// ordinary promises).  See [`try_new_with`](Promise::try_new_with).
+    #[doc(hidden)]
+    pub fn extra(&self) -> &X {
+        &self.inner.extra
     }
 
     /// The promise's stable id.

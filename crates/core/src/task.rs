@@ -21,6 +21,7 @@ use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use crate::collection::TransferList;
 use crate::context::Context;
 use crate::error::OmittedSetReport;
 use crate::ids::{PromiseId, TaskId};
@@ -40,8 +41,10 @@ pub(crate) enum Ledger {
     /// append-only and filtered at exit; in [`LedgerMode::Eager`] entries are
     /// removed as soon as the promise is set or transferred away.
     List {
-        /// Owned entries (possibly stale in lazy mode).
-        entries: Vec<Arc<dyn ErasedPromise>>,
+        /// Owned entries (possibly stale in lazy mode).  Inline-first: the
+        /// common ledger (a task's transferred promises plus its completion
+        /// promise) costs no allocation.
+        entries: TransferList,
         /// Whether entries are eagerly removed.
         eager: bool,
     },
@@ -56,11 +59,11 @@ impl Ledger {
         }
         match mode {
             LedgerMode::Lazy => Ledger::List {
-                entries: Vec::new(),
+                entries: TransferList::new(),
                 eager: false,
             },
             LedgerMode::Eager => Ledger::List {
-                entries: Vec::new(),
+                entries: TransferList::new(),
                 eager: true,
             },
             LedgerMode::CountOnly => Ledger::Count(0),
@@ -83,7 +86,8 @@ impl Ledger {
             Ledger::Disabled => {}
             Ledger::List { entries, eager } => {
                 if *eager {
-                    if let Some(pos) = entries.iter().position(|e| e.id() == id) {
+                    let pos = entries.iter().position(|e| e.id() == id);
+                    if let Some(pos) = pos {
                         entries.swap_remove(pos);
                     }
                 }

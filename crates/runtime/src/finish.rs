@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 
 use promise_core::{PromiseCollection, PromiseError};
 
+use crate::batch::SpawnBatch;
 use crate::handle::TaskHandle;
 use crate::spawn::try_spawn_named;
 
@@ -54,6 +55,15 @@ impl FinishScope {
     {
         let handle = try_spawn_named(Some(name), transfers, f).expect("finish scope spawn failed");
         self.pending.lock().push(handle);
+    }
+
+    /// Submits a prepared [`SpawnBatch`] and registers every spawned task
+    /// with the scope, so the whole group is awaited before the enclosing
+    /// [`finish`] returns.  One scheduler round trip for N children — the
+    /// batched sibling of [`spawn`](Self::spawn).
+    pub fn spawn_batch(&self, batch: SpawnBatch<()>) {
+        let handles = batch.submit();
+        self.pending.lock().extend(handles);
     }
 
     /// Number of tasks registered and not yet drained.

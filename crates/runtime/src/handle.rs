@@ -6,35 +6,40 @@
 //! *completion promise* which it fulfills as its very last action.  Joining
 //! the handle is a `get` on that promise, so joins participate in deadlock
 //! detection exactly like any other promise wait.
+//!
+//! The handle is *fused*: the completion promise carries the task body's
+//! typed return value in a [`ResultSlot`] living inside the same allocation
+//! (see [`CompletionPromise`] and the `spawn` module docs), so a handle is
+//! one `Arc` — there is no separate result side channel.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use promise_core::{Promise, PromiseError, ResultSlot, TaskId};
 
-use promise_core::{Promise, PromiseError, TaskId};
+/// A task's completion promise with the typed result slot fused into the
+/// same allocation: fulfilment signals termination, the slot carries the
+/// body's return value.
+pub type CompletionPromise<R> = Promise<(), ResultSlot<R>>;
 
 /// A handle to a spawned task, usable to await its termination and retrieve
 /// its result.
 pub struct TaskHandle<R> {
     task_id: TaskId,
     name: Option<Arc<str>>,
-    completion: Promise<()>,
-    result: Arc<Mutex<Option<R>>>,
+    completion: CompletionPromise<R>,
 }
 
-impl<R> TaskHandle<R> {
+impl<R: Send + 'static> TaskHandle<R> {
     pub(crate) fn new(
         task_id: TaskId,
         name: Option<Arc<str>>,
-        completion: Promise<()>,
-        result: Arc<Mutex<Option<R>>>,
+        completion: CompletionPromise<R>,
     ) -> Self {
         TaskHandle {
             task_id,
             name,
             completion,
-            result,
         }
     }
 
@@ -56,7 +61,7 @@ impl<R> TaskHandle<R> {
     /// The completion promise backing this handle.  Exposed so that waiting
     /// on "any of these tasks" patterns can be built; most code should just
     /// call [`join`](Self::join).
-    pub fn completion(&self) -> &Promise<()> {
+    pub fn completion(&self) -> &CompletionPromise<R> {
         &self.completion
     }
 
@@ -84,16 +89,19 @@ impl<R> TaskHandle<R> {
     ///   deadlock cycle.
     pub fn join(self) -> Result<R, PromiseError> {
         self.completion.get()?;
+        // The fused slot was written before the completion promise
+        // published, so a successful get implies the value is present
+        // (and `join` consuming `self` means nobody raced us to take it).
         let value = self
-            .result
-            .lock()
+            .completion
+            .extra()
             .take()
             .expect("task completed successfully but produced no result value");
         Ok(value)
     }
 }
 
-impl<R> std::fmt::Debug for TaskHandle<R> {
+impl<R: Send + 'static> std::fmt::Debug for TaskHandle<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaskHandle")
             .field("task", &self.task_id)

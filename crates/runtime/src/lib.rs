@@ -14,7 +14,12 @@
 //! * **spawning with ownership transfer** ([`spawn`], [`spawn_named`]): the
 //!   `async (p1, …, pn) { … }` construct of the paper — the listed promises
 //!   move from the parent to the child before the child becomes runnable,
-//!   and the child's termination runs the rule-3 exit check;
+//!   and the child's termination runs the rule-3 exit check.  The spawn
+//!   path is zero-alloc in steady state: fused result/completion cells,
+//!   recycled job records, and inline transfer lists (see [`spawn`]);
+//! * **batched submission** ([`spawn_batch`], [`SpawnBatch`]): prepare N
+//!   children (transfers validated in order) and publish them with one
+//!   injector push-chain and one wake sweep;
 //! * **task handles** ([`TaskHandle`]): joinable results implemented with the
 //!   `new p; async (p, …) { …; set p }` pattern of §2.1;
 //! * **finish scopes** ([`finish`], [`FinishScope`]): await the termination
@@ -47,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod finish;
 pub mod handle;
 pub mod metrics;
@@ -55,10 +61,11 @@ pub mod runtime;
 pub mod scheduler;
 pub mod spawn;
 
+pub use batch::{spawn_batch, SpawnBatch};
 pub use finish::{finish, FinishScope};
-pub use handle::TaskHandle;
+pub use handle::{CompletionPromise, TaskHandle};
 pub use metrics::RunMetrics;
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
 pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind};
-pub use scheduler::{SchedulerConfig, WorkStealingScheduler};
+pub use scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler};
 pub use spawn::{spawn, spawn_named, try_spawn, try_spawn_named};

@@ -32,6 +32,33 @@ impl RunMetrics {
         self.counters.tasks_spawned
     }
 
+    /// Spawns during the run, excluding the root task — the number of trips
+    /// through the runtime's spawn fast path.
+    pub fn spawns(&self) -> u64 {
+        self.counters.tasks_spawned.saturating_sub(1)
+    }
+
+    /// Jobs executed after being stolen cross-worker.
+    ///
+    /// Like [`RunMetrics::pool`] as a whole this is the scheduler-lifetime
+    /// total at the end of the run, not a per-run delta (the pool outlives
+    /// individual measured runs).
+    pub fn steals(&self) -> usize {
+        self.pool.jobs_stolen
+    }
+
+    /// Batched submissions accepted by the scheduler (lifetime total, see
+    /// [`steals`](Self::steals)).
+    pub fn batches(&self) -> usize {
+        self.pool.batches_submitted
+    }
+
+    /// Jobs that arrived through batched submissions (lifetime total, see
+    /// [`steals`](Self::steals)).
+    pub fn batched_jobs(&self) -> usize {
+        self.pool.jobs_batch_submitted
+    }
+
     /// Average `get` operations per millisecond (Table 1 "Gets/ms").
     pub fn gets_per_ms(&self) -> f64 {
         self.counters.gets_per_ms(self.wall)
@@ -47,12 +74,15 @@ impl std::fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "wall={:.3}s tasks={} gets/ms={:.2} sets/ms={:.2} peak_threads={}",
+            "wall={:.3}s tasks={} gets/ms={:.2} sets/ms={:.2} peak_threads={} steals={} \
+             batched={}",
             self.wall.as_secs_f64(),
             self.tasks(),
             self.gets_per_ms(),
             self.sets_per_ms(),
             self.pool.peak_workers,
+            self.steals(),
+            self.batched_jobs(),
         )
     }
 }

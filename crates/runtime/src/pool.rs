@@ -20,9 +20,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use promise_core::{Executor, RejectedJob};
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
+use promise_core::{Executor, Job, RejectedBatch, RejectedJob};
 
 /// A callback every worker thread runs as it retires (still on the worker
 /// thread, while its worker registration is active).
@@ -93,6 +91,11 @@ pub struct PoolStats {
     /// Jobs executed after being stolen from another worker's local queue
     /// (always 0 for the single-queue [`GrowingPool`]).
     pub jobs_stolen: usize,
+    /// Batched submissions accepted (`Executor::execute_batch` groups).
+    pub batches_submitted: usize,
+    /// Jobs submitted through batches (each also counted in the queue/exec
+    /// totals like an individual submission).
+    pub jobs_batch_submitted: usize,
     /// Jobs currently queued.
     pub queued_jobs: usize,
 }
@@ -104,6 +107,8 @@ struct PoolState {
     peak_workers: usize,
     threads_started: usize,
     jobs_executed: usize,
+    batches_submitted: usize,
+    jobs_batch_submitted: usize,
     shutdown: bool,
     joiners: Vec<std::thread::JoinHandle<()>>,
 }
@@ -135,6 +140,8 @@ impl GrowingPool {
                     peak_workers: 0,
                     threads_started: 0,
                     jobs_executed: 0,
+                    batches_submitted: 0,
+                    jobs_batch_submitted: 0,
                     shutdown: false,
                     joiners: Vec::new(),
                 }),
@@ -182,6 +189,40 @@ impl GrowingPool {
         Ok(())
     }
 
+    /// Submits a whole batch under one lock acquisition, handing it back if
+    /// the pool has been shut down.
+    ///
+    /// The §6.3 submission rule is applied with exactly the semantics of N
+    /// sequential [`try_submit`](Self::try_submit) calls under one lock:
+    /// `idle_workers` cannot change while the submitter holds the state
+    /// lock, so either no worker is idle — and, as per-job submission would
+    /// have done, every job gets a fresh worker thread (each may block) —
+    /// or idle workers exist and each is notified once (per-job submission
+    /// never grows while a worker is idle).
+    pub fn try_submit_batch(&self, jobs: Vec<Job>) -> Result<(), Vec<Job>> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.inner.state.lock();
+        if state.shutdown {
+            return Err(jobs);
+        }
+        let n = jobs.len();
+        state.batches_submitted += 1;
+        state.jobs_batch_submitted += n;
+        state.queue.extend(jobs);
+        if state.idle_workers == 0 {
+            for _ in 0..n {
+                Self::spawn_worker(&self.inner, &mut state);
+            }
+        } else {
+            for _ in 0..state.idle_workers.min(n) {
+                self.inner.work_available.notify_one();
+            }
+        }
+        Ok(())
+    }
+
     fn spawn_worker(inner: &Arc<PoolInner>, state: &mut PoolState) {
         state.current_workers += 1;
         state.threads_started += 1;
@@ -213,7 +254,7 @@ impl GrowingPool {
                 // A panicking job must not take the worker down: panics are
                 // caught and surfaced through the task's promises by the
                 // spawn wrapper; at this level we only keep the pool alive.
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                let _ = catch_unwind(AssertUnwindSafe(|| job.run()));
                 state = inner.state.lock();
                 state.jobs_executed += 1;
                 continue;
@@ -255,6 +296,8 @@ impl GrowingPool {
             threads_started: state.threads_started,
             jobs_executed: state.jobs_executed,
             jobs_stolen: 0,
+            batches_submitted: state.batches_submitted,
+            jobs_batch_submitted: state.jobs_batch_submitted,
             queued_jobs: state.queue.len(),
         }
     }
@@ -281,10 +324,14 @@ impl GrowingPool {
 }
 
 impl Executor for GrowingPool {
-    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob> {
+    fn execute(&self, job: Job) -> Result<(), RejectedJob> {
         // No silent drop: a submission after shutdown hands the job back so
         // the spawn layer can settle the task's promises exceptionally.
         self.try_submit(job).map_err(RejectedJob)
+    }
+
+    fn execute_batch(&self, jobs: Vec<Job>) -> Result<(), RejectedBatch> {
+        self.try_submit_batch(jobs).map_err(RejectedBatch)
     }
 
     fn on_task_blocked(&self) {
@@ -323,7 +370,7 @@ mod tests {
         for _ in 0..64 {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
-            pool.submit(Box::new(move || {
+            pool.submit(Job::new(move || {
                 counter.fetch_add(1, Ordering::Relaxed);
                 tx.send(()).unwrap();
             }));
@@ -348,7 +395,7 @@ mod tests {
             ..PoolConfig::default()
         });
         let (tx, rx) = mpsc::channel();
-        pool.submit(Box::new(move || tx.send(()).unwrap()));
+        pool.submit(Job::new(move || tx.send(()).unwrap()));
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
         pool.shutdown();
         let started = pool.stats().threads_started;
@@ -373,7 +420,7 @@ mod tests {
         for _ in 0..n {
             let started_tx = started_tx.clone();
             let release_rx = Arc::clone(&release_rx);
-            pool.submit(Box::new(move || {
+            pool.submit(Job::new(move || {
                 started_tx.send(()).unwrap();
                 let guard = release_rx.lock();
                 let _ = guard.recv_timeout(Duration::from_secs(10));
@@ -395,11 +442,40 @@ mod tests {
     }
 
     #[test]
+    fn batch_submission_runs_every_job() {
+        let pool = GrowingPool::with_defaults();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<Job> = (0..16)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                let tx = tx.clone();
+                Job::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                })
+            })
+            .collect();
+        pool.try_submit_batch(jobs).ok().unwrap();
+        for _ in 0..16 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        let stats = pool.stats();
+        assert_eq!(stats.batches_submitted, 1);
+        assert_eq!(stats.jobs_batch_submitted, 16);
+
+        pool.shutdown();
+        let back = pool.try_submit_batch(vec![Job::new(|| {})]).unwrap_err();
+        assert_eq!(back.len(), 1, "post-shutdown batches are handed back");
+    }
+
+    #[test]
     fn panicking_job_does_not_kill_the_pool() {
         let pool = GrowingPool::with_defaults();
         let (tx, rx) = mpsc::channel();
-        pool.submit(Box::new(|| panic!("job panic")));
-        pool.submit(Box::new(move || tx.send(42).unwrap()));
+        pool.submit(Job::new(|| panic!("job panic")));
+        pool.submit(Job::new(move || tx.send(42).unwrap()));
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
     }
 
@@ -409,14 +485,14 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {
             let counter = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
+            pool.submit(Job::new(move || {
                 counter.fetch_add(1, Ordering::Relaxed);
             }));
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 16);
         assert!(
-            !pool.submit(Box::new(|| {})),
+            !pool.submit(Job::new(|| {})),
             "pool must reject jobs after shutdown"
         );
         assert_eq!(pool.stats().current_workers, 0);
@@ -429,14 +505,14 @@ mod tests {
             ..PoolConfig::default()
         });
         let (tx, rx) = mpsc::channel();
-        pool.submit(Box::new(move || tx.send(()).unwrap()));
+        pool.submit(Job::new(move || tx.send(()).unwrap()));
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
         // Give the worker time to time out and retire.
         std::thread::sleep(Duration::from_millis(300));
         assert_eq!(pool.stats().current_workers, 0);
         // The pool still works afterwards.
         let (tx2, rx2) = mpsc::channel();
-        pool.submit(Box::new(move || tx2.send(7).unwrap()));
+        pool.submit(Job::new(move || tx2.send(7).unwrap()));
         assert_eq!(rx2.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
     }
 

@@ -9,7 +9,7 @@ use promise_core::{
 
 use crate::metrics::RunMetrics;
 use crate::pool::{GrowingPool, PoolConfig, PoolStats};
-use crate::scheduler::{SchedulerConfig, WorkStealingScheduler};
+use crate::scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler};
 
 /// Which task-scheduler implementation a [`Runtime`] uses.
 ///
@@ -75,6 +75,7 @@ pub struct RuntimeBuilder {
     pool: PoolConfig,
     kind: SchedulerKind,
     injector_shards: usize,
+    steal_order: StealOrder,
     blocked_aware_growth: bool,
 }
 
@@ -85,6 +86,7 @@ impl Default for RuntimeBuilder {
             pool: PoolConfig::default(),
             kind: SchedulerKind::default(),
             injector_shards: SchedulerConfig::default().injector_shards,
+            steal_order: StealOrder::default(),
             blocked_aware_growth: false,
         }
     }
@@ -139,8 +141,22 @@ impl RuntimeBuilder {
 
     /// Number of injector shards of the work-stealing scheduler (ignored by
     /// [`SchedulerKind::GrowingPool`]).
+    ///
+    /// More shards let more concurrent external submitters (and draining
+    /// workers) proceed in parallel; fewer shards make each drain sweep
+    /// cheaper.  The default (8) suits small machines — a multi-core tuning
+    /// knob, surfaced per the ROADMAP item.
     pub fn injector_shards(mut self, shards: usize) -> Self {
         self.injector_shards = shards.max(1);
+        self
+    }
+
+    /// Steal-order policy of the work-stealing scheduler (ignored by
+    /// [`SchedulerKind::GrowingPool`]): sequential round-robin sweeps
+    /// (default) or a per-thread randomized start that decorrelates thieves
+    /// on wide machines.  See [`StealOrder`].
+    pub fn steal_order(mut self, order: StealOrder) -> Self {
+        self.steal_order = order;
         self
     }
 
@@ -199,6 +215,7 @@ impl RuntimeBuilder {
                 Pool::Stealing(WorkStealingScheduler::new(SchedulerConfig {
                     base: pool_config,
                     injector_shards: self.injector_shards,
+                    steal_order: self.steal_order,
                     blocked_aware_growth: self.blocked_aware_growth,
                     ..SchedulerConfig::default()
                 }))

@@ -7,11 +7,13 @@
 //! ("Correct and Efficient Work-Stealing for Weak Memory Models", PPoPP'13),
 //! with two implementation choices that keep the unsafe surface small:
 //!
-//! * **Slots hold thin pointers.**  A job is a fat `Box<dyn FnOnce()>`; it is
-//!   boxed once more so that a slot is a single machine word stored in an
-//!   `AtomicPtr`.  Every slot access is a plain atomic load/store, so the
-//!   algorithm's benign speculative reads (a stealer reading a slot it then
-//!   fails to claim) never produce a torn value.
+//! * **Slots hold thin pointers.**  A [`Job`] is already a thin pointer to
+//!   its (pool-recycled) record, so a slot is a single machine word stored
+//!   in an `AtomicPtr` with no re-boxing — the extra per-push allocation
+//!   the old `Box<Box<dyn FnOnce()>>` scheme paid is gone structurally.
+//!   Every slot access is a plain atomic load/store, so the algorithm's
+//!   benign speculative reads (a stealer reading a slot it then fails to
+//!   claim) never produce a torn value.
 //! * **Retired buffers are kept alive until the deque dies.**  When the
 //!   owner grows the ring, the old buffer is pushed onto a graveyard list
 //!   instead of being freed, so a stealer that raced the growth still reads
@@ -29,15 +31,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// The unit of work shipped between scheduler components.
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+use promise_core::Job;
 
-/// A slot value: thin pointer to a heap cell holding the fat job box.
-type Slot = *mut Job;
+/// A slot value: the job's raw record pointer ([`Job::into_raw`]).
+type Slot = *mut ();
 
 struct Buffer {
     cap: usize,
-    slots: Box<[AtomicPtr<Job>]>,
+    slots: Box<[AtomicPtr<()>]>,
 }
 
 impl Buffer {
@@ -48,7 +49,7 @@ impl Buffer {
     }
 
     #[inline]
-    fn slot(&self, index: isize) -> &AtomicPtr<Job> {
+    fn slot(&self, index: isize) -> &AtomicPtr<()> {
         &self.slots[index as usize & (self.cap - 1)]
     }
 }
@@ -82,7 +83,7 @@ impl Drop for DequeState {
             for i in t..b {
                 let slot = buf.slot(i).load(Ordering::Relaxed);
                 if !slot.is_null() {
-                    drop(Box::from_raw(slot));
+                    drop(Job::from_raw(slot));
                 }
             }
             drop(Box::from_raw(buf_ptr));
@@ -136,7 +137,7 @@ impl WorkerDeque {
 
     /// Pushes a job at the bottom (owner only).
     pub(crate) fn push(&self, job: Job) {
-        let cell: Slot = Box::into_raw(Box::new(job));
+        let cell: Slot = job.into_raw();
         let s = &*self.state;
         let b = s.bottom.load(Ordering::Relaxed);
         let t = s.top.load(Ordering::Acquire);
@@ -168,7 +169,7 @@ impl WorkerDeque {
         let cell = buf.slot(b).load(Ordering::Relaxed);
         if t < b {
             // More than one element: the bottom one is ours uncontended.
-            return Some(unsafe { *Box::from_raw(cell) });
+            return Some(unsafe { Job::from_raw(cell) });
         }
         // Exactly one element: race stealers for it via `top`.
         let won = s
@@ -177,7 +178,7 @@ impl WorkerDeque {
             .is_ok();
         s.bottom.store(b + 1, Ordering::Relaxed);
         if won {
-            Some(unsafe { *Box::from_raw(cell) })
+            Some(unsafe { Job::from_raw(cell) })
         } else {
             None
         }
@@ -239,7 +240,7 @@ impl Stealer {
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
         {
-            Steal::Success(unsafe { *Box::from_raw(cell) })
+            Steal::Success(unsafe { Job::from_raw(cell) })
         } else {
             Steal::Retry
         }
@@ -274,11 +275,11 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..10 {
             let log = Arc::clone(&log);
-            q.push(Box::new(move || log.lock().push(i)));
+            q.push(Job::new(move || log.lock().push(i)));
         }
         assert_eq!(q.len(), 10);
         while let Some(job) = q.pop() {
-            job();
+            job.run();
         }
         assert_eq!(*log.lock(), (0..10).rev().collect::<Vec<_>>());
     }
@@ -290,12 +291,12 @@ mod tests {
         let hits = Arc::new(AtomicUsize::new(0));
         for _ in 0..n {
             let hits = Arc::clone(&hits);
-            q.push(Box::new(move || {
+            q.push(Job::new(move || {
                 hits.fetch_add(1, Ordering::Relaxed);
             }));
         }
         while let Some(job) = q.pop() {
-            job();
+            job.run();
         }
         assert_eq!(hits.load(Ordering::Relaxed), n);
     }
@@ -312,7 +313,7 @@ mod tests {
         let (q, _s) = WorkerDeque::new(4);
         for _ in 0..5 {
             let c = Canary(Arc::clone(&drops));
-            q.push(Box::new(move || drop(c)));
+            q.push(Job::new(move || drop(c)));
         }
         let job = q.pop().unwrap();
         drop(job); // one dropped unrun
@@ -335,7 +336,7 @@ mod tests {
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || loop {
                     match s.steal() {
-                        Steal::Success(job) => job(),
+                        Steal::Success(job) => job.run(),
                         Steal::Retry => std::hint::spin_loop(),
                         Steal::Empty => {
                             if stop.load(Ordering::Acquire) {
@@ -350,18 +351,18 @@ mod tests {
 
         for i in 0..n {
             let executed = Arc::clone(&executed);
-            q.push(Box::new(move || {
+            q.push(Job::new(move || {
                 executed.fetch_add(1, Ordering::Relaxed);
                 std::hint::black_box(i);
             }));
             if i % 3 == 0 {
                 if let Some(job) = q.pop() {
-                    job();
+                    job.run();
                 }
             }
         }
         while let Some(job) = q.pop() {
-            job();
+            job.run();
         }
         stop.store(true, Ordering::Release);
         for h in handles {

@@ -46,11 +46,28 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use promise_core::{Executor, RejectedJob};
+use promise_core::{Executor, Job, RejectedBatch, RejectedJob};
 
 use crate::pool::{PoolConfig, PoolStats};
-pub(crate) use deque::Job;
 use deque::{Steal, Stealer, WorkerDeque};
+
+/// Order in which a searching worker visits sibling deques when stealing.
+///
+/// Exposed for multi-core tuning via
+/// [`RuntimeBuilder::steal_order`](crate::RuntimeBuilder::steal_order): the
+/// sequential sweep is cache-friendly and deterministic; the randomized
+/// start decorrelates searchers so that on wide machines many thieves do not
+/// all descend on the same victim deque after a batch lands.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StealOrder {
+    /// Start at the slot after the searcher's own and sweep round-robin
+    /// (the default).
+    #[default]
+    Sequential,
+    /// Start each sweep at a pseudo-randomly chosen sibling (per-thread
+    /// xorshift, no shared state).
+    Randomized,
+}
 
 /// Configuration of a [`WorkStealingScheduler`].
 #[derive(Clone, Debug)]
@@ -62,6 +79,9 @@ pub struct SchedulerConfig {
     pub injector_shards: usize,
     /// Initial capacity of each worker's local deque.
     pub local_queue_capacity: usize,
+    /// Order in which a searching worker visits sibling deques when
+    /// stealing (see [`StealOrder`]).
+    pub steal_order: StealOrder,
     /// Opt-in growth heuristic: grow only when **every** live worker is
     /// blocked (`workers - blocked == 0`) instead of whenever no worker is
     /// idle (the paper's literal §6.3 rule, the default).
@@ -84,6 +104,7 @@ impl Default for SchedulerConfig {
             base: PoolConfig::default(),
             injector_shards: 8,
             local_queue_capacity: 256,
+            steal_order: StealOrder::Sequential,
             blocked_aware_growth: false,
         }
     }
@@ -180,6 +201,8 @@ struct SchedState {
     started: AtomicUsize,
     executed: AtomicUsize,
     stolen: AtomicUsize,
+    batches: AtomicUsize,
+    batch_jobs: AtomicUsize,
     shutdown: AtomicBool,
     joiners: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -211,6 +234,8 @@ impl WorkStealingScheduler {
             started: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
             stolen: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            batch_jobs: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             joiners: Mutex::new(Vec::new()),
             config,
@@ -263,6 +288,71 @@ impl WorkStealingScheduler {
         Ok(())
     }
 
+    /// Submits a whole batch of jobs with one injector push-chain and one
+    /// park-lock wake sweep (the batched half of the spawn fast path).
+    ///
+    /// From a worker thread the **first** job is placed LIFO on that
+    /// worker's own deque (two plain stores; it is the task a fork-joining
+    /// parent reaches for first), the rest go to one injector shard under a
+    /// single lock.  Wake-up tokens for the whole group are granted under
+    /// one park-lock acquisition with exactly the per-job semantics of
+    /// [`submit`](Self::submit) in a loop: if no worker is parked, §6.3
+    /// growth spawns a thread per chained job (each may block); if some
+    /// are parked, each gets at most one token and the remaining jobs ride
+    /// on those workers' owed full searches (the same cap `wake_one`
+    /// applies per submission — coverage of a worker that then blocks
+    /// *outside* the promise hooks is a documented limitation of both
+    /// paths, not a batching regression).
+    ///
+    /// Returns the *unaccepted* jobs back if the scheduler has shut down
+    /// (jobs already placed before the refusal point will run or be settled
+    /// by the shutdown drain).
+    pub fn submit_batch(&self, mut jobs: Vec<Job>) -> Result<(), Vec<Job>> {
+        let state = &self.state;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        if state.shutdown.load(Ordering::Acquire) {
+            return Err(jobs);
+        }
+        let total = jobs.len();
+        let me = Arc::as_ptr(state) as *const ();
+        let mut placed_local = false;
+        match CURRENT_WORKER.with(Cell::get) {
+            Some(w) if w.sched == me => {
+                // Worker-local LIFO placement for the first child.  Safety:
+                // as in `submit` — the queue outlives the worker loop, and
+                // the TLS entry is cleared before the loop returns.
+                let first = jobs.remove(0);
+                unsafe { (*w.local).push(state, first) };
+                placed_local = true;
+            }
+            _ => {}
+        }
+        let chained = jobs.len();
+        if chained > 0 {
+            // One shard lock for the whole chain; the close flag is
+            // re-checked under it (same argument as `push_unless`).
+            if state
+                .injector
+                .push_chain_unless(&mut jobs, &state.shutdown)
+                .is_err()
+            {
+                return Err(jobs);
+            }
+            // One park-lock sweep assigns searchers to the whole group.
+            state.signal_many(chained);
+        }
+        if placed_local {
+            state.ensure_progress(WakePolicy::NudgeIdle);
+        }
+        // Counted only once the whole batch is placed: a shutdown-refused
+        // batch must not inflate the accepted-submission stats.
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        state.batch_jobs.fetch_add(total, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Current activity counters.
     pub fn stats(&self) -> PoolStats {
         let state = &self.state;
@@ -281,6 +371,8 @@ impl WorkStealingScheduler {
             threads_started: state.started.load(Ordering::Relaxed),
             jobs_executed: state.executed.load(Ordering::Relaxed),
             jobs_stolen: state.stolen.load(Ordering::Relaxed),
+            batches_submitted: state.batches.load(Ordering::Relaxed),
+            jobs_batch_submitted: state.batch_jobs.load(Ordering::Relaxed),
             queued_jobs: state.injector.len() + local_queued,
         }
     }
@@ -331,8 +423,12 @@ impl Drop for WorkStealingScheduler {
 }
 
 impl Executor for WorkStealingScheduler {
-    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), RejectedJob> {
+    fn execute(&self, job: Job) -> Result<(), RejectedJob> {
         self.submit(job).map_err(RejectedJob)
+    }
+
+    fn execute_batch(&self, jobs: Vec<Job>) -> Result<(), RejectedBatch> {
+        self.submit_batch(jobs).map_err(RejectedBatch)
     }
 
     fn on_task_blocked(&self) {
@@ -472,16 +568,42 @@ impl SchedState {
         self.try_steal(idx)
     }
 
+    /// First sibling slot a steal sweep visits, per the configured
+    /// [`StealOrder`].
+    fn steal_start(&self, idx: usize, n: usize) -> usize {
+        match self.config.steal_order {
+            StealOrder::Sequential => (idx + 1) % n,
+            StealOrder::Randomized => {
+                thread_local! {
+                    static STEAL_RNG: Cell<u64> = const { Cell::new(0) };
+                }
+                STEAL_RNG.with(|c| {
+                    let mut x = c.get();
+                    if x == 0 {
+                        // First use on this thread: derive a per-worker seed.
+                        x = (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    }
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    c.set(x);
+                    (x % n as u64) as usize
+                })
+            }
+        }
+    }
+
     fn try_steal(&self, idx: usize) -> Option<Job> {
         if self.nonempty_deques.load(Ordering::SeqCst) == 0 {
             return None;
         }
         let workers = self.workers.read();
         let n = workers.len();
+        let start = self.steal_start(idx, n.max(1));
         for sweep in 0..2 {
             let mut saw_retry = false;
             for k in 0..n {
-                let i = (idx + 1 + k) % n;
+                let i = (start + k) % n;
                 if i == idx {
                     continue;
                 }
@@ -596,7 +718,7 @@ impl SchedState {
     fn run_job(&self, job: Job) {
         // A panicking job must not take the worker down; panics are surfaced
         // through the task's promises by the spawn wrapper.
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        let _ = catch_unwind(AssertUnwindSafe(|| job.run()));
         self.executed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -743,7 +865,7 @@ mod tests {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
             sched
-                .submit(Box::new(move || {
+                .submit(Job::new(move || {
                     counter.fetch_add(1, Ordering::Relaxed);
                     tx.send(()).unwrap();
                 }))
@@ -768,7 +890,7 @@ mod tests {
         let sched = WorkStealingScheduler::new(config);
         let (tx, rx) = mpsc::channel();
         sched
-            .submit(Box::new(move || tx.send(()).unwrap()))
+            .submit(Job::new(move || tx.send(()).unwrap()))
             .ok()
             .unwrap();
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -788,13 +910,13 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let sched2 = Arc::clone(&sched);
         sched
-            .submit(Box::new(move || {
+            .submit(Job::new(move || {
                 // Runs on a worker: nested submissions take the local path
                 // and must still execute.
                 for i in 0..32 {
                     let tx = tx.clone();
                     sched2
-                        .submit(Box::new(move || tx.send(i).unwrap()))
+                        .submit(Job::new(move || tx.send(i).unwrap()))
                         .ok()
                         .unwrap();
                 }
@@ -819,7 +941,7 @@ mod tests {
             let started_tx = started_tx.clone();
             let release_rx = Arc::clone(&release_rx);
             sched
-                .submit(Box::new(move || {
+                .submit(Job::new(move || {
                     started_tx.send(()).unwrap();
                     let guard = release_rx.lock();
                     let _ = guard.recv_timeout(Duration::from_secs(10));
@@ -843,12 +965,103 @@ mod tests {
     }
 
     #[test]
+    fn batch_submission_runs_every_job_and_counts_it() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<Job> = (0..32)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                let tx = tx.clone();
+                Job::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                })
+            })
+            .collect();
+        sched.submit_batch(jobs).ok().unwrap();
+        for _ in 0..32 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        let stats = sched.stats();
+        assert_eq!(stats.batches_submitted, 1);
+        assert_eq!(stats.jobs_batch_submitted, 32);
+    }
+
+    #[test]
+    fn worker_local_batch_places_the_first_job_on_the_own_deque() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (tx, rx) = mpsc::channel();
+        let sched2 = Arc::clone(&sched);
+        sched
+            .submit(Job::new(move || {
+                // Runs on a worker: the nested batch takes the local-first
+                // path and every job must still execute.
+                let jobs: Vec<Job> = (0..8)
+                    .map(|i| {
+                        let tx = tx.clone();
+                        Job::new(move || tx.send(i).unwrap())
+                    })
+                    .collect();
+                sched2.submit_batch(jobs).ok().unwrap();
+            }))
+            .ok()
+            .unwrap();
+        let mut got: Vec<i32> = (0..8)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_after_shutdown_is_rejected_with_all_jobs() {
+        let sched = WorkStealingScheduler::new(small_config());
+        sched.shutdown();
+        let jobs: Vec<Job> = (0..4).map(|_| Job::new(|| {})).collect();
+        let back = sched.submit_batch(jobs).unwrap_err();
+        assert_eq!(back.len(), 4, "a post-shutdown batch is handed back whole");
+    }
+
+    #[test]
+    fn randomized_steal_order_still_finds_all_work() {
+        let sched = WorkStealingScheduler::new(SchedulerConfig {
+            steal_order: StealOrder::Randomized,
+            base: PoolConfig {
+                initial_workers: 4,
+                keep_alive: Duration::from_millis(100),
+                ..PoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        });
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..128 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            sched
+                .submit(Job::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                }))
+                .ok()
+                .unwrap();
+        }
+        for _ in 0..128 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
+        sched.shutdown();
+    }
+
+    #[test]
     fn panicking_job_does_not_kill_the_scheduler() {
         let sched = WorkStealingScheduler::new(small_config());
         let (tx, rx) = mpsc::channel();
-        sched.submit(Box::new(|| panic!("job panic"))).ok().unwrap();
+        sched.submit(Job::new(|| panic!("job panic"))).ok().unwrap();
         sched
-            .submit(Box::new(move || tx.send(42).unwrap()))
+            .submit(Job::new(move || tx.send(42).unwrap()))
             .ok()
             .unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
@@ -861,7 +1074,7 @@ mod tests {
         for _ in 0..64 {
             let counter = Arc::clone(&counter);
             sched
-                .submit(Box::new(move || {
+                .submit(Job::new(move || {
                     counter.fetch_add(1, Ordering::Relaxed);
                 }))
                 .ok()
@@ -870,7 +1083,7 @@ mod tests {
         sched.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 64);
         assert!(
-            sched.submit(Box::new(|| {})).is_err(),
+            sched.submit(Job::new(|| {})).is_err(),
             "the scheduler must reject jobs after shutdown"
         );
         assert_eq!(sched.stats().current_workers, 0);
@@ -887,7 +1100,7 @@ mod tests {
         });
         let (tx, rx) = mpsc::channel();
         sched
-            .submit(Box::new(move || tx.send(()).unwrap()))
+            .submit(Job::new(move || tx.send(()).unwrap()))
             .ok()
             .unwrap();
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -896,7 +1109,7 @@ mod tests {
         // The scheduler still works afterwards.
         let (tx2, rx2) = mpsc::channel();
         sched
-            .submit(Box::new(move || tx2.send(7).unwrap()))
+            .submit(Job::new(move || tx2.send(7).unwrap()))
             .ok()
             .unwrap();
         assert_eq!(rx2.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
@@ -933,12 +1146,12 @@ mod tests {
             let total = Arc::clone(&total);
             let tx = tx.clone();
             sched
-                .submit(Box::new(move || {
+                .submit(Job::new(move || {
                     for _ in 0..16 {
                         let total = Arc::clone(&total);
                         let tx = tx.clone();
                         sched2
-                            .submit(Box::new(move || {
+                            .submit(Job::new(move || {
                                 total.fetch_add(1, Ordering::Relaxed);
                                 tx.send(()).unwrap();
                             }))

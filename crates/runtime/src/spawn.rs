@@ -1,4 +1,5 @@
-//! Spawning tasks with promise-ownership transfer.
+//! Spawning tasks with promise-ownership transfer — the zero-alloc fast
+//! path.
 //!
 //! [`spawn`] is the runtime counterpart of the paper's annotated
 //! `async (p1, …, pn) { … }` construct: the promises listed in the transfer
@@ -6,12 +7,50 @@
 //! the child becomes runnable (Algorithm 1, rule 2), and when the child's
 //! body ends the rule-3 exit check runs, detecting omitted sets.
 //!
-//! On top of the paper's construct, every spawned task carries an implicit
-//! *completion promise* used by [`TaskHandle::join`]:
+//! # The fused completion cell
+//!
+//! Every spawned task carries an implicit *completion promise* used by
+//! [`TaskHandle::join`].  It used to travel with a second, separate
+//! allocation — an `Arc<Mutex<Option<R>>>` side channel for the body's typed
+//! return value — plus a boxed job closure and a second box inside the
+//! scheduler deque: four allocator round trips per spawn.  The rebuilt path
+//! performs **one**:
+//!
+//! * the completion promise is created *fused* with a typed
+//!   [`ResultSlot<R>`](promise_core::ResultSlot) in the same allocation
+//!   ([`Promise::try_new_with`]); the task wrapper `put`s the body's result
+//!   into the slot and `join` `take`s it after the completion promise
+//!   resolves — the mutex side channel is gone;
+//! * the job closure lives in a thin, **recycled block**
+//!   ([`promise_core::Job`]): per-worker block magazines make steady-state
+//!   spawn → run → retire touch no global allocator, and the thin record
+//!   pointer is stored directly in the deque slots (the old double box is
+//!   gone structurally);
+//! * the transfer list and the child's ledger are inline-first small vectors
+//!   ([`promise_core::TransferList`]) — no `Vec` allocation for the common
+//!   zero-to-three-transfer spawn.
+//!
+//! What remains is the fused cell's single `Arc`, which must be shared
+//! between the handle, the child, and the ownership ledger and therefore
+//! cannot be recycled per-worker without reference counting anyway.
+//!
+//! ## Why recycling can never resurrect a retired task's completion promise
+//!
+//! Recycled job *blocks* hold only the not-yet-run closure.  The record is
+//! consumed — payload moved out or dropped in place — *before* its block
+//! re-enters the pool, and the completion promise itself lives outside the
+//! block in the reference-counted fused cell, which dies only when the last
+//! handle drops.  A block reused by a later spawn therefore carries no trace
+//! of the earlier task: there is no window in which a recycled record could
+//! alias a live task's state or settle a retired task's promise a second
+//! time (the one-shot cell inside the promise rejects late fills
+//! regardless).
+//!
+//! # Completion semantics (unchanged from the pre-fusion design)
 //!
 //! * if the body returns normally and the task fulfilled all of its owned
 //!   promises, the completion promise is `set` and `join` yields the body's
-//!   return value;
+//!   return value from the fused slot;
 //! * if the task terminated while still owning unfulfilled promises, the
 //!   completion promise carries the omitted-set report, so the parent's
 //!   `join` observes the violation (in addition to the context-level alarm
@@ -20,19 +59,25 @@
 //!   [`PromiseError::TaskFailed`], and any promises the task still owned are
 //!   reported and completed exceptionally, mirroring the AWS SDK bug fix the
 //!   paper discusses (§1.4, §6.2).
+//!
+//! The completion promise is settled only *after* the task has fully
+//! retired (exit check run, arena slot freed), so a `join` returning implies
+//! the task is gone; the result slot is `put` before that, and the
+//! promise's release publication makes it visible to the joiner.
+//!
+//! For spawning many children at once with one submission round trip, see
+//! [`SpawnBatch`](crate::SpawnBatch).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use promise_core::ownership;
 use promise_core::task::{self, PreparedTask};
-use promise_core::{collect_promises, Promise, PromiseCollection, PromiseError};
+use promise_core::{collect_promises, Job, Promise, PromiseCollection, PromiseError, ResultSlot};
 
-use crate::handle::TaskHandle;
+use crate::handle::{CompletionPromise, TaskHandle};
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -40,6 +85,50 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "task panicked".to_string()
     }
+}
+
+/// Creates the fused completion cell for a task named `name`, then the
+/// prepared task owning it (plus the caller-collected transfers).
+pub(crate) fn prepare_spawn<R: Send + 'static>(
+    name: Option<&str>,
+    transfers: &(impl PromiseCollection + ?Sized),
+) -> Result<
+    (
+        Arc<promise_core::Context>,
+        PreparedTask,
+        CompletionPromise<R>,
+    ),
+    PromiseError,
+> {
+    let ctx = task::current_context().ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
+
+    // The implicit join promise of §2.1: created by the parent, transferred
+    // to (and eventually fulfilled by) the child.  The typed result slot is
+    // fused into the same allocation.  Only named spawns pay for a label.
+    let completion: CompletionPromise<R> = match name.filter(|_| ctx.config().capture_names) {
+        Some(task_name) => {
+            let label = format!("{task_name}::completion");
+            Promise::try_new_with(Some(&label), ResultSlot::new())?
+        }
+        None => Promise::try_new_with(None, ResultSlot::new())?,
+    };
+
+    let mut list = collect_promises(transfers);
+    list.push(completion.as_erased());
+    let prepared = match ownership::prepare_task(name, list) {
+        Ok(prepared) => prepared,
+        Err(err) => {
+            // The transfer was refused, so no child exists to ever fulfil
+            // the just-created completion promise — settle it here, or it
+            // would linger as a parent obligation and surface as a spurious
+            // omitted set at the parent's own exit check.  (The pre-fusion
+            // path had this leak too; the batch API's ordered-refusal tests
+            // flushed it out.)
+            completion.as_erased().complete_abandoned(err.clone());
+            return Err(err);
+        }
+    };
+    Ok((ctx, prepared, completion))
 }
 
 /// Spawns `f` as a new task, transferring ownership of every promise in
@@ -90,20 +179,7 @@ where
     F: FnOnce() -> R + Send + 'static,
     R: Send + 'static,
 {
-    let ctx = task::current_context().ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
-
-    // The implicit join promise of §2.1: created by the parent, transferred
-    // to (and eventually fulfilled by) the child.
-    let completion = if ctx.config().capture_names {
-        let label = format!("{}::completion", name.unwrap_or("task"));
-        Promise::<()>::try_new(Some(&label))?
-    } else {
-        Promise::<()>::try_new(None)?
-    };
-
-    let mut list = collect_promises(&transfers);
-    list.push(completion.as_erased());
-    let prepared = ownership::prepare_task(name, list)?;
+    let (ctx, prepared, completion) = prepare_spawn::<R>(name, &transfers)?;
     let task_id = prepared.id();
     let task_name = prepared.name();
 
@@ -111,12 +187,9 @@ where
         "no executor installed in this Context; spawn tasks from within a Runtime (block_on)",
     );
 
-    let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
-    let result_in_task = Arc::clone(&result);
     let completion_in_task = completion.clone();
-    if let Err(rejected) = executor.execute(Box::new(move || {
-        run_task(prepared, f, completion_in_task, result_in_task);
-    })) {
+    let job = Job::new(move || run_task(prepared, f, completion_in_task));
+    if let Err(rejected) = executor.execute(job) {
         // The executor has shut down and handed the job back.  Dropping it
         // drops the `PreparedTask` inside, which runs the rule-3 exit
         // machinery as if the task terminated immediately: the transferred
@@ -126,17 +199,14 @@ where
         return Err(PromiseError::RuntimeShutdown { task: task_id });
     }
 
-    Ok(TaskHandle::new(task_id, task_name, completion, result))
+    Ok(TaskHandle::new(task_id, task_name, completion))
 }
 
 /// The wrapper that executes a prepared task on a worker thread: activate,
-/// run the body, perform the exit check, and settle the completion promise.
-fn run_task<F, R>(
-    prepared: PreparedTask,
-    f: F,
-    completion: Promise<()>,
-    result: Arc<Mutex<Option<R>>>,
-) where
+/// run the body, stash the result in the fused slot, perform the exit
+/// check, and settle the completion promise.
+pub(crate) fn run_task<F, R>(prepared: PreparedTask, f: F, completion: CompletionPromise<R>)
+where
     F: FnOnce() -> R + Send + 'static,
     R: Send + 'static,
 {
@@ -145,7 +215,10 @@ fn run_task<F, R>(
     let outcome = catch_unwind(AssertUnwindSafe(f));
     let panic_msg = match outcome {
         Ok(value) => {
-            *result.lock() = Some(value);
+            // Fused result: written into the completion cell's typed slot
+            // before the completion promise publishes, so the joiner's
+            // acquire observation of the fulfilment also sees the value.
+            let _ = completion.extra().put(value);
             None
         }
         Err(payload) => Some(panic_message(payload)),
@@ -180,5 +253,97 @@ fn run_task<F, R>(
                     message: Arc::from(msg.as_str()),
                 });
         }
+    }
+}
+
+/// The retained pre-fusion spawn path, benchable against the fused one.
+///
+/// This replicates the old per-spawn cost structure exactly: a separate
+/// completion promise, an `Arc<Mutex<Option<R>>>` result side channel, and a
+/// heap-allocated (never pooled) job record.  The `spawn_path` benches use
+/// it to report an honest old-vs-new delta on the same build; do not use it
+/// in new code.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A joinable handle produced by [`spawn_legacy`].
+    pub struct LegacyHandle<R> {
+        completion: Promise<()>,
+        result: Arc<Mutex<Option<R>>>,
+    }
+
+    impl<R> LegacyHandle<R> {
+        /// Blocks until the task terminates and returns its result.
+        pub fn join(self) -> Result<R, PromiseError> {
+            self.completion.get()?;
+            let value = self
+                .result
+                .lock()
+                .take()
+                .expect("task completed successfully but produced no result value");
+            Ok(value)
+        }
+    }
+
+    /// The old spawn: two allocations for the completion/result pair plus an
+    /// unpooled job record.
+    pub fn spawn_legacy<C, F, R>(transfers: C, f: F) -> Result<LegacyHandle<R>, PromiseError>
+    where
+        C: PromiseCollection,
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let ctx =
+            task::current_context().ok_or(PromiseError::NoCurrentTask { operation: "spawn" })?;
+        let completion = Promise::<()>::try_new(None)?;
+        let mut list = collect_promises(&transfers);
+        list.push(completion.as_erased());
+        let prepared = ownership::prepare_task(None, list)?;
+        let task_id = prepared.id();
+        let executor = ctx
+            .executor()
+            .expect("no executor installed in this Context");
+        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let result_in_task = Arc::clone(&result);
+        let completion_in_task = completion.clone();
+        let job = Job::new_unpooled(move || {
+            let scope = prepared.activate();
+            let task_id = scope.id();
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            let panic_msg = match outcome {
+                Ok(value) => {
+                    *result_in_task.lock() = Some(value);
+                    None
+                }
+                Err(payload) => Some(panic_message(payload)),
+            };
+            let completion_id = completion_in_task.id();
+            let report = scope.finish_excluding(&[completion_id]);
+            match (panic_msg, report) {
+                (None, None) => {
+                    completion_in_task.fulfill_detached(());
+                }
+                (None, Some(report)) => {
+                    completion_in_task
+                        .as_erased()
+                        .complete_abandoned(PromiseError::OmittedSet(report));
+                }
+                (Some(msg), _) => {
+                    completion_in_task
+                        .as_erased()
+                        .complete_abandoned(PromiseError::TaskFailed {
+                            task: task_id,
+                            message: Arc::from(msg.as_str()),
+                        });
+                }
+            }
+        });
+        if let Err(rejected) = executor.execute(job) {
+            drop(rejected.0);
+            return Err(PromiseError::RuntimeShutdown { task: task_id });
+        }
+        Ok(LegacyHandle { completion, result })
     }
 }

@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use promise_core::{ErasedPromise, Promise, PromiseCollection, PromiseError};
+use promise_core::{Promise, PromiseCollection, PromiseError, TransferList};
 
 struct BarrierState {
     /// `arrivals[round][participant]`
@@ -159,7 +159,7 @@ impl BarrierParticipant {
 }
 
 impl PromiseCollection for BarrierParticipant {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for row in &self.barrier.state.arrivals {
             out.push(row[self.index].as_erased());
         }

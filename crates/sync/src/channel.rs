@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use promise_core::{ErasedPromise, Promise, PromiseCollection, PromiseError};
+use promise_core::{Promise, PromiseCollection, PromiseError, TransferList};
 
 /// One cell of the channel's promise chain.
 enum Cell<T> {
@@ -208,7 +208,7 @@ impl<T: Clone + Send + Sync + 'static> Default for Channel<T> {
 impl<T: Clone + Send + Sync + 'static> PromiseCollection for Channel<T> {
     /// Moving a channel moves its *current producer promise* — i.e. the
     /// responsibility for the sending end (Listing 4, `getPromises`).
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         out.push(self.state.producer.lock().as_erased());
     }
 }

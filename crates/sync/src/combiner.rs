@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use promise_core::{ErasedPromise, Promise, PromiseCollection, PromiseError};
+use promise_core::{Promise, PromiseCollection, PromiseError, TransferList};
 
 struct CombinerState<V: Clone + Send + Sync + 'static> {
     /// `contributions[round][worker]`
@@ -140,7 +140,7 @@ impl<V: Clone + Send + Sync + 'static> CombinerWorker<V> {
 }
 
 impl<V: Clone + Send + Sync + 'static> PromiseCollection for CombinerWorker<V> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for row in &self.combiner.state.contributions {
             out.push(row[self.index].as_erased());
         }
@@ -189,7 +189,7 @@ impl<V: Clone + Send + Sync + 'static> CombinerCoordinator<V> {
 }
 
 impl<V: Clone + Send + Sync + 'static> PromiseCollection for CombinerCoordinator<V> {
-    fn append_promises(&self, out: &mut Vec<Arc<dyn ErasedPromise>>) {
+    fn append_promises(&self, out: &mut TransferList) {
         for p in &self.combiner.state.results {
             out.push(p.as_erased());
         }

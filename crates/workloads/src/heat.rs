@@ -5,7 +5,7 @@
 //! right neighbours over [`Channel`]s (the role MPI plays in the original
 //! `heat_mpi` code) and then apply the explicit finite-difference update.
 
-use promise_runtime::spawn_named;
+use promise_runtime::SpawnBatch;
 use promise_sync::Channel;
 
 use crate::data::hash_f64s;
@@ -113,7 +113,10 @@ pub fn run(params: &HeatParams) -> u64 {
         .map(|k| Channel::with_name(&format!("heat-left[{k}]")))
         .collect();
 
-    let mut handles = Vec::new();
+    // One batched submission for the whole worker group: transfers are
+    // validated per child, in order, but the scheduler sees a single
+    // push-chain and one wake sweep instead of `tasks` round trips.
+    let mut batch = SpawnBatch::with_capacity(tasks);
     for k in 0..tasks {
         let my_right = right[k].clone();
         let my_left = left[k].clone();
@@ -131,7 +134,7 @@ pub fn run(params: &HeatParams) -> u64 {
             .map(|i| initial_temperature(i, total))
             .collect();
         let iterations = params.iterations;
-        handles.push(spawn_named(
+        batch.spawn_named(
             &format!("heat-chunk-{k}"),
             (my_right.clone(), my_left.clone()),
             move || {
@@ -157,11 +160,11 @@ pub fn run(params: &HeatParams) -> u64 {
                 my_left.stop().unwrap();
                 chunk
             },
-        ));
+        );
     }
 
     let mut rod = Vec::with_capacity(total);
-    for h in handles {
+    for h in batch.submit() {
         rod.extend(h.join().expect("heat worker failed"));
     }
     checksum(&rod)

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use promise_runtime::{finish, FinishScope};
+use promise_runtime::{finish, FinishScope, SpawnBatch};
 use promise_sync::Channel;
 
 use crate::data::hash_u64s;
@@ -117,11 +117,15 @@ pub fn run(params: &SieveParams) -> u64 {
     let count2 = Arc::clone(&prime_count);
     let sum2 = Arc::clone(&prime_sum);
     finish(|scope| {
-        // The head channel: the generator owns its sending end.
+        // The head channel: the generator owns its sending end.  The chain
+        // builder — generator plus head stage — is published as one batch:
+        // both transfers are validated in order, then the scheduler sees a
+        // single submission round trip.
         let head = Channel::<u64>::with_name("sieve-head");
+        let mut chain = SpawnBatch::with_capacity(2);
         {
             let head = head.clone();
-            scope.spawn_named("sieve-generator", head.clone(), move || {
+            chain.spawn_named("sieve-generator", head.clone(), move || {
                 for v in 2..limit {
                     head.send(v).expect("generator send failed");
                 }
@@ -129,9 +133,10 @@ pub fn run(params: &SieveParams) -> u64 {
             });
         }
         let scope2 = scope.clone();
-        scope.spawn_named("sieve-stage-head", (), move || {
+        chain.spawn_named("sieve-stage-head", (), move || {
             stage(head, scope2, count2, sum2);
         });
+        scope.spawn_batch(chain);
     })
     .expect("sieve pipeline failed");
 

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use promise_core::Promise;
-use promise_runtime::spawn_named;
+use promise_runtime::SpawnBatch;
 
 use crate::data::{hash_u64s, sparse_matrix};
 use crate::{Scale, WorkloadOutput};
@@ -180,12 +180,18 @@ impl StrassenParams {
     }
 }
 
-/// Spawns an addition/subtraction task whose result arrives through a
-/// promise created by the parent and transferred to the child.
-fn async_combine(name: &str, a: Matrix, b: Matrix, subtract: bool) -> Promise<Matrix> {
+/// Prepares an addition/subtraction task in `batch`; the result arrives
+/// through a promise created by the parent and transferred to the child.
+fn batch_combine(
+    batch: &mut SpawnBatch<()>,
+    name: &str,
+    a: Matrix,
+    b: Matrix,
+    subtract: bool,
+) -> Promise<Matrix> {
     let p = Promise::<Matrix>::with_name(name);
     let p2 = p.clone();
-    spawn_named(name, &p, move || {
+    batch.spawn_named(name, &p, move || {
         let result = if subtract { a.sub(&b) } else { a.add(&b) };
         p2.set(result).expect("combine promise double set");
     });
@@ -202,49 +208,65 @@ fn strassen(a: Arc<Matrix>, b: Arc<Matrix>, depth: usize) -> Matrix {
     let [a11, a12, a21, a22] = a.split();
     let [b11, b12, b21, b22] = b.split();
 
-    // The ten quadrant pre-additions, issued as asynchronous addition tasks.
-    let s1 = async_combine("strassen-s1", b12.clone(), b22.clone(), true);
-    let s2 = async_combine("strassen-s2", a11.clone(), a12.clone(), false);
-    let s3 = async_combine("strassen-s3", a21.clone(), a22.clone(), false);
-    let s4 = async_combine("strassen-s4", b21.clone(), b11.clone(), true);
-    let s5 = async_combine("strassen-s5", a11.clone(), a22.clone(), false);
-    let s6 = async_combine("strassen-s6", b11.clone(), b22.clone(), false);
-    let s7 = async_combine("strassen-s7", a12.clone(), a22.clone(), true);
-    let s8 = async_combine("strassen-s8", b21.clone(), b22.clone(), false);
-    let s9 = async_combine("strassen-s9", a11.clone(), a21.clone(), true);
-    let s10 = async_combine("strassen-s10", b11.clone(), b12.clone(), false);
+    // The ten quadrant pre-additions: one batch, one scheduler round trip.
+    let mut sums = SpawnBatch::with_capacity(10);
+    let s1 = batch_combine(&mut sums, "strassen-s1", b12.clone(), b22.clone(), true);
+    let s2 = batch_combine(&mut sums, "strassen-s2", a11.clone(), a12.clone(), false);
+    let s3 = batch_combine(&mut sums, "strassen-s3", a21.clone(), a22.clone(), false);
+    let s4 = batch_combine(&mut sums, "strassen-s4", b21.clone(), b11.clone(), true);
+    let s5 = batch_combine(&mut sums, "strassen-s5", a11.clone(), a22.clone(), false);
+    let s6 = batch_combine(&mut sums, "strassen-s6", b11.clone(), b22.clone(), false);
+    let s7 = batch_combine(&mut sums, "strassen-s7", a12.clone(), a22.clone(), true);
+    let s8 = batch_combine(&mut sums, "strassen-s8", b21.clone(), b22.clone(), false);
+    let s9 = batch_combine(&mut sums, "strassen-s9", a11.clone(), a21.clone(), true);
+    let s10 = batch_combine(&mut sums, "strassen-s10", b11.clone(), b12.clone(), false);
+    // The handles are dropped: results arrive through the promises.
+    drop(sums.submit());
 
-    // The seven sub-products, each an asynchronous task delivering its result
-    // through a transferred promise.
-    let spawn_product = |label: &str, x: Matrix, y: Matrix| -> Promise<Matrix> {
+    // The seven sub-products — each an asynchronous task delivering its
+    // result through a transferred promise — go out as two batches so the
+    // expensive recursive products still pipeline with the remaining sums:
+    // p1..p4 each need only one of s1..s4, so they launch while s5..s10 are
+    // still being computed; p5..p7 follow once the pairs resolve.
+    fn batch_product(
+        batch: &mut SpawnBatch<()>,
+        label: &str,
+        x: Matrix,
+        y: Matrix,
+        depth: usize,
+    ) -> Promise<Matrix> {
         let p = Promise::<Matrix>::with_name(label);
         let p2 = p.clone();
-        spawn_named(label, &p, move || {
+        batch.spawn_named(label, &p, move || {
             let result = strassen(Arc::new(x), Arc::new(y), depth - 1);
             p2.set(result).expect("product promise double set");
         });
         p
-    };
+    }
 
-    let p1 = spawn_product("strassen-p1", a11.clone(), s1.get().expect("s1 failed"));
-    let p2 = spawn_product("strassen-p2", s2.get().expect("s2 failed"), b22.clone());
-    let p3 = spawn_product("strassen-p3", s3.get().expect("s3 failed"), b11.clone());
-    let p4 = spawn_product("strassen-p4", a22.clone(), s4.get().expect("s4 failed"));
-    let p5 = spawn_product(
-        "strassen-p5",
-        s5.get().expect("s5 failed"),
-        s6.get().expect("s6 failed"),
-    );
-    let p6 = spawn_product(
-        "strassen-p6",
-        s7.get().expect("s7 failed"),
-        s8.get().expect("s8 failed"),
-    );
-    let p7 = spawn_product(
-        "strassen-p7",
-        s9.get().expect("s9 failed"),
-        s10.get().expect("s10 failed"),
-    );
+    let mut early = SpawnBatch::with_capacity(4);
+    let s1 = s1.get().expect("s1 failed");
+    let p1 = batch_product(&mut early, "strassen-p1", a11.clone(), s1, depth);
+    let s2 = s2.get().expect("s2 failed");
+    let p2 = batch_product(&mut early, "strassen-p2", s2, b22.clone(), depth);
+    let s3 = s3.get().expect("s3 failed");
+    let p3 = batch_product(&mut early, "strassen-p3", s3, b11.clone(), depth);
+    let s4 = s4.get().expect("s4 failed");
+    let p4 = batch_product(&mut early, "strassen-p4", a22.clone(), s4, depth);
+    // The handles are dropped: results arrive through the promises.
+    drop(early.submit());
+
+    let mut late = SpawnBatch::with_capacity(3);
+    let s5 = s5.get().expect("s5 failed");
+    let s6 = s6.get().expect("s6 failed");
+    let p5 = batch_product(&mut late, "strassen-p5", s5, s6, depth);
+    let s7 = s7.get().expect("s7 failed");
+    let s8 = s8.get().expect("s8 failed");
+    let p6 = batch_product(&mut late, "strassen-p6", s7, s8, depth);
+    let s9 = s9.get().expect("s9 failed");
+    let s10 = s10.get().expect("s10 failed");
+    let p7 = batch_product(&mut late, "strassen-p7", s9, s10, depth);
+    drop(late.submit());
 
     let m1 = p1.get().expect("p1 failed");
     let m2 = p2.get().expect("p2 failed");
