@@ -24,6 +24,14 @@
 //!   *external* (root) thread: the whole chain lands on one injector shard
 //!   and is drained/stolen by the worker pool, joins included.
 //!   ≈ 0.9 µs per task.
+//! * `spawn/allocs-per-spawn` (reported on stderr, not timed) — global
+//!   allocator calls per steady-state spawn+join, counted by the installed
+//!   `CountingAllocator`: **fused+pooled = 0.000/op** (job record, fused
+//!   completion cell — a pooled refcount block since PR 5 — transfer list
+//!   and arena slots are all recycled), legacy = 2.000/op (the
+//!   `Arc<Mutex<…>>` result side channel + the deliberately unpooled job
+//!   record; its completion promise cell is pooled like every promise
+//!   now).  The `zero_alloc_spawn` integration test asserts the 0.
 
 use std::sync::mpsc;
 use std::time::Duration;
@@ -33,6 +41,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use promise_core::Job;
 use promise_runtime::spawn::legacy::spawn_legacy;
 use promise_runtime::{spawn, spawn_batch, Runtime, SchedulerConfig, WorkStealingScheduler};
+use promise_stats::{AllocStats, CountingAllocator};
+
+/// Counts every global-allocator call in this bench binary so
+/// `bench_allocs_per_spawn` can report allocations per operation.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Children per measured fork: large enough that one worker wake amortises
 /// and the per-spawn path cost dominates.
@@ -174,11 +188,59 @@ fn bench_steal_after_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Not a timing benchmark: counts global-allocator calls per steady-state
+/// spawn+join for the fused+pooled path vs the legacy path and prints the
+/// per-op numbers.  Proves the zero-alloc claim on the same build the
+/// timing numbers come from.
+fn bench_allocs_per_spawn(_c: &mut Criterion) {
+    const WARMUP: u64 = 4000;
+    const MEASURE: u64 = 2000;
+    let rt = Runtime::builder()
+        .initial_workers(2)
+        .worker_keep_alive(Duration::from_secs(60))
+        .build();
+    rt.block_on(|| {
+        for i in 0..WARMUP {
+            let _ = spawn((), move || black_box(i)).join().unwrap();
+        }
+        let before = AllocStats::snapshot();
+        for i in 0..MEASURE {
+            let _ = spawn((), move || black_box(i)).join().unwrap();
+        }
+        let fused = AllocStats::snapshot().total_allocations - before.total_allocations;
+
+        for i in 0..WARMUP / 4 {
+            let _ = spawn_legacy((), move || black_box(i))
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        let before = AllocStats::snapshot();
+        for i in 0..MEASURE {
+            let _ = spawn_legacy((), move || black_box(i))
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        let legacy = AllocStats::snapshot().total_allocations - before.total_allocations;
+
+        eprintln!(
+            "spawn/allocs-per-spawn: fused+pooled {:.3}/op, legacy {:.3}/op \
+             (over {MEASURE} steady-state spawn+join each)",
+            fused as f64 / MEASURE as f64,
+            legacy as f64 / MEASURE as f64,
+        );
+    })
+    .unwrap();
+    rt.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_spawn_join,
     bench_batch_submit,
     bench_submit_drain,
-    bench_steal_after_batch
+    bench_steal_after_batch,
+    bench_allocs_per_spawn
 );
 criterion_main!(benches);

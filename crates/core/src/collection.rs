@@ -30,16 +30,17 @@
 //! # // into the vec only for counting, the original handle still owns it.
 //! ```
 
-use std::sync::Arc;
-
-use crate::promise::{ErasedPromise, Promise};
+use crate::pool_arc::ErasedPromiseRef;
+use crate::promise::Promise;
 use crate::smallvec::SmallVec;
 
 /// The list type transfer collections append into: inline up to four
 /// promises (the overwhelmingly common case — a spawn moves zero to three
 /// promises plus the implicit completion promise), heap-spilled beyond.
-/// Building one performs no allocation on the spawn fast path.
-pub type TransferList = SmallVec<Arc<dyn ErasedPromise>, 4>;
+/// Building one performs no allocation on the spawn fast path; the entries
+/// themselves are pooled refcount handles ([`ErasedPromiseRef`]), so
+/// neither the list nor its contents touch the global allocator.
+pub type TransferList = SmallVec<ErasedPromiseRef, 4>;
 
 /// A set of promises that should move together when transferred to a new
 /// task.
@@ -70,9 +71,9 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> PromiseCollection for P
     }
 }
 
-impl PromiseCollection for Arc<dyn ErasedPromise> {
+impl PromiseCollection for ErasedPromiseRef {
     fn append_promises(&self, out: &mut TransferList) {
-        out.push(Arc::clone(self));
+        out.push(self.clone());
     }
 }
 

@@ -230,9 +230,11 @@ impl Context {
         self.alarms.clear();
     }
 
-    /// Flushes the calling worker thread's per-worker caches — arena slot
-    /// magazines and job-block magazines — back to their global free lists
-    /// and releases the claims.
+    /// Flushes the calling worker thread's per-worker caches — the arena
+    /// slot magazines of both arenas and the shared block pool's magazines
+    /// (job records *and* pooled promise cells), all driven by the generic
+    /// epoch-claimed magazine of [`crate::magazine`] — back to their global
+    /// free lists and releases the claims.
     ///
     /// Runtimes call this when a worker thread retires so the slots and
     /// blocks it cached become immediately reusable; see

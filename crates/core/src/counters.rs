@@ -253,6 +253,123 @@ pub fn register_worker() -> WorkerSlot {
     })
 }
 
+/// Simulated worker registrations for the deterministic magazine
+/// interleaving kit (see `crate::test_support::interleave`).
+///
+/// A [`SimWorker`] is a real registration in the epoch table — it flips the
+/// slot's epoch odd on creation and even again on death, exactly like
+/// [`register_worker`]/[`WorkerSlot::drop`] — but it does **not** occupy
+/// the thread-local token.  Instead the kit *activates* it around each
+/// simulated step, so one driver thread can play several workers (live and
+/// dead) against each other in a chosen order.  Slot ids are picked by the
+/// kit from the top of the tracked range ([`MAX_TRACKED_SLOTS`]), which
+/// real registrations never reach (they allocate densely from 0), so
+/// simulated and real workers cannot collide.
+///
+/// Test-support seam: not part of the public API.
+#[doc(hidden)]
+pub mod sim {
+    use super::*;
+
+    /// A simulated worker registration pinned to an explicit slot id.
+    #[derive(Debug)]
+    pub struct SimWorker {
+        slot: usize,
+        epoch: u32,
+    }
+
+    impl SimWorker {
+        /// Registers a simulated worker on `slot`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `slot` is outside the tracked range or currently
+        /// registered (by a real worker or another live `SimWorker`).
+        pub fn register(slot: usize) -> SimWorker {
+            let cell = SLOT_EPOCHS
+                .get(slot)
+                .expect("sim slot must be inside the tracked range");
+            // Even (released) → odd (registered); AcqRel orders this
+            // registration with the previous holder's release, exactly like
+            // `register_worker`.
+            let prev = cell.fetch_add(1, Ordering::AcqRel);
+            assert!(
+                prev.is_multiple_of(2),
+                "sim slot {slot} is already registered (epoch {prev})"
+            );
+            SimWorker {
+                slot,
+                epoch: prev.wrapping_add(1),
+            }
+        }
+
+        /// The slot id this simulated worker occupies.
+        pub fn slot(&self) -> usize {
+            self.slot
+        }
+
+        /// Whether this registration is still the slot's current one.
+        pub fn is_live(&self) -> bool {
+            WorkerToken {
+                slot: self.slot as u32,
+                epoch: self.epoch,
+            }
+            .is_current()
+        }
+
+        /// Makes this worker the calling thread's current registration for
+        /// the lifetime of the returned guard (the previous thread-local
+        /// token is restored on drop).  Steps of the interleaving kit run
+        /// inside such an activation.
+        pub fn activate(&self) -> ActiveSim {
+            let packed = ((self.slot as u64) << 32) | self.epoch as u64;
+            let prev = WORKER_TOKEN.with(|c| {
+                let prev = c.get();
+                c.set(packed);
+                prev
+            });
+            ActiveSim {
+                prev,
+                _thread_bound: std::marker::PhantomData,
+            }
+        }
+
+        /// Ends the registration *without* flushing anything — the simulated
+        /// equivalent of a worker dying with a claimed, non-empty magazine.
+        /// The epoch bump uses Release ordering so a later adopter (whose
+        /// `is_current` check reads the epoch with Acquire) observes every
+        /// write this worker made, exactly as for real registrations.
+        pub fn die(self) {
+            // Drop runs the bump.
+        }
+    }
+
+    impl Drop for SimWorker {
+        fn drop(&mut self) {
+            if let Some(cell) = SLOT_EPOCHS.get(self.slot) {
+                cell.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Guard for an activated [`SimWorker`]; restores the thread's previous
+    /// token on drop.  `!Send`: it manipulates the activating thread's TLS.
+    #[derive(Debug)]
+    pub struct ActiveSim {
+        prev: u64,
+        _thread_bound: std::marker::PhantomData<*mut ()>,
+    }
+
+    impl Drop for ActiveSim {
+        fn drop(&mut self) {
+            WORKER_TOKEN.with(|c| c.set(validate_token(self.prev)));
+        }
+    }
+
+    /// The top of the tracked slot-id range, for kits picking private ids.
+    pub const TRACKED_SLOTS: usize = MAX_TRACKED_SLOTS;
+}
+
 /// One shard's worth of counter cells (fits one padded cache-line pair).
 #[derive(Default)]
 struct CounterCells {

@@ -23,42 +23,44 @@
 //!
 //! * The record is thin, so the deque stores it directly in an `AtomicPtr`
 //!   slot — the second allocation is gone structurally.
-//! * Records whose payload fits [`JOB_BLOCK_SIZE`] come from a **recycled
-//!   block pool** with per-worker magazines (modeled on the slot magazines
-//!   of [`crate::arena`]): a registered worker allocates and frees blocks
-//!   with plain array operations on a private cache line, refilling from /
-//!   flushing to a shared backstop list in batches.  Steady-state
+//! * Records whose payload fits [`JOB_BLOCK_SIZE`] come from the
+//!   **recycled block pool** of this module: per-worker magazines driven by
+//!   the generic epoch-claimed [`MagazinePool`](crate::magazine) (the same
+//!   protocol implementation the arena's slot magazines use — see
+//!   [`crate::magazine`] for the claim/adopt/flush correctness argument),
+//!   over a mutex-guarded backstop vector topped up from the allocator.  A
+//!   registered worker allocates and frees blocks with plain array
+//!   operations on a private cache line; steady-state
 //!   spawn → run → retire touches no global allocator at all.
 //! * Oversized payloads fall back to a plain heap allocation (the `pooled`
 //!   flag routes the release); correctness never depends on fitting.
 //!
-//! # Magazine exclusivity and worker exit
+//! # One block pool, two clients
 //!
-//! Magazines are claimed through the worker-registration `(slot, epoch)`
-//! tokens of [`crate::counters`], exactly like the arena's: the claim CAS
-//! makes the magazine private to one live registration, a dead claim (the
-//! worker exited without flushing) is adopted by the next thread that maps
-//! onto the same magazine, and runtimes flush eagerly on worker retirement
-//! via [`flush_worker_blocks`] (called from
+//! The pool is process-global (blocks are untyped 256-byte storage, so
+//! records from different runtimes can share it), and it serves **two**
+//! kinds of allocation: job records (this module) and the refcounted
+//! promise-cell records of [`crate::pool_arc`] — the fused completion cell
+//! of a spawn comes from the same recycled blocks, which is what closes the
+//! last per-spawn allocator call.  [`job_pool_stats`] therefore accounts
+//! for both.  A block's *contents* never outlive the one record written
+//! into it: a job is consumed (payload moved out or dropped in place) and a
+//! refcounted cell is dropped in place before its block re-enters the pool,
+//! so recycling cannot resurrect any task or promise state.
+//!
+//! Threads that never registered (a root task's thread) take the shared
+//! backstop list directly — one uncontended lock instead of a malloc, and
+//! the blocks they free are reusable by everyone.  Runtimes flush eagerly
+//! on worker retirement via [`flush_worker_blocks`] (called from
 //! [`Context::flush_worker_caches`](crate::Context::flush_worker_caches),
-//! which both schedulers run in their worker-exit hook).  Threads that never
-//! registered (a root task's thread) take the shared backstop list — one
-//! uncontended lock instead of a malloc, and the blocks they free are
-//! reusable by everyone.
-//!
-//! The pool is process-global (blocks are untyped storage, so records from
-//! different runtimes can share it); a block's *contents* never outlive the
-//! one job written into it, so recycling cannot resurrect any task state —
-//! the record is consumed (payload moved out or dropped in place) before the
-//! block re-enters the pool.
+//! which both schedulers run in their worker-exit hook).
 
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
-use std::cell::UnsafeCell;
-use std::mem::ManuallyDrop;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 
-use crate::counters::{self, WorkerToken};
+use crate::magazine::{MagazineBackend, MagazinePool};
 
 /// Size in bytes of one pooled job block (header + inline payload).  Typical
 /// spawn records — prepared task, fused completion handle, a small closure —
@@ -69,51 +71,14 @@ pub const JOB_BLOCK_SIZE: usize = 256;
 /// over-aligned payloads fall back to the heap).
 pub const JOB_BLOCK_ALIGN: usize = 16;
 
-/// Number of per-worker block magazines.
-const JOB_SHARDS: usize = 16;
-
-/// Capacity of one magazine, in cached blocks.
-const JOB_MAG_CAP: usize = 64;
-
-/// Batch size for magazine refills and flushes (half the capacity, so a
-/// worker alternating spawn and retire near a boundary does not thrash).
-const JOB_MAG_REFILL: usize = JOB_MAG_CAP / 2;
-
 fn block_layout() -> Layout {
     // Infallible: both constants are valid at compile time.
     Layout::from_size_align(JOB_BLOCK_SIZE, JOB_BLOCK_ALIGN).expect("valid block layout")
 }
 
-/// One per-worker block magazine.  `owner` holds the packed worker token of
-/// the claiming registration (0 = unclaimed); `len`/`blocks` are only
-/// touched by the unique thread whose current token matches `owner` (`len`
-/// is an atomic solely so stats readers can load it without a data race —
-/// the owner uses plain relaxed stores).  `live` is this shard's
-/// contribution to the outstanding-block count, written only by the owner.
-struct Magazine {
-    owner: AtomicU64,
-    len: AtomicUsize,
-    live: AtomicI64,
-    blocks: UnsafeCell<[usize; JOB_MAG_CAP]>,
-}
-
-// SAFETY: `blocks` is only accessed by the magazine's unique claimant (see
-// the claim protocol in the module docs); everything else is atomic.
-unsafe impl Sync for Magazine {}
-
-/// Padding wrapper so neighbouring magazines never share a cache line.
-#[repr(align(128))]
-struct PaddedMagazine(Magazine);
-
-#[allow(clippy::declare_interior_mutable_const)]
-const EMPTY_MAGAZINE: PaddedMagazine = PaddedMagazine(Magazine {
-    owner: AtomicU64::new(0),
-    len: AtomicUsize::new(0),
-    live: AtomicI64::new(0),
-    blocks: UnsafeCell::new([0; JOB_MAG_CAP]),
-});
-
-static MAGAZINES: [PaddedMagazine; JOB_SHARDS] = [EMPTY_MAGAZINE; JOB_SHARDS];
+/// The per-worker block magazines (the generic epoch-claimed protocol of
+/// [`crate::magazine`]; items are block addresses).
+static MAGAZINES: MagazinePool<usize> = MagazinePool::new();
 
 /// Backstop free list (block addresses) shared by unregistered threads and
 /// magazine refill/flush batches.
@@ -131,112 +96,47 @@ fn fresh_block() -> usize {
     ptr as usize
 }
 
-/// The magazine this thread's worker registration owns (claiming or adopting
-/// it if necessary), or `None` when the thread is unregistered or its
-/// magazine is held by another live worker.
-#[inline]
-fn claimed_magazine() -> Option<&'static Magazine> {
-    let token = counters::current_worker_token()?;
-    let magazine = &MAGAZINES[token.slot as usize % JOB_SHARDS].0;
-    let mine = token.pack_nonzero();
-    let current = magazine.owner.load(Ordering::Acquire);
-    if current == mine {
-        return Some(magazine);
-    }
-    try_claim(magazine, current, mine)
-}
+/// The block pool's storage half of the magazine protocol: refills drain
+/// the backstop vector and top up from the allocator; flushes extend the
+/// backstop in one batch under its lock.
+struct BlockBackend;
 
-#[cold]
-fn try_claim(
-    magazine: &'static Magazine,
-    mut current: u64,
-    mine: u64,
-) -> Option<&'static Magazine> {
-    loop {
-        if current == mine {
-            return Some(magazine);
-        }
-        if current != 0 {
-            let holder = WorkerToken::unpack_nonzero(current);
-            if holder.is_current() {
-                // Live collision: the loser takes the shared backstop list.
-                return None;
-            }
-            // Dead claim: `is_current` read the holder's release epoch bump
-            // with Acquire, so adopting its cached blocks below is ordered
-            // after every write the dead owner made.
-        }
-        match magazine
-            .owner
-            .compare_exchange(current, mine, Ordering::AcqRel, Ordering::Acquire)
-        {
-            Ok(_) => return Some(magazine),
-            Err(actual) => current = actual,
-        }
-    }
-}
+impl MagazineBackend for BlockBackend {
+    type Item = usize;
 
-fn magazine_alloc(magazine: &Magazine) -> usize {
-    // SAFETY: `claimed_magazine` only returns a magazine whose claim word
-    // holds the calling thread's current registration token; tokens are
-    // unique per registration, so access to `blocks` is exclusive.
-    let block = unsafe {
-        let blocks = magazine.blocks.get();
-        let mut len = magazine.len.load(Ordering::Relaxed);
-        if len == 0 {
-            // Refill: a batch from the backstop list, topped up fresh.
-            let mut global = GLOBAL_FREE.lock();
-            while len < JOB_MAG_REFILL {
-                match global.pop() {
-                    Some(b) => {
-                        (*blocks)[len] = b;
-                        len += 1;
-                    }
-                    None => break,
+    fn refill(&self, buf: &mut [MaybeUninit<usize>]) -> usize {
+        let mut n = 0;
+        let mut global = GLOBAL_FREE.lock();
+        while n < buf.len() {
+            match global.pop() {
+                Some(b) => {
+                    buf[n].write(b);
+                    n += 1;
                 }
-            }
-            drop(global);
-            while len < JOB_MAG_REFILL {
-                (*blocks)[len] = fresh_block();
-                len += 1;
+                None => break,
             }
         }
-        len -= 1;
-        let block = (*blocks)[len];
-        magazine.len.store(len, Ordering::Relaxed);
-        block
-    };
-    magazine
-        .live
-        .store(magazine.live.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
-    block
-}
-
-fn magazine_free(magazine: &Magazine, block: usize) {
-    // SAFETY: as in `magazine_alloc`.
-    unsafe {
-        let blocks = magazine.blocks.get();
-        let mut len = magazine.len.load(Ordering::Relaxed);
-        if len == JOB_MAG_CAP {
-            // Flush the oldest half to the backstop list in one batch.
-            let cached: &[usize] = &(&*blocks)[..JOB_MAG_REFILL];
-            let mut global = GLOBAL_FREE.lock();
-            global.extend_from_slice(cached);
-            drop(global);
-            (*blocks).copy_within(JOB_MAG_REFILL.., 0);
-            len -= JOB_MAG_REFILL;
+        drop(global);
+        while n < buf.len() {
+            buf[n].write(fresh_block());
+            n += 1;
         }
-        (*blocks)[len] = block;
-        magazine.len.store(len + 1, Ordering::Relaxed);
+        n
     }
-    magazine
-        .live
-        .store(magazine.live.load(Ordering::Relaxed) - 1, Ordering::Relaxed);
+
+    fn flush(&self, items: &[usize]) {
+        GLOBAL_FREE.lock().extend_from_slice(items);
+    }
 }
 
-fn pool_alloc() -> *mut u8 {
-    let block = match claimed_magazine() {
-        Some(magazine) => magazine_alloc(magazine),
+/// Allocates one pooled block ([`JOB_BLOCK_SIZE`] bytes,
+/// [`JOB_BLOCK_ALIGN`]-aligned): the calling worker's magazine when it has
+/// one, the shared backstop list otherwise.  Shared with
+/// [`crate::pool_arc`], which draws its refcounted promise-cell records
+/// from the same pool.
+pub(crate) fn pool_alloc() -> *mut u8 {
+    let block = match MAGAZINES.alloc(&BlockBackend) {
+        Some(block) => block,
         None => {
             GLOBAL_LIVE.fetch_add(1, Ordering::Relaxed);
             match GLOBAL_FREE.lock().pop() {
@@ -248,13 +148,11 @@ fn pool_alloc() -> *mut u8 {
     block as *mut u8
 }
 
-fn pool_free(ptr: *mut u8) {
-    match claimed_magazine() {
-        Some(magazine) => magazine_free(magazine, ptr as usize),
-        None => {
-            GLOBAL_LIVE.fetch_sub(1, Ordering::Relaxed);
-            GLOBAL_FREE.lock().push(ptr as usize);
-        }
+/// Releases a block obtained from [`pool_alloc`] back into the pool.
+pub(crate) fn pool_free(ptr: *mut u8) {
+    if let Err(block) = MAGAZINES.free(&BlockBackend, ptr as usize) {
+        GLOBAL_LIVE.fetch_sub(1, Ordering::Relaxed);
+        GLOBAL_FREE.lock().push(block);
     }
 }
 
@@ -268,35 +166,20 @@ fn pool_free(ptr: *mut u8) {
 /// instead of waiting to be adopted by the next thread that maps onto the
 /// same magazine.  No-op when the calling thread holds no claim.
 pub fn flush_worker_blocks() {
-    let Some(token) = counters::current_worker_token() else {
-        return;
-    };
-    let magazine = &MAGAZINES[token.slot as usize % JOB_SHARDS].0;
-    if magazine.owner.load(Ordering::Acquire) != token.pack_nonzero() {
-        return;
-    }
-    // SAFETY: the claim word holds this thread's current token, so access to
-    // `blocks` is exclusive (as in `magazine_alloc`).
-    unsafe {
-        let blocks = magazine.blocks.get();
-        let len = magazine.len.load(Ordering::Relaxed);
-        if len > 0 {
-            let cached: &[usize] = &(&*blocks)[..len];
-            GLOBAL_FREE.lock().extend_from_slice(cached);
-            magazine.len.store(0, Ordering::Relaxed);
-        }
-    }
-    // Release publishes the flushed (empty) magazine state — and this
-    // thread's `live` delta — to the next claimant.
-    magazine.owner.store(0, Ordering::Release);
+    MAGAZINES.flush_current_worker(&BlockBackend);
 }
 
-/// Point-in-time accounting of the job block pool (for tests and
+/// Point-in-time accounting of the shared block pool (for tests and
 /// diagnostics; concurrent activity makes the numbers advisory).
+///
+/// "Outstanding" covers both clients of the pool: blocks inside live
+/// [`Job`]s *and* blocks holding pooled promise-cell records (see
+/// [`crate::pool_arc`]) — a promise cell's block is released when its last
+/// handle drops.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct JobPoolStats {
-    /// Pooled blocks currently inside live [`Job`]s (allocated, not yet
-    /// released).  Exact once all job-running threads are quiescent.
+    /// Pooled blocks currently checked out (allocated, not yet released).
+    /// Exact once all mutating threads are quiescent.
     pub outstanding: i64,
     /// Blocks cached in per-worker magazines.
     pub cached: usize,
@@ -306,15 +189,9 @@ pub struct JobPoolStats {
 
 /// Reads the pool accounting.  See [`JobPoolStats`].
 pub fn job_pool_stats() -> JobPoolStats {
-    let mut outstanding = GLOBAL_LIVE.load(Ordering::Relaxed);
-    let mut cached = 0;
-    for shard in MAGAZINES.iter() {
-        outstanding += shard.0.live.load(Ordering::Relaxed);
-        cached += shard.0.len.load(Ordering::Relaxed);
-    }
     JobPoolStats {
-        outstanding,
-        cached,
+        outstanding: GLOBAL_LIVE.load(Ordering::Relaxed) + MAGAZINES.live(),
+        cached: MAGAZINES.cached(),
         free: GLOBAL_FREE.lock().len(),
     }
 }
@@ -489,23 +366,11 @@ impl std::fmt::Debug for Job {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
-    /// Serialises the tests that assert on the (process-global) pool
-    /// accounting, and shields them from stray jobs of other tests by
-    /// polling for the expected settled value.
-    static POOL_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
-
-    fn assert_outstanding_settles_to(expected: i64) {
-        for _ in 0..2000 {
-            if job_pool_stats().outstanding == expected {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        assert_eq!(job_pool_stats().outstanding, expected);
-    }
+    use crate::test_support::pool::{assert_outstanding_settles_to, pool_serial};
 
     #[test]
     fn run_executes_the_closure_once() {
@@ -560,7 +425,7 @@ mod tests {
 
     #[test]
     fn registered_worker_recycles_blocks_through_its_magazine() {
-        let _guard = POOL_LOCK.lock();
+        let _guard = pool_serial();
         let before = job_pool_stats().outstanding;
         std::thread::spawn(move || {
             let _worker = counters::register_worker();
@@ -583,7 +448,7 @@ mod tests {
     fn cross_thread_run_returns_blocks_to_the_receivers_side() {
         // Jobs created on one registered worker and run on another must not
         // corrupt either magazine; accounting stays balanced.
-        let _guard = POOL_LOCK.lock();
+        let _guard = pool_serial();
         let before = job_pool_stats().outstanding;
         let (tx, rx) = std::sync::mpsc::channel::<Job>();
         let consumer = std::thread::spawn(move || {

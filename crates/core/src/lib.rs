@@ -56,14 +56,18 @@ pub mod detector;
 pub mod error;
 pub mod ids;
 pub mod job;
+pub mod magazine;
 pub mod ownership;
 pub mod policy;
+pub mod pool_arc;
 pub mod promise;
 pub mod refs;
 pub mod report;
 pub mod slots;
 pub mod smallvec;
 pub mod task;
+#[doc(hidden)]
+pub mod test_support;
 pub mod waitq;
 
 pub use alarms::{AlarmSink, MutexSink};
@@ -75,6 +79,7 @@ pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
 pub use ids::{PromiseId, TaskId};
 pub use job::Job;
 pub use policy::{LedgerMode, OmittedSetAction, PolicyConfig, VerificationMode};
+pub use pool_arc::{ErasedPromiseRef, PoolArc};
 pub use promise::{ErasedPromise, Promise};
 pub use smallvec::SmallVec;
 pub use task::{current_task_id, has_current_task, PreparedTask, RootTask, TaskScope};

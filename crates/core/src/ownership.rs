@@ -27,6 +27,7 @@ use crate::context::Alarm;
 use crate::error::{AbandonedPromise, OmittedSetReport, PromiseError};
 use crate::ids::{PromiseId, TaskId};
 use crate::policy::OmittedSetAction;
+use crate::pool_arc::ErasedPromiseRef;
 use crate::promise::ErasedPromise;
 use crate::refs::PackedRef;
 use crate::task::{self, Ledger, PreparedTask, TaskBody};
@@ -98,7 +99,7 @@ pub fn prepare_task(
             ctx.promises.read(p.slot(), |s| {
                 s.owner.store(body.slot.to_bits(), Ordering::Release)
             });
-            body.ledger.append(Arc::clone(p));
+            body.ledger.append(p.clone(), &ctx.promises, body.slot);
         }
 
         Ok(PreparedTask { body: Some(body) })
@@ -151,7 +152,7 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
 /// recorded or any promise completed exceptionally.
 pub(crate) struct Obligations {
     pub(crate) report: Option<Arc<OmittedSetReport>>,
-    handles: Vec<Arc<dyn ErasedPromise>>,
+    handles: Vec<ErasedPromiseRef>,
 }
 
 /// Rule 3, first half: scan the task's ledger for promises it still owns and
@@ -163,7 +164,7 @@ pub(crate) struct Obligations {
 /// promise right after the user body ends).
 pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obligations {
     let ctx = &body.ctx;
-    let mut abandoned_handles: Vec<Arc<dyn ErasedPromise>> = Vec::new();
+    let mut abandoned_handles: Vec<ErasedPromiseRef> = Vec::new();
     let mut abandoned: Vec<AbandonedPromise> = Vec::new();
     let mut count = 0usize;
 
@@ -195,7 +196,7 @@ pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obl
                         promise: e.id(),
                         promise_name: e.name(),
                     });
-                    abandoned_handles.push(Arc::clone(e));
+                    abandoned_handles.push(e.clone());
                 }
             }
             count = abandoned.len();

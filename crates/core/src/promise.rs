@@ -72,6 +72,7 @@ use crate::detector;
 use crate::error::PromiseError;
 use crate::ids::{PromiseId, TaskId};
 use crate::ownership;
+use crate::pool_arc::{ErasedPromiseRef, PoolArc};
 use crate::refs::PackedRef;
 use crate::task;
 
@@ -183,14 +184,21 @@ impl<T, X> Drop for PromiseInner<T, X> {
 /// runtime's fused task-completion cell, where `X` is a
 /// [`ResultSlot`](crate::cell::ResultSlot) carrying the task body's typed
 /// return value.  Ordinary promises are `Promise<T>` and never see it.
+///
+/// The single allocation itself is a *recycled refcount block*
+/// ([`PoolArc`]): promise cells whose record fits a 256-byte pool block —
+/// every ordinary promise and every fused completion cell with a
+/// reasonably-sized result type — come from the per-worker block magazines
+/// of [`crate::job`] instead of the global allocator, which removes the
+/// last allocator call from the steady-state spawn → run → retire path.
 pub struct Promise<T, X = ()> {
-    inner: Arc<PromiseInner<T, X>>,
+    inner: PoolArc<PromiseInner<T, X>>,
 }
 
 impl<T, X> Clone for Promise<T, X> {
     fn clone(&self) -> Self {
         Promise {
-            inner: Arc::clone(&self.inner),
+            inner: self.inner.clone(),
         }
     }
 }
@@ -275,7 +283,10 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
             } else {
                 None
             };
-            let inner = Arc::new(PromiseInner {
+            // The cell comes from the recycled refcount-block pool: no
+            // global-allocator call for pool-sized records (see
+            // `crate::pool_arc`).
+            let inner = PoolArc::new(PromiseInner {
                 ctx,
                 id,
                 name,
@@ -284,7 +295,9 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
                 extra,
             });
             if tracks {
-                body.ledger.append(inner.clone() as Arc<dyn ErasedPromise>);
+                let slot_of_task = body.slot;
+                body.ledger
+                    .append(PoolArc::erase(&inner), &body.ctx.promises, slot_of_task);
             }
             Promise { inner }
         })
@@ -336,9 +349,18 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     }
 
     /// Type-erased handle to this promise, usable in transfer lists and
-    /// ledgers.
-    pub fn as_erased(&self) -> Arc<dyn ErasedPromise> {
-        self.inner.clone()
+    /// ledgers.  Shares the promise's pooled refcount block — erasing
+    /// allocates nothing.
+    pub fn as_erased(&self) -> ErasedPromiseRef {
+        PoolArc::erase(&self.inner)
+    }
+
+    /// Whether this promise's record came from the recycled block pool (as
+    /// opposed to the heap fallback for oversized fused payloads).  Test
+    /// seam.
+    #[doc(hidden)]
+    pub fn cell_is_pooled(&self) -> bool {
+        self.inner.is_pooled()
     }
 
     /// The context this promise belongs to.
@@ -694,6 +716,38 @@ mod tests {
         // Any task (or no task at all) can set in baseline mode.
         p.set(9).unwrap();
         assert_eq!(p.get().unwrap(), 9);
+    }
+
+    /// The whole point of the pooled refcount block: ordinary promises and
+    /// fused completion cells (with reasonable result types) fit a pool
+    /// block, so their creation performs no global allocation in steady
+    /// state; oversized fused payloads fall back to the heap and still
+    /// behave identically.
+    #[test]
+    fn promise_cells_come_from_the_block_pool() {
+        use crate::cell::ResultSlot;
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+
+        let plain = Promise::<u64>::new();
+        assert!(plain.cell_is_pooled(), "ordinary promise cell is pooled");
+        plain.set(1).unwrap();
+
+        let fused: Promise<(), ResultSlot<u64>> =
+            Promise::try_new_with(None, ResultSlot::new()).unwrap();
+        assert!(fused.cell_is_pooled(), "fused completion cell is pooled");
+        fused.extra().put(7).unwrap();
+        assert!(fused.fulfill_detached(()));
+        assert_eq!(fused.extra().take(), Some(7));
+
+        // An oversized fused payload exceeds the 256-byte block: heap
+        // fallback, same semantics.
+        let big: Promise<(), ResultSlot<[u64; 64]>> =
+            Promise::try_new_with(None, ResultSlot::new()).unwrap();
+        assert!(!big.cell_is_pooled(), "oversized records fall back");
+        big.extra().put([3; 64]).unwrap();
+        assert!(big.fulfill_detached(()));
+        assert_eq!(big.extra().take(), Some([3; 64]));
     }
 
     #[test]

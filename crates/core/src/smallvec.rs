@@ -89,6 +89,23 @@ impl<T, const N: usize> SmallVec<T, N> {
         self.inline_slice().iter().chain(self.spill.iter())
     }
 
+    /// Keeps only the elements for which `keep` returns `true`, in
+    /// amortized O(len) with no allocation.  Order is **not** preserved
+    /// (removal is by [`swap_remove`](Self::swap_remove)).
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        let mut i = 0;
+        while i < self.len {
+            let keep_it = keep(self.get(i).expect("index is in bounds"));
+            if keep_it {
+                i += 1;
+            } else {
+                // The swapped-in (previously last) element lands at `i` and
+                // is examined on the next iteration.
+                drop(self.swap_remove(i));
+            }
+        }
+    }
+
     /// Removes and returns the element at `index`, replacing it with the
     /// last element (order is not preserved).
     ///

@@ -27,8 +27,13 @@ use crate::error::OmittedSetReport;
 use crate::ids::{PromiseId, TaskId};
 use crate::ownership;
 use crate::policy::LedgerMode;
-use crate::promise::ErasedPromise;
+use crate::pool_arc::ErasedPromiseRef;
 use crate::refs::PackedRef;
+
+/// Lazy-ledger prune watermark floor: a sweep is considered (and the
+/// watermark re-armed) only once the ledger holds at least this many
+/// entries, so small ledgers never pay for pruning at all.
+const LEDGER_PRUNE_MIN: usize = 8;
 
 /// The owned-promise ledger of one task (`owner⁻¹(t)` in the paper).
 ///
@@ -38,8 +43,9 @@ pub(crate) enum Ledger {
     /// No tracking at all (unverified baseline).
     Disabled,
     /// A list of owned promises.  In [`LedgerMode::Lazy`] the list is
-    /// append-only and filtered at exit; in [`LedgerMode::Eager`] entries are
-    /// removed as soon as the promise is set or transferred away.
+    /// append-only between amortized prune sweeps and filtered at exit; in
+    /// [`LedgerMode::Eager`] entries are removed as soon as the promise is
+    /// set or transferred away.
     List {
         /// Owned entries (possibly stale in lazy mode).  Inline-first: the
         /// common ledger (a task's transferred promises plus its completion
@@ -47,6 +53,16 @@ pub(crate) enum Ledger {
         entries: TransferList,
         /// Whether entries are eagerly removed.
         eager: bool,
+        /// Lazy mode only: the length at which the next append triggers a
+        /// prune sweep (stale entries — fulfilled, or owned by another task
+        /// — are exactly what the exit check skips, so removing them early
+        /// is observationally equivalent).  Doubled after each sweep, so
+        /// pruning is amortized O(1) per append while the ledger stays
+        /// bounded by ~2× the task's *live* obligations.  Without this, a
+        /// long-lived task that keeps spawning pins every child's pooled
+        /// completion cell until its own exit — unbounded memory and a
+        /// fresh block per spawn instead of recycling.
+        prune_at: usize,
     },
     /// Only a count of owned promises is maintained.
     Count(usize),
@@ -61,20 +77,49 @@ impl Ledger {
             LedgerMode::Lazy => Ledger::List {
                 entries: TransferList::new(),
                 eager: false,
+                prune_at: LEDGER_PRUNE_MIN,
             },
             LedgerMode::Eager => Ledger::List {
                 entries: TransferList::new(),
                 eager: true,
+                prune_at: usize::MAX,
             },
             LedgerMode::CountOnly => Ledger::Count(0),
         }
     }
 
     /// Records that the task took ownership of `promise`.
-    pub(crate) fn append(&mut self, promise: Arc<dyn ErasedPromise>) {
+    ///
+    /// `promises` and `owner_slot` (the recording task's arena slot) drive
+    /// the lazy ledger's amortized prune sweep; eager and count ledgers
+    /// ignore them.
+    pub(crate) fn append(
+        &mut self,
+        promise: ErasedPromiseRef,
+        promises: &crate::arena::SlotArena<crate::slots::PromiseSlot>,
+        owner_slot: PackedRef,
+    ) {
         match self {
             Ledger::Disabled => {}
-            Ledger::List { entries, .. } => entries.push(promise),
+            Ledger::List {
+                entries,
+                eager: _,
+                prune_at,
+            } => {
+                if entries.len() >= *prune_at {
+                    entries.retain(|e| {
+                        if e.is_fulfilled() {
+                            return false;
+                        }
+                        let owner = promises
+                            .read(e.slot(), |s| s.owner())
+                            .unwrap_or(PackedRef::NULL);
+                        owner == owner_slot
+                    });
+                    *prune_at = (entries.len() * 2).max(LEDGER_PRUNE_MIN);
+                }
+                entries.push(promise);
+            }
             Ledger::Count(n) => *n += 1,
         }
     }
@@ -84,7 +129,7 @@ impl Ledger {
     pub(crate) fn release(&mut self, id: PromiseId) {
         match self {
             Ledger::Disabled => {}
-            Ledger::List { entries, eager } => {
+            Ledger::List { entries, eager, .. } => {
                 if *eager {
                     let pos = entries.iter().position(|e| e.id() == id);
                     if let Some(pos) = pos {
@@ -495,6 +540,52 @@ mod tests {
                 *n += 1;
             }
         }
+    }
+
+    /// The lazy ledger must not pin one entry per promise forever: a task
+    /// that keeps creating and fulfilling promises stays bounded by the
+    /// amortized prune sweep (~2x its live obligations), so the pooled
+    /// promise-cell blocks recycle instead of accumulating until task exit.
+    #[test]
+    fn lazy_ledger_prunes_fulfilled_entries() {
+        let ctx = Context::new_verified();
+        let _root = ctx.root_task(None);
+        for i in 0..1000u64 {
+            let p = crate::Promise::<u64>::new();
+            p.set(i).unwrap();
+            let len = with_current_body(|b| b.ledger.recorded_len()).unwrap();
+            assert!(
+                len <= 2 * LEDGER_PRUNE_MIN,
+                "lazy ledger grew unboundedly: {len} entries after {i} promises"
+            );
+        }
+        assert_eq!(ctx.alarm_count(), 0);
+    }
+
+    /// Pruning never removes a live obligation: unfulfilled promises the
+    /// task still owns survive every sweep and are reported at exit.
+    #[test]
+    fn lazy_ledger_prune_keeps_live_obligations() {
+        let ctx = Context::new_verified();
+        let root = ctx.root_task(None);
+        // Many fulfilled promises force prune sweeps...
+        for i in 0..100u64 {
+            let p = crate::Promise::<u64>::new();
+            p.set(i).unwrap();
+        }
+        // ...but the one abandoned promise must survive them.
+        let abandoned = crate::Promise::<u64>::new();
+        for i in 0..100u64 {
+            let p = crate::Promise::<u64>::new();
+            p.set(i).unwrap();
+        }
+        let report = root.finish().expect("the abandoned promise is reported");
+        assert_eq!(report.count, 1);
+        assert_eq!(report.promises[0].promise, abandoned.id());
+        assert!(matches!(
+            abandoned.get(),
+            Err(crate::PromiseError::OmittedSet(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! A deterministic virtual-interleaving harness for the generic
+//! epoch-claimed magazine protocol of [`crate::magazine`].
+//!
+//! The seeded multi-thread stress suites catch protocol races only
+//! probabilistically: whether a claim-steal lands exactly between another
+//! worker's flush and its claim release depends on the scheduler's mood.
+//! This kit removes the scheduler from the picture, in the spirit of
+//! model-checking tools (POPACheck et al.): a single driver thread plays
+//! several *simulated workers* — real registrations in the worker-epoch
+//! table ([`crate::counters::sim`]), activated one step at a time — against
+//! one [`MagazinePool`] and **exhaustively enumerates every interleaving**
+//! of the workers' operation scripts over small bounded schedules.  Each
+//! operation (alloc, free, worker exit, death without flush, respawn) runs
+//! to completion as one atomic step; the enumeration covers every order in
+//! which the protocol's state-machine transitions (claim, adopt, refill,
+//! flush, release) can be driven against each other.
+//!
+//! After **every step** the kit checks the two protocol invariants stated
+//! in the [`crate::magazine`] module docs:
+//!
+//! * **no double handout** — an allocated item is never already checked
+//!   out (caught by an outstanding-set membership test at alloc time), and
+//! * **no loss** — every item the backend ever created is accounted for:
+//!   `created == outstanding + cached-in-magazines + backstop-free-list`.
+//!
+//! At the end of every schedule the kit frees all held items, drains each
+//! touched magazine through a fresh adopting worker, and checks the pool
+//! ends empty with the backstop holding every created item — so items
+//! stranded behind a worker that died without flushing must be recoverable
+//! by adoption, on every schedule.
+//!
+//! Schedules are replayable: the exhaustive explorer is fully
+//! deterministic, the sampled explorer derives its schedules from a seed
+//! (see [`explore_sampled`]), and an invariant failure panics with the
+//! exact schedule prefix that produced it.
+
+use std::collections::HashSet;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::counters::sim::{self, SimWorker};
+use crate::magazine::{MagazineBackend, MagazinePool, MAG_SHARDS};
+use crate::test_support::rng;
+
+/// One step of a simulated worker's script.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Allocate one item (magazine path when this worker holds/claims its
+    /// magazine, the shared backstop path on a live collision).
+    Alloc,
+    /// Free the oldest item this worker holds (no-op when it holds none).
+    Free,
+    /// Retire cleanly: flush the magazine, release the claim, end the
+    /// registration — what `Context::flush_worker_caches` + worker exit do.
+    Exit,
+    /// Die without flushing: the registration's epoch is bumped but the
+    /// magazine keeps its claim word and contents — the case the adoption
+    /// half of the protocol exists for.
+    Die,
+    /// Re-register on the same slot id (only meaningful after `Exit`/`Die`;
+    /// the new registration adopts whatever its magazine holds).
+    Respawn,
+}
+
+/// One simulated worker: a slot offset into the kit's reserved id window
+/// plus its operation script.
+///
+/// Two scripts whose `slot_offset`s are congruent modulo
+/// [`MAG_SHARDS`] map onto the **same magazine** — that is how claim
+/// collisions and adoption are provoked.
+#[derive(Clone, Debug)]
+pub struct Script {
+    /// Offset into the kit's reserved slot-id window (`0..RESERVED_SLOTS`).
+    pub slot_offset: usize,
+    /// The operations, executed in order (interleaved with other scripts).
+    pub ops: Vec<Op>,
+}
+
+/// Aggregate result of an exploration, for reporting and sanity checks.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// Total operation steps executed (invariants were checked after each).
+    pub steps: usize,
+}
+
+/// Size of the reserved slot-id window at the top of the tracked range.
+/// Script offsets must stay below `RESERVED_SLOTS - MAG_SHARDS`; the last
+/// shard's worth of ids is kept for the end-of-schedule drain workers.
+pub const RESERVED_SLOTS: usize = 64;
+
+fn base_slot() -> usize {
+    // The top of the tracked range: real registrations allocate ids densely
+    // from 0 and never reach it, so simulated workers cannot collide with
+    // them (see `counters::sim`).
+    sim::TRACKED_SLOTS - RESERVED_SLOTS
+}
+
+/// The kit's shared backstop: a free vector plus a fresh-item counter, with
+/// refill/flush counters the tests use to observe which path served an
+/// allocation.
+#[derive(Default)]
+pub struct KitBackend {
+    free: Mutex<Vec<u32>>,
+    next_fresh: AtomicU32,
+    /// Number of [`MagazineBackend::refill`] calls.
+    pub refills: AtomicUsize,
+    /// Number of [`MagazineBackend::flush`] calls.
+    pub flushes: AtomicUsize,
+}
+
+impl KitBackend {
+    /// Total items ever created from the fresh region.
+    pub fn created(&self) -> usize {
+        self.next_fresh.load(Ordering::Relaxed) as usize
+    }
+
+    /// Items currently on the backstop free list.
+    pub fn free_len(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// The shared-path allocation (what an unregistered or collided caller
+    /// does): pop the backstop, else create fresh.
+    pub fn alloc_direct(&self) -> u32 {
+        if let Some(item) = self.free.lock().pop() {
+            return item;
+        }
+        self.next_fresh.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shared-path free.
+    pub fn free_direct(&self, item: u32) {
+        self.free.lock().push(item);
+    }
+}
+
+impl MagazineBackend for KitBackend {
+    type Item = u32;
+
+    fn refill(&self, buf: &mut [MaybeUninit<u32>]) -> usize {
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        let mut n = 0;
+        let mut free = self.free.lock();
+        while n < buf.len() {
+            match free.pop() {
+                Some(item) => {
+                    buf[n].write(item);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        drop(free);
+        if n == 0 {
+            let base = self
+                .next_fresh
+                .fetch_add(buf.len() as u32, Ordering::Relaxed);
+            for (k, slot) in buf.iter_mut().enumerate() {
+                slot.write(base + k as u32);
+            }
+            n = buf.len();
+        }
+        n
+    }
+
+    fn flush(&self, items: &[u32]) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().extend_from_slice(items);
+    }
+}
+
+struct WorkerState {
+    slot: usize,
+    sim: Option<SimWorker>,
+    held: Vec<u32>,
+}
+
+/// One schedule's isolated world: a fresh pool, a fresh backend, and the
+/// simulated workers of the scripts.
+struct Sandbox {
+    pool: MagazinePool<u32>,
+    backend: KitBackend,
+    workers: Vec<WorkerState>,
+    outstanding: HashSet<u32>,
+    /// The shared-path live counter the real callers keep next to the pool
+    /// (the arena's `live_overflow`, the block pool's `GLOBAL_LIVE`):
+    /// +1 per shared-path alloc, -1 per shared-path free.
+    overflow: i64,
+    steps: usize,
+}
+
+impl Sandbox {
+    fn new(scripts: &[Script]) -> Sandbox {
+        let workers = scripts
+            .iter()
+            .map(|s| {
+                assert!(
+                    s.slot_offset < RESERVED_SLOTS - MAG_SHARDS,
+                    "script offset {} collides with the drain window",
+                    s.slot_offset
+                );
+                let slot = base_slot() + s.slot_offset;
+                WorkerState {
+                    slot,
+                    sim: Some(SimWorker::register(slot)),
+                    held: Vec::new(),
+                }
+            })
+            .collect();
+        Sandbox {
+            pool: MagazinePool::new(),
+            backend: KitBackend::default(),
+            workers,
+            outstanding: HashSet::new(),
+            overflow: 0,
+            steps: 0,
+        }
+    }
+
+    fn step(&mut self, worker: usize, op: Op, trace: &[usize]) {
+        self.steps += 1;
+        let w = &mut self.workers[worker];
+        match op {
+            Op::Alloc => {
+                let sim = w.sim.as_ref().expect("Alloc requires a live worker");
+                let _active = sim.activate();
+                let item = match self.pool.alloc(&self.backend) {
+                    Some(item) => item,
+                    // Live collision: this worker's magazine is claimed by
+                    // another live registration — the shared path serves it,
+                    // exactly as the arena's/block pool's callers do.
+                    None => {
+                        self.overflow += 1;
+                        self.backend.alloc_direct()
+                    }
+                };
+                assert!(
+                    self.outstanding.insert(item),
+                    "DOUBLE HANDOUT of item {item} at step {} of schedule {trace:?}",
+                    self.steps
+                );
+                w.held.push(item);
+            }
+            Op::Free => {
+                if w.held.is_empty() {
+                    return;
+                }
+                let sim = w.sim.as_ref().expect("Free requires a live worker");
+                let item = w.held.remove(0);
+                assert!(self.outstanding.remove(&item), "freed item was not live");
+                let _active = sim.activate();
+                if let Err(item) = self.pool.free(&self.backend, item) {
+                    self.overflow -= 1;
+                    self.backend.free_direct(item);
+                }
+            }
+            Op::Exit => {
+                let sim = w.sim.take().expect("Exit requires a live worker");
+                {
+                    let _active = sim.activate();
+                    self.pool.flush_current_worker(&self.backend);
+                }
+                sim.die();
+            }
+            Op::Die => {
+                let sim = w.sim.take().expect("Die requires a live worker");
+                sim.die();
+            }
+            Op::Respawn => {
+                assert!(w.sim.is_none(), "Respawn requires a dead worker");
+                w.sim = Some(SimWorker::register(w.slot));
+            }
+        }
+        self.check_conservation(trace);
+    }
+
+    fn check_conservation(&self, trace: &[usize]) {
+        let created = self.backend.created();
+        let accounted = self.outstanding.len() + self.pool.cached() + self.backend.free_len();
+        assert_eq!(
+            created,
+            accounted,
+            "ITEM LOST OR DUPLICATED at step {} of schedule {trace:?}: \
+             created {created} != outstanding {} + cached {} + free {}",
+            self.steps,
+            self.outstanding.len(),
+            self.pool.cached(),
+            self.backend.free_len()
+        );
+        let live = self.pool.live() + self.overflow;
+        assert_eq!(
+            live,
+            self.outstanding.len() as i64,
+            "live accounting (magazines {} + overflow {}) disagrees with {} \
+             outstanding items",
+            self.pool.live(),
+            self.overflow,
+            self.outstanding.len()
+        );
+    }
+
+    /// End-of-schedule teardown: free everything, drain every touched
+    /// magazine through a fresh adopting worker, and verify the world ends
+    /// empty — items stranded behind dead claims must be recoverable.
+    fn finish(mut self, trace: &[usize]) -> usize {
+        // Free all held items through their owners (or the shared path when
+        // the owner died).
+        for w in &mut self.workers {
+            for item in w.held.drain(..) {
+                assert!(self.outstanding.remove(&item));
+                match &w.sim {
+                    Some(sim) => {
+                        let _active = sim.activate();
+                        if let Err(item) = self.pool.free(&self.backend, item) {
+                            self.overflow -= 1;
+                            self.backend.free_direct(item);
+                        }
+                    }
+                    None => {
+                        self.overflow -= 1;
+                        self.backend.free_direct(item);
+                    }
+                }
+            }
+        }
+        // Retire the still-live workers cleanly.
+        for w in &mut self.workers {
+            if let Some(sim) = w.sim.take() {
+                {
+                    let _active = sim.activate();
+                    self.pool.flush_current_worker(&self.backend);
+                }
+                sim.die();
+            }
+        }
+        // Adoption drain: one fresh worker per touched shard claims the
+        // (possibly dead-claimed) magazine, then exits, flushing it.
+        let mut shards: Vec<usize> = self.workers.iter().map(|w| w.slot % MAG_SHARDS).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        for shard in shards {
+            let drain_slot = base_slot() + RESERVED_SLOTS - MAG_SHARDS + shard;
+            let sim = SimWorker::register(drain_slot);
+            {
+                let _active = sim.activate();
+                // One alloc/free round trip forces the claim (adopting a
+                // dead one if present); the exit flush then drains it.
+                let item = self
+                    .pool
+                    .alloc(&self.backend)
+                    .expect("drain worker owns its magazine");
+                self.pool
+                    .free(&self.backend, item)
+                    .expect("drain worker frees through its magazine");
+                self.pool.flush_current_worker(&self.backend);
+            }
+            sim.die();
+        }
+        assert_eq!(
+            self.pool.cached(),
+            0,
+            "schedule {trace:?}: the drain pass must empty every magazine"
+        );
+        assert!(self.outstanding.is_empty());
+        assert_eq!(
+            self.backend.free_len(),
+            self.backend.created(),
+            "schedule {trace:?}: an item was lost — every created item must \
+             end on the backstop after the drain"
+        );
+        assert_eq!(
+            self.pool.live() + self.overflow,
+            0,
+            "schedule {trace:?}: live delta leaked (magazines {}, overflow {})",
+            self.pool.live(),
+            self.overflow
+        );
+        self.steps
+    }
+}
+
+fn run_schedule(scripts: &[Script], schedule: &[usize]) -> usize {
+    let mut sandbox = Sandbox::new(scripts);
+    let mut cursors = vec![0usize; scripts.len()];
+    for (step_no, &w) in schedule.iter().enumerate() {
+        let op = scripts[w].ops[cursors[w]];
+        cursors[w] += 1;
+        sandbox.step(w, op, &schedule[..=step_no]);
+    }
+    sandbox.finish(schedule)
+}
+
+/// Serialises kit runs: the reserved slot-id window is shared process
+/// state, so two concurrently exploring tests would collide on
+/// registrations.
+fn kit_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static KIT_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    KIT_LOCK.lock()
+}
+
+/// Exhaustively explores **every** interleaving of the scripts' operations
+/// (the full multinomial of the script lengths), replaying each schedule in
+/// a fresh sandbox and checking the no-double-handout / no-loss invariants
+/// after every step.  Panics (with the offending schedule) on any
+/// violation; returns the exploration size otherwise.
+pub fn explore(scripts: &[Script]) -> Outcome {
+    let _guard = kit_lock();
+    let lens: Vec<usize> = scripts.iter().map(|s| s.ops.len()).collect();
+    let mut outcome = Outcome::default();
+    let mut schedule: Vec<usize> = Vec::with_capacity(lens.iter().sum());
+    let mut remaining = lens.clone();
+    dfs(scripts, &mut remaining, &mut schedule, &mut outcome);
+    outcome
+}
+
+fn dfs(scripts: &[Script], remaining: &mut [usize], schedule: &mut Vec<usize>, out: &mut Outcome) {
+    if remaining.iter().all(|&r| r == 0) {
+        out.schedules += 1;
+        out.steps += run_schedule(scripts, schedule);
+        return;
+    }
+    for w in 0..remaining.len() {
+        if remaining[w] == 0 {
+            continue;
+        }
+        remaining[w] -= 1;
+        schedule.push(w);
+        dfs(scripts, remaining, schedule, out);
+        schedule.pop();
+        remaining[w] += 1;
+    }
+}
+
+/// Explores `samples` schedules drawn deterministically from `seed`
+/// (xorshift over the eligible workers at each step) — the long-script
+/// complement to [`explore`] when the full multinomial is too large.
+/// Replay any failure by re-running with the same seed.
+pub fn explore_sampled(scripts: &[Script], seed: u64, samples: usize) -> Outcome {
+    let _guard = kit_lock();
+    let lens: Vec<usize> = scripts.iter().map(|s| s.ops.len()).collect();
+    let total: usize = lens.iter().sum();
+    let mut outcome = Outcome::default();
+    let mut state = seed | 1;
+    for _ in 0..samples {
+        let mut remaining = lens.clone();
+        let mut schedule = Vec::with_capacity(total);
+        for _ in 0..total {
+            let eligible: Vec<usize> = (0..remaining.len()).filter(|&w| remaining[w] > 0).collect();
+            let pick = eligible[(rng::xorshift(&mut state) % eligible.len() as u64) as usize];
+            remaining[pick] -= 1;
+            schedule.push(pick);
+        }
+        outcome.schedules += 1;
+        outcome.steps += run_schedule(scripts, &schedule);
+    }
+    outcome
+}

@@ -1,0 +1,87 @@
+//! Seeded pseudo-randomness for stress tests: deterministic, replayable,
+//! and overridable from the environment so CI can vary seeds between runs.
+
+/// Reads the base seed for a stress suite: the `STRESS_SEED` environment
+/// variable when set (decimal, or hex with a `0x` prefix), `default`
+/// otherwise.  The CI stress matrix sets `STRESS_SEED` so the seeded loops
+/// actually vary between jobs instead of re-running one schedule; any value
+/// reproduces locally by exporting the same variable.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("STRESS_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            match parsed {
+                // Mix the suite's default in so different suites still use
+                // different streams under one STRESS_SEED.
+                Ok(s) => s ^ default.rotate_left(17),
+                Err(_) => default,
+            }
+        }
+        Err(_) => default,
+    }
+}
+
+/// One xorshift64 step.
+#[inline]
+pub fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// Deterministic schedule jitter: a few nanoseconds to a few microseconds
+/// of busy-work derived from a seed, so interleavings vary across rounds
+/// but reproduce across runs.  `bound` is the maximum spin count (the old
+/// per-suite copies used 127 and 257).
+#[inline]
+pub fn jitter_bounded(seed: &mut u64, bound: u64) {
+    let steps = xorshift(seed) % bound;
+    for _ in 0..steps {
+        std::hint::spin_loop();
+    }
+}
+
+/// [`jitter_bounded`] with the default bound of the original stress suites.
+#[inline]
+pub fn jitter(seed: &mut u64) {
+    jitter_bounded(seed, 257);
+}
+
+/// One step of the 64-bit LCG used by the spawn-plane stress suite
+/// (Knuth's MMIX constants), returning the top bits.
+#[inline]
+pub fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        for _ in 0..100 {
+            assert_eq!(xorshift(&mut a), xorshift(&mut b));
+        }
+        let mut l1 = 7;
+        let mut l2 = 7;
+        assert_eq!(lcg(&mut l1), lcg(&mut l2));
+    }
+
+    #[test]
+    fn env_override_falls_back_on_garbage() {
+        // Only the fallback path is testable without mutating the process
+        // environment (other tests run concurrently).
+        assert_eq!(seed_from_env(123), 123);
+    }
+}

@@ -21,23 +21,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use promise_core::{Context, Promise, PromiseError};
-
-/// Deterministic schedule jitter: a few nanoseconds to a few microseconds of
-/// busy-work derived from a seed, so interleavings vary across rounds but
-/// reproduce across runs.
-fn jitter(seed: &mut u64) {
-    *seed ^= *seed << 13;
-    *seed ^= *seed >> 7;
-    *seed ^= *seed << 17;
-    for _ in 0..(*seed % 257) {
-        std::hint::spin_loop();
-    }
-}
+use promise_core::test_support::rng::{jitter, seed_from_env, xorshift};
+use promise_core::{Context, OneShotCell, Promise, PromiseError};
 
 #[test]
 fn set_races_n_concurrent_gets() {
-    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut seed = seed_from_env(0x9e3779b97f4a7c15);
     for round in 0..60 {
         let ctx = Context::new_unverified();
         let root = ctx.root_task(None);
@@ -65,7 +54,7 @@ fn set_races_n_concurrent_gets() {
 
 #[test]
 fn get_timeout_races_set() {
-    let mut seed = 0x853c49e6748fea9bu64;
+    let mut seed = seed_from_env(0x853c49e6748fea9b);
     let mut timeouts = 0usize;
     let mut values = 0usize;
     for round in 0..80u64 {
@@ -108,7 +97,7 @@ fn get_timeout_races_set() {
 
 #[test]
 fn complete_abandoned_races_set() {
-    let mut seed = 0xda942042e4dd58b5u64;
+    let mut seed = seed_from_env(0xda942042e4dd58b5);
     let mut sets_won = 0usize;
     let mut abandons_won = 0usize;
     for round in 0..80u64 {
@@ -267,5 +256,171 @@ fn concurrent_handle_drops_never_double_drop() {
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1, "round {round}");
         root.finish();
+    }
+}
+
+/// Heavy fan-in on one cell (the ROADMAP's "promise waiter queue under
+/// heavy fan-in" item): many threads park in a blocking wait on a single
+/// promise while seeded wake storms hammer the waiter bit — racing timed
+/// getters that announce `HAS_WAITERS`, time out, and re-arm — and several
+/// racing fillers of which exactly one may win.
+///
+/// Asserts, per round:
+/// * exactly one filler wins (value observation is exactly-once in the
+///   sense that every observer sees the single winning value);
+/// * every parked getter wakes with that value — the joins below hang (and
+///   the harness times out) if even one parker is stranded;
+/// * storm threads only ever observe `Timeout` or the winning value.
+#[test]
+fn heavy_fanin_waiter_storm_wakes_every_parker_exactly_once() {
+    let mut seed = seed_from_env(0xfa11_1234_u64 ^ 0x9e37_79b9);
+    for round in 0..12u64 {
+        let ctx = Context::new_unverified();
+        let root = ctx.root_task(None);
+        let p = Promise::<u64>::new();
+        let winning = Arc::new(AtomicUsize::new(0));
+
+        // 16 blocking getters park on the one cell.
+        let parked: Vec<_> = (0..16)
+            .map(|g| {
+                let p = p.clone();
+                let mut s = seed ^ (g as u64 + 1).wrapping_mul(round + 1);
+                std::thread::spawn(move || {
+                    jitter(&mut s);
+                    p.get().unwrap()
+                })
+            })
+            .collect();
+
+        // 4 storm threads churn the waiter bit with short timed waits.
+        let storms: Vec<_> = (0..4)
+            .map(|t| {
+                let p = p.clone();
+                let mut s = seed.rotate_left(t + 1) | 1;
+                std::thread::spawn(move || {
+                    let mut observed = None;
+                    for _ in 0..200 {
+                        jitter(&mut s);
+                        match p.get_timeout(Duration::from_micros(xorshift(&mut s) % 200)) {
+                            Ok(v) => {
+                                observed = Some(v);
+                                break;
+                            }
+                            Err(PromiseError::Timeout { .. }) => continue,
+                            Err(other) => panic!("storm observed {other}"),
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        // 3 racing fillers; exactly one may win.
+        let fillers: Vec<_> = (0..3u64)
+            .map(|f| {
+                let p = p.clone();
+                let winning = Arc::clone(&winning);
+                let mut s = seed ^ (0xf111 + f);
+                std::thread::spawn(move || {
+                    jitter(&mut s);
+                    // Bypass ownership so all three threads may race the
+                    // fill itself (the unverified context skips rule 4
+                    // anyway; fulfill_detached makes the race explicit).
+                    if p.fulfill_detached(round * 1000 + f) {
+                        winning.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+
+        for f in fillers {
+            f.join().unwrap();
+        }
+        assert_eq!(
+            winning.load(Ordering::SeqCst),
+            1,
+            "exactly one filler must win the race"
+        );
+        let value = p.get().unwrap();
+        assert_eq!(value / 1000, round, "value belongs to this round");
+        for t in parked {
+            assert_eq!(
+                t.join().unwrap(),
+                value,
+                "every parked getter observes the single winning value"
+            );
+        }
+        for s in storms {
+            if let Some(v) = s.join().unwrap() {
+                assert_eq!(v, value);
+            }
+        }
+        xorshift(&mut seed);
+        root.finish();
+    }
+}
+
+/// The same fan-in shape driven directly on `OneShotCell`, with no promise
+/// machinery in the way: N waiters on `wait(None)`, racing fillers, seeded
+/// wake storms of timed waiters.  Exactly one fill wins, everyone wakes
+/// with the winner's value, nobody strands.
+#[test]
+fn oneshot_cell_fanin_storm() {
+    let mut seed = seed_from_env(0xce11_5707_u64 ^ 0xb5297a4d);
+    for round in 0..20u64 {
+        let cell = Arc::new(OneShotCell::<u64>::new());
+        let waiters: Vec<_> = (0..12)
+            .map(|w| {
+                let cell = Arc::clone(&cell);
+                let mut s = seed ^ (w as u64 + 17).wrapping_mul(round + 3);
+                std::thread::spawn(move || {
+                    jitter(&mut s);
+                    assert!(cell.wait(None), "untimed wait only returns on fill");
+                    *cell.get_ref().unwrap()
+                })
+            })
+            .collect();
+        let stormers: Vec<_> = (0..3)
+            .map(|t| {
+                let cell = Arc::clone(&cell);
+                let mut s = seed.rotate_right(t + 5) | 1;
+                std::thread::spawn(move || {
+                    for _ in 0..300 {
+                        let deadline = std::time::Instant::now()
+                            + Duration::from_micros(xorshift(&mut s) % 100);
+                        if cell.wait(Some(deadline)) {
+                            return true;
+                        }
+                    }
+                    cell.wait(None)
+                })
+            })
+            .collect();
+        let fillers: Vec<_> = (0..2u64)
+            .map(|f| {
+                let cell = Arc::clone(&cell);
+                let mut s = seed ^ f.wrapping_mul(0x1234_5678);
+                std::thread::spawn(move || {
+                    jitter(&mut s);
+                    cell.try_fill(round * 10 + f, false).is_ok()
+                })
+            })
+            .collect();
+        let wins: usize = fillers
+            .into_iter()
+            .map(|f| f.join().unwrap() as usize)
+            .sum();
+        assert_eq!(wins, 1, "exactly one fill succeeds");
+        let value = *cell.get_ref().unwrap();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), value);
+        }
+        for s in stormers {
+            assert!(
+                s.join().unwrap(),
+                "storm waiter eventually observed the fill"
+            );
+        }
+        xorshift(&mut seed);
     }
 }

@@ -20,6 +20,7 @@ use promise_core::arena::{SlotArena, SlotValue, MAG_CAP};
 use promise_core::counters::register_worker;
 use promise_core::error::{CycleEntry, DeadlockCycle};
 use promise_core::refs::PackedRef;
+use promise_core::test_support::rng::{jitter_bounded, seed_from_env};
 use promise_core::{Alarm, Context, PromiseId, TaskId};
 
 struct StampCell {
@@ -38,12 +39,7 @@ impl SlotValue for StampCell {
 }
 
 fn jitter(seed: &mut u64) {
-    *seed ^= *seed << 13;
-    *seed ^= *seed >> 7;
-    *seed ^= *seed << 17;
-    for _ in 0..(*seed % 127) {
-        std::hint::spin_loop();
-    }
+    jitter_bounded(seed, 127);
 }
 
 /// Worker threads pass every allocated ref to the *next* worker over a
@@ -68,7 +64,8 @@ fn sharded_magazines_survive_cross_thread_free_and_realloc() {
         let tx_next = txs[(w + 1) % workers].clone();
         joins.push(std::thread::spawn(move || {
             let _slot = register_worker();
-            let mut seed = 0xdead_beef_0bad_cafe ^ (w as u64 + 1).wrapping_mul(0x9e37);
+            let mut seed =
+                seed_from_env(0xdead_beef_0bad_cafe) ^ (w as u64 + 1).wrapping_mul(0x9e37);
             let mut stale: Vec<(PackedRef, u64)> = Vec::new();
             for i in 0..rounds {
                 let stamp = (w as u64) << 32 | (i + 1);
@@ -165,7 +162,7 @@ fn alarm_sink_observes_all_alarms_recorded_before_snapshot() {
     for t in 0..recorders {
         let ctx = Arc::clone(&ctx);
         joins.push(std::thread::spawn(move || {
-            let mut seed = 0x1234_5678_9abc_def0 ^ (t as u64 + 1);
+            let mut seed = seed_from_env(0x1234_5678_9abc_def0) ^ (t as u64 + 1);
             for i in 0..per_thread {
                 ctx.record_alarm(deadlock_alarm((t as u64) << 32 | i));
                 jitter(&mut seed);

@@ -25,9 +25,11 @@ use promise_core::{Executor, Job, RejectedBatch, RejectedJob};
 /// A callback every worker thread runs as it retires (still on the worker
 /// thread, while its worker registration is active).
 ///
-/// The runtime uses this to flush the worker's per-worker arena caches back
-/// to the context's global free lists (see
-/// `promise_core::Context::flush_worker_caches`).
+/// The runtime uses this to flush the worker's per-worker caches — arena
+/// slot magazines and the shared block pool's magazines (job records and
+/// pooled promise cells), all instances of the generic epoch-claimed
+/// magazine of `promise_core::magazine` — back to their global free lists
+/// (see `promise_core::Context::flush_worker_caches`).
 pub type WorkerExitHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Configuration of a [`GrowingPool`].
@@ -279,7 +281,9 @@ impl GrowingPool {
         state.current_workers -= 1;
         drop(state);
         // Retirement hook (outside the pool lock, before the counter-slot
-        // registration guard drops): flush per-worker caches etc.
+        // registration guard drops, so the magazines claimed under this
+        // registration can still be identified and flushed — see the
+        // worker-exit drain of `promise_core::magazine`).
         if let Some(hook) = &inner.config.worker_exit_hook {
             hook();
         }

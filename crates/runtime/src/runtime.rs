@@ -198,8 +198,8 @@ impl RuntimeBuilder {
     /// installs the scheduler as the context's executor.
     pub fn build(self) -> Runtime {
         let ctx = Context::new(self.policy);
-        // Retiring workers flush their per-worker arena caches (slot
-        // magazines) back to this context's global free lists.  Weak: the
+        // Retiring workers flush their per-worker magazines (arena slots,
+        // job/promise-cell blocks) back to the global free lists.  Weak: the
         // context holds the scheduler as its executor, so a strong reference
         // here would leak both in a cycle.
         let mut pool_config = self.pool;

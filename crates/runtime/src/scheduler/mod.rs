@@ -833,7 +833,9 @@ fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
     let _reset = ResetTls;
     state.worker_loop(idx, &local);
     // Retirement hook (while the counter-slot registration is still active,
-    // so per-worker caches can be identified and flushed).
+    // so the per-worker magazines claimed under it — arena slots, job and
+    // promise-cell blocks; see `promise_core::magazine` — can be identified
+    // and flushed instead of waiting for adoption).
     if let Some(hook) = &state.config.base.worker_exit_hook {
         hook();
     }

@@ -14,7 +14,7 @@
 //! allocation — an `Arc<Mutex<Option<R>>>` side channel for the body's typed
 //! return value — plus a boxed job closure and a second box inside the
 //! scheduler deque: four allocator round trips per spawn.  The rebuilt path
-//! performs **one**:
+//! performs **zero** (in steady state):
 //!
 //! * the completion promise is created *fused* with a typed
 //!   [`ResultSlot<R>`](promise_core::ResultSlot) in the same allocation
@@ -22,17 +22,25 @@
 //!   into the slot and `join` `take`s it after the completion promise
 //!   resolves — the mutex side channel is gone;
 //! * the job closure lives in a thin, **recycled block**
-//!   ([`promise_core::Job`]): per-worker block magazines make steady-state
-//!   spawn → run → retire touch no global allocator, and the thin record
-//!   pointer is stored directly in the deque slots (the old double box is
-//!   gone structurally);
+//!   ([`promise_core::Job`]): per-worker block magazines (the generic
+//!   epoch-claimed protocol of `promise_core`'s `magazine` module) recycle
+//!   the record storage, and the thin record pointer is stored directly in
+//!   the deque slots (the old double box is gone structurally);
+//! * the fused cell itself is a **pooled refcount block**
+//!   ([`promise_core::PoolArc`]): the reference-counted record shared by
+//!   the handle, the child, and the ownership ledger comes from the same
+//!   recycled block pool as the job records, so the one `Arc::new` that
+//!   used to remain per spawn is gone too (oversized result types fall
+//!   back to the heap; correctness never depends on fitting);
 //! * the transfer list and the child's ledger are inline-first small vectors
-//!   ([`promise_core::TransferList`]) — no `Vec` allocation for the common
-//!   zero-to-three-transfer spawn.
+//!   ([`promise_core::TransferList`]) of pooled erased handles
+//!   ([`promise_core::ErasedPromiseRef`]) — no `Vec` allocation and no
+//!   `Arc<dyn>` allocation for the common zero-to-three-transfer spawn.
 //!
-//! What remains is the fused cell's single `Arc`, which must be shared
-//! between the handle, the child, and the ownership ledger and therefore
-//! cannot be recycled per-worker without reference counting anyway.
+//! Steady-state spawn → run → retire therefore performs **no
+//! global-allocator call at all** once the magazines and queues are warm;
+//! the `zero_alloc_spawn` integration test pins this with a counting global
+//! allocator, and the `spawn_path` benches report the allocation counts.
 //!
 //! ## Why recycling can never resurrect a retired task's completion promise
 //!

@@ -7,34 +7,13 @@
 //! must balance once the runtime quiesces.
 
 use promise_core::job::job_pool_stats;
+use promise_core::test_support::pool::{assert_outstanding_settles_to, pool_serial};
+use promise_core::test_support::rng::{lcg, seed_from_env};
 use promise_runtime::{spawn_batch, Runtime};
-
-/// Serialises the tests in this file: they assert on the process-global job
-/// block pool, and the harness runs `#[test]`s concurrently.
-static POOL_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
-
-/// Polls until the outstanding-block count settles to `expected` (worker
-/// threads release their blocks a beat after joins return).
-fn assert_outstanding_settles_to(expected: i64) {
-    for _ in 0..5000 {
-        if job_pool_stats().outstanding == expected {
-            return;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(1));
-    }
-    assert_eq!(job_pool_stats().outstanding, expected);
-}
-
-fn lcg(state: &mut u64) -> u64 {
-    *state = state
-        .wrapping_mul(6364136223846793005)
-        .wrapping_add(1442695040888963407);
-    *state >> 33
-}
 
 #[test]
 fn cross_worker_recycling_never_aliases_live_records() {
-    let _guard = POOL_LOCK.lock();
+    let _guard = pool_serial();
     let baseline = job_pool_stats().outstanding;
     {
         let rt = Runtime::builder()
@@ -42,7 +21,7 @@ fn cross_worker_recycling_never_aliases_live_records() {
             .worker_keep_alive(std::time::Duration::from_millis(50))
             .build();
         rt.block_on(|| {
-            let mut seed = 0x5eed_cafe_u64;
+            let mut seed = seed_from_env(0x5eed_cafe);
             // Waves of forked spawner tasks, each fanning out children whose
             // payloads carry seeded values.  Children spawned on one worker
             // are stolen and retired on others, so freed blocks migrate
@@ -88,7 +67,7 @@ fn cross_worker_recycling_never_aliases_live_records() {
 
 #[test]
 fn worker_exit_hook_drains_magazines_to_the_global_pool() {
-    let _guard = POOL_LOCK.lock();
+    let _guard = pool_serial();
     let baseline = job_pool_stats().outstanding;
     let rt = Runtime::builder()
         .initial_workers(2)
@@ -138,7 +117,7 @@ fn worker_exit_hook_drains_magazines_to_the_global_pool() {
 
 #[test]
 fn seeded_mixed_spawn_steal_churn_is_deterministic() {
-    let _guard = POOL_LOCK.lock();
+    let _guard = pool_serial();
     // Two identical seeded runs must produce identical results: recycling is
     // invisible to task semantics.
     let run = |seed0: u64| -> u64 {
