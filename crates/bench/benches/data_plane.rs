@@ -8,24 +8,42 @@
 //!   shared cache line); `global` is the retained single Treiber free list
 //!   plus global live/peak counters ([`SlotArena::new_global_only`], the
 //!   pre-PR behaviour).  On the 1-CPU reference container:
-//!   magazine ≈ 12.8 ns/op vs global ≈ 68.4 ns/op (≈ 5.3×).
+//!   magazine ≈ 14.5 ns/op vs global ≈ 63.4 ns/op (≈ 4.4×; the global
+//!   path's free-list pop now carries an epoch pin for reclamation safety,
+//!   the magazine path pins once per refill batch).
 //! * `arena/alloc-free-contended` — four threads hammering alloc/free on
 //!   one shared arena (2 000 pairs each per episode; the reported time is
 //!   one whole episode including thread spawn/join).  Magazines
-//!   ≈ 170 µs/episode vs global ≈ 629 µs/episode (≈ 3.7× even without real
+//!   ≈ 227 µs/episode vs global ≈ 540 µs/episode (≈ 2.4× even without real
 //!   parallelism; on a multi-core box the global Treiber CAS loop also
 //!   pays retries and line bouncing).
+//! * `epoch/pin` — the reclamation epoch's pin/unpin round trip
+//!   ([`epoch::pin`]): the per-traversal cost the detector pays and the
+//!   per-call cost of internally-pinning reads.  One full pin (publish
+//!   epoch + SeqCst fence + re-check) ≈ 7.6 ns; a nested pin (TLS depth
+//!   bump only) ≈ 0.3 ns.
+//! * `arena/chunk-churn` — a whole-chunk alloc/free wave (1024 slots).
+//!   `reclaim-every-wave` retires, frees, and resurrects the chunk each
+//!   wave (≈ 74 µs/wave); `keep-resident` leaves it mapped (≈ 55 µs/wave).
+//!   The retire → unmap → remap round trip therefore costs ≈ 19 µs per
+//!   chunk, ≈ 19 ns amortised per slot — paid only at explicit `reclaim()`
+//!   calls, never on the per-operation paths.
 //! * `detector/chain-walk` — one full Algorithm 2 verification over a
 //!   128-task non-cyclic waits-for chain (throughput = edges/step walked).
-//!   `fast` is the pointer-direct traversal (chunk-cached resolver,
-//!   single-validation line-6/9/13 reads, line-11 re-read on the cached
-//!   slot address, lazy report collection); `legacy` is the retained pre-PR
-//!   loop (seqlock double-validated closure reads through the chunk table +
-//!   eager report collection).  fast ≈ 9.0 ns/step vs legacy ≈ 21.3 ns/step
-//!   (≈ 2.4×).
+//!   `fast` is the pointer-direct traversal (one epoch pin for the whole
+//!   walk, chunk-cached resolver with remap-stamp revalidation,
+//!   single-validation line-6/9/13 reads, generation-fenced line-11 read on
+//!   the cached slot address, lazy report collection); `legacy` is the
+//!   retained pre-PR loop (seqlock double-validated closure reads through
+//!   the chunk table + eager report collection, now also paying one pin
+//!   *per read* through `SlotArena::read`).  fast ≈ 8.4 ns/step vs
+//!   legacy ≈ 53 ns/step — the generation-fenced pinned read is well below
+//!   the seqlock baseline, which the reclamation layer made strictly worse
+//!   (three pins per step), exactly the hoisting the detector's
+//!   walk-scoped pin avoids.
 //! * `alarm/record` — one alarm append.  `sink` is the lock-free segment
 //!   list ([`AlarmSink`]), `mutex` the retained `Mutex<Vec>` log
-//!   ([`MutexSink`]).  sink ≈ 24 ns vs mutex ≈ 33 ns uncontended; the
+//!   ([`MutexSink`]).  sink ≈ 20 ns vs mutex ≈ 29 ns uncontended; the
 //!   bigger win is that recorders and snapshot readers never block each
 //!   other.
 //!
@@ -33,6 +51,7 @@
 //! on the 1-CPU container this repo is developed in; re-run to refresh.)
 //!
 //! [`SlotArena::new_global_only`]: promise_core::arena::SlotArena::new_global_only
+//! [`epoch::pin`]: promise_core::epoch::pin
 //! [`AlarmSink`]: promise_core::AlarmSink
 //! [`MutexSink`]: promise_core::MutexSink
 
@@ -40,9 +59,10 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use promise_core::arena::SlotArena;
+use promise_core::arena::{SlotArena, CHUNK_SIZE};
 use promise_core::bench_support;
 use promise_core::counters::register_worker;
+use promise_core::epoch;
 use promise_core::slots::TaskSlot;
 use promise_core::{AlarmSink, Context, MutexSink};
 
@@ -109,6 +129,57 @@ fn bench_arena_contended(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_epoch_pin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch/pin");
+    group.throughput(Throughput::Elements(1));
+
+    // The full pin protocol: claim a cell (cached in TLS), publish the
+    // observed epoch, SeqCst fence, re-check.  This is the per-traversal
+    // cost the detector pays and the per-read cost of `SlotArena::read`.
+    group.bench_function("pin-unpin", |b| b.iter(|| drop(black_box(epoch::pin()))));
+
+    // Nested pins only bump a TLS depth counter — the cheap case that
+    // makes internally-pinning helpers safe to call from pinned contexts.
+    let _outer = epoch::pin();
+    group.bench_function("nested", |b| b.iter(|| drop(black_box(epoch::pin()))));
+    group.finish();
+}
+
+fn bench_chunk_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena/chunk-churn");
+    group.throughput(Throughput::Elements(CHUNK_SIZE as u64));
+
+    // One full wave over a whole chunk, with reclamation: allocate
+    // CHUNK_SIZE slots, free them all, then `reclaim()` — which retires
+    // the chunk, advances the (quiescent) epoch past its grace period, and
+    // unmaps it, so the next wave's allocations resurrect it.  The delta
+    // against `keep-resident` is the price of a retire → free → resurrect
+    // round trip amortised over the chunk's 1024 slots.
+    let reclaiming: SlotArena<TaskSlot> = SlotArena::new_global_only();
+    group.bench_function("reclaim-every-wave", |b| {
+        b.iter(|| {
+            let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| reclaiming.alloc()).collect();
+            for r in refs {
+                reclaiming.free(black_box(r));
+            }
+            reclaiming.reclaim();
+        })
+    });
+
+    // The same wave with the chunk kept resident (the pre-reclamation
+    // behaviour): free-list pops and pushes only.
+    let resident: SlotArena<TaskSlot> = SlotArena::new_global_only();
+    group.bench_function("keep-resident", |b| {
+        b.iter(|| {
+            let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| resident.alloc()).collect();
+            for r in refs {
+                resident.free(black_box(r));
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_detector_chain_walk(c: &mut Criterion) {
     let mut group = c.benchmark_group("detector/chain-walk");
     group.throughput(Throughput::Elements(CHAIN as u64));
@@ -163,6 +234,8 @@ fn bench_alarm_record(c: &mut Criterion) {
 fn benches(c: &mut Criterion) {
     bench_arena_alloc_free(c);
     bench_arena_contended(c);
+    bench_epoch_pin(c);
+    bench_chunk_churn(c);
     bench_detector_chain_walk(c);
     bench_alarm_record(c);
 }

@@ -17,14 +17,22 @@
 //!
 //! [`SlotArena`] solves both problems:
 //!
-//! * Slots live in chunks that are allocated on demand and never freed until
-//!   the arena itself is dropped, so a reference to a slot is always a valid
-//!   pointer for the lifetime of the arena.
+//! * Slots live in chunks that are allocated on demand; raw chunk pointers
+//!   are only dereferenced while the chunk is guaranteed resident — by
+//!   holding one of its slot indices, or by an **epoch pin**
+//!   ([`crate::epoch`]) that delays the freeing of any chunk the thread
+//!   could have observed.  Fully-free chunks are *reclaimed*
+//!   ([`SlotArena::reclaim`]): unmapped from the chunk table, parked in
+//!   limbo for two grace periods, then returned to the allocator — so a
+//!   long-lived process whose live set shrinks actually shrinks.
 //! * Each slot carries a *generation* counter.  A slot is live while its
 //!   generation is even and non-zero; allocation and deallocation each bump
 //!   the generation, so a [`PackedRef`] captured when the slot was allocated
 //!   can be validated later: if the generation changed, the object died and
-//!   the reference is treated like null.
+//!   the reference is treated like null.  Reclaimed chunks remember an even
+//!   *generation floor* strictly above everything the old mapping handed
+//!   out, so occupancies of a remapped chunk can never validate a stale
+//!   reference either.
 //!
 //! # Allocation: the magazine protocol
 //!
@@ -76,30 +84,72 @@
 //! precisely what the magazines exist to avoid.  The bound is pinned by the
 //! `peak_live_underreport_is_bounded_by_one_refill_batch` regression test.
 //!
-//! # Reads: single validation vs. the seqlock double check
+//! # Reclamation: epochs for memory, generations for identity
+//!
+//! The two concerns concurrent reads must survive are separated cleanly:
+//!
+//! * **Memory safety** (may this pointer be dereferenced at all?) is the
+//!   epoch machinery's job.  Every raw-pointer read happens either while
+//!   holding a slot index — [`SlotArena::reclaim`] retires a chunk only
+//!   when it holds *all* `CHUNK_SIZE` of the chunk's indices, detached from
+//!   the free list in one CAS, so a held index structurally pins its chunk
+//!   — or under an [`epoch::pin`].  A retired chunk is unlinked from the
+//!   chunk table with a `SeqCst` store and *then* stamped with the global
+//!   epoch `g`; it is freed only once the global epoch reaches `g + 2`.
+//!   The reader-side argument (in the `SeqCst` total order): a thread
+//!   pinned at epoch `e` with `e ≤ g` blocks every advance beyond `e + 1 ≤
+//!   g + 1`, so the deadline never arrives while it is pinned; and a thread
+//!   pinned at `e ≥ g + 1` pinned *after* the epoch moved past `g`, which
+//!   ordered its pin fence after the unlink store — its chunk-table loads
+//!   can no longer observe the unlinked pointer at all.  Either way no
+//!   pinned thread dereferences freed chunk memory.
+//! * **Object identity** (is this value the object my reference named?) is
+//!   the generation check's job, exactly as before reclamation existed.
+//!   Stale references into a retired chunk read as `None` (table entry is
+//!   null); stale references into a *remapped* chunk fail the generation
+//!   check against the new mapping's floor.
+//!
+//! # Reads: which protocols may see cross-occupancy values
 //!
 //! The slot payload type must consist of atomics (or otherwise interiorly
 //! mutable, `Sync` state) so that resetting a recycled slot cannot race with
 //! a stale reader: stale readers may observe torn *logical* state, but
-//! generation validation makes them discard it.  Two read protocols exist:
+//! generation validation makes them discard it.  Three read protocols exist:
 //!
 //! * [`SlotArena::read`] (and [`SlotHandle::read_validated`]) validate the
 //!   generation **before and after** the closure runs — the seqlock-style
 //!   protocol.  A value observed from a slot recycled mid-read is never
-//!   attributed to the original object.
+//!   attributed to the original object.  `read` pins internally;
+//!   `SlotArena::read_live` is the same protocol without the pin, for the
+//!   policy bookkeeping's hot reads of slots the caller holds live (own
+//!   task slot, promise slots reached through an owning handle) — there the
+//!   liveness itself keeps the chunk resident via the hold-all-indices
+//!   retire condition, and the per-read `SeqCst` fence would be pure
+//!   overhead.
 //! * [`SlotHandle::read_field`] validates **once, before** the load.  The
 //!   value returned may therefore belong to a *newer* occupancy of the slot
 //!   (if the slot is freed and re-allocated between the generation check
 //!   and the field load).  This is the detector's fast path; see
 //!   [`crate::detector`] for the argument why Algorithm 2 tolerates such a
 //!   cross-occupancy read on its `owner` (lines 6/13) and `waitingOn`
-//!   (line 9) loads and why only the line-11 `owner` re-read must keep the
-//!   double check for Theorem 5.1 (no false alarms) to hold.
+//!   (line 9) loads.
+//! * [`SlotHandle::read_gen_fenced`] validates **once, after** the load —
+//!   the generation fence.  Given an earlier matching observation on the
+//!   same handle, monotonic generations make the bracket equivalent to the
+//!   full seqlock double check at half the validation cost: this is the
+//!   detector's line-11 `owner` re-read, the one load that must *not*
+//!   return a cross-occupancy value for Theorem 5.1 (no false alarms) to
+//!   hold.
 //!
 //! [`SlotArena::resolve`] turns a [`PackedRef`] into a [`SlotHandle`]
 //! carrying the slot's raw address, so repeated reads of the same slot (the
 //! detector's line-11 re-read of an already-resolved promise) skip the
-//! chunk-table indirection and bounds check entirely.
+//! chunk-table indirection and bounds check entirely.  Handle-producing
+//! APIs take (and bound their lifetimes by) a [`PinGuard`], making "handle
+//! outlives pin" a compile error; [`CachedResolver`] additionally
+//! revalidates its cached chunk pointer against the chunk's *remap stamp*,
+//! so a chunk reclaimed and remapped between two cached steps is refetched
+//! rather than read through the stale mapping.
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -107,6 +157,7 @@ use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
+use crate::epoch::{self, PinGuard};
 use crate::magazine::{MagazineBackend, MagazinePool};
 use crate::refs::PackedRef;
 
@@ -144,9 +195,17 @@ struct Chunk<T> {
 
 impl<T: SlotValue> Chunk<T> {
     fn new() -> Self {
+        Self::with_generation(0)
+    }
+
+    /// A chunk whose slots all start at generation `floor` (0 for brand-new
+    /// chunks; the recorded even generation floor when a reclaimed chunk is
+    /// mapped back in, so stale references into the previous mapping can
+    /// never match a new occupancy).
+    fn with_generation(floor: u32) -> Self {
         let slots = (0..CHUNK_SIZE)
             .map(|_| Slot {
-                generation: AtomicU32::new(0),
+                generation: AtomicU32::new(floor),
                 next_free: AtomicU32::new(0),
                 value: T::new_empty(),
             })
@@ -156,18 +215,60 @@ impl<T: SlotValue> Chunk<T> {
     }
 }
 
-/// A growable, lock-free arena of generation-tagged slots.
+/// Per-chunk reclamation metadata, in a side table parallel to the chunk
+/// table (so readers touch it only on chunk-cache misses, never per slot).
+struct ChunkMeta {
+    /// Even lower bound for the generations of the chunk's *next* mapping:
+    /// strictly above every generation the previous mapping ever handed out.
+    gen_floor: AtomicU32,
+    /// Bumped on every retire and every resurrect of this chunk index; a
+    /// [`CachedResolver`] revalidates its cached chunk pointer against it.
+    remap_stamp: AtomicU32,
+}
+
+/// A chunk unlinked from the chunk table, awaiting its grace periods.
+struct LimboChunk<T> {
+    ptr: *mut Chunk<T>,
+    /// Global epoch observed *after* the chunk-table entry was nulled; the
+    /// chunk may be freed once the global epoch reaches `retired_at + 2`.
+    retired_at: u64,
+}
+
+/// State behind the grow/reclaim lock: limbo chunks waiting out their grace
+/// periods, and retired chunk indices available for remapping.
+struct ReclaimState<T> {
+    limbo: Vec<LimboChunk<T>>,
+    /// Chunk indices whose table entries are currently null (retired).
+    /// Their slot indices are out of circulation until the chunk is
+    /// resurrected, which re-mints all `CHUNK_SIZE` of them at once.
+    retired: Vec<u32>,
+}
+
+/// A growable, lock-free arena of generation-tagged slots with epoch-based
+/// chunk reclamation (see [`SlotArena::reclaim`]).
 pub struct SlotArena<T> {
     chunks: Box<[AtomicPtr<Chunk<T>>]>,
-    /// Number of chunks currently mapped.
+    /// Per-chunk generation floors and remap stamps (see [`ChunkMeta`]).
+    meta: Box<[ChunkMeta]>,
+    /// Number of chunks currently mapped (excludes limbo chunks, which are
+    /// unlinked but still resident; see [`SlotArena::resident_bytes`]).
     mapped_chunks: AtomicUsize,
+    /// Number of chunks currently in limbo (unlinked, not yet freed).
+    limbo_chunks: AtomicUsize,
+    /// High-water mark of `mapped_chunks + limbo_chunks`.
+    peak_resident_chunks: AtomicUsize,
+    /// Total bytes of chunk storage returned to the allocator so far.
+    bytes_freed: AtomicU64,
+    /// Total chunks returned to the allocator so far.
+    chunks_reclaimed: AtomicU64,
     /// Next never-used slot index.
     next_fresh: AtomicU32,
     /// Treiber-stack head: high 32 bits = 1-based slot index (0 = empty),
     /// low 32 bits = ABA tag.
     free_head: AtomicU64,
-    /// Guards mapping of new chunks (cold path only).
-    grow_lock: Mutex<()>,
+    /// Guards mapping, retiring and resurrecting of chunks (cold paths
+    /// only), and owns the limbo / retired-index lists.
+    grow_lock: Mutex<ReclaimState<T>>,
     /// Per-worker free-index magazines, driven by the generic epoch-claimed
     /// protocol of [`crate::magazine`] (unused when `use_magazines` is off).
     magazines: MagazinePool<u32>,
@@ -192,13 +293,32 @@ impl<T: SlotValue> MagazineBackend for ArenaBackend<'_, T> {
     fn refill(&self, buf: &mut [MaybeUninit<u32>]) -> usize {
         let arena = self.0;
         let mut n = 0;
-        while n < buf.len() {
-            match arena.pop_free() {
-                Some(idx) => {
-                    buf[n].write(idx);
-                    n += 1;
+        // One pin covers the whole batch of pops (the fence is paid once
+        // per refill, not per index).
+        {
+            let pin = epoch::pin();
+            while n < buf.len() {
+                match arena.pop_free(&pin) {
+                    Some(idx) => {
+                        buf[n].write(idx);
+                        n += 1;
+                    }
+                    None => break,
                 }
-                None => break,
+            }
+        }
+        if n == 0 && arena.try_resurrect() {
+            // A reclaimed chunk was mapped back in and its indices pushed;
+            // retry the free list before growing the fresh frontier.
+            let pin = epoch::pin();
+            while n < buf.len() {
+                match arena.pop_free(&pin) {
+                    Some(idx) => {
+                        buf[n].write(idx);
+                        n += 1;
+                    }
+                    None => break,
+                }
             }
         }
         if n == 0 {
@@ -249,12 +369,27 @@ impl<T: SlotValue> SlotArena<T> {
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let meta = (0..MAX_CHUNKS)
+            .map(|_| ChunkMeta {
+                gen_floor: AtomicU32::new(0),
+                remap_stamp: AtomicU32::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         SlotArena {
             chunks,
+            meta,
             mapped_chunks: AtomicUsize::new(0),
+            limbo_chunks: AtomicUsize::new(0),
+            peak_resident_chunks: AtomicUsize::new(0),
+            bytes_freed: AtomicU64::new(0),
+            chunks_reclaimed: AtomicU64::new(0),
             next_fresh: AtomicU32::new(0),
             free_head: AtomicU64::new(0),
-            grow_lock: Mutex::new(()),
+            grow_lock: Mutex::new(ReclaimState {
+                limbo: Vec::new(),
+                retired: Vec::new(),
+            }),
             magazines: MagazinePool::new(),
             use_magazines,
             live_overflow: CachePadded::new(AtomicI64::new(0)),
@@ -305,6 +440,23 @@ impl<T: SlotValue> SlotArena<T> {
         self.next_fresh.load(Ordering::Relaxed) as usize
     }
 
+    /// Resolves an index to its slot through the chunk table.  `None` for
+    /// out-of-range indices and for indices whose chunk is not currently
+    /// mapped (retired, or never allocated).
+    ///
+    /// The returned borrow is only safe to use while the chunk is guaranteed
+    /// to stay resident.  Chunk residency is protected by (either of):
+    ///
+    /// * **holding the index** — a slot index held exclusively by the caller
+    ///   (a live occupancy being published/retired, a magazine entry being
+    ///   linked, a popped free-list index) pins its chunk logically:
+    ///   [`SlotArena::reclaim`] only retires a chunk when *all*
+    ///   `CHUNK_SIZE` of its indices are on the detached free list, so a
+    ///   held index keeps its chunk out of reach of retirement entirely; or
+    /// * **an epoch pin** ([`epoch::pin`]) — a retired chunk sits in limbo
+    ///   for two grace periods before being freed, and the grace periods
+    ///   cannot elapse while any thread that could have observed the chunk
+    ///   pointer remains pinned (see [`crate::epoch`] and the module docs).
     #[inline]
     fn slot(&self, index: u32) -> Option<&Slot<T>> {
         let chunk_idx = index as usize / CHUNK_SIZE;
@@ -315,10 +467,10 @@ impl<T: SlotValue> SlotArena<T> {
         if ptr.is_null() {
             return None;
         }
-        // Safety: chunk pointers are only ever set once (under `grow_lock`)
-        // and never freed until the arena is dropped, so a non-null pointer
-        // read with Acquire ordering refers to a fully initialised chunk that
-        // outlives this borrow of `self`.
+        // Safety: non-null entries point at fully initialised chunks
+        // (published with Release under `grow_lock`); residency across the
+        // returned borrow is the caller's obligation per the doc comment
+        // above (held index or epoch pin).
         let chunk = unsafe { &*ptr };
         Some(&chunk.slots[index as usize % CHUNK_SIZE])
     }
@@ -332,16 +484,49 @@ impl<T: SlotValue> SlotArena<T> {
         if !self.chunks[chunk_idx].load(Ordering::Acquire).is_null() {
             return;
         }
-        let _g = self.grow_lock.lock();
+        let g = self.grow_lock.lock();
         if !self.chunks[chunk_idx].load(Ordering::Acquire).is_null() {
             return;
         }
+        // Fresh indices only ever land in chunks at the `next_fresh`
+        // frontier, which have never had all their indices freed and so can
+        // never be on the retired list (whose chunks must be resurrected —
+        // with their recorded generation floor — rather than remapped fresh).
+        debug_assert!(
+            !g.retired.contains(&(chunk_idx as u32)),
+            "fresh mapping of a retired chunk"
+        );
         let chunk = Box::into_raw(Box::new(Chunk::new()));
         self.chunks[chunk_idx].store(chunk, Ordering::Release);
         self.mapped_chunks.fetch_add(1, Ordering::Relaxed);
+        self.note_resident_peak();
     }
 
-    fn pop_free(&self) -> Option<u32> {
+    /// Samples the resident-chunk high-water mark (cold paths only: chunk
+    /// mapping and resurrection).
+    fn note_resident_peak(&self) {
+        let resident =
+            self.mapped_chunks.load(Ordering::Relaxed) + self.limbo_chunks.load(Ordering::Relaxed);
+        self.peak_resident_chunks
+            .fetch_max(resident, Ordering::Relaxed);
+    }
+
+    /// Bytes of slot storage in one chunk (the unit tracked by
+    /// [`bytes_freed`](Self::bytes_freed) / [`resident_bytes`](Self::resident_bytes)).
+    pub const fn chunk_bytes() -> usize {
+        CHUNK_SIZE * std::mem::size_of::<Slot<T>>()
+    }
+
+    /// Pops one index off the global Treiber free list.
+    ///
+    /// Requires a pin: the `next_free` read below dereferences the head
+    /// slot *before* the CAS confirms the head is still current, so a head
+    /// loaded just before [`reclaim`](Self::reclaim) detached the list may
+    /// point into a chunk that has since been retired.  The pin keeps such
+    /// a chunk's memory resident (limbo outlives every straddling pin); the
+    /// tag bumped by the detach makes the subsequent CAS fail, so the stale
+    /// value is never *used*.
+    fn pop_free(&self, _pin: &PinGuard) -> Option<u32> {
         loop {
             let head = self.free_head.load(Ordering::Acquire);
             let idx_plus_one = (head >> 32) as u32;
@@ -349,7 +534,14 @@ impl<T: SlotValue> SlotArena<T> {
                 return None;
             }
             let idx = idx_plus_one - 1;
-            let slot = self.slot(idx).expect("free-list entry must be mapped");
+            let Some(slot) = self.slot(idx) else {
+                // The head is stale and its chunk has been retired since we
+                // loaded it (a freshly loaded head never points into a
+                // retired chunk — retirement takes the chunk's indices out
+                // of circulation).  The detach bumped the ABA tag, so the
+                // CAS would fail anyway: just re-read the head.
+                continue;
+            };
             let next = slot.next_free.load(Ordering::Relaxed);
             let tag = (head as u32).wrapping_add(1);
             let new_head = ((next as u64) << 32) | tag as u64;
@@ -439,12 +631,20 @@ impl<T: SlotValue> SlotArena<T> {
     }
 
     fn alloc_global(&self) -> PackedRef {
-        let index = match self.pop_free() {
-            Some(idx) => idx,
-            None => {
+        let index = loop {
+            let popped = {
+                let pin = epoch::pin();
+                self.pop_free(&pin)
+            };
+            if let Some(idx) = popped {
+                break idx;
+            }
+            // Free list dry: map a reclaimed chunk back in (its indices go
+            // onto the free list) before growing the fresh frontier.
+            if !self.try_resurrect() {
                 let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
                 self.ensure_chunk(idx as usize / CHUNK_SIZE);
-                idx
+                break idx;
             }
         };
         let r = self.publish_slot(index);
@@ -498,11 +698,223 @@ impl<T: SlotValue> SlotArena<T> {
         self.magazines.flush_current_worker(&ArenaBackend(self));
     }
 
+    /// Retires every fully-free chunk and frees every limbo chunk whose two
+    /// grace periods have elapsed.  Returns the number of bytes returned to
+    /// the allocator by this call.
+    ///
+    /// The scan detaches the entire global free list with one CAS, groups
+    /// the detached indices by chunk, and retires exactly the chunks *all*
+    /// `CHUNK_SIZE` of whose indices it holds — which structurally excludes
+    /// chunks with live occupancies, magazine-cached indices, in-flight
+    /// frees, and the fresh frontier.  Retiring unlinks the chunk from the
+    /// chunk table (stale readers see `None`; pinned readers that already
+    /// hold the pointer stay safe) and parks it in limbo stamped with the
+    /// global epoch; the remaining indices go back as one pre-linked chain.
+    /// The call then nudges the global epoch forward (twice, so a quiescent
+    /// caller frees its own retirees immediately) and drains whatever limbo
+    /// entries have expired.
+    ///
+    /// Indices of a retired chunk leave circulation entirely; they are
+    /// re-minted when allocation pressure maps the chunk back in with a
+    /// fresh generation floor (see `try_resurrect`).  Callers: explicit
+    /// `Context::reclaim_memory`, worker-exit hooks, and plateau boundaries
+    /// in the churn workload.  Never called on any per-operation path.
+    pub fn reclaim(&self) -> usize {
+        let mut freed = 0;
+        {
+            let mut state = self.grow_lock.lock();
+            freed += self.drain_limbo_locked(&mut state);
+            // Detach the whole free list (the tag bump invalidates every
+            // in-flight `pop_free` CAS).
+            let mut indices: Vec<u32> = Vec::new();
+            loop {
+                let head = self.free_head.load(Ordering::Acquire);
+                let tag = (head as u32).wrapping_add(1);
+                if self
+                    .free_head
+                    .compare_exchange(head, tag as u64, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let mut next = (head >> 32) as u32;
+                    while next != 0 {
+                        let idx = next - 1;
+                        indices.push(idx);
+                        // The index was on the free list, so its chunk was
+                        // never retired (retirement consumes the indices);
+                        // we hold the whole detached chain exclusively and
+                        // `grow_lock` keeps every chunk where it is.
+                        let slot = self.slot(idx).expect("free-list chunk is mapped");
+                        next = slot.next_free.load(Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+            indices.sort_unstable();
+            let mut keep: Vec<u32> = Vec::with_capacity(indices.len());
+            let mut i = 0;
+            while i < indices.len() {
+                let chunk_idx = indices[i] as usize / CHUNK_SIZE;
+                let mut j = i;
+                while j < indices.len() && indices[j] as usize / CHUNK_SIZE == chunk_idx {
+                    j += 1;
+                }
+                if j - i == CHUNK_SIZE {
+                    self.retire_chunk_locked(&mut state, chunk_idx);
+                } else {
+                    keep.extend_from_slice(&indices[i..j]);
+                }
+                i = j;
+            }
+            if !keep.is_empty() {
+                for k in 0..keep.len() - 1 {
+                    self.slot(keep[k])
+                        .expect("kept index is mapped")
+                        .next_free
+                        .store(keep[k + 1] + 1, Ordering::Relaxed);
+                }
+                self.push_free_chain(keep[0], keep[keep.len() - 1]);
+            }
+        }
+        // Nudge the epoch past the retirees just parked (each attempt only
+        // succeeds at quiescence), then drain what expired.
+        epoch::try_advance();
+        epoch::try_advance();
+        let mut state = self.grow_lock.lock();
+        freed += self.drain_limbo_locked(&mut state);
+        freed
+    }
+
+    /// Frees every limbo chunk whose grace periods have elapsed; returns
+    /// bytes freed.
+    fn drain_limbo_locked(&self, state: &mut ReclaimState<T>) -> usize {
+        let mut freed = 0;
+        state.limbo.retain(|lc| {
+            if epoch::is_expired(lc.retired_at) {
+                // Safety: the pointer came from `Box::into_raw` and was
+                // unlinked from the chunk table at retire time; expiry
+                // means every pin that could have observed it has since
+                // been dropped (see `crate::epoch`), and `grow_lock` makes
+                // this the only path that frees it.
+                drop(unsafe { Box::from_raw(lc.ptr) });
+                freed += Self::chunk_bytes();
+                self.limbo_chunks.fetch_sub(1, Ordering::Relaxed);
+                self.chunks_reclaimed.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes_freed.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Unlinks a fully-free chunk (all of whose indices the caller holds,
+    /// detached from the free list) and parks it in limbo.
+    fn retire_chunk_locked(&self, state: &mut ReclaimState<T>, chunk_idx: usize) {
+        let ptr = self.chunks[chunk_idx].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "retiring an unmapped chunk");
+        // Safety: the chunk is mapped and `grow_lock` (held) is what frees
+        // or remaps chunks.
+        let chunk = unsafe { &*ptr };
+        // Every slot is free (odd generation) or never used (0): record an
+        // even floor strictly above all of them, so the resurrected
+        // mapping's first occupancies (floor + 2) can never collide with a
+        // stale reference into this mapping.
+        let mut max_gen = 0u32;
+        for s in chunk.slots.iter() {
+            max_gen = max_gen.max(s.generation.load(Ordering::Relaxed));
+        }
+        let floor = max_gen.wrapping_add(max_gen & 1);
+        self.meta[chunk_idx]
+            .gen_floor
+            .store(floor, Ordering::Relaxed);
+        self.meta[chunk_idx]
+            .remap_stamp
+            .fetch_add(1, Ordering::AcqRel);
+        // Unlink first (SeqCst — the reader-side argument in the module
+        // docs runs through the SeqCst total order), then stamp with the
+        // epoch observed *after* the unlink.
+        self.chunks[chunk_idx].store(std::ptr::null_mut(), Ordering::SeqCst);
+        let retired_at = epoch::global_epoch();
+        state.limbo.push(LimboChunk { ptr, retired_at });
+        state.retired.push(chunk_idx as u32);
+        self.mapped_chunks.fetch_sub(1, Ordering::Relaxed);
+        self.limbo_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Maps one retired chunk back in (fresh storage, generations at the
+    /// recorded floor) and pushes its `CHUNK_SIZE` indices onto the free
+    /// list.  Returns `false` when no retired chunk is available.
+    fn try_resurrect(&self) -> bool {
+        let chunk_idx;
+        let base;
+        {
+            let mut state = self.grow_lock.lock();
+            let Some(idx) = state.retired.pop() else {
+                return false;
+            };
+            chunk_idx = idx as usize;
+            base = (chunk_idx * CHUNK_SIZE) as u32;
+            let floor = self.meta[chunk_idx].gen_floor.load(Ordering::Relaxed);
+            let chunk = Box::new(Chunk::with_generation(floor));
+            // Pre-link the chunk's indices (ascending) while nothing else
+            // can reach them; the tail is re-pointed by `push_free_chain`.
+            for k in 0..CHUNK_SIZE - 1 {
+                chunk.slots[k]
+                    .next_free
+                    .store(base + k as u32 + 2, Ordering::Relaxed);
+            }
+            self.meta[chunk_idx]
+                .remap_stamp
+                .fetch_add(1, Ordering::AcqRel);
+            self.chunks[chunk_idx].store(Box::into_raw(chunk), Ordering::Release);
+            self.mapped_chunks.fetch_add(1, Ordering::Relaxed);
+            self.note_resident_peak();
+        }
+        self.push_free_chain(base, base + CHUNK_SIZE as u32 - 1);
+        true
+    }
+
+    /// Total bytes of chunk storage returned to the allocator so far.
+    pub fn bytes_freed(&self) -> u64 {
+        self.bytes_freed.load(Ordering::Relaxed)
+    }
+
+    /// Total chunks returned to the allocator so far.
+    pub fn chunks_reclaimed(&self) -> u64 {
+        self.chunks_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of slot storage currently resident (mapped chunks plus limbo
+    /// chunks awaiting their grace periods).
+    pub fn resident_bytes(&self) -> usize {
+        let resident =
+            self.mapped_chunks.load(Ordering::Relaxed) + self.limbo_chunks.load(Ordering::Relaxed);
+        resident * Self::chunk_bytes()
+    }
+
+    /// High-water mark of [`resident_bytes`](Self::resident_bytes).
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.note_resident_peak();
+        self.peak_resident_chunks.load(Ordering::Relaxed) * Self::chunk_bytes()
+    }
+
+    /// A snapshot of the arena's memory counters.
+    pub fn memory_stats(&self) -> ArenaMemoryStats {
+        ArenaMemoryStats {
+            resident_bytes: self.resident_bytes(),
+            peak_resident_bytes: self.peak_resident_bytes(),
+            bytes_freed: self.bytes_freed(),
+            chunks_reclaimed: self.chunks_reclaimed(),
+        }
+    }
+
     /// Whether `r` still refers to a live occupancy of its slot.
     pub fn is_live(&self, r: PackedRef) -> bool {
         if r.is_null() {
             return false;
         }
+        let _pin = epoch::pin();
         match self.slot(r.index()) {
             Some(slot) => slot.generation.load(Ordering::Acquire) == r.generation(),
             None => false,
@@ -511,10 +923,16 @@ impl<T: SlotValue> SlotArena<T> {
 
     /// Resolves `r` to a [`SlotHandle`] carrying the slot's raw address, so
     /// repeated reads skip the chunk-table indirection.  Returns `None` for
-    /// null or out-of-range references; liveness is *not* checked here — the
+    /// null references and references into unmapped (out-of-range, never
+    /// allocated, or reclaimed) chunks; liveness is *not* checked here — the
     /// handle's read methods validate the generation per read.
+    ///
+    /// The handle borrows the caller's pin: the pin is what keeps the
+    /// resolved chunk resident (see [`crate::epoch`]), and the borrow makes
+    /// a handle outliving its pin a compile error.
     #[inline]
-    pub fn resolve(&self, r: PackedRef) -> Option<SlotHandle<'_, T>> {
+    pub fn resolve<'p>(&'p self, r: PackedRef, pin: &'p PinGuard) -> Option<SlotHandle<'p, T>> {
+        let _ = pin;
         if r.is_null() {
             return None;
         }
@@ -529,13 +947,21 @@ impl<T: SlotValue> SlotArena<T> {
     /// consumers (the detector traversal) whose successive references almost
     /// always land in the same chunk: the per-resolve chunk-pointer load —
     /// a *dependent* load right on the traversal's critical path — is then
-    /// replaced by an index comparison against a register.
+    /// replaced by an index comparison against a register plus one
+    /// read-mostly remap-stamp load (which detects the cached chunk having
+    /// been reclaimed and remapped; see [`CachedResolver::resolve`]).
+    ///
+    /// Holds the caller's pin for its whole lifetime, so every handle it
+    /// returns — and its cached chunk pointer — stays resident until the
+    /// resolver and pin are dropped.
     #[inline]
-    pub fn cached_resolver(&self) -> CachedResolver<'_, T> {
+    pub fn cached_resolver<'p>(&'p self, pin: &'p PinGuard) -> CachedResolver<'p, T> {
+        let _ = pin;
         CachedResolver {
             arena: self,
             chunk_idx: usize::MAX,
             chunk: std::ptr::null(),
+            stamp: 0,
         }
     }
 
@@ -544,20 +970,84 @@ impl<T: SlotValue> SlotArena<T> {
     ///
     /// This is the seqlock-style read: if the slot was recycled
     /// concurrently, whatever `f` observed is discarded and the read behaves
-    /// as if the object no longer exists (`None`).
+    /// as if the object no longer exists (`None`).  Pins internally for the
+    /// duration of the read.
     #[inline]
     pub fn read<R>(&self, r: PackedRef, f: impl FnOnce(&T) -> R) -> Option<R> {
-        self.resolve(r)?.read_validated(f)
+        let pin = epoch::pin();
+        self.resolve(r, &pin)?.read_validated(f)
+    }
+
+    /// Like [`read`](Self::read), but without taking an epoch pin — for
+    /// callers that already hold the occupancy live.
+    ///
+    /// This is the data plane's hot-path read: the policy bookkeeping on
+    /// `get`/`set`/spawn reads slots it holds alive by construction (the
+    /// calling task's own slot, or a promise slot kept live by the very
+    /// reference the caller reads through), and a pin per such read is a
+    /// full `SeqCst` fence of pure overhead — the liveness itself already
+    /// excludes reclamation.
+    ///
+    /// # Safety
+    ///
+    /// The occupancy `r` refers to must be **live** (allocated and not yet
+    /// freed) for the whole duration of the call.  A live occupancy keeps
+    /// its slot index out of the detached free chain, which structurally
+    /// excludes its chunk from retirement (the hold-all-indices invariant
+    /// in the module docs) — so the chunk stays mapped without a pin.  For
+    /// an occupancy that may have been freed concurrently, this read could
+    /// dereference an unmapped chunk; use the pinned [`read`](Self::read)
+    /// instead.  The generation is still validated seqlock-style, so a
+    /// stale-but-live-chunk reference behaves exactly as in `read`.
+    #[inline]
+    pub(crate) unsafe fn read_live<R>(&self, r: PackedRef, f: impl FnOnce(&T) -> R) -> Option<R> {
+        if r.is_null() {
+            return None;
+        }
+        let slot = self.slot(r.index())?;
+        SlotHandle {
+            slot,
+            generation: r.generation(),
+        }
+        .read_validated(f)
+    }
+}
+
+/// A snapshot of one arena's (or, summed, a context's) memory counters —
+/// the observability half of chunk reclamation: a long-lived service whose
+/// live set shrinks can *assert* that its arenas shrank.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArenaMemoryStats {
+    /// Bytes of slot storage currently resident (mapped + limbo chunks).
+    pub resident_bytes: usize,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: usize,
+    /// Total bytes returned to the allocator so far.
+    pub bytes_freed: u64,
+    /// Total chunks returned to the allocator so far.
+    pub chunks_reclaimed: u64,
+}
+
+impl ArenaMemoryStats {
+    /// Element-wise sum (for aggregating the task and promise arenas).
+    pub fn merged(self, other: ArenaMemoryStats) -> ArenaMemoryStats {
+        ArenaMemoryStats {
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            peak_resident_bytes: self.peak_resident_bytes + other.peak_resident_bytes,
+            bytes_freed: self.bytes_freed + other.bytes_freed,
+            chunks_reclaimed: self.chunks_reclaimed + other.chunks_reclaimed,
+        }
     }
 }
 
 /// A resolved reference to an arena slot: the slot's raw address plus the
 /// generation the originating [`PackedRef`] was captured at.
 ///
-/// Obtained from [`SlotArena::resolve`]; the borrow of the arena keeps the
-/// backing chunk alive (chunks are never freed before the arena).  The
-/// handle itself proves nothing about liveness — each read validates the
-/// generation.
+/// Obtained from [`SlotArena::resolve`] or [`CachedResolver::resolve`];
+/// `'a` is bounded by the epoch pin passed in at resolution, and it is that
+/// pin — not the arena borrow — that keeps the backing chunk resident now
+/// that chunks can be reclaimed (see [`crate::epoch`]).  The handle itself
+/// proves nothing about liveness — each read validates the generation.
 pub struct SlotHandle<'a, T> {
     slot: &'a Slot<T>,
     generation: u32,
@@ -604,19 +1094,25 @@ impl<T> SlotHandle<'_, T> {
         Some(out)
     }
 
-    /// Seqlock read with the *pre*-check elided: runs `f`, then validates the
-    /// generation once.
+    /// Generation-fenced read: runs `f`, then validates the generation
+    /// **once**, after — the single trailing check is the "generation
+    /// fence" that replaces the seqlock double check on re-reads.
     ///
     /// Sound only when a previous read on this same handle already observed
     /// a matching generation: slot generations are strictly monotonic
-    /// (wrap-around aside), so *matching before* + *matching after* brackets
+    /// (wrap-around aside), so *matched earlier* + *matching after* brackets
     /// `f` exactly like [`read_validated`](Self::read_validated) — the slot
     /// cannot have been recycled and re-reached the same generation in
-    /// between.  The loads inside `f` must be `Acquire` (as the detector's
-    /// are) so the trailing acquire generation load cannot be reordered
-    /// ahead of them.
+    /// between.  Memory safety is the pin's job (the handle's lifetime is
+    /// bounded by one), so the fence carries *logical* validity only.  The
+    /// loads inside `f` must be `Acquire` (as the detector's are) so the
+    /// trailing acquire generation load cannot be reordered ahead of them.
+    ///
+    /// This is the detector's line-11 `owner` re-read (see
+    /// [`crate::detector`]); the `detector/chain-walk` benchmark pins its
+    /// cost at or below the double-checked [`read_validated`].
     #[inline]
-    pub fn reread_validated<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+    pub fn read_gen_fenced<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
         let out = f(&self.slot.value);
         if self.slot.generation.load(Ordering::Acquire) != self.generation {
             return None;
@@ -626,16 +1122,34 @@ impl<T> SlotHandle<'_, T> {
 }
 
 /// A [`SlotArena::resolve`] variant that caches the last chunk-table lookup
-/// (see [`SlotArena::cached_resolver`]).
+/// (see [`SlotArena::cached_resolver`]).  `'a` is bounded by the epoch pin
+/// the resolver was created with, which keeps every chunk it caches — and
+/// every handle it returns — resident.
 pub struct CachedResolver<'a, T> {
     arena: &'a SlotArena<T>,
     chunk_idx: usize,
     chunk: *const Chunk<T>,
+    /// The chunk's remap stamp at cache-fill time; a mismatch on a later
+    /// hit means the chunk was retired (and possibly remapped) in between,
+    /// so the cached pointer is refetched.
+    stamp: u32,
 }
 
 impl<'a, T> CachedResolver<'a, T> {
     /// Resolves `r` like [`SlotArena::resolve`], hitting the chunk table
-    /// only when `r` lands in a different chunk than the previous call.
+    /// only when `r` lands in a different chunk than the previous call *or*
+    /// the cached chunk's remap stamp moved.
+    ///
+    /// The stamp check is what makes caching sound across reclamation: the
+    /// pin keeps a retired chunk's *memory* resident, but once the chunk is
+    /// remapped, new occupancies live in the replacement storage — a stale
+    /// cached pointer would misresolve them into the old (dead-generation)
+    /// storage and report a live slot as dead.  Retire and resurrect both
+    /// bump the stamp, so a hit with a matching stamp resolves through the
+    /// same mapping `r`'s occupancy lives in.  The stamp is read *before*
+    /// the chunk pointer at fill time, so a retire racing between the two
+    /// loads strands a stale stamp in the cache — forcing a refetch on the
+    /// next hit — and never the reverse.
     #[inline]
     pub fn resolve(&mut self, r: PackedRef) -> Option<SlotHandle<'a, T>> {
         if r.is_null() {
@@ -643,20 +1157,32 @@ impl<'a, T> CachedResolver<'a, T> {
         }
         let index = r.index() as usize;
         let chunk_idx = index / CHUNK_SIZE;
-        if chunk_idx != self.chunk_idx {
-            if chunk_idx >= MAX_CHUNKS {
-                return None;
-            }
+        if chunk_idx >= MAX_CHUNKS {
+            return None;
+        }
+        if chunk_idx != self.chunk_idx
+            || self.arena.meta[chunk_idx]
+                .remap_stamp
+                .load(Ordering::Acquire)
+                != self.stamp
+        {
+            let stamp = self.arena.meta[chunk_idx]
+                .remap_stamp
+                .load(Ordering::Acquire);
             let ptr = self.arena.chunks[chunk_idx].load(Ordering::Acquire);
             if ptr.is_null() {
                 return None;
             }
             self.chunk_idx = chunk_idx;
             self.chunk = ptr;
+            self.stamp = stamp;
         }
-        // Safety: the cached pointer was read from the chunk table (set once,
-        // never freed before the arena), and the `'a` borrow of the arena
-        // keeps the chunk alive.
+        // Safety: the cached pointer was read from the chunk table under the
+        // resolver's pin (`'a` is bounded by it), so even if the chunk has
+        // since been retired, its memory stays resident until the pin drops
+        // (see `crate::epoch`); the stamp check above makes a stale mapping
+        // at most a transient `None`, never a misattributed read, per the
+        // module docs.
         let chunk = unsafe { &*self.chunk };
         Some(SlotHandle {
             slot: &chunk.slots[index % CHUNK_SIZE],
@@ -671,9 +1197,19 @@ impl<T> Drop for SlotArena<T> {
             let ptr = chunk.load(Ordering::Acquire);
             if !ptr.is_null() {
                 // Safety: pointers were created by `Box::into_raw` in
-                // `ensure_chunk` and are dropped exactly once, here.
+                // `ensure_chunk` / `try_resurrect` and each table entry is
+                // dropped exactly once, here.
                 drop(unsafe { Box::from_raw(ptr) });
             }
+        }
+        // Chunks still waiting out their grace periods: `&mut self` proves
+        // no pinned reader can reach this arena any more, so the grace
+        // periods are moot.
+        let state = self.grow_lock.get_mut();
+        for lc in state.limbo.drain(..) {
+            // Safety: limbo pointers were unlinked from the table (so the
+            // loop above cannot also see them) and are freed exactly once.
+            drop(unsafe { Box::from_raw(lc.ptr) });
         }
     }
 }
@@ -747,7 +1283,8 @@ mod tests {
         let arena: SlotArena<TestCell> = SlotArena::new();
         assert_eq!(arena.read(PackedRef::NULL, |_| ()), None);
         assert!(!arena.is_live(PackedRef::NULL));
-        assert!(arena.resolve(PackedRef::NULL).is_none());
+        let pin = epoch::pin();
+        assert!(arena.resolve(PackedRef::NULL, &pin).is_none());
         // Freeing null is a no-op.
         arena.free(PackedRef::NULL);
     }
@@ -758,7 +1295,8 @@ mod tests {
         let bogus = PackedRef::new(123_456, 2);
         assert_eq!(arena.read(bogus, |_| ()), None);
         assert!(!arena.is_live(bogus));
-        assert!(arena.resolve(bogus).is_none());
+        let pin = epoch::pin();
+        assert!(arena.resolve(bogus, &pin).is_none());
     }
 
     #[test]
@@ -844,7 +1382,8 @@ mod tests {
     fn handle_reads_validate_generations() {
         let arena: SlotArena<TestCell> = SlotArena::new();
         let r = arena.alloc();
-        let h = arena.resolve(r).expect("live ref resolves");
+        let pin = epoch::pin();
+        let h = arena.resolve(r, &pin).expect("live ref resolves");
         h.read_field(|c| c.value.store(5, Ordering::Relaxed))
             .expect("live handle reads");
         assert_eq!(
@@ -997,5 +1536,161 @@ mod tests {
             .read(fresh, |c| c.value.store(999, Ordering::Relaxed))
             .unwrap();
         reader.join().unwrap();
+    }
+
+    /// Drives `reclaim` until it frees at least one chunk.  Other tests in
+    /// this process pin transiently (blocking individual epoch advances), so
+    /// reclamation is retried rather than asserted on the first attempt.
+    fn reclaim_until_freed(arena: &SlotArena<TestCell>) -> usize {
+        let mut freed = 0;
+        for _ in 0..100_000 {
+            freed += arena.reclaim();
+            if freed > 0 {
+                return freed;
+            }
+            std::thread::yield_now();
+        }
+        panic!("reclaim never freed a chunk (epoch stuck?)");
+    }
+
+    #[test]
+    fn reclaim_frees_fully_empty_chunks() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let refs: Vec<_> = (0..CHUNK_SIZE * 2).map(|_| arena.alloc()).collect();
+        let resident_at_peak = arena.resident_bytes();
+        assert_eq!(resident_at_peak, 2 * SlotArena::<TestCell>::chunk_bytes());
+        for r in refs {
+            arena.free(r);
+        }
+        assert_eq!(arena.live(), 0);
+        let freed = reclaim_until_freed(&arena);
+        // Both chunks were fully free, so both retire and eventually free.
+        assert!(freed > 0, "bytes were returned to the allocator");
+        assert!(
+            arena.resident_bytes() < resident_at_peak,
+            "resident memory decreased after reclaim"
+        );
+        assert!(arena.bytes_freed() >= freed as u64);
+        assert!(arena.chunks_reclaimed() >= 1);
+        assert!(arena.peak_resident_bytes() >= resident_at_peak);
+    }
+
+    #[test]
+    fn stale_refs_into_reclaimed_chunks_read_as_none() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| arena.alloc()).collect();
+        let stale = refs[0];
+        for r in refs {
+            arena.free(r);
+        }
+        reclaim_until_freed(&arena);
+        // The chunk is unmapped: every protocol treats the stale ref as
+        // dead rather than panicking or touching freed memory.
+        assert!(!arena.is_live(stale));
+        assert_eq!(arena.read(stale, |c| c.value.load(Ordering::Relaxed)), None);
+        let pin = epoch::pin();
+        assert!(arena.resolve(stale, &pin).is_none());
+        assert!(arena.cached_resolver(&pin).resolve(stale).is_none());
+    }
+
+    #[test]
+    fn reclaimed_chunks_are_resurrected_before_fresh_growth() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| arena.alloc()).collect();
+        let stale = refs[0];
+        for r in refs {
+            arena.free(r);
+        }
+        reclaim_until_freed(&arena);
+        let footprint = arena.high_water_slots();
+        // New allocations remap the reclaimed chunk instead of growing the
+        // fresh frontier, and the remapped occupancies never validate stale
+        // references from the previous mapping.
+        let fresh = arena.alloc();
+        assert_eq!(arena.high_water_slots(), footprint);
+        assert_eq!(fresh.index() as usize / CHUNK_SIZE, 0);
+        assert!(arena.is_live(fresh));
+        assert!(!arena.is_live(stale));
+        assert_eq!(arena.read(stale, |c| c.value.load(Ordering::Relaxed)), None);
+        arena.free(fresh);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_chunk_free_until_unpin() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| arena.alloc()).collect();
+        let pin = epoch::pin();
+        // The pin pre-dates every retire below, so nothing the reclaim
+        // parks in limbo can pass two grace periods while it is held.
+        for r in refs {
+            arena.free(r);
+        }
+        for _ in 0..64 {
+            assert_eq!(
+                arena.reclaim(),
+                0,
+                "no chunk may be freed while a pre-retire pin is held"
+            );
+        }
+        // Retirement itself is not blocked — the chunk is unlinked and the
+        // pinned reader's stale refs already read as dead.
+        assert!(arena.chunks_reclaimed() == 0 && arena.limbo_chunks.load(Ordering::Relaxed) == 1);
+        drop(pin);
+        reclaim_until_freed(&arena);
+        assert_eq!(arena.chunks_reclaimed(), 1);
+    }
+
+    /// Regression test (PR 6): a `CachedResolver` used to key its cache on
+    /// the chunk index alone, so a chunk reclaimed *and remapped* between
+    /// two cached steps would resolve new occupancies through the stale
+    /// mapping and report live slots as dead.  The remap stamp invalidates
+    /// the cache across a forced reclaim.
+    #[test]
+    fn cached_resolver_survives_forced_reclaim_between_steps() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let refs: Vec<_> = (0..CHUNK_SIZE).map(|_| arena.alloc()).collect();
+        let pin = epoch::pin();
+        let mut resolver = arena.cached_resolver(&pin);
+        // Step 1: warm the cache with chunk 0's mapping.
+        let h = resolver.resolve(refs[0]).expect("live ref resolves");
+        assert_eq!(h.read_field(|c| c.value.load(Ordering::Relaxed)), Some(0));
+        // Forced reclaim between cached steps: free everything, retire the
+        // chunk (retirement does not need a grace period — only the final
+        // free does, which our own pin legitimately delays), then remap it
+        // through a fresh allocation.
+        for r in refs {
+            arena.free(r);
+        }
+        arena.reclaim();
+        let fresh = arena.alloc();
+        assert_eq!(fresh.index() as usize / CHUNK_SIZE, 0);
+        arena
+            .read(fresh, |c| c.value.store(77, Ordering::Relaxed))
+            .unwrap();
+        // Step 2: the resolver must notice the remap (stamp moved) and
+        // resolve the new occupancy through the *new* mapping.
+        let h2 = resolver
+            .resolve(fresh)
+            .expect("remapped chunk resolves through a refreshed cache");
+        assert_eq!(
+            h2.read_field(|c| c.value.load(Ordering::Relaxed)),
+            Some(77),
+            "the new occupancy must be readable — a stale cached chunk \
+             pointer would have reported it dead"
+        );
+        arena.free(fresh);
+    }
+
+    #[test]
+    fn memory_stats_snapshot_is_consistent() {
+        let arena: SlotArena<TestCell> = SlotArena::new_global_only();
+        let r = arena.alloc();
+        let stats = arena.memory_stats();
+        assert_eq!(stats.resident_bytes, SlotArena::<TestCell>::chunk_bytes());
+        assert!(stats.peak_resident_bytes >= stats.resident_bytes);
+        assert_eq!(stats.bytes_freed, 0);
+        let merged = stats.merged(stats);
+        assert_eq!(merged.resident_bytes, 2 * stats.resident_bytes);
+        arena.free(r);
     }
 }

@@ -244,6 +244,29 @@ impl Context {
         self.tasks.release_worker_shard();
         self.promises.release_worker_shard();
         job::flush_worker_blocks();
+        // A retiring worker's flushed indices may leave whole chunks free:
+        // sweep them while we are on a cold path anyway (worker exit is
+        // rare, and reclaim never blocks the data plane).
+        self.reclaim_memory();
+    }
+
+    /// Retires fully-free arena chunks and frees those whose grace periods
+    /// have elapsed (see [`SlotArena::reclaim`]); returns the bytes
+    /// returned to the allocator by this call.
+    ///
+    /// Reclamation is explicit — the per-operation paths never pay for it.
+    /// Long-running services call this at natural low points (after a
+    /// workload phase completes, when a pool shrinks); repeated calls
+    /// converge, since each one also nudges the global epoch forward.
+    pub fn reclaim_memory(&self) -> usize {
+        self.tasks.reclaim() + self.promises.reclaim()
+    }
+
+    /// A snapshot of the task and promise arenas' summed memory counters.
+    pub fn memory_stats(&self) -> crate::arena::ArenaMemoryStats {
+        self.tasks
+            .memory_stats()
+            .merged(self.promises.memory_stats())
     }
 
     /// Number of currently live (registered, not yet terminated) tasks.

@@ -38,23 +38,34 @@
 //!
 //! The arena's generation validation adds one further case on top of the
 //! paper's algorithm: a traversal may encounter a task or promise cell that
-//! has since been recycled.  Such a reference fails validation and is treated
-//! exactly like the corresponding `null` (the task terminated / the promise
-//! was resolved), which is always a "progress is being made" outcome and can
+//! has since been recycled — or whose whole chunk has since been reclaimed
+//! ([`SlotArena::reclaim`]).  Such a reference fails validation (stale
+//! generation, or an unmapped chunk-table entry) and is treated exactly
+//! like the corresponding `null` (the task terminated / the promise was
+//! resolved), which is always a "progress is being made" outcome and can
 //! therefore never introduce a false alarm or mask a real cycle (tasks and
-//! promises participating in a deadlock are blocked and cannot be recycled).
+//! promises participating in a deadlock are blocked, so their slots cannot
+//! be recycled and their chunks — holding live occupancies — cannot be
+//! reclaimed).
 //!
-//! # The pointer-direct fast path (which reads keep the seqlock double check)
+//! # Pins for memory, generation fences for identity
 //!
-//! The traversal is the detector's entire cost, and the arena offers two
-//! read protocols (see [`crate::arena`]): the seqlock-style double-validated
-//! read, and [`SlotHandle::read_field`], which validates the slot generation
-//! only *before* the load and may therefore return a value belonging to a
-//! **newer occupancy** if the slot is freed and re-allocated between the
-//! check and the load.  The hot loop uses the single-validation read for the
-//! `owner` loads of lines 6/13 and the `waitingOn` load of line 9, and keeps
-//! the full double check **only for the line-11 `owner` re-read**.  Why this
-//! preserves Theorem 5.1 (no false alarms):
+//! The whole traversal runs under one epoch pin ([`crate::epoch`]): the pin
+//! is what makes it safe to chase raw slot addresses while other threads
+//! free slots and reclaim chunks — any chunk the traversal can reach stays
+//! resident until the pin is dropped.  What the pin does **not** provide is
+//! object identity: a slot the traversal holds an address for may still be
+//! freed and re-allocated (its *memory* is pinned, its *occupancy* is not).
+//! Identity is the generation check's job, and the traversal buys it as
+//! cheaply as each read allows (see [`crate::arena`]): the `owner` loads of
+//! lines 6/13 and the `waitingOn` load of line 9 validate once *before* the
+//! load ([`SlotHandle::read_field`]) and may return a value belonging to a
+//! **newer occupancy**; the line-11 `owner` re-read — formerly the one
+//! seqlock double check in the loop — validates once *after* the load
+//! ([`SlotHandle::read_gen_fenced`]): the earlier matching check on the
+//! same handle (line 6/13) plus the trailing check bracket the load against
+//! monotonic generations, which is exactly the seqlock guarantee at half
+//! the validation cost.  Why this preserves Theorem 5.1 (no false alarms):
 //!
 //! * **The alarm test (`owner(p_i) == t0`) is immune to cross-occupancy
 //!   values.**  `t0`'s packed reference (slot *and* generation) is only ever
@@ -79,24 +90,31 @@
 //!   recycled task slot read *before* the new occupant publishes yields the
 //!   reset value null — line 10 commits.  The old occupant's value is
 //!   always null: tasks cannot terminate while blocked.)
-//! * **Line 11 itself must keep the double check.**  Its job is to confirm
-//!   that `t_{i+1}` owned `p_i` *after* `waitingOn(t_{i+1})` was observed;
-//!   a single-validation read of a recycled `p_i` could return the new
-//!   occupant's owner, which can legitimately equal `t_{i+1}` (the same
-//!   task may have created a new promise into the recycled slot), spuriously
-//!   confirming a stale edge.  The double check rejects exactly this:
-//!   either the generation is unchanged (the value is genuinely `p_i`'s) or
-//!   the read returns `None` and the traversal commits to the wait.
+//! * **Line 11 itself must not accept a cross-occupancy value.**  Its job
+//!   is to confirm that `t_{i+1}` owned `p_i` *after* `waitingOn(t_{i+1})`
+//!   was observed; a leading-check-only read of a recycled `p_i` could
+//!   return the new occupant's owner, which can legitimately equal
+//!   `t_{i+1}` (the same task may have created a new promise into the
+//!   recycled slot), spuriously confirming a stale edge.  The trailing
+//!   generation fence rejects exactly this: either the generation is
+//!   unchanged since the line-6/13 match (the value is genuinely `p_i`'s,
+//!   by monotonicity) or the read returns `None` and the traversal commits
+//!   to the wait.
 //!
 //! The loop also resolves each promise reference once ([`SlotArena::resolve`])
 //! and reuses the raw slot address for the line-11 re-read, and it no longer
 //! builds the report path during traversal: cycle entries are collected by a
 //! second, fully validated walk only after a cycle has been detected (the
 //! tasks of a real cycle are permanently blocked, so the re-walk observes the
-//! same cycle).
+//! same cycle).  The resolvers' chunk caches are revalidated against the
+//! arenas' remap stamps, so a chunk reclaimed and remapped mid-traversal is
+//! refetched rather than read through its stale mapping (a live cycle
+//! member always resolves through the mapping its occupancy lives in).
 //!
 //! [`SlotHandle::read_field`]: crate::arena::SlotHandle::read_field
+//! [`SlotHandle::read_gen_fenced`]: crate::arena::SlotHandle::read_gen_fenced
 //! [`SlotArena::resolve`]: crate::arena::SlotArena::resolve
+//! [`SlotArena::reclaim`]: crate::arena::SlotArena::reclaim
 
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -142,8 +160,12 @@ fn load_waiting_on_validated(ctx: &Context, task: PackedRef) -> PackedRef {
 /// Clears the `waitingOn` mark of a task (Algorithm 2 line 18).
 #[inline]
 pub(crate) fn clear_mark(ctx: &Context, task_slot: PackedRef) {
-    ctx.tasks
-        .read(task_slot, |s| s.waiting_on.store(0, Ordering::Release));
+    // SAFETY: `task_slot` is the calling task's own slot, which stays live
+    // until the task retires — after this call returns.
+    unsafe {
+        ctx.tasks
+            .read_live(task_slot, |s| s.waiting_on.store(0, Ordering::Release));
+    }
 }
 
 /// Algorithm 2: publish the waits-for edge of `t0 -> p0`, then verify that
@@ -161,10 +183,14 @@ pub(crate) fn verify_and_mark(
     // a SeqCst fence give the publication the total order required by
     // consistency requirement 1 (the fence mirrors the TSO recipe of §5.1 and
     // orders the traversal loads below after the publication).
-    ctx.tasks.read(subject.t0_slot, |s| {
-        s.waiting_on
-            .store(subject.p0_slot.to_bits(), Ordering::SeqCst)
-    });
+    // SAFETY: `t0_slot` is the calling task's own slot, live until the task
+    // retires.
+    unsafe {
+        ctx.tasks.read_live(subject.t0_slot, |s| {
+            s.waiting_on
+                .store(subject.p0_slot.to_bits(), Ordering::SeqCst)
+        });
+    }
     fence(Ordering::SeqCst);
 
     // A task that is merely *part* of a cycle completed by another task could
@@ -183,9 +209,13 @@ pub(crate) fn verify_and_mark(
     // lookups are cached across steps (`cached_resolver`), each promise is
     // resolved once, and the line-11 re-read reuses the resolved slot
     // address — every load the loop issues is on the pointer-chasing
-    // critical path or a generation validation.
-    let mut task_resolver = ctx.tasks.cached_resolver();
-    let mut promise_resolver = ctx.promises.cached_resolver();
+    // critical path or a generation validation.  One epoch pin covers the
+    // whole traversal: it keeps every chunk the resolvers touch resident
+    // (arena chunks are reclaimable now), and the resolver/handle lifetimes
+    // are bounded by it (see `crate::epoch` and the module docs).
+    let pin = crate::epoch::pin();
+    let mut task_resolver = ctx.tasks.cached_resolver(&pin);
+    let mut promise_resolver = ctx.promises.cached_resolver(&pin);
     let owner_field =
         |s: &crate::slots::PromiseSlot| PackedRef::from_bits(s.owner.load(Ordering::Acquire));
 
@@ -219,11 +249,13 @@ pub(crate) fn verify_and_mark(
         // Line 11: re-validate that t_{i+1} still owned p_i while it was
         // waiting on p_{i+1}; if ownership moved or the promise resolved,
         // the rest of the path is stale and it is safe to commit.  This is
-        // the one read that keeps seqlock validation (module docs); the
-        // pre-check is subsumed by the successful line-6/13 read on the same
-        // handle (`reread_validated` — generations are monotonic).
+        // the one read that must not return a cross-occupancy value
+        // (module docs); a single trailing generation check suffices — the
+        // pre-check is subsumed by the successful line-6/13 read on the
+        // same handle (`read_gen_fenced` — generations are monotonic), and
+        // memory safety comes from the traversal pin, not the check.
         let still_owner = match p_i_handle {
-            Some(h) => h.reread_validated(owner_field).unwrap_or(PackedRef::NULL),
+            Some(h) => h.read_gen_fenced(owner_field).unwrap_or(PackedRef::NULL),
             None => PackedRef::NULL,
         };
         if still_owner != t_next {

@@ -53,6 +53,7 @@ pub mod collection;
 pub mod context;
 pub mod counters;
 pub mod detector;
+pub mod epoch;
 pub mod error;
 pub mod ids;
 pub mod job;
@@ -71,6 +72,7 @@ pub mod test_support;
 pub mod waitq;
 
 pub use alarms::{AlarmSink, MutexSink};
+pub use arena::ArenaMemoryStats;
 pub use cell::{MutexCell, OneShotCell, ResultSlot};
 pub use collection::{collect_promises, PromiseCollection, TransferList};
 pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob};

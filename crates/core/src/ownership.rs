@@ -75,9 +75,8 @@ pub fn prepare_task(
                     task: parent.id,
                 });
             }
-            let owner = ctx
-                .promises
-                .read(p.slot(), |s| s.owner())
+            // SAFETY: the transfer list's handle keeps `p`'s occupancy live.
+            let owner = unsafe { ctx.promises.read_live(p.slot(), |s| s.owner()) }
                 .unwrap_or(PackedRef::NULL);
             if owner != parent.slot {
                 return Err(PromiseError::TransferNotOwned {
@@ -96,9 +95,12 @@ pub fn prepare_task(
         // re-assign their owner to the child, then seed the child's ledger.
         for p in &unique {
             parent.ledger.release(p.id());
-            ctx.promises.read(p.slot(), |s| {
-                s.owner.store(body.slot.to_bits(), Ordering::Release)
-            });
+            // SAFETY: the transfer list's handle keeps `p`'s occupancy live.
+            unsafe {
+                ctx.promises.read_live(p.slot(), |s| {
+                    s.owner.store(body.slot.to_bits(), Ordering::Release)
+                });
+            }
             body.ledger.append(p.clone(), &ctx.promises, body.slot);
         }
 
@@ -123,9 +125,9 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
                 promise: promise.id(),
             });
         }
-        let owner = ctx
-            .promises
-            .read(promise.slot(), |s| s.owner())
+        // SAFETY: the caller's `promise` reference keeps the occupancy live
+        // across both reads.
+        let owner = unsafe { ctx.promises.read_live(promise.slot(), |s| s.owner()) }
             .unwrap_or(PackedRef::NULL);
         if owner != t.slot {
             return Err(PromiseError::NotOwner {
@@ -134,8 +136,11 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
             });
         }
         // Line 24: owner := null (the promise is about to be fulfilled).
-        ctx.promises
-            .read(promise.slot(), |s| s.owner.store(0, Ordering::Release));
+        // SAFETY: as above.
+        unsafe {
+            ctx.promises
+                .read_live(promise.slot(), |s| s.owner.store(0, Ordering::Release));
+        }
         // Line 25: drop it from the task's owned ledger.
         t.ledger.release(promise.id());
         Ok(())
@@ -187,9 +192,8 @@ pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obl
                 // Lazy ledgers keep entries for promises that were since
                 // transferred away or fulfilled; only promises still owned by
                 // this task count (§6.2).
-                let owner = ctx
-                    .promises
-                    .read(e.slot(), |s| s.owner())
+                // SAFETY: the ledger entry `e` keeps the occupancy live.
+                let owner = unsafe { ctx.promises.read_live(e.slot(), |s| s.owner()) }
                     .unwrap_or(PackedRef::NULL);
                 if owner == body.slot {
                     abandoned.push(AbandonedPromise {

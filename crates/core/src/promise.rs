@@ -133,9 +133,12 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> ErasedPromise for Promi
         // Clear the owner edge so concurrent detector traversals treat the
         // promise as resolved.
         if !self.slot.is_null() {
-            self.ctx
-                .promises
-                .read(self.slot, |s| s.owner.store(0, Ordering::Release));
+            // SAFETY: `self` keeps this promise's occupancy live.
+            unsafe {
+                self.ctx
+                    .promises
+                    .read_live(self.slot, |s| s.owner.store(0, Ordering::Release));
+            }
         }
         self.fill(Err(err), false).is_ok()
     }
@@ -267,13 +270,17 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
             let tracks = ctx.config().mode.tracks_ownership();
             let slot = if tracks {
                 let s = ctx.promises.alloc();
-                ctx.promises
-                    .read(s, |cell| {
-                        cell.promise_id.store(id.0, Ordering::Relaxed);
-                        // Rule 1: the creating task is the initial owner.
-                        cell.owner.store(body.slot.to_bits(), Ordering::Release);
-                    })
-                    .expect("freshly allocated promise slot is live");
+                // SAFETY: `s` was just allocated and is owned by this
+                // promise until its drop.
+                unsafe {
+                    ctx.promises
+                        .read_live(s, |cell| {
+                            cell.promise_id.store(id.0, Ordering::Relaxed);
+                            // Rule 1: the creating task is the initial owner.
+                            cell.owner.store(body.slot.to_bits(), Ordering::Release);
+                        })
+                        .expect("freshly allocated promise slot is live");
+                }
                 s
             } else {
                 PackedRef::NULL
@@ -418,10 +425,13 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     #[doc(hidden)]
     pub fn fulfill_detached(&self, value: T) -> bool {
         if !self.inner.slot.is_null() {
-            self.inner
-                .ctx
-                .promises
-                .read(self.inner.slot, |s| s.owner.store(0, Ordering::Release));
+            // SAFETY: `self` keeps this promise's occupancy live.
+            unsafe {
+                self.inner
+                    .ctx
+                    .promises
+                    .read_live(self.inner.slot, |s| s.owner.store(0, Ordering::Release));
+            }
         }
         // Counted like a normal set (in the pre-publish hook) so
         // baseline/verified event counts stay comparable.

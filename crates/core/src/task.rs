@@ -111,8 +111,9 @@ impl Ledger {
                         if e.is_fulfilled() {
                             return false;
                         }
-                        let owner = promises
-                            .read(e.slot(), |s| s.owner())
+                        // SAFETY: the ledger entry `e` keeps the occupancy
+                        // live.
+                        let owner = unsafe { promises.read_live(e.slot(), |s| s.owner()) }
                             .unwrap_or(PackedRef::NULL);
                         owner == owner_slot
                     });
@@ -172,9 +173,13 @@ impl TaskBody {
         let tracks = ctx.config().mode.tracks_ownership();
         let slot = if tracks {
             let s = ctx.tasks.alloc();
-            ctx.tasks
-                .read(s, |cell| cell.task_id.store(id.0, Ordering::Relaxed))
-                .expect("freshly allocated task slot is live");
+            // SAFETY: `s` was just allocated and is owned by this body until
+            // retirement.
+            unsafe {
+                ctx.tasks
+                    .read_live(s, |cell| cell.task_id.store(id.0, Ordering::Relaxed))
+                    .expect("freshly allocated task slot is live");
+            }
             s
         } else {
             PackedRef::NULL

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use promise_core::CounterSnapshot;
+use promise_core::{ArenaMemoryStats, CounterSnapshot};
 
 use crate::pool::PoolStats;
 
@@ -24,6 +24,10 @@ pub struct RunMetrics {
     pub peak_live_tasks: usize,
     /// High-water mark of simultaneously live promises (0 in baseline mode).
     pub peak_live_promises: usize,
+    /// Arena memory counters at the end of the run (resident bytes, bytes
+    /// freed by chunk reclamation, …).  Like [`RunMetrics::pool`], these
+    /// are runtime-lifetime totals, not per-run deltas.
+    pub memory: ArenaMemoryStats,
 }
 
 impl RunMetrics {
@@ -67,6 +71,17 @@ impl RunMetrics {
     /// Average `set` operations per millisecond (Table 1 "Sets/ms").
     pub fn sets_per_ms(&self) -> f64 {
         self.counters.sets_per_ms(self.wall)
+    }
+
+    /// Arena bytes returned to the allocator by chunk reclamation (runtime
+    /// lifetime total, see [`RunMetrics::memory`]).
+    pub fn arena_bytes_freed(&self) -> u64 {
+        self.memory.bytes_freed
+    }
+
+    /// Currently resident arena bytes at the end of the run.
+    pub fn arena_resident_bytes(&self) -> usize {
+        self.memory.resident_bytes
     }
 }
 

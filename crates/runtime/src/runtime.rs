@@ -4,7 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promise_core::{
-    Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError, VerificationMode,
+    ArenaMemoryStats, Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError,
+    VerificationMode,
 };
 
 use crate::metrics::RunMetrics;
@@ -270,6 +271,24 @@ impl Runtime {
         self.pool.stats()
     }
 
+    /// Retires fully-free arena chunks and frees those past their grace
+    /// periods, returning the bytes released by this call (see
+    /// [`Context::reclaim_memory`]).
+    ///
+    /// Reclamation never runs on per-operation paths: long-lived services
+    /// call this at natural low points (between workload phases, after a
+    /// burst drains).  Worker-exit hooks also trigger it when the pool
+    /// shrinks.
+    pub fn reclaim_memory(&self) -> usize {
+        self.ctx.reclaim_memory()
+    }
+
+    /// A snapshot of the arenas' memory counters (resident / peak-resident
+    /// bytes, bytes freed, chunks reclaimed).
+    pub fn memory_stats(&self) -> ArenaMemoryStats {
+        self.ctx.memory_stats()
+    }
+
     /// Runs `f` as the *root task* of this runtime on the calling thread
     /// (the `Init` procedure of Algorithm 1), returning its result.
     ///
@@ -302,6 +321,7 @@ impl Runtime {
             pool: self.pool.stats(),
             peak_live_tasks: self.ctx.peak_live_tasks(),
             peak_live_promises: self.ctx.peak_live_promises(),
+            memory: self.ctx.memory_stats(),
         };
         Ok((out, metrics))
     }

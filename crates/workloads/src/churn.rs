@@ -1,0 +1,209 @@
+//! The Churn workload (PR 6, not part of the paper's Table 1 nine): waves
+//! of short-lived tasks and promises with *shrinking plateaus*, exercising
+//! chunk reclamation end to end.
+//!
+//! Each wave spawns a plateau of tasks; every task receives one promise
+//! (ownership moves at spawn, per the paper's policy), fulfils it, and
+//! terminates.  The root joins the wave, folds the promise values into the
+//! checksum, and then — at the wave boundary, a natural low point — asks the
+//! runtime to reclaim memory.  Plateau sizes halve from wave to wave, so a
+//! correct reclamation layer must show `resident` arena memory *falling*
+//! across the run while `bytes_freed` grows: the paper's nine benchmarks
+//! all grow-then-exit, which is exactly the profile that let a grow-only
+//! arena hide in the Table 1 memory numbers.  Long-lived services do not
+//! have that luxury — see `examples/long_lived_service.rs` and the
+//! README's "memory behavior" section.
+//!
+//! Unlike the other workloads, Churn deliberately makes allocation *the*
+//! workload: per-task work is a token amount, so the run cost is dominated
+//! by spawn/free traffic through the arena magazines and by the wave-end
+//! reclaim sweeps.
+
+use promise_core::task::current_context;
+use promise_core::Promise;
+use promise_runtime::spawn;
+
+use crate::data::hash_u64s;
+use crate::{Scale, WorkloadOutput};
+
+/// Parameters of the Churn workload.
+#[derive(Copy, Clone, Debug)]
+pub struct ChurnParams {
+    /// Tasks in the first (largest) wave.
+    pub base_tasks: usize,
+    /// Number of waves; wave `i` runs `max(base_tasks >> i, floor_tasks)`
+    /// tasks.
+    pub waves: usize,
+    /// Smallest plateau a wave may shrink to.
+    pub floor_tasks: usize,
+    /// Iterations of busy work per task (kept small on purpose — churn is
+    /// an allocator workload, not a compute workload).
+    pub work: usize,
+}
+
+impl ChurnParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => ChurnParams {
+                base_tasks: 3_000,
+                waves: 4,
+                floor_tasks: 64,
+                work: 32,
+            },
+            Scale::Default => ChurnParams {
+                base_tasks: 20_000,
+                waves: 6,
+                floor_tasks: 256,
+                work: 64,
+            },
+            // ~3× the Default wave sizes and more waves: sustained
+            // alloc/free pressure with repeated retire/resurrect cycles.
+            Scale::Stress => ChurnParams {
+                base_tasks: 60_000,
+                waves: 8,
+                floor_tasks: 256,
+                work: 64,
+            },
+            // Not a paper benchmark; Paper scale just runs the stress shape
+            // longer so soak runs get minutes of sustained churn.
+            Scale::Paper => ChurnParams {
+                base_tasks: 120_000,
+                waves: 10,
+                floor_tasks: 512,
+                work: 128,
+            },
+        }
+    }
+
+    /// The plateau (task count) of wave `i`.
+    pub fn plateau(&self, wave: usize) -> usize {
+        (self.base_tasks >> wave).max(self.floor_tasks)
+    }
+}
+
+/// Runs the workload.  Must be called from inside a task.
+pub fn run(params: &ChurnParams) -> u64 {
+    let mut acc: u64 = 0;
+    for wave in 0..params.waves {
+        let plateau = params.plateau(wave);
+        let mut promises = Vec::with_capacity(plateau);
+        let mut handles = Vec::with_capacity(plateau);
+        for i in 0..plateau {
+            let p: Promise<u64> = Promise::new();
+            promises.push(p.clone());
+            let seed = ((wave as u64) << 32) | i as u64;
+            let work = params.work;
+            handles.push(spawn([p.clone()], move || {
+                let mut x = seed.wrapping_add(1);
+                for _ in 0..work {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                }
+                p.set(x | 1).expect("churn task owns its promise");
+            }));
+        }
+        for p in &promises {
+            acc = acc.wrapping_add(p.get().expect("churn promise fulfilled"));
+        }
+        for h in handles {
+            h.join().expect("churn task failed");
+        }
+        drop(promises);
+        // Wave boundary: the plateau's slots are dead — reclaim.  (Explicit
+        // by design: reclamation never rides the per-operation paths.)
+        if let Some(ctx) = current_context() {
+            ctx.reclaim_memory();
+        }
+    }
+    hash_u64s([acc, params.base_tasks as u64, params.waves as u64])
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput {
+        checksum: run(&ChurnParams::for_scale(scale)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promise_runtime::Runtime;
+
+    #[test]
+    fn runs_without_alarms_and_is_deterministic() {
+        let params = ChurnParams {
+            base_tasks: 256,
+            waves: 3,
+            floor_tasks: 16,
+            work: 8,
+        };
+        let rt = Runtime::new();
+        let a = rt.block_on(|| run(&params)).unwrap();
+        let b = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(a, b, "churn is deterministic for fixed params");
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn plateaus_shrink_to_the_floor() {
+        let params = ChurnParams::for_scale(Scale::Smoke);
+        let mut prev = usize::MAX;
+        for w in 0..params.waves {
+            let p = params.plateau(w);
+            assert!(p <= prev, "plateaus never grow");
+            assert!(p >= params.floor_tasks);
+            prev = p;
+        }
+        assert_eq!(params.plateau(params.waves * 4), params.floor_tasks);
+    }
+
+    /// The acceptance assertion for PR 6: with reclamation enabled, churn's
+    /// shrinking plateaus actually shrink the arenas — bytes are returned
+    /// to the allocator and end-of-run residency sits below the peak.
+    #[test]
+    fn shrinking_plateaus_shrink_resident_memory() {
+        let params = ChurnParams::for_scale(Scale::Smoke);
+        let rt = Runtime::new();
+        rt.block_on(|| {
+            run(&params);
+        })
+        .unwrap();
+        // Concurrent tests pin transiently (blocking individual epoch
+        // advances), so give the final sweep a few attempts before judging.
+        let mut stats = rt.memory_stats();
+        for _ in 0..10_000 {
+            if stats.bytes_freed > 0 {
+                break;
+            }
+            rt.reclaim_memory();
+            std::thread::yield_now();
+            stats = rt.memory_stats();
+        }
+        assert!(
+            stats.bytes_freed > 0,
+            "churn must return arena chunks to the allocator, stats: {stats:?}"
+        );
+        assert!(stats.chunks_reclaimed > 0);
+        assert!(
+            stats.resident_bytes < stats.peak_resident_bytes,
+            "end-of-run residency must sit below the peak, stats: {stats:?}"
+        );
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
+    fn baseline_and_verified_agree() {
+        let params = ChurnParams {
+            base_tasks: 128,
+            waves: 3,
+            floor_tasks: 16,
+            work: 8,
+        };
+        let verified = Runtime::new().block_on(|| run(&params)).unwrap();
+        let baseline = Runtime::unverified().block_on(|| run(&params)).unwrap();
+        assert_eq!(verified, baseline);
+    }
+}

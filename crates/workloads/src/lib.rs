@@ -15,6 +15,11 @@
 //! | [`streamcluster`] | StreamCluster (streaming k-means) | all-to-all promise barriers |
 //! | [`streamcluster2`] | StreamCluster2 | all-to-one combiner + broadcast |
 //!
+//! A tenth workload, [`churn`], is **not** part of Table 1: it drives waves
+//! of short-lived tasks/promises with shrinking plateaus to exercise the
+//! arenas' epoch-based chunk reclamation (the paper's benchmarks all
+//! grow-then-exit, which never stresses memory *release*).
+//!
 //! Every workload is a pure library function that must be called from inside
 //! a task (`Runtime::block_on` or a spawned task); it returns a checksum so
 //! that tests can compare the parallel result against a sequential oracle and
@@ -28,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cluster_common;
 pub mod conway;
 pub mod data;
@@ -87,13 +93,18 @@ pub struct WorkloadOutput {
     pub checksum: u64,
 }
 
-/// A named, runnable benchmark from Table 1.
+/// A named, runnable benchmark from the registry.
 #[derive(Copy, Clone)]
 pub struct Workload {
-    /// The benchmark's name as it appears in Table 1.
+    /// The benchmark's name as it appears in Table 1 (or, for workloads
+    /// beyond the paper's nine, in this repo's reports).
     pub name: &'static str,
     /// One-line description.
     pub description: &'static str,
+    /// Whether this benchmark is one of the paper's Table 1 nine.  Extra
+    /// workloads (Churn) are measured alongside them but excluded from the
+    /// paper-comparable geomean lines.
+    pub table1: bool,
     runner: fn(Scale) -> WorkloadOutput,
 }
 
@@ -113,54 +124,70 @@ impl std::fmt::Debug for Workload {
     }
 }
 
-/// The nine benchmarks, in Table 1 order.
+/// The nine Table 1 benchmarks in Table 1 order, followed by the Churn
+/// memory-reclamation workload (not part of the paper's evaluation).
 pub fn all_workloads() -> Vec<Workload> {
     vec![
         Workload {
             name: "Conway",
             description: "2-D cellular automaton; workers exchange chunk borders over channels",
+            table1: true,
             runner: conway::run_scaled,
         },
         Workload {
             name: "Heat",
             description:
                 "1-D heat diffusion; neighbouring chunk tasks exchange borders over channels",
+            table1: true,
             runner: heat::run_scaled,
         },
         Workload {
             name: "QSort",
             description: "parallel divide-and-conquer quicksort joined with promises",
+            table1: true,
             runner: qsort::run_scaled,
         },
         Workload {
             name: "Randomized",
             description: "task tree with root-allocated promises and random awaits",
+            table1: true,
             runner: randomized::run_scaled,
         },
         Workload {
             name: "Sieve",
             description: "prime-sieve pipeline of filter tasks connected by channels",
+            table1: true,
             runner: sieve::run_scaled,
         },
         Workload {
             name: "SmithWaterman",
             description: "DNA sequence alignment over a wavefront of tile promises",
+            table1: true,
             runner: smithwaterman::run_scaled,
         },
         Workload {
             name: "Strassen",
             description: "recursive matrix multiplication with asynchronous product tasks",
+            table1: true,
             runner: strassen::run_scaled,
         },
         Workload {
             name: "StreamCluster",
             description: "streaming k-means with all-to-all promise barriers",
+            table1: true,
             runner: streamcluster::run_scaled,
         },
         Workload {
             name: "StreamCluster2",
             description: "streaming k-means with all-to-one combining instead of all-to-all",
+            table1: true,
             runner: streamcluster2::run_scaled,
+        },
+        Workload {
+            name: "Churn",
+            description: "alloc/free waves with shrinking plateaus driving arena chunk reclamation",
+            table1: false,
+            runner: churn::run_scaled,
         },
     ]
 }
@@ -185,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_the_nine_table1_benchmarks_in_order() {
+    fn registry_has_the_table1_benchmarks_in_order_plus_churn() {
         let names: Vec<_> = all_workloads().iter().map(|w| w.name).collect();
         assert_eq!(
             names,
@@ -198,7 +225,8 @@ mod tests {
                 "SmithWaterman",
                 "Strassen",
                 "StreamCluster",
-                "StreamCluster2"
+                "StreamCluster2",
+                "Churn"
             ]
         );
     }
