@@ -1,0 +1,278 @@
+//! Seeded fault injection for chaos verification.
+//!
+//! Chaos mode widens the race windows the verifier's concurrent algorithms
+//! have to survive: a seeded, per-site pseudo-random delay is injected
+//! immediately **before** the three operations whose interleavings the
+//! ownership policy and the deadlock detector reason about —
+//!
+//! * **pre-`get`** ([`ChaosSite::Get`]): before a blocking wait publishes
+//!   its `waitingOn` edge and runs Algorithm 2, so detector traversals race
+//!   real publish/verify interleavings (the §3.1 window);
+//! * **pre-`set`** ([`ChaosSite::Set`]): before rule 4 clears the owner and
+//!   the cell publishes fulfilment, so fulfilments race detector traversals
+//!   and waiter parking;
+//! * **pre-`transfer`** ([`ChaosSite::Transfer`]): before a spawn's batch
+//!   ownership transfer (rule 2), so ownership re-assignment races sibling
+//!   detector reads.
+//!
+//! Two scheduler-level perturbations complete the picture (implemented in
+//! `promise-runtime`, driven by the same [`ChaosConfig`]): spawn-order
+//! scrambling (a worker-local spawn is randomly routed through the global
+//! injector instead of the LIFO fast path) and steal-order scrambling
+//! (randomized victim selection).
+//!
+//! The design follows the *stress-test* idiom of delay-injection deadlock
+//! tools: delays are derived from a user-supplied seed through a counter, so
+//! a failing run is repeatable by seed, and the whole layer is **zero-cost
+//! when disabled** — a runtime built without [`ChaosConfig`] pays one
+//! pointer-load-and-branch per hook (the `Option` in the context is `None`),
+//! never a random-number draw.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which injection site a chaos delay is drawn for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChaosSite {
+    /// Immediately before a blocking `get` publishes its wait and runs the
+    /// deadlock detector.
+    Get,
+    /// Immediately before a `set` runs the rule-4 ownership check and
+    /// publishes fulfilment.
+    Set,
+    /// Immediately before a spawn's ownership transfer (rule 2) re-assigns
+    /// the batch to the child.
+    Transfer,
+}
+
+/// Configuration of the chaos fault-injection layer.
+///
+/// Passed to `RuntimeBuilder::chaos(...)` in `promise-runtime`.  All delays
+/// are upper bounds in *spin-loop iterations*; the concrete delay of each
+/// individual operation is drawn pseudo-randomly (and repeatably) from
+/// `seed`.  A bound of 0 disables that site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for every pseudo-random decision the chaos layer makes.  Two
+    /// runs with the same seed and config draw identical delay sequences.
+    pub seed: u64,
+    /// Max spin iterations injected before a `get` (0 = off).
+    pub get_delay: u32,
+    /// Max spin iterations injected before a `set` (0 = off).
+    pub set_delay: u32,
+    /// Max spin iterations injected before a spawn's transfer (0 = off).
+    pub transfer_delay: u32,
+    /// Randomly route worker-local spawns through the global injector
+    /// instead of the worker's own LIFO deque, perturbing execution order.
+    pub scramble_spawns: bool,
+    /// Force randomized steal-victim selection in the work-stealing
+    /// scheduler (equivalent to `StealOrder::Randomized`).
+    pub scramble_steals: bool,
+}
+
+impl ChaosConfig {
+    /// Default delay bound for all three sites (spin iterations; roughly a
+    /// few hundred nanoseconds to a microsecond of jitter per operation).
+    pub const DEFAULT_DELAY: u32 = 512;
+
+    /// Full chaos from a seed: all three delay sites at
+    /// [`DEFAULT_DELAY`](Self::DEFAULT_DELAY), spawn and steal scrambling on.
+    pub fn from_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            get_delay: Self::DEFAULT_DELAY,
+            set_delay: Self::DEFAULT_DELAY,
+            transfer_delay: Self::DEFAULT_DELAY,
+            scramble_spawns: true,
+            scramble_steals: true,
+        }
+    }
+
+    /// A configuration with every injection disabled (useful as a base for
+    /// enabling single sites in tests).
+    pub fn disabled() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            get_delay: 0,
+            set_delay: 0,
+            transfer_delay: 0,
+            scramble_spawns: false,
+            scramble_steals: false,
+        }
+    }
+
+    /// Sets the pre-`get` delay bound.
+    pub fn with_get_delay(mut self, bound: u32) -> Self {
+        self.get_delay = bound;
+        self
+    }
+
+    /// Sets the pre-`set` delay bound.
+    pub fn with_set_delay(mut self, bound: u32) -> Self {
+        self.set_delay = bound;
+        self
+    }
+
+    /// Sets the pre-`transfer` delay bound.
+    pub fn with_transfer_delay(mut self, bound: u32) -> Self {
+        self.transfer_delay = bound;
+        self
+    }
+
+    /// Enables or disables spawn-order scrambling.
+    pub fn with_scramble_spawns(mut self, on: bool) -> Self {
+        self.scramble_spawns = on;
+        self
+    }
+
+    /// Enables or disables steal-order scrambling.
+    pub fn with_scramble_steals(mut self, on: bool) -> Self {
+        self.scramble_steals = on;
+        self
+    }
+
+    /// The delay bound configured for `site`.
+    pub fn bound(&self, site: ChaosSite) -> u32 {
+        match site {
+            ChaosSite::Get => self.get_delay,
+            ChaosSite::Set => self.set_delay,
+            ChaosSite::Transfer => self.transfer_delay,
+        }
+    }
+
+    /// Whether any injection (delay or scrambling) is enabled.
+    pub fn is_active(&self) -> bool {
+        self.get_delay > 0
+            || self.set_delay > 0
+            || self.transfer_delay > 0
+            || self.scramble_spawns
+            || self.scramble_steals
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix used to turn
+/// `(seed, draw-counter)` pairs into independent-looking delay draws.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Shared, lock-free state of one context's chaos layer: the config plus a
+/// single draw counter (`fetch_add`) that makes every injected delay a
+/// deterministic function of `(seed, draw index, site)`.
+///
+/// The *assignment* of draw indices to tasks is racy by nature (that is the
+/// point — it varies the interleaving), but the multiset of delays for a
+/// given seed is fixed, so a seed reproduces the same statistical schedule
+/// pressure.
+pub struct ChaosState {
+    config: ChaosConfig,
+    draws: AtomicU64,
+}
+
+impl ChaosState {
+    /// Builds the state for one context.
+    pub(crate) fn new(config: ChaosConfig) -> ChaosState {
+        ChaosState {
+            config,
+            draws: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration driving this state.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Number of delay draws performed so far (diagnostics).
+    pub fn draw_count(&self) -> u64 {
+        self.draws.load(Ordering::Relaxed)
+    }
+
+    /// Injects the seeded delay for `site`: a busy spin of
+    /// `mix(seed, n, site) % bound` iterations, with an occasional
+    /// `yield_now` so the OS scheduler also gets a chance to reorder threads
+    /// (the widest race-window lever available without sleeping).
+    #[inline]
+    pub(crate) fn delay(&self, site: ChaosSite) {
+        let bound = self.config.bound(site);
+        if bound == 0 {
+            return;
+        }
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        let site_salt = match site {
+            ChaosSite::Get => 0x67u64,
+            ChaosSite::Set => 0x73u64,
+            ChaosSite::Transfer => 0x74u64,
+        };
+        let r = mix64(self.config.seed ^ mix64(n ^ (site_salt << 56)));
+        let spins = (r % u64::from(bound)) as u32;
+        // Roughly one draw in eight additionally yields the thread: pure
+        // spinning only perturbs sub-microsecond interleavings, a yield lets
+        // whole quanta reorder.
+        if r & 0x700 == 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosState")
+            .field("config", &self.config)
+            .field("draws", &self.draw_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_is_inactive() {
+        assert!(!ChaosConfig::disabled().is_active());
+        assert!(ChaosConfig::from_seed(1).is_active());
+        assert!(ChaosConfig::disabled().with_get_delay(4).is_active());
+        assert!(ChaosConfig::disabled()
+            .with_scramble_steals(true)
+            .is_active());
+    }
+
+    #[test]
+    fn bounds_map_to_sites() {
+        let c = ChaosConfig::disabled()
+            .with_get_delay(1)
+            .with_set_delay(2)
+            .with_transfer_delay(3);
+        assert_eq!(c.bound(ChaosSite::Get), 1);
+        assert_eq!(c.bound(ChaosSite::Set), 2);
+        assert_eq!(c.bound(ChaosSite::Transfer), 3);
+    }
+
+    #[test]
+    fn delays_draw_and_count() {
+        let st = ChaosState::new(ChaosConfig::from_seed(0xC0FFEE));
+        for _ in 0..64 {
+            st.delay(ChaosSite::Get);
+            st.delay(ChaosSite::Set);
+            st.delay(ChaosSite::Transfer);
+        }
+        assert_eq!(st.draw_count(), 192);
+        // Disabled sites never draw.
+        let off = ChaosState::new(ChaosConfig::disabled());
+        off.delay(ChaosSite::Get);
+        assert_eq!(off.draw_count(), 0);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+    }
+}

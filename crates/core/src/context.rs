@@ -12,12 +12,15 @@ use std::sync::{Arc, OnceLock};
 
 use crate::alarms::AlarmSink;
 use crate::arena::SlotArena;
+use crate::chaos::{ChaosConfig, ChaosSite, ChaosState};
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::{DeadlockCycle, OmittedSetReport};
+use crate::events::EventLog;
 use crate::ids::{PromiseId, TaskId};
 use crate::job::{self, Job};
 use crate::policy::PolicyConfig;
 use crate::slots::{PromiseSlot, TaskSlot};
+use crate::task;
 
 /// A job an [`Executor`] refused to schedule (it has shut down), handed back
 /// to the submitter so that nothing is lost silently: the caller can run it
@@ -143,11 +146,29 @@ pub struct Context {
     next_task_id: AtomicU64,
     next_promise_id: AtomicU64,
     executor: OnceLock<Arc<dyn Executor>>,
+    /// Chaos fault-injection state (`None` = disabled; the hooks then cost
+    /// one pointer load and branch — see [`crate::chaos`]).
+    chaos: Option<Box<ChaosState>>,
+    /// Event log (`None` = disabled, same discipline as `chaos`).
+    events: Option<Box<EventLog>>,
 }
 
 impl Context {
     /// Creates a new context with the given policy configuration.
     pub fn new(config: PolicyConfig) -> Arc<Context> {
+        Context::new_instrumented(config, None, false)
+    }
+
+    /// Creates a context with optional chaos fault injection and event
+    /// logging (the seam behind `RuntimeBuilder::chaos` /
+    /// `RuntimeBuilder::event_log`).  Both instruments are fixed for the
+    /// context's lifetime; when absent their per-operation hooks reduce to a
+    /// `None` check.
+    pub fn new_instrumented(
+        config: PolicyConfig,
+        chaos: Option<ChaosConfig>,
+        event_log: bool,
+    ) -> Arc<Context> {
         Arc::new(Context {
             config,
             tasks: SlotArena::new(),
@@ -157,6 +178,10 @@ impl Context {
             next_task_id: AtomicU64::new(1),
             next_promise_id: AtomicU64::new(1),
             executor: OnceLock::new(),
+            chaos: chaos
+                .filter(ChaosConfig::is_active)
+                .map(|c| Box::new(ChaosState::new(c))),
+            events: event_log.then(|| Box::new(EventLog::new())),
         })
     }
 
@@ -206,6 +231,12 @@ impl Context {
         match &alarm {
             Alarm::Deadlock(_) => self.counters.record_deadlock(),
             Alarm::OmittedSet(_) => self.counters.record_omitted_set(),
+        }
+        if let Some(log) = &self.events {
+            // Peek (don't consume) the recording task's sequence number:
+            // alarm attribution is racy (§3.1), so consuming would perturb
+            // later seqs and break the canonical log's determinism.
+            log.record_alarm(task::current_event_info_peek(self), alarm.kind());
         }
         self.alarms.push(alarm);
     }
@@ -290,6 +321,34 @@ impl Context {
     /// High-water mark of simultaneously live promises.
     pub fn peak_live_promises(&self) -> usize {
         self.promises.peak_live()
+    }
+
+    /// The chaos configuration this context injects faults with, if any.
+    pub fn chaos_config(&self) -> Option<&ChaosConfig> {
+        self.chaos.as_ref().map(|s| s.config())
+    }
+
+    /// The event log of this context, if event logging is enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.events.as_deref()
+    }
+
+    /// Injects the seeded chaos delay for `site` (no-op when chaos is off:
+    /// one pointer load and branch).
+    #[inline]
+    pub(crate) fn chaos_delay(&self, site: ChaosSite) {
+        if let Some(chaos) = &self.chaos {
+            chaos.delay(site);
+        }
+    }
+
+    /// Runs `f` against the event log when logging is enabled (one pointer
+    /// load and branch otherwise).
+    #[inline]
+    pub(crate) fn with_event_log(&self, f: impl FnOnce(&EventLog)) {
+        if let Some(log) = &self.events {
+            f(log);
+        }
     }
 
     pub(crate) fn next_task_id(&self) -> TaskId {

@@ -49,12 +49,14 @@ pub mod arena;
 #[doc(hidden)]
 pub mod bench_support;
 pub mod cell;
+pub mod chaos;
 pub mod collection;
 pub mod context;
 pub mod counters;
 pub mod detector;
 pub mod epoch;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod job;
 pub mod magazine;
@@ -74,10 +76,12 @@ pub mod waitq;
 pub use alarms::{AlarmSink, MutexSink};
 pub use arena::ArenaMemoryStats;
 pub use cell::{MutexCell, OneShotCell, ResultSlot};
+pub use chaos::{ChaosConfig, ChaosSite};
 pub use collection::{collect_promises, PromiseCollection, TransferList};
 pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
+pub use events::{EventKind, EventLog, EventRecord};
 pub use ids::{PromiseId, TaskId};
 pub use job::Job;
 pub use policy::{LedgerMode, OmittedSetAction, PolicyConfig, VerificationMode};

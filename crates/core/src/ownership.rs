@@ -22,9 +22,11 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use crate::chaos::ChaosSite;
 use crate::collection::TransferList;
 use crate::context::Alarm;
 use crate::error::{AbandonedPromise, OmittedSetReport, PromiseError};
+use crate::events::EventKind;
 use crate::ids::{PromiseId, TaskId};
 use crate::policy::OmittedSetAction;
 use crate::pool_arc::ErasedPromiseRef;
@@ -50,10 +52,24 @@ pub fn prepare_task(
     task::with_current_body(|parent| {
         let ctx = Arc::clone(&parent.ctx);
         ctx.counters().record_task_spawned();
+        // Chaos pre-transfer injection point: delay before the batch
+        // ownership check and re-assignment below, so transfers race
+        // concurrent detector traversals and sibling operations.
+        ctx.chaos_delay(ChaosSite::Transfer);
 
         if !ctx.config().mode.tracks_ownership() {
             // Baseline: no ownership state to maintain.
             let body = TaskBody::create(&ctx, name);
+            ctx.with_event_log(|log| {
+                log.record_child(
+                    EventKind::Spawn,
+                    body_event_info(parent),
+                    PromiseId::NONE,
+                    None,
+                    body.id,
+                    body.name.clone(),
+                )
+            });
             return Ok(PreparedTask { body: Some(body) });
         }
 
@@ -104,9 +120,38 @@ pub fn prepare_task(
             body.ledger.append(p.clone(), &ctx.promises, body.slot);
         }
 
+        ctx.with_event_log(|log| {
+            log.record_child(
+                EventKind::Spawn,
+                body_event_info(parent),
+                PromiseId::NONE,
+                None,
+                body.id,
+                body.name.clone(),
+            );
+            for p in &unique {
+                log.record_child(
+                    EventKind::Transfer,
+                    body_event_info(parent),
+                    p.id(),
+                    p.name(),
+                    body.id,
+                    body.name.clone(),
+                );
+            }
+        });
+
         Ok(PreparedTask { body: Some(body) })
     })
     .unwrap_or(Err(PromiseError::NoCurrentTask { operation: "spawn" }))
+}
+
+/// Event-log info for a body we already hold mutably (the thread-local
+/// borrow is taken, so [`task::current_event_info`] would re-borrow).
+fn body_event_info(body: &mut TaskBody) -> Option<(TaskId, Option<Arc<str>>, u64)> {
+    let seq = body.event_seq;
+    body.event_seq += 1;
+    Some((body.id, body.name.clone(), seq))
 }
 
 /// Rule 4: verifies that the calling task owns `promise` and clears the
@@ -241,10 +286,18 @@ impl Obligations {
 /// the bug instead of hanging), and release the task's arena slot.  The alarm
 /// itself has already been recorded by [`Obligations::record`].
 pub(crate) fn settle_obligations(
-    body: TaskBody,
+    mut body: TaskBody,
     obligations: Obligations,
 ) -> Option<Arc<OmittedSetReport>> {
     let ctx = Arc::clone(&body.ctx);
+    ctx.with_event_log(|log| {
+        log.record(
+            EventKind::TaskEnd,
+            body_event_info(&mut body),
+            PromiseId::NONE,
+            None,
+        )
+    });
     let report = obligations.report;
 
     if let Some(report) = &report {

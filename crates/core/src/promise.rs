@@ -67,9 +67,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cell::OneShotCell;
+use crate::chaos::ChaosSite;
 use crate::context::{Alarm, Context};
 use crate::detector;
 use crate::error::PromiseError;
+use crate::events::EventKind;
 use crate::ids::{PromiseId, TaskId};
 use crate::ownership;
 use crate::pool_arc::{ErasedPromiseRef, PoolArc};
@@ -382,9 +384,13 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     /// fails.
     pub fn set(&self, value: T) -> Result<(), PromiseError> {
         let ctx = &self.inner.ctx;
+        // Chaos pre-set injection point: widen the window between the caller
+        // deciding to fulfil and the rule-4 check + publication below.
+        ctx.chaos_delay(ChaosSite::Set);
         if ctx.config().mode.tracks_ownership() {
             ownership::on_set(&*self.inner)?;
         }
+        self.log_set_event();
         self.inner.fill(Ok(value), true)?;
         Ok(())
     }
@@ -394,6 +400,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     /// [`PromiseError::Poisoned`].
     pub fn set_err(&self, message: impl Into<String>) -> Result<(), PromiseError> {
         let ctx = &self.inner.ctx;
+        ctx.chaos_delay(ChaosSite::Set);
         if ctx.config().mode.tracks_ownership() {
             ownership::on_set(&*self.inner)?;
         }
@@ -401,6 +408,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
             promise: self.inner.id,
             message: Arc::from(message.into().as_str()),
         };
+        self.log_set_event();
         self.inner.fill(Err(err), true)?;
         Ok(())
     }
@@ -450,6 +458,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
         T: Clone,
     {
         self.inner.ctx.counters().record_get();
+        self.on_get_hooks();
         self.block_verified()?;
         self.read_value()
     }
@@ -466,6 +475,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
         T: Clone,
     {
         self.inner.ctx.counters().record_get();
+        self.on_get_hooks();
         self.block_with_executor_hooks(Some(Instant::now() + timeout))?;
         self.read_value()
     }
@@ -474,8 +484,43 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     /// Returns an error if the promise was completed exceptionally.
     pub fn wait(&self) -> Result<(), PromiseError> {
         self.inner.ctx.counters().record_get();
+        self.on_get_hooks();
         self.block_verified()?;
         self.peek_error()
+    }
+
+    /// Chaos pre-`get` injection + event-log record, shared by the three
+    /// blocking entry points ([`get`](Promise::get), [`wait`](Promise::wait),
+    /// [`get_timeout`](Promise::get_timeout)).  Runs *before* the
+    /// fulfilled-fast-path check so injected delays widen the race between a
+    /// reader's publish/verify sequence and a concurrent fulfilment.
+    fn on_get_hooks(&self) {
+        let ctx = &self.inner.ctx;
+        ctx.chaos_delay(ChaosSite::Get);
+        ctx.with_event_log(|log| {
+            log.record(
+                EventKind::Get,
+                task::current_event_info(ctx),
+                self.inner.id,
+                self.inner.name.clone(),
+            )
+        });
+    }
+
+    /// Records the `set` event.  Called after the rule-4 ownership check but
+    /// *before* the fill is published: any event caused by the fulfilment (a
+    /// woken waiter's next record) must carry a later timestamp, so a
+    /// timestamp-sorted replay sees the set first.
+    fn log_set_event(&self) {
+        let ctx = &self.inner.ctx;
+        ctx.with_event_log(|log| {
+            log.record(
+                EventKind::Set,
+                task::current_event_info(ctx),
+                self.inner.id,
+                self.inner.name.clone(),
+            )
+        });
     }
 
     /// Non-blocking probe: `None` if the promise is not fulfilled yet.

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use crate::collection::TransferList;
 use crate::context::Context;
 use crate::error::OmittedSetReport;
+use crate::events::EventKind;
 use crate::ids::{PromiseId, TaskId};
 use crate::ownership;
 use crate::policy::LedgerMode;
@@ -164,6 +165,9 @@ pub(crate) struct TaskBody {
     /// ownership tracking is disabled).
     pub(crate) slot: PackedRef,
     pub(crate) ledger: Ledger,
+    /// Next per-task event-log sequence number (see [`crate::events`]); only
+    /// advanced while the context's event log is enabled.
+    pub(crate) event_seq: u64,
 }
 
 impl TaskBody {
@@ -195,6 +199,7 @@ impl TaskBody {
             name,
             slot,
             ledger: Ledger::new(ctx.config().ledger, tracks),
+            event_seq: 0,
         }
     }
 }
@@ -231,6 +236,40 @@ pub(crate) fn current_task_detection_info(
     with_current_body(|b| {
         if Arc::ptr_eq(&b.ctx, ctx) && !b.slot.is_null() {
             Some((b.slot, b.id, b.name.clone()))
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+/// Event-log helper: `(id, name, next per-task sequence number)` of the
+/// current task *if* it belongs to `ctx`.  Each call consumes one sequence
+/// number, so it must be called exactly once per recorded event.
+pub(crate) fn current_event_info(ctx: &Context) -> Option<(TaskId, Option<Arc<str>>, u64)> {
+    with_current_body(|b| {
+        if std::ptr::eq(Arc::as_ptr(&b.ctx), ctx as *const Context) {
+            let seq = b.event_seq;
+            b.event_seq += 1;
+            Some((b.id, b.name.clone(), seq))
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+/// Like [`current_event_info`] but **without** consuming a sequence number.
+/// Used for alarm events: which task records an alarm is racy by design
+/// (§3.1 — either of two cycle-closing `get`s may fire), so letting alarms
+/// consume a sequence number would make every *later* event's `seq` depend
+/// on the race outcome and break the deterministic canonical projection.
+/// Alarm events are excluded from that projection, so sharing a `seq` with
+/// the task's next regular event is harmless.
+pub(crate) fn current_event_info_peek(ctx: &Context) -> Option<(TaskId, Option<Arc<str>>, u64)> {
+    with_current_body(|b| {
+        if std::ptr::eq(Arc::as_ptr(&b.ctx), ctx as *const Context) {
+            Some((b.id, b.name.clone(), b.event_seq))
         } else {
             None
         }
@@ -300,6 +339,14 @@ impl PreparedTask {
         let id = body.id;
         let name = body.name.clone();
         install_current(body);
+        ctx.with_event_log(|log| {
+            log.record(
+                EventKind::TaskStart,
+                current_event_info(&ctx),
+                PromiseId::NONE,
+                None,
+            )
+        });
         TaskScope {
             ctx,
             id,
@@ -450,6 +497,14 @@ impl Context {
         let name = body.name.clone();
         let ctx = Arc::clone(self);
         install_current(body);
+        ctx.with_event_log(|log| {
+            log.record(
+                EventKind::TaskStart,
+                current_event_info(&ctx),
+                PromiseId::NONE,
+                None,
+            )
+        });
         TaskScope {
             ctx,
             id,

@@ -25,6 +25,33 @@ pub fn seed_from_env(default: u64) -> u64 {
     }
 }
 
+/// Like [`seed_from_env`], additionally echoing the effective seed and a
+/// one-command replay line to stderr.  libtest only surfaces captured output
+/// when a test *fails*, so the echo rides along with every failure message
+/// of a seeded suite — whoever reads the failure can reproduce the exact
+/// schedule by pasting the printed command, without knowing which job of
+/// the CI seed matrix produced it.
+///
+/// The replay line exports `STRESS_SEED` verbatim (not the mixed per-suite
+/// stream): [`seed_from_env`] folds the suite default into the environment
+/// seed, so the environment value is the only thing a replay needs.
+pub fn seed_from_env_echoed(default: u64, suite: &str) -> u64 {
+    let seed = seed_from_env(default);
+    match std::env::var("STRESS_SEED") {
+        Ok(v) => eprintln!(
+            "[{suite}] effective seed {seed:#x} (from STRESS_SEED={}); replay: STRESS_SEED={} \
+             cargo test --release --test {suite}",
+            v.trim(),
+            v.trim(),
+        ),
+        Err(_) => eprintln!(
+            "[{suite}] effective seed {seed:#x} (suite default); replay: cargo test --release \
+             --test {suite}"
+        ),
+    }
+    seed
+}
+
 /// One xorshift64 step.
 #[inline]
 pub fn xorshift(seed: &mut u64) -> u64 {

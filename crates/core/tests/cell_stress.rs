@@ -21,12 +21,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use promise_core::test_support::rng::{jitter, seed_from_env, xorshift};
+use promise_core::test_support::rng::{jitter, seed_from_env_echoed, xorshift};
 use promise_core::{Context, OneShotCell, Promise, PromiseError};
 
 #[test]
 fn set_races_n_concurrent_gets() {
-    let mut seed = seed_from_env(0x9e3779b97f4a7c15);
+    let mut seed = seed_from_env_echoed(0x9e3779b97f4a7c15, "cell_stress");
     for round in 0..60 {
         let ctx = Context::new_unverified();
         let root = ctx.root_task(None);
@@ -54,7 +54,7 @@ fn set_races_n_concurrent_gets() {
 
 #[test]
 fn get_timeout_races_set() {
-    let mut seed = seed_from_env(0x853c49e6748fea9b);
+    let mut seed = seed_from_env_echoed(0x853c49e6748fea9b, "cell_stress");
     let mut timeouts = 0usize;
     let mut values = 0usize;
     for round in 0..80u64 {
@@ -97,7 +97,7 @@ fn get_timeout_races_set() {
 
 #[test]
 fn complete_abandoned_races_set() {
-    let mut seed = seed_from_env(0xda942042e4dd58b5);
+    let mut seed = seed_from_env_echoed(0xda942042e4dd58b5, "cell_stress");
     let mut sets_won = 0usize;
     let mut abandons_won = 0usize;
     for round in 0..80u64 {
@@ -273,7 +273,7 @@ fn concurrent_handle_drops_never_double_drop() {
 /// * storm threads only ever observe `Timeout` or the winning value.
 #[test]
 fn heavy_fanin_waiter_storm_wakes_every_parker_exactly_once() {
-    let mut seed = seed_from_env(0xfa11_1234_u64 ^ 0x9e37_79b9);
+    let mut seed = seed_from_env_echoed(0xfa11_1234_u64 ^ 0x9e37_79b9, "cell_stress");
     for round in 0..12u64 {
         let ctx = Context::new_unverified();
         let root = ctx.root_task(None);
@@ -366,7 +366,7 @@ fn heavy_fanin_waiter_storm_wakes_every_parker_exactly_once() {
 /// with the winner's value, nobody strands.
 #[test]
 fn oneshot_cell_fanin_storm() {
-    let mut seed = seed_from_env(0xce11_5707_u64 ^ 0xb5297a4d);
+    let mut seed = seed_from_env_echoed(0xce11_5707_u64 ^ 0xb5297a4d, "cell_stress");
     for round in 0..20u64 {
         let cell = Arc::new(OneShotCell::<u64>::new());
         let waiters: Vec<_> = (0..12)

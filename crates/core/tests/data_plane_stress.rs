@@ -20,7 +20,7 @@ use promise_core::arena::{SlotArena, SlotValue, MAG_CAP};
 use promise_core::counters::register_worker;
 use promise_core::error::{CycleEntry, DeadlockCycle};
 use promise_core::refs::PackedRef;
-use promise_core::test_support::rng::{jitter_bounded, seed_from_env};
+use promise_core::test_support::rng::{jitter_bounded, seed_from_env_echoed};
 use promise_core::{Alarm, Context, PromiseId, TaskId};
 
 struct StampCell {
@@ -51,6 +51,7 @@ fn jitter(seed: &mut u64) {
 fn sharded_magazines_survive_cross_thread_free_and_realloc() {
     let workers = 4;
     let rounds = 800u64;
+    let base_seed = seed_from_env_echoed(0xdead_beef_0bad_cafe, "data_plane_stress");
     let arena: Arc<SlotArena<StampCell>> = Arc::new(SlotArena::new());
 
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..workers)
@@ -64,8 +65,7 @@ fn sharded_magazines_survive_cross_thread_free_and_realloc() {
         let tx_next = txs[(w + 1) % workers].clone();
         joins.push(std::thread::spawn(move || {
             let _slot = register_worker();
-            let mut seed =
-                seed_from_env(0xdead_beef_0bad_cafe) ^ (w as u64 + 1).wrapping_mul(0x9e37);
+            let mut seed = base_seed ^ (w as u64 + 1).wrapping_mul(0x9e37);
             let mut stale: Vec<(PackedRef, u64)> = Vec::new();
             for i in 0..rounds {
                 let stamp = (w as u64) << 32 | (i + 1);
@@ -156,13 +156,14 @@ fn deadlock_alarm(task: u64) -> Alarm {
 fn alarm_sink_observes_all_alarms_recorded_before_snapshot() {
     let recorders = 4;
     let per_thread = 500u64;
+    let base_seed = seed_from_env_echoed(0x1234_5678_9abc_def0, "data_plane_stress");
     let ctx = Context::new_verified();
 
     let mut joins = Vec::new();
     for t in 0..recorders {
         let ctx = Arc::clone(&ctx);
         joins.push(std::thread::spawn(move || {
-            let mut seed = seed_from_env(0x1234_5678_9abc_def0) ^ (t as u64 + 1);
+            let mut seed = base_seed ^ (t as u64 + 1);
             for i in 0..per_thread {
                 ctx.record_alarm(deadlock_alarm((t as u64) << 32 | i));
                 jitter(&mut seed);

@@ -15,7 +15,7 @@
 
 use promise_core::magazine::MAG_CAP;
 use promise_core::test_support::interleave::{explore, explore_sampled, Op, Outcome, Script};
-use promise_core::test_support::rng::seed_from_env;
+use promise_core::test_support::rng::seed_from_env_echoed;
 
 fn ops(pattern: &[Op]) -> Vec<Op> {
     pattern.to_vec()
@@ -150,7 +150,7 @@ fn boundary_churn_sampled_by_seed() {
             ops: b,
         },
     ];
-    let seed = seed_from_env(0x5eed_1e1e_a5ed_c0de);
+    let seed = seed_from_env_echoed(0x5eed_1e1e_a5ed_c0de, "magazine_interleave");
     let out: Outcome = explore_sampled(&scripts, seed, 400);
     assert_eq!(out.schedules, 400);
 }

@@ -44,7 +44,7 @@ use promise_core::arena::{SlotArena, SlotValue, CHUNK_SIZE};
 use promise_core::counters::sim::{self, SimWorker};
 use promise_core::epoch::{self, PinGuard};
 use promise_core::refs::PackedRef;
-use promise_core::test_support::rng::{seed_from_env, xorshift};
+use promise_core::test_support::rng::{seed_from_env_echoed, xorshift};
 
 /// Serialises the tests in this binary: epoch pins are process-global, so
 /// a concurrently pinning test would make the no-free-under-pin
@@ -362,7 +362,7 @@ fn free_retire_grace_reuse_vs_pinned_reader_exhaustive() {
 #[test]
 fn seeded_multi_wave_churn_with_pinned_reads() {
     let _guard = test_lock();
-    let mut seed = seed_from_env(0xc1ea_0000_5eed_c0de) | 1;
+    let mut seed = seed_from_env_echoed(0xc1ea_0000_5eed_c0de, "reclaim_interleave") | 1;
     let arena: SlotArena<Cell> = SlotArena::new_global_only();
     // Warm-up: put two full chunks' worth of indices into circulation.  A
     // chunk whose fresh range was never fully handed out can never satisfy

@@ -1,0 +1,36 @@
+//! Re-executes an exported chaos event log deterministically against the
+//! abstract machine and cross-checks the logged alarms.
+//!
+//! Usage: `replay <logfile>` where the file is one program header line
+//! followed by event JSONL, as written by `harness::export_log`.  Exits 0
+//! and prints a summary when the schedule reproduces; exits 1 with the
+//! divergence otherwise.
+
+use std::process::ExitCode;
+
+use promise_model::replay_log;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: replay <logfile>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match replay_log(&text) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay: DIVERGED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

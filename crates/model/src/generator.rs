@@ -1,0 +1,586 @@
+//! Seeded random-program generator with *planted* bugs.
+//!
+//! The chaos-verification campaign needs programs whose ground truth is
+//! known **by construction**, so the runtime's online verifier can be graded
+//! on them: every generated program is correct (all tasks spawn before they
+//! block, every `get` targets a promise owned by a strictly higher-numbered
+//! task, every owned promise is eventually `set`) *except* for bugs the
+//! generator plants on purpose —
+//!
+//! * a **deadlock ring**: `k` tasks `i_1 < … < i_k`, each owning a dedicated
+//!   ring promise and `get`-ing the ring promise owned by the next task
+//!   (cyclically), placed before the task's own ring `set` so the cycle is
+//!   real;
+//! * an **omitted set**: one task (disjoint from the ring) owns a promise
+//!   that nothing ever `get`s and whose `set` is simply dropped.
+//!
+//! Planting is recorded in [`GeneratedProgram`], which doubles as the
+//! *expected* verdict.  [`oracle_outcome`](crate::harness::oracle_outcome)
+//! additionally re-derives the ground truth by running the abstract-machine
+//! simulator, so a generator bug cannot silently miscalibrate the campaign.
+//!
+//! Everything is a pure function of the seed: the same seed yields the same
+//! program, which is what makes chaos campaigns replayable.
+
+use crate::program::{Instr, Program, PromiseName, TaskName};
+
+/// Knobs of the random-program generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Minimum number of tasks (including the root).  Clamped to ≥ 4 so a
+    /// ring of up to three non-root tasks plus a disjoint omitted-set task
+    /// always fits.
+    pub min_tasks: usize,
+    /// Maximum number of tasks (inclusive).
+    pub max_tasks: usize,
+    /// Extra correct promises beyond the planted ones, at most this many.
+    pub max_extra_promises: usize,
+    /// Chance (percent, 0–100) that a program gets a planted deadlock ring.
+    pub deadlock_percent: u32,
+    /// Chance (percent, 0–100) that a program gets a planted omitted set.
+    pub omitted_percent: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            min_tasks: 4,
+            max_tasks: 8,
+            max_extra_promises: 6,
+            deadlock_percent: 35,
+            omitted_percent: 35,
+        }
+    }
+}
+
+/// A generated program plus the generator's planting record (the expected
+/// verdict of a verified execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneratedProgram {
+    /// The abstract program.
+    pub program: Program,
+    /// The seed that produced it.
+    pub seed: u64,
+    /// The planted deadlock ring (tasks, in index order), if any.
+    pub ring: Vec<TaskName>,
+    /// The ring promises, `ring_promises[j]` owned by `ring[j]`, if any.
+    pub ring_promises: Vec<PromiseName>,
+    /// The planted omitted set `(task, promise)`, if any.
+    pub omitted: Option<(TaskName, PromiseName)>,
+}
+
+impl GeneratedProgram {
+    /// Whether a deadlock was planted.
+    pub fn has_deadlock(&self) -> bool {
+        !self.ring.is_empty()
+    }
+
+    /// Whether an omitted set was planted.
+    pub fn has_omitted(&self) -> bool {
+        self.omitted.is_some()
+    }
+}
+
+/// SplitMix64 step: the generator's RNG (no external crates, identical on
+/// every platform).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Avoid the all-zero fixed point.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be > 0.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn percent(&mut self, p: u32) -> bool {
+        (self.next() % 100) < u64::from(p)
+    }
+}
+
+/// Generates one program from a seed.
+///
+/// The construction (all invariants hold for every seed):
+///
+/// 1. pick `n` tasks and a spawn tree with `parent(i) < i`;
+/// 2. allot promises: one ring promise per ring member (if a ring is
+///    planted), one omitted promise (if planted), plus extra correct
+///    promises with random owners; the root `new`s **all** of them first;
+/// 3. every body is laid out *spawns → gets → work/sets*, so each task's
+///    whole subtree is spawned before the task can block;
+/// 4. ownership transfers follow tree edges: the spawn of child `c` carries
+///    exactly the promises finally owned inside `c`'s subtree (rule 2 holds
+///    at every hop);
+/// 5. correct `get`s always target promises owned by a strictly
+///    higher-numbered task, so the waits-for relation of the correct part is
+///    acyclic; the only cycle is the planted ring's back edge.
+pub fn generate(seed: u64, config: &GenConfig) -> GeneratedProgram {
+    let mut rng = Rng::new(seed);
+    let min_tasks = config.min_tasks.max(4);
+    let max_tasks = config.max_tasks.max(min_tasks);
+    let n = min_tasks + rng.below(max_tasks - min_tasks + 1);
+
+    // Spawn tree: parent(i) < i for i ≥ 1.
+    let parents: Vec<TaskName> = (1..n).map(|i| rng.below(i)).collect();
+    let parent_of = |i: TaskName| parents[i - 1];
+
+    // Plant the bugs.  Ring members are non-root tasks in index order; the
+    // omitted-set task is a non-root task outside the ring.
+    let ring: Vec<TaskName> = if config.deadlock_percent > 0 && rng.percent(config.deadlock_percent)
+    {
+        let k = 2 + rng.below((n - 2).min(3));
+        let mut members: Vec<TaskName> = (1..n).collect();
+        // Partial Fisher–Yates: the first k entries become the ring.
+        for j in 0..k {
+            let pick = j + rng.below(members.len() - j);
+            members.swap(j, pick);
+        }
+        members.truncate(k);
+        members.sort_unstable();
+        members
+    } else {
+        Vec::new()
+    };
+    let omitted_task: Option<TaskName> =
+        if config.omitted_percent > 0 && rng.percent(config.omitted_percent) {
+            let candidates: Vec<TaskName> = (1..n).filter(|t| !ring.contains(t)).collect();
+            if candidates.is_empty() {
+                None
+            } else {
+                Some(candidates[rng.below(candidates.len())])
+            }
+        } else {
+            None
+        };
+
+    // Promise allotment: `owner[p]` is the task that must eventually hold
+    // (and usually `set`) promise `p`.
+    let mut owner: Vec<TaskName> = Vec::new();
+    let ring_promises: Vec<PromiseName> = ring
+        .iter()
+        .map(|&t| {
+            owner.push(t);
+            owner.len() - 1
+        })
+        .collect();
+    let omitted = omitted_task.map(|t| {
+        owner.push(t);
+        (t, owner.len() - 1)
+    });
+    let extras = if config.max_extra_promises > 0 {
+        1 + rng.below(config.max_extra_promises)
+    } else {
+        0
+    };
+    let extra_promises: Vec<PromiseName> = (0..extras)
+        .map(|_| {
+            owner.push(rng.below(n));
+            owner.len() - 1
+        })
+        .collect();
+    let promises = owner.len();
+
+    // Getters for the correct promises: tasks with a smaller index than the
+    // owner (so correct waits-for edges always point upward).
+    let mut getters: Vec<Vec<TaskName>> = vec![Vec::new(); promises];
+    for &p in &extra_promises {
+        if owner[p] == 0 {
+            continue; // no task has a smaller index than the root
+        }
+        for _ in 0..rng.below(3) {
+            let g = rng.below(owner[p]);
+            if !getters[p].contains(&g) {
+                getters[p].push(g);
+            }
+        }
+    }
+
+    // Subtree-owned sets drive the per-edge transfer lists.
+    let mut subtree_owned: Vec<Vec<PromiseName>> = vec![Vec::new(); n];
+    for (p, &o) in owner.iter().enumerate().take(promises) {
+        let mut t = o;
+        loop {
+            subtree_owned[t].push(p);
+            if t == 0 {
+                break;
+            }
+            t = parent_of(t);
+        }
+    }
+
+    // Assemble the bodies: spawns first, then gets, then work + sets.
+    let mut tasks: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    // Root allocates everything up front.
+    for p in 0..promises {
+        tasks[0].push(Instr::New(p));
+    }
+    for child in 1..n {
+        let transfers = subtree_owned[child].clone();
+        tasks[parent_of(child)].push(Instr::Async {
+            task: child,
+            transfers,
+        });
+    }
+    // The ring get comes first among a ring member's gets, before anything
+    // that could fulfil its own ring promise.
+    for (j, &t) in ring.iter().enumerate() {
+        let next = ring_promises[(j + 1) % ring.len()];
+        tasks[t].push(Instr::Get(next));
+    }
+    // Correct gets (owner index > getter index, so acyclic).
+    for (p, gs) in getters.iter().enumerate().take(promises) {
+        for &g in gs {
+            tasks[g].push(Instr::Get(p));
+        }
+    }
+    // Work + the sets of everything owned, except the planted omission.
+    for t in 0..n {
+        if rng.percent(50) {
+            tasks[t].push(Instr::Work);
+        }
+        for &p in &subtree_owned[t] {
+            if owner[p] != t {
+                continue; // owned deeper in the subtree
+            }
+            if omitted.map(|(_, m)| m) == Some(p) {
+                continue; // the planted omitted set
+            }
+            tasks[t].push(Instr::Set(p));
+        }
+    }
+
+    let program = Program { tasks, promises };
+    debug_assert!(program.validate().is_ok());
+    GeneratedProgram {
+        program,
+        seed,
+        ring,
+        ring_promises,
+        omitted,
+    }
+}
+
+/// Serializes a generated program (with its planting record) as one JSON
+/// line — the header line of a chaos event-log file, consumed by the
+/// `replay` binary.
+pub fn program_to_json(gp: &GeneratedProgram) -> String {
+    let mut out = String::new();
+    out.push_str("{\"type\":\"program\",\"seed\":");
+    out.push_str(&gp.seed.to_string());
+    out.push_str(",\"promises\":");
+    out.push_str(&gp.program.promises.to_string());
+    out.push_str(",\"ring\":[");
+    push_usizes(&mut out, &gp.ring);
+    out.push_str("],\"ring_promises\":[");
+    push_usizes(&mut out, &gp.ring_promises);
+    out.push_str("],\"omitted\":");
+    match gp.omitted {
+        Some((t, p)) => {
+            out.push('[');
+            out.push_str(&t.to_string());
+            out.push(',');
+            out.push_str(&p.to_string());
+            out.push(']');
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"tasks\":[");
+    for (i, body) in gp.program.tasks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, instr) in body.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match instr {
+                Instr::New(p) => out.push_str(&format!("[\"new\",{p}]")),
+                Instr::Set(p) => out.push_str(&format!("[\"set\",{p}]")),
+                Instr::Get(p) => out.push_str(&format!("[\"get\",{p}]")),
+                Instr::Work => out.push_str("[\"work\"]"),
+                Instr::Async { task, transfers } => {
+                    out.push_str(&format!("[\"async\",{task},["));
+                    push_usizes(&mut out, transfers);
+                    out.push_str("]]");
+                }
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_usizes(out: &mut String, xs: &[usize]) {
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+}
+
+/// Parses the output of [`program_to_json`] back into a
+/// [`GeneratedProgram`].  Accepts exactly that shape (a hand-rolled parser
+/// for the replay tool, not a general JSON reader).
+pub fn program_from_json(line: &str) -> Result<GeneratedProgram, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut seed = 0u64;
+    let mut promises = 0usize;
+    let mut ring = Vec::new();
+    let mut ring_promises = Vec::new();
+    let mut omitted = None;
+    let mut tasks: Vec<Vec<Instr>> = Vec::new();
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "type" => {
+                let v = p.string()?;
+                if v != "program" {
+                    return Err(format!("unexpected header type {v:?}"));
+                }
+            }
+            "seed" => seed = p.number()?,
+            "promises" => promises = p.number()? as usize,
+            "ring" => ring = p.usize_array()?,
+            "ring_promises" => ring_promises = p.usize_array()?,
+            "omitted" => {
+                if p.peek() == Some(b'n') {
+                    p.keyword("null")?;
+                } else {
+                    let pair = p.usize_array()?;
+                    if pair.len() != 2 {
+                        return Err("omitted must be [task, promise]".into());
+                    }
+                    omitted = Some((pair[0], pair[1]));
+                }
+            }
+            "tasks" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some(b']') {
+                        p.pos += 1;
+                        break;
+                    }
+                    tasks.push(p.body()?);
+                    p.skip_ws();
+                    if p.peek() == Some(b',') {
+                        p.pos += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => break, // done; trailing bytes are ignored
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    let program = Program { tasks, promises };
+    program.validate()?;
+    Ok(GeneratedProgram {
+        program,
+        seed,
+        ring,
+        ring_promises,
+        omitted,
+    })
+}
+
+/// Minimal recursive-descent reader for the fixed header shape.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(format!("expected {kw:?} at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos])
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn usize_array(&mut self) -> Result<Vec<usize>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(out);
+            }
+            out.push(self.number()? as usize);
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn body(&mut self) -> Result<Vec<Instr>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'[') => {
+                    self.pos += 1;
+                    let op = self.string()?;
+                    let instr = match op.as_str() {
+                        "work" => Instr::Work,
+                        "new" | "set" | "get" => {
+                            self.expect(b',')?;
+                            let p = self.number()? as usize;
+                            match op.as_str() {
+                                "new" => Instr::New(p),
+                                "set" => Instr::Set(p),
+                                _ => Instr::Get(p),
+                            }
+                        }
+                        "async" => {
+                            self.expect(b',')?;
+                            let task = self.number()? as usize;
+                            self.expect(b',')?;
+                            let transfers = self.usize_array()?;
+                            Instr::Async { task, transfers }
+                        }
+                        other => return Err(format!("unknown instr {other:?}")),
+                    };
+                    self.expect(b']')?;
+                    out.push(instr);
+                    self.skip_ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Err(format!("expected instr at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(a.program.validate().is_ok(), "seed {seed} invalid");
+        }
+    }
+
+    #[test]
+    fn both_bug_classes_are_planted_at_reasonable_rates() {
+        let cfg = GenConfig::default();
+        let mut deadlocks = 0;
+        let mut omissions = 0;
+        for seed in 0..400 {
+            let g = generate(seed, &cfg);
+            deadlocks += g.has_deadlock() as u32;
+            omissions += g.has_omitted() as u32;
+            if let Some((t, m)) = g.omitted {
+                assert!(!g.ring.contains(&t), "omitted task inside the ring");
+                // The omitted promise must have no getters and no set.
+                for body in &g.program.tasks {
+                    assert!(!body.contains(&Instr::Get(m)));
+                    assert!(!body.contains(&Instr::Set(m)));
+                }
+            }
+        }
+        assert!(deadlocks > 60, "only {deadlocks}/400 deadlocks planted");
+        assert!(omissions > 60, "only {omissions}/400 omissions planted");
+    }
+
+    #[test]
+    fn header_json_round_trips() {
+        let cfg = GenConfig::default();
+        for seed in [0, 1, 7, 42, 0xDEAD] {
+            let g = generate(seed, &cfg);
+            let line = program_to_json(&g);
+            let back = program_from_json(&line).expect("parse");
+            assert_eq!(g, back, "seed {seed} did not round-trip");
+        }
+    }
+}

@@ -25,15 +25,38 @@
 //! proofs argue about (publish-before-verify; owner re-validation folded into
 //! an atomic verify step); the real lock-free implementation is exercised by
 //! the `promise-core` unit tests and the runtime/workload test suites.
+//!
+//! Two further modules close the loop between the model and the *real*
+//! runtime (the chaos-verification mode):
+//!
+//! * [`generator`] — seeded random programs with **planted** deadlock rings
+//!   and omitted sets, correct by construction everywhere else;
+//! * [`harness`] — runs generated programs on the real runtime (optionally
+//!   under chaos fault injection) and grades its alarms against the
+//!   simulator oracle, producing recall / false-alarm / detection-latency
+//!   statistics.
+//!
+//! The `replay` binary re-executes an exported event log against the
+//! simulator, cross-checking that the logged schedule reproduces the logged
+//! alarms.
 
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod generator;
+pub mod harness;
 pub mod oracle;
 pub mod program;
+pub mod replay;
 pub mod sim;
 
 pub use explore::{explore_exhaustive, explore_random, Conformance};
+pub use generator::{generate, program_from_json, program_to_json, GenConfig, GeneratedProgram};
+pub use harness::{
+    export_log, oracle_outcome, program_seed, run_batch, run_program, BatchConfig, BatchResult,
+    OracleOutcome, ProgramRun, ProgramVerdict,
+};
 pub use oracle::find_cycle;
 pub use program::{Instr, Program, ProgramBuilder, PromiseName, TaskName};
+pub use replay::{replay_log, ReplaySummary};
 pub use sim::{SimOutcome, SimState, StepResult};

@@ -1,0 +1,401 @@
+//! Deterministic re-execution of an exported chaos event log against the
+//! abstract machine.
+//!
+//! Input: the text produced by [`crate::harness::export_log`] — one header
+//! line (the generated program and its planting record, see
+//! [`crate::generator::program_to_json`]) followed by the runtime's full
+//! event JSONL.
+//!
+//! The replayer sorts the events into a total order (timestamp, then task,
+//! then per-task sequence number) and drives the simulator through exactly
+//! that schedule: every logged `spawn`, `get`, `set`, and `task-end` must
+//! correspond to an executable simulator step, and every logged deadlock
+//! alarm must be justified by a cycle in the sequentially consistent state —
+//! or be the benign racy duplicate of §3.1 (a second cycle-closing `get`
+//! whose cycle the first alarm already tore down), which is reported
+//! separately.  At the end the simulator's alarms are cross-checked against
+//! the planting record.  Any divergence is an `Err` naming the offending
+//! event.
+
+use crate::generator::program_from_json;
+use crate::program::{Instr, PromiseName, TaskName};
+use crate::sim::{SimState, StepResult};
+
+/// Outcome of a successful replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Seed the replayed program was generated from.
+    pub seed: u64,
+    /// Number of event records consumed (including bookkeeping records).
+    pub events: usize,
+    /// Number of simulator steps driven by those events.
+    pub steps: usize,
+    /// Deadlock alarms justified by a cycle in the SC state.
+    pub genuine_deadlock_alarms: usize,
+    /// Logged deadlock alarms explained by the §3.1 race (the real detector
+    /// raised from a racing `get` whose cycle the first alarm had already
+    /// torn down in the sequentially consistent view).
+    pub racy_duplicate_alarms: usize,
+    /// Promises reported abandoned (rule 3), sorted.
+    pub omitted: Vec<PromiseName>,
+}
+
+impl std::fmt::Display for ReplaySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay OK: {} events -> {} model steps, deadlock alarms {} (+{} racy duplicates), \
+             omitted sets {:?}, seed {:#x}",
+            self.events,
+            self.steps,
+            self.genuine_deadlock_alarms,
+            self.racy_duplicate_alarms,
+            self.omitted,
+            self.seed,
+        )
+    }
+}
+
+/// One parsed event line (only the fields replay needs).
+struct Event {
+    kind: String,
+    ts_ns: u64,
+    task_key: String,
+    seq: u64,
+    promise_name: Option<String>,
+    child_name: Option<String>,
+    alarm: Option<String>,
+}
+
+/// Replays an exported log (header line + event JSONL) against the
+/// simulator.  Returns a summary on success and a divergence description on
+/// failure.
+pub fn replay_log(text: &str) -> Result<ReplaySummary, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty log file")?;
+    let gp = program_from_json(header).map_err(|e| format!("bad header: {e}"))?;
+    let mut events: Vec<Event> = Vec::new();
+    for (no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_event(line).map_err(|e| format!("line {}: {e}", no + 2))?);
+    }
+    events.sort_by(|a, b| (a.ts_ns, &a.task_key, a.seq).cmp(&(b.ts_ns, &b.task_key, b.seq)));
+
+    let mut sim = SimState::new(&gp.program, true);
+    let mut steps = 0usize;
+    let mut genuine_alarms = 0usize;
+    let mut racy_duplicates = 0usize;
+    let mut log_omitted_alarms = 0usize;
+    for ev in &events {
+        match ev.kind.as_str() {
+            // Lifecycle/bookkeeping records with no simulator counterpart:
+            // transfers are folded into the spawn step.
+            "task-start" | "transfer" => {}
+            "spawn" => {
+                let t = task_index(&ev.task_key)?;
+                let child = ev
+                    .child_name
+                    .as_deref()
+                    .ok_or_else(|| "spawn event without child name".to_string())
+                    .and_then(task_name_index)?;
+                resolve_pending(&mut sim, t, &mut steps)?;
+                advance_silent(&mut sim, t, &mut steps)?;
+                match sim.current_instr(t) {
+                    Some(Instr::Async { task, .. }) if *task == child => {}
+                    other => {
+                        return Err(format!(
+                            "{} logged spawn of t{child} but the model is at {other:?}",
+                            ev.task_key
+                        ))
+                    }
+                }
+                expect_ok(sim.step(t), &ev.task_key, "spawn")?;
+                steps += 1;
+            }
+            "get" => {
+                let Some(p) = ev.promise_name.as_deref().and_then(promise_index) else {
+                    // A completion-promise join (the harness parents joining
+                    // their children): not a program instruction.
+                    continue;
+                };
+                let t = task_index(&ev.task_key)?;
+                resolve_pending(&mut sim, t, &mut steps)?;
+                advance_silent(&mut sim, t, &mut steps)?;
+                match sim.current_instr(t) {
+                    Some(Instr::Get(q)) if *q == p => {}
+                    other => {
+                        return Err(format!(
+                            "{} logged get of p{p} but the model is at {other:?}",
+                            ev.task_key
+                        ))
+                    }
+                }
+                // Publish half only; the verify half runs once it can (see
+                // `resolve_pending`), or when an alarm event names this task.
+                expect_ok(sim.step(t), &ev.task_key, "get-publish")?;
+                steps += 1;
+            }
+            "set" => {
+                let p = ev
+                    .promise_name
+                    .as_deref()
+                    .and_then(promise_index)
+                    .ok_or("set event without promise name")?;
+                let t = task_index(&ev.task_key)?;
+                resolve_pending(&mut sim, t, &mut steps)?;
+                advance_silent(&mut sim, t, &mut steps)?;
+                match sim.current_instr(t) {
+                    Some(Instr::Set(q)) if *q == p => {}
+                    other => {
+                        return Err(format!(
+                            "{} logged set of p{p} but the model is at {other:?}",
+                            ev.task_key
+                        ))
+                    }
+                }
+                expect_ok(sim.step(t), &ev.task_key, "set")?;
+                steps += 1;
+            }
+            "task-end" => {
+                let t = task_index(&ev.task_key)?;
+                resolve_pending(&mut sim, t, &mut steps)?;
+                advance_silent(&mut sim, t, &mut steps)?;
+                if sim.current_instr(t).is_some() {
+                    return Err(format!(
+                        "{} logged task-end but the model still has {:?}",
+                        ev.task_key,
+                        sim.current_instr(t)
+                    ));
+                }
+                match sim.step(t) {
+                    StepResult::Ok | StepResult::OmittedSetAlarm(_) => {}
+                    other => return Err(format!("{} termination produced {other:?}", ev.task_key)),
+                }
+                steps += 1;
+            }
+            "alarm" => match ev.alarm.as_deref() {
+                Some("deadlock") => {
+                    let t = task_index(&ev.task_key)?;
+                    if !sim.is_published(t) {
+                        return Err(format!(
+                            "{} logged a deadlock alarm without a pending get",
+                            ev.task_key
+                        ));
+                    }
+                    if sim.would_alarm(t) {
+                        match sim.step(t) {
+                            StepResult::DeadlockAlarm(_) => genuine_alarms += 1,
+                            other => {
+                                return Err(format!(
+                                    "{} expected a deadlock alarm, model produced {other:?}",
+                                    ev.task_key
+                                ))
+                            }
+                        }
+                        steps += 1;
+                    } else {
+                        // §3.1: the racing second get's cycle was already
+                        // torn down by the first alarm in the SC view.
+                        sim.abandon_get(t);
+                        racy_duplicates += 1;
+                    }
+                }
+                Some("omitted-set") => log_omitted_alarms += 1,
+                other => return Err(format!("unknown alarm kind {other:?}")),
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        }
+    }
+
+    // Terminal cross-checks against the simulator and the planting record.
+    let sim_deadlocks = sim
+        .alarms()
+        .iter()
+        .filter(|a| matches!(a, StepResult::DeadlockAlarm(_)))
+        .count();
+    let mut sim_omitted: Vec<PromiseName> = sim
+        .alarms()
+        .iter()
+        .filter_map(|a| match a {
+            StepResult::OmittedSetAlarm(ps) => Some(ps.iter().copied()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    sim_omitted.sort_unstable();
+    let planted_omitted: Vec<PromiseName> = gp.omitted.map(|(_, m)| m).into_iter().collect();
+    if gp.has_deadlock() && genuine_alarms == 0 {
+        return Err("the planted deadlock never produced a justified alarm".into());
+    }
+    if !gp.has_deadlock() && sim_deadlocks > 0 {
+        return Err("deadlock alarms replayed but none was planted".into());
+    }
+    if sim_omitted != planted_omitted {
+        return Err(format!(
+            "replayed omitted sets {sim_omitted:?} differ from planted {planted_omitted:?}"
+        ));
+    }
+    if log_omitted_alarms != planted_omitted.len() {
+        return Err(format!(
+            "log carries {log_omitted_alarms} omitted-set alarms, planted {}",
+            planted_omitted.len()
+        ));
+    }
+    Ok(ReplaySummary {
+        seed: gp.seed,
+        events: events.len(),
+        steps,
+        genuine_deadlock_alarms: genuine_alarms,
+        racy_duplicate_alarms: racy_duplicates,
+        omitted: sim_omitted,
+    })
+}
+
+/// Runs the verify half of `t`'s pending published `get`, if any.  Called
+/// before `t`'s next logged event: by then the awaited promise must have
+/// been fulfilled (its `set` has an earlier timestamp — the real task could
+/// not have produced the next event while still blocked).
+fn resolve_pending(sim: &mut SimState, t: TaskName, steps: &mut usize) -> Result<(), String> {
+    if !sim.is_published(t) {
+        return Ok(());
+    }
+    let p = match sim.current_instr(t) {
+        Some(Instr::Get(p)) => *p,
+        other => return Err(format!("task index {t} published but at {other:?}")),
+    };
+    if !sim.is_fulfilled(p) {
+        return Err(format!(
+            "task index {t} progressed past get of p{p}, but p{p} is unfulfilled and no alarm \
+             was logged"
+        ));
+    }
+    expect_ok(sim.step(t), &format!("task index {t}"), "get-verify")?;
+    *steps += 1;
+    Ok(())
+}
+
+/// Steps task `t` over instructions that produce no event records (`new`,
+/// `work`).
+fn advance_silent(sim: &mut SimState, t: TaskName, steps: &mut usize) -> Result<(), String> {
+    while matches!(sim.current_instr(t), Some(Instr::New(_) | Instr::Work)) {
+        expect_ok(sim.step(t), &format!("task index {t}"), "silent")?;
+        *steps += 1;
+    }
+    Ok(())
+}
+
+fn expect_ok(result: StepResult, who: &str, what: &str) -> Result<(), String> {
+    match result {
+        StepResult::Ok => Ok(()),
+        other => Err(format!("{who}: {what} step produced {other:?}")),
+    }
+}
+
+/// Maps a logged task key to the model task index: spawned tasks are named
+/// `t<i>`; `block_on` names the root task `root` (and a record produced
+/// outside any task context logs as `#<id>`, attributed to the root).
+fn task_index(key: &str) -> Result<TaskName, String> {
+    if key == "root" || key.starts_with('#') {
+        Ok(0)
+    } else {
+        task_name_index(key)
+    }
+}
+
+fn task_name_index(name: &str) -> Result<TaskName, String> {
+    name.strip_prefix('t')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("unrecognized task name {name:?}"))
+}
+
+fn promise_index(name: &str) -> Option<PromiseName> {
+    name.strip_prefix('p').and_then(|d| d.parse().ok())
+}
+
+/// Extracts the fields replay needs from one event line (the flat JSON
+/// objects `EventRecord::to_json` emits; names in this harness never contain
+/// escapes).
+fn parse_event(line: &str) -> Result<Event, String> {
+    let kind = str_field(line, "kind").ok_or("event without kind")?;
+    let ts_ns = num_field(line, "ts_ns").ok_or("event without ts_ns")?;
+    let task_key = match str_field(line, "task_name") {
+        Some(n) => n,
+        None => format!("#{}", num_field(line, "task").unwrap_or(0)),
+    };
+    Ok(Event {
+        kind,
+        ts_ns,
+        task_key,
+        seq: num_field(line, "seq").unwrap_or(u64::MAX),
+        promise_name: str_field(line, "promise_name"),
+        child_name: str_field(line, "child_name"),
+        alarm: str_field(line, "alarm"),
+    })
+}
+
+fn field_start(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    line.find(&pat).map(|i| i + pat.len())
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let start = field_start(line, key)?;
+    let rest = line.get(start..)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<u64> {
+    let start = field_start(line, key)?;
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+    use crate::harness::{export_log, run_program};
+    use promise_core::ChaosConfig;
+
+    #[test]
+    fn replayed_logs_reproduce_their_alarms() {
+        let config = GenConfig::default();
+        let mut deadlocks = 0;
+        let mut omitted = 0;
+        for seed in 0..24u64 {
+            let gp = generate(seed * 0x9e37_79b9 + 17, &config);
+            let run = run_program(&gp, Some(ChaosConfig::from_seed(seed ^ 0xC4A05)));
+            let log = export_log(&gp, &run);
+            let summary =
+                replay_log(&log).unwrap_or_else(|e| panic!("seed {seed}: replay diverged: {e}"));
+            if gp.has_deadlock() {
+                assert!(summary.genuine_deadlock_alarms >= 1, "seed {seed}");
+                deadlocks += 1;
+            }
+            if gp.has_omitted() {
+                assert_eq!(summary.omitted.len(), 1, "seed {seed}");
+                omitted += 1;
+            }
+        }
+        assert!(deadlocks > 0 && omitted > 0, "batch planted nothing");
+    }
+
+    #[test]
+    fn tampered_logs_are_rejected() {
+        let gp = generate(7, &GenConfig::default());
+        let run = run_program(&gp, None);
+        let log = export_log(&gp, &run);
+        // Dropping a set event makes some later step unexecutable.
+        let tampered: Vec<&str> = log
+            .lines()
+            .filter(|l| !(l.contains("\"kind\":\"set\"") && l.contains("\"promise_name\"")))
+            .collect();
+        assert!(tampered.len() < log.lines().count(), "nothing to tamper");
+        assert!(replay_log(&tampered.join("\n")).is_err());
+    }
+}

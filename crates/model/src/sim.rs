@@ -155,8 +155,56 @@ impl SimState {
         }
     }
 
-    fn current_instr(&self, t: TaskName) -> Option<&Instr> {
+    /// The instruction task `t` would execute next (`None` once only its
+    /// rule-3 termination step remains).
+    pub fn current_instr(&self, t: TaskName) -> Option<&Instr> {
         self.program.tasks[t].get(self.tasks[t].pc)
+    }
+
+    /// Whether task `t` has executed the publish half of a `get` and not yet
+    /// its verify half.
+    pub fn is_published(&self, t: TaskName) -> bool {
+        self.tasks[t].published
+    }
+
+    /// Whether promise `p` is fulfilled.
+    pub fn is_fulfilled(&self, p: PromiseName) -> bool {
+        self.promises[p].fulfilled
+    }
+
+    /// Whether task `t` has terminated (its rule-3 exit check ran).
+    pub fn is_terminated(&self, t: TaskName) -> bool {
+        self.tasks[t].terminated
+    }
+
+    /// Whether the verify half of `t`'s published `get` could raise a
+    /// deadlock alarm right now (sequentially consistent view).
+    pub fn would_alarm(&self, t: TaskName) -> bool {
+        match (self.tasks[t].published, self.current_instr(t)) {
+            (true, Some(&Instr::Get(p))) => self.would_detect_cycle(t, p),
+            _ => false,
+        }
+    }
+
+    /// Abandons task `t`'s published `get` without an SC-visible cycle:
+    /// clears the mark and advances past the instruction, recording a
+    /// deadlock alarm with an empty cycle.
+    ///
+    /// This models the *benign duplicate alarm* of §3.1 during log replay:
+    /// the real detector may raise a second alarm from a racing `get` whose
+    /// cycle the first alarm has already torn down in the sequentially
+    /// consistent view, so the replayer needs a step for "this task's `get`
+    /// raised, but the SC state no longer shows the cycle".  Panics if `t`
+    /// has no published `get`.
+    pub fn abandon_get(&mut self, t: TaskName) {
+        assert!(
+            self.tasks[t].published,
+            "task {t} has no published get to abandon"
+        );
+        self.tasks[t].waiting_on = None;
+        self.tasks[t].published = false;
+        self.tasks[t].pc += 1;
+        self.alarms.push(StepResult::DeadlockAlarm(vec![t]));
     }
 
     /// Algorithm 2's traversal on the simulated state (sequentially

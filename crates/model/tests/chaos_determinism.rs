@@ -1,0 +1,46 @@
+//! Chaos-mode determinism: one master seed pins the whole campaign.
+//!
+//! Running the same seeded batch twice — same generator seeds, same
+//! `ChaosConfig` — must produce byte-identical *canonical* event logs
+//! (per-task instruction streams with per-task sequence numbers; timestamps
+//! and racy alarm attribution excluded by construction) and identical graded
+//! verdicts, even though the OS interleaves the two runs differently.  This
+//! is what makes a chaos failure report replayable: the seed is the whole
+//! reproduction recipe.
+//!
+//! Runs in the CI `STRESS_SEED` matrix; the echoed replay line reproduces
+//! any failure in one command.
+
+use promise_core::test_support::rng::seed_from_env_echoed;
+use promise_model::{run_batch, BatchConfig};
+
+#[test]
+fn same_seed_and_chaos_config_reproduce_logs_and_verdicts() {
+    let seed = seed_from_env_echoed(0x0DE7_E2B1_5EED, "chaos_determinism");
+    let config = BatchConfig::chaotic(seed, 48);
+    let a = run_batch(&config);
+    let b = run_batch(&config);
+
+    assert_eq!(a.verdicts, b.verdicts, "graded verdicts diverged");
+    for (i, (la, lb)) in a.canonical_logs.iter().zip(&b.canonical_logs).enumerate() {
+        assert_eq!(
+            la, lb,
+            "canonical event log of program {i} diverged between identical runs"
+        );
+    }
+    assert!(
+        a.canonical_logs.iter().all(|l| !l.is_empty()),
+        "canonical logs must not be trivially empty"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_campaigns() {
+    let seed = seed_from_env_echoed(0x0DE7_E2B1_5EED, "chaos_determinism");
+    let a = run_batch(&BatchConfig::chaotic(seed, 16));
+    let b = run_batch(&BatchConfig::chaotic(seed ^ 0xFFFF, 16));
+    assert_ne!(
+        a.canonical_logs, b.canonical_logs,
+        "seed does not influence the generated campaign"
+    );
+}

@@ -64,7 +64,7 @@ pub mod spawn;
 pub use batch::{spawn_batch, SpawnBatch};
 pub use finish::{finish, FinishScope};
 pub use handle::{CompletionPromise, TaskHandle};
-pub use metrics::RunMetrics;
+pub use metrics::{DetectionStats, RunMetrics};
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
 pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind};
 pub use scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler};

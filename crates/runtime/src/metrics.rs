@@ -28,6 +28,10 @@ pub struct RunMetrics {
     /// freed by chunk reclamation, …).  Like [`RunMetrics::pool`], these
     /// are runtime-lifetime totals, not per-run deltas.
     pub memory: ArenaMemoryStats,
+    /// Chaos-verification detection quality, when the run was a chaos
+    /// campaign (the `chaos` workload attaches this; plain measured runs
+    /// leave it `None`).
+    pub detection: Option<DetectionStats>,
 }
 
 impl RunMetrics {
@@ -82,6 +86,79 @@ impl RunMetrics {
     /// Currently resident arena bytes at the end of the run.
     pub fn arena_resident_bytes(&self) -> usize {
         self.memory.resident_bytes
+    }
+}
+
+/// Detection-quality metrics of a chaos-verification campaign: how well the
+/// runtime's online verifier (ownership policy + deadlock detector) recovered
+/// bugs that a generator *planted on purpose*, cross-checked against the
+/// abstract-machine oracle of `promise-model`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Generated programs executed in the campaign.
+    pub programs: u64,
+    /// Programs with a planted deadlock cycle.
+    pub planted_deadlocks: u64,
+    /// Planted deadlocks for which the runtime raised a deadlock alarm.
+    pub detected_deadlocks: u64,
+    /// Programs with a planted omitted set.
+    pub planted_omitted_sets: u64,
+    /// Planted omitted sets for which the runtime reported the abandoned
+    /// promise.
+    pub detected_omitted_sets: u64,
+    /// Alarms raised that the oracle says are spurious (Theorem 5.1 predicts
+    /// exactly zero).
+    pub false_alarms: u64,
+    /// Median deadlock-detection latency (cycle-closing `get` recorded →
+    /// alarm recorded), in nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 90th-percentile deadlock-detection latency, in nanoseconds.
+    pub latency_p90_ns: u64,
+    /// 99th-percentile deadlock-detection latency, in nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Worst observed deadlock-detection latency, in nanoseconds.
+    pub latency_max_ns: u64,
+}
+
+impl DetectionStats {
+    /// Fraction of planted bugs (deadlocks + omitted sets) the runtime
+    /// detected, in `[0, 1]`; `1.0` when nothing was planted.
+    pub fn recall(&self) -> f64 {
+        let planted = self.planted_deadlocks + self.planted_omitted_sets;
+        if planted == 0 {
+            return 1.0;
+        }
+        (self.detected_deadlocks + self.detected_omitted_sets) as f64 / planted as f64
+    }
+
+    /// False alarms per executed program, in `[0, 1]`-ish (a program could in
+    /// principle raise several).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.programs == 0 {
+            return 0.0;
+        }
+        self.false_alarms as f64 / self.programs as f64
+    }
+}
+
+impl std::fmt::Display for DetectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "programs={} recall={:.1}% ({}/{} deadlocks, {}/{} omitted sets) false_alarms={} \
+             latency_ns p50={} p90={} p99={} max={}",
+            self.programs,
+            self.recall() * 100.0,
+            self.detected_deadlocks,
+            self.planted_deadlocks,
+            self.detected_omitted_sets,
+            self.planted_omitted_sets,
+            self.false_alarms,
+            self.latency_p50_ns,
+            self.latency_p90_ns,
+            self.latency_p99_ns,
+            self.latency_max_ns,
+        )
     }
 }
 

@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promise_core::{
-    ArenaMemoryStats, Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig, PromiseError,
-    VerificationMode,
+    ArenaMemoryStats, ChaosConfig, Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig,
+    PromiseError, VerificationMode,
 };
 
 use crate::metrics::RunMetrics;
@@ -78,6 +78,8 @@ pub struct RuntimeBuilder {
     injector_shards: usize,
     steal_order: StealOrder,
     blocked_aware_growth: bool,
+    chaos: Option<ChaosConfig>,
+    event_log: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -89,6 +91,8 @@ impl Default for RuntimeBuilder {
             injector_shards: SchedulerConfig::default().injector_shards,
             steal_order: StealOrder::default(),
             blocked_aware_growth: false,
+            chaos: None,
+            event_log: false,
         }
     }
 }
@@ -177,6 +181,31 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the chaos fault-injection layer (see [`ChaosConfig`]):
+    /// seeded delays before `get`/`set`/ownership transfers, plus spawn- and
+    /// steal-order scrambling in the work-stealing scheduler.
+    ///
+    /// Chaos mode exists to *stress the verifier itself*: it widens the race
+    /// windows Algorithm 2's publish/verify protocol must survive without
+    /// changing any observable semantics.  A config with every knob off
+    /// (`ChaosConfig::disabled()`) is equivalent to not calling this at all;
+    /// when no chaos is configured the runtime pays one pointer-null branch
+    /// per injection point.
+    pub fn chaos(mut self, config: ChaosConfig) -> Self {
+        self.chaos = Some(config);
+        self
+    }
+
+    /// Enables the lock-free event log: every task start/end, spawn,
+    /// ownership transfer, `get`, successful `set`, and alarm is recorded and
+    /// can be exported as JSONL via [`Runtime::context`] →
+    /// [`Context::event_log`].  Off by default (recording costs one atomic
+    /// reservation per event).
+    pub fn event_log(mut self, enabled: bool) -> Self {
+        self.event_log = enabled;
+        self
+    }
+
     /// How long idle pool workers linger before retiring.
     pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
         self.pool.keep_alive = keep_alive;
@@ -198,7 +227,19 @@ impl RuntimeBuilder {
     /// Builds the runtime: creates the context, creates the scheduler, and
     /// installs the scheduler as the context's executor.
     pub fn build(self) -> Runtime {
-        let ctx = Context::new(self.policy);
+        let chaos = self.chaos.filter(ChaosConfig::is_active);
+        // Scheduler-level chaos: scrambled steals are just the existing
+        // randomized victim selection; scrambled spawns are a seeded jitter
+        // the scheduler applies to its worker-local fast path.
+        let steal_order = match &chaos {
+            Some(c) if c.scramble_steals => StealOrder::Randomized,
+            _ => self.steal_order,
+        };
+        let spawn_jitter = match &chaos {
+            Some(c) if c.scramble_spawns => Some(c.seed),
+            _ => None,
+        };
+        let ctx = Context::new_instrumented(self.policy, chaos, self.event_log);
         // Retiring workers flush their per-worker magazines (arena slots,
         // job/promise-cell blocks) back to the global free lists.  Weak: the
         // context holds the scheduler as its executor, so a strong reference
@@ -216,8 +257,9 @@ impl RuntimeBuilder {
                 Pool::Stealing(WorkStealingScheduler::new(SchedulerConfig {
                     base: pool_config,
                     injector_shards: self.injector_shards,
-                    steal_order: self.steal_order,
+                    steal_order,
                     blocked_aware_growth: self.blocked_aware_growth,
+                    spawn_jitter,
                     ..SchedulerConfig::default()
                 }))
             }
@@ -322,6 +364,7 @@ impl Runtime {
             peak_live_tasks: self.ctx.peak_live_tasks(),
             peak_live_promises: self.ctx.peak_live_promises(),
             memory: self.ctx.memory_stats(),
+            detection: None,
         };
         Ok((out, metrics))
     }

@@ -96,6 +96,12 @@ pub struct SchedulerConfig {
     /// hooks (std channels, locks, I/O) is invisible to the heuristic, which
     /// is why it is opt-in.
     pub blocked_aware_growth: bool,
+    /// Chaos spawn-order scrambling seed (`None` = off, the default): when
+    /// set, roughly half of all worker-local submissions — chosen by a
+    /// seeded per-thread RNG — are diverted from the worker's LIFO deque to
+    /// the global injector, so children execute in perturbed orders and on
+    /// perturbed workers.  Driven by `ChaosConfig::scramble_spawns`.
+    pub spawn_jitter: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -106,6 +112,7 @@ impl Default for SchedulerConfig {
             local_queue_capacity: 256,
             steal_order: StealOrder::Sequential,
             blocked_aware_growth: false,
+            spawn_jitter: None,
         }
     }
 }
@@ -259,7 +266,7 @@ impl WorkStealingScheduler {
         }
         let me = Arc::as_ptr(state) as *const ();
         let job = match CURRENT_WORKER.with(Cell::get) {
-            Some(w) if w.sched == me => {
+            Some(w) if w.sched == me && !state.scramble_spawn() => {
                 // Local fast path: two atomic stores on our own deque.
                 // Safety: the queue outlives the worker loop, and the TLS
                 // entry is cleared before the loop returns.
@@ -319,7 +326,7 @@ impl WorkStealingScheduler {
         let me = Arc::as_ptr(state) as *const ();
         let mut placed_local = false;
         match CURRENT_WORKER.with(Cell::get) {
-            Some(w) if w.sched == me => {
+            Some(w) if w.sched == me && !state.scramble_spawn() => {
                 // Worker-local LIFO placement for the first child.  Safety:
                 // as in `submit` — the queue outlives the worker loop, and
                 // the TLS entry is cleared before the loop returns.
@@ -566,6 +573,34 @@ impl SchedState {
             return Some(job);
         }
         self.try_steal(idx)
+    }
+
+    /// Chaos spawn-order scrambling: with [`SchedulerConfig::spawn_jitter`]
+    /// set, returns `true` for roughly half of worker-local submissions,
+    /// telling the caller to route the job through the global injector
+    /// instead of the worker's own LIFO deque.  Always `false` when the
+    /// knob is off (one `Option` branch on the hot path).
+    fn scramble_spawn(&self) -> bool {
+        let Some(seed) = self.config.spawn_jitter else {
+            return false;
+        };
+        thread_local! {
+            static SPAWN_RNG: Cell<u64> = const { Cell::new(0) };
+        }
+        SPAWN_RNG.with(|c| {
+            let mut x = c.get();
+            if x == 0 {
+                // First use on this thread: fold a per-thread nonce (the TLS
+                // cell's address) into the chaos seed so sibling workers draw
+                // decorrelated streams.
+                x = (seed ^ c as *const Cell<u64> as u64) | 1;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            c.set(x);
+            x & 1 == 0
+        })
     }
 
     /// First sibling slot a steal sweep visits, per the configured

@@ -8,7 +8,7 @@
 
 use promise_core::job::job_pool_stats;
 use promise_core::test_support::pool::{assert_outstanding_settles_to, pool_serial};
-use promise_core::test_support::rng::{lcg, seed_from_env};
+use promise_core::test_support::rng::{lcg, seed_from_env_echoed};
 use promise_runtime::{spawn_batch, Runtime};
 
 #[test]
@@ -21,7 +21,7 @@ fn cross_worker_recycling_never_aliases_live_records() {
             .worker_keep_alive(std::time::Duration::from_millis(50))
             .build();
         rt.block_on(|| {
-            let mut seed = seed_from_env(0x5eed_cafe);
+            let mut seed = seed_from_env_echoed(0x5eed_cafe, "spawn_recycle_stress");
             // Waves of forked spawner tasks, each fanning out children whose
             // payloads carry seeded values.  Children spawned on one worker
             // are stolen and retired on others, so freed blocks migrate

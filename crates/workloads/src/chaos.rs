@@ -1,0 +1,116 @@
+//! The Chaos workload (PR 7, not part of the paper's Table 1 nine): a
+//! planted-bug detection campaign run as a benchmark.
+//!
+//! Each execution generates a seeded batch of random programs with known
+//! deadlock rings and omitted sets planted at controlled rates
+//! ([`promise_model::generate`]), runs every program on its own verified
+//! runtime under full chaos fault injection, and grades the verifier's
+//! alarms against the model oracle ([`promise_model::run_batch`]).  The
+//! interesting output is not the checksum but the campaign's
+//! [`DetectionStats`] — planted-bug recall, false alarms, and detection
+//! latency percentiles — which the bench driver attaches to the row's
+//! [`RunMetrics`](promise_runtime::RunMetrics) via [`take_last_stats`].
+//!
+//! The checksum folds every per-program verdict, so it is deterministic for
+//! a fixed seed and diverges the moment any program's graded outcome
+//! changes.  The measuring runtime itself stays alarm-free: the generated
+//! programs run on their own inner runtimes on harness threads.
+
+use std::sync::Mutex;
+
+use promise_model::{run_batch, BatchConfig};
+use promise_runtime::DetectionStats;
+
+use crate::data::hash_u64s;
+use crate::{Scale, WorkloadOutput};
+
+/// Parameters of the Chaos workload.
+#[derive(Copy, Clone, Debug)]
+pub struct ChaosParams {
+    /// Master seed of the campaign (pins generation, scheduling chaos, and
+    /// per-program chaos seeds).
+    pub seed: u64,
+    /// Number of generated programs.
+    pub programs: usize,
+}
+
+impl ChaosParams {
+    /// Preset sizes for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        let programs = match scale {
+            Scale::Smoke => 32,
+            Scale::Default => 200,
+            // The acceptance campaign size: >= 1000 programs per run.
+            Scale::Stress => 1_200,
+            Scale::Paper => 2_400,
+        };
+        ChaosParams {
+            seed: 0xC4A0_5EED,
+            programs,
+        }
+    }
+}
+
+static LAST_STATS: Mutex<Option<DetectionStats>> = Mutex::new(None);
+
+/// The [`DetectionStats`] of the most recent [`run`] on this process, if
+/// any.  The bench driver calls this right after measuring the workload to
+/// attach the campaign metrics to the row.
+pub fn take_last_stats() -> Option<DetectionStats> {
+    LAST_STATS.lock().unwrap().take()
+}
+
+/// Runs the campaign and returns a checksum over every verdict.  Unlike the
+/// compute workloads this spawns nothing on the calling runtime — the
+/// generated programs need their own runtimes (chaos on, event log on), so
+/// the batch runs on dedicated harness threads.
+pub fn run(params: &ChaosParams) -> u64 {
+    let result = run_batch(&BatchConfig::chaotic(params.seed, params.programs));
+    let checksum = hash_u64s(result.verdicts.iter().flat_map(|v| {
+        [
+            v.seed,
+            u64::from(v.deadlock_planted) << 4
+                | u64::from(v.deadlock_detected) << 3
+                | u64::from(v.omitted_planted) << 2
+                | u64::from(v.omitted_detected) << 1,
+            v.false_alarms,
+        ]
+    }));
+    *LAST_STATS.lock().unwrap() = Some(result.stats);
+    checksum
+}
+
+/// Registry entry point.
+pub(crate) fn run_scaled(scale: Scale) -> WorkloadOutput {
+    WorkloadOutput {
+        checksum: run(&ChaosParams::for_scale(scale)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_and_publishes_stats() {
+        let params = ChaosParams {
+            seed: 0x5EED,
+            programs: 12,
+        };
+        let a = run(&params);
+        let stats_a = take_last_stats().expect("stats published");
+        let b = run(&params);
+        let stats_b = take_last_stats().expect("stats published");
+        assert_eq!(a, b, "verdict checksum is deterministic per seed");
+        // Latency percentiles are run-specific; everything graded is not.
+        assert_eq!(stats_a.planted_deadlocks, stats_b.planted_deadlocks);
+        assert_eq!(stats_a.detected_deadlocks, stats_b.detected_deadlocks);
+        assert_eq!(stats_a.planted_omitted_sets, stats_b.planted_omitted_sets);
+        assert_eq!(stats_a.detected_omitted_sets, stats_b.detected_omitted_sets);
+        assert_eq!(stats_a.false_alarms, stats_b.false_alarms);
+        assert_eq!(stats_a.programs, 12);
+        assert_eq!(stats_a.recall(), 1.0, "stats: {stats_a}");
+        assert_eq!(stats_a.false_alarms, 0, "stats: {stats_a}");
+        assert!(take_last_stats().is_none(), "take semantics");
+    }
+}

@@ -15,10 +15,16 @@
 //! | [`streamcluster`] | StreamCluster (streaming k-means) | all-to-all promise barriers |
 //! | [`streamcluster2`] | StreamCluster2 | all-to-one combiner + broadcast |
 //!
-//! A tenth workload, [`churn`], is **not** part of Table 1: it drives waves
-//! of short-lived tasks/promises with shrinking plateaus to exercise the
-//! arenas' epoch-based chunk reclamation (the paper's benchmarks all
-//! grow-then-exit, which never stresses memory *release*).
+//! Two further workloads are **not** part of Table 1:
+//!
+//! * [`churn`] drives waves of short-lived tasks/promises with shrinking
+//!   plateaus to exercise the arenas' epoch-based chunk reclamation (the
+//!   paper's benchmarks all grow-then-exit, which never stresses memory
+//!   *release*);
+//! * [`chaos`] runs a planted-bug detection campaign — seeded random
+//!   programs with known deadlocks and omitted sets, executed on real
+//!   runtimes under chaos fault injection and graded against the model
+//!   oracle — reporting recall, false alarms, and detection latency.
 //!
 //! Every workload is a pure library function that must be called from inside
 //! a task (`Runtime::block_on` or a spawned task); it returns a checksum so
@@ -33,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod churn;
 pub mod cluster_common;
 pub mod conway;
@@ -189,6 +196,13 @@ pub fn all_workloads() -> Vec<Workload> {
             table1: false,
             runner: churn::run_scaled,
         },
+        Workload {
+            name: "Chaos",
+            description:
+                "planted-bug campaign: generated programs under fault injection, oracle-graded",
+            table1: false,
+            runner: chaos::run_scaled,
+        },
     ]
 }
 
@@ -212,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_the_table1_benchmarks_in_order_plus_churn() {
+    fn registry_has_the_table1_benchmarks_in_order_plus_extras() {
         let names: Vec<_> = all_workloads().iter().map(|w| w.name).collect();
         assert_eq!(
             names,
@@ -226,9 +240,16 @@ mod tests {
                 "Strassen",
                 "StreamCluster",
                 "StreamCluster2",
-                "Churn"
+                "Churn",
+                "Chaos"
             ]
         );
+        let table1: Vec<_> = all_workloads()
+            .iter()
+            .filter(|w| w.table1)
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(table1.len(), 9, "exactly the paper's nine: {table1:?}");
     }
 
     #[test]
