@@ -135,6 +135,25 @@ fn promise_ops(c: &mut Criterion) {
                 .unwrap()
             });
         });
+        // Regression guard for the PR 8 timed-get API: on an
+        // already-fulfilled promise, `get_timeout` must take the same
+        // single-acquire-load fast path as `get` — the deadline machinery
+        // (Instant::now, interruptible wait registration) may only be paid
+        // by gets that actually block.  Compare against `create_set_get`:
+        // any divergence beyond noise means the fast path regressed.
+        group.bench_function(
+            BenchmarkId::new("get_timeout_fulfilled", mode.label()),
+            |b| {
+                b.iter(|| {
+                    rt.block_on(|| {
+                        let p = Promise::<u64>::new();
+                        p.set(1).unwrap();
+                        p.get_timeout(Duration::from_secs(1)).unwrap()
+                    })
+                    .unwrap()
+                });
+            },
+        );
         group.bench_function(BenchmarkId::new("spawn_transfer_join", mode.label()), |b| {
             b.iter(|| {
                 rt.block_on(|| {

@@ -1,0 +1,246 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is the runtime's lever for *bounded-time degradation*:
+//! cancelling it does not preempt anything, but every promise wait observes
+//! it — a blocked `get` whose task carries a cancelled token wakes with
+//! [`PromiseError::Cancelled`](crate::PromiseError::Cancelled) instead of
+//! sleeping forever, and a task that *exits* with a cancelled token settles
+//! its remaining ownership obligations exceptionally (as `Cancelled`) rather
+//! than tripping a spurious omitted-set alarm (see `crate::ownership`).
+//!
+//! Tokens are per-subtree: a spawned child inherits its parent's token, so
+//! cancelling the token attached at a subtree's root reaches every
+//! descendant.  The runtime's graceful shutdown additionally carries one
+//! context-wide token (`Context::shutdown_token`) that every blocking wait in
+//! that context observes, cancelled tokens or not.
+//!
+//! # Waking blocked getters
+//!
+//! The blocking slow path of a promise `get` parks on the promise cell's
+//! [`WaitQueue`].  Before parking, the waiter *registers* that queue with
+//! each token it observes ([`CancelToken::register`]); `cancel` first
+//! publishes the flag (Release) and then wakes every registered queue.
+//! Registration and cancellation serialize on the token's internal mutex, so
+//! the standard futex-style guarantee holds: either the waiter's predicate
+//! re-check (inside `WaitQueue::wait_until`, under the queue lock) sees the
+//! flag, or the waiter is already parked when the wake arrives.  The
+//! registration guard unregisters on drop — under the same mutex — so a
+//! queue pointer can never outlive the wait that registered it.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::waitq::WaitQueue;
+
+/// A registered waiter: the wait queue its thread parks on.  The pointer is
+/// only dereferenced while the registering guard is live (the guard borrows
+/// the queue, and unregistration takes the same mutex as `cancel`), so
+/// sending it to the cancelling thread is sound.
+struct Registered(NonNull<WaitQueue>);
+
+// SAFETY: the pointee is a `WaitQueue` (Sync), and the registry entry is
+// removed — under the registry mutex — before the `&WaitQueue` borrow held by
+// the `CancelRegistration` guard ends, so no dangling dereference is possible
+// from the cancelling thread.
+unsafe impl Send for Registered {}
+
+/// The waiter registry: a slab keyed by slot index so both registration and
+/// unregistration are O(1).  This matters because the context-wide shutdown
+/// token is registered by **every** blocking `get` in the runtime — with a
+/// scan-based registry, a workload keeping `n` tasks blocked at once (Sieve
+/// holds > 1000) pays an O(n) sweep under this mutex per wake-up, O(n²)
+/// across the run.
+#[derive(Default)]
+struct Registry {
+    /// Slot-indexed entries; `None` slots are free and listed in `free`.
+    entries: Vec<Option<Registered>>,
+    /// Indices of free slots, reused before the slab grows.
+    free: Vec<usize>,
+}
+
+impl Registry {
+    fn insert(&mut self, queue: Registered) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.entries[slot].is_none());
+                self.entries[slot] = Some(queue);
+                slot
+            }
+            None => {
+                self.entries.push(Some(queue));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: usize) {
+        debug_assert!(self.entries[slot].is_some());
+        self.entries[slot] = None;
+        self.free.push(slot);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Wait queues of currently parked waiters.
+    waiters: Mutex<Registry>,
+}
+
+/// A cloneable, thread-safe cancellation flag observed by every promise wait
+/// of the tasks that carry it.  See the [module docs](self).
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Whether the token has been cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Cancels the token: sets the flag (Release) and wakes every waiter
+    /// currently registered on it.  Idempotent; returns `true` on the first
+    /// call, `false` if the token was already cancelled.
+    pub fn cancel(&self) -> bool {
+        let first = !self.inner.cancelled.swap(true, Ordering::AcqRel);
+        // Wake even on repeat calls: a waiter may have registered between an
+        // earlier cancel's wake sweep and now (it will see the flag on its
+        // predicate re-check anyway, but the wake costs nothing and closes
+        // the window without reasoning about it).
+        let waiters = self.inner.waiters.lock();
+        for queue in waiters.entries.iter().flatten() {
+            // SAFETY: entries are unregistered (under this mutex) before the
+            // guard's borrow of the queue ends, so the pointee is alive.
+            unsafe { queue.0.as_ref() }.wake_all();
+        }
+        first
+    }
+
+    /// Registers `queue` to be woken by [`cancel`](Self::cancel) for the
+    /// lifetime of the returned guard.  Call immediately before parking on
+    /// `queue` with a predicate that re-checks
+    /// [`is_cancelled`](Self::is_cancelled).
+    pub fn register<'q>(&self, queue: &'q WaitQueue) -> CancelRegistration<'_, 'q> {
+        let slot = self
+            .inner
+            .waiters
+            .lock()
+            .insert(Registered(NonNull::from(queue)));
+        CancelRegistration {
+            token: self,
+            slot,
+            _queue: queue,
+        }
+    }
+
+    /// Whether two tokens share the same underlying flag.
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// RAII registration of a wait queue on a [`CancelToken`]; unregisters on
+/// drop.  Borrows the queue, which is what makes the raw pointer in the
+/// registry sound.
+#[must_use = "dropping the registration immediately unregisters the waiter"]
+pub struct CancelRegistration<'t, 'q> {
+    token: &'t CancelToken,
+    slot: usize,
+    _queue: &'q WaitQueue,
+}
+
+impl Drop for CancelRegistration<'_, '_> {
+    fn drop(&mut self) {
+        self.token.inner.waiters.lock().remove(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn cancel_is_sticky_and_idempotent() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.cancel());
+        assert!(t.is_cancelled());
+        assert!(!t.cancel(), "second cancel reports already-cancelled");
+        assert!(t.clone().is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn cancel_wakes_a_registered_waiter() {
+        let t = CancelToken::new();
+        let q = WaitQueue::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _reg = t.register(&q);
+                let woken = q.wait_until(Some(Instant::now() + Duration::from_secs(10)), || {
+                    t.is_cancelled()
+                });
+                assert!(woken, "cancel must wake the parked waiter");
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            t.cancel();
+        });
+    }
+
+    #[test]
+    fn registration_drop_unregisters() {
+        let t = CancelToken::new();
+        let q = WaitQueue::new();
+        {
+            let _reg = t.register(&q);
+            assert_eq!(t.inner.waiters.lock().len(), 1);
+        }
+        assert_eq!(t.inner.waiters.lock().len(), 0);
+        // Cancelling afterwards touches no stale queue.
+        t.cancel();
+    }
+
+    #[test]
+    fn cancel_registered_race_is_lossless() {
+        // Hammer the publish/park race: a waiter that registers and checks
+        // just as cancel fires must never sleep through it.
+        for _ in 0..200 {
+            let t = CancelToken::new();
+            let q = WaitQueue::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _reg = t.register(&q);
+                    let woken = q.wait_until(Some(Instant::now() + Duration::from_secs(5)), || {
+                        t.is_cancelled()
+                    });
+                    assert!(woken);
+                });
+                t.cancel();
+            });
+        }
+    }
+}

@@ -80,6 +80,17 @@ const PHASE_MASK: u32 = 0b011;
 /// Flag: at least one waiter has announced itself since the last publish.
 const HAS_WAITERS: u32 = 0b100;
 
+/// How an interruptible wait on a [`OneShotCell`] ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CellWait {
+    /// The cell was filled (a fill always wins ties against the other two).
+    Filled,
+    /// The deadline passed with the cell still empty.
+    TimedOut,
+    /// The external interrupt condition (cancellation) became true first.
+    Interrupted,
+}
+
 /// A lock-free one-shot cell: filled at most once, readable forever after.
 ///
 /// See the [module docs](self) for the state machine and ordering argument.
@@ -232,6 +243,45 @@ impl<V> OneShotCell<V> {
             return true;
         }
         self.waiters.wait_until(deadline, || self.is_filled())
+    }
+
+    /// Like [`wait`](Self::wait), but additionally woken by an external
+    /// `interrupted` condition (cancellation).  The caller is responsible for
+    /// arranging the wake-up — typically by registering
+    /// [`waiters`](Self::waiters) on a [`crate::CancelToken`] before calling,
+    /// so the token's `cancel` goes through the same queue lock as the
+    /// predicate check (lossless, like a fill).
+    ///
+    /// A fill wins ties: if the cell is filled by the time the waiter wakes,
+    /// the result is [`CellWait::Filled`] even if `interrupted` is also true.
+    pub fn wait_interruptible(
+        &self,
+        deadline: Option<Instant>,
+        mut interrupted: impl FnMut() -> bool,
+    ) -> CellWait {
+        let old = self.state.fetch_or(HAS_WAITERS, Ordering::AcqRel);
+        if old & PHASE_MASK >= SET {
+            return CellWait::Filled;
+        }
+        if interrupted() {
+            return CellWait::Interrupted;
+        }
+        self.waiters
+            .wait_until(deadline, || self.is_filled() || interrupted());
+        if self.is_filled() {
+            CellWait::Filled
+        } else if interrupted() {
+            CellWait::Interrupted
+        } else {
+            CellWait::TimedOut
+        }
+    }
+
+    /// The cell's wait queue, for wiring external wake sources (cancellation
+    /// tokens) to parked waiters.
+    #[inline]
+    pub fn waiters(&self) -> &crate::waitq::WaitQueue {
+        &self.waiters
     }
 
     /// The filled payload, or `None` if the cell is still empty/filling.

@@ -67,6 +67,16 @@ pub struct ChaosConfig {
     /// Force randomized steal-victim selection in the work-stealing
     /// scheduler (equivalent to `StealOrder::Randomized`).
     pub scramble_steals: bool,
+    /// Per-mille probability (0–1000) that a `get`/`set` hook *panics* the
+    /// current task body instead of proceeding (0 = off).  Injected panics
+    /// are contained by the runtime's panic isolation: the task's promises
+    /// settle as `TaskPanicked`, the worker survives.  Root tasks are never
+    /// panicked (a root panic would escape `block_on` and kill the driver).
+    pub panic_per_mille: u32,
+    /// Per-mille probability (0–1000) that a `get`/`set` hook *cancels* the
+    /// current task's [`CancelToken`](crate::CancelToken), if it carries one
+    /// (0 = off).  Tasks without a token are unaffected.
+    pub cancel_per_mille: u32,
 }
 
 impl ChaosConfig {
@@ -84,6 +94,8 @@ impl ChaosConfig {
             transfer_delay: Self::DEFAULT_DELAY,
             scramble_spawns: true,
             scramble_steals: true,
+            panic_per_mille: 0,
+            cancel_per_mille: 0,
         }
     }
 
@@ -97,6 +109,8 @@ impl ChaosConfig {
             transfer_delay: 0,
             scramble_spawns: false,
             scramble_steals: false,
+            panic_per_mille: 0,
+            cancel_per_mille: 0,
         }
     }
 
@@ -130,6 +144,20 @@ impl ChaosConfig {
         self
     }
 
+    /// Sets the per-mille panic-injection rate at the `get`/`set` hooks
+    /// (clamped to 1000; 0 disables).
+    pub fn panic_injection(mut self, per_mille: u32) -> Self {
+        self.panic_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Sets the per-mille cancel-injection rate at the `get`/`set` hooks
+    /// (clamped to 1000; 0 disables).
+    pub fn cancel_injection(mut self, per_mille: u32) -> Self {
+        self.cancel_per_mille = per_mille.min(1000);
+        self
+    }
+
     /// The delay bound configured for `site`.
     pub fn bound(&self, site: ChaosSite) -> u32 {
         match site {
@@ -139,13 +167,15 @@ impl ChaosConfig {
         }
     }
 
-    /// Whether any injection (delay or scrambling) is enabled.
+    /// Whether any injection (delay, scrambling, or fault) is enabled.
     pub fn is_active(&self) -> bool {
         self.get_delay > 0
             || self.set_delay > 0
             || self.transfer_delay > 0
             || self.scramble_spawns
             || self.scramble_steals
+            || self.panic_per_mille > 0
+            || self.cancel_per_mille > 0
     }
 }
 
@@ -219,6 +249,35 @@ impl ChaosState {
             std::hint::spin_loop();
         }
     }
+
+    /// Seeded decision: should this `get`/`set` hook panic the current task
+    /// body?  Deterministic in the draw index; the assignment of draws to
+    /// operations is racy by design (same caveat as delays).
+    #[inline]
+    pub(crate) fn should_panic(&self, site: ChaosSite) -> bool {
+        self.should_fault(site, self.config.panic_per_mille, 0x50u64)
+    }
+
+    /// Seeded decision: should this `get`/`set` hook cancel the current
+    /// task's token?
+    #[inline]
+    pub(crate) fn should_cancel(&self, site: ChaosSite) -> bool {
+        self.should_fault(site, self.config.cancel_per_mille, 0x43u64)
+    }
+
+    fn should_fault(&self, site: ChaosSite, per_mille: u32, fault_salt: u64) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        let site_salt = match site {
+            ChaosSite::Get => 0x67u64,
+            ChaosSite::Set => 0x73u64,
+            ChaosSite::Transfer => 0x74u64,
+        };
+        let r = mix64(self.config.seed ^ mix64(n ^ (site_salt << 56) ^ (fault_salt << 48)));
+        (r % 1000) < u64::from(per_mille)
+    }
 }
 
 impl std::fmt::Debug for ChaosState {
@@ -274,5 +333,36 @@ mod tests {
     fn mix_is_deterministic_and_spreads() {
         assert_eq!(mix64(42), mix64(42));
         assert_ne!(mix64(42), mix64(43));
+    }
+
+    #[test]
+    fn fault_injection_rates_activate_and_fire_at_roughly_the_rate() {
+        assert!(ChaosConfig::disabled().panic_injection(5).is_active());
+        assert!(ChaosConfig::disabled().cancel_injection(5).is_active());
+        assert_eq!(
+            ChaosConfig::disabled()
+                .panic_injection(9999)
+                .panic_per_mille,
+            1000
+        );
+        let st = ChaosState::new(
+            ChaosConfig::disabled()
+                .panic_injection(250)
+                .cancel_injection(250),
+        );
+        let panics = (0..4000)
+            .filter(|_| st.should_panic(ChaosSite::Get))
+            .count();
+        let cancels = (0..4000)
+            .filter(|_| st.should_cancel(ChaosSite::Set))
+            .count();
+        // ~1000 expected at 250‰; generous bounds keep the test seed-robust.
+        assert!((500..1500).contains(&panics), "panics fired {panics}x");
+        assert!((500..1500).contains(&cancels), "cancels fired {cancels}x");
+        // Disabled rates never draw.
+        let off = ChaosState::new(ChaosConfig::disabled());
+        assert!(!off.should_panic(ChaosSite::Get));
+        assert!(!off.should_cancel(ChaosSite::Get));
+        assert_eq!(off.draw_count(), 0);
     }
 }

@@ -108,13 +108,16 @@ pub trait Executor: Send + Sync {
     fn on_task_unblocked(&self) {}
 }
 
-/// An alarm raised by the verifier: one of the two bug classes of §1.2.
+/// An alarm raised by the verifier — one of the two bug classes of §1.2 —
+/// or by the runtime's stall watchdog.
 #[derive(Clone, Debug)]
 pub enum Alarm {
     /// A deadlock cycle was detected by Algorithm 2.
     Deadlock(Arc<DeadlockCycle>),
     /// An omitted set was detected by Algorithm 1 rule 3.
     OmittedSet(Arc<OmittedSetReport>),
+    /// A worker has been stuck on one job beyond the watchdog threshold.
+    Stall(Arc<StallReport>),
 }
 
 impl Alarm {
@@ -123,6 +126,7 @@ impl Alarm {
         match self {
             Alarm::Deadlock(_) => "deadlock",
             Alarm::OmittedSet(_) => "omitted-set",
+            Alarm::Stall(_) => "stall",
         }
     }
 }
@@ -132,7 +136,34 @@ impl std::fmt::Display for Alarm {
         match self {
             Alarm::Deadlock(c) => write!(f, "{c}"),
             Alarm::OmittedSet(r) => write!(f, "{r}"),
+            Alarm::Stall(s) => write!(f, "{s}"),
         }
+    }
+}
+
+/// A stall flagged by the runtime's watchdog: one worker has been executing
+/// (or blocked inside) a single job for longer than the configured
+/// threshold.  Unlike the two verifier alarms this is a *liveness heuristic*,
+/// not a proof — a legitimately long-running job trips it too.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallReport {
+    /// Index of the stalled worker within its scheduler.
+    pub worker: usize,
+    /// How long the worker had been on its current job when flagged.
+    pub busy_for: std::time::Duration,
+    /// Jobs the worker had completed before getting stuck (progress stamp).
+    pub jobs_executed: u64,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stall: worker {} stuck on one job for {:.3}s (after {} completed jobs)",
+            self.worker,
+            self.busy_for.as_secs_f64(),
+            self.jobs_executed,
+        )
     }
 }
 
@@ -151,6 +182,10 @@ pub struct Context {
     chaos: Option<Box<ChaosState>>,
     /// Event log (`None` = disabled, same discipline as `chaos`).
     events: Option<Box<EventLog>>,
+    /// Context-wide cancellation, cancelled by deadline-aware shutdown:
+    /// every blocking promise wait in this context observes it, so no getter
+    /// can sleep through the runtime winding down.
+    shutdown: crate::cancel::CancelToken,
 }
 
 impl Context {
@@ -182,6 +217,7 @@ impl Context {
                 .filter(ChaosConfig::is_active)
                 .map(|c| Box::new(ChaosState::new(c))),
             events: event_log.then(|| Box::new(EventLog::new())),
+            shutdown: crate::cancel::CancelToken::new(),
         })
     }
 
@@ -231,6 +267,9 @@ impl Context {
         match &alarm {
             Alarm::Deadlock(_) => self.counters.record_deadlock(),
             Alarm::OmittedSet(_) => self.counters.record_omitted_set(),
+            // Stalls are heuristic liveness flags, not verifier detections;
+            // they carry no dedicated counter.
+            Alarm::Stall(_) => {}
         }
         if let Some(log) = &self.events {
             // Peek (don't consume) the recording task's sequence number:
@@ -333,12 +372,40 @@ impl Context {
         self.events.as_deref()
     }
 
+    /// The context-wide shutdown cancellation token.  Cancelling it wakes
+    /// every blocked promise getter in this context with
+    /// [`PromiseError::Cancelled`](crate::PromiseError::Cancelled); the
+    /// runtime's deadline-aware shutdown pulls this lever when its drain
+    /// deadline expires.
+    pub fn shutdown_token(&self) -> &crate::cancel::CancelToken {
+        &self.shutdown
+    }
+
     /// Injects the seeded chaos delay for `site` (no-op when chaos is off:
     /// one pointer load and branch).
     #[inline]
     pub(crate) fn chaos_delay(&self, site: ChaosSite) {
         if let Some(chaos) = &self.chaos {
             chaos.delay(site);
+        }
+    }
+
+    /// Seeded chaos decision: panic the current task body at this hook?
+    /// Always `false` when chaos (or the panic rate) is off.
+    #[inline]
+    pub(crate) fn chaos_should_panic(&self, site: ChaosSite) -> bool {
+        match &self.chaos {
+            Some(chaos) => chaos.should_panic(site),
+            None => false,
+        }
+    }
+
+    /// Seeded chaos decision: cancel the current task's token at this hook?
+    #[inline]
+    pub(crate) fn chaos_should_cancel(&self, site: ChaosSite) -> bool {
+        match &self.chaos {
+            Some(chaos) => chaos.should_cancel(site),
+            None => false,
         }
     }
 

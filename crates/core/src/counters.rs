@@ -382,6 +382,9 @@ struct CounterCells {
     detector_steps: AtomicU64,
     deadlocks_detected: AtomicU64,
     omitted_sets_detected: AtomicU64,
+    tasks_panicked: AtomicU64,
+    tasks_cancelled: AtomicU64,
+    gets_timed_out: AtomicU64,
 }
 
 /// Monotonic event counters for one [`crate::Context`], sharded per worker.
@@ -417,6 +420,13 @@ pub struct CounterSnapshot {
     pub deadlocks_detected: u64,
     /// Number of omitted-set violations detected.
     pub omitted_sets_detected: u64,
+    /// Number of task bodies that panicked (contained by the runtime).
+    pub tasks_panicked: u64,
+    /// Number of tasks that exited with a cancelled [`crate::CancelToken`]
+    /// (their remaining obligations were settled as `Cancelled`).
+    pub tasks_cancelled: u64,
+    /// Number of timed `get`s that gave up before the promise was set.
+    pub gets_timed_out: u64,
 }
 
 impl CounterSnapshot {
@@ -438,6 +448,9 @@ impl CounterSnapshot {
             omitted_sets_detected: self
                 .omitted_sets_detected
                 .saturating_sub(earlier.omitted_sets_detected),
+            tasks_panicked: self.tasks_panicked.saturating_sub(earlier.tasks_panicked),
+            tasks_cancelled: self.tasks_cancelled.saturating_sub(earlier.tasks_cancelled),
+            gets_timed_out: self.gets_timed_out.saturating_sub(earlier.gets_timed_out),
         }
     }
 
@@ -535,6 +548,21 @@ impl Counters {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn record_task_panicked(&self) {
+        self.cells().tasks_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_task_cancelled(&self) {
+        self.cells().tasks_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_get_timed_out(&self) {
+        self.cells().gets_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters: each cell is read
     /// atomically and the shards are summed; the set as a whole is not a
     /// single atomic snapshot, which is fine for reporting.
@@ -550,6 +578,9 @@ impl Counters {
             snap.detector_steps += cells.detector_steps.load(Ordering::Relaxed);
             snap.deadlocks_detected += cells.deadlocks_detected.load(Ordering::Relaxed);
             snap.omitted_sets_detected += cells.omitted_sets_detected.load(Ordering::Relaxed);
+            snap.tasks_panicked += cells.tasks_panicked.load(Ordering::Relaxed);
+            snap.tasks_cancelled += cells.tasks_cancelled.load(Ordering::Relaxed);
+            snap.gets_timed_out += cells.gets_timed_out.load(Ordering::Relaxed);
         }
         snap
     }
@@ -579,6 +610,9 @@ mod tests {
         c.record_detector_run(5);
         c.record_deadlock();
         c.record_omitted_set();
+        c.record_task_panicked();
+        c.record_task_cancelled();
+        c.record_get_timed_out();
         let s = c.snapshot();
         assert_eq!(s.gets, 2);
         assert_eq!(s.sets, 1);
@@ -589,6 +623,9 @@ mod tests {
         assert_eq!(s.detector_steps, 5);
         assert_eq!(s.deadlocks_detected, 1);
         assert_eq!(s.omitted_sets_detected, 1);
+        assert_eq!(s.tasks_panicked, 1);
+        assert_eq!(s.tasks_cancelled, 1);
+        assert_eq!(s.gets_timed_out, 1);
     }
 
     #[test]

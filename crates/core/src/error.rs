@@ -190,13 +190,26 @@ pub enum PromiseError {
         /// The operation that was attempted.
         operation: &'static str,
     },
-    /// The promise was completed exceptionally because the task responsible
-    /// for it failed (panicked or aborted with an error).
-    TaskFailed {
-        /// The task that failed.
+    /// The promise was completed exceptionally because the body of the task
+    /// responsible for it panicked.  The panic was *contained*: the worker
+    /// thread survived, the task's rule-3 exit sweep ran (so every promise it
+    /// owned was settled, exactly as for a normal termination), and the
+    /// runtime keeps serving.
+    TaskPanicked {
+        /// The task whose body panicked.
         task: TaskId,
-        /// A description of the failure.
+        /// The panic payload, rendered as a message.
         message: Arc<str>,
+    },
+    /// The operation was interrupted by cancellation: either the blocked
+    /// task's [`CancelToken`](crate::CancelToken) was cancelled while it
+    /// waited, or the promise belonged to a cancelled subtree whose exit
+    /// sweep settled it exceptionally instead of raising an omitted-set
+    /// alarm.
+    Cancelled {
+        /// The cancelled task: the blocked getter, or the owner whose
+        /// cancelled exit settled the promise.
+        task: TaskId,
     },
     /// The promise was explicitly completed exceptionally by its owner.
     Poisoned {
@@ -239,7 +252,8 @@ impl PromiseError {
             PromiseError::AlreadyFulfilled { .. } => "already-fulfilled",
             PromiseError::TransferNotOwned { .. } => "transfer-not-owned",
             PromiseError::NoCurrentTask { .. } => "no-current-task",
-            PromiseError::TaskFailed { .. } => "task-failed",
+            PromiseError::TaskPanicked { .. } => "task-panicked",
+            PromiseError::Cancelled { .. } => "cancelled",
             PromiseError::Poisoned { .. } => "poisoned",
             PromiseError::Timeout { .. } => "timeout",
             PromiseError::RuntimeShutdown { .. } => "runtime-shutdown",
@@ -267,8 +281,11 @@ impl fmt::Display for PromiseError {
             PromiseError::NoCurrentTask { operation } => {
                 write!(f, "`{operation}` requires a current task on this thread")
             }
-            PromiseError::TaskFailed { task, message } => {
-                write!(f, "promise abandoned because {task} failed: {message}")
+            PromiseError::TaskPanicked { task, message } => {
+                write!(f, "promise abandoned because {task} panicked: {message}")
+            }
+            PromiseError::Cancelled { task } => {
+                write!(f, "cancelled: {task} was asked to stop")
             }
             PromiseError::Poisoned { promise, message } => {
                 write!(f, "{promise} was completed exceptionally: {message}")
@@ -378,6 +395,17 @@ mod tests {
             .kind(),
             "timeout"
         );
+        let panicked = PromiseError::TaskPanicked {
+            task: TaskId(3),
+            message: Arc::from("boom"),
+        };
+        assert!(!panicked.is_alarm());
+        assert_eq!(panicked.kind(), "task-panicked");
+        assert!(panicked.to_string().contains("panicked"));
+        let cancelled = PromiseError::Cancelled { task: TaskId(3) };
+        assert!(!cancelled.is_alarm());
+        assert_eq!(cancelled.kind(), "cancelled");
+        assert!(cancelled.to_string().contains("task#3"));
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum EventKind {
     Set,
     /// An alarm was recorded (`alarm` holds the kind label).
     Alarm,
+    /// The recording task's body panicked (contained by panic isolation).
+    Panic,
+    /// The recording task exited with a cancelled token (its remaining
+    /// obligations were settled as `Cancelled`).
+    Cancel,
 }
 
 impl EventKind {
@@ -63,6 +68,8 @@ impl EventKind {
             EventKind::Get => "get",
             EventKind::Set => "set",
             EventKind::Alarm => "alarm",
+            EventKind::Panic => "panic",
+            EventKind::Cancel => "cancel",
         }
     }
 }
@@ -148,10 +155,15 @@ impl EventRecord {
     /// sequence number, kind, and the names involved — no timestamps, no raw
     /// ids (runtime ids are assigned by racy global counters).  Returns
     /// `None` for events excluded from the projection: alarms (their
-    /// multiplicity and order are racy by §3.1) and events recorded outside
-    /// any task.
+    /// multiplicity and order are racy by §3.1), injected faults
+    /// (panic/cancel — the assignment of seeded fault draws to operations is
+    /// racy by design), and events recorded outside any task.
     pub fn to_canonical_json(&self) -> Option<String> {
-        if self.kind == EventKind::Alarm || self.seq == u64::MAX {
+        if matches!(
+            self.kind,
+            EventKind::Alarm | EventKind::Panic | EventKind::Cancel
+        ) || self.seq == u64::MAX
+        {
             return None;
         }
         let mut out = String::with_capacity(64);

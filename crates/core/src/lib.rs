@@ -48,6 +48,7 @@ pub mod alarms;
 pub mod arena;
 #[doc(hidden)]
 pub mod bench_support;
+pub mod cancel;
 pub mod cell;
 pub mod chaos;
 pub mod collection;
@@ -75,10 +76,11 @@ pub mod waitq;
 
 pub use alarms::{AlarmSink, MutexSink};
 pub use arena::ArenaMemoryStats;
-pub use cell::{MutexCell, OneShotCell, ResultSlot};
+pub use cancel::CancelToken;
+pub use cell::{CellWait, MutexCell, OneShotCell, ResultSlot};
 pub use chaos::{ChaosConfig, ChaosSite};
 pub use collection::{collect_promises, PromiseCollection, TransferList};
-pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob};
+pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob, StallReport};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
 pub use events::{EventKind, EventLog, EventRecord};

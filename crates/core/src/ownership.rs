@@ -18,6 +18,27 @@
 //! the violations) and at most one (rule 4), and they make the owner map
 //! meaningful enough for the deadlock detector of [`crate::detector`] to
 //! traverse.
+//!
+//! ## Why the exit sweep runs on *every* exit path
+//!
+//! Rule 3's check ([`finish_body`]) is deliberately wired to all four ways
+//! a task can stop existing: a normal return, a **panic** unwinding the
+//! body, a **cancelled** exit, and a [`PreparedTask`] dropped without ever
+//! running (spawn rejected at shutdown).  The argument: the ownership
+//! invariant — every promise has exactly one responsible task until it is
+//! fulfilled — is what lets a blocked `get` *wait* instead of hanging
+//! forever; it holds only if responsibility is discharged on the exits
+//! nobody plans for, not just the happy path.  So the sweep always settles
+//! whatever the dying task still owned — exceptionally when it must —
+//! and only the *classification* differs per path: a normal exit with
+//! leftovers is an **omitted set** (a bug, alarmed); a panic settles them
+//! as [`PromiseError::TaskPanicked`]-flavoured abandonment blaming the
+//! panicked task (alarmed, justified); a cancelled exit settles them as
+//! [`PromiseError::Cancelled`] with **no** alarm (a sanctioned
+//! abandonment, see [`settle_cancelled`]); a never-ran task settles them
+//! through the same machinery from the drop.  Skipping the sweep on any
+//! of these paths would turn a contained fault into a hung waiter — the
+//! exact failure mode the detector exists to eliminate.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -59,7 +80,9 @@ pub fn prepare_task(
 
         if !ctx.config().mode.tracks_ownership() {
             // Baseline: no ownership state to maintain.
-            let body = TaskBody::create(&ctx, name);
+            let mut body = TaskBody::create(&ctx, name);
+            // Cancellation is inherited per-subtree even in baseline mode.
+            body.cancel = parent.cancel.clone();
             ctx.with_event_log(|log| {
                 log.record_child(
                     EventKind::Spawn,
@@ -106,6 +129,11 @@ pub fn prepare_task(
 
         // Lines 9–10: create the child cell (waitingOn starts out null).
         let mut body = TaskBody::create(&ctx, name);
+        // The child joins the parent's cancellable subtree: cancelling the
+        // parent's token interrupts the child's blocking waits too.  A fresh
+        // token can be attached before the task ships to a worker
+        // ([`PreparedTask::attach_cancel_token`]).
+        body.cancel = parent.cancel.clone();
 
         // Lines 11–12: release the promises from the parent's ledger and
         // re-assign their owner to the child, then seed the child's ledger.
@@ -203,6 +231,13 @@ pub(crate) fn on_set(promise: &dyn ErasedPromise) -> Result<(), PromiseError> {
 pub(crate) struct Obligations {
     pub(crate) report: Option<Arc<OmittedSetReport>>,
     handles: Vec<ErasedPromiseRef>,
+    /// Whether the task was cancelled (its own token or the context-wide
+    /// shutdown token) by the time the scan ran.  A cancelled task's
+    /// outstanding promises are *not* an omitted-set bug — the caller asked
+    /// the subtree to stop mid-flight — so they settle as
+    /// [`PromiseError::Cancelled`] without raising an alarm.  Waiters still
+    /// wake: cancellation never strands an obligation.
+    cancelled: bool,
 }
 
 /// Rule 3, first half: scan the task's ledger for promises it still owns and
@@ -265,6 +300,8 @@ pub(crate) fn compute_obligations(body: &TaskBody, exclude: &[PromiseId]) -> Obl
     Obligations {
         report,
         handles: abandoned_handles,
+        cancelled: body.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+            || ctx.shutdown_token().is_cancelled(),
     }
 }
 
@@ -274,7 +311,15 @@ impl Obligations {
     /// This runs *before* any epilogue or exceptional completion, so that by
     /// the time another task can observe this task as terminated (e.g. via a
     /// join), the alarm is already visible.
+    ///
+    /// A cancelled task records nothing: its outstanding promises are the
+    /// expected debris of stopping a subtree mid-flight, not a policy
+    /// violation (they still settle exceptionally in
+    /// [`settle_obligations`], so no waiter hangs).
     pub(crate) fn record(&self, ctx: &crate::context::Context) {
+        if self.cancelled {
+            return;
+        }
         if let Some(report) = &self.report {
             ctx.record_alarm(Alarm::OmittedSet(Arc::clone(report)));
         }
@@ -289,6 +334,9 @@ pub(crate) fn settle_obligations(
     mut body: TaskBody,
     obligations: Obligations,
 ) -> Option<Arc<OmittedSetReport>> {
+    if obligations.cancelled {
+        return settle_cancelled(body, obligations);
+    }
     let ctx = Arc::clone(&body.ctx);
     ctx.with_event_log(|log| {
         log.record(
@@ -327,6 +375,40 @@ pub(crate) fn settle_obligations(
         ctx.tasks.free(body.slot);
     }
     report
+}
+
+/// Exit path for a task that terminated while cancelled: every promise it
+/// still owned completes exceptionally as [`PromiseError::Cancelled`] (so no
+/// waiter hangs and no downstream obligation is stranded), the
+/// `tasks_cancelled` counter is bumped, a [`EventKind::Cancel`] record lands
+/// in the full event log (`seq == u64::MAX`: excluded from the canonical
+/// projection, same reasoning as alarm events), and **no omitted-set alarm is
+/// raised** — cancellation is a requested outcome, not a bug.
+fn settle_cancelled(mut body: TaskBody, obligations: Obligations) -> Option<Arc<OmittedSetReport>> {
+    let ctx = Arc::clone(&body.ctx);
+    ctx.counters().record_task_cancelled();
+    ctx.with_event_log(|log| {
+        log.record(
+            EventKind::Cancel,
+            Some((body.id, body.name.clone(), u64::MAX)),
+            PromiseId::NONE,
+            None,
+        );
+        log.record(
+            EventKind::TaskEnd,
+            body_event_info(&mut body),
+            PromiseId::NONE,
+            None,
+        );
+    });
+    let err = PromiseError::Cancelled { task: body.id };
+    for h in &obligations.handles {
+        h.complete_abandoned(err.clone());
+    }
+    if !body.slot.is_null() {
+        ctx.tasks.free(body.slot);
+    }
+    None
 }
 
 /// Rule 3: the exit check.  Called exactly once per task when it terminates

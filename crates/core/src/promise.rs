@@ -66,7 +66,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::cell::OneShotCell;
+use crate::cell::{CellWait, OneShotCell};
 use crate::chaos::ChaosSite;
 use crate::context::{Alarm, Context};
 use crate::detector;
@@ -164,12 +164,55 @@ impl<T, X> PromiseInner<T, X> {
             .map_err(|_| PromiseError::AlreadyFulfilled { promise: self.id })
     }
 
-    /// Blocks until the promise is fulfilled (or the deadline passes).
+    /// Blocks until the promise is fulfilled, the deadline passes, or the
+    /// wait is cancelled.
+    ///
+    /// Two cancellation sources are observed: the current task's own
+    /// [`CancelToken`](crate::CancelToken) (if one is attached) and the
+    /// context-wide shutdown token.  Registration is *lazy*: the first,
+    /// short wait slice parks unregistered — most producer/consumer waits
+    /// (e.g. a Sieve chain step) resolve within it, and registering every
+    /// such wait on the context-wide shutdown token would funnel the whole
+    /// runtime's blocking gets through that token's registry mutex.  Only a
+    /// wait that outlives the slice registers on the cell's wait queue, so a
+    /// `cancel()` from another thread wakes the parked waiter losslessly
+    /// (the same announce/park protocol a fulfilment uses); an unregistered
+    /// waiter observes the cancellation on its slice-expiry re-check, so
+    /// cancellation latency is bounded by the slice.  A fulfilment that
+    /// races a cancellation wins the tie: a value that is already there is
+    /// always delivered.
     fn block(&self, deadline: Option<Instant>) -> Result<(), PromiseError> {
-        if self.cell.wait(deadline) {
-            Ok(())
-        } else {
-            Err(PromiseError::Timeout { promise: self.id })
+        /// How long a blocking wait may park before it registers with the
+        /// cancellation sources.  Tiny against the shutdown grace quantum
+        /// (100 ms) and human-scale timeouts, huge against the µs-scale
+        /// waits of a moving task chain.
+        const UNREGISTERED_SLICE: Duration = Duration::from_millis(1);
+
+        let task_token = task::current_cancel_token(&self.ctx);
+        let shutdown = self.ctx.shutdown_token();
+        let interrupted =
+            || shutdown.is_cancelled() || task_token.as_ref().is_some_and(|t| t.is_cancelled());
+
+        let slice_end = Instant::now() + UNREGISTERED_SLICE;
+        let slice_deadline = Some(deadline.map_or(slice_end, |d| d.min(slice_end)));
+        let mut wait = self.cell.wait_interruptible(slice_deadline, interrupted);
+        if matches!(wait, CellWait::TimedOut) && deadline.is_none_or(|d| Instant::now() < d) {
+            // Still unfulfilled after the slice: this is a genuinely long
+            // wait, so pay the registrations once and park for real.
+            let queue = self.cell.waiters();
+            let _task_reg = task_token.as_ref().map(|t| t.register(queue));
+            let _shutdown_reg = shutdown.register(queue);
+            wait = self.cell.wait_interruptible(deadline, interrupted);
+        }
+        match wait {
+            CellWait::Filled => Ok(()),
+            CellWait::TimedOut => {
+                self.ctx.counters().record_get_timed_out();
+                Err(PromiseError::Timeout { promise: self.id })
+            }
+            CellWait::Interrupted => Err(PromiseError::Cancelled {
+                task: task::current_task_id().unwrap_or(TaskId::NONE),
+            }),
         }
     }
 }
@@ -387,6 +430,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
         // Chaos pre-set injection point: widen the window between the caller
         // deciding to fulfil and the rule-4 check + publication below.
         ctx.chaos_delay(ChaosSite::Set);
+        self.chaos_fault_injection(ChaosSite::Set);
         if ctx.config().mode.tracks_ownership() {
             ownership::on_set(&*self.inner)?;
         }
@@ -476,7 +520,32 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     {
         self.inner.ctx.counters().record_get();
         self.on_get_hooks();
+        // Fulfilled fast path before touching the clock: an already-settled
+        // promise costs the same single acquire load as `get` — only a wait
+        // that actually blocks pays for `Instant::now()` and the
+        // interruptible-wait registration (guarded by the
+        // `ops/get_timeout_fulfilled` micro benches).
+        if self.inner.is_fulfilled() {
+            return self.read_value();
+        }
         self.block_with_executor_hooks(Some(Instant::now() + timeout))?;
+        self.read_value()
+    }
+
+    /// Like [`get_timeout`](Promise::get_timeout) but with an absolute
+    /// deadline — the natural form when one deadline bounds a whole batch of
+    /// waits (a drain loop calling `get_timeout(remaining)` re-reads the
+    /// clock and accumulates drift; `get_deadline(d)` does not).
+    ///
+    /// Same detector exemption as `get_timeout`: a deadline-bounded wait is
+    /// not an indefinite block, so it publishes no waits-for edge.
+    pub fn get_deadline(&self, deadline: Instant) -> Result<T, PromiseError>
+    where
+        T: Clone,
+    {
+        self.inner.ctx.counters().record_get();
+        self.on_get_hooks();
+        self.block_with_executor_hooks(Some(deadline))?;
         self.read_value()
     }
 
@@ -497,6 +566,7 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
     fn on_get_hooks(&self) {
         let ctx = &self.inner.ctx;
         ctx.chaos_delay(ChaosSite::Get);
+        self.chaos_fault_injection(ChaosSite::Get);
         ctx.with_event_log(|log| {
             log.record(
                 EventKind::Get,
@@ -505,6 +575,28 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
                 self.inner.name.clone(),
             )
         });
+    }
+
+    /// Chaos *fault* injection (as opposed to the delay injection above):
+    /// seeded decisions to cancel the current task's token or panic the
+    /// current task body at this hook.  No-ops (without consuming a draw)
+    /// when the corresponding rate is zero, so enabling delays alone leaves
+    /// the draw sequence — and therefore existing campaign checksums —
+    /// untouched.
+    ///
+    /// Root tasks are never panicked: a root body runs on the caller's own
+    /// thread, outside the runtime's containment wrapper, so the panic would
+    /// escape the harness instead of exercising recovery.
+    fn chaos_fault_injection(&self, site: ChaosSite) {
+        let ctx = &self.inner.ctx;
+        if ctx.chaos_should_cancel(site) {
+            if let Some(token) = task::current_cancel_token(ctx) {
+                token.cancel();
+            }
+        }
+        if ctx.chaos_should_panic(site) && !task::current_is_root(ctx) {
+            panic!("chaos: injected panic at {site:?} hook");
+        }
     }
 
     /// Records the `set` event.  Called after the rule-4 ownership check but

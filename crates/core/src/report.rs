@@ -58,6 +58,9 @@ pub fn render_alarm(alarm: &Alarm) -> String {
                 let _ = writeln!(out, "  never fulfilled: {promise}");
             }
         }
+        Alarm::Stall(report) => {
+            let _ = writeln!(out, "STALL: {report}");
+        }
     }
     out
 }

@@ -21,6 +21,7 @@ use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use crate::cancel::CancelToken;
 use crate::collection::TransferList;
 use crate::context::Context;
 use crate::error::OmittedSetReport;
@@ -168,6 +169,17 @@ pub(crate) struct TaskBody {
     /// Next per-task event-log sequence number (see [`crate::events`]); only
     /// advanced while the context's event log is enabled.
     pub(crate) event_seq: u64,
+    /// Cancellation token observed by this task's blocking waits, if one was
+    /// attached.  Children inherit their parent's token at spawn time
+    /// (see [`ownership::prepare_task`]), so cancelling a token stops a whole
+    /// subtree; a fresh token can be attached at any subtree root via
+    /// [`PreparedTask::attach_cancel_token`].
+    pub(crate) cancel: Option<CancelToken>,
+    /// Whether this task was registered via [`Context::root_task`].  Chaos
+    /// panic injection skips root tasks: a root body runs on the caller's own
+    /// thread, so an injected panic would escape the harness instead of
+    /// exercising containment.
+    pub(crate) is_root: bool,
 }
 
 impl TaskBody {
@@ -200,6 +212,8 @@ impl TaskBody {
             slot,
             ledger: Ledger::new(ctx.config().ledger, tracks),
             event_seq: 0,
+            cancel: None,
+            is_root: false,
         }
     }
 }
@@ -277,6 +291,28 @@ pub(crate) fn current_event_info_peek(ctx: &Context) -> Option<(TaskId, Option<A
     .flatten()
 }
 
+/// The cancellation token of the current task *if* it belongs to `ctx`.
+/// Blocking promise waits consult this so a `cancel()` on the task's token
+/// interrupts them with [`PromiseError::Cancelled`](crate::PromiseError).
+pub(crate) fn current_cancel_token(ctx: &Context) -> Option<CancelToken> {
+    with_current_body(|b| {
+        if std::ptr::eq(Arc::as_ptr(&b.ctx), ctx as *const Context) {
+            b.cancel.clone()
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+/// Whether the current task bound to this thread is a root task of `ctx`.
+/// Chaos panic injection skips root tasks (their panic would escape the
+/// runtime instead of exercising containment).
+pub(crate) fn current_is_root(ctx: &Context) -> bool {
+    with_current_body(|b| std::ptr::eq(Arc::as_ptr(&b.ctx), ctx as *const Context) && b.is_root)
+        .unwrap_or(false)
+}
+
 fn install_current(body: TaskBody) {
     CURRENT.with(|c| {
         let mut slot = c.borrow_mut();
@@ -324,6 +360,21 @@ impl PreparedTask {
         self.body.as_ref().and_then(|b| b.name.clone())
     }
 
+    /// The cancellation token this task will observe, if any (inherited from
+    /// its parent at spawn time, or attached explicitly).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.body.as_ref().and_then(|b| b.cancel.clone())
+    }
+
+    /// Attaches `token` as this task's cancellation token, replacing any
+    /// inherited one.  Children spawned by this task inherit the new token,
+    /// making this task the root of a freshly cancellable subtree.
+    pub fn attach_cancel_token(&mut self, token: CancelToken) {
+        if let Some(body) = self.body.as_mut() {
+            body.cancel = Some(token);
+        }
+    }
+
     /// Binds the task to the calling thread and returns the scope guard that
     /// must be finished (or dropped) when the task's body completes.
     ///
@@ -338,6 +389,7 @@ impl PreparedTask {
         let ctx = Arc::clone(&body.ctx);
         let id = body.id;
         let name = body.name.clone();
+        let cancel = body.cancel.clone();
         install_current(body);
         ctx.with_event_log(|log| {
             log.record(
@@ -351,6 +403,7 @@ impl PreparedTask {
             ctx,
             id,
             name,
+            cancel,
             finished: false,
         }
     }
@@ -375,6 +428,7 @@ pub struct TaskScope {
     ctx: Arc<Context>,
     id: TaskId,
     name: Option<Arc<str>>,
+    cancel: Option<CancelToken>,
     finished: bool,
 }
 
@@ -392,6 +446,40 @@ impl TaskScope {
     /// The context this task belongs to.
     pub fn context(&self) -> &Arc<Context> {
         &self.ctx
+    }
+
+    /// The cancellation token this task observes, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether this task's cancellation token (if any) has been pulled, or
+    /// the context-wide shutdown token has.  A runtime wrapper checks this
+    /// after the body returns to settle the completion promise as
+    /// [`PromiseError::Cancelled`](crate::PromiseError) instead of delivering
+    /// a value the caller asked to abandon.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.ctx.shutdown_token().is_cancelled()
+    }
+
+    /// Records that this task's body panicked and was contained: bumps the
+    /// `tasks_panicked` counter and (when the event log is on) records a
+    /// [`EventKind::Panic`] event.  Panic events carry `seq == u64::MAX` and
+    /// are excluded from the canonical projection — *whether* a seeded chaos
+    /// panic fires at a given hook is deterministic, but which regular event
+    /// it lands between is not, so letting it consume a per-task sequence
+    /// number would perturb every later event's `seq`.
+    pub fn record_panic(&self) {
+        self.ctx.counters().record_task_panicked();
+        self.ctx.with_event_log(|log| {
+            log.record(
+                EventKind::Panic,
+                Some((self.id, self.name.clone(), u64::MAX)),
+                PromiseId::NONE,
+                None,
+            )
+        });
     }
 
     /// Ends the task, running the exit check.  Returns the omitted-set report
@@ -492,7 +580,8 @@ impl Context {
     /// Panics if the calling thread already has an active task.
     pub fn root_task(self: &Arc<Self>, name: Option<&str>) -> RootTask {
         self.counters().record_task_spawned();
-        let body = TaskBody::create(self, name.or(Some("root")));
+        let mut body = TaskBody::create(self, name.or(Some("root")));
+        body.is_root = true;
         let id = body.id;
         let name = body.name.clone();
         let ctx = Arc::clone(self);
@@ -509,6 +598,7 @@ impl Context {
             ctx,
             id,
             name,
+            cancel: None,
             finished: false,
         }
     }

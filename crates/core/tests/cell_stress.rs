@@ -109,7 +109,7 @@ fn complete_abandoned_races_set() {
             let mut s = seed ^ round;
             std::thread::spawn(move || {
                 jitter(&mut s);
-                erased.complete_abandoned(PromiseError::TaskFailed {
+                erased.complete_abandoned(PromiseError::TaskPanicked {
                     task: promise_core::TaskId(999),
                     message: Arc::from("owner died"),
                 })
@@ -131,7 +131,7 @@ fn complete_abandoned_races_set() {
                 assert_eq!(v, round);
                 sets_won += 1;
             }
-            Err(PromiseError::TaskFailed { .. }) => {
+            Err(PromiseError::TaskPanicked { .. }) => {
                 assert!(abandon_won);
                 abandons_won += 1;
             }

@@ -214,7 +214,7 @@ fn alarm_sink_observes_all_alarms_recorded_before_snapshot() {
         .iter()
         .map(|a| match a {
             Alarm::Deadlock(c) => c.detecting_task().0,
-            Alarm::OmittedSet(_) => unreachable!("only deadlock alarms recorded"),
+            _ => unreachable!("only deadlock alarms recorded"),
         })
         .collect();
     ids.sort_unstable();

@@ -25,10 +25,13 @@
 //! program's canonical event log, which the determinism tests compare
 //! byte-for-byte across runs.
 //!
-//! Every program runs on its own OS thread with its own runtime: the harness
-//! may itself be invoked from inside a task (the `chaos` benchmark workload
-//! runs under `Runtime::measure`), and `Runtime::block_on` must not nest on
-//! one thread.
+//! Every program runs with its own fresh runtime, driven from a small pool
+//! of reused harness runner threads (capped at four): fresh OS threads are
+//! needed at all only because the harness may itself be invoked from inside
+//! a task (the `chaos` benchmark workload runs under `Runtime::measure`) and
+//! `Runtime::block_on` must not nest on one thread — but a thread per
+//! *program* would churn thousands of threads per campaign, so the runners
+//! claim program indices from a shared counter instead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -176,6 +179,30 @@ pub fn run_program(gp: &GeneratedProgram, chaos: Option<ChaosConfig>) -> Program
     let canonical_log = log.canonical_jsonl();
     let full_log = log.to_jsonl();
 
+    // Fault-injection awareness: when chaos panics or cancels fired during
+    // this program (recorded as `Panic` / `Cancel` events in the full log),
+    // grading must not blame the verifier for their side effects.
+    //
+    // * A task that *panicked* legitimately abandons whatever it still owned
+    //   — the resulting omitted-set alarms are justified (the paper's §6.2
+    //   abandonment semantics), not false alarms.
+    // * A planted bug that goes undetected while faults were flying is
+    //   graded as **defused**, not missed: a panic or cancellation can break
+    //   the planted ring (a ring task dies before its `get`; its promise
+    //   settles exceptionally and wakes the ring) or settle the planted
+    //   omission's subtree, so the bug never actually occurred in this
+    //   execution.  Defused programs are excluded from the planted counts so
+    //   recall measures only bugs that really happened.
+    // * Injected faults never *create* cycles, so a deadlock alarm the
+    //   oracle cannot justify stays a false alarm even under injection.
+    let panicked_tasks: std::collections::HashSet<promise_core::TaskId> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Panic)
+        .map(|e| e.task)
+        .collect();
+    let any_fault =
+        !panicked_tasks.is_empty() || events.iter().any(|e| e.kind == EventKind::Cancel);
+
     let mut deadlock_detected = false;
     let mut omitted_detected = false;
     let mut false_alarms = 0u64;
@@ -191,25 +218,38 @@ pub fn run_program(gp: &GeneratedProgram, chaos: Option<ChaosConfig>) -> Program
                 }
             }
             Alarm::OmittedSet(report) => {
+                let blamed_task_panicked = panicked_tasks.contains(&report.task);
                 for abandoned in &report.promises {
                     let name = abandoned.promise_name.as_deref().map(str::to_owned);
                     if name.is_some() && name == planted_name {
                         omitted_detected = true;
+                    } else if blamed_task_panicked {
+                        // The owner died by (injected) panic: abandoning its
+                        // promises is the contained-failure contract working
+                        // as designed, not a spurious report.
                     } else {
                         false_alarms += 1;
                     }
                 }
                 if report.promises.is_empty() {
                     // Count-only ledgers carry no names; grade on planting.
-                    if gp.has_omitted() {
-                        omitted_detected = true;
+                    if gp.has_omitted() || blamed_task_panicked {
+                        omitted_detected = gp.has_omitted();
                     } else {
                         false_alarms += 1;
                     }
                 }
             }
+            // Stall alarms are heuristic liveness flags from the watchdog
+            // (never enabled by this harness); they carry no oracle verdict.
+            Alarm::Stall(_) => {}
         }
     }
+
+    // Defusal (see above): a planted bug that did not materialise because a
+    // fault rewrote the schedule is dropped from the planted counts.
+    let deadlock_planted = gp.has_deadlock() && (deadlock_detected || !any_fault);
+    let omitted_planted = gp.has_omitted() && (omitted_detected || !any_fault);
 
     let deadlock_latency_ns = if deadlock_detected {
         deadlock_latency(&events, gp)
@@ -220,9 +260,9 @@ pub fn run_program(gp: &GeneratedProgram, chaos: Option<ChaosConfig>) -> Program
     ProgramRun {
         verdict: ProgramVerdict {
             seed: gp.seed,
-            deadlock_planted: gp.has_deadlock(),
+            deadlock_planted,
             deadlock_detected,
-            omitted_planted: gp.has_omitted(),
+            omitted_planted,
             omitted_detected,
             false_alarms,
         },

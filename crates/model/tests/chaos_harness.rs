@@ -42,6 +42,38 @@ fn planted_bug_recall_is_total_with_no_false_alarms() {
 }
 
 #[test]
+fn recall_survives_panic_and_cancel_injection() {
+    let seed = seed_from_env_echoed(0xC4A0_5EED_0003, "chaos_harness");
+    let mut config = BatchConfig::chaotic(seed, 150);
+    // Fault injection on top of the full chaos layer: ~3% of pre-get/pre-set
+    // hooks panic the task, ~3% cancel its subtree.  The grading defuses a
+    // planted bug whose program was hit by a fault (the injected exit can
+    // legitimately unmake the planted cycle / abandonment), so recall stays
+    // total over the bugs that remained reachable — and a *contained* panic
+    // must never fabricate an alarm the oracle cannot justify.
+    config.chaos = config
+        .chaos
+        .map(|c| c.panic_injection(30).cancel_injection(30));
+    let result = run_batch(&config);
+    let stats = &result.stats;
+
+    assert_eq!(stats.programs, 150);
+    assert!(
+        stats.planted_deadlocks > 0 && stats.planted_omitted_sets > 0,
+        "every planted bug was defused by injected faults — rates too high? {stats}"
+    );
+    assert_eq!(
+        stats.recall(),
+        1.0,
+        "planted bugs missed with faults flying: {stats}"
+    );
+    assert_eq!(
+        stats.false_alarms, 0,
+        "contained panics/cancels fabricated an alarm (Theorem 5.1): {stats}"
+    );
+}
+
+#[test]
 fn campaign_without_chaos_still_has_total_recall() {
     let seed = seed_from_env_echoed(0xC4A0_5EED_0002, "chaos_harness");
     let mut config = BatchConfig::chaotic(seed, 60);

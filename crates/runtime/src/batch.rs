@@ -33,7 +33,7 @@
 
 use std::sync::Arc;
 
-use promise_core::{Context, Job, PromiseCollection, PromiseError, RejectedBatch};
+use promise_core::{CancelToken, Context, Job, PromiseCollection, PromiseError, RejectedBatch};
 
 use crate::handle::TaskHandle;
 use crate::spawn::{prepare_spawn, run_task};
@@ -51,6 +51,10 @@ pub struct SpawnBatch<R> {
     ctx: Option<Arc<Context>>,
     jobs: Vec<Job>,
     handles: Vec<TaskHandle<R>>,
+    /// Token attached to every child prepared after
+    /// [`cancel_token`](Self::cancel_token) was called — one token cancels
+    /// the whole batch.
+    cancel: Option<CancelToken>,
 }
 
 impl<R: Send + 'static> SpawnBatch<R> {
@@ -60,6 +64,7 @@ impl<R: Send + 'static> SpawnBatch<R> {
             ctx: None,
             jobs: Vec::new(),
             handles: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -69,7 +74,18 @@ impl<R: Send + 'static> SpawnBatch<R> {
             ctx: None,
             jobs: Vec::with_capacity(n),
             handles: Vec::with_capacity(n),
+            cancel: None,
         }
+    }
+
+    /// Attaches `token` to every child prepared *from this call on* (children
+    /// spawned by those children inherit it too): pulling the one token
+    /// cancels the whole group — blocked `get`s wake with
+    /// [`PromiseError::Cancelled`] and remaining obligations settle without
+    /// an omitted-set alarm.  Returns `self` for chaining at construction.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Number of prepared children.
@@ -130,17 +146,21 @@ impl<R: Send + 'static> SpawnBatch<R> {
         C: PromiseCollection,
         F: FnOnce() -> R + Send + 'static,
     {
-        let (ctx, prepared, completion) = prepare_spawn::<R>(name, &transfers)?;
+        let (ctx, mut prepared, completion) = prepare_spawn::<R>(name, &transfers)?;
         if self.ctx.is_none() {
             self.ctx = Some(ctx);
         }
+        if let Some(token) = &self.cancel {
+            prepared.attach_cancel_token(token.clone());
+        }
         let task_id = prepared.id();
         let task_name = prepared.name();
+        let cancel = prepared.cancel_token();
         let completion_in_task = completion.clone();
         self.jobs
             .push(Job::new(move || run_task(prepared, f, completion_in_task)));
         self.handles
-            .push(TaskHandle::new(task_id, task_name, completion));
+            .push(TaskHandle::new(task_id, task_name, completion, cancel));
         Ok(())
     }
 
@@ -162,7 +182,12 @@ impl<R: Send + 'static> SpawnBatch<R> {
     /// Panics if no executor is installed in the preparing context (same
     /// condition as [`spawn`](crate::spawn)).
     pub fn submit(self) -> Vec<TaskHandle<R>> {
-        let SpawnBatch { ctx, jobs, handles } = self;
+        let SpawnBatch {
+            ctx,
+            jobs,
+            handles,
+            cancel: _,
+        } = self;
         if jobs.is_empty() {
             return handles;
         }

@@ -13,9 +13,9 @@
 //! one `Arc` — there is no separate result side channel.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use promise_core::{Promise, PromiseError, ResultSlot, TaskId};
+use promise_core::{CancelToken, Promise, PromiseError, ResultSlot, TaskId};
 
 /// A task's completion promise with the typed result slot fused into the
 /// same allocation: fulfilment signals termination, the slot carries the
@@ -28,6 +28,9 @@ pub struct TaskHandle<R> {
     task_id: TaskId,
     name: Option<Arc<str>>,
     completion: CompletionPromise<R>,
+    /// The task's cancellation token, if it has one (attached at spawn via
+    /// the `_cancellable` spawn forms, or inherited from the parent task).
+    cancel: Option<CancelToken>,
 }
 
 impl<R: Send + 'static> TaskHandle<R> {
@@ -35,12 +38,31 @@ impl<R: Send + 'static> TaskHandle<R> {
         task_id: TaskId,
         name: Option<Arc<str>>,
         completion: CompletionPromise<R>,
+        cancel: Option<CancelToken>,
     ) -> Self {
         TaskHandle {
             task_id,
             name,
             completion,
+            cancel,
         }
+    }
+
+    /// The task's cancellation token, if it has one.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Requests cancellation of the task (and every task sharing its token —
+    /// typically its whole spawned subtree): blocked `get`s inside it wake
+    /// with [`PromiseError::Cancelled`], its remaining obligations settle as
+    /// `Cancelled` (no omitted-set alarm) when it exits, and
+    /// [`join`](Self::join) reports `Cancelled`.  Returns `false` if the task
+    /// has no token (it was not spawned cancellable) or was already
+    /// cancelled.  Cancellation is a request, not preemption: a body that
+    /// never blocks or checks its token runs to completion first.
+    pub fn cancel(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.cancel())
     }
 
     /// The id of the spawned task.
@@ -79,10 +101,19 @@ impl<R: Send + 'static> TaskHandle<R> {
         self.completion.get_timeout(timeout).map(|_| ())
     }
 
+    /// Like [`wait`](Self::wait) with an absolute deadline — the natural
+    /// form when one deadline bounds a whole batch of joins.
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<(), PromiseError> {
+        self.completion.get_deadline(deadline).map(|_| ())
+    }
+
     /// Blocks until the task terminates and returns its result.
     ///
     /// Errors:
-    /// * [`PromiseError::TaskFailed`] if the task panicked;
+    /// * [`PromiseError::TaskPanicked`] if the task panicked (the panic was
+    ///   contained by the runtime; the worker survived);
+    /// * [`PromiseError::Cancelled`] if the task was cancelled before it
+    ///   terminated;
     /// * [`PromiseError::OmittedSet`] if the task terminated while still
     ///   owning unfulfilled promises;
     /// * [`PromiseError::DeadlockDetected`] if this join would complete a

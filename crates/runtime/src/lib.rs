@@ -66,6 +66,8 @@ pub use finish::{finish, FinishScope};
 pub use handle::{CompletionPromise, TaskHandle};
 pub use metrics::{DetectionStats, RunMetrics};
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
-pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind};
-pub use scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler};
-pub use spawn::{spawn, spawn_named, try_spawn, try_spawn_named};
+pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind, ShutdownReport, WatchdogConfig};
+pub use scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler, WorkerProgress};
+pub use spawn::{
+    spawn, spawn_cancellable, spawn_named, try_spawn, try_spawn_named, try_spawn_with_token,
+};

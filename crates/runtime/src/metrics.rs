@@ -67,6 +67,25 @@ impl RunMetrics {
         self.pool.jobs_batch_submitted
     }
 
+    /// Tasks whose body panicked during the run.  Each panic was contained
+    /// at the task boundary: the worker survived and the task's promises
+    /// were settled as `PromiseError::TaskPanicked`.
+    pub fn panics(&self) -> u64 {
+        self.counters.tasks_panicked
+    }
+
+    /// Tasks that exited via cancellation during the run (their obligations
+    /// were settled as `PromiseError::Cancelled`, without omitted-set
+    /// alarms).
+    pub fn cancelled(&self) -> u64 {
+        self.counters.tasks_cancelled
+    }
+
+    /// Blocking `get`s that returned `PromiseError::Timeout` during the run.
+    pub fn timed_out(&self) -> u64 {
+        self.counters.gets_timed_out
+    }
+
     /// Average `get` operations per millisecond (Table 1 "Gets/ms").
     pub fn gets_per_ms(&self) -> f64 {
         self.counters.gets_per_ms(self.wall)

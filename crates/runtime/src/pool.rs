@@ -100,6 +100,11 @@ pub struct PoolStats {
     pub jobs_batch_submitted: usize,
     /// Jobs currently queued.
     pub queued_jobs: usize,
+    /// Jobs whose body panicked (the panic was caught at the worker's job
+    /// boundary; the worker survived).  This is the executor-level backstop
+    /// count — the task layer additionally settles the panicked task's
+    /// promises as `PromiseError::TaskPanicked` and keeps its own counter.
+    pub panics: usize,
 }
 
 struct PoolState {
@@ -111,6 +116,7 @@ struct PoolState {
     jobs_executed: usize,
     batches_submitted: usize,
     jobs_batch_submitted: usize,
+    panics: usize,
     shutdown: bool,
     joiners: Vec<std::thread::JoinHandle<()>>,
 }
@@ -144,6 +150,7 @@ impl GrowingPool {
                     jobs_executed: 0,
                     batches_submitted: 0,
                     jobs_batch_submitted: 0,
+                    panics: 0,
                     shutdown: false,
                     joiners: Vec::new(),
                 }),
@@ -256,9 +263,12 @@ impl GrowingPool {
                 // A panicking job must not take the worker down: panics are
                 // caught and surfaced through the task's promises by the
                 // spawn wrapper; at this level we only keep the pool alive.
-                let _ = catch_unwind(AssertUnwindSafe(|| job.run()));
+                let panicked = catch_unwind(AssertUnwindSafe(|| job.run())).is_err();
                 state = inner.state.lock();
                 state.jobs_executed += 1;
+                if panicked {
+                    state.panics += 1;
+                }
                 continue;
             }
             if state.shutdown {
@@ -303,18 +313,84 @@ impl GrowingPool {
             batches_submitted: state.batches_submitted,
             jobs_batch_submitted: state.jobs_batch_submitted,
             queued_jobs: state.queue.len(),
+            panics: state.panics,
         }
+    }
+
+    /// Stops admission and wakes idle workers without waiting for them (the
+    /// first phase of both [`shutdown`](Self::shutdown) and a
+    /// deadline-bounded drain).
+    pub fn begin_shutdown(&self) {
+        let mut state = self.inner.state.lock();
+        state.shutdown = true;
+        self.inner.work_available.notify_all();
+    }
+
+    /// Waits until every worker has exited or `deadline` passes, joining
+    /// finished workers as it goes; returns `true` when all are gone.  Call
+    /// [`begin_shutdown`](Self::begin_shutdown) first.  On `false`, the
+    /// unfinished handles stay registered for a later [`shutdown`]
+    /// (Self::shutdown) or [`detach_workers`](Self::detach_workers).
+    pub fn try_join_workers(&self, deadline: std::time::Instant) -> bool {
+        let self_id = std::thread::current().id();
+        let mut pending: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            pending.extend(std::mem::take(&mut self.inner.state.lock().joiners));
+            let mut still_running = Vec::new();
+            for j in pending.drain(..) {
+                if j.thread().id() == self_id {
+                    continue;
+                }
+                if j.is_finished() {
+                    let _ = j.join();
+                } else {
+                    still_running.push(j);
+                }
+            }
+            pending = still_running;
+            if pending.is_empty() {
+                if self.inner.state.lock().joiners.is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            if std::time::Instant::now() >= deadline {
+                self.inner.state.lock().joiners.extend(pending);
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Abandons the remaining worker join handles without waiting for the
+    /// threads (see the work-stealing scheduler's method of the same name):
+    /// detached threads keep the pool state alive via their own `Arc` and
+    /// exit whenever their job returns.
+    pub fn detach_workers(&self) {
+        drop(std::mem::take(&mut self.inner.state.lock().joiners));
+    }
+
+    /// Drops every job still queued, returning how many were dropped.
+    /// Dropping a spawned task's job runs the `PreparedTask` exit machinery,
+    /// completing its promises exceptionally.  Only meaningful after
+    /// [`begin_shutdown`](Self::begin_shutdown).
+    pub fn drain_queued(&self) -> usize {
+        let drained: Vec<Job> = {
+            let mut state = self.inner.state.lock();
+            state.queue.drain(..).collect()
+        };
+        // Dropped outside the pool lock: a job's drop settles promises and
+        // may wake waiters, which must never run under the pool mutex.
+        let n = drained.len();
+        drop(drained);
+        n
     }
 
     /// Stops accepting new jobs, wakes idle workers, and waits for all
     /// workers (and all queued jobs) to finish.
     pub fn shutdown(&self) {
-        let joiners = {
-            let mut state = self.inner.state.lock();
-            state.shutdown = true;
-            self.inner.work_available.notify_all();
-            std::mem::take(&mut state.joiners)
-        };
+        self.begin_shutdown();
+        let joiners = std::mem::take(&mut self.inner.state.lock().joiners);
         // If the final pool handle is dropped on a worker thread (a job held
         // the last `Arc`), that thread must not join itself.
         let self_id = std::thread::current().id();
@@ -481,6 +557,10 @@ mod tests {
         pool.submit(Job::new(|| panic!("job panic")));
         pool.submit(Job::new(move || tx.send(42).unwrap()));
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        // Join the workers before reading the counter: the panicking worker
+        // may still be unwinding when the second job's send arrives.
+        pool.shutdown();
+        assert_eq!(pool.stats().panics, 1, "caught panic is counted");
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promise_core::{
-    ArenaMemoryStats, ChaosConfig, Context, Executor, LedgerMode, OmittedSetAction, PolicyConfig,
-    PromiseError, VerificationMode,
+    Alarm, ArenaMemoryStats, ChaosConfig, Context, Executor, LedgerMode, OmittedSetAction,
+    PolicyConfig, PromiseError, StallReport, VerificationMode,
 };
 
 use crate::metrics::RunMetrics;
@@ -67,6 +67,148 @@ impl Pool {
             Pool::Stealing(s) => s.shutdown(),
         }
     }
+
+    fn begin_shutdown(&self) {
+        match self {
+            Pool::Growing(p) => p.begin_shutdown(),
+            Pool::Stealing(s) => s.begin_shutdown(),
+        }
+    }
+
+    fn try_join_workers(&self, deadline: Instant) -> bool {
+        match self {
+            Pool::Growing(p) => p.try_join_workers(deadline),
+            Pool::Stealing(s) => s.try_join_workers(deadline),
+        }
+    }
+
+    fn detach_workers(&self) {
+        match self {
+            Pool::Growing(p) => p.detach_workers(),
+            Pool::Stealing(s) => s.detach_workers(),
+        }
+    }
+
+    fn drain_queued(&self) -> usize {
+        match self {
+            Pool::Growing(p) => p.drain_queued(),
+            Pool::Stealing(s) => s.drain_queued(),
+        }
+    }
+}
+
+/// Configuration of the opt-in stall watchdog (see
+/// [`RuntimeBuilder::watchdog`]).
+///
+/// The watchdog is a monitor thread that samples each worker's progress
+/// stamp every `poll_interval` and records an [`Alarm::Stall`] into the
+/// context's alarm sink when a worker has been on one job for at least
+/// `stall_threshold`.  Each busy episode is flagged at most once.  Unlike
+/// the two verifier alarms this is a *liveness heuristic*, not a proof: a
+/// legitimately long-running job trips it too, so pick a threshold well
+/// above the workload's longest expected task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long a worker may sit on one job before it is flagged.
+    pub stall_threshold: Duration,
+    /// How often the monitor thread samples the worker stamps.
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_threshold: Duration::from_secs(1),
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The watchdog monitor thread plus its stop signal.  Stopping is prompt:
+/// the monitor parks on a condvar, not a bare sleep.
+struct Watchdog {
+    stop: Arc<(parking_lot::Mutex<bool>, parking_lot::Condvar)>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(
+        config: WatchdogConfig,
+        ctx: Arc<Context>,
+        sched: Arc<WorkStealingScheduler>,
+    ) -> Watchdog {
+        let stop = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("promise-watchdog".to_string())
+            .spawn(move || {
+                // worker slot -> busy episode already flagged, so one stuck
+                // job raises exactly one alarm however often it is sampled.
+                let mut flagged: std::collections::HashMap<usize, u64> =
+                    std::collections::HashMap::new();
+                let (lock, cv) = &*stop2;
+                let mut stopped = lock.lock();
+                while !*stopped {
+                    cv.wait_for(&mut stopped, config.poll_interval);
+                    if *stopped {
+                        break;
+                    }
+                    for p in sched.worker_progress() {
+                        match p.busy_for {
+                            Some(busy_for) if busy_for >= config.stall_threshold => {
+                                if flagged.get(&p.worker) != Some(&p.episode) {
+                                    flagged.insert(p.worker, p.episode);
+                                    ctx.record_alarm(Alarm::Stall(Arc::new(StallReport {
+                                        worker: p.worker,
+                                        busy_for,
+                                        jobs_executed: p.jobs_executed,
+                                    })));
+                                }
+                            }
+                            _ => {
+                                flagged.remove(&p.worker);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn watchdog thread");
+        Watchdog {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock() = true;
+        cv.notify_all();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// What a deadline-bounded shutdown accomplished (see
+/// [`Runtime::shutdown_with_deadline`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Whether every worker exited (drained or cancelled) before the report
+    /// was produced.  `false` means stragglers were detached: threads stuck
+    /// in user code that neither the deadline nor cancellation could reach.
+    pub clean: bool,
+    /// Queued jobs dropped at the deadline without running.  Each was
+    /// settled exceptionally through the task exit machinery — waiters
+    /// observe an error, nothing is lost silently.
+    pub dropped_jobs: usize,
+    /// Tasks that exited via cancellation during the shutdown window.
+    pub cancelled_tasks: u64,
+    /// Tasks whose body panicked during the shutdown window.
+    pub panicked_tasks: u64,
+    /// Wall-clock time the shutdown took.
+    pub wall: Duration,
 }
 
 /// Builder for [`Runtime`].
@@ -80,6 +222,7 @@ pub struct RuntimeBuilder {
     blocked_aware_growth: bool,
     chaos: Option<ChaosConfig>,
     event_log: bool,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RuntimeBuilder {
@@ -93,6 +236,7 @@ impl Default for RuntimeBuilder {
             blocked_aware_growth: false,
             chaos: None,
             event_log: false,
+            watchdog: None,
         }
     }
 }
@@ -206,6 +350,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the opt-in stall watchdog (see [`WatchdogConfig`]): a monitor
+    /// thread samples each worker's progress stamp and records an
+    /// [`Alarm::Stall`] when a worker sits on one job beyond the threshold.
+    ///
+    /// Only the work-stealing scheduler exposes progress stamps; with
+    /// [`SchedulerKind::GrowingPool`] the knob is ignored.  Off by default —
+    /// a stall alarm is a liveness heuristic, not a verifier result, so it
+    /// must never fire in workloads that did not ask for it.
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
     /// How long idle pool workers linger before retiring.
     pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
         self.pool.keep_alive = keep_alive;
@@ -266,7 +423,19 @@ impl RuntimeBuilder {
         };
         let installed = ctx.set_executor(pool.as_executor());
         debug_assert!(installed);
-        Runtime { ctx, pool }
+        let watchdog = match (&self.watchdog, &pool) {
+            (Some(config), Pool::Stealing(sched)) => Some(Watchdog::spawn(
+                config.clone(),
+                Arc::clone(&ctx),
+                Arc::clone(sched),
+            )),
+            _ => None,
+        };
+        Runtime {
+            watchdog,
+            ctx,
+            pool,
+        }
     }
 }
 
@@ -274,6 +443,9 @@ impl RuntimeBuilder {
 ///
 /// Dropping the runtime shuts the scheduler down (waiting for queued tasks).
 pub struct Runtime {
+    /// First field so the monitor thread stops (and releases its `Arc`s to
+    /// the context and scheduler) before the pool's drop-shutdown runs.
+    watchdog: Option<Watchdog>,
     ctx: Arc<Context>,
     pool: Pool,
 }
@@ -370,8 +542,65 @@ impl Runtime {
     }
 
     /// Shuts down the scheduler, waiting for queued tasks to finish.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
+        // Stop the watchdog first: once workers start exiting, a slow
+        // sample would race retirements for no benefit.
+        self.watchdog.take();
         self.pool.shutdown();
+    }
+
+    /// Deadline-aware shutdown: stop admission, let in-flight work drain,
+    /// and escalate at the deadline instead of waiting forever.
+    ///
+    /// Phases:
+    ///
+    /// 1. **Stop admission** — no new jobs or workers are accepted; live
+    ///    workers keep draining the queues.
+    /// 2. **Drain** — wait (bounded by `deadline`) for every worker to
+    ///    finish and exit.  A quiet runtime completes here and the report
+    ///    says [`clean`](ShutdownReport::clean).
+    /// 3. **Cancel** — at the deadline, the context-wide shutdown token is
+    ///    cancelled: every blocked `get` wakes with
+    ///    [`PromiseError::Cancelled`], running tasks observe
+    ///    `TaskScope::is_cancelled`, and cancelled tasks settle their
+    ///    obligations exceptionally (no omitted-set alarms).  Jobs still
+    ///    queued are dropped, which settles their promises the same way.
+    /// 4. **Bounded join** — stragglers get one scheduling quantum
+    ///    (`100 ms`) to observe the cancellation and exit; any worker still
+    ///    stuck in user code after that is *detached* (its thread exits
+    ///    harmlessly whenever the job returns) so this call — and the later
+    ///    drop of the runtime — never hangs on it.
+    ///
+    /// Returns within `deadline` plus approximately one scheduling quantum.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> ShutdownReport {
+        /// Grace period phase 4 grants past the deadline.
+        const QUANTUM: Duration = Duration::from_millis(100);
+        let start = Instant::now();
+        let deadline_at = start + deadline;
+        let before = self.ctx.counter_snapshot();
+        self.watchdog.take();
+        self.pool.begin_shutdown();
+        let mut clean = self.pool.try_join_workers(deadline_at);
+        let mut dropped_jobs = 0;
+        if !clean {
+            self.ctx.shutdown_token().cancel();
+            dropped_jobs = self.pool.drain_queued();
+            clean = self.pool.try_join_workers(Instant::now() + QUANTUM);
+            if !clean {
+                self.pool.detach_workers();
+            }
+        }
+        // Settle anything that raced admission (also runs in the clean case,
+        // where it finds the queues empty).
+        dropped_jobs += self.pool.drain_queued();
+        let after = self.ctx.counter_snapshot();
+        ShutdownReport {
+            clean,
+            dropped_jobs,
+            cancelled_tasks: after.tasks_cancelled.saturating_sub(before.tasks_cancelled),
+            panicked_tasks: after.tasks_panicked.saturating_sub(before.tasks_panicked),
+            wall: start.elapsed(),
+        }
     }
 }
 

@@ -41,8 +41,9 @@ mod injector;
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -190,11 +191,51 @@ enum WakePolicy {
     NudgeIdle,
 }
 
+/// A worker's progress stamp, updated around every job it runs and sampled
+/// by the stall watchdog (see [`WorkStealingScheduler::worker_progress`]).
+///
+/// `busy_since_ns` is the scheduler-epoch-relative time (always non-zero) at
+/// which the worker picked up its current job, or `0` while the worker is
+/// between jobs.  The raw value doubles as a *busy-episode id*: two samples
+/// reading the same non-zero value are watching the same stuck job, which is
+/// how the watchdog avoids flagging one stall twice.
+struct WorkerStamp {
+    busy_since_ns: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl WorkerStamp {
+    fn new() -> Arc<WorkerStamp> {
+        Arc::new(WorkerStamp {
+            busy_since_ns: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A point-in-time view of one worker's progress stamp.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkerProgress {
+    /// The worker's slot index within its scheduler.
+    pub worker: usize,
+    /// How long the worker has been on its current job (`None` = idle).
+    pub busy_for: Option<Duration>,
+    /// Jobs the worker has completed so far.
+    pub jobs_executed: u64,
+    /// Identifies the current busy episode: two samples with equal non-zero
+    /// `episode` are watching the *same* job execution.
+    pub episode: u64,
+}
+
 struct SchedState {
     config: SchedulerConfig,
     injector: injector::Injector,
     /// Registered stealers, indexed by worker slot; `None` = retired slot.
     workers: RwLock<Vec<Option<Stealer>>>,
+    /// Per-worker progress stamps, indexed like `workers`.
+    stamps: RwLock<Vec<Option<Arc<WorkerStamp>>>>,
+    /// Time base for the progress stamps.
+    epoch: Instant,
     park: Mutex<ParkState>,
     park_cv: Condvar,
     /// Fast mirrors of the park-lock bookkeeping for lock-free probes.
@@ -210,6 +251,10 @@ struct SchedState {
     stolen: AtomicUsize,
     batches: AtomicUsize,
     batch_jobs: AtomicUsize,
+    /// Jobs whose body panicked (caught at the job boundary; the worker
+    /// survived).  Executor-level backstop — the task layer also settles the
+    /// panicked task's promises and keeps its own counter.
+    panics: AtomicUsize,
     shutdown: AtomicBool,
     joiners: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -226,6 +271,8 @@ impl WorkStealingScheduler {
         let state = Arc::new(SchedState {
             injector: injector::Injector::new(config.injector_shards),
             workers: RwLock::new(Vec::new()),
+            stamps: RwLock::new(Vec::new()),
+            epoch: Instant::now(),
             park: Mutex::new(ParkState {
                 idle: 0,
                 wakeups: 0,
@@ -243,6 +290,7 @@ impl WorkStealingScheduler {
             stolen: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
             batch_jobs: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             joiners: Mutex::new(Vec::new()),
             config,
@@ -381,19 +429,140 @@ impl WorkStealingScheduler {
             batches_submitted: state.batches.load(Ordering::Relaxed),
             jobs_batch_submitted: state.batch_jobs.load(Ordering::Relaxed),
             queued_jobs: state.injector.len() + local_queued,
+            panics: state.panics.load(Ordering::Relaxed),
         }
+    }
+
+    /// Samples every live worker's progress stamp (see [`WorkerProgress`]).
+    ///
+    /// This is the stall watchdog's input: a worker whose `busy_for` keeps
+    /// growing across samples with an unchanged `episode` is stuck on one
+    /// job (long-running, blocked outside the promise hooks, or livelocked).
+    pub fn worker_progress(&self) -> Vec<WorkerProgress> {
+        let now = self.state.epoch.elapsed().as_nanos() as u64;
+        self.state
+            .stamps
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(worker, stamp)| {
+                let stamp = stamp.as_ref()?;
+                let busy_since = stamp.busy_since_ns.load(Ordering::Relaxed);
+                Some(WorkerProgress {
+                    worker,
+                    busy_for: (busy_since != 0)
+                        .then(|| Duration::from_nanos(now.saturating_sub(busy_since))),
+                    jobs_executed: stamp.jobs.load(Ordering::Relaxed),
+                    episode: busy_since,
+                })
+            })
+            .collect()
+    }
+
+    /// Stops admission and wakes every worker without waiting for them.
+    ///
+    /// The first phase of both [`shutdown`](Self::shutdown) and the
+    /// deadline-bounded drain: after this call no new job or worker is
+    /// accepted, and live workers exit on their own once every queue is
+    /// empty.
+    pub fn begin_shutdown(&self) {
+        let state = &self.state;
+        state.shutdown.store(true, Ordering::Release);
+        let mut st = state.park.lock();
+        st.shutdown = true;
+        state.park_cv.notify_all();
+    }
+
+    /// Waits until every worker has exited or `deadline` passes, joining
+    /// finished workers as it goes.  Returns `true` when all workers are
+    /// gone; on `false`, the unfinished handles stay registered (a later
+    /// [`shutdown`](Self::shutdown), [`try_join_workers`](Self::try_join_workers)
+    /// or [`detach_workers`](Self::detach_workers) picks them up).
+    ///
+    /// Call [`begin_shutdown`](Self::begin_shutdown) first, or idle workers
+    /// will simply sit parked until the deadline.
+    pub fn try_join_workers(&self, deadline: Instant) -> bool {
+        let state = &self.state;
+        let self_id = std::thread::current().id();
+        let mut pending: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            // Merge workers registered concurrently (grow-on-block during
+            // the drain).
+            pending.extend(std::mem::take(&mut *state.joiners.lock()));
+            let mut still_running = Vec::new();
+            for j in pending.drain(..) {
+                // As in `shutdown`: never join the calling thread itself.
+                if j.thread().id() == self_id {
+                    continue;
+                }
+                if j.is_finished() {
+                    let _ = j.join();
+                } else {
+                    still_running.push(j);
+                }
+            }
+            pending = still_running;
+            if pending.is_empty() {
+                if state.joiners.lock().is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            if Instant::now() >= deadline {
+                state.joiners.lock().extend(pending);
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Abandons the remaining worker join handles without waiting for the
+    /// threads.  Used after a deadline-bounded shutdown gave up on
+    /// stragglers: the detached threads keep the scheduler state alive via
+    /// their own `Arc` and exit harmlessly whenever their job returns, while
+    /// the final [`shutdown`](Self::shutdown) (e.g. from `Drop`) no longer
+    /// blocks on them.
+    pub fn detach_workers(&self) {
+        drop(std::mem::take(&mut *self.state.joiners.lock()));
+    }
+
+    /// Drops every job still queued (injector shards and stealable deque
+    /// tails), returning how many were dropped.  Dropping a spawned task's
+    /// job runs the `PreparedTask` exit machinery, completing its promises
+    /// exceptionally — waiters observe an error instead of hanging.
+    ///
+    /// Only meaningful after [`begin_shutdown`](Self::begin_shutdown) (the
+    /// admission flag keeps new jobs out of the swept queues).
+    pub fn drain_queued(&self) -> usize {
+        let state = &self.state;
+        let mut dropped = 0usize;
+        for job in state.injector.drain_locked() {
+            drop(job);
+            dropped += 1;
+        }
+        // A worker stuck *outside* the promise hooks never handed its deque
+        // off; steal those jobs out from under it.
+        let workers = state.workers.read();
+        for stealer in workers.iter().flatten() {
+            loop {
+                match stealer.steal() {
+                    Steal::Success(job) => {
+                        drop(job);
+                        dropped += 1;
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            }
+        }
+        dropped
     }
 
     /// Stops accepting new jobs, wakes every worker, and waits until all
     /// queued jobs have run and all workers have exited.
     pub fn shutdown(&self) {
         let state = &self.state;
-        state.shutdown.store(true, Ordering::Release);
-        {
-            let mut st = state.park.lock();
-            st.shutdown = true;
-            state.park_cv.notify_all();
-        }
+        self.begin_shutdown();
         // Workers spawned during the drain (grow-on-block) register their
         // join handles concurrently; keep joining until none are left.  If
         // the final scheduler handle is dropped *on* a worker thread (a job
@@ -536,15 +705,19 @@ impl SchedState {
             return;
         }
         let (deque, stealer) = WorkerDeque::new(self.config.local_queue_capacity);
+        let stamp = WorkerStamp::new();
         let idx = {
             let mut workers = self.workers.write();
+            let mut stamps = self.stamps.write();
             match workers.iter().position(Option::is_none) {
                 Some(i) => {
                     workers[i] = Some(stealer);
+                    stamps[i] = Some(Arc::clone(&stamp));
                     i
                 }
                 None => {
                     workers.push(Some(stealer));
+                    stamps.push(Some(Arc::clone(&stamp)));
                     workers.len() - 1
                 }
             }
@@ -559,7 +732,7 @@ impl SchedState {
         }
         let state = Arc::clone(self);
         let handle = builder
-            .spawn(move || worker_entry(state, idx, deque))
+            .spawn(move || worker_entry(state, idx, deque, stamp))
             .expect("failed to spawn scheduler worker thread");
         self.joiners.lock().push(handle);
     }
@@ -750,18 +923,27 @@ impl SchedState {
         self.blocked.fetch_sub(1, Ordering::SeqCst);
     }
 
-    fn run_job(&self, job: Job) {
+    fn run_job(&self, stamp: &WorkerStamp, job: Job) {
+        // Progress stamp: non-zero while on a job (the raw value is the
+        // busy-episode id the watchdog dedupes on), zeroed when done.
+        let now = (self.epoch.elapsed().as_nanos() as u64).max(1);
+        stamp.busy_since_ns.store(now, Ordering::Relaxed);
         // A panicking job must not take the worker down; panics are surfaced
         // through the task's promises by the spawn wrapper.
-        let _ = catch_unwind(AssertUnwindSafe(|| job.run()));
+        let panicked = catch_unwind(AssertUnwindSafe(|| job.run())).is_err();
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
         self.executed.fetch_add(1, Ordering::Relaxed);
+        stamp.jobs.fetch_add(1, Ordering::Relaxed);
+        stamp.busy_since_ns.store(0, Ordering::Relaxed);
     }
 
-    fn worker_loop(self: &Arc<Self>, idx: usize, local: &LocalQueue) {
+    fn worker_loop(self: &Arc<Self>, idx: usize, local: &LocalQueue, stamp: &WorkerStamp) {
         let keep_alive = self.config.base.keep_alive;
         loop {
             if let Some(job) = self.find_work(idx, local) {
-                self.run_job(job);
+                self.run_job(stamp, job);
                 continue;
             }
             // Nothing found: decide between parking, retiring, and exiting.
@@ -823,6 +1005,7 @@ impl SchedState {
         }
         // Retire: our own deque is empty (pop failed just before exiting).
         self.workers.write()[idx] = None;
+        self.stamps.write()[idx] = None;
         self.current.fetch_sub(1, Ordering::SeqCst);
         // Close the blocked-aware retire race: a submission that raced this
         // retirement may have loaded `current` *before* the decrement above,
@@ -844,7 +1027,7 @@ impl SchedState {
     }
 }
 
-fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
+fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque, stamp: Arc<WorkerStamp>) {
     struct ResetTls;
     impl Drop for ResetTls {
         fn drop(&mut self) {
@@ -866,7 +1049,7 @@ fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque) {
         }))
     });
     let _reset = ResetTls;
-    state.worker_loop(idx, &local);
+    state.worker_loop(idx, &local, &stamp);
     // Retirement hook (while the counter-slot registration is still active,
     // so the per-worker magazines claimed under it — arena slots, job and
     // promise-cell blocks; see `promise_core::magazine` — can be identified
@@ -1102,6 +1285,96 @@ mod tests {
             .ok()
             .unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        // Join the workers before reading the counter: the panicking worker
+        // may still be unwinding when the second job's send arrives.
+        sched.shutdown();
+        assert_eq!(sched.stats().panics, 1, "caught panic is counted");
+    }
+
+    #[test]
+    fn worker_progress_reports_a_busy_worker() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        sched
+            .submit(Job::new(move || {
+                started_tx.send(()).unwrap();
+                let _ = release_rx.recv_timeout(Duration::from_secs(10));
+            }))
+            .ok()
+            .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // The worker is now stuck inside the job; its stamp must say so.
+        let mut saw_busy = false;
+        for _ in 0..100 {
+            if let Some(p) = sched
+                .worker_progress()
+                .iter()
+                .find(|p| p.busy_for.is_some())
+            {
+                assert_ne!(p.episode, 0, "busy episode id is non-zero");
+                saw_busy = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_busy, "a worker executing a job must sample as busy");
+        release_tx.send(()).unwrap();
+        sched.shutdown();
+        assert!(
+            sched.worker_progress().is_empty(),
+            "retired workers drop their stamps"
+        );
+    }
+
+    #[test]
+    fn deadline_bounded_shutdown_gives_up_on_a_stuck_worker() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        sched
+            .submit(Job::new(move || {
+                started_tx.send(()).unwrap();
+                // Stuck outside the promise hooks: invisible to cancellation.
+                let _ = release_rx.recv_timeout(Duration::from_secs(10));
+            }))
+            .ok()
+            .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        sched.begin_shutdown();
+        let deadline = std::time::Instant::now() + Duration::from_millis(100);
+        assert!(
+            !sched.try_join_workers(deadline),
+            "the stuck worker must defeat the bounded join"
+        );
+        sched.detach_workers();
+        release_tx.send(()).unwrap();
+        // With the straggler detached, the blocking shutdown returns
+        // immediately instead of waiting on it.
+        sched.shutdown();
+    }
+
+    #[test]
+    fn bounded_join_succeeds_when_workers_drain_in_time() {
+        let sched = WorkStealingScheduler::new(small_config());
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            sched
+                .submit(Job::new(move || tx.send(i).unwrap()))
+                .ok()
+                .unwrap();
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        sched.begin_shutdown();
+        assert!(
+            sched.try_join_workers(std::time::Instant::now() + Duration::from_secs(5)),
+            "idle workers must exit well before the deadline"
+        );
+        assert_eq!(sched.stats().current_workers, 0);
+        assert_eq!(sched.drain_queued(), 0);
     }
 
     #[test]

@@ -63,10 +63,29 @@
 //!   completion promise carries the omitted-set report, so the parent's
 //!   `join` observes the violation (in addition to the context-level alarm
 //!   and the exceptional completion of the abandoned promises themselves);
-//! * if the body panicked, the completion promise carries
-//!   [`PromiseError::TaskFailed`], and any promises the task still owned are
-//!   reported and completed exceptionally, mirroring the AWS SDK bug fix the
-//!   paper discusses (§1.4, §6.2).
+//! * if the body panicked, the panic is **contained here**: the completion
+//!   promise carries [`PromiseError::TaskPanicked`], and any promises the
+//!   task still owned are reported and completed exceptionally, mirroring
+//!   the AWS SDK bug fix the paper discusses (§1.4, §6.2).  The worker
+//!   thread survives and keeps serving jobs — a panicking task cannot take
+//!   the runtime down with it;
+//! * if the task was cancelled (its [`CancelToken`](promise_core::CancelToken)
+//!   or the context-wide shutdown token pulled) by the time it terminated,
+//!   the completion promise carries [`PromiseError::Cancelled`] — even when
+//!   the body happened to return a value, because the caller asked for the
+//!   subtree to be abandoned — and its remaining obligations settle as
+//!   `Cancelled` without an omitted-set alarm.  A panic wins over a
+//!   cancellation: a body that blew up *and* was cancelled reports the panic.
+//!
+//! ## Why a contained panic can never strand an obligation
+//!
+//! The unwind is caught *before* the exit check, so the rule-3 sweep below
+//! always runs: every promise the dead task still owned — including ones it
+//! received by transfer and never got to touch — is completed exceptionally
+//! and blamed, and the fused completion promise is settled last.  There is
+//! no code path out of `run_task` (value, panic, or cancellation) that
+//! leaves a promise unfulfilled, which is exactly the paper's "at least one
+//! set" guarantee extended to crashing tasks.
 //!
 //! The completion promise is settled only *after* the task has fully
 //! retired (exit check run, arena slot freed), so a `join` returning implies
@@ -81,11 +100,13 @@ use std::sync::Arc;
 
 use promise_core::ownership;
 use promise_core::task::{self, PreparedTask};
-use promise_core::{collect_promises, Job, Promise, PromiseCollection, PromiseError, ResultSlot};
+use promise_core::{
+    collect_promises, CancelToken, Job, Promise, PromiseCollection, PromiseError, ResultSlot,
+};
 
 use crate::handle::{CompletionPromise, TaskHandle};
 
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -176,6 +197,34 @@ where
     try_spawn_named(None, transfers, f)
 }
 
+/// Like [`spawn`] but attaches a fresh [`CancelToken`] to the task, making
+/// it (and any children it spawns, which inherit the token) a cancellable
+/// subtree.  [`TaskHandle::cancel`] pulls the token.
+pub fn spawn_cancellable<C, F, R>(transfers: C, f: F) -> TaskHandle<R>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    try_spawn_with_token(None, CancelToken::new(), transfers, f).expect("spawn failed")
+}
+
+/// Fallible form of [`spawn_cancellable`] with an explicit name and token —
+/// pass one token to several spawns to cancel them as a group.
+pub fn try_spawn_with_token<C, F, R>(
+    name: Option<&str>,
+    token: CancelToken,
+    transfers: C,
+    f: F,
+) -> Result<TaskHandle<R>, PromiseError>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    spawn_inner(name, Some(token), transfers, f)
+}
+
 /// Fallible form of [`spawn_named`].
 pub fn try_spawn_named<C, F, R>(
     name: Option<&str>,
@@ -187,9 +236,30 @@ where
     F: FnOnce() -> R + Send + 'static,
     R: Send + 'static,
 {
-    let (ctx, prepared, completion) = prepare_spawn::<R>(name, &transfers)?;
+    spawn_inner(name, None, transfers, f)
+}
+
+fn spawn_inner<C, F, R>(
+    name: Option<&str>,
+    token: Option<CancelToken>,
+    transfers: C,
+    f: F,
+) -> Result<TaskHandle<R>, PromiseError>
+where
+    C: PromiseCollection,
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (ctx, mut prepared, completion) = prepare_spawn::<R>(name, &transfers)?;
+    if let Some(token) = token {
+        prepared.attach_cancel_token(token);
+    }
     let task_id = prepared.id();
     let task_name = prepared.name();
+    // The handle carries the task's *effective* token (attached above, or
+    // inherited from the parent) so `TaskHandle::cancel` always reaches the
+    // token the task actually observes.
+    let cancel = prepared.cancel_token();
 
     let executor = ctx.executor().expect(
         "no executor installed in this Context; spawn tasks from within a Runtime (block_on)",
@@ -207,7 +277,7 @@ where
         return Err(PromiseError::RuntimeShutdown { task: task_id });
     }
 
-    Ok(TaskHandle::new(task_id, task_name, completion))
+    Ok(TaskHandle::new(task_id, task_name, completion, cancel))
 }
 
 /// The wrapper that executes a prepared task on a worker thread: activate,
@@ -221,17 +291,24 @@ where
     let scope = prepared.activate();
     let task_id = scope.id();
     let outcome = catch_unwind(AssertUnwindSafe(f));
-    let panic_msg = match outcome {
+    let (panic_msg, panic_payload) = match outcome {
         Ok(value) => {
             // Fused result: written into the completion cell's typed slot
             // before the completion promise publishes, so the joiner's
             // acquire observation of the fulfilment also sees the value.
             let _ = completion.extra().put(value);
-            None
+            (None, None)
         }
-        Err(payload) => Some(panic_message(payload)),
+        Err(payload) => (Some(panic_message(&*payload)), Some(payload)),
     };
 
+    if panic_msg.is_some() {
+        // Contained: counted and (when the log is on) recorded before the
+        // exit sweep, so a metrics snapshot taken by the woken joiner can
+        // never miss the panic that produced its error.
+        scope.record_panic();
+    }
+    let cancelled = scope.is_cancelled();
     let completion_id = completion.id();
     // Exit check (Algorithm 1 rule 3), with the completion promise excluded:
     // it is legitimately still owned here and is settled below, *after* the
@@ -240,6 +317,26 @@ where
     // joiner observe a half-terminated task.
     let report = scope.finish_excluding(&[completion_id]);
     match (panic_msg, report) {
+        (Some(msg), _) => {
+            // The body panicked: the joiner observes the failure; any
+            // abandoned promises are settled (and blamed) separately.  A
+            // panic wins over a concurrent cancellation — the crash is the
+            // more diagnostic outcome.
+            completion
+                .as_erased()
+                .complete_abandoned(PromiseError::TaskPanicked {
+                    task: task_id,
+                    message: Arc::from(msg.as_str()),
+                });
+        }
+        (None, _) if cancelled => {
+            // Cancelled before termination: the joiner observes the
+            // cancellation even when the body returned a value — the caller
+            // asked for the subtree's work to be abandoned.
+            completion
+                .as_erased()
+                .complete_abandoned(PromiseError::Cancelled { task: task_id });
+        }
         (None, None) => {
             // Clean termination: all obligations met.
             completion.fulfill_detached(());
@@ -251,16 +348,17 @@ where
                 .as_erased()
                 .complete_abandoned(PromiseError::OmittedSet(report));
         }
-        (Some(msg), _) => {
-            // The body panicked: the joiner observes the failure; any
-            // abandoned promises are settled (and blamed) separately.
-            completion
-                .as_erased()
-                .complete_abandoned(PromiseError::TaskFailed {
-                    task: task_id,
-                    message: Arc::from(msg.as_str()),
-                });
-        }
+    }
+    if let Some(payload) = panic_payload {
+        // Containment is complete — the panic was counted, the exit sweep
+        // ran, and the completion settled — so re-raise the original payload
+        // for the worker's executor-level `catch_unwind`.  That backstop is
+        // what keeps the worker thread alive, and letting it see the unwind
+        // keeps `PoolStats::panics` an honest count of every job that
+        // panicked (not just the ones that escaped the task machinery).
+        // `resume_unwind` does not re-run the panic hook, so the panic is
+        // printed once, at the original `panic!` site.
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -325,7 +423,7 @@ pub mod legacy {
                     *result_in_task.lock() = Some(value);
                     None
                 }
-                Err(payload) => Some(panic_message(payload)),
+                Err(payload) => Some(panic_message(&*payload)),
             };
             let completion_id = completion_in_task.id();
             let report = scope.finish_excluding(&[completion_id]);
@@ -341,7 +439,7 @@ pub mod legacy {
                 (Some(msg), _) => {
                     completion_in_task
                         .as_erased()
-                        .complete_abandoned(PromiseError::TaskFailed {
+                        .complete_abandoned(PromiseError::TaskPanicked {
                             task: task_id,
                             message: Arc::from(msg.as_str()),
                         });

@@ -45,8 +45,8 @@ fn join_surfaces_task_panics() {
         let h = spawn((), || -> i32 { panic!("boom") });
         let err = h.join().unwrap_err();
         match err {
-            PromiseError::TaskFailed { message, .. } => assert!(message.contains("boom")),
-            other => panic!("expected TaskFailed, got {other:?}"),
+            PromiseError::TaskPanicked { message, .. } => assert!(message.contains("boom")),
+            other => panic!("expected TaskPanicked, got {other:?}"),
         }
     })
     .unwrap();

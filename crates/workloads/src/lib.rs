@@ -24,7 +24,11 @@
 //! * [`chaos`] runs a planted-bug detection campaign — seeded random
 //!   programs with known deadlocks and omitted sets, executed on real
 //!   runtimes under chaos fault injection and graded against the model
-//!   oracle — reporting recall, false alarms, and detection latency.
+//!   oracle — reporting recall, false alarms, and detection latency;
+//! * [`resilience`] injects an exact, parameter-pinned mix of task panics,
+//!   subtree cancellations, and timed-get timeouts under load, asserting
+//!   the fault-containment layer gives every failure a typed outcome (the
+//!   run completes, every promise settles, counters match the injection).
 //!
 //! Every workload is a pure library function that must be called from inside
 //! a task (`Runtime::block_on` or a spawned task); it returns a checksum so
@@ -47,6 +51,7 @@ pub mod data;
 pub mod heat;
 pub mod qsort;
 pub mod randomized;
+pub mod resilience;
 pub mod sieve;
 pub mod smithwaterman;
 pub mod strassen;
@@ -203,6 +208,13 @@ pub fn all_workloads() -> Vec<Workload> {
             table1: false,
             runner: chaos::run_scaled,
         },
+        Workload {
+            name: "Resilience",
+            description:
+                "exact-count panic/cancel/timeout injection under load; every fault settles typed",
+            table1: false,
+            runner: resilience::run_scaled,
+        },
     ]
 }
 
@@ -241,7 +253,8 @@ mod tests {
                 "StreamCluster",
                 "StreamCluster2",
                 "Churn",
-                "Chaos"
+                "Chaos",
+                "Resilience"
             ]
         );
         let table1: Vec<_> = all_workloads()
