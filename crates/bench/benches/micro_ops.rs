@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use promise_core::{MutexCell, OneShotCell, Promise, VerificationMode};
+use promise_core::{HelpConfig, MutexCell, OneShotCell, Promise, VerificationMode};
 use promise_runtime::{spawn, Runtime, SchedulerKind};
 
 /// The two one-shot cell implementations under one bench-able surface: the
@@ -165,6 +165,53 @@ fn promise_ops(c: &mut Criterion) {
                     let v = p.get().unwrap();
                     h.join().unwrap();
                     v
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The cost of one *blocking* `get` under steal-to-wait helping on vs off
+/// (PR 9): the root spawns a fulfiller with a short compute and immediately
+/// gets, reaching the unfulfilled promise first.  With helping on the
+/// blocked root pops the fulfiller from the injector and runs it inline
+/// (no park, no wake hand-off); with helping off the get takes the
+/// pre-helping park-and-grow path — `HelpConfig::disabled()` must cost
+/// exactly one untaken branch there, so this pair is the regression guard
+/// for the "off means unchanged" claim: the help-off number must track the
+/// bench's own history, not the help-on number.
+fn blocked_get_help(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops");
+    group.measurement_time(Duration::from_secs(2));
+    for (label, config) in [
+        ("help-on", HelpConfig::default()),
+        ("help-off", HelpConfig::disabled()),
+    ] {
+        let rt = Runtime::builder()
+            .verification(VerificationMode::Full)
+            .help(config)
+            .initial_workers(1)
+            .worker_keep_alive(Duration::from_secs(10))
+            .build();
+        // Warm the pool so thread creation is off the measured path.
+        rt.block_on(|| {
+            let h = spawn((), || 1u64);
+            h.join().unwrap()
+        })
+        .unwrap();
+        group.bench_function(BenchmarkId::new("blocked_get_help", label), |b| {
+            b.iter(|| {
+                rt.block_on(|| {
+                    let h = spawn((), || {
+                        let mut x = 1u64;
+                        for i in 0..black_box(200u64) {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                        }
+                        x
+                    });
+                    h.join().unwrap()
                 })
                 .unwrap()
             });
@@ -341,6 +388,7 @@ criterion_group!(
     benches,
     cell_compare,
     promise_ops,
+    blocked_get_help,
     detector_chain,
     scheduler_compare
 );

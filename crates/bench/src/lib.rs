@@ -90,15 +90,25 @@ impl BenchmarkResult {
 /// full workload suite.
 pub static BLOCKED_AWARE_GROWTH: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide switch: when set (the `--no-help` CLI flag), [`runtime_for`]
+/// builds runtimes with steal-to-wait helping disabled
+/// (`RuntimeBuilder::help(HelpConfig::disabled())`) — the soak variant that
+/// pins the park-always baseline and the `blocked_get_help` bench's
+/// off-path parity claim.
+pub static HELP_DISABLED: AtomicBool = AtomicBool::new(false);
+
 /// Builds a runtime for one of the two evaluated configurations.
 pub fn runtime_for(mode: VerificationMode) -> Runtime {
-    Runtime::builder()
+    let mut builder = Runtime::builder()
         .verification(mode)
         .blocked_aware_growth(BLOCKED_AWARE_GROWTH.load(Ordering::Relaxed))
         // Keep idle workers around between repeated runs, like the paper's
         // persistent thread pool within one VM instance.
-        .worker_keep_alive(Duration::from_secs(2))
-        .build()
+        .worker_keep_alive(Duration::from_secs(2));
+    if HELP_DISABLED.load(Ordering::Relaxed) {
+        builder = builder.help(promise_runtime::HelpConfig::disabled());
+    }
+    builder.build()
 }
 
 /// Runs `workload` once on `rt` and returns its metrics.  Panics if the
@@ -487,6 +497,9 @@ pub struct CliOptions {
     /// Build the measured runtimes with the opt-in blocked-aware growth
     /// heuristic (see [`BLOCKED_AWARE_GROWTH`]).
     pub blocked_aware_growth: bool,
+    /// Build the measured runtimes with steal-to-wait helping disabled
+    /// (see [`HELP_DISABLED`]; helping is on by default).
+    pub no_help: bool,
 }
 
 impl Default for CliOptions {
@@ -500,6 +513,7 @@ impl Default for CliOptions {
             json_path: Some("BENCH_table1.json".to_string()),
             compare: None,
             blocked_aware_growth: false,
+            no_help: false,
         }
     }
 }
@@ -509,7 +523,7 @@ impl CliOptions {
     /// Recognised flags: `--scale <smoke|default|stress|paper>`, `--runs N`,
     /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`,
     /// `--json PATH`, `--no-json`, `--compare OLD.json NEW.json`,
-    /// `--blocked-aware-growth`.
+    /// `--blocked-aware-growth`, `--no-help`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut i = 0;
@@ -542,6 +556,7 @@ impl CliOptions {
                 }
                 "--no-memory" => opts.skip_memory = true,
                 "--blocked-aware-growth" => opts.blocked_aware_growth = true,
+                "--no-help" => opts.no_help = true,
                 "--json" => {
                     i += 1;
                     opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
@@ -608,6 +623,7 @@ mod tests {
             "--filter",
             "heat",
             "--no-memory",
+            "--no-help",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -617,6 +633,7 @@ mod tests {
         assert_eq!(opts.runs, 2);
         assert_eq!(opts.warmups, 0);
         assert!(opts.skip_memory);
+        assert!(opts.no_help);
         assert_eq!(opts.workloads().len(), 1);
         assert_eq!(opts.workloads()[0].name, "Heat");
 

@@ -22,10 +22,13 @@
 //! publishes the flag (Release) and then wakes every registered queue.
 //! Registration and cancellation serialize on the token's internal mutex, so
 //! the standard futex-style guarantee holds: either the waiter's predicate
-//! re-check (inside `WaitQueue::wait_until`, under the queue lock) sees the
-//! flag, or the waiter is already parked when the wake arrives.  The
-//! registration guard unregisters on drop — under the same mutex — so a
-//! queue pointer can never outlive the wait that registered it.
+//! re-check (inside `WaitQueue::wait_until`, which enrols the parked thread
+//! before checking) sees the flag, or the waiter's enrolled entry is found
+//! and unparked by the wake.  (`WaitQueue` parks through an address-keyed
+//! shard table; `wake_all` sweeps the queue's shard window, so the guarantee
+//! is per-waiter regardless of which shard its thread parks on.)  The registration guard unregisters on drop — under
+//! the same mutex — so a queue pointer can never outlive the wait that
+//! registered it.
 
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, Ordering};

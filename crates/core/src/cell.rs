@@ -34,13 +34,13 @@
 //! * The filler writes the payload, runs the caller's pre-publish hook (the
 //!   counter-recording seam — see below), then publishes with
 //!   `swap(SET|FAILED, AcqRel)`.  The swap's return value tells the filler
-//!   whether any waiter set `HAS_WAITERS`; only then does it take the
-//!   [`WaitQueue`] lock to wake.  The uncontended fill never touches the
-//!   queue.
+//!   whether any waiter set `HAS_WAITERS`; only then does it sweep the
+//!   [`WaitQueue`]'s parking shards to wake.  The uncontended fill never
+//!   touches the queue.
 //! * A blocking reader announces itself with `fetch_or(HAS_WAITERS, AcqRel)`
 //!   — if the returned phase is already `SET`/`FAILED` it returns on the
-//!   spot — and then parks on the [`WaitQueue`], whose internal lock makes
-//!   the announce/park vs. publish/wake race lossless (see
+//!   spot — and then parks on the [`WaitQueue`], whose enrol-before-check
+//!   protocol makes the announce/park vs. publish/wake race lossless (see
 //!   [`waitq`](crate::waitq)).
 //!
 //! # Memory ordering
@@ -89,6 +89,23 @@ pub enum CellWait {
     TimedOut,
     /// The external interrupt condition (cancellation) became true first.
     Interrupted,
+}
+
+/// How a steal-to-wait helping loop on a [`OneShotCell`] ended (see
+/// [`OneShotCell::wait_helping`]).  Unlike [`CellWait`] it has a fourth
+/// outcome: the loop ran out of runnable work and the caller should fall
+/// through to a real park.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HelpWait {
+    /// The cell was filled (possibly by a job the loop ran inline).
+    Filled,
+    /// The external interrupt condition (cancellation) became true.
+    Interrupted,
+    /// The deadline passed; a timed `get` must fall back to a bounded park
+    /// to report its timeout with the usual semantics.
+    TimedOut,
+    /// No runnable job was found; park (and grow) as §6.3 prescribes.
+    NoWork,
 }
 
 /// A lock-free one-shot cell: filled at most once, readable forever after.
@@ -274,6 +291,43 @@ impl<V> OneShotCell<V> {
             CellWait::Interrupted
         } else {
             CellWait::TimedOut
+        }
+    }
+
+    /// Spins the steal-to-wait helping loop: between re-checks of the cell,
+    /// run **one** pending job via `help` (the executor's `try_help` hook)
+    /// instead of parking.  Never announces a waiter and never parks — on
+    /// [`HelpWait::NoWork`] (or a bound hit upstream) the caller falls
+    /// through to the ordinary [`wait_interruptible`] park path, which is
+    /// where `HAS_WAITERS`, cancel registration, and §6.3 growth happen.
+    ///
+    /// A fill wins ties (checked first each round); the deadline is checked
+    /// *between* jobs, so a timed `get` can overshoot by at most one helped
+    /// job before it reports [`HelpWait::TimedOut`] and performs its real
+    /// bounded wait.
+    ///
+    /// [`wait_interruptible`]: Self::wait_interruptible
+    pub fn wait_helping(
+        &self,
+        deadline: Option<Instant>,
+        mut interrupted: impl FnMut() -> bool,
+        mut help: impl FnMut() -> bool,
+    ) -> HelpWait {
+        loop {
+            if self.is_filled() {
+                return HelpWait::Filled;
+            }
+            if interrupted() {
+                return HelpWait::Interrupted;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return HelpWait::TimedOut;
+                }
+            }
+            if !help() {
+                return HelpWait::NoWork;
+            }
         }
     }
 

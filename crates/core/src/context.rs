@@ -106,6 +106,21 @@ pub trait Executor: Send + Sync {
     /// unwinding).  Calls are balanced with
     /// [`on_task_blocked`](Executor::on_task_blocked).
     fn on_task_unblocked(&self) {}
+
+    /// Runs **at most one** pending job on the calling thread, returning
+    /// whether a job ran.  This is the steal-to-wait helping seam (see
+    /// [`crate::helping`]): a blocked promise wait calls it in a loop —
+    /// re-checking the awaited cell between jobs — instead of parking
+    /// straight away, so runnable work drains on the blocked worker's own
+    /// stack rather than forcing §6.3 thread growth.
+    ///
+    /// Implementations must contain panics of the helped job (count them,
+    /// keep the thread usable) and should prefer thread-local work (own
+    /// deque) over shared work (injector, steals).  The default does
+    /// nothing, which disables helping for executors that predate the seam.
+    fn try_help(&self) -> bool {
+        false
+    }
 }
 
 /// An alarm raised by the verifier — one of the two bug classes of §1.2 —
@@ -177,6 +192,10 @@ pub struct Context {
     next_task_id: AtomicU64,
     next_promise_id: AtomicU64,
     executor: OnceLock<Arc<dyn Executor>>,
+    /// Steal-to-wait helping configuration (`None` = never help; runtimes
+    /// install one — possibly `HelpConfig::disabled()` — at build time, the
+    /// same set-once discipline as the executor).
+    helping: OnceLock<crate::helping::HelpConfig>,
     /// Chaos fault-injection state (`None` = disabled; the hooks then cost
     /// one pointer load and branch — see [`crate::chaos`]).
     chaos: Option<Box<ChaosState>>,
@@ -186,6 +205,13 @@ pub struct Context {
     /// every blocking promise wait in this context observes it, so no getter
     /// can sleep through the runtime winding down.
     shutdown: crate::cancel::CancelToken,
+    /// Whether the owning runtime has started tearing down.  Unlike the
+    /// `shutdown` token (which deadline-aware shutdown cancels to *interrupt*
+    /// running tasks), this flag changes nothing for work in flight — it only
+    /// tells the never-ran drop path that a discarded job is shutdown's
+    /// sanctioned abandonment, not a user bug (see
+    /// `ownership::finish_body_shutdown`).
+    shutting_down: std::sync::atomic::AtomicBool,
 }
 
 impl Context {
@@ -213,11 +239,13 @@ impl Context {
             next_task_id: AtomicU64::new(1),
             next_promise_id: AtomicU64::new(1),
             executor: OnceLock::new(),
+            helping: OnceLock::new(),
             chaos: chaos
                 .filter(ChaosConfig::is_active)
                 .map(|c| Box::new(ChaosState::new(c))),
             events: event_log.then(|| Box::new(EventLog::new())),
             shutdown: crate::cancel::CancelToken::new(),
+            shutting_down: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -255,6 +283,21 @@ impl Context {
     /// The installed executor, if any.
     pub fn executor(&self) -> Option<Arc<dyn Executor>> {
         self.executor.get().cloned()
+    }
+
+    /// Installs the steal-to-wait helping configuration (see
+    /// [`crate::helping`]).  May only be called once; later calls are
+    /// ignored and return `false`.
+    pub fn set_help_config(&self, config: crate::helping::HelpConfig) -> bool {
+        self.helping.set(config).is_ok()
+    }
+
+    /// The helping configuration, if one was installed *and* it is enabled.
+    /// `None` means blocking waits park without helping (the pure §6.3
+    /// park-and-grow path) — the check is one load and branch.
+    #[inline]
+    pub fn help_config(&self) -> Option<&crate::helping::HelpConfig> {
+        self.helping.get().filter(|c| c.enabled)
     }
 
     /// Records an alarm in the context's alarm log.
@@ -379,6 +422,26 @@ impl Context {
     /// deadline expires.
     pub fn shutdown_token(&self) -> &crate::cancel::CancelToken {
         &self.shutdown
+    }
+
+    /// Marks the context as tearing down.  Called by every runtime shutdown
+    /// path (explicit, deadline-aware, and drop) *before* workers are
+    /// stopped, so that any job the teardown discards un-run — a submission
+    /// refused by the closing admission gate, or a queue swept after the
+    /// workers exit — settles its promises as `Cancelled` instead of raising
+    /// an omitted-set alarm against a task that was never allowed to start.
+    /// Idempotent; does not affect running tasks (unlike cancelling
+    /// [`shutdown_token`](Self::shutdown_token)).
+    pub fn begin_shutdown(&self) {
+        self.shutting_down
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`begin_shutdown`](Self::begin_shutdown) has been called.
+    #[inline]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Injects the seeded chaos delay for `site` (no-op when chaos is off:

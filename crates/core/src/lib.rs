@@ -58,6 +58,7 @@ pub mod detector;
 pub mod epoch;
 pub mod error;
 pub mod events;
+pub mod helping;
 pub mod ids;
 pub mod job;
 pub mod magazine;
@@ -77,13 +78,14 @@ pub mod waitq;
 pub use alarms::{AlarmSink, MutexSink};
 pub use arena::ArenaMemoryStats;
 pub use cancel::CancelToken;
-pub use cell::{CellWait, MutexCell, OneShotCell, ResultSlot};
+pub use cell::{CellWait, HelpWait, MutexCell, OneShotCell, ResultSlot};
 pub use chaos::{ChaosConfig, ChaosSite};
 pub use collection::{collect_promises, PromiseCollection, TransferList};
 pub use context::{Alarm, Context, Executor, RejectedBatch, RejectedJob, StallReport};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{CycleEntry, DeadlockCycle, OmittedSetReport, PromiseError};
 pub use events::{EventKind, EventLog, EventRecord};
+pub use helping::HelpConfig;
 pub use ids::{PromiseId, TaskId};
 pub use job::Job;
 pub use policy::{LedgerMode, OmittedSetAction, PolicyConfig, VerificationMode};

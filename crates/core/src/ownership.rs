@@ -36,7 +36,10 @@
 //! panicked task (alarmed, justified); a cancelled exit settles them as
 //! [`PromiseError::Cancelled`] with **no** alarm (a sanctioned
 //! abandonment, see [`settle_cancelled`]); a never-ran task settles them
-//! through the same machinery from the drop.  Skipping the sweep on any
+//! through the same machinery from the drop — as cancelled (no alarm) when
+//! the runtime's own teardown discarded the job
+//! ([`finish_body_shutdown`]), as an omitted set when a live owner
+//! discarded a task it promised to run.  Skipping the sweep on any
 //! of these paths would turn a contained fault into a hung waiter — the
 //! exact failure mode the detector exists to eliminate.
 
@@ -418,6 +421,20 @@ pub(crate) fn finish_body(body: TaskBody, exclude: &[PromiseId]) -> Option<Arc<O
     let obligations = compute_obligations(&body, exclude);
     obligations.record(&body.ctx);
     settle_obligations(body, obligations)
+}
+
+/// Rule-3 exit for a job the runtime's teardown discarded un-run: a
+/// submission refused by the closing admission gate, or a job swept out of a
+/// queue after the workers exited.  The task was never allowed to start, so
+/// its outstanding promises are shutdown's sanctioned debris, not a policy
+/// violation — they settle as [`PromiseError::Cancelled`] (waiters still
+/// wake) and **no omitted-set alarm** blames the task.  Contrast with a user
+/// dropping a prepared-but-unsubmitted task on a live runtime, which keeps
+/// the normal [`finish_body`] sweep and its alarm.
+pub(crate) fn finish_body_shutdown(body: TaskBody) {
+    let mut obligations = compute_obligations(&body, &[]);
+    obligations.cancelled = true;
+    settle_obligations(body, obligations);
 }
 
 #[cfg(test)]

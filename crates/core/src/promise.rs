@@ -37,8 +37,8 @@
 //!   readers.
 //! * **Blocking waiters** announce themselves by OR-ing `HAS_WAITERS` into
 //!   the state word and park on a futex-style
-//!   [`WaitQueue`](crate::waitq::WaitQueue); the queue's internal lock makes
-//!   the announce/park vs. publish/wake race lossless.
+//!   [`WaitQueue`](crate::waitq::WaitQueue); the queue's enrol-before-check
+//!   parking protocol makes the announce/park vs. publish/wake race lossless.
 //!
 //! ## Memory-ordering argument (the §5.1 requirements, restated)
 //!
@@ -214,6 +214,42 @@ impl<T, X> PromiseInner<T, X> {
                 task: task::current_task_id().unwrap_or(TaskId::NONE),
             }),
         }
+    }
+
+    /// The steal-to-wait helping loop (see [`crate::helping`]): before this
+    /// wait parks, run pending jobs inline — the executor's `try_help` pops
+    /// the worker's own deque, then steals, then the injector — re-checking
+    /// the cell between jobs.  Returns `true` when the promise was fulfilled
+    /// during helping, in which case the caller skips the park (and the §6.3
+    /// grow hook) entirely.
+    ///
+    /// Every other outcome returns `false` and the caller falls through to
+    /// the **unchanged** park path: no runnable work, the depth/stack bounds
+    /// of [`crate::helping::enter`], the eligibility gate
+    /// (`task::current_task_may_help` — the task must provably own no
+    /// unfulfilled promise a helped job could transitively join on), a timed
+    /// get's deadline expiring, or cancellation.  Timeouts and cancellations
+    /// are deliberately *not* resolved here — the park path owns their
+    /// error mapping and counters.
+    fn help_while_blocked(&self, ex: &dyn crate::Executor, deadline: Option<Instant>) -> bool {
+        let Some(cfg) = self.ctx.help_config() else {
+            return false;
+        };
+        if !task::current_task_may_help(&self.ctx) {
+            return false;
+        }
+        let Some(_frame) = crate::helping::enter(cfg) else {
+            return false;
+        };
+        let task_token = task::current_cancel_token(&self.ctx);
+        let shutdown = self.ctx.shutdown_token();
+        let interrupted =
+            || shutdown.is_cancelled() || task_token.as_ref().is_some_and(|t| t.is_cancelled());
+        matches!(
+            self.cell
+                .wait_helping(deadline, interrupted, || ex.try_help()),
+            crate::cell::HelpWait::Filled
+        )
     }
 }
 
@@ -714,6 +750,14 @@ impl<T: Send + Sync + 'static, X: Send + Sync + 'static> Promise<T, X> {
             return Ok(());
         }
         let executor = self.inner.ctx.executor();
+        // Steal-to-wait: run pending work instead of parking, when the
+        // helping config, the eligibility gate, and the nesting bounds all
+        // allow it.  One branch (a `None` helping config) when off.
+        if let Some(ex) = executor.as_deref() {
+            if self.inner.help_while_blocked(ex, deadline) {
+                return Ok(());
+            }
+        }
         struct Unblock<'a>(&'a dyn crate::Executor);
         impl Drop for Unblock<'_> {
             fn drop(&mut self) {

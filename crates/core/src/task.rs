@@ -180,6 +180,14 @@ pub(crate) struct TaskBody {
     /// thread, so an injected panic would escape the harness instead of
     /// exercising containment.
     pub(crate) is_root: bool,
+    /// The task's implicit completion promise, if the runtime's spawn
+    /// wrapper fused one in ([`PromiseId::NONE`] otherwise).  The
+    /// steal-to-wait eligibility gate ([`current_task_may_help`]) exempts
+    /// this one entry from its "owns nothing unfulfilled" requirement: the
+    /// completion promise is settled by this very task *after* its body
+    /// ends, so it can never be what a helped job transitively joins on
+    /// while the body is suspended helping.
+    pub(crate) exempt_completion: PromiseId,
 }
 
 impl TaskBody {
@@ -214,17 +222,24 @@ impl TaskBody {
             event_seq: 0,
             cancel: None,
             is_root: false,
+            exempt_completion: PromiseId::NONE,
         }
     }
 }
 
 thread_local! {
-    static CURRENT: RefCell<Option<TaskBody>> = const { RefCell::new(None) };
+    /// The stack of tasks active on this thread.  More than one entry means
+    /// the lower frames are *suspended helpers*: their blocked `get`s are
+    /// running other tasks' jobs inline (see [`crate::helping`]).  Only the
+    /// top entry is "the current task"; activation and retirement are
+    /// strictly LIFO because a helped job runs to completion inside the
+    /// helper's wait.
+    static CURRENT: RefCell<Vec<TaskBody>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Runs `f` with mutable access to the current task body, if any.
+/// Runs `f` with mutable access to the current (topmost) task body, if any.
 pub(crate) fn with_current_body<R>(f: impl FnOnce(&mut TaskBody) -> R) -> Option<R> {
-    CURRENT.with(|c| c.borrow_mut().as_mut().map(f))
+    CURRENT.with(|c| c.borrow_mut().last_mut().map(f))
 }
 
 /// The id of the task currently bound to this thread, if any.
@@ -234,7 +249,7 @@ pub fn current_task_id() -> Option<TaskId> {
 
 /// Whether this thread currently has an active task.
 pub fn has_current_task() -> bool {
-    CURRENT.with(|c| c.borrow().is_some())
+    CURRENT.with(|c| !c.borrow().is_empty())
 }
 
 /// The context of the task currently bound to this thread, if any.
@@ -313,19 +328,64 @@ pub(crate) fn current_is_root(ctx: &Context) -> bool {
         .unwrap_or(false)
 }
 
+/// Pushes `body` as the thread's current task.  Nesting is allowed: a
+/// suspended helper's frame stays below on the stack while a helped task
+/// runs (see [`crate::helping`]); retirement is strictly LIFO.
 fn install_current(body: TaskBody) {
-    CURRENT.with(|c| {
-        let mut slot = c.borrow_mut();
-        assert!(
-            slot.is_none(),
-            "a task is already active on this thread; nested task activation is not supported"
-        );
-        *slot = Some(body);
-    });
+    CURRENT.with(|c| c.borrow_mut().push(body));
 }
 
 fn take_current() -> Option<TaskBody> {
-    CURRENT.with(|c| c.borrow_mut().take())
+    CURRENT.with(|c| c.borrow_mut().pop())
+}
+
+/// Whether the current task may run other tasks' jobs inline while its
+/// `get` is blocked — the *eligibility gate* of steal-to-wait helping.
+///
+/// A task may help only when its ledger **proves** it owns no unfulfilled
+/// promise (other than its own completion promise, settled by the runtime
+/// wrapper after the body ends).  Soundness of the gate: ownership moves
+/// only at spawn time, and a suspended helper spawns nothing while
+/// suspended, so no promise can *become* owned by a buried frame — hence no
+/// helped task's wait chain can ever lead to a promise only a buried frame
+/// could fulfil, and helping can never create a hang that park-and-grow
+/// would have avoided.  Tasks that fail the gate (they own live
+/// obligations a helped job might transitively join on — Sieve-style
+/// pipeline stages, for example) park and grow exactly as before.
+///
+/// `Ledger::Disabled` (unverified mode) and `Ledger::Count` track too
+/// little to prove emptiness, so they never help.
+///
+/// Known limitation (documented, watchdog-visible): the completion-promise
+/// exemption assumes the completion is only joined through
+/// `TaskHandle::join` *after* the task ends.  A handle smuggled to a job
+/// that a buried owner then helps-run could, in principle, join a
+/// completion whose owner is suspended below it on the same stack; the
+/// stall watchdog flags the resulting wait, and none of the runtime's
+/// workloads or the chaos generator produce that shape.
+pub(crate) fn current_task_may_help(ctx: &Arc<Context>) -> bool {
+    with_current_body(|b| {
+        if !Arc::ptr_eq(&b.ctx, ctx) {
+            return false;
+        }
+        match &b.ledger {
+            Ledger::List { entries, .. } => {
+                let owner_slot = b.slot;
+                entries.iter().all(|e| {
+                    if e.id() == b.exempt_completion || e.is_fulfilled() {
+                        return true;
+                    }
+                    // SAFETY: the ledger entry `e` keeps the occupancy live.
+                    let owner = unsafe { b.ctx.promises.read_live(e.slot(), |s| s.owner()) }
+                        .unwrap_or(PackedRef::NULL);
+                    // Transferred away (owner re-read differs) → not ours.
+                    owner != owner_slot
+                })
+            }
+            Ledger::Disabled | Ledger::Count(_) => false,
+        }
+    })
+    .unwrap_or(false)
 }
 
 /// A task that has been created — and has already received ownership of its
@@ -375,12 +435,24 @@ impl PreparedTask {
         }
     }
 
+    /// Marks `id` as this task's implicit completion promise, exempting it
+    /// from the steal-to-wait eligibility gate (see
+    /// [`crate::helping`]): the runtime wrapper settles it after the body
+    /// ends, so it is legitimately still owned whenever the body blocks.
+    pub fn set_exempt_completion(&mut self, id: PromiseId) {
+        if let Some(body) = self.body.as_mut() {
+            body.exempt_completion = id;
+        }
+    }
+
     /// Binds the task to the calling thread and returns the scope guard that
     /// must be finished (or dropped) when the task's body completes.
     ///
-    /// # Panics
-    ///
-    /// Panics if the calling thread already has an active task.
+    /// Activation nests: when the calling thread already has an active task,
+    /// that task must be a *suspended helper* (blocked in a promise wait
+    /// that is running this job inline — see [`crate::helping`]); the new
+    /// task becomes current and the suspended one resumes when this scope
+    /// finishes.  Retirement is strictly LIFO.
     pub fn activate(mut self) -> TaskScope {
         let body = self
             .body
@@ -412,8 +484,16 @@ impl PreparedTask {
 impl Drop for PreparedTask {
     fn drop(&mut self) {
         if let Some(body) = self.body.take() {
-            // The task never ran: treat it as having terminated immediately.
-            let _ = ownership::finish_body(body, &[]);
+            // The task never ran.  If the runtime is tearing down, the drop
+            // is shutdown's sanctioned abandonment (a refused submission or
+            // a swept queue): settle as cancelled, no alarm.  Otherwise the
+            // owner discarded a task it promised to run — treat it as having
+            // terminated immediately, with the normal rule-3 sweep.
+            if body.ctx.is_shutting_down() {
+                ownership::finish_body_shutdown(body);
+            } else {
+                let _ = ownership::finish_body(body, &[]);
+            }
         }
     }
 }
@@ -577,8 +657,14 @@ impl Context {
     ///
     /// # Panics
     ///
-    /// Panics if the calling thread already has an active task.
+    /// Panics if the calling thread already has an active task.  (Spawned
+    /// tasks may nest through the helping path; a *root* may not — it is
+    /// the bottom of the thread's task stack by definition.)
     pub fn root_task(self: &Arc<Self>, name: Option<&str>) -> RootTask {
+        assert!(
+            !has_current_task(),
+            "a task is already active on this thread; a root task must be the first"
+        );
         self.counters().record_task_spawned();
         let mut body = TaskBody::create(self, name.or(Some("root")));
         body.is_root = true;

@@ -73,6 +73,43 @@ fn recall_survives_panic_and_cancel_injection() {
     );
 }
 
+/// PR 9 re-run: the harness builds its runtimes with `Runtime::builder()`
+/// defaults, which since steal-to-wait helping landed means *helping is
+/// enabled* — blocked `get`s in the generated programs run other planted
+/// jobs inline before parking.  Detection quality must be unchanged:
+/// helping only runs already-runnable jobs and the eligibility gate keeps
+/// owners of unfulfilled promises out of the help loop, so a planted cycle
+/// still closes at the same `get` and an abandoned promise is still swept
+/// at the same task exit.  Recall stays total and the oracle justifies
+/// every alarm.
+#[test]
+fn recall_stays_total_with_steal_to_wait_helping_enabled() {
+    // Belt and braces: if the builder default ever flips, this test would
+    // silently stop covering helping — pin the default here.
+    assert!(
+        promise_core::HelpConfig::default().enabled,
+        "help must be on by default for this re-run to mean anything"
+    );
+    let seed = seed_from_env_echoed(0xC4A0_5EED_0004, "chaos_harness");
+    let result = run_batch(&BatchConfig::chaotic(seed, 150));
+    let stats = &result.stats;
+
+    assert_eq!(stats.programs, 150);
+    assert!(
+        stats.planted_deadlocks > 0 && stats.planted_omitted_sets > 0,
+        "campaign planted nothing: {stats}"
+    );
+    assert_eq!(
+        stats.recall(),
+        1.0,
+        "planted bugs missed with helping enabled: {stats}"
+    );
+    assert_eq!(
+        stats.false_alarms, 0,
+        "helping fabricated an alarm the oracle cannot justify: {stats}"
+    );
+}
+
 #[test]
 fn campaign_without_chaos_still_has_total_recall() {
     let seed = seed_from_env_echoed(0xC4A0_5EED_0002, "chaos_harness");

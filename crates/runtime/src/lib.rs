@@ -66,6 +66,7 @@ pub use finish::{finish, FinishScope};
 pub use handle::{CompletionPromise, TaskHandle};
 pub use metrics::{DetectionStats, RunMetrics};
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
+pub use promise_core::HelpConfig;
 pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind, ShutdownReport, WatchdogConfig};
 pub use scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler, WorkerProgress};
 pub use spawn::{

@@ -55,6 +55,21 @@ impl RunMetrics {
         self.pool.jobs_stolen
     }
 
+    /// Jobs run inline by blocked getters instead of parking — steal-to-wait
+    /// helping (lifetime total, see [`steals`](Self::steals)).  Helped jobs
+    /// are also counted in the pool's `jobs_executed`.
+    pub fn helped(&self) -> usize {
+        self.pool.jobs_helped
+    }
+
+    /// Highest number of simultaneously alive worker threads the scheduler
+    /// reached (lifetime high-water mark, see [`steals`](Self::steals)) —
+    /// the §6.3 growth cost that steal-to-wait helping and the
+    /// blocked-aware heuristic exist to shrink.
+    pub fn peak_threads(&self) -> usize {
+        self.pool.peak_workers
+    }
+
     /// Batched submissions accepted by the scheduler (lifetime total, see
     /// [`steals`](Self::steals)).
     pub fn batches(&self) -> usize {
@@ -186,13 +201,14 @@ impl std::fmt::Display for RunMetrics {
         write!(
             f,
             "wall={:.3}s tasks={} gets/ms={:.2} sets/ms={:.2} peak_threads={} steals={} \
-             batched={}",
+             helped={} batched={}",
             self.wall.as_secs_f64(),
             self.tasks(),
             self.gets_per_ms(),
             self.sets_per_ms(),
             self.pool.peak_workers,
             self.steals(),
+            self.helped(),
             self.batched_jobs(),
         )
     }

@@ -93,6 +93,11 @@ pub struct PoolStats {
     /// Jobs executed after being stolen from another worker's local queue
     /// (always 0 for the single-queue [`GrowingPool`]).
     pub jobs_stolen: usize,
+    /// Jobs run *inline* by a thread whose task was blocked in a promise
+    /// `get` — steal-to-wait helping via [`Executor::try_help`].  Each helped
+    /// job is also counted in `jobs_executed`; this counter isolates how much
+    /// of the throughput came from helping instead of parking.
+    pub jobs_helped: usize,
     /// Batched submissions accepted (`Executor::execute_batch` groups).
     pub batches_submitted: usize,
     /// Jobs submitted through batches (each also counted in the queue/exec
@@ -114,6 +119,7 @@ struct PoolState {
     peak_workers: usize,
     threads_started: usize,
     jobs_executed: usize,
+    jobs_helped: usize,
     batches_submitted: usize,
     jobs_batch_submitted: usize,
     panics: usize,
@@ -148,6 +154,7 @@ impl GrowingPool {
                     peak_workers: 0,
                     threads_started: 0,
                     jobs_executed: 0,
+                    jobs_helped: 0,
                     batches_submitted: 0,
                     jobs_batch_submitted: 0,
                     panics: 0,
@@ -310,6 +317,7 @@ impl GrowingPool {
             threads_started: state.threads_started,
             jobs_executed: state.jobs_executed,
             jobs_stolen: 0,
+            jobs_helped: state.jobs_helped,
             batches_submitted: state.batches_submitted,
             jobs_batch_submitted: state.jobs_batch_submitted,
             queued_jobs: state.queue.len(),
@@ -427,6 +435,23 @@ impl Executor for GrowingPool {
 
     fn on_task_unblocked(&self) {
         self.inner.blocked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn try_help(&self) -> bool {
+        // Steal-to-wait helping: a blocked getter runs one queued job
+        // instead of parking.  Pop under the lock, run outside it — a
+        // helped job may itself submit, block, or take a long time, none of
+        // which may happen under the pool mutex.
+        let job = self.inner.state.lock().queue.pop_front();
+        let Some(job) = job else { return false };
+        let panicked = catch_unwind(AssertUnwindSafe(|| job.run())).is_err();
+        let mut state = self.inner.state.lock();
+        state.jobs_executed += 1;
+        state.jobs_helped += 1;
+        if panicked {
+            state.panics += 1;
+        }
+        true
     }
 }
 

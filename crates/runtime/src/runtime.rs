@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promise_core::{
-    Alarm, ArenaMemoryStats, ChaosConfig, Context, Executor, LedgerMode, OmittedSetAction,
-    PolicyConfig, PromiseError, StallReport, VerificationMode,
+    Alarm, ArenaMemoryStats, ChaosConfig, Context, Executor, HelpConfig, LedgerMode,
+    OmittedSetAction, PolicyConfig, PromiseError, StallReport, VerificationMode,
 };
 
 use crate::metrics::RunMetrics;
@@ -106,7 +106,10 @@ impl Pool {
 /// `stall_threshold`.  Each busy episode is flagged at most once.  Unlike
 /// the two verifier alarms this is a *liveness heuristic*, not a proof: a
 /// legitimately long-running job trips it too, so pick a threshold well
-/// above the workload's longest expected task.
+/// above the workload's longest expected task.  Only *worker* threads are
+/// sampled: a job that steal-to-wait helping runs inline on a blocked
+/// joiner's thread (see [`RuntimeBuilder::help`]) is outside the watchdog's
+/// view, as is any blocking done off the promise hooks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WatchdogConfig {
     /// How long a worker may sit on one job before it is flagged.
@@ -220,6 +223,7 @@ pub struct RuntimeBuilder {
     injector_shards: usize,
     steal_order: StealOrder,
     blocked_aware_growth: bool,
+    help: HelpConfig,
     chaos: Option<ChaosConfig>,
     event_log: bool,
     watchdog: Option<WatchdogConfig>,
@@ -234,6 +238,7 @@ impl Default for RuntimeBuilder {
             injector_shards: SchedulerConfig::default().injector_shards,
             steal_order: StealOrder::default(),
             blocked_aware_growth: false,
+            help: HelpConfig::default(),
             chaos: None,
             event_log: false,
             watchdog: None,
@@ -322,6 +327,24 @@ impl RuntimeBuilder {
     /// Default: off.
     pub fn blocked_aware_growth(mut self, enabled: bool) -> Self {
         self.blocked_aware_growth = enabled;
+        self
+    }
+
+    /// Configures steal-to-wait helping (see [`HelpConfig`]): a task whose
+    /// `get` would park first loops running pending jobs — own deque, then
+    /// bounded steals, then the injector — re-checking the awaited promise
+    /// between jobs, and only parks (triggering the usual §6.3 grow hook)
+    /// when no runnable work exists or the nesting/stack bounds are hit.
+    ///
+    /// **On by default** (`HelpConfig::default()`); pass
+    /// [`HelpConfig::disabled()`] to turn it off, in which case the blocking
+    /// `get` path pays exactly one untaken branch.  Both schedulers
+    /// implement the helping hook.  Helping only engages for tasks whose
+    /// verification mode keeps a list ledger (the gate needs to prove the
+    /// blocked task owes nothing another task could wait on), so unverified
+    /// baseline runs park exactly as before.
+    pub fn help(mut self, config: HelpConfig) -> Self {
+        self.help = config;
         self
     }
 
@@ -423,6 +446,8 @@ impl RuntimeBuilder {
         };
         let installed = ctx.set_executor(pool.as_executor());
         debug_assert!(installed);
+        let installed_help = ctx.set_help_config(self.help);
+        debug_assert!(installed_help);
         let watchdog = match (&self.watchdog, &pool) {
             (Some(config), Pool::Stealing(sched)) => Some(Watchdog::spawn(
                 config.clone(),
@@ -542,10 +567,18 @@ impl Runtime {
     }
 
     /// Shuts down the scheduler, waiting for queued tasks to finish.
+    ///
+    /// A job that raced admission and never ran (refused by the closing
+    /// gate, or swept out of a queue after the workers exited) settles its
+    /// promises as [`PromiseError::Cancelled`] — waiters wake, and no
+    /// omitted-set alarm blames a task the shutdown itself discarded.
     pub fn shutdown(mut self) {
         // Stop the watchdog first: once workers start exiting, a slow
         // sample would race retirements for no benefit.
         self.watchdog.take();
+        // Mark the context before the admission gate closes, so any job the
+        // teardown discards un-run takes the sanctioned-abandonment exit.
+        self.ctx.begin_shutdown();
         self.pool.shutdown();
     }
 
@@ -579,6 +612,7 @@ impl Runtime {
         let deadline_at = start + deadline;
         let before = self.ctx.counter_snapshot();
         self.watchdog.take();
+        self.ctx.begin_shutdown();
         self.pool.begin_shutdown();
         let mut clean = self.pool.try_join_workers(deadline_at);
         let mut dropped_jobs = 0;
@@ -601,6 +635,17 @@ impl Runtime {
             panicked_tasks: after.tasks_panicked.saturating_sub(before.tasks_panicked),
             wall: start.elapsed(),
         }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // A runtime dropped without an explicit shutdown still tears down
+        // (the pool's drop joins workers and sweeps the queues); mark the
+        // context first so swept jobs take the same sanctioned-abandonment
+        // exit as an explicit `shutdown`.  Runs before the field drops, and
+        // is idempotent after either shutdown method.
+        self.ctx.begin_shutdown();
     }
 }
 

@@ -34,6 +34,37 @@
 //! [`on_task_unblocked`](Executor::on_task_unblocked), which `Promise::get`
 //! invokes around every park; the count is surfaced in [`PoolStats`].
 //!
+//! ## Steal-to-wait helping and why it preserves grow-on-block
+//!
+//! A worker whose task blocks in a promise `get` does not park right away:
+//! the wait loop (see `promise_core::helping`) first calls
+//! [`Executor::try_help`], which runs **one** pending job — own deque first
+//! (LIFO: the just-spawned child a fork-joining parent most often waits
+//! for), then the injector, then a steal sweep — and re-checks the awaited
+//! cell between jobs.  The §6.3 invariant ("a runnable task never waits
+//! behind workers that are all busy or blocked") is preserved *by
+//! construction*:
+//!
+//! * the worker only actually **parks** — entering `on_task_blocked`,
+//!   trigger 2 above, which hands off its deque and grows the pool — once
+//!   `try_help` found no runnable job anywhere, i.e. exactly when parking
+//!   strands nothing;
+//! * a **helped task that itself blocks** re-enters the same wait loop: it
+//!   helps again if the nesting bound allows, and otherwise takes the
+//!   ordinary park path, firing `on_task_blocked` like any blocked task.
+//!
+//! Helping is bounded by a nesting depth (default 4) and a stack-distance
+//! budget because each helped frame sits *on top of* the blocked frame on
+//! the worker's stack and cannot retire until every frame above it returns;
+//! the bounds cap worst-case join latency and stack growth.  A gate in
+//! `promise_core::task` additionally refuses helping whenever the blocked
+//! task still owes an unfulfilled promise that another task could block on
+//! (burying such an owner under an unrelated job could stall its consumers
+//! for the helped job's duration, or — transitively — hang).  The helping
+//! worker's progress stamp is re-armed around every helped job, so the
+//! stall watchdog sees helped throughput as progress, not as one long
+//! episode.
+//!
 //! [`GrowingPool`]: crate::pool::GrowingPool
 
 mod deque;
@@ -161,6 +192,14 @@ struct WorkerRef {
     sched: *const (),
     /// The worker's own queue, alive for the duration of the worker loop.
     local: *const LocalQueue,
+    /// The worker's slot index (injector hint / steal-sweep start).
+    idx: usize,
+    /// The worker's progress stamp; `worker_entry` holds an `Arc` to it for
+    /// the thread's whole lifetime, and the TLS entry is cleared before that
+    /// frame returns, so dereferencing on this thread is always sound.  Lets
+    /// `try_help` re-arm the stamp around helped jobs without a stamps-lock
+    /// round trip.
+    stamp: *const WorkerStamp,
 }
 
 thread_local! {
@@ -249,6 +288,9 @@ struct SchedState {
     started: AtomicUsize,
     executed: AtomicUsize,
     stolen: AtomicUsize,
+    /// Jobs run inline by blocked getters via [`Executor::try_help`]
+    /// (each also counted in `executed`).
+    helped: AtomicUsize,
     batches: AtomicUsize,
     batch_jobs: AtomicUsize,
     /// Jobs whose body panicked (caught at the job boundary; the worker
@@ -288,6 +330,7 @@ impl WorkStealingScheduler {
             started: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
             stolen: AtomicUsize::new(0),
+            helped: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
             batch_jobs: AtomicUsize::new(0),
             panics: AtomicUsize::new(0),
@@ -426,6 +469,7 @@ impl WorkStealingScheduler {
             threads_started: state.started.load(Ordering::Relaxed),
             jobs_executed: state.executed.load(Ordering::Relaxed),
             jobs_stolen: state.stolen.load(Ordering::Relaxed),
+            jobs_helped: state.helped.load(Ordering::Relaxed),
             batches_submitted: state.batches.load(Ordering::Relaxed),
             jobs_batch_submitted: state.batch_jobs.load(Ordering::Relaxed),
             queued_jobs: state.injector.len() + local_queued,
@@ -584,8 +628,9 @@ impl WorkStealingScheduler {
         // under its lock (the flag is long set, so `push_unless` refuses
         // anything later) and drop what is found: dropping a spawned
         // task's job runs the `PreparedTask` exit machinery, completing
-        // its promises exceptionally — waiters observe an error instead of
-        // hanging, and nothing is lost silently.
+        // its promises exceptionally (as `Cancelled` when the owning
+        // runtime marked its context shutting-down) — waiters observe an
+        // error instead of hanging, and nothing is lost silently.
         for job in state.injector.drain_locked() {
             drop(job);
         }
@@ -613,6 +658,40 @@ impl Executor for WorkStealingScheduler {
 
     fn on_task_unblocked(&self) {
         self.state.note_unblocked();
+    }
+
+    fn try_help(&self) -> bool {
+        let state = &self.state;
+        let me = Arc::as_ptr(state) as *const ();
+        let worker = CURRENT_WORKER.with(Cell::get).filter(|w| w.sched == me);
+        let job = match worker {
+            Some(w) => {
+                // A blocked worker helping: its deque has *not* been handed
+                // off (helping runs before `on_task_blocked`), so pop it
+                // LIFO first — the freshest child is the one the blocked
+                // parent most likely waits for.  Safety: `try_help` runs on
+                // the owning worker thread (the TLS entry says so), so the
+                // owner-only `pop` is legal and the queue is alive.
+                let local = unsafe { &*w.local };
+                local
+                    .pop(state)
+                    .or_else(|| state.injector.pop(w.idx))
+                    .or_else(|| state.try_steal(w.idx))
+            }
+            // A blocked non-worker thread (e.g. a root task in `get`): no
+            // deque of its own.  Any index ≥ every worker slot works as the
+            // injector hint (it is masked) and as the steal start (`i ==
+            // idx` then never skips a victim).
+            None => {
+                let idx = state.workers.read().len();
+                state.injector.pop(idx).or_else(|| state.try_steal(idx))
+            }
+        };
+        let Some(job) = job else { return false };
+        // SAFETY: see `WorkerRef::stamp` — valid for this thread's lifetime.
+        let stamp = worker.map(|w| unsafe { &*w.stamp });
+        state.run_helped(stamp, job);
+        true
     }
 }
 
@@ -939,6 +1018,36 @@ impl SchedState {
         stamp.busy_since_ns.store(0, Ordering::Relaxed);
     }
 
+    /// Runs one job picked up by a *blocked* getter (steal-to-wait helping;
+    /// see [`Executor::try_help`]).  Differs from [`run_job`](Self::run_job)
+    /// in the stamp protocol: the helper is already inside a busy episode
+    /// (its own suspended job), so the stamp is re-armed with a *fresh*
+    /// episode for the helped job and again on return to the suspended frame
+    /// — each helped job and each cell re-check between jobs counts as
+    /// watchdog-visible progress, never as one long stall.  `stamp` is
+    /// `None` for non-worker helpers (e.g. a blocked root task), which have
+    /// no stamp to keep honest.
+    fn run_helped(&self, stamp: Option<&WorkerStamp>, job: Job) {
+        let fresh = || (self.epoch.elapsed().as_nanos() as u64).max(1);
+        if let Some(stamp) = stamp {
+            stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
+        }
+        // Containment: a panicking helped job must not unwind into (and
+        // corrupt) the suspended frame below; the spawn wrapper has already
+        // settled the helped task's promises by the time the panic reaches
+        // this boundary.
+        let panicked = catch_unwind(AssertUnwindSafe(|| job.run())).is_err();
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.helped.fetch_add(1, Ordering::Relaxed);
+        if let Some(stamp) = stamp {
+            stamp.jobs.fetch_add(1, Ordering::Relaxed);
+            stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
+        }
+    }
+
     fn worker_loop(self: &Arc<Self>, idx: usize, local: &LocalQueue, stamp: &WorkerStamp) {
         let keep_alive = self.config.base.keep_alive;
         loop {
@@ -1046,6 +1155,8 @@ fn worker_entry(state: Arc<SchedState>, idx: usize, deque: WorkerDeque, stamp: A
         c.set(Some(WorkerRef {
             sched: Arc::as_ptr(&state) as *const (),
             local: &local as *const LocalQueue,
+            idx,
+            stamp: Arc::as_ptr(&stamp),
         }))
     });
     let _reset = ResetTls;

@@ -144,7 +144,7 @@ pub(crate) fn prepare_spawn<R: Send + 'static>(
 
     let mut list = collect_promises(transfers);
     list.push(completion.as_erased());
-    let prepared = match ownership::prepare_task(name, list) {
+    let mut prepared = match ownership::prepare_task(name, list) {
         Ok(prepared) => prepared,
         Err(err) => {
             // The transfer was refused, so no child exists to ever fulfil
@@ -157,6 +157,14 @@ pub(crate) fn prepare_spawn<R: Send + 'static>(
             return Err(err);
         }
     };
+    // The completion promise is the one obligation a blocked task always
+    // still holds (it is settled only at task exit), so the helping gate in
+    // `promise_core::task` must know to exempt it — without this, no spawned
+    // task could ever steal-to-wait.  Nothing blocks on a completion promise
+    // except `join`, and a joiner never waits on the *helper's own*
+    // completion (that would be a self-join cycle the detector reports), so
+    // exempting it cannot bury a promise a third task needs.
+    prepared.set_exempt_completion(completion.id());
     Ok((ctx, prepared, completion))
 }
 
@@ -283,6 +291,15 @@ where
 /// The wrapper that executes a prepared task on a worker thread: activate,
 /// run the body, stash the result in the fused slot, perform the exit
 /// check, and settle the completion promise.
+///
+/// Re-entrant: with steal-to-wait helping a job runs *inside* a blocked
+/// `get` of another task on the same thread.  `activate` pushes onto the
+/// thread's task stack (LIFO, popped by the exit check), the exit sweep and
+/// completion settling touch only this frame's prepared state, and the
+/// final `resume_unwind` of a panicking body is caught by the helping
+/// boundary (`run_helped` / `GrowingPool::try_help`) exactly like the
+/// worker-loop backstop — the suspended outer frame never observes the
+/// unwind.
 pub(crate) fn run_task<F, R>(prepared: PreparedTask, f: F, completion: CompletionPromise<R>)
 where
     F: FnOnce() -> R + Send + 'static,

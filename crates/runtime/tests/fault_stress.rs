@@ -345,8 +345,12 @@ fn watchdog_flags_a_wedged_worker_once_and_quiet_runs_not_at_all() {
     quiet.shutdown();
 
     // Wedged run: one job sits in user code for many sample periods.
+    // Helping is off so the job is guaranteed to run on a *worker*: with
+    // steal-to-wait helping the joining root thread may run the wedged job
+    // inline, and the watchdog samples only worker progress stamps.
     let rt = Runtime::builder()
         .initial_workers(2)
+        .help(promise_runtime::HelpConfig::disabled())
         .watchdog(config)
         .build();
     rt.block_on(|| {

@@ -293,7 +293,13 @@ fn ownership_only_mode_detects_omissions_but_not_deadlocks() {
 
 #[test]
 fn many_blocking_tasks_force_pool_growth() {
-    let rt = Runtime::new();
+    // Helping off: this test pins the pure §6.3 growth machinery (a thread
+    // per simultaneously blocked task).  With steal-to-wait helping the
+    // blocked root runs chain jobs inline and the pool legitimately grows
+    // less — that behaviour has its own coverage in `help_stress`.
+    let rt = Runtime::builder()
+        .help(promise_runtime::HelpConfig::disabled())
+        .build();
     let n = 16usize;
     rt.block_on(|| {
         // A chain of tasks each waiting for the next one's promise; all block

@@ -229,8 +229,13 @@ fn spawn_after_shutdown_errors_and_settles_promises() {
 /// to zero afterwards (the counter driving the grow-on-block trigger).
 #[test]
 fn blocked_worker_count_is_tracked() {
+    // Helping off: `blocked_workers` counts *parked* workers, and with
+    // steal-to-wait helping blocked tasks stack onto fewer threads (a
+    // helping worker is running jobs, not parked), so fewer parks happen —
+    // the very effect `help_stress` pins.  This test pins the counter.
     let rt = RuntimeBuilder::new()
         .scheduler(SchedulerKind::WorkStealing)
+        .help(promise_runtime::HelpConfig::disabled())
         .build();
     rt.block_on(|| {
         let gate = Promise::<()>::new();

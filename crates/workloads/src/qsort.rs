@@ -21,9 +21,20 @@ pub struct QSortParams {
     pub cutoff: usize,
     /// RNG seed for the input.
     pub seed: u64,
+    /// Fork *both* halves as child tasks and have the parent block at the
+    /// joins (instead of recursing into one half itself).  Off in every
+    /// preset — parent-recurses is the Table 1 shape; see
+    /// [`parallel_qsort_fork_both`] for what this variant measures.
+    pub fork_both: bool,
 }
 
 impl QSortParams {
+    /// The same parameters with [`fork_both`](QSortParams::fork_both) set.
+    pub fn with_fork_both(mut self) -> Self {
+        self.fork_both = true;
+        self
+    }
+
     /// Preset sizes for a scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
@@ -31,11 +42,13 @@ impl QSortParams {
                 elements: 4_000,
                 cutoff: 256,
                 seed: 20,
+                fork_both: false,
             },
             Scale::Default => QSortParams {
                 elements: 300_000,
                 cutoff: 512,
                 seed: 20,
+                fork_both: false,
             },
             // ~10× the Default task count: a finer cutoff multiplies the
             // spawn/join promise pairs faster than the sort work grows.
@@ -43,6 +56,7 @@ impl QSortParams {
                 elements: 600_000,
                 cutoff: 64,
                 seed: 20,
+                fork_both: false,
             },
             // Paper: 1 M integers, spawning very fine-grained tasks
             // (~786 k tasks).
@@ -50,6 +64,7 @@ impl QSortParams {
                 elements: 1_000_000,
                 cutoff: 8,
                 seed: 20,
+                fork_both: false,
             },
         }
     }
@@ -90,12 +105,48 @@ fn parallel_qsort(mut v: Vec<u32>, cutoff: usize, depth: usize) -> Vec<u32> {
     // immediately, doubling the task count and deepening the blocked chains
     // the deadlock detector traverses), and a batch of one merely adds two
     // Vec allocations to a path `spawn` already serves with a worker-local
-    // LIFO deque push.
+    // LIFO deque push.  Steal-to-wait helping closed most of that gap — see
+    // [`parallel_qsort_fork_both`] — but parent-recurses remains the Table 1
+    // shape.
     let child = spawn_named(&format!("qsort-d{depth}"), (), move || {
         parallel_qsort(less, cutoff, depth + 1)
     });
     let mut sorted_greater = parallel_qsort(greater, cutoff, depth + 1);
     let mut out = child.join().expect("qsort child failed");
+    out.append(&mut equal);
+    out.append(&mut sorted_greater);
+    out
+}
+
+/// The fork-both variant ([`QSortParams::fork_both`]): *each* half goes to a
+/// child task and the parent blocks at the joins with no work of its own —
+/// the shape that measured 3x slower than parent-recurses before
+/// steal-to-wait helping existed, because every interior node of the sort
+/// tree parked a thread at `join`.  With helping the blocked parent runs its
+/// own children inline (LIFO deque pop) instead of parking, so this variant
+/// is the natural end-to-end probe of the help path.
+///
+/// Measured on the quiet 1-CPU reference box (Default preset, full
+/// verification, median of 5 runs per configuration): fork-both was 2.4x
+/// parent-recurses with helping off (individual runs spanning 2.1–2.9x),
+/// and 1.3x with helping on (the default) — at the ~1.3x acceptance
+/// bound, with individual runs as low as 0.8x;
+/// `help_stress::fork_both_qsort_is_competitive_with_helping` pins the
+/// ratio coarsely in CI.
+fn parallel_qsort_fork_both(mut v: Vec<u32>, cutoff: usize, depth: usize) -> Vec<u32> {
+    if v.len() <= cutoff.max(2) {
+        v.sort_unstable();
+        return v;
+    }
+    let (less, mut equal, greater) = partition(v);
+    let lo = spawn_named(&format!("qsort-lo-d{depth}"), (), move || {
+        parallel_qsort_fork_both(less, cutoff, depth + 1)
+    });
+    let hi = spawn_named(&format!("qsort-hi-d{depth}"), (), move || {
+        parallel_qsort_fork_both(greater, cutoff, depth + 1)
+    });
+    let mut out = lo.join().expect("qsort lower child failed");
+    let mut sorted_greater = hi.join().expect("qsort upper child failed");
     out.append(&mut equal);
     out.append(&mut sorted_greater);
     out
@@ -115,7 +166,11 @@ pub fn run_sequential(params: &QSortParams) -> u64 {
 /// Runs the parallel benchmark.  Must be called from inside a task.
 pub fn run(params: &QSortParams) -> u64 {
     let v = random_u32s(params.elements, params.seed);
-    let sorted = parallel_qsort(v, params.cutoff, 0);
+    let sorted = if params.fork_both {
+        parallel_qsort_fork_both(v, params.cutoff, 0)
+    } else {
+        parallel_qsort(v, params.cutoff, 0)
+    };
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     checksum(&sorted)
 }
@@ -161,11 +216,22 @@ mod tests {
     }
 
     #[test]
+    fn fork_both_matches_sequential_oracle() {
+        let params = QSortParams::for_scale(Scale::Smoke).with_fork_both();
+        let expected = run_sequential(&params);
+        let rt = Runtime::new();
+        let got = rt.block_on(|| run(&params)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(rt.context().alarm_count(), 0);
+    }
+
+    #[test]
     fn fine_grained_cutoff_spawns_many_tasks() {
         let params = QSortParams {
             elements: 3_000,
             cutoff: 8,
             seed: 1,
+            fork_both: false,
         };
         let rt = Runtime::new();
         let expected = run_sequential(&params);

@@ -1,0 +1,80 @@
+//! The QSort half of the steal-to-wait helping acceptance (PR 9): the
+//! fork-both variant — every interior node of the sort tree blocks at its
+//! joins with no work of its own — must be *competitive* with the
+//! parent-recurses Table 1 shape once helping runs the blocked parents'
+//! children inline.  Before helping existed the same variant measured ~3×
+//! parent-recurses under full verification (see the discussion in
+//! `qsort.rs`); the bound asserted here is deliberately coarse (2×) so a
+//! loaded CI box cannot flake it, while a regression back to the
+//! park-per-join cliff still fails loudly.
+//!
+//! `STRESS_SEED` varies the sort input between CI jobs; the echoed replay
+//! line reproduces any failure in one command.
+
+use std::time::{Duration, Instant};
+
+use promise_core::test_support::rng::seed_from_env_echoed;
+use promise_core::HelpConfig;
+use promise_runtime::Runtime;
+use promise_workloads::qsort::{run, run_sequential, QSortParams};
+use promise_workloads::Scale;
+
+#[test]
+fn fork_both_qsort_is_competitive_with_helping() {
+    let seed = seed_from_env_echoed(0x5eed_4e1b_0051, "help_stress(workloads)");
+    let base = QSortParams {
+        seed,
+        ..QSortParams::for_scale(Scale::Smoke)
+    };
+    let expected = run_sequential(&base);
+
+    // Median of 5 timed runs (after one warmup) on a fresh default runtime —
+    // full verification, helping on.
+    let median_wall = |params: QSortParams| -> Duration {
+        let rt = Runtime::new();
+        let mut walls = Vec::new();
+        for i in 0..6 {
+            let start = Instant::now();
+            let got = rt.block_on(|| run(&params)).unwrap();
+            let wall = start.elapsed();
+            assert_eq!(got, expected, "qsort mis-sorted (params {params:?})");
+            if i > 0 {
+                walls.push(wall);
+            }
+        }
+        assert_eq!(rt.context().alarm_count(), 0);
+        walls.sort();
+        walls[walls.len() / 2]
+    };
+
+    let parent_recurses = median_wall(base);
+    let fork_both = median_wall(base.with_fork_both());
+    eprintln!(
+        "[help_stress] qsort parent-recurses {parent_recurses:?} vs fork-both {fork_both:?} \
+         (ratio {:.2})",
+        fork_both.as_secs_f64() / parent_recurses.as_secs_f64()
+    );
+    assert!(
+        fork_both <= parent_recurses.mul_f64(2.0) + Duration::from_millis(20),
+        "fork-both must stay competitive with parent-recurses under helping: \
+         {fork_both:?} vs {parent_recurses:?}"
+    );
+}
+
+/// The same fork-both input with helping off must still sort correctly and
+/// alarm-free — the variant is a valid program either way; only its thread
+/// bill differs (every interior join parks and grows).
+#[test]
+fn fork_both_qsort_is_correct_with_helping_disabled() {
+    let seed = seed_from_env_echoed(0x5eed_4e1b_0052, "help_stress(workloads)");
+    let params = QSortParams {
+        seed,
+        ..QSortParams::for_scale(Scale::Smoke)
+    }
+    .with_fork_both();
+    let expected = run_sequential(&params);
+    let rt = Runtime::builder().help(HelpConfig::disabled()).build();
+    let got = rt.block_on(|| run(&params)).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(rt.context().alarm_count(), 0);
+}
