@@ -31,7 +31,8 @@ fn main() {
             eprintln!(
                 "usage: table1 [--scale smoke|default|stress|paper] [--runs N] [--warmups N] \
                  [--filter NAME] [--no-memory] [--paper-protocol] [--blocked-aware-growth] \
-                 [--no-help] [--json PATH | --no-json] [--compare OLD.json NEW.json]"
+                 [--no-help] [--observe PATH] [--json PATH | --no-json] \
+                 [--compare OLD.json NEW.json]"
             );
             std::process::exit(2);
         }
@@ -44,6 +45,12 @@ fn main() {
     if opts.no_help {
         promise_bench::HELP_DISABLED.store(true, std::sync::atomic::Ordering::Relaxed);
         println!("(runtimes built with help(HelpConfig::disabled()))");
+    }
+    if let Some(path) = &opts.observe {
+        promise_bench::OBSERVE_JSONL
+            .set(path.into())
+            .expect("--observe is set once, before any runtime is built");
+        println!("(live metrics feed: {path} — tail -f to watch the soak)");
     }
 
     if let Some((old_path, new_path)) = &opts.compare {

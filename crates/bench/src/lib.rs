@@ -22,11 +22,13 @@
 
 pub mod compare;
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use promise_core::{CounterSnapshot, VerificationMode};
-use promise_runtime::{DetectionStats, RunMetrics, Runtime};
+use promise_runtime::{DetectionStats, ObserveConfig, RunMetrics, Runtime};
 use promise_stats::{geometric_mean, MeasurementProtocol, MemorySampler, Summary, Table};
 use promise_workloads::{all_workloads, Scale, Workload};
 
@@ -97,6 +99,15 @@ pub static BLOCKED_AWARE_GROWTH: AtomicBool = AtomicBool::new(false);
 /// off-path parity claim.
 pub static HELP_DISABLED: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide observe sink: when set (the `--observe PATH` CLI flag),
+/// [`runtime_for`] builds runtimes with the streaming observability plane
+/// on, appending JSONL snapshot diffs to `PATH`.  The plane is pull-based —
+/// measured hot paths are identical either way — but the sampler thread
+/// shares the machine, so Table 1 numbers published for comparison should
+/// be taken with it off; the flag exists to watch a long soak live
+/// (`tail -f PATH`).
+pub static OBSERVE_JSONL: OnceLock<PathBuf> = OnceLock::new();
+
 /// Builds a runtime for one of the two evaluated configurations.
 pub fn runtime_for(mode: VerificationMode) -> Runtime {
     let mut builder = Runtime::builder()
@@ -107,6 +118,9 @@ pub fn runtime_for(mode: VerificationMode) -> Runtime {
         .worker_keep_alive(Duration::from_secs(2));
     if HELP_DISABLED.load(Ordering::Relaxed) {
         builder = builder.help(promise_runtime::HelpConfig::disabled());
+    }
+    if let Some(path) = OBSERVE_JSONL.get() {
+        builder = builder.observe(ObserveConfig::new().jsonl(path));
     }
     builder.build()
 }
@@ -500,6 +514,9 @@ pub struct CliOptions {
     /// Build the measured runtimes with steal-to-wait helping disabled
     /// (see [`HELP_DISABLED`]; helping is on by default).
     pub no_help: bool,
+    /// Stream live JSONL metrics snapshots to this path while measuring
+    /// (see [`OBSERVE_JSONL`]; off by default).
+    pub observe: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -514,6 +531,7 @@ impl Default for CliOptions {
             compare: None,
             blocked_aware_growth: false,
             no_help: false,
+            observe: None,
         }
     }
 }
@@ -523,7 +541,7 @@ impl CliOptions {
     /// Recognised flags: `--scale <smoke|default|stress|paper>`, `--runs N`,
     /// `--warmups N`, `--filter NAME`, `--no-memory`, `--paper-protocol`,
     /// `--json PATH`, `--no-json`, `--compare OLD.json NEW.json`,
-    /// `--blocked-aware-growth`, `--no-help`.
+    /// `--blocked-aware-growth`, `--no-help`, `--observe PATH`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut i = 0;
@@ -557,6 +575,10 @@ impl CliOptions {
                 "--no-memory" => opts.skip_memory = true,
                 "--blocked-aware-growth" => opts.blocked_aware_growth = true,
                 "--no-help" => opts.no_help = true,
+                "--observe" => {
+                    i += 1;
+                    opts.observe = Some(args.get(i).ok_or("--observe needs a path")?.clone());
+                }
                 "--json" => {
                     i += 1;
                     opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
@@ -624,6 +646,8 @@ mod tests {
             "heat",
             "--no-memory",
             "--no-help",
+            "--observe",
+            "feed.jsonl",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -634,6 +658,8 @@ mod tests {
         assert_eq!(opts.warmups, 0);
         assert!(opts.skip_memory);
         assert!(opts.no_help);
+        assert_eq!(opts.observe.as_deref(), Some("feed.jsonl"));
+        assert!(CliOptions::parse(&["--observe".to_string()]).is_err());
         assert_eq!(opts.workloads().len(), 1);
         assert_eq!(opts.workloads()[0].name, "Heat");
 

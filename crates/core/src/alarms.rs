@@ -21,11 +21,23 @@
 //!   *happened before* the snapshot — in particular one made by this thread,
 //!   or by a thread that has since been joined — is guaranteed to appear.
 //!   Entries still mid-publication are simply skipped.
-//! * [`AlarmSink::clear`] is logical: it advances a cursor past everything
-//!   committed so far (segments are never unlinked while the sink is alive).
-//!   Like the old `clear_alarms`, it is meant for measurement harnesses
-//!   *between* runs; concurrent pushes racing a clear may land on either
-//!   side of the cursor.
+//! * [`AlarmSink::claim_next`] is the **live tail**: a shared take-cursor
+//!   (one CAS per delivered entry) hands each published entry to exactly one
+//!   of any number of concurrent tail readers, in slot order, without ever
+//!   blocking recorders.  This is the consumption primitive behind
+//!   `Runtime::alarm_tail`; unlike the deprecated `clear` it cannot drop an
+//!   entry that races the call (an entry not yet claimable now is claimable
+//!   on the next call) and cannot deliver one twice.
+//! * [`AlarmSink::read_from`] walks published entries from an absolute
+//!   cursor position *without* consuming them, so independent observers
+//!   (e.g. a metrics sampler's alarm feed) each keep a private cursor and
+//!   see every entry exactly once without stealing from the shared tail.
+//! * [`AlarmSink::clear`] (deprecated) is logical: it advances a cursor past
+//!   everything committed so far (segments are never unlinked while the sink
+//!   is alive).  It is inherently racy — concurrent pushes racing a clear
+//!   land on either side of the cursor, so a snapshot-then-clear reader can
+//!   drop or double-observe entries.  It survives as a shim for quiescent
+//!   measurement harnesses; live consumers use the tail.
 //!
 //! The retained [`MutexSink`] is the old mutex-protected log, kept as the
 //! comparison baseline for the `alarm/*` microbenches.
@@ -69,6 +81,9 @@ pub struct AlarmSink<T> {
     committed: AtomicUsize,
     /// Entries logically discarded by [`clear`](Self::clear).
     cleared: AtomicUsize,
+    /// Shared take-cursor of the live tail ([`claim_next`](Self::claim_next)):
+    /// absolute slot index of the next entry to hand out.
+    taken: AtomicUsize,
 }
 
 impl<T> Default for AlarmSink<T> {
@@ -86,7 +101,32 @@ impl<T> AlarmSink<T> {
             tail: AtomicPtr::new(first),
             committed: AtomicUsize::new(0),
             cleared: AtomicUsize::new(0),
+            taken: AtomicUsize::new(0),
         }
+    }
+
+    /// Resolves the absolute slot index `pos` to its segment slot.  `None`
+    /// when `pos` has not been reserved yet (or its segment does not exist).
+    ///
+    /// Absolute indexing is stable: pushes fill a segment's `SEG_CAP` slots
+    /// completely before the next segment is installed, so slot `k` of the
+    /// `s`-th segment is always entry `s * SEG_CAP + k`.
+    fn locate(&self, pos: usize) -> Option<(&Segment<T>, usize)> {
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        for _ in 0..pos / SEG_CAP {
+            if seg_ptr.is_null() {
+                return None;
+            }
+            // Safety: segments are never freed while the sink is alive.
+            seg_ptr = unsafe { &*seg_ptr }.next.load(Ordering::Acquire);
+        }
+        if seg_ptr.is_null() {
+            return None;
+        }
+        // Safety: as above.
+        let seg = unsafe { &*seg_ptr };
+        let idx = pos % SEG_CAP;
+        (idx < seg.reserved.load(Ordering::Acquire).min(SEG_CAP)).then_some((seg, idx))
     }
 
     /// Appends `value`.  Lock-free: one `fetch_add` to reserve, one release
@@ -184,12 +224,100 @@ impl<T> AlarmSink<T> {
         out
     }
 
+    /// Takes the next published entry off the shared tail, or `None` when no
+    /// further entry is claimable right now.
+    ///
+    /// **Exactly-once across concurrent readers**: the take-cursor advances
+    /// with one CAS per delivered entry, so however many threads tail the
+    /// sink concurrently, each published entry is returned by precisely one
+    /// `claim_next` call.  Delivery is in slot (reservation) order; an entry
+    /// still mid-publication merely delays the tail — `None` now, delivered
+    /// by a later call — it is never skipped and never delivered twice.
+    /// Independent of the deprecated [`clear`](Self::clear) cursor: the tail
+    /// delivers every entry ever pushed, starting from the first.
+    pub fn claim_next(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        loop {
+            let pos = self.taken.load(Ordering::Acquire);
+            let (seg, idx) = self.locate(pos)?;
+            if !seg.ready[idx].load(Ordering::Acquire) {
+                // Reserved but still being written: the push is in flight
+                // (reserve → write → publish has no early exit), so the next
+                // call gets it.  Returning `None` keeps the tail non-blocking.
+                return None;
+            }
+            if self
+                .taken
+                .compare_exchange(pos, pos + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: ready (acquire) orders this read after the writer's
+                // initialisation, and published slots are never written again.
+                return Some(unsafe { (*seg.values[idx].get()).assume_init_ref() }.clone());
+            }
+            // Lost the claim race to another tail reader; retry at the new
+            // cursor position.
+        }
+    }
+
+    /// Number of entries the shared tail has delivered so far.
+    pub fn taken(&self) -> usize {
+        self.taken.load(Ordering::Acquire)
+    }
+
+    /// Visits published entries from absolute position `start` onwards in
+    /// slot order, stopping at the first slot that is unreserved or still
+    /// mid-publication, and returns the next cursor position.
+    ///
+    /// This is the non-consuming counterpart of
+    /// [`claim_next`](Self::claim_next): each observer keeps its own cursor
+    /// (`start` = previous return value, beginning at 0) and sees every
+    /// entry exactly once without affecting the shared tail or other
+    /// observers.  Stopping at a publication gap preserves order — the gap
+    /// entry and everything behind it are delivered by a later call.
+    pub fn read_from(&self, start: usize, mut f: impl FnMut(&T)) -> usize {
+        let mut pos = start;
+        while let Some((seg, idx)) = self.locate(pos) {
+            if !seg.ready[idx].load(Ordering::Acquire) {
+                break;
+            }
+            // Safety: as in `claim_next`.
+            f(unsafe { (*seg.values[idx].get()).assume_init_ref() });
+            pos += 1;
+        }
+        pos
+    }
+
     /// Logically discards everything published so far (the entries stay
     /// allocated; see the module docs).  Intended for quiescent points
     /// between measurement runs.
+    ///
+    /// The cursor only ever advances (monotonic CAS), so clears racing each
+    /// other can no longer resurrect entries; but a push racing the clear
+    /// still lands on an arbitrary side of the cursor, making
+    /// snapshot-then-clear lossy under concurrency.  Live consumers use the
+    /// race-free [`claim_next`](Self::claim_next) /
+    /// [`read_from`](Self::read_from) cursors instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "racy under concurrent pushes; use `claim_next` (shared tail) or `read_from` (private cursor)"
+    )]
     pub fn clear(&self) {
-        self.cleared
-            .store(self.committed.load(Ordering::Acquire), Ordering::Release);
+        let target = self.committed.load(Ordering::Acquire);
+        let mut cur = self.cleared.load(Ordering::Relaxed);
+        while cur < target {
+            match self.cleared.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 }
 
@@ -291,6 +419,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn clear_is_logical_and_new_pushes_survive() {
         let sink: AlarmSink<u32> = AlarmSink::new();
         sink.push(1);
@@ -301,6 +430,88 @@ mod tests {
         sink.push(3);
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.snapshot(), vec![3]);
+    }
+
+    #[test]
+    fn tail_delivers_in_order_and_is_independent_of_clear() {
+        let sink: AlarmSink<u32> = AlarmSink::new();
+        let n = (SEG_CAP * 2 + 5) as u32;
+        for i in 0..n {
+            sink.push(i);
+        }
+        #[allow(deprecated)]
+        sink.clear(); // the logical clear must not hide entries from the tail
+        for i in 0..n {
+            assert_eq!(sink.claim_next(), Some(i));
+        }
+        assert_eq!(sink.claim_next(), None);
+        assert_eq!(sink.taken(), n as usize);
+        sink.push(99);
+        assert_eq!(sink.claim_next(), Some(99));
+        assert_eq!(sink.claim_next(), None);
+    }
+
+    #[test]
+    fn read_from_is_a_private_cursor_that_does_not_consume() {
+        let sink: AlarmSink<u32> = AlarmSink::new();
+        for i in 0..10 {
+            sink.push(i);
+        }
+        let mut seen = Vec::new();
+        let cursor = sink.read_from(0, |v| seen.push(*v));
+        assert_eq!(cursor, 10);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        // A second observer starting at 0 sees everything again...
+        let mut again = 0;
+        assert_eq!(sink.read_from(0, |_| again += 1), 10);
+        assert_eq!(again, 10);
+        // ...and resuming from the cursor sees only what is new.
+        sink.push(10);
+        let mut tail = Vec::new();
+        assert_eq!(sink.read_from(cursor, |v| tail.push(*v)), 11);
+        assert_eq!(tail, vec![10]);
+        // None of this consumed from the shared tail.
+        assert_eq!(sink.claim_next(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_tail_readers_get_every_entry_exactly_once() {
+        use std::sync::Mutex;
+        let sink: Arc<AlarmSink<u64>> = Arc::new(AlarmSink::new());
+        let writers = 4;
+        let readers = 4;
+        let per_writer = 500u64;
+        let total = writers as u64 * per_writer;
+        let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..writers {
+            let sink = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_writer {
+                    sink.push(t as u64 * per_writer + i);
+                }
+            }));
+        }
+        for _ in 0..readers {
+            let sink = Arc::clone(&sink);
+            let got = Arc::clone(&got);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while sink.taken() < total as usize {
+                    while let Some(v) = sink.claim_next() {
+                        mine.push(v);
+                    }
+                    std::hint::spin_loop();
+                }
+                got.lock().unwrap().extend(mine);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = got.lock().unwrap().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>(), "lost or duplicated");
     }
 
     #[test]

@@ -68,21 +68,41 @@
 //! overflow cell covers the global path, and [`SlotArena::live`] sums the
 //! shards.
 //!
-//! ## Peak accounting on the magazine path: the precise bound
+//! ## Peak accounting on the magazine path: residual folding
 //!
-//! `peak_live` is maintained by **sampling**: it is advanced on every
-//! global-path allocation (exact, as before, for arenas driven only through
-//! the global path) and at magazine refill/flush boundaries and
-//! [`SlotArena::peak_live`] reads.  Between two boundary events a claimed
-//! magazine's length moves strictly inside `(0, MAG_CAP)`, and a refill or
-//! flush resets it to [`MAG_REFILL`] — so the *unsampled* net live delta
-//! contributed by one magazine is bounded by ±[`MAG_REFILL`].  The reported
-//! peak therefore under-reports the true simultaneous-live peak by **at
-//! most `MAG_REFILL` slots per claimed magazine** (≤ `ARENA_SHARDS ×
-//! MAG_REFILL` overall), and never over-reports.  This is deliberate: an
-//! exact peak would put a global RMW back on the alloc fast path, which is
-//! precisely what the magazines exist to avoid.  The bound is pinned by the
-//! `peak_live_underreport_is_bounded_by_one_refill_batch` regression test.
+//! `peak_live` is maintained by **sampling plus residual folding**.  The
+//! samples are the same as ever: every global-path allocation (exact, as
+//! before, for arenas driven only through the global path), every magazine
+//! refill/flush boundary, and every [`SlotArena::peak_live`] read.  Plain
+//! sampling alone under-reported by up to [`MAG_REFILL`] per claimed
+//! magazine, because an excursion that rose and fell *between* two boundary
+//! events was never observed.  Each magazine now also tracks a per-shard
+//! high-water mark with the same owner-only plain-store discipline as its
+//! live delta (still no RMW on the alloc fast path), and its *residual* —
+//! how far the shard's past peak sits above its current delta — is folded
+//! in at two points: boundary events fold it into the stored maximum
+//! (`peak ← max(peak, live + residual)` via
+//! [`MagazineBackend::note_residual`](crate::magazine::MagazineBackend::note_residual),
+//! which also resets the shard's high-water mark), and `peak_live` reads
+//! fold the largest *outstanding* residual
+//! ([`MagazinePool::max_residual`](crate::magazine::MagazinePool::max_residual)).
+//!
+//! The resulting guarantees:
+//!
+//! * **Exact when observable.**  For a quiescent arena — no allocation or
+//!   free racing the read, e.g. a metrics snapshot after a phase, or the
+//!   single-mutator regression test — the reported peak equals the true
+//!   simultaneous-live peak.  Pinned by
+//!   `peak_live_underreport_is_bounded_by_one_refill_batch`.
+//! * **Never below a sample.**  The gauge is monotone and at least every
+//!   folded sample; the old silent under-report of a fully-unsampled
+//!   excursion is gone.
+//! * **Bounded over-report under races.**  Concurrent churn can combine a
+//!   residual from one moment with live deltas from another; folding the
+//!   *max* (not the sum) of per-shard residuals keeps any over-report
+//!   within one magazine's excursion (≤ [`MAG_CAP`]) per fold.  An exact
+//!   concurrent peak of a sharded sum would require a global RMW on every
+//!   alloc — precisely what the magazines exist to avoid.
 //!
 //! # Reclamation: epochs for memory, generations for identity
 //!
@@ -355,6 +375,10 @@ impl<T: SlotValue> MagazineBackend for ArenaBackend<'_, T> {
         arena.push_free_chain(items[0], items[items.len() - 1]);
         arena.note_peak();
     }
+
+    fn note_residual(&self, residual: usize) {
+        self.0.note_peak_with_residual(residual);
+    }
 }
 
 impl<T: SlotValue> Default for SlotArena<T> {
@@ -425,11 +449,15 @@ impl<T: SlotValue> SlotArena<T> {
     /// Highest number of simultaneously live slots observed so far.
     ///
     /// Exact for arenas driven only through the global path (unregistered
-    /// threads, [`new_global_only`](Self::new_global_only)); with magazines
-    /// in play it is a sampled high-water mark (see the module docs).
+    /// threads, [`new_global_only`](Self::new_global_only)) and for
+    /// quiescent reads with magazines in play (the read folds in each
+    /// magazine's unsampled peak excursion — see "peak accounting" in the
+    /// module docs for the concurrent-read bounds).
     pub fn peak_live(&self) -> usize {
-        let live = self.live();
-        self.peak_live.fetch_max(live, Ordering::Relaxed).max(live)
+        let folded = self.live() + self.magazines.max_residual();
+        self.peak_live
+            .fetch_max(folded, Ordering::Relaxed)
+            .max(folded)
     }
 
     /// Total number of slots ever handed out from the fresh region (i.e. the
@@ -628,6 +656,14 @@ impl<T: SlotValue> SlotArena<T> {
     /// on slow paths only; see the module docs for the peak semantics).
     fn note_peak(&self) {
         self.peak_live.fetch_max(self.live(), Ordering::Relaxed);
+    }
+
+    /// Boundary-event fold: samples `live + residual`, recovering a
+    /// magazine excursion that plain live sampling missed (see "peak
+    /// accounting" in the module docs).
+    fn note_peak_with_residual(&self, residual: usize) {
+        self.peak_live
+            .fetch_max(self.live() + residual, Ordering::Relaxed);
     }
 
     fn alloc_global(&self) -> PackedRef {
@@ -1345,9 +1381,10 @@ mod tests {
         assert_eq!(arena.peak_live(), 2);
     }
 
-    /// Pins the documented peak semantics on the magazine path: the sampled
-    /// high-water mark may under-report the true simultaneous-live peak, but
-    /// by no more than [`MAG_REFILL`] per claimed magazine (here: one).
+    /// Pins the peak semantics on the magazine path: the residual fold
+    /// makes the quiescent snapshot exact even for an excursion that rose
+    /// and fell entirely between refill/flush boundaries — the case plain
+    /// live sampling used to under-report by up to [`MAG_REFILL`].
     #[test]
     fn peak_live_underreport_is_bounded_by_one_refill_batch() {
         let arena: SlotArena<TestCell> = SlotArena::new();
@@ -1355,7 +1392,8 @@ mod tests {
         // First alloc refills (samples at live == 0), then `extra` more
         // allocations ride the magazine without crossing a boundary: the
         // second refill samples at live == MAG_REFILL, and the final
-        // `extra` live slots are never sampled.
+        // `extra` live slots are never boundary-sampled — only the
+        // read-path residual fold can recover them.
         let extra = 3;
         let refs: Vec<_> = (0..MAG_REFILL + extra).map(|_| arena.alloc()).collect();
         let true_peak = refs.len();
@@ -1364,18 +1402,12 @@ mod tests {
         }
         assert_eq!(arena.live(), 0);
         let reported = arena.peak_live();
-        assert!(
-            reported <= true_peak,
-            "the sampled peak never over-reports ({reported} > {true_peak})"
+        assert_eq!(
+            reported, true_peak,
+            "quiescent snapshot path reports the exact peak"
         );
-        assert!(
-            reported + MAG_REFILL >= true_peak,
-            "under-report exceeded the documented MAG_REFILL bound: \
-             reported {reported}, true {true_peak}"
-        );
-        // With exactly one boundary crossed the sample is the documented
-        // one: the refill observed MAG_REFILL live slots.
-        assert_eq!(reported, MAG_REFILL);
+        // And the fold is sticky: the stored maximum now carries it.
+        assert_eq!(arena.peak_live(), true_peak);
     }
 
     #[test]

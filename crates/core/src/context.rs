@@ -162,19 +162,26 @@ impl std::fmt::Display for Alarm {
 /// not a proof — a legitimately long-running job trips it too.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StallReport {
-    /// Index of the stalled worker within its scheduler.
+    /// Index of the stalled worker within its scheduler — or, when
+    /// [`helper`](Self::helper) is set, the slot in the scheduler's helper
+    /// registry (the two index spaces are independent).
     pub worker: usize,
     /// How long the worker had been on its current job when flagged.
     pub busy_for: std::time::Duration,
     /// Jobs the worker had completed before getting stuck (progress stamp).
     pub jobs_executed: u64,
+    /// Whether the stalled thread is a *helper* — a non-worker thread (e.g.
+    /// a blocked root task) running a stolen job inline via steal-to-wait
+    /// helping — rather than a pool worker.
+    pub helper: bool,
 }
 
 impl std::fmt::Display for StallReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "stall: worker {} stuck on one job for {:.3}s (after {} completed jobs)",
+            "stall: {} {} stuck on one job for {:.3}s (after {} completed jobs)",
+            if self.helper { "helper" } else { "worker" },
             self.worker,
             self.busy_for.as_secs_f64(),
             self.jobs_executed,
@@ -337,9 +344,34 @@ impl Context {
         self.alarms.len()
     }
 
+    /// Takes the next alarm off the context's shared tail, or `None` when
+    /// nothing new is claimable right now.
+    ///
+    /// However many threads tail concurrently, each recorded alarm is
+    /// returned by exactly one call (see [`AlarmSink::claim_next`]); an
+    /// alarm mid-publication is delivered by a later call, never dropped.
+    /// Runtimes wrap this as `Runtime::alarm_tail`.
+    pub fn claim_next_alarm(&self) -> Option<Alarm> {
+        self.alarms.claim_next()
+    }
+
+    /// Visits alarms from private cursor position `start` onwards without
+    /// consuming them from the shared tail, returning the next cursor (see
+    /// [`AlarmSink::read_from`]).  Lets independent observers — a metrics
+    /// sampler's alarm feed, a logging hook — each see every alarm exactly
+    /// once without stealing from `claim_next_alarm` readers.
+    pub fn read_new_alarms(&self, start: usize, f: impl FnMut(&Alarm)) -> usize {
+        self.alarms.read_from(start, f)
+    }
+
     /// Clears the alarm log (used by measurement harnesses between runs; see
     /// [`AlarmSink::clear`] for the concurrency caveat).
+    #[deprecated(
+        since = "0.1.0",
+        note = "racy under concurrent recorders; use `claim_next_alarm` / `read_new_alarms`"
+    )]
     pub fn clear_alarms(&self) {
+        #[allow(deprecated)]
         self.alarms.clear();
     }
 
@@ -528,6 +560,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn alarms_are_recorded_and_counted() {
         let ctx = Context::new_verified();
         let cycle = Arc::new(DeadlockCycle {

@@ -454,6 +454,38 @@ impl CounterSnapshot {
         }
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// One authoritative field list for exporters — the observability
+    /// plane's Prometheus exposition and JSONL feed both render from this,
+    /// so adding a counter here automatically reaches every surface.
+    pub fn named_fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("gets", self.gets),
+            ("sets", self.sets),
+            ("promises_created", self.promises_created),
+            ("tasks_spawned", self.tasks_spawned),
+            ("transfers", self.transfers),
+            ("detector_runs", self.detector_runs),
+            ("detector_steps", self.detector_steps),
+            ("deadlocks_detected", self.deadlocks_detected),
+            ("omitted_sets_detected", self.omitted_sets_detected),
+            ("tasks_panicked", self.tasks_panicked),
+            ("tasks_cancelled", self.tasks_cancelled),
+            ("gets_timed_out", self.gets_timed_out),
+        ]
+    }
+
+    /// Whether every counter in `self` is at least its value in `earlier` —
+    /// i.e. `self` could be a later snapshot of the same monotone counters.
+    /// The observability stress suite asserts this across sampler diffs.
+    pub fn monotonically_includes(&self, earlier: &CounterSnapshot) -> bool {
+        self.named_fields()
+            .iter()
+            .zip(earlier.named_fields().iter())
+            .all(|((_, later), (_, early))| later >= early)
+    }
+
     /// `get` operations per millisecond over a wall-clock duration.
     pub fn gets_per_ms(&self, wall: std::time::Duration) -> f64 {
         rate_per_ms(self.gets, wall)
@@ -595,6 +627,24 @@ mod tests {
     fn counters_start_at_zero() {
         let c = Counters::new();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter_and_order_monotonicity() {
+        let c = Counters::new();
+        c.record_get();
+        c.record_set();
+        let early = c.snapshot();
+        // The pairs round-trip the struct completely: summing named values
+        // must equal summing the fields via `since` of the zero snapshot.
+        let named_sum: u64 = early.named_fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(named_sum, early.gets + early.sets);
+        c.record_get();
+        c.record_detector_run(5);
+        let later = c.snapshot();
+        assert!(later.monotonically_includes(&early));
+        assert!(!early.monotonically_includes(&later));
+        assert!(later.monotonically_includes(&later));
     }
 
     #[test]

@@ -89,6 +89,20 @@
 //! their own overflow counter for their shared path.  Note the delta stays
 //! with the *magazine*, not the worker: after a release or adoption the
 //! accumulated delta remains valid because it counts items, not owners.
+//!
+//! Each magazine also keeps a per-shard high-water mark `hwm`: the largest
+//! `live` value the shard has reached since its last *boundary event*
+//! (refill, flush, or exit drain).  Owners update it with the same plain
+//! load/branch/store discipline as `live`, so the hot path still performs no
+//! RMW.  At every boundary the pool reports the shard's *residual* —
+//! `(hwm - live).max(0)`, the part of a past excursion that plain
+//! `live()` sampling can no longer see — to
+//! [`MagazineBackend::note_residual`] and resets `hwm := live`.  Between
+//! boundaries, [`MagazinePool::max_residual`] exposes the largest
+//! outstanding residual so peak-gauge readers (the arena's
+//! `peak_live`) can fold it in on the read path.  See
+//! [`crate::arena`]'s "peak accounting" docs for the exactness guarantees
+//! this buys.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -131,6 +145,15 @@ pub trait MagazineBackend {
     /// Takes `items` back onto the backstop in one batch.  `items` is the
     /// *oldest* end of the flushing magazine, in cache order.
     fn flush(&self, items: &[Self::Item]);
+
+    /// Called at every magazine boundary event (refill, flush, exit drain)
+    /// with the shard's unsampled peak excursion: how far above its current
+    /// `live` delta the shard's high-water mark climbed since the previous
+    /// boundary.  Backends that derive a peak gauge from `live` sampling
+    /// (the slot arena) fold the residual into the gauge here; the default
+    /// is a no-op.  Called while the claim is held, before the
+    /// refill/flush itself.
+    fn note_residual(&self, _residual: usize) {}
 }
 
 /// One epoch-claimed magazine (see the [module docs](self)).
@@ -141,11 +164,13 @@ pub trait MagazineBackend {
 /// stats readers can load it without a data race — the owner uses plain
 /// relaxed loads/stores).  `live` is the shard's contribution to the
 /// pool-wide outstanding count: written (no RMW) only by the owner, read by
-/// anyone summing.
+/// anyone summing.  `hwm` is the largest `live` since the shard's last
+/// boundary event (same single-writer plain-store discipline as `live`).
 struct Magazine<T> {
     owner: AtomicU64,
     len: AtomicUsize,
     live: AtomicI64,
+    hwm: AtomicI64,
     items: UnsafeCell<MaybeUninit<[T; MAG_CAP]>>,
 }
 
@@ -160,8 +185,20 @@ impl<T: Copy + Send> Magazine<T> {
             owner: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             live: AtomicI64::new(0),
+            hwm: AtomicI64::new(0),
             items: UnsafeCell::new(MaybeUninit::uninit()),
         }
+    }
+
+    /// Reports the shard's unsampled peak excursion to the backend and
+    /// resets the high-water mark.  Called by the claim holder at every
+    /// boundary event, before the refill/flush itself.
+    #[inline]
+    fn note_boundary<B: MagazineBackend<Item = T>>(&self, backend: &B) {
+        let live = self.live.load(Ordering::Relaxed);
+        let residual = (self.hwm.load(Ordering::Relaxed) - live).max(0) as usize;
+        backend.note_residual(residual);
+        self.hwm.store(live, Ordering::Relaxed);
     }
 
     /// Base pointer of the item array.
@@ -266,6 +303,7 @@ impl<T: Copy + Send> MagazinePool<T> {
             let items = magazine.items_ptr();
             let mut len = magazine.len.load(Ordering::Relaxed);
             if len == 0 {
+                magazine.note_boundary(backend);
                 let buf = std::slice::from_raw_parts_mut(items.cast(), MAG_REFILL);
                 len = backend.refill(buf);
                 debug_assert!((1..=MAG_REFILL).contains(&len), "backend refill contract");
@@ -275,9 +313,11 @@ impl<T: Copy + Send> MagazinePool<T> {
             magazine.len.store(len, Ordering::Relaxed);
             item
         };
-        magazine
-            .live
-            .store(magazine.live.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        let live = magazine.live.load(Ordering::Relaxed) + 1;
+        magazine.live.store(live, Ordering::Relaxed);
+        if live > magazine.hwm.load(Ordering::Relaxed) {
+            magazine.hwm.store(live, Ordering::Relaxed);
+        }
         Some(item)
     }
 
@@ -296,6 +336,7 @@ impl<T: Copy + Send> MagazinePool<T> {
             let items = magazine.items_ptr();
             let mut len = magazine.len.load(Ordering::Relaxed);
             if len == MAG_CAP {
+                magazine.note_boundary(backend);
                 let oldest = std::slice::from_raw_parts(items.cast_const(), MAG_REFILL);
                 backend.flush(oldest);
                 std::ptr::copy(items.add(MAG_REFILL), items, MAG_CAP - MAG_REFILL);
@@ -327,6 +368,7 @@ impl<T: Copy + Send> MagazinePool<T> {
         }
         // SAFETY: the claim word holds this thread's current token, so the
         // accesses below are exclusive (as in `alloc`).
+        magazine.note_boundary(backend);
         unsafe {
             let len = magazine.len.load(Ordering::Relaxed);
             if len > 0 {
@@ -348,6 +390,25 @@ impl<T: Copy + Send> MagazinePool<T> {
             .iter()
             .map(|s| s.0.live.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// The largest outstanding per-shard residual: the maximum over
+    /// magazines of how far `hwm` sits above `live` right now — i.e. the
+    /// biggest peak excursion no boundary event has reported to
+    /// [`MagazineBackend::note_residual`] yet.  Peak-gauge readers fold this
+    /// into their read path so a quiescent pool's gauge is exact without
+    /// waiting for the next refill or flush.  The *max* (not the sum) keeps
+    /// the fold's possible over-report under concurrent churn bounded by one
+    /// magazine's excursion instead of all of them; see [`crate::arena`].
+    pub fn max_residual(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let m = &s.0;
+                (m.hwm.load(Ordering::Relaxed) - m.live.load(Ordering::Relaxed)).max(0) as usize
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of items currently cached across all magazines.
@@ -466,6 +527,29 @@ mod tests {
         .unwrap();
         assert_eq!(pool.cached(), 0);
         assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn residual_tracks_unsampled_peak_excursions() {
+        let pool: MagazinePool<u32> = MagazinePool::new();
+        let backend = KitBackend::default();
+        let _worker = counters::register_worker();
+        // Climb to a peak of 8, then free back down: plain `live` sampling
+        // between boundaries never sees the excursion, the residual does.
+        let items: Vec<u32> = (0..8).map(|_| pool.alloc(&backend).unwrap()).collect();
+        assert_eq!(pool.max_residual(), 0, "at the peak, hwm == live");
+        for item in items {
+            pool.free(&backend, item).unwrap();
+        }
+        assert_eq!(pool.live(), 0);
+        assert_eq!(
+            pool.max_residual(),
+            8,
+            "the whole excursion is still unreported"
+        );
+        // A boundary event reports the residual and resets the high-water.
+        pool.flush_current_worker(&backend);
+        assert_eq!(pool.max_residual(), 0);
     }
 
     #[test]

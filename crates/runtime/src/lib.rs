@@ -56,6 +56,7 @@ pub mod batch;
 pub mod finish;
 pub mod handle;
 pub mod metrics;
+pub mod observe;
 pub mod pool;
 pub mod runtime;
 pub mod scheduler;
@@ -65,6 +66,7 @@ pub use batch::{spawn_batch, SpawnBatch};
 pub use finish::{finish, FinishScope};
 pub use handle::{CompletionPromise, TaskHandle};
 pub use metrics::{DetectionStats, RunMetrics};
+pub use observe::{AlarmTail, ObserveConfig};
 pub use pool::{GrowingPool, PoolConfig, PoolStats};
 pub use promise_core::HelpConfig;
 pub use runtime::{Runtime, RuntimeBuilder, SchedulerKind, ShutdownReport, WatchdogConfig};

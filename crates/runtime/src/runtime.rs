@@ -9,6 +9,7 @@ use promise_core::{
 };
 
 use crate::metrics::RunMetrics;
+use crate::observe::{AlarmTail, ObserveConfig, Observer};
 use crate::pool::{GrowingPool, PoolConfig, PoolStats};
 use crate::scheduler::{SchedulerConfig, StealOrder, WorkStealingScheduler};
 
@@ -106,10 +107,13 @@ impl Pool {
 /// `stall_threshold`.  Each busy episode is flagged at most once.  Unlike
 /// the two verifier alarms this is a *liveness heuristic*, not a proof: a
 /// legitimately long-running job trips it too, so pick a threshold well
-/// above the workload's longest expected task.  Only *worker* threads are
-/// sampled: a job that steal-to-wait helping runs inline on a blocked
-/// joiner's thread (see [`RuntimeBuilder::help`]) is outside the watchdog's
-/// view, as is any blocking done off the promise hooks.
+/// above the workload's longest expected task.  Jobs that steal-to-wait
+/// helping runs inline on a blocked joiner's thread (see
+/// [`RuntimeBuilder::help`]) are sampled too — worker helpers through the
+/// worker's own re-armed stamp, non-worker (root) helpers through a
+/// transient stamp enrolled per helped job, reported with
+/// `StallReport::helper` set.  Blocking done off the promise hooks remains
+/// outside the watchdog's view.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WatchdogConfig {
     /// How long a worker may sit on one job before it is flagged.
@@ -145,9 +149,11 @@ impl Watchdog {
         let join = std::thread::Builder::new()
             .name("promise-watchdog".to_string())
             .spawn(move || {
-                // worker slot -> busy episode already flagged, so one stuck
-                // job raises exactly one alarm however often it is sampled.
-                let mut flagged: std::collections::HashMap<usize, u64> =
+                // (helper, slot) -> busy episode already flagged, so one
+                // stuck job raises exactly one alarm however often it is
+                // sampled.  Helper slots are their own index space, hence
+                // the compound key.
+                let mut flagged: std::collections::HashMap<(bool, usize), u64> =
                     std::collections::HashMap::new();
                 let (lock, cv) = &*stop2;
                 let mut stopped = lock.lock();
@@ -159,17 +165,18 @@ impl Watchdog {
                     for p in sched.worker_progress() {
                         match p.busy_for {
                             Some(busy_for) if busy_for >= config.stall_threshold => {
-                                if flagged.get(&p.worker) != Some(&p.episode) {
-                                    flagged.insert(p.worker, p.episode);
+                                if flagged.get(&(p.helper, p.worker)) != Some(&p.episode) {
+                                    flagged.insert((p.helper, p.worker), p.episode);
                                     ctx.record_alarm(Alarm::Stall(Arc::new(StallReport {
                                         worker: p.worker,
+                                        helper: p.helper,
                                         busy_for,
                                         jobs_executed: p.jobs_executed,
                                     })));
                                 }
                             }
                             _ => {
-                                flagged.remove(&p.worker);
+                                flagged.remove(&(p.helper, p.worker));
                             }
                         }
                     }
@@ -227,6 +234,7 @@ pub struct RuntimeBuilder {
     chaos: Option<ChaosConfig>,
     event_log: bool,
     watchdog: Option<WatchdogConfig>,
+    observe: Option<ObserveConfig>,
 }
 
 impl Default for RuntimeBuilder {
@@ -242,6 +250,7 @@ impl Default for RuntimeBuilder {
             chaos: None,
             event_log: false,
             watchdog: None,
+            observe: None,
         }
     }
 }
@@ -386,6 +395,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the streaming observability plane (see [`ObserveConfig`] and
+    /// [`crate::observe`]): a background sampler thread streams periodic
+    /// counter/pool/memory snapshot diffs as a JSONL append feed and/or a
+    /// Prometheus-style `/metrics` endpoint, and drains the alarm feed.
+    ///
+    /// Off by default.  The plane is pull-based — it reads counters the hot
+    /// paths already maintain — so when disabled it costs literally nothing
+    /// on any hot path (not even a branch), and when enabled it costs one
+    /// background thread.
+    pub fn observe(mut self, config: ObserveConfig) -> Self {
+        self.observe = Some(config);
+        self
+    }
+
     /// How long idle pool workers linger before retiring.
     pub fn worker_keep_alive(mut self, keep_alive: Duration) -> Self {
         self.pool.keep_alive = keep_alive;
@@ -456,8 +479,22 @@ impl RuntimeBuilder {
             )),
             _ => None,
         };
+        let observer = self.observe.map(|config| {
+            let stats_fn: Box<dyn Fn() -> PoolStats + Send + Sync> = match &pool {
+                Pool::Growing(p) => {
+                    let p = Arc::clone(p);
+                    Box::new(move || p.stats())
+                }
+                Pool::Stealing(s) => {
+                    let s = Arc::clone(s);
+                    Box::new(move || s.stats())
+                }
+            };
+            Observer::spawn(config, Arc::clone(&ctx), stats_fn)
+        });
         Runtime {
             watchdog,
+            observer,
             ctx,
             pool,
         }
@@ -471,6 +508,10 @@ pub struct Runtime {
     /// First field so the monitor thread stops (and releases its `Arc`s to
     /// the context and scheduler) before the pool's drop-shutdown runs.
     watchdog: Option<Watchdog>,
+    /// Declared before `pool` for the same drop-order reason as the
+    /// watchdog; the explicit shutdown paths stop it *after* the pool
+    /// drains so the final sample captures the end state.
+    observer: Option<Observer>,
     ctx: Arc<Context>,
     pool: Pool,
 }
@@ -508,6 +549,23 @@ impl Runtime {
     /// Scheduler activity counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// A live, exactly-once consumer of this runtime's alarms (see
+    /// [`AlarmTail`]): each recorded alarm is yielded by exactly one `next`
+    /// call across all concurrently tailing consumers, and `None` means
+    /// *nothing new right now*, never exhaustion.  This replaces the old
+    /// snapshot-then-[`clear`](Context::clear_alarms) pattern, which could
+    /// drop alarms recorded between the two calls.
+    pub fn alarm_tail(&self) -> AlarmTail {
+        AlarmTail::new(Arc::clone(&self.ctx))
+    }
+
+    /// The bound address of the observability plane's `/metrics` listener,
+    /// when [`RuntimeBuilder::observe`] configured one (useful with port 0
+    /// to discover the ephemeral port).
+    pub fn observe_addr(&self) -> Option<std::net::SocketAddr> {
+        self.observer.as_ref().and_then(Observer::addr)
     }
 
     /// Retires fully-free arena chunks and frees those past their grace
@@ -580,6 +638,11 @@ impl Runtime {
         // teardown discards un-run takes the sanctioned-abandonment exit.
         self.ctx.begin_shutdown();
         self.pool.shutdown();
+        // Drain the observability plane last: its final sample (and alarm
+        // sweep) then captures the run's end state.
+        if let Some(mut observer) = self.observer.take() {
+            observer.stop();
+        }
     }
 
     /// Deadline-aware shutdown: stop admission, let in-flight work drain,
@@ -627,6 +690,12 @@ impl Runtime {
         // Settle anything that raced admission (also runs in the clean case,
         // where it finds the queues empty).
         dropped_jobs += self.pool.drain_queued();
+        // Drain the observability feed now that the pool has settled: the
+        // sampler's final sample includes everything the drain produced
+        // (cancellation counters, dropped-job alarms) before the report.
+        if let Some(mut observer) = self.observer.take() {
+            observer.stop();
+        }
         let after = self.ctx.counter_snapshot();
         ShutdownReport {
             clean,

@@ -255,8 +255,13 @@ impl WorkerStamp {
 /// A point-in-time view of one worker's progress stamp.
 #[derive(Copy, Clone, Debug)]
 pub struct WorkerProgress {
-    /// The worker's slot index within its scheduler.
+    /// The worker's slot index within its scheduler.  Helper entries
+    /// (`helper == true`) use their own independent index space.
     pub worker: usize,
+    /// `true` for a transient non-worker helper thread (a blocked root
+    /// task running a job inline via steal-to-wait helping), enrolled only
+    /// while its helped job runs.
+    pub helper: bool,
     /// How long the worker has been on its current job (`None` = idle).
     pub busy_for: Option<Duration>,
     /// Jobs the worker has completed so far.
@@ -273,6 +278,15 @@ struct SchedState {
     workers: RwLock<Vec<Option<Stealer>>>,
     /// Per-worker progress stamps, indexed like `workers`.
     stamps: RwLock<Vec<Option<Arc<WorkerStamp>>>>,
+    /// Progress stamps for non-worker helper threads (a blocked root task
+    /// running a job via [`Executor::try_help`]), armed for the duration of
+    /// each helped job so the watchdog sees wedged helped jobs too.
+    /// Indexed independently of `workers`; slots are recycled through
+    /// `helper_free` instead of removed, so steady-state helping allocates
+    /// nothing (the zero-alloc spawn guarantee covers helped joins).
+    helper_stamps: RwLock<Vec<Arc<WorkerStamp>>>,
+    /// Free slots in `helper_stamps` available for reuse.
+    helper_free: Mutex<Vec<usize>>,
     /// Time base for the progress stamps.
     epoch: Instant,
     park: Mutex<ParkState>,
@@ -314,6 +328,8 @@ impl WorkStealingScheduler {
             injector: injector::Injector::new(config.injector_shards),
             workers: RwLock::new(Vec::new()),
             stamps: RwLock::new(Vec::new()),
+            helper_stamps: RwLock::new(Vec::new()),
+            helper_free: Mutex::new(Vec::new()),
             epoch: Instant::now(),
             park: Mutex::new(ParkState {
                 idle: 0,
@@ -477,30 +493,45 @@ impl WorkStealingScheduler {
         }
     }
 
-    /// Samples every live worker's progress stamp (see [`WorkerProgress`]).
+    /// Samples every live worker's progress stamp (see [`WorkerProgress`]),
+    /// plus the transient stamps of non-worker helper threads currently
+    /// running a helped job (`helper == true` entries).
     ///
     /// This is the stall watchdog's input: a worker whose `busy_for` keeps
     /// growing across samples with an unchanged `episode` is stuck on one
     /// job (long-running, blocked outside the promise hooks, or livelocked).
+    /// Enrolling helpers closes the old blind spot where a wedged helped
+    /// job on a blocked root thread was invisible.
     pub fn worker_progress(&self) -> Vec<WorkerProgress> {
         let now = self.state.epoch.elapsed().as_nanos() as u64;
-        self.state
+        let sample = |worker: usize, stamp: &WorkerStamp, helper: bool| {
+            let busy_since = stamp.busy_since_ns.load(Ordering::Relaxed);
+            WorkerProgress {
+                worker,
+                helper,
+                busy_for: (busy_since != 0)
+                    .then(|| Duration::from_nanos(now.saturating_sub(busy_since))),
+                jobs_executed: stamp.jobs.load(Ordering::Relaxed),
+                episode: busy_since,
+            }
+        };
+        let mut out: Vec<WorkerProgress> = self
+            .state
             .stamps
             .read()
             .iter()
             .enumerate()
-            .filter_map(|(worker, stamp)| {
-                let stamp = stamp.as_ref()?;
-                let busy_since = stamp.busy_since_ns.load(Ordering::Relaxed);
-                Some(WorkerProgress {
-                    worker,
-                    busy_for: (busy_since != 0)
-                        .then(|| Duration::from_nanos(now.saturating_sub(busy_since))),
-                    jobs_executed: stamp.jobs.load(Ordering::Relaxed),
-                    episode: busy_since,
-                })
-            })
-            .collect()
+            .filter_map(|(worker, stamp)| Some(sample(worker, stamp.as_ref()?, false)))
+            .collect();
+        out.extend(
+            self.state
+                .helper_stamps
+                .read()
+                .iter()
+                .enumerate()
+                .map(|(worker, stamp)| sample(worker, stamp, true)),
+        );
+        out
     }
 
     /// Stops admission and wakes every worker without waiting for them.
@@ -664,7 +695,7 @@ impl Executor for WorkStealingScheduler {
         let state = &self.state;
         let me = Arc::as_ptr(state) as *const ();
         let worker = CURRENT_WORKER.with(Cell::get).filter(|w| w.sched == me);
-        let job = match worker {
+        match worker {
             Some(w) => {
                 // A blocked worker helping: its deque has *not* been handed
                 // off (helping runs before `on_task_blocked`), so pop it
@@ -673,10 +704,15 @@ impl Executor for WorkStealingScheduler {
                 // the owning worker thread (the TLS entry says so), so the
                 // owner-only `pop` is legal and the queue is alive.
                 let local = unsafe { &*w.local };
-                local
+                let job = local
                     .pop(state)
                     .or_else(|| state.injector.pop(w.idx))
-                    .or_else(|| state.try_steal(w.idx))
+                    .or_else(|| state.try_steal(w.idx));
+                let Some(job) = job else { return false };
+                // SAFETY: see `WorkerRef::stamp` — valid for this thread's
+                // lifetime.
+                state.run_helped(unsafe { &*w.stamp }, job);
+                true
             }
             // A blocked non-worker thread (e.g. a root task in `get`): no
             // deque of its own.  Any index ≥ every worker slot works as the
@@ -684,14 +720,21 @@ impl Executor for WorkStealingScheduler {
             // idx` then never skips a victim).
             None => {
                 let idx = state.workers.read().len();
-                state.injector.pop(idx).or_else(|| state.try_steal(idx))
+                let job = state.injector.pop(idx).or_else(|| state.try_steal(idx));
+                let Some(job) = job else { return false };
+                // Arm a recycled helper stamp for the duration of the
+                // helped job, so a helped job that wedges on this thread is
+                // watchdog-visible like any worker's (the helper lock
+                // round-trips are off the hot path: helping only happens on
+                // already-blocked threads — and allocation-free in steady
+                // state, keeping helped joins inside the zero-alloc spawn
+                // guarantee).
+                let (slot, stamp) = state.register_helper();
+                state.run_helped(&stamp, job);
+                state.unregister_helper(slot);
+                true
             }
-        };
-        let Some(job) = job else { return false };
-        // SAFETY: see `WorkerRef::stamp` — valid for this thread's lifetime.
-        let stamp = worker.map(|w| unsafe { &*w.stamp });
-        state.run_helped(stamp, job);
-        true
+        }
     }
 }
 
@@ -1024,14 +1067,12 @@ impl SchedState {
     /// (its own suspended job), so the stamp is re-armed with a *fresh*
     /// episode for the helped job and again on return to the suspended frame
     /// — each helped job and each cell re-check between jobs counts as
-    /// watchdog-visible progress, never as one long stall.  `stamp` is
-    /// `None` for non-worker helpers (e.g. a blocked root task), which have
-    /// no stamp to keep honest.
-    fn run_helped(&self, stamp: Option<&WorkerStamp>, job: Job) {
+    /// watchdog-visible progress, never as one long stall.  Worker helpers
+    /// pass their own stamp; non-worker helpers (a blocked root task) pass
+    /// a transient stamp enrolled in `helper_stamps` for this job.
+    fn run_helped(&self, stamp: &WorkerStamp, job: Job) {
         let fresh = || (self.epoch.elapsed().as_nanos() as u64).max(1);
-        if let Some(stamp) = stamp {
-            stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
-        }
+        stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
         // Containment: a panicking helped job must not unwind into (and
         // corrupt) the suspended frame below; the spawn wrapper has already
         // settled the helped task's promises by the time the panic reaches
@@ -1042,10 +1083,33 @@ impl SchedState {
         }
         self.executed.fetch_add(1, Ordering::Relaxed);
         self.helped.fetch_add(1, Ordering::Relaxed);
-        if let Some(stamp) = stamp {
-            stamp.jobs.fetch_add(1, Ordering::Relaxed);
-            stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
+        stamp.jobs.fetch_add(1, Ordering::Relaxed);
+        stamp.busy_since_ns.store(fresh(), Ordering::Relaxed);
+    }
+
+    /// Checks out a helper progress stamp for watchdog sampling, returning
+    /// its slot in the helper index space.  Slots (and their stamps) are
+    /// recycled via `helper_free`, so only the first registration at a given
+    /// concurrency depth allocates — helped joins stay zero-alloc in steady
+    /// state.
+    fn register_helper(&self) -> (usize, Arc<WorkerStamp>) {
+        if let Some(slot) = self.helper_free.lock().pop() {
+            let stamp = Arc::clone(&self.helper_stamps.read()[slot]);
+            return (slot, stamp);
         }
+        let mut stamps = self.helper_stamps.write();
+        let stamp = WorkerStamp::new();
+        stamps.push(Arc::clone(&stamp));
+        (stamps.len() - 1, stamp)
+    }
+
+    /// Disarms the slot's stamp (the thread returns to its blocked wait,
+    /// which must read as idle) and recycles it.
+    fn unregister_helper(&self, slot: usize) {
+        self.helper_stamps.read()[slot]
+            .busy_since_ns
+            .store(0, Ordering::Relaxed);
+        self.helper_free.lock().push(slot);
     }
 
     fn worker_loop(self: &Arc<Self>, idx: usize, local: &LocalQueue, stamp: &WorkerStamp) {

@@ -345,12 +345,13 @@ fn watchdog_flags_a_wedged_worker_once_and_quiet_runs_not_at_all() {
     quiet.shutdown();
 
     // Wedged run: one job sits in user code for many sample periods.
-    // Helping is off so the job is guaranteed to run on a *worker*: with
-    // steal-to-wait helping the joining root thread may run the wedged job
-    // inline, and the watchdog samples only worker progress stamps.
+    // Helping stays ON (the default): wherever the wedged job lands — a
+    // pool worker, or inline on the joining root thread via steal-to-wait
+    // helping — it is watchdog-visible, because non-worker helpers enroll
+    // a transient progress stamp per helped job.  Either way the one busy
+    // episode raises exactly one stall.
     let rt = Runtime::builder()
         .initial_workers(2)
-        .help(promise_runtime::HelpConfig::disabled())
         .watchdog(config)
         .build();
     rt.block_on(|| {
@@ -383,5 +384,77 @@ fn watchdog_flags_a_wedged_worker_once_and_quiet_runs_not_at_all() {
         1,
         "a stall is a liveness hint; no deadlock/omitted alarms here: {alarms:?}"
     );
+    rt.shutdown();
+}
+
+/// The watchdog blind spot for helped jobs is closed: with blocked-aware
+/// growth and the sole worker pinned inside a busy (not promise-blocked)
+/// job, the root's join is forced to run the wedged job *inline* via
+/// steal-to-wait helping on a non-worker thread — which used to be
+/// invisible to the watchdog.  The transient helper stamp makes it
+/// sampled like any worker, and the stall report says `helper`.
+#[test]
+fn watchdog_flags_a_wedged_helped_job_on_the_root_thread() {
+    use promise_core::Alarm;
+    use promise_runtime::WatchdogConfig;
+    use std::sync::mpsc;
+
+    let rt = Runtime::builder()
+        .initial_workers(1)
+        .blocked_aware_growth(true)
+        .watchdog(WatchdogConfig {
+            stall_threshold: Duration::from_millis(150),
+            poll_interval: Duration::from_millis(15),
+        })
+        .build();
+    rt.block_on(|| {
+        // Pin the sole worker inside a busy job.  It blocks on a channel,
+        // not a promise, so blocked-aware growth spawns no replacement —
+        // the wedged job below can only run on the root thread, helped.
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let pin = spawn((), move || {
+            started_tx.send(()).unwrap();
+            let _ = release_rx.recv_timeout(Duration::from_secs(10));
+        });
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("the pin job must start on the sole worker");
+        let wedged = spawn_named("wedged-helped", (), || {
+            std::thread::sleep(Duration::from_millis(600));
+        });
+        wedged.join().unwrap();
+        release_tx.send(()).unwrap();
+        pin.join().unwrap();
+    })
+    .unwrap();
+    let alarms = rt.context().alarms();
+    let stalls: Vec<_> = alarms
+        .iter()
+        .filter_map(|a| match a {
+            Alarm::Stall(report) => Some(report),
+            _ => None,
+        })
+        .collect();
+    // Two genuine stalls: the pin job holds the sole worker past the
+    // threshold (helper == false), and the wedged job runs helped on the
+    // root thread (helper == true) — the flag that used to be impossible.
+    let helper_stalls: Vec<_> = stalls.iter().filter(|s| s.helper).collect();
+    assert_eq!(
+        helper_stalls.len(),
+        1,
+        "the wedged helped job must raise exactly one helper stall: {alarms:?}"
+    );
+    assert!(
+        helper_stalls[0].busy_for >= Duration::from_millis(150),
+        "flagged before the threshold elapsed: {:?}",
+        helper_stalls[0]
+    );
+    assert_eq!(
+        stalls.len(),
+        2,
+        "expected the helper stall plus the pinned worker's: {alarms:?}"
+    );
+    assert_eq!(alarms.len(), 2, "no other alarms expected: {alarms:?}");
     rt.shutdown();
 }

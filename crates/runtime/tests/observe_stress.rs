@@ -1,0 +1,325 @@
+//! Seeded stress for the streaming observability plane (PR 10): JSONL
+//! snapshot-diff monotonicity under load, alarm-tail exactly-once with
+//! racing recorders, live `/metrics` scrapes, and observe-off parity.
+//!
+//! Like the other stress suites, `STRESS_SEED` varies the schedule between
+//! CI jobs and the echoed replay line reproduces any failure in one
+//! command.
+
+use std::io::{Read as _, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use promise_core::test_support::rng::{seed_from_env_echoed, xorshift};
+use promise_core::{Alarm, Promise, StallReport};
+use promise_runtime::{spawn, ObserveConfig, Runtime};
+
+/// A per-test unique temp path for the JSONL feed.
+fn feed_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("observe_stress_{tag}_{}.jsonl", std::process::id()))
+}
+
+/// Extracts the flat `"name":{...}` object following `key` as
+/// `(field, value)` pairs.  The feed's schema is hand-rolled flat JSON, so
+/// a hand-rolled reader keeps the test dependency-free.
+fn parse_object(line: &str, key: &str) -> Vec<(String, u64)> {
+    let marker = format!("\"{key}\":{{");
+    let start = line.find(&marker).map(|i| i + marker.len());
+    let Some(start) = start else {
+        return Vec::new();
+    };
+    let end = start + line[start..].find('}').expect("unterminated object");
+    line[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (name, value) = pair.split_once(':').expect("field is name:value");
+            (
+                name.trim_matches('"').to_string(),
+                value.parse::<u64>().expect("numeric field"),
+            )
+        })
+        .collect()
+}
+
+/// A seeded fork/join burst that drives every counter family.
+fn run_workload(rt: &Runtime, seed: &mut u64, tasks: u64) {
+    rt.block_on(|| {
+        let handles: Vec<_> = (0..tasks)
+            .map(|i| {
+                let spin = xorshift(seed) % 64;
+                let p = Promise::<u64>::new();
+                let child = spawn(&p, {
+                    let p = p.clone();
+                    move || {
+                        for _ in 0..spin {
+                            std::hint::spin_loop();
+                        }
+                        p.set(i).unwrap();
+                    }
+                });
+                (p, child, i)
+            })
+            .collect();
+        for (p, child, i) in handles {
+            assert_eq!(p.get().unwrap(), i);
+            child.join().unwrap();
+        }
+    })
+    .unwrap();
+}
+
+/// The JSONL feed under load: `seq` is gapless, cumulative counters are
+/// monotone across samples, every `delta` object is exactly the difference
+/// of its neighbouring cumulative snapshots, and the final sample (taken at
+/// shutdown) carries the workload's full totals.
+#[test]
+fn jsonl_feed_diffs_are_monotone_and_consistent_under_load() {
+    let mut seed = seed_from_env_echoed(0x0b5e_27e5_0001, "observe_stress");
+    let path = feed_path("feed");
+    let _ = std::fs::remove_file(&path);
+    let rt = Runtime::builder()
+        .initial_workers(2)
+        .observe(
+            ObserveConfig::new()
+                .sample_interval(Duration::from_millis(3))
+                .jsonl(&path),
+        )
+        .build();
+    for _ in 0..4 {
+        run_workload(&rt, &mut seed, 64);
+        // Let the sampler observe the burst before the next one starts, so
+        // the feed spans several non-trivial diffs.
+        std::thread::sleep(Duration::from_millis(9));
+    }
+    rt.shutdown();
+
+    let feed = std::fs::read_to_string(&path).expect("feed file exists");
+    let metrics: Vec<&str> = feed
+        .lines()
+        .filter(|l| l.contains("\"type\":\"metrics\""))
+        .collect();
+    assert!(
+        metrics.len() >= 2,
+        "a multi-workload run must produce several samples: {} lines",
+        metrics.len()
+    );
+    let mut prev: Option<Vec<(String, u64)>> = None;
+    for (i, line) in metrics.iter().enumerate() {
+        let seq = parse_object(line, "counters");
+        assert_eq!(seq.len(), 12, "every counter field is exported: {line}");
+        let sample_seq: Vec<(String, u64)> = parse_object(line, "delta");
+        if let Some(prev) = &prev {
+            for (j, (name, value)) in seq.iter().enumerate() {
+                let (prev_name, prev_value) = &prev[j];
+                assert_eq!(name, prev_name, "stable field order");
+                assert!(
+                    value >= prev_value,
+                    "cumulative counter {name} went backwards at sample {i}: \
+                     {prev_value} -> {value}"
+                );
+                let (delta_name, delta) = &sample_seq[j];
+                assert_eq!(delta_name, name);
+                assert_eq!(
+                    *delta,
+                    value - prev_value,
+                    "delta of {name} at sample {i} is not the cumulative diff"
+                );
+            }
+        }
+        prev = Some(seq);
+    }
+    // The final (shutdown-drain) sample carries the whole run: 4 bursts of
+    // 64 children plus a root task per burst.
+    let last = prev.expect("at least one sample");
+    let get = |name: &str| last.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(get("tasks_spawned"), 4 * (64 + 1));
+    // Each child performs one explicit set plus its completion-promise set.
+    assert_eq!(get("sets"), 4 * 64 * 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Racing recorders vs. concurrent `AlarmTail` readers: every recorded
+/// alarm is claimed by exactly one reader, none is dropped, none is
+/// double-delivered — the guarantee the racy snapshot-then-`clear` pattern
+/// could not give.
+#[test]
+fn alarm_tail_is_exactly_once_across_racing_recorders_and_readers() {
+    const RECORDERS: usize = 4;
+    const READERS: usize = 4;
+    const PER_RECORDER: usize = 500;
+    let mut seed = seed_from_env_echoed(0x0b5e_27e5_0002, "observe_stress");
+    let rt = Runtime::builder().build();
+    let ctx = Arc::clone(rt.context());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let recorders: Vec<_> = (0..RECORDERS)
+        .map(|r| {
+            let ctx = Arc::clone(&ctx);
+            let jitter = xorshift(&mut seed) % 32;
+            std::thread::spawn(move || {
+                for k in 0..PER_RECORDER {
+                    // Unique payload per alarm: (recorder, k) packed into the
+                    // report's fields, so readers can detect duplicates.
+                    ctx.record_alarm(Alarm::Stall(Arc::new(StallReport {
+                        worker: r * PER_RECORDER + k,
+                        helper: false,
+                        busy_for: Duration::from_nanos(1),
+                        jobs_executed: 0,
+                    })));
+                    for _ in 0..jitter {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let tail = rt.alarm_tail();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    match tail.try_next() {
+                        Some(Alarm::Stall(report)) => mine.push(report.worker),
+                        Some(other) => panic!("unexpected alarm kind: {other}"),
+                        None if done.load(Ordering::Acquire) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    for r in recorders {
+        r.join().unwrap();
+    }
+    // Recorders are done; readers drain the rest and exit on the flag
+    // (tail `None` after `done` means the sink really is empty).
+    let total = RECORDERS * PER_RECORDER;
+    while rt.context().alarm_count() < total {
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+    let mut claimed: Vec<usize> = Vec::with_capacity(total);
+    for r in readers {
+        claimed.extend(r.join().unwrap());
+    }
+    claimed.sort_unstable();
+    let expected: Vec<usize> = (0..total).collect();
+    assert_eq!(
+        claimed, expected,
+        "every alarm claimed exactly once across all readers"
+    );
+    // The private snapshot view is untouched by the tail.
+    assert_eq!(rt.context().alarm_count(), total);
+    rt.shutdown();
+}
+
+/// Live `/metrics` scrapes: the exposition is well-formed on every scrape,
+/// and counters observed across a workload are monotone (live diffs, not a
+/// stale snapshot).
+#[test]
+fn metrics_endpoint_serves_live_monotone_counters() {
+    let mut seed = seed_from_env_echoed(0x0b5e_27e5_0003, "observe_stress");
+    let rt = Runtime::builder()
+        .observe(
+            ObserveConfig::new()
+                .sample_interval(Duration::from_millis(10))
+                .serve_metrics_local(),
+        )
+        .build();
+    let addr = rt.observe_addr().expect("listener is configured");
+    let scrape = || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("listener accepts");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: observe\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        let body = response
+            .split_once("\r\n\r\n")
+            .expect("header terminator")
+            .1
+            .to_string();
+        // Exposition well-formedness: comment lines or `name value`.
+        for line in body.lines() {
+            if line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample line");
+            assert!(name.starts_with("promise_"), "family prefix: {line}");
+            value.parse::<u64>().expect("numeric sample");
+        }
+        body
+    };
+    let family = |body: &str, name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse().ok())
+            .unwrap_or_else(|| panic!("family {name} missing"))
+    };
+    let before = scrape();
+    run_workload(&rt, &mut seed, 128);
+    let after = scrape();
+    for name in [
+        "promise_gets_total",
+        "promise_sets_total",
+        "promise_tasks_spawned_total",
+        "promise_pool_jobs_executed_total",
+    ] {
+        let (b, a) = (family(&before, name), family(&after, name));
+        assert!(a >= b, "{name} went backwards across scrapes: {b} -> {a}");
+        assert!(a > 0, "{name} never moved under load");
+    }
+    assert_eq!(family(&after, "promise_tasks_spawned_total"), 128 + 1);
+    rt.shutdown();
+}
+
+/// Observe-off parity: a deterministic single-threaded workload produces
+/// identical operation counters with the plane on and off (the sampler is
+/// pull-based and touches no hot path), and the observe surfaces report
+/// absent.
+#[test]
+fn observe_off_parity_counters_identical() {
+    let workload = |rt: &Runtime| {
+        let (_, metrics) = rt
+            .measure(|| {
+                for i in 0..256u64 {
+                    let p = Promise::<u64>::new();
+                    p.set(i).unwrap();
+                    assert_eq!(p.get().unwrap(), i);
+                }
+            })
+            .unwrap();
+        metrics.counters
+    };
+    let plain = Runtime::builder().initial_workers(0).build();
+    assert_eq!(
+        plain.observe_addr(),
+        None,
+        "no listener when observe is off"
+    );
+    let plain_counters = workload(&plain);
+    plain.shutdown();
+
+    let path = feed_path("parity");
+    let _ = std::fs::remove_file(&path);
+    let observed = Runtime::builder()
+        .initial_workers(0)
+        .observe(
+            ObserveConfig::new()
+                .sample_interval(Duration::from_millis(2))
+                .jsonl(&path),
+        )
+        .build();
+    let observed_counters = workload(&observed);
+    observed.shutdown();
+    assert_eq!(
+        plain_counters, observed_counters,
+        "observation must not perturb the counted operations"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,163 @@
+//! Live observability plane demo: run a Table 1 workload with the streaming
+//! metrics feed on, scrape the Prometheus endpoint mid-run, and drain the
+//! alarm tail.
+//!
+//! ```text
+//! cargo run --release --example live_metrics
+//! LIVE_METRICS_WORKLOAD=QSort LIVE_METRICS_SCALE=default \
+//!     cargo run --release --example live_metrics
+//! ```
+//!
+//! The runtime is built with [`ObserveConfig`]: a sampler thread appends
+//! JSONL snapshot diffs (suitable for `tail -f`) and a blocking listener
+//! serves `GET /metrics` in the Prometheus text exposition.  Observation is
+//! pull-based — the workload's hot paths are identical to an unobserved
+//! run.  The example scrapes the endpoint while the workload executes,
+//! validates the exposition's shape, prints the core families, and exits
+//! non-zero if the scrape is malformed — so CI runs it as a metrics smoke
+//! test.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use promise_workloads::{workload_by_name, Scale};
+use promises::prelude::*;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+/// One `GET /metrics` round trip; returns the exposition body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("metrics listener accepts");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: live-metrics\r\n\r\n")
+        .expect("request written");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response read to EOF");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK\r\n"),
+        "scrape did not return 200:\n{response}"
+    );
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a header terminator")
+        .1
+        .to_string()
+}
+
+/// Validates the exposition: every line is a `# TYPE` comment or a
+/// `family value` sample, and the core families are all present.
+fn validate(body: &str) -> usize {
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("malformed exposition line: {line:?}"));
+        assert!(name.starts_with("promise_"), "foreign family: {line:?}");
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample: {line:?}"));
+        samples += 1;
+    }
+    for family in [
+        "promise_gets_total",
+        "promise_sets_total",
+        "promise_tasks_spawned_total",
+        "promise_live_tasks",
+        "promise_pool_workers",
+        "promise_memory_resident_bytes",
+        "promise_alarms_total",
+    ] {
+        assert!(
+            body.lines().any(|l| l.starts_with(family)),
+            "core family {family} missing from exposition"
+        );
+    }
+    samples
+}
+
+fn main() {
+    let name = env_or("LIVE_METRICS_WORKLOAD", "Sieve");
+    let scale = Scale::parse(&env_or("LIVE_METRICS_SCALE", "smoke")).expect("valid scale");
+    let workload = workload_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}; see promise-workloads"));
+
+    let jsonl = std::env::temp_dir().join(format!("live_metrics_{}.jsonl", std::process::id()));
+    let rt = Runtime::builder()
+        .observe(
+            ObserveConfig::new()
+                .sample_interval(Duration::from_millis(20))
+                .jsonl(&jsonl)
+                .serve_metrics_local(),
+        )
+        .build();
+    let addr = rt.observe_addr().expect("metrics listener is configured");
+    println!(
+        "serving /metrics on http://{addr}  (feed: {})",
+        jsonl.display()
+    );
+
+    // Scrape concurrently with the workload so the demo exercises *live*
+    // reads, not a post-mortem snapshot.
+    let scraper = std::thread::spawn(move || {
+        let mut scrapes = 0usize;
+        loop {
+            let body = scrape(addr);
+            validate(&body);
+            scrapes += 1;
+            if scrapes >= 3 {
+                return scrapes;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+
+    let output = rt
+        .block_on(|| workload.run(scale))
+        .expect("workload runs verified");
+    let scrapes = scraper.join().expect("scraper thread");
+
+    // Final scrape after the run: print the core counter families.
+    let body = scrape(addr);
+    let samples = validate(&body);
+    println!("--- final scrape ({samples} samples, {scrapes} live scrapes ok) ---");
+    for line in body.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("promise_gets_total")
+                || l.starts_with("promise_sets_total")
+                || l.starts_with("promise_tasks_spawned_total")
+                || l.starts_with("promise_alarms_total")
+                || l.starts_with("promise_memory_resident_bytes"))
+    }) {
+        println!("{line}");
+    }
+
+    // Drain the alarm tail (exactly-once; a clean run should deliver none).
+    let mut alarms = 0usize;
+    for alarm in rt.alarm_tail() {
+        println!("alarm: {alarm}");
+        alarms += 1;
+    }
+    println!(
+        "workload {name} ({}) checksum {:#018x}; {alarms} alarms",
+        scale.name(),
+        output.checksum
+    );
+    rt.shutdown();
+
+    let feed = std::fs::read_to_string(&jsonl).expect("JSONL feed written");
+    let metric_lines = feed
+        .lines()
+        .filter(|l| l.contains("\"type\":\"metrics\""))
+        .count();
+    assert!(metric_lines >= 1, "sampler produced no feed lines");
+    println!("feed: {metric_lines} metric samples in {}", jsonl.display());
+    let _ = std::fs::remove_file(&jsonl);
+}

@@ -50,7 +50,8 @@ pub mod prelude {
         PromiseError, TaskId, VerificationMode,
     };
     pub use promise_runtime::{
-        spawn, spawn_named, FinishScope, Runtime, RuntimeBuilder, TaskHandle,
+        spawn, spawn_named, AlarmTail, FinishScope, ObserveConfig, Runtime, RuntimeBuilder,
+        TaskHandle,
     };
     pub use promise_sync::{AllToAllBarrier, Channel, Combiner};
 }
